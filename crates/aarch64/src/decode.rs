@@ -1,0 +1,202 @@
+//! AArch64 (A64) instruction classification.
+//!
+//! A64 is a fixed-width 32-bit ISA, so "disassembly" reduces to masking
+//! each aligned word — there is no length-decoding problem and no
+//! resynchronization concern, which is why the paper calls the BTI
+//! extension straightforward (§VI). Only the instruction classes function
+//! identification needs are distinguished.
+
+/// Classification of one A64 instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum A64Kind {
+    /// `BTI` (no operand) — valid target of both call and jump.
+    Bti,
+    /// `BTI c` — valid *call* target: the marker at function entries.
+    BtiC,
+    /// `BTI j` — valid *jump* target: switch labels, not entries.
+    BtiJ,
+    /// `BTI jc` — valid target of either.
+    BtiJc,
+    /// `PACIASP`/`PACIBSP` — pointer-authentication prologue that also
+    /// acts as an implicit BTI landing pad.
+    PacSp,
+    /// `BL imm26` — direct call.
+    Bl {
+        /// Absolute destination.
+        target: u64,
+    },
+    /// `B imm26` — direct jump (tail calls, intra-function jumps).
+    B {
+        /// Absolute destination.
+        target: u64,
+    },
+    /// Conditional branch (`B.cond`, `CBZ`, `CBNZ`, `TBZ`, `TBNZ`).
+    BCond {
+        /// Absolute destination.
+        target: u64,
+    },
+    /// `BLR Xn` — indirect call (checked against BTI c).
+    Blr,
+    /// `BR Xn` — indirect jump (checked against BTI j).
+    Br,
+    /// `RET {Xn}`.
+    Ret,
+    /// `NOP`.
+    Nop,
+    /// Anything else.
+    Other,
+}
+
+impl A64Kind {
+    /// Whether this marker makes the address a valid *call* target
+    /// (what Intel's `ENDBR` + FunSeeker's `E` correspond to).
+    pub fn is_call_landing(self) -> bool {
+        matches!(self, A64Kind::Bti | A64Kind::BtiC | A64Kind::BtiJc | A64Kind::PacSp)
+    }
+
+    /// Whether this marker is a *jump-only* landing pad (`BTI j`).
+    pub fn is_jump_only_landing(self) -> bool {
+        matches!(self, A64Kind::BtiJ)
+    }
+
+    /// Direct branch destination, if any.
+    pub fn direct_target(self) -> Option<u64> {
+        match self {
+            A64Kind::Bl { target } | A64Kind::B { target } | A64Kind::BCond { target } => Some(target),
+            _ => None,
+        }
+    }
+}
+
+fn sext(v: u64, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    ((v << shift) as i64) >> shift
+}
+
+/// Classifies the A64 word at `addr`.
+pub fn decode_a64(word: u32, addr: u64) -> A64Kind {
+    // Hint space: D503201F | op<<5.
+    match word {
+        0xD503_201F => return A64Kind::Nop,
+        0xD503_241F => return A64Kind::Bti,
+        0xD503_245F => return A64Kind::BtiC,
+        0xD503_249F => return A64Kind::BtiJ,
+        0xD503_24DF => return A64Kind::BtiJc,
+        0xD503_233F | 0xD503_237F => return A64Kind::PacSp,
+        _ => {}
+    }
+    // BL / B: imm26.
+    if word & 0xFC00_0000 == 0x9400_0000 {
+        let off = sext(u64::from(word & 0x03FF_FFFF), 26) * 4;
+        return A64Kind::Bl { target: addr.wrapping_add(off as u64) };
+    }
+    if word & 0xFC00_0000 == 0x1400_0000 {
+        let off = sext(u64::from(word & 0x03FF_FFFF), 26) * 4;
+        return A64Kind::B { target: addr.wrapping_add(off as u64) };
+    }
+    // B.cond: 0101010x…, imm19.
+    if word & 0xFF00_0010 == 0x5400_0000 {
+        let off = sext(u64::from((word >> 5) & 0x7FFFF), 19) * 4;
+        return A64Kind::BCond { target: addr.wrapping_add(off as u64) };
+    }
+    // CBZ/CBNZ: x011010x, imm19.
+    if word & 0x7E00_0000 == 0x3400_0000 {
+        let off = sext(u64::from((word >> 5) & 0x7FFFF), 19) * 4;
+        return A64Kind::BCond { target: addr.wrapping_add(off as u64) };
+    }
+    // TBZ/TBNZ: x011011x, imm14.
+    if word & 0x7E00_0000 == 0x3600_0000 {
+        let off = sext(u64::from((word >> 5) & 0x3FFF), 14) * 4;
+        return A64Kind::BCond { target: addr.wrapping_add(off as u64) };
+    }
+    // BLR / BR / RET: D63F0000 / D61F0000 / D65F0000 | Rn<<5.
+    match word & 0xFFFF_FC1F {
+        0xD63F_0000 => return A64Kind::Blr,
+        0xD61F_0000 => return A64Kind::Br,
+        0xD65F_0000 => return A64Kind::Ret,
+        _ => {}
+    }
+    A64Kind::Other
+}
+
+/// Sweeps an AArch64 code region word by word.
+pub fn sweep_a64(code: &[u8], base: u64) -> impl Iterator<Item = (u64, A64Kind)> + '_ {
+    code.chunks_exact(4).enumerate().map(move |(i, w)| {
+        let addr = base + (i as u64) * 4;
+        let word = u32::from_le_bytes(w.try_into().expect("chunks_exact(4)"));
+        (addr, decode_a64(word, addr))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hint_space_markers() {
+        assert_eq!(decode_a64(0xD503245F, 0), A64Kind::BtiC);
+        assert_eq!(decode_a64(0xD503249F, 0), A64Kind::BtiJ);
+        assert_eq!(decode_a64(0xD50324DF, 0), A64Kind::BtiJc);
+        assert_eq!(decode_a64(0xD503241F, 0), A64Kind::Bti);
+        assert_eq!(decode_a64(0xD503233F, 0), A64Kind::PacSp);
+        assert_eq!(decode_a64(0xD503201F, 0), A64Kind::Nop);
+        assert!(A64Kind::BtiC.is_call_landing());
+        assert!(A64Kind::PacSp.is_call_landing());
+        assert!(!A64Kind::BtiJ.is_call_landing());
+        assert!(A64Kind::BtiJ.is_jump_only_landing());
+    }
+
+    #[test]
+    fn direct_branches() {
+        // bl +8 at 0x1000: 0x94000002.
+        assert_eq!(decode_a64(0x9400_0002, 0x1000), A64Kind::Bl { target: 0x1008 });
+        // b -4: imm26 = -1 → 0x17FFFFFF.
+        assert_eq!(decode_a64(0x17FF_FFFF, 0x1000), A64Kind::B { target: 0xFFC });
+        // b.eq +16: 0x54000080.
+        assert_eq!(decode_a64(0x5400_0080, 0x2000), A64Kind::BCond { target: 0x2010 });
+        // cbz x0, +8: 0xB4000040.
+        assert_eq!(decode_a64(0xB400_0040, 0x3000), A64Kind::BCond { target: 0x3008 });
+        // tbz w0, #0, +8: 0x36000040.
+        assert_eq!(decode_a64(0x3600_0040, 0x4000), A64Kind::BCond { target: 0x4008 });
+    }
+
+    #[test]
+    fn indirect_and_ret() {
+        assert_eq!(decode_a64(0xD63F_0100, 0), A64Kind::Blr); // blr x8
+        assert_eq!(decode_a64(0xD61F_0100, 0), A64Kind::Br); // br x8
+        assert_eq!(decode_a64(0xD65F_03C0, 0), A64Kind::Ret); // ret (x30)
+    }
+
+    #[test]
+    fn ordinary_instructions_are_other() {
+        for w in [0x9100_0000u32 /* add */, 0xF940_0000 /* ldr */, 0xAA00_03E0 /* mov */] {
+            assert_eq!(decode_a64(w, 0), A64Kind::Other);
+        }
+    }
+
+    #[test]
+    fn sweep_walks_words() {
+        let mut code = Vec::new();
+        code.extend_from_slice(&0xD503_245Fu32.to_le_bytes()); // bti c
+        code.extend_from_slice(&0xD65F_03C0u32.to_le_bytes()); // ret
+        let out: Vec<_> = sweep_a64(&code, 0x1000).collect();
+        assert_eq!(out, vec![(0x1000, A64Kind::BtiC), (0x1004, A64Kind::Ret)]);
+    }
+
+    #[test]
+    fn target_arithmetic_round_trips() {
+        // Encode bl to every multiple-of-4 displacement in a range and
+        // decode back.
+        for disp in (-64i64..64).map(|d| d * 4) {
+            let imm26 = ((disp / 4) as u32) & 0x03FF_FFFF;
+            let word = 0x9400_0000 | imm26;
+            let addr = 0x10_0000u64;
+            assert_eq!(
+                decode_a64(word, addr),
+                A64Kind::Bl { target: addr.wrapping_add(disp as u64) },
+                "disp {disp}"
+            );
+        }
+    }
+}

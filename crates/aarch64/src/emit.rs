@@ -1,0 +1,321 @@
+//! BTI-enabled AArch64 corpus emitter.
+//!
+//! Mirrors the x86 corpus generator's semantics on ARM: functions with
+//! external linkage or a taken address start with `BTI c` (or `PACIASP`
+//! when return-address signing is modeled), statics do not, switch labels
+//! get `BTI j`, and direct `B` edges form tail calls. Emits a minimal
+//! ELF64/AArch64 image plus exact ground truth.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use funseeker_elf::{Class, ElfBuilder, Machine, ObjectType, Symbol, SymbolBinding, SymbolType};
+
+/// `e_machine` value for AArch64.
+pub const EM_AARCH64: u16 = 183;
+
+/// One generated ARM function's ground truth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArmFunctionTruth {
+    /// Name.
+    pub name: String,
+    /// Entry address.
+    pub addr: u64,
+    /// Starts with a call-valid landing pad (`BTI c`/`jc`/`PACIASP`).
+    pub has_bti: bool,
+    /// Dead code (never referenced).
+    pub dead: bool,
+}
+
+/// A generated BTI binary with ground truth.
+#[derive(Debug, Clone)]
+pub struct ArmBinary {
+    /// The ELF image.
+    pub bytes: Vec<u8>,
+    /// Ground truth, sorted by address.
+    pub functions: Vec<ArmFunctionTruth>,
+    /// `[start, end)` of `.text`.
+    pub text_range: (u64, u64),
+}
+
+impl ArmBinary {
+    /// Ground-truth entry set.
+    pub fn entries(&self) -> std::collections::BTreeSet<u64> {
+        self.functions.iter().map(|f| f.addr).collect()
+    }
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ArmParams {
+    /// Number of functions.
+    pub functions: usize,
+    /// Fraction with static linkage (no `BTI c`).
+    pub static_frac: f64,
+    /// Fraction of statics with their address taken (`BTI c` anyway).
+    pub addr_taken_frac: f64,
+    /// Fraction of statics that are dead.
+    pub dead_frac: f64,
+    /// Use `PACIASP` instead of `BTI c` for this fraction of marked
+    /// functions (return-address signing, an implicit landing pad).
+    pub pac_frac: f64,
+    /// Fraction of functions containing a `BR`-based switch with
+    /// `BTI j` labels.
+    pub switch_frac: f64,
+    /// Shared tail-call targets per binary.
+    pub shared_tails: usize,
+}
+
+impl Default for ArmParams {
+    fn default() -> Self {
+        ArmParams {
+            functions: 40,
+            static_frac: 0.22,
+            addr_taken_frac: 0.45,
+            dead_frac: 0.03,
+            pac_frac: 0.3,
+            switch_frac: 0.12,
+            shared_tails: 1,
+        }
+    }
+}
+
+const TEXT_BASE: u64 = 0x40_0000;
+
+struct Fn_ {
+    marked: bool,
+    pac: bool,
+    dead: bool,
+    is_static: bool,
+    addr_taken: bool,
+    calls: Vec<usize>,
+    tail: Option<usize>,
+    has_switch: bool,
+    body: usize,
+}
+
+/// Generates one BTI-enabled binary.
+pub fn generate(params: ArmParams, seed: u64) -> ArmBinary {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = params.functions.max(4);
+
+    // --- plan functions ---
+    let mut plan: Vec<Fn_> = (0..n)
+        .map(|i| {
+            let is_static = i != 0 && rng.gen_bool(params.static_frac);
+            let addr_taken = is_static && rng.gen_bool(params.addr_taken_frac);
+            let dead = is_static && !addr_taken && rng.gen_bool(params.dead_frac);
+            let marked = !is_static || addr_taken;
+            Fn_ {
+                marked,
+                pac: marked && rng.gen_bool(params.pac_frac),
+                dead,
+                is_static,
+                addr_taken,
+                calls: Vec::new(),
+                tail: None,
+                has_switch: rng.gen_bool(params.switch_frac),
+                body: rng.gen_range(4..24),
+            }
+        })
+        .collect();
+
+    // Call graph over ~half the functions.
+    let pool: Vec<usize> = (1..n).filter(|&i| !plan[i].dead && rng.gen_bool(0.5)).collect();
+    if !pool.is_empty() {
+        for i in 0..n {
+            for _ in 0..rng.gen_range(0..3usize) {
+                let c = pool[rng.gen_range(0..pool.len())];
+                if c != i && !plan[i].calls.contains(&c) {
+                    plan[i].calls.push(c);
+                }
+            }
+        }
+    }
+    // Shared tail targets.
+    for _ in 0..params.shared_tails {
+        let target = rng.gen_range(1..n);
+        if plan[target].dead {
+            continue;
+        }
+        let mut callers = 0;
+        for _ in 0..8 {
+            let c = rng.gen_range(1..n);
+            if c != target && c + 1 != target && !plan[c].dead && plan[c].tail.is_none() {
+                plan[c].tail = Some(target);
+                callers += 1;
+            }
+            if callers >= 2 {
+                break;
+            }
+        }
+    }
+    // Referenced-ness guarantee for live unmarked statics.
+    for i in 1..n {
+        if plan[i].is_static && !plan[i].addr_taken && !plan[i].dead {
+            let called = plan.iter().any(|f| f.calls.contains(&i));
+            let tailed = plan.iter().any(|f| f.tail == Some(i));
+            if !called && !tailed {
+                plan[0].calls.push(i);
+            }
+        }
+    }
+
+    // --- emit code (two passes: size, then addresses + fixups) ---
+    let word = |v: u32, out: &mut Vec<u8>| out.extend_from_slice(&v.to_le_bytes());
+    let size_of = |f: &Fn_| -> usize {
+        let mut words = 0usize;
+        if f.marked {
+            words += 1;
+        }
+        words += f.body;
+        words += f.calls.len();
+        if f.addr_taken { /* taker emits the ADRP pair */ }
+        if f.has_switch {
+            words += 3 /* dispatch */ + 2 * 3 /* labels */;
+        }
+        words += 1; // ret or tail b
+        words
+    };
+    let mut addrs = Vec::with_capacity(n);
+    let mut cursor = TEXT_BASE;
+    for f in &plan {
+        // 16-byte align entries like real toolchains.
+        cursor = cursor.div_ceil(16) * 16;
+        addrs.push(cursor);
+        cursor += (size_of(f) * 4) as u64;
+    }
+
+    let mut text: Vec<u8> = Vec::new();
+    for (i, f) in plan.iter().enumerate() {
+        while TEXT_BASE + text.len() as u64 != addrs[i] {
+            word(0xD503_201F, &mut text); // nop padding
+        }
+        if f.marked {
+            word(if f.pac { 0xD503_233F } else { 0xD503_245F }, &mut text);
+        }
+        // Filler: mov/add/orr immediates (valid, data-processing only).
+        for k in 0..f.body {
+            let filler = [0x9100_0421u32, 0xAA01_03E2, 0xD280_0023, 0x8B02_0063][k % 4];
+            word(filler, &mut text);
+        }
+        for &callee in &f.calls {
+            let here = TEXT_BASE + text.len() as u64;
+            let disp = (addrs[callee].wrapping_sub(here) as i64) / 4;
+            word(0x9400_0000 | ((disp as u32) & 0x03FF_FFFF), &mut text);
+        }
+        if f.has_switch {
+            // Dispatch: adr x9, table-ish; br x9 — with two BTI j labels.
+            word(0xD280_0049, &mut text); // mov x9, #2 (stand-in)
+            word(0x8B09_0129, &mut text); // add x9, x9, x9
+            word(0xD61F_0120, &mut text); // br x9
+            for _ in 0..2 {
+                word(0xD503_249F, &mut text); // bti j — jump-only label
+                word(0x9100_0421, &mut text); // add
+                word(0xD280_0023, &mut text); // mov (fall through to next case)
+            }
+        }
+        if let Some(t) = f.tail {
+            let here = TEXT_BASE + text.len() as u64;
+            let disp = (addrs[t].wrapping_sub(here) as i64) / 4;
+            word(0x1400_0000 | ((disp as u32) & 0x03FF_FFFF), &mut text);
+        } else {
+            word(0xD65F_03C0, &mut text); // ret
+        }
+    }
+    let text_end = TEXT_BASE + text.len() as u64;
+
+    // --- ELF + symbols ---
+    let mut b = ElfBuilder::new(Class::Elf64, Machine::Other(EM_AARCH64), ObjectType::Executable);
+    b.entry(addrs[0]);
+    b.section(
+        ".note.gnu.property",
+        funseeker_elf::SectionType::Note,
+        funseeker_elf::section::SHF_ALLOC,
+        TEXT_BASE - 0x200,
+        crate::note::build_bti_note(crate::note::BtiProperties { bti: true, pac: true }),
+        None,
+        0,
+        8,
+        0,
+    );
+    b.text(".text", TEXT_BASE, text);
+    let symbols: Vec<Symbol> = plan
+        .iter()
+        .enumerate()
+        .map(|(i, f)| Symbol {
+            name: if i == 0 { "main".into() } else { format!("fn_{i}") },
+            value: addrs[i],
+            size: (size_of(f) * 4) as u64,
+            symbol_type: SymbolType::Func,
+            binding: if f.is_static { SymbolBinding::Local } else { SymbolBinding::Global },
+            shndx: 1,
+        })
+        .collect();
+    b.symbol_table(".symtab", 0, &symbols);
+    let bytes = b.build().expect("ARM corpus layout encodable");
+
+    let functions = plan
+        .iter()
+        .enumerate()
+        .map(|(i, f)| ArmFunctionTruth {
+            name: if i == 0 { "main".into() } else { format!("fn_{i}") },
+            addr: addrs[i],
+            has_bti: f.marked,
+            dead: f.dead,
+        })
+        .collect();
+
+    ArmBinary { bytes, functions, text_range: (TEXT_BASE, text_end) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::sweep_a64;
+
+    #[test]
+    fn generated_binary_is_consistent() {
+        let bin = generate(ArmParams::default(), 11);
+        let elf = funseeker_elf::Elf::parse(&bin.bytes).unwrap();
+        assert_eq!(elf.header.machine, Machine::Other(EM_AARCH64));
+        let (addr, text) = elf.section_bytes(".text").unwrap();
+        assert_eq!((addr, addr + text.len() as u64), bin.text_range);
+
+        // Every marked function starts with a call-valid landing pad;
+        // every unmarked one does not.
+        let landings: std::collections::BTreeSet<u64> = sweep_a64(text, addr)
+            .filter(|(_, k)| k.is_call_landing())
+            .map(|(a, _)| a)
+            .collect();
+        for f in &bin.functions {
+            assert_eq!(landings.contains(&f.addr), f.has_bti, "{}", f.name);
+        }
+    }
+
+    #[test]
+    fn switch_labels_are_bti_j_not_c() {
+        let mut params = ArmParams::default();
+        params.switch_frac = 1.0;
+        let bin = generate(params, 3);
+        let elf = funseeker_elf::Elf::parse(&bin.bytes).unwrap();
+        let (addr, text) = elf.section_bytes(".text").unwrap();
+        let btij = sweep_a64(text, addr).filter(|(_, k)| k.is_jump_only_landing()).count();
+        assert!(btij > 0, "switch labels must carry BTI j");
+        // None of them coincides with a function entry.
+        let entries = bin.entries();
+        for (a, k) in sweep_a64(text, addr) {
+            if k.is_jump_only_landing() {
+                assert!(!entries.contains(&a));
+            }
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let a = generate(ArmParams::default(), 5);
+        let b = generate(ArmParams::default(), 5);
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.functions, b.functions);
+    }
+}

@@ -1,0 +1,120 @@
+//! Textual rendering of classified A64 instructions.
+
+use crate::decode::A64Kind;
+
+/// Formats one classified instruction. Unclassified words render as a
+/// raw `.inst` directive, the honest fallback.
+pub fn format_a64(word: u32, addr: u64) -> String {
+    match crate::decode::decode_a64(word, addr) {
+        A64Kind::Bti => "bti".to_owned(),
+        A64Kind::BtiC => "bti c".to_owned(),
+        A64Kind::BtiJ => "bti j".to_owned(),
+        A64Kind::BtiJc => "bti jc".to_owned(),
+        A64Kind::PacSp => {
+            if word == 0xD503_233F {
+                "paciasp".to_owned()
+            } else {
+                "pacibsp".to_owned()
+            }
+        }
+        A64Kind::Bl { target } => format!("bl {target:#x}"),
+        A64Kind::B { target } => format!("b {target:#x}"),
+        A64Kind::BCond { target } => {
+            // Distinguish the three conditional families for readability.
+            if word & 0xFF00_0010 == 0x5400_0000 {
+                const COND: [&str; 16] = [
+                    "eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc", "hi", "ls", "ge", "lt", "gt",
+                    "le", "al", "nv",
+                ];
+                format!("b.{} {target:#x}", COND[(word & 0xf) as usize])
+            } else if word & 0x7E00_0000 == 0x3400_0000 {
+                let mnem = if word & 0x0100_0000 != 0 { "cbnz" } else { "cbz" };
+                let reg = word & 0x1f;
+                let wide = word >> 31 == 1;
+                format!("{mnem} {}{reg}, {target:#x}", if wide { 'x' } else { 'w' })
+            } else {
+                let mnem = if word & 0x0100_0000 != 0 { "tbnz" } else { "tbz" };
+                let reg = word & 0x1f;
+                let bit = ((word >> 31) << 5) | ((word >> 19) & 0x1f);
+                format!("{mnem} w{reg}, #{bit}, {target:#x}")
+            }
+        }
+        A64Kind::Blr => format!("blr x{}", (word >> 5) & 0x1f),
+        A64Kind::Br => format!("br x{}", (word >> 5) & 0x1f),
+        A64Kind::Ret => {
+            let rn = (word >> 5) & 0x1f;
+            if rn == 30 {
+                "ret".to_owned()
+            } else {
+                format!("ret x{rn}")
+            }
+        }
+        A64Kind::Nop => "nop".to_owned(),
+        A64Kind::Other => format!(".inst {word:#010x}"),
+    }
+}
+
+/// Renders a whole code region, one line per word.
+pub fn format_region(code: &[u8], base: u64) -> String {
+    let mut out = String::new();
+    for (addr, _) in crate::decode::sweep_a64(code, base) {
+        let off = (addr - base) as usize;
+        let word = u32::from_le_bytes(code[off..off + 4].try_into().expect("aligned"));
+        out.push_str(&format!("{addr:#x}: {}\n", format_a64(word, addr)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_the_classified_vocabulary() {
+        assert_eq!(format_a64(0xD503_245F, 0), "bti c");
+        assert_eq!(format_a64(0xD503_249F, 0), "bti j");
+        assert_eq!(format_a64(0xD503_233F, 0), "paciasp");
+        assert_eq!(format_a64(0xD503_237F, 0), "pacibsp");
+        assert_eq!(format_a64(0x9400_0002, 0x1000), "bl 0x1008");
+        assert_eq!(format_a64(0x1400_0002, 0x1000), "b 0x1008");
+        assert_eq!(format_a64(0x5400_0040, 0x1000), "b.eq 0x1008");
+        assert_eq!(format_a64(0x5400_0041, 0x1000), "b.ne 0x1008");
+        assert_eq!(format_a64(0xB400_0040, 0x1000), "cbz x0, 0x1008");
+        assert_eq!(format_a64(0x3500_0040, 0x1000), "cbnz w0, 0x1008");
+        assert_eq!(format_a64(0x3600_0040, 0x1000), "tbz w0, #0, 0x1008");
+        assert_eq!(format_a64(0xD63F_0100, 0), "blr x8");
+        assert_eq!(format_a64(0xD61F_0100, 0), "br x8");
+        assert_eq!(format_a64(0xD65F_03C0, 0), "ret");
+        assert_eq!(format_a64(0xD65F_0040, 0), "ret x2");
+        assert_eq!(format_a64(0xD503_201F, 0), "nop");
+        assert_eq!(format_a64(0x9100_0421, 0), ".inst 0x91000421");
+    }
+
+    #[test]
+    fn region_rendering_lines_up() {
+        let mut code = Vec::new();
+        code.extend_from_slice(&0xD503_245Fu32.to_le_bytes());
+        code.extend_from_slice(&0xD65F_03C0u32.to_le_bytes());
+        let s = format_region(&code, 0x4000);
+        assert_eq!(s, "0x4000: bti c\n0x4004: ret\n");
+    }
+
+    #[test]
+    fn generated_binary_renders_without_inst_at_entries() {
+        let bin = crate::emit::generate(crate::emit::ArmParams::default(), 1);
+        let elf = funseeker_elf::Elf::parse(&bin.bytes).unwrap();
+        let (addr, text) = elf.section_bytes(".text").unwrap();
+        let rendered = format_region(text, addr);
+        // Every marked entry appears as a bti/pac line at its address.
+        for f in bin.functions.iter().filter(|f| f.has_bti) {
+            let needle_b = format!("{:#x}: bti c", f.addr);
+            let needle_p = format!("{:#x}: paciasp", f.addr);
+            assert!(
+                rendered.contains(&needle_b) || rendered.contains(&needle_p),
+                "{} at {:#x} not rendered as a landing pad",
+                f.name,
+                f.addr
+            );
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! `.note.gnu.property` for AArch64 — BTI / PAC feature bits.
+//!
+//! The ARM equivalent of x86's CET note: the loader enforces BTI only
+//! when `GNU_PROPERTY_AARCH64_FEATURE_1_AND` carries the BTI bit
+//! (`-mbranch-protection=bti|standard`).
+
+use funseeker_elf::{Elf, Reader};
+
+/// `GNU_PROPERTY_AARCH64_FEATURE_1_AND` property type.
+pub const GNU_PROPERTY_AARCH64_FEATURE_1_AND: u32 = 0xc000_0000;
+/// BTI bit.
+pub const GNU_PROPERTY_AARCH64_FEATURE_1_BTI: u32 = 1 << 0;
+/// PAC bit (return-address signing).
+pub const GNU_PROPERTY_AARCH64_FEATURE_1_PAC: u32 = 1 << 1;
+
+/// Declared branch-protection capabilities of an AArch64 binary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BtiProperties {
+    /// Branch Target Identification enforced.
+    pub bti: bool,
+    /// Pointer authentication for return addresses.
+    pub pac: bool,
+}
+
+/// Builds the note contents (8-byte property alignment as on ELF64).
+pub fn build_bti_note(props: BtiProperties) -> Vec<u8> {
+    let mut word = 0u32;
+    if props.bti {
+        word |= GNU_PROPERTY_AARCH64_FEATURE_1_BTI;
+    }
+    if props.pac {
+        word |= GNU_PROPERTY_AARCH64_FEATURE_1_PAC;
+    }
+    let mut out = Vec::with_capacity(32);
+    out.extend_from_slice(&4u32.to_le_bytes()); // namesz
+    out.extend_from_slice(&16u32.to_le_bytes()); // descsz (8 hdr + 4 data + 4 pad)
+    out.extend_from_slice(&5u32.to_le_bytes()); // NT_GNU_PROPERTY_TYPE_0
+    out.extend_from_slice(b"GNU\0");
+    out.extend_from_slice(&GNU_PROPERTY_AARCH64_FEATURE_1_AND.to_le_bytes());
+    out.extend_from_slice(&4u32.to_le_bytes()); // pr_datasz
+    out.extend_from_slice(&word.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // pad to 8
+    out
+}
+
+/// Parses the BTI/PAC bits from an AArch64 ELF's property note.
+pub fn bti_properties(elf: &Elf<'_>) -> BtiProperties {
+    let Some((_, data)) = elf.section_bytes(".note.gnu.property") else {
+        return BtiProperties::default();
+    };
+    let mut out = BtiProperties::default();
+    let mut r = Reader::new(data);
+    while r.remaining() >= 12 {
+        let Ok(namesz) = r.u32() else { break };
+        let Ok(descsz) = r.u32() else { break };
+        let Ok(ntype) = r.u32() else { break };
+        let Ok(name) = r.bytes(namesz as usize) else { break };
+        let is_gnu = ntype == 5 && name == b"GNU\0";
+        let pad = (namesz as usize).next_multiple_of(4) - namesz as usize;
+        if r.skip(pad).is_err() {
+            break;
+        }
+        let desc_start = r.position();
+        if is_gnu {
+            let Ok(mut d) = Reader::at(data, desc_start) else { break };
+            let desc_end = desc_start + descsz as usize;
+            while d.position() + 8 <= desc_end {
+                let Ok(pr_type) = d.u32() else { break };
+                let Ok(pr_size) = d.u32() else { break };
+                if pr_type == GNU_PROPERTY_AARCH64_FEATURE_1_AND && pr_size >= 4 {
+                    if let Ok(word) = d.u32() {
+                        out.bti |= word & GNU_PROPERTY_AARCH64_FEATURE_1_BTI != 0;
+                        out.pac |= word & GNU_PROPERTY_AARCH64_FEATURE_1_PAC != 0;
+                    }
+                    let _ = d.skip((pr_size as usize).saturating_sub(4));
+                } else if d.skip(pr_size as usize).is_err() {
+                    break;
+                }
+                let pad = (pr_size as usize).next_multiple_of(8) - pr_size as usize;
+                let _ = d.skip(pad.min(d.remaining()));
+            }
+        }
+        let skip = (descsz as usize).next_multiple_of(4).min(r.remaining());
+        if r.skip(skip).is_err() {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funseeker_elf::section::SHF_ALLOC;
+    use funseeker_elf::{Class, ElfBuilder, Machine, ObjectType, SectionType};
+
+    #[test]
+    fn round_trips() {
+        for (bti, pac) in [(false, false), (true, false), (false, true), (true, true)] {
+            let props = BtiProperties { bti, pac };
+            let mut b = ElfBuilder::new(
+                Class::Elf64,
+                Machine::Other(crate::emit::EM_AARCH64),
+                ObjectType::Executable,
+            );
+            b.text(".text", 0x1000, vec![0; 4]);
+            b.section(
+                ".note.gnu.property",
+                SectionType::Note,
+                SHF_ALLOC,
+                0x400,
+                build_bti_note(props),
+                None,
+                0,
+                8,
+                0,
+            );
+            let bytes = b.build().unwrap();
+            let elf = funseeker_elf::Elf::parse(&bytes).unwrap();
+            assert_eq!(bti_properties(&elf), props);
+        }
+    }
+
+    #[test]
+    fn absent_note_is_unprotected() {
+        let mut b = ElfBuilder::new(
+            Class::Elf64,
+            Machine::Other(crate::emit::EM_AARCH64),
+            ObjectType::Executable,
+        );
+        b.text(".text", 0x1000, vec![0; 4]);
+        let bytes = b.build().unwrap();
+        let elf = funseeker_elf::Elf::parse(&bytes).unwrap();
+        assert_eq!(bti_properties(&elf), BtiProperties::default());
+    }
+}

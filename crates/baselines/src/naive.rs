@@ -1,0 +1,57 @@
+//! The strawman: every end-branch instruction is a function.
+//!
+//! This is the hypothesis §III of the paper sets out to test — and
+//! refutes: end-branches also mark `setjmp` return points and exception
+//! landing pads, and ~11% of functions have no end-branch at all. The
+//! identifier exists for the ablation benches and as the motivating
+//! lower bound.
+
+use std::collections::BTreeSet;
+
+use funseeker_disasm::LinearSweep;
+
+use crate::common::{FunctionIdentifier, Image};
+
+/// The all-endbrs-are-functions strawman.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveEndbr;
+
+impl FunctionIdentifier for NaiveEndbr {
+    fn name(&self) -> &'static str {
+        "Naive-ENDBR"
+    }
+
+    fn identify(&self, bytes: &[u8]) -> Result<BTreeSet<u64>, funseeker::Error> {
+        let img = Image::load(bytes)?;
+        Ok(LinearSweep::new(img.text, img.text_addr, img.mode)
+            .filter(|i| i.kind.is_endbr())
+            .map(|i| i.addr)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funseeker_corpus::{compile, BuildConfig, Compiler, FunctionSpec, Lang, Linkage, OptLevel, ProgramSpec};
+
+    #[test]
+    fn finds_endbr_functions_and_misses_statics() {
+        let mut main = FunctionSpec::named("main");
+        main.calls = vec![1];
+        let mut s = FunctionSpec::named("quiet");
+        s.linkage = Linkage::Static;
+        let spec = ProgramSpec { name: "naive".into(), lang: Lang::C, functions: vec![main, s] };
+        let cfg = BuildConfig {
+            compiler: Compiler::Gcc,
+            arch: funseeker_corpus::Arch::X64,
+            opt: OptLevel::O2,
+            pie: true,
+        };
+        let bin = compile(&spec, cfg, 9);
+        let found = NaiveEndbr.identify(&bin.bytes).unwrap();
+        let by_name = |n: &str| bin.truth.functions.iter().find(|f| f.name == n).unwrap();
+        assert!(found.contains(&by_name("main").addr));
+        assert!(!found.contains(&by_name("quiet").addr), "statics lack endbr");
+    }
+}

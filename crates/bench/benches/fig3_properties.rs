@@ -1,0 +1,22 @@
+//! Figure 3 bench: extracting the three syntactic properties
+//! (EndBrAtHead / DirJmpTarget / DirCallTarget) for every function.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use funseeker_bench::{bench_dataset, single_binary};
+
+fn bench(c: &mut Criterion) {
+    let ds = bench_dataset();
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("property_venn_corpus", |b| {
+        b.iter(|| std::hint::black_box(funseeker_eval::fig3::run(&ds).total()))
+    });
+    let bin = single_binary();
+    g.bench_function("property_venn_one_binary", |b| {
+        b.iter(|| std::hint::black_box(funseeker_eval::fig3::classify_binary(&bin).total()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Table I bench: cost of classifying every end-branch location
+//! (function entry vs indirect-return point vs landing pad) over the
+//! corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use funseeker_bench::bench_dataset;
+
+fn bench(c: &mut Criterion) {
+    let ds = bench_dataset();
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("classify_all_endbrs", |b| {
+        b.iter(|| {
+            let t1 = funseeker_eval::table1::run(&ds);
+            std::hint::black_box(t1.groups.len())
+        })
+    });
+    let bin = funseeker_bench::single_binary();
+    g.bench_function("classify_one_binary", |b| {
+        b.iter(|| std::hint::black_box(funseeker_eval::table1::classify_binary(&bin)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

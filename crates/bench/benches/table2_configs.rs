@@ -1,0 +1,33 @@
+//! Table II bench: the four FunSeeker configurations (1)-(4) per binary —
+//! how much each stage (FILTERENDBR, J, SELECTTAILCALL) costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use funseeker::{Config, FunSeeker};
+use funseeker_bench::single_binary;
+
+fn bench(c: &mut Criterion) {
+    let bin = single_binary();
+    let mut g = c.benchmark_group("table2");
+    for (label, cfg) in Config::table2() {
+        let seeker = FunSeeker::with_config(cfg);
+        g.bench_with_input(BenchmarkId::new("config", label), &bin.bytes, |b, bytes| {
+            b.iter(|| std::hint::black_box(seeker.identify(bytes).unwrap().functions.len()))
+        });
+    }
+    // Stage reuse: parse+sweep once, run all four stage combinations.
+    g.bench_function("all_four_shared_sweep", |b| {
+        b.iter(|| {
+            let parsed = funseeker::parse::parse(&bin.bytes).unwrap();
+            let sweep = funseeker::disassemble::disassemble(&parsed);
+            let mut n = 0;
+            for (_, cfg) in Config::table2() {
+                n += FunSeeker::with_config(cfg).run_stages(&parsed, &sweep).functions.len();
+            }
+            std::hint::black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table III bench — the §V-D timing comparison: per-binary analysis
+//! time for each identifier. The paper's headline is FunSeeker being
+//! ~5× faster than FETCH; the measured ratio on this corpus is printed
+//! by `experiments -- table3` and tracked here per tool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use funseeker_baselines::{FetchLike, FunSeekerTool, FunctionIdentifier, GhidraLike, IdaLike, NaiveEndbr};
+use funseeker_bench::single_binary;
+
+fn bench(c: &mut Criterion) {
+    let bin = single_binary();
+    let tools: Vec<Box<dyn FunctionIdentifier>> = vec![
+        Box::new(FunSeekerTool::new()),
+        Box::new(IdaLike),
+        Box::new(GhidraLike),
+        Box::new(FetchLike),
+        Box::new(NaiveEndbr),
+    ];
+    let mut g = c.benchmark_group("table3");
+    g.throughput(Throughput::Bytes(bin.bytes.len() as u64));
+    for tool in &tools {
+        g.bench_with_input(BenchmarkId::new("identify", tool.name()), &bin.bytes, |b, bytes| {
+            b.iter(|| std::hint::black_box(tool.identify(bytes).unwrap().len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

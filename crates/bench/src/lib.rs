@@ -1,0 +1,31 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! One bench target per paper table/figure plus component ablations —
+//! see `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use funseeker_corpus::{BuildConfig, CorpusBinary, Dataset, DatasetParams};
+
+/// A small but representative benchmark corpus: every build
+/// configuration, a few programs per suite, fixed seed.
+pub fn bench_dataset() -> Dataset {
+    let mut params = DatasetParams::tiny();
+    params.programs = (3, 2, 3);
+    params.configs = BuildConfig::grid();
+    Dataset::generate(&params, 0xBE7C4)
+}
+
+/// One mid-sized x86-64 GCC binary for per-binary benchmarks.
+pub fn single_binary() -> CorpusBinary {
+    let ds = bench_dataset();
+    ds.binaries
+        .into_iter()
+        .filter(|b| {
+            b.config.arch == funseeker_corpus::Arch::X64
+                && b.config.compiler == funseeker_corpus::Compiler::Gcc
+        })
+        .max_by_key(|b| b.bytes.len())
+        .expect("dataset is non-empty")
+}

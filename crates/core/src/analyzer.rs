@@ -1,0 +1,167 @@
+//! The FunSeeker analyzer — Algorithm 1 end to end.
+
+use std::collections::BTreeSet;
+
+use crate::config::Config;
+use crate::disassemble::{disassemble, SweepSets};
+use crate::error::Error;
+use crate::filter::filter_endbr;
+use crate::parse::parse;
+use crate::tailcall::select_tail_calls;
+
+/// Function identification result with per-stage accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Analysis {
+    /// Identified function entry addresses.
+    pub functions: BTreeSet<u64>,
+    /// `[start, end)` of the analyzed `.text`.
+    pub text_range: (u64, u64),
+    /// |E| — end-branches found by the sweep.
+    pub endbr_count: usize,
+    /// |E| − |E′| — end-branches removed by FILTERENDBR.
+    pub filtered_endbrs: usize,
+    /// |C| — direct call targets inside `.text`.
+    pub call_target_count: usize,
+    /// |J| — distinct direct jump targets inside `.text`.
+    pub jmp_target_count: usize,
+    /// |J′| — jump targets kept by SELECTTAILCALL (0 when disabled).
+    pub tail_target_count: usize,
+    /// Byte positions skipped over decode errors during the sweep.
+    pub decode_errors: usize,
+    /// Whether the binary declares full CET support
+    /// (`.note.gnu.property` with IBT and SHSTK — §II's definition of a
+    /// CET-enabled binary). End-branch evidence is still used either
+    /// way; this flag tells the caller how much to trust it.
+    pub cet_enabled: bool,
+}
+
+/// The FunSeeker function identifier.
+///
+/// ```
+/// use funseeker::FunSeeker;
+/// let bytes = std::fs::read("/proc/self/exe").unwrap();
+/// let analysis = FunSeeker::new().identify(&bytes).unwrap();
+/// println!("{} functions", analysis.functions.len());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FunSeeker {
+    config: Config,
+}
+
+impl FunSeeker {
+    /// An analyzer running the full algorithm (configuration ④).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An analyzer with an explicit [`Config`] (e.g. the Table II
+    /// ablations).
+    pub fn with_config(config: Config) -> Self {
+        FunSeeker { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> Config {
+        self.config
+    }
+
+    /// Identifies function entries in a raw ELF image.
+    pub fn identify(&self, bytes: &[u8]) -> Result<Analysis, Error> {
+        let parsed = parse(bytes)?;
+        let sweep = disassemble(&parsed);
+        Ok(self.run_stages(&parsed, &sweep))
+    }
+
+    /// Runs FILTERENDBR/SELECTTAILCALL over pre-computed sweep sets.
+    /// Exposed for the evaluation harness, which reuses one sweep across
+    /// all four configurations.
+    pub fn run_stages(&self, parsed: &crate::parse::Parsed<'_>, sweep: &SweepSets) -> Analysis {
+        // Optional superset pass: recover end-branches the linear sweep
+        // may have lost to data-in-text desynchronization.
+        let mut sweep_aug;
+        let sweep = if self.config.endbr_pattern_scan {
+            sweep_aug = sweep.clone();
+            let mut all: BTreeSet<u64> = sweep_aug.endbrs.iter().copied().collect();
+            all.extend(crate::disassemble::scan_endbr_pattern(parsed));
+            sweep_aug.endbrs = all.into_iter().collect();
+            &sweep_aug
+        } else {
+            sweep
+        };
+
+        let endbr_count = sweep.endbrs.len();
+
+        // E or E′.
+        let e: BTreeSet<u64> = if self.config.filter_endbr {
+            filter_endbr(parsed, sweep)
+        } else {
+            sweep.endbrs.iter().copied().collect()
+        };
+        let filtered = endbr_count - e.len();
+
+        // E′ ∪ C.
+        let mut functions = e;
+        functions.extend(sweep.call_targets.iter().copied());
+
+        // ∪ J or ∪ J′.
+        let jmp_targets = sweep.jmp_targets();
+        let mut tail_count = 0;
+        if self.config.include_jump_targets {
+            if self.config.select_tail_calls {
+                let tails =
+                    select_tail_calls(&functions, &sweep.jmp_edges, self.config.min_tail_referers);
+                tail_count = tails.len();
+                functions.extend(tails);
+            } else {
+                functions.extend(jmp_targets.iter().copied());
+            }
+        }
+
+        Analysis {
+            functions,
+            text_range: (parsed.text_addr, parsed.text_end()),
+            endbr_count,
+            filtered_endbrs: filtered,
+            call_target_count: sweep.call_targets.len(),
+            jmp_target_count: jmp_targets.len(),
+            tail_target_count: tail_count,
+            decode_errors: sweep.decode_errors,
+            cet_enabled: parsed.cet.full(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+
+    #[test]
+    fn identifies_functions_in_own_executable() {
+        let bytes = std::fs::read("/proc/self/exe").unwrap();
+        let a = FunSeeker::new().identify(&bytes).unwrap();
+        // A Rust test binary has thousands of functions; at minimum the
+        // direct-call graph should surface plenty.
+        assert!(a.functions.len() > 100, "found {}", a.functions.len());
+        assert!(a.functions.iter().all(|&f| f >= a.text_range.0 && f < a.text_range.1));
+    }
+
+    #[test]
+    fn config_monotonicity_on_real_binary() {
+        let bytes = std::fs::read("/proc/self/exe").unwrap();
+        let c1 = FunSeeker::with_config(Config::c1()).identify(&bytes).unwrap();
+        let c2 = FunSeeker::with_config(Config::c2()).identify(&bytes).unwrap();
+        let c3 = FunSeeker::with_config(Config::c3()).identify(&bytes).unwrap();
+        let c4 = FunSeeker::with_config(Config::c4()).identify(&bytes).unwrap();
+        // ② ⊆ ①: filtering only removes.
+        assert!(c2.functions.is_subset(&c1.functions));
+        // ② ⊆ ④ ⊆ ③: tail-call selection keeps a subset of J.
+        assert!(c2.functions.is_subset(&c4.functions));
+        assert!(c4.functions.is_subset(&c3.functions));
+    }
+
+    #[test]
+    fn garbage_input_errors() {
+        assert!(FunSeeker::new().identify(b"junk").is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! `funseeker` — command-line function identification for CET binaries.
+//!
+//! ```text
+//! funseeker [--config 1|2|3|4] [--summary] [--disasm] <binary>…
+//! ```
+//!
+//! Prints one function entry address per line (hex), or a per-binary
+//! summary with `--summary`. Exit code 1 if any input failed to parse.
+
+use funseeker::{Config, FunSeeker};
+
+fn usage() -> ! {
+    eprintln!("usage: funseeker [--config 1|2|3|4] [--summary] [--disasm] <binary>...");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = Config::c4();
+    let mut summary = false;
+    let mut disasm = false;
+    let mut paths: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--config" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                config = match v.as_str() {
+                    "1" => Config::c1(),
+                    "2" => Config::c2(),
+                    "3" => Config::c3(),
+                    "4" => Config::c4(),
+                    _ => usage(),
+                };
+            }
+            "--summary" => summary = true,
+            "--disasm" => disasm = true,
+            "-h" | "--help" => usage(),
+            _ => paths.push(arg),
+        }
+    }
+    if paths.is_empty() {
+        usage();
+    }
+
+    let seeker = FunSeeker::with_config(config);
+    let mut failed = false;
+    for path in &paths {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match seeker.identify(&bytes) {
+            Ok(analysis) => {
+                if summary {
+                    println!(
+                        "{path}: {} functions ({} endbr, {} filtered, {} call targets, {} tail targets, {} decode errors){}",
+                        analysis.functions.len(),
+                        analysis.endbr_count,
+                        analysis.filtered_endbrs,
+                        analysis.call_target_count,
+                        analysis.tail_target_count,
+                        analysis.decode_errors,
+                        if analysis.cet_enabled { "" } else { " [no CET property note]" }
+                    );
+                } else if disasm {
+                    if paths.len() > 1 {
+                        println!("# {path}");
+                    }
+                    print_disassembly(&bytes, &analysis);
+                } else {
+                    if paths.len() > 1 {
+                        println!("# {path}");
+                    }
+                    for addr in &analysis.functions {
+                        println!("{addr:#x}");
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// Prints the .text disassembly with identified function entries marked.
+fn print_disassembly(bytes: &[u8], analysis: &funseeker::Analysis) {
+    let Ok(parsed) = funseeker::parse::parse(bytes) else { return };
+    let mode = if parsed.wide {
+        funseeker_disasm::Mode::Bits64
+    } else {
+        funseeker_disasm::Mode::Bits32
+    };
+    let mut off = 0usize;
+    while off < parsed.text.len() {
+        let addr = parsed.text_addr + off as u64;
+        if analysis.functions.contains(&addr) {
+            println!("\n{addr:#x} <fn>:");
+        }
+        match funseeker_disasm::format_insn(&parsed.text[off..], addr, mode) {
+            Ok((text, len)) => {
+                println!("  {addr:#x}: {text}");
+                off += len;
+            }
+            Err(_) => {
+                println!("  {addr:#x}: (bad) {:02x}", parsed.text[off]);
+                off += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Function *boundary* estimation on top of identified entries.
+//!
+//! The paper scopes FunSeeker to function **starts** — the metric IDA,
+//! Ghidra and FETCH are compared on. Downstream consumers (CFG builders,
+//! patchers) usually want `[start, end)` ranges too. This module derives
+//! them with the standard convention: a function extends from its entry
+//! to the last reachable-by-fallthrough instruction before the next
+//! entry, with trailing padding peeled off.
+
+use std::collections::BTreeSet;
+
+use funseeker_disasm::{InsnKind, LinearSweep, Mode};
+
+use crate::parse::Parsed;
+
+/// One estimated function extent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FunctionBounds {
+    /// Entry address.
+    pub start: u64,
+    /// One past the last instruction byte attributed to the function
+    /// (padding excluded).
+    pub end: u64,
+}
+
+impl FunctionBounds {
+    /// Size in bytes.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the range is empty (an entry with no decodable body).
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+}
+
+/// Derives boundaries for a set of identified entries.
+///
+/// Instructions between one entry and the next belong to the earlier
+/// function; trailing `NOP`/`INT3` alignment padding is trimmed.
+pub fn estimate_bounds(parsed: &Parsed<'_>, entries: &BTreeSet<u64>) -> Vec<FunctionBounds> {
+    let mode = if parsed.wide { Mode::Bits64 } else { Mode::Bits32 };
+    let insns: Vec<_> = LinearSweep::new(parsed.text, parsed.text_addr, mode).collect();
+    let starts: Vec<u64> = entries.iter().copied().collect();
+
+    let mut out = Vec::with_capacity(starts.len());
+    for (i, &start) in starts.iter().enumerate() {
+        let limit = starts.get(i + 1).copied().unwrap_or(parsed.text_end());
+        // Walk instructions in [start, limit), remembering the last
+        // non-padding one.
+        let from = insns.partition_point(|x| x.addr < start);
+        let mut end = start;
+        for insn in insns[from..].iter().take_while(|x| x.addr < limit) {
+            match insn.kind {
+                InsnKind::Nop | InsnKind::Int3 => {}
+                _ => end = insn.end(),
+            }
+        }
+        out.push(FunctionBounds { start, end: end.max(start) });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funseeker_elf::PltMap;
+
+    fn parsed(text: &[u8], addr: u64) -> Parsed<'_> {
+        Parsed {
+            text_addr: addr,
+            text,
+            wide: true,
+            landing_pads: BTreeSet::new(),
+            plt: PltMap::default(),
+            cet: Default::default(),
+        }
+    }
+
+    #[test]
+    fn bounds_trim_padding() {
+        // f0: endbr64; ret; [nop pad ×3] f1: endbr64; xor eax,eax; ret
+        let code = [
+            0xf3, 0x0f, 0x1e, 0xfa, 0xc3, // 0x1000..0x1005
+            0x90, 0x90, 0x90, // padding
+            0xf3, 0x0f, 0x1e, 0xfa, 0x31, 0xc0, 0xc3, // 0x1008..
+        ];
+        let p = parsed(&code, 0x1000);
+        let entries: BTreeSet<u64> = [0x1000u64, 0x1008].into_iter().collect();
+        let bounds = estimate_bounds(&p, &entries);
+        assert_eq!(bounds.len(), 2);
+        assert_eq!(bounds[0], FunctionBounds { start: 0x1000, end: 0x1005 });
+        assert_eq!(bounds[1], FunctionBounds { start: 0x1008, end: 0x100f });
+        assert_eq!(bounds[0].len(), 5);
+        assert!(!bounds[0].is_empty());
+    }
+
+    #[test]
+    fn last_function_extends_to_text_end() {
+        let code = [0xf3, 0x0f, 0x1e, 0xfa, 0x31, 0xc0, 0xc3];
+        let p = parsed(&code, 0x2000);
+        let entries: BTreeSet<u64> = [0x2000u64].into_iter().collect();
+        let bounds = estimate_bounds(&p, &entries);
+        assert_eq!(bounds[0].end, 0x2007);
+    }
+
+    #[test]
+    fn corpus_bounds_cover_ground_truth_sizes() {
+        use funseeker_corpus::{Dataset, DatasetParams};
+        let ds = Dataset::generate(&DatasetParams::tiny(), 3);
+        for bin in ds.binaries.iter().take(4) {
+            let parsed = crate::parse::parse(&bin.bytes).unwrap();
+            let truth = bin.truth.eval_entries();
+            let bounds = estimate_bounds(&parsed, &truth);
+            for (b, f) in bounds.iter().zip(bin.truth.functions.iter().filter(|f| !f.is_part)) {
+                assert_eq!(b.start, f.addr);
+                // The estimate may absorb an adjacent fragment, but never
+                // undershoots the function's real code.
+                assert!(
+                    b.len() >= f.size,
+                    "{}: estimated {} < real {}",
+                    f.name,
+                    b.len(),
+                    f.size
+                );
+            }
+        }
+    }
+}

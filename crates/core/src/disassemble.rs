@@ -1,0 +1,144 @@
+//! DISASSEMBLE — linear sweep producing `(E, C, J)` (Algorithm 1 line 3).
+
+use std::collections::BTreeSet;
+
+use funseeker_disasm::{InsnKind, LinearSweep, Mode};
+
+use crate::parse::Parsed;
+
+/// The raw material FILTERENDBR and SELECTTAILCALL work from.
+#[derive(Debug, Clone, Default)]
+pub struct SweepSets {
+    /// `E`: addresses of end-branch instructions in `.text`.
+    pub endbrs: Vec<u64>,
+    /// `C`: direct call targets that land inside `.text`.
+    pub call_targets: BTreeSet<u64>,
+    /// Direct unconditional jumps: `(site, target)` pairs with in-`.text`
+    /// targets — the raw `J` with provenance, which SELECTTAILCALL needs.
+    pub jmp_edges: Vec<(u64, u64)>,
+    /// All direct call sites as `(address_after_call, target)` — used to
+    /// spot indirect-return call sites whose following end-branch must be
+    /// filtered. Targets outside `.text` (PLT stubs) are *kept* here.
+    pub call_sites: Vec<(u64, u64)>,
+    /// Number of byte positions skipped on decode errors.
+    pub decode_errors: usize,
+}
+
+impl SweepSets {
+    /// `J` as a plain set of targets.
+    pub fn jmp_targets(&self) -> BTreeSet<u64> {
+        self.jmp_edges.iter().map(|&(_, t)| t).collect()
+    }
+}
+
+/// Superset-style end-branch recovery: scans the raw bytes for the
+/// 4-byte `ENDBR` pattern at every offset, independent of instruction
+/// boundaries. Complements the linear sweep when `.text` contains data
+/// or hand-written assembly that desynchronizes it (§VI future work).
+pub fn scan_endbr_pattern(p: &Parsed<'_>) -> Vec<u64> {
+    let marker: [u8; 4] = if p.wide {
+        [0xf3, 0x0f, 0x1e, 0xfa] // endbr64
+    } else {
+        [0xf3, 0x0f, 0x1e, 0xfb] // endbr32
+    };
+    p.text
+        .windows(4)
+        .enumerate()
+        .filter(|(_, w)| *w == marker)
+        .map(|(i, _)| p.text_addr + i as u64)
+        .collect()
+}
+
+/// Sweeps the `.text` section and collects the three sets.
+pub fn disassemble(p: &Parsed<'_>) -> SweepSets {
+    let mode = if p.wide { Mode::Bits64 } else { Mode::Bits32 };
+    let mut out = SweepSets::default();
+    let mut sweep = LinearSweep::new(p.text, p.text_addr, mode);
+    for insn in sweep.by_ref() {
+        match insn.kind {
+            InsnKind::Endbr64 | InsnKind::Endbr32 => out.endbrs.push(insn.addr),
+            InsnKind::CallRel { target } => {
+                out.call_sites.push((insn.end(), target));
+                if p.in_text(target) {
+                    out.call_targets.insert(target);
+                }
+            }
+            InsnKind::JmpRel { target }
+                if p.in_text(target) => {
+                    out.jmp_edges.push((insn.addr, target));
+                }
+            _ => {}
+        }
+    }
+    out.decode_errors = sweep.error_count();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funseeker_elf::PltMap;
+
+    fn parsed(text: &[u8], addr: u64, wide: bool) -> Parsed<'_> {
+        Parsed {
+            text_addr: addr,
+            text,
+            wide,
+            landing_pads: BTreeSet::new(),
+            plt: PltMap::default(),
+            cet: Default::default(),
+        }
+    }
+
+    #[test]
+    fn collects_endbr_calls_and_jumps() {
+        // 0x1000: endbr64
+        // 0x1004: call 0x100e (in text)
+        // 0x1009: jmp 0x1000 (in text)
+        // 0x100e: call 0x2000 (out of text — PLT-like)
+        // 0x1013: ret
+        let mut code = vec![0xf3, 0x0f, 0x1e, 0xfa];
+        code.push(0xe8);
+        code.extend_from_slice(&5i32.to_le_bytes()); // call +5 → 0x100e
+        code.push(0xe9);
+        code.extend_from_slice(&(-14i32).to_le_bytes()); // jmp → 0x1000
+        code.push(0xe8);
+        code.extend_from_slice(&0xfedi32.to_le_bytes()); // call → 0x2000
+        code.push(0xc3);
+        let p = parsed(&code, 0x1000, true);
+        let s = disassemble(&p);
+        assert_eq!(s.endbrs, vec![0x1000]);
+        assert!(s.call_targets.contains(&0x100e));
+        assert_eq!(s.call_targets.len(), 1, "out-of-text call target excluded from C");
+        assert_eq!(s.jmp_edges, vec![(0x1009, 0x1000)]);
+        // But the PLT-bound call site is retained for FILTERENDBR.
+        assert!(s.call_sites.iter().any(|&(_, t)| t == 0x2000));
+        assert_eq!(s.decode_errors, 0);
+    }
+
+    #[test]
+    fn conditional_jumps_are_not_in_j() {
+        // jne +2; nop; nop — Jcc targets are never tail-call candidates.
+        let code = [0x75, 0x02, 0x90, 0x90];
+        let p = parsed(&code, 0, true);
+        let s = disassemble(&p);
+        assert!(s.jmp_edges.is_empty());
+        assert!(s.call_targets.is_empty());
+    }
+
+    #[test]
+    fn short_jmp_counts_as_j() {
+        let code = [0xeb, 0x02, 0x90, 0x90, 0xc3];
+        let p = parsed(&code, 0x100, true);
+        let s = disassemble(&p);
+        assert_eq!(s.jmp_edges, vec![(0x100, 0x104)]);
+    }
+
+    #[test]
+    fn endbr32_in_32bit_mode() {
+        let code = [0xf3, 0x0f, 0x1e, 0xfb, 0xc3];
+        let p = parsed(&code, 0x8048000, false);
+        let s = disassemble(&p);
+        assert_eq!(s.endbrs, vec![0x8048000]);
+    }
+}

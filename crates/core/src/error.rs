@@ -1,0 +1,50 @@
+//! Analysis errors.
+
+use core::fmt;
+
+/// Errors from [`crate::FunSeeker::identify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The input is not a parseable ELF image.
+    Elf(funseeker_elf::Error),
+    /// The image has no `.text` section to analyze.
+    NoText,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Elf(e) => write!(f, "ELF parse error: {e}"),
+            Error::NoText => f.write_str("binary has no .text section"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Elf(e) => Some(e),
+            Error::NoText => None,
+        }
+    }
+}
+
+impl From<funseeker_elf::Error> for Error {
+    fn from(e: funseeker_elf::Error) -> Self {
+        Error::Elf(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_elf_errors_with_source() {
+        let e: Error = funseeker_elf::Error::BadClass(9).into();
+        assert!(e.to_string().contains("class"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&Error::NoText).is_none());
+    }
+}

@@ -1,0 +1,108 @@
+//! FILTERENDBR — drop end-branches that are not function entries
+//! (Algorithm 1 line 4, §IV-C).
+//!
+//! Two non-entry locations exist (§III-B): the instruction after a call
+//! to an *indirect-return* function (`setjmp` family), and C++ exception
+//! landing pads. Both are recognized from metadata that cannot be
+//! stripped: the PLT/relocation machinery and `.gcc_except_table`.
+
+use std::collections::BTreeSet;
+
+use crate::disassemble::SweepSets;
+use crate::parse::Parsed;
+
+/// GCC's list of indirect-return functions (from `special_function_p` in
+/// gcc/calls.c): calls to these are followed by an end-branch that is a
+/// *return point*, not a function entry.
+pub const INDIRECT_RETURN_FUNCTIONS: &[&str] =
+    &["setjmp", "_setjmp", "sigsetjmp", "__sigsetjmp", "vfork", "getcontext", "savectx"];
+
+/// Checks whether a PLT callee name is an indirect-return function.
+///
+/// Matches GCC's semantics: the unprefixed name and common
+/// leading-underscore aliases both count (e.g. `__vfork`).
+pub fn is_indirect_return_name(name: &str) -> bool {
+    let trimmed = name.trim_start_matches('_');
+    INDIRECT_RETURN_FUNCTIONS
+        .iter()
+        .any(|f| name == *f || trimmed == f.trim_start_matches('_'))
+}
+
+/// Computes `E′`: `E` minus setjmp-return points and landing pads.
+pub fn filter_endbr(p: &Parsed<'_>, sweep: &SweepSets) -> BTreeSet<u64> {
+    // Return points of indirect-return calls: address right after each
+    // call whose target is a PLT stub for a listed function.
+    let mut return_points = BTreeSet::new();
+    for &(after, target) in &sweep.call_sites {
+        if let Some(name) = p.plt.name_at(target) {
+            if is_indirect_return_name(name) {
+                return_points.insert(after);
+            }
+        }
+    }
+
+    sweep
+        .endbrs
+        .iter()
+        .copied()
+        .filter(|a| !return_points.contains(a) && !p.landing_pads.contains(a))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funseeker_elf::PltMap;
+
+    #[test]
+    fn name_matching_covers_aliases() {
+        for n in ["setjmp", "_setjmp", "sigsetjmp", "__sigsetjmp", "vfork", "__vfork", "getcontext", "savectx"] {
+            assert!(is_indirect_return_name(n), "{n}");
+        }
+        for n in ["longjmp", "fork", "malloc", "setjmp2", "mysetjmp"] {
+            assert!(!is_indirect_return_name(n), "{n}");
+        }
+    }
+
+    fn parsed_with(plt: PltMap, pads: &[u64]) -> Parsed<'static> {
+        Parsed {
+            text_addr: 0x1000,
+            text: &[],
+            wide: true,
+            landing_pads: pads.iter().copied().collect(),
+            plt,
+            cet: Default::default(),
+        }
+    }
+
+    #[test]
+    fn filters_setjmp_return_points() {
+        let plt = PltMap::from_pairs([(0x500u64, "setjmp"), (0x510, "puts")]);
+        let p = parsed_with(plt, &[]);
+        let sweep = SweepSets {
+            endbrs: vec![0x1000, 0x1040, 0x1080],
+            // call setjmp@plt ending at 0x1040; call puts@plt ending at 0x1080.
+            call_sites: vec![(0x1040, 0x500), (0x1080, 0x510)],
+            ..Default::default()
+        };
+        let e = filter_endbr(&p, &sweep);
+        assert!(e.contains(&0x1000));
+        assert!(!e.contains(&0x1040), "post-setjmp endbr must be dropped");
+        assert!(e.contains(&0x1080), "post-puts endbr is a coincidence and stays");
+    }
+
+    #[test]
+    fn filters_landing_pads() {
+        let p = parsed_with(PltMap::default(), &[0x1100, 0x1200]);
+        let sweep = SweepSets { endbrs: vec![0x1000, 0x1100, 0x1200], ..Default::default() };
+        let e = filter_endbr(&p, &sweep);
+        assert_eq!(e.into_iter().collect::<Vec<_>>(), vec![0x1000]);
+    }
+
+    #[test]
+    fn no_metadata_means_no_filtering() {
+        let p = parsed_with(PltMap::default(), &[]);
+        let sweep = SweepSets { endbrs: vec![1, 2, 3], ..Default::default() };
+        assert_eq!(filter_endbr(&p, &sweep).len(), 3);
+    }
+}

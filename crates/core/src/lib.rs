@@ -1,0 +1,48 @@
+//! **FunSeeker** — function identification for Intel CET-enabled
+//! binaries, reproducing the DSN 2022 paper *"How'd Security Benefit
+//! Reverse Engineers? The Implication of Intel CET on Function
+//! Identification"*.
+//!
+//! The algorithm (paper Algorithm 1) is deliberately simple and linear
+//! in the binary size:
+//!
+//! ```text
+//! FunSeeker(bin):
+//!   txt, exn = PARSE(bin)            // .text, landing pads, PLT map
+//!   E, C, J  = DISASSEMBLE(txt)      // endbr addrs, call targets, jmp edges
+//!   E′ = FILTERENDBR(E, exn)         // drop non-entry end-branches
+//!   J′ = SELECTTAILCALL(J)           // keep only tail-call targets
+//!   return E′ ∪ C ∪ J′
+//! ```
+//!
+//! The four Table II configurations (①–④) are exposed via [`Config`].
+//!
+//! # Quick example
+//!
+//! ```
+//! use funseeker::{Config, FunSeeker};
+//!
+//! let bytes = std::fs::read("/proc/self/exe").unwrap();
+//! let full = FunSeeker::new().identify(&bytes).unwrap();
+//! let naive = FunSeeker::with_config(Config::c1()).identify(&bytes).unwrap();
+//! println!("full: {} functions, naive: {}", full.functions.len(), naive.functions.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyzer;
+pub mod boundaries;
+mod config;
+mod error;
+
+pub mod disassemble;
+pub mod filter;
+pub mod parse;
+pub mod tailcall;
+
+pub use analyzer::{Analysis, FunSeeker};
+pub use boundaries::{estimate_bounds, FunctionBounds};
+pub use config::Config;
+pub use error::Error;
+pub use filter::{is_indirect_return_name, INDIRECT_RETURN_FUNCTIONS};

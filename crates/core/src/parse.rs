@@ -1,0 +1,100 @@
+//! PARSE — the binary front-end step of Algorithm 1 (line 2).
+//!
+//! Extracts the `.text` section, the C++ exception information (landing
+//! pads, via `.eh_frame` → `.gcc_except_table`), and the PLT name map
+//! used to recognize calls to indirect-return functions.
+
+use std::collections::BTreeSet;
+
+use funseeker_eh::{parse_eh_frame, parse_lsda};
+use funseeker_elf::{Class, Elf, PltMap};
+
+use crate::error::Error;
+
+/// Everything later stages need from the binary.
+#[derive(Debug, Clone)]
+pub struct Parsed<'a> {
+    /// `.text` load address.
+    pub text_addr: u64,
+    /// `.text` contents.
+    pub text: &'a [u8],
+    /// Whether this is a 64-bit image.
+    pub wide: bool,
+    /// Exception landing-pad addresses (`exn` in Algorithm 1; empty for
+    /// C binaries).
+    pub landing_pads: BTreeSet<u64>,
+    /// PLT stub address → imported name.
+    pub plt: PltMap,
+    /// CET capabilities declared in `.note.gnu.property`.
+    pub cet: funseeker_elf::CetProperties,
+}
+
+impl<'a> Parsed<'a> {
+    /// End of the `.text` range (exclusive).
+    pub fn text_end(&self) -> u64 {
+        self.text_addr + self.text.len() as u64
+    }
+
+    /// Whether `addr` lies within `.text`.
+    pub fn in_text(&self, addr: u64) -> bool {
+        addr >= self.text_addr && addr < self.text_end()
+    }
+}
+
+/// Parses a raw ELF image.
+///
+/// Exception information is best-effort: corrupt or exotic EH metadata
+/// degrades to "no landing pads" rather than failing the analysis, since
+/// FILTERENDBR treats `exn` as an optional reduction.
+pub fn parse(bytes: &[u8]) -> Result<Parsed<'_>, Error> {
+    let elf = Elf::parse(bytes)?;
+    let (text_addr, text) = elf.section_bytes(".text").ok_or(Error::NoText)?;
+    let wide = elf.class() == Class::Elf64;
+
+    let mut landing_pads = BTreeSet::new();
+    if let (Some((eh_addr, eh_data)), Some((gx_addr, gx_data))) =
+        (elf.section_bytes(".eh_frame"), elf.section_bytes(".gcc_except_table"))
+    {
+        if let Ok(frame) = parse_eh_frame(eh_data, eh_addr, wide) {
+            for fde in &frame.fdes {
+                let Some(lsda) = fde.lsda else { continue };
+                if let Ok(parsed) = parse_lsda(gx_data, gx_addr, lsda, fde.pc_begin, wide) {
+                    landing_pads.extend(parsed.landing_pads);
+                }
+            }
+        }
+    }
+
+    let plt = PltMap::from_elf(&elf).unwrap_or_default();
+    let cet = funseeker_elf::cet_properties(&elf).unwrap_or_default();
+
+    Ok(Parsed { text_addr, text, wide, landing_pads, plt, cet })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_elf() {
+        assert!(matches!(parse(b"not an elf"), Err(Error::Elf(_))));
+    }
+
+    #[test]
+    fn rejects_textless_elf() {
+        use funseeker_elf::{ElfBuilder, Machine, ObjectType};
+        let b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::Executable);
+        let bytes = b.build().unwrap();
+        assert!(matches!(parse(&bytes), Err(Error::NoText)));
+    }
+
+    #[test]
+    fn parses_own_executable() {
+        let bytes = std::fs::read("/proc/self/exe").unwrap();
+        let p = parse(&bytes).unwrap();
+        assert!(p.wide);
+        assert!(!p.text.is_empty());
+        assert!(p.in_text(p.text_addr));
+        assert!(!p.in_text(p.text_end()));
+    }
+}

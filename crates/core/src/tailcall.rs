@@ -1,0 +1,129 @@
+//! SELECTTAILCALL — choose the jump targets that are tail calls
+//! (Algorithm 1 line 5, §IV-D).
+//!
+//! A direct jump target joins `J′` only when:
+//!
+//! 1. it lies **beyond the boundary** of the function the jump belongs to
+//!    (condition suggested by Qiao et al.), and
+//! 2. it is **referenced by multiple functions** other than the one it
+//!    would fall inside (inspired by FETCH).
+//!
+//! "Function boundaries" here are approximated by the candidate set
+//! `E′ ∪ C`: each candidate starts an interval that runs to the next
+//! candidate, exactly the cheap approximation the paper's linear-time
+//! budget allows.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Identifies tail-call targets among the jump edges.
+///
+/// * `candidates` — the current function-start estimate (`E′ ∪ C`).
+/// * `jmp_edges` — `(site, target)` pairs of direct unconditional jumps.
+/// * `min_referers` — condition (2)'s threshold ("multiple" = 2 in the
+///   default configuration).
+pub fn select_tail_calls(
+    candidates: &BTreeSet<u64>,
+    jmp_edges: &[(u64, u64)],
+    min_referers: usize,
+) -> BTreeSet<u64> {
+    // Interval id of an address = the greatest candidate ≤ address
+    // (None for addresses before the first candidate).
+    let interval = |addr: u64| -> Option<u64> { candidates.range(..=addr).next_back().copied() };
+
+    // target → set of referring intervals (excluding the target's own).
+    let mut referers: BTreeMap<u64, BTreeSet<Option<u64>>> = BTreeMap::new();
+    for &(site, target) in jmp_edges {
+        if candidates.contains(&target) {
+            continue; // already identified; nothing to decide
+        }
+        let site_iv = interval(site);
+        let target_iv = interval(target);
+        // Condition (1): the jump must leave its own function's interval.
+        if site_iv == target_iv {
+            continue;
+        }
+        referers.entry(target).or_default().insert(site_iv);
+    }
+
+    referers
+        .into_iter()
+        .filter(|(_, ivs)| ivs.len() >= min_referers)
+        .map(|(t, _)| t)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cands(v: &[u64]) -> BTreeSet<u64> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn intra_function_jumps_are_rejected() {
+        // One function at 0x100; jumps inside it never qualify.
+        let c = cands(&[0x100]);
+        let edges = [(0x110u64, 0x150u64), (0x120, 0x150), (0x130, 0x150)];
+        assert!(select_tail_calls(&c, &edges, 2).is_empty());
+    }
+
+    #[test]
+    fn shared_target_is_selected() {
+        // Functions at 0x100, 0x200, 0x300; both 0x100 and 0x200 jump to
+        // 0x350 (inside 0x300's interval — a fragment-looking target that
+        // is really a tail-called function at 0x350? No: 0x350 is beyond
+        // both jump sites' own intervals and referenced by two distinct
+        // functions, so it is selected).
+        let c = cands(&[0x100, 0x200, 0x300]);
+        let edges = [(0x110u64, 0x350u64), (0x210, 0x350)];
+        let sel = select_tail_calls(&c, &edges, 2);
+        assert_eq!(sel.into_iter().collect::<Vec<_>>(), vec![0x350]);
+    }
+
+    #[test]
+    fn single_referer_is_rejected_at_threshold_two() {
+        let c = cands(&[0x100, 0x200]);
+        let edges = [(0x110u64, 0x250u64)];
+        assert!(select_tail_calls(&c, &edges, 2).is_empty());
+        // …but accepted when the threshold is relaxed.
+        assert_eq!(select_tail_calls(&c, &edges, 1).len(), 1);
+    }
+
+    #[test]
+    fn jumps_from_targets_own_interval_do_not_count() {
+        // Target 0x250 lives in 0x200's interval; a jump from 0x210
+        // (same interval) must not count as a referer.
+        let c = cands(&[0x100, 0x200]);
+        let edges = [(0x210u64, 0x250u64), (0x110, 0x250)];
+        let sel = select_tail_calls(&c, &edges, 2);
+        assert!(sel.is_empty(), "only one *other* function refers to 0x250");
+        let sel = select_tail_calls(&c, &edges, 1);
+        assert_eq!(sel.len(), 1);
+    }
+
+    #[test]
+    fn already_identified_targets_are_skipped() {
+        let c = cands(&[0x100, 0x200]);
+        let edges = [(0x110u64, 0x200u64), (0x150, 0x200)];
+        assert!(select_tail_calls(&c, &edges, 2).is_empty());
+    }
+
+    #[test]
+    fn multiple_distinct_referers_required_not_multiple_jumps() {
+        // Two jumps from the same function are one referer.
+        let c = cands(&[0x100, 0x200, 0x300]);
+        let edges = [(0x110u64, 0x350u64), (0x120, 0x350)];
+        assert!(select_tail_calls(&c, &edges, 2).is_empty());
+    }
+
+    #[test]
+    fn empty_candidates_use_prelude_interval() {
+        // With no candidates at all, every site shares interval None, so
+        // nothing distinguishes functions and nothing is selected at
+        // threshold 2.
+        let c = cands(&[]);
+        let edges = [(0x10u64, 0x50u64), (0x20, 0x50)];
+        assert!(select_tail_calls(&c, &edges, 2).is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! Accuracy of the full FunSeeker pipeline against corpus ground truth.
+//!
+//! These are the coarse sanity gates; the fine-grained per-suite numbers
+//! are produced by `funseeker-eval` (Tables II/III).
+
+use funseeker::{Config, FunSeeker};
+use funseeker_corpus::{BuildConfig, Dataset, DatasetParams};
+
+fn dataset() -> Dataset {
+    let mut params = DatasetParams::tiny();
+    params.programs = (4, 2, 3);
+    params.configs = BuildConfig::grid();
+    Dataset::generate(&params, 0xFACADE)
+}
+
+fn prf(found: &std::collections::BTreeSet<u64>, truth: &std::collections::BTreeSet<u64>) -> (f64, f64) {
+    let tp = found.intersection(truth).count() as f64;
+    let p = if found.is_empty() { 1.0 } else { tp / found.len() as f64 };
+    let r = if truth.is_empty() { 1.0 } else { tp / truth.len() as f64 };
+    (p, r)
+}
+
+#[test]
+fn config4_exceeds_99_percent_on_the_corpus() {
+    let ds = dataset();
+    let seeker = FunSeeker::new();
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    for bin in &ds.binaries {
+        let truth = bin.truth.eval_entries();
+        let a = seeker.identify(&bin.bytes).unwrap();
+        tp += a.functions.intersection(&truth).count();
+        fp += a.functions.difference(&truth).count();
+        fn_ += truth.difference(&a.functions).count();
+    }
+    let prec = tp as f64 / (tp + fp) as f64;
+    let rec = tp as f64 / (tp + fn_) as f64;
+    eprintln!("corpus-wide: precision {prec:.4}, recall {rec:.4} (tp={tp} fp={fp} fn={fn_})");
+    assert!(prec > 0.98, "precision {prec:.4} (paper: >0.99)");
+    assert!(rec > 0.99, "recall {rec:.4} (paper: >0.998)");
+}
+
+#[test]
+fn per_binary_recall_never_collapses() {
+    let ds = dataset();
+    let seeker = FunSeeker::new();
+    for bin in &ds.binaries {
+        let truth = bin.truth.eval_entries();
+        let a = seeker.identify(&bin.bytes).unwrap();
+        let (p, r) = prf(&a.functions, &truth);
+        assert!(
+            r > 0.9,
+            "{} {}: recall {r:.3} precision {p:.3}",
+            bin.program,
+            bin.config.label()
+        );
+        assert!(
+            p > 0.9,
+            "{} {}: precision {p:.3}",
+            bin.program,
+            bin.config.label()
+        );
+        assert_eq!(a.decode_errors, 0);
+    }
+}
+
+#[test]
+fn ablation_shape_matches_table2() {
+    // ①: recall high, precision hurt on C++ (landing pads).
+    // ②: precision recovers, recall unchanged.
+    // ③: recall max, precision collapses.
+    // ④: precision close to ②, recall ≥ ②.
+    let ds = dataset();
+    let mut agg = [(0usize, 0usize, 0usize); 4]; // (tp, fp, fn) per config
+    let configs = Config::table2();
+    for bin in &ds.binaries {
+        let truth = bin.truth.eval_entries();
+        for (i, (_, cfg)) in configs.iter().enumerate() {
+            let a = FunSeeker::with_config(*cfg).identify(&bin.bytes).unwrap();
+            agg[i].0 += a.functions.intersection(&truth).count();
+            agg[i].1 += a.functions.difference(&truth).count();
+            agg[i].2 += truth.difference(&a.functions).count();
+        }
+    }
+    let pr = |(tp, fp, fnn): (usize, usize, usize)| {
+        (tp as f64 / (tp + fp) as f64, tp as f64 / (tp + fnn) as f64)
+    };
+    let (p1, r1) = pr(agg[0]);
+    let (p2, r2) = pr(agg[1]);
+    let (p3, r3) = pr(agg[2]);
+    let (p4, r4) = pr(agg[3]);
+    eprintln!("1: P={p1:.4} R={r1:.4}\n2: P={p2:.4} R={r2:.4}\n3: P={p3:.4} R={r3:.4}\n4: P={p4:.4} R={r4:.4}");
+
+    assert!(p2 > p1, "FILTERENDBR must improve precision");
+    assert!((r2 - r1).abs() < 1e-9, "FILTERENDBR must not change recall");
+    assert!(r3 >= r2, "adding J can only help recall");
+    assert!(p3 < 0.7, "raw J floods false positives (paper: ~26%)");
+    assert!(p4 > p3 + 0.2, "SELECTTAILCALL recovers precision");
+    assert!(r4 >= r2, "J′ helps recall over ②");
+    assert!(p4 > 0.97, "④ precision must stay high");
+}

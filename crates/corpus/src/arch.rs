@@ -1,0 +1,95 @@
+//! Target architecture descriptors.
+
+use funseeker_disasm::Mode;
+use funseeker_elf::{Class, Machine};
+
+/// The two architectures of the study (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Arch {
+    /// 32-bit x86.
+    X86,
+    /// 64-bit x86-64.
+    X64,
+}
+
+impl Arch {
+    /// Decode mode for this architecture.
+    pub fn mode(self) -> Mode {
+        match self {
+            Arch::X86 => Mode::Bits32,
+            Arch::X64 => Mode::Bits64,
+        }
+    }
+
+    /// ELF class.
+    pub fn class(self) -> Class {
+        match self {
+            Arch::X86 => Class::Elf32,
+            Arch::X64 => Class::Elf64,
+        }
+    }
+
+    /// ELF machine.
+    pub fn machine(self) -> Machine {
+        match self {
+            Arch::X86 => Machine::X86,
+            Arch::X64 => Machine::X86_64,
+        }
+    }
+
+    /// Conventional image base for non-PIE executables.
+    pub fn exec_base(self) -> u64 {
+        match self {
+            Arch::X86 => 0x0804_8000,
+            Arch::X64 => 0x0040_0000,
+        }
+    }
+
+    /// Conventional load base for PIEs (link-time addresses).
+    pub fn pie_base(self) -> u64 {
+        0x1000
+    }
+
+    /// The end-branch marker bytes for this architecture.
+    pub fn endbr(self) -> [u8; 4] {
+        match self {
+            Arch::X86 => [0xf3, 0x0f, 0x1e, 0xfb], // endbr32
+            Arch::X64 => [0xf3, 0x0f, 0x1e, 0xfa], // endbr64
+        }
+    }
+
+    /// Pointer width in bytes.
+    pub fn ptr_size(self) -> usize {
+        match self {
+            Arch::X86 => 4,
+            Arch::X64 => 8,
+        }
+    }
+
+    /// Short label used in tables ("x86" / "x64").
+    pub fn label(self) -> &'static str {
+        match self {
+            Arch::X86 => "x86",
+            Arch::X64 => "x64",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_consistency() {
+        assert_eq!(Arch::X64.mode(), Mode::Bits64);
+        assert_eq!(Arch::X86.mode(), Mode::Bits32);
+        assert_eq!(Arch::X64.class(), Class::Elf64);
+        assert_eq!(Arch::X86.class(), Class::Elf32);
+        assert_eq!(Arch::X64.ptr_size(), 8);
+        assert_eq!(Arch::X86.ptr_size(), 4);
+        assert_eq!(Arch::X64.endbr()[3], 0xfa);
+        assert_eq!(Arch::X86.endbr()[3], 0xfb);
+        assert!(Arch::X86.exec_base() > 0x800_0000);
+        assert_eq!(Arch::X64.label(), "x64");
+    }
+}

@@ -1,0 +1,444 @@
+//! A tiny x86/x86-64 assembler for the corpus compiler.
+//!
+//! Emits exactly the instruction shapes real compilers produce around the
+//! constructs that matter to function identification: CET markers, frame
+//! prologues/epilogues, direct and indirect calls, `notrack` switch
+//! dispatch, and a menu of deterministic filler instructions. Cross-unit
+//! references are recorded as [`Fixup`]s and patched after layout.
+//!
+//! Every encoding emitted here is round-tripped through
+//! `funseeker-disasm` in this module's tests, so the corpus can never
+//! drift away from what the decoder understands.
+
+use crate::arch::Arch;
+
+/// What a fixup's displacement refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Entry address of emission unit `i` (function, fragment, thunk…).
+    Unit(usize),
+    /// `offset` bytes past the entry of unit `i`.
+    UnitOffset(usize, usize),
+    /// PLT stub `i` (in call order of discovery).
+    Plt(usize),
+    /// Byte offset into `.rodata`.
+    Rodata(usize),
+}
+
+/// How the patch is applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixupKind {
+    /// 32-bit displacement relative to the end of the 4-byte field.
+    Rel32,
+    /// 32-bit absolute address.
+    Abs32,
+}
+
+/// One pending reference inside a unit's code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fixup {
+    /// Byte offset of the 4-byte field within the unit.
+    pub pos: usize,
+    /// Patch style.
+    pub kind: FixupKind,
+    /// What the field refers to.
+    pub target: Target,
+}
+
+/// Per-unit code emitter.
+#[derive(Debug, Clone)]
+pub struct Assembler {
+    arch: Arch,
+    /// Emitted bytes.
+    pub code: Vec<u8>,
+    /// Pending cross-unit references.
+    pub fixups: Vec<Fixup>,
+}
+
+impl Assembler {
+    /// Starts an empty unit for `arch`.
+    pub fn new(arch: Arch) -> Self {
+        Assembler { arch, code: Vec::new(), fixups: Vec::new() }
+    }
+
+    /// Current offset — usable as a label.
+    pub fn here(&self) -> usize {
+        self.code.len()
+    }
+
+    fn emit(&mut self, bytes: &[u8]) {
+        self.code.extend_from_slice(bytes);
+    }
+
+    fn fixup32(&mut self, kind: FixupKind, target: Target) {
+        self.fixups.push(Fixup { pos: self.code.len(), kind, target });
+        self.emit(&[0, 0, 0, 0]);
+    }
+
+    /// Emits raw bytes (caller guarantees they decode).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.emit(bytes);
+    }
+
+    /// `jne rel32` to another unit — GCC's edge into a `.cold` fragment.
+    pub fn jne_unit(&mut self, unit: usize) {
+        self.emit(&[0x0f, 0x85]);
+        self.fixup32(FixupKind::Rel32, Target::Unit(unit));
+    }
+
+    /// `endbr64` / `endbr32` per architecture.
+    pub fn endbr(&mut self) {
+        let bytes = self.arch.endbr();
+        self.emit(&bytes);
+    }
+
+    /// Standard frame prologue (`push rbp; mov rbp, rsp; sub rsp, 0x20`)
+    /// or the frameless `-O2` variant (`sub rsp, 0x18`).
+    pub fn prologue(&mut self, frame_pointer: bool) {
+        match (self.arch, frame_pointer) {
+            (Arch::X64, true) => self.emit(&[0x55, 0x48, 0x89, 0xe5, 0x48, 0x83, 0xec, 0x20]),
+            (Arch::X64, false) => self.emit(&[0x48, 0x83, 0xec, 0x18]),
+            (Arch::X86, true) => self.emit(&[0x55, 0x89, 0xe5, 0x83, 0xec, 0x20]),
+            (Arch::X86, false) => self.emit(&[0x83, 0xec, 0x18]),
+        }
+    }
+
+    /// Matching epilogue, ending in `ret`.
+    pub fn epilogue(&mut self, frame_pointer: bool) {
+        match (self.arch, frame_pointer) {
+            (Arch::X64, true) | (Arch::X86, true) => self.emit(&[0xc9, 0xc3]), // leave; ret
+            (Arch::X64, false) => self.emit(&[0x48, 0x83, 0xc4, 0x18, 0xc3]),
+            (Arch::X86, false) => self.emit(&[0x83, 0xc4, 0x18, 0xc3]),
+        }
+    }
+
+    /// Epilogue that ends in a tail jump instead of `ret`.
+    pub fn epilogue_tail_jmp(&mut self, frame_pointer: bool, target_unit: usize) {
+        match (self.arch, frame_pointer) {
+            (Arch::X64, true) | (Arch::X86, true) => self.emit(&[0xc9]),
+            (Arch::X64, false) => self.emit(&[0x48, 0x83, 0xc4, 0x18]),
+            (Arch::X86, false) => self.emit(&[0x83, 0xc4, 0x18]),
+        }
+        self.jmp_unit(target_unit);
+    }
+
+    /// `call rel32` to another unit.
+    pub fn call_unit(&mut self, unit: usize) {
+        self.emit(&[0xe8]);
+        self.fixup32(FixupKind::Rel32, Target::Unit(unit));
+    }
+
+    /// `jmp rel32` to another unit (tail call / fragment edge).
+    pub fn jmp_unit(&mut self, unit: usize) {
+        self.emit(&[0xe9]);
+        self.fixup32(FixupKind::Rel32, Target::Unit(unit));
+    }
+
+    /// `jmp rel32` back into a unit at a given offset (cold-fragment
+    /// return edge).
+    pub fn jmp_unit_offset(&mut self, unit: usize, offset: usize) {
+        self.emit(&[0xe9]);
+        self.fixup32(FixupKind::Rel32, Target::UnitOffset(unit, offset));
+    }
+
+    /// `call rel32` to PLT stub `i`.
+    pub fn call_plt(&mut self, plt: usize) {
+        self.emit(&[0xe8]);
+        self.fixup32(FixupKind::Rel32, Target::Plt(plt));
+    }
+
+    /// Takes the address of a unit into `rax`/`eax`:
+    /// x86-64 uses RIP-relative `lea`, x86 a 32-bit immediate `mov`.
+    pub fn take_address(&mut self, unit: usize) {
+        match self.arch {
+            Arch::X64 => {
+                self.emit(&[0x48, 0x8d, 0x05]); // lea rax, [rip+rel32]
+                self.fixup32(FixupKind::Rel32, Target::Unit(unit));
+            }
+            Arch::X86 => {
+                self.emit(&[0xb8]); // mov eax, imm32
+                self.fixup32(FixupKind::Abs32, Target::Unit(unit));
+            }
+        }
+    }
+
+    /// `call rax` / `call eax` — indirect call through the pointer just
+    /// taken.
+    pub fn call_reg(&mut self) {
+        self.emit(&[0xff, 0xd0]);
+    }
+
+    /// `test eax, eax; jne +skip` — the classic post-`setjmp` check.
+    pub fn test_eax_jne(&mut self, skip: u8) {
+        self.emit(&[0x85, 0xc0, 0x75, skip]);
+    }
+
+    /// `xor eax, eax` — common return-value zeroing.
+    pub fn zero_eax(&mut self) {
+        self.emit(&[0x31, 0xc0]);
+    }
+
+    /// `mov eax, imm32`.
+    pub fn mov_eax_imm(&mut self, imm: u32) {
+        self.emit(&[0xb8]);
+        self.emit(&imm.to_le_bytes());
+    }
+
+    /// Unconditional short jump of `disp` bytes (intra-unit).
+    pub fn jmp_short(&mut self, disp: i8) {
+        self.emit(&[0xeb, disp as u8]);
+    }
+
+    /// `hlt`.
+    pub fn hlt(&mut self) {
+        self.emit(&[0xf4]);
+    }
+
+    /// `ud2`.
+    pub fn ud2(&mut self) {
+        self.emit(&[0x0f, 0x0b]);
+    }
+
+    /// `ret`.
+    pub fn ret(&mut self) {
+        self.emit(&[0xc3]);
+    }
+
+    /// `mov ebx, [esp]; ret` — the body of `__x86.get_pc_thunk.bx`.
+    pub fn pc_thunk_body(&mut self) {
+        self.emit(&[0x8b, 0x1c, 0x24, 0xc3]);
+    }
+
+    /// Switch dispatch via `notrack jmp` (§II, Figure 1b).
+    ///
+    /// Emits the bounds check and the indirect dispatch; the jump table
+    /// lives at `table` in `.rodata` with `cases` entries. Returns the
+    /// *relative* entry width: 4-byte self-relative entries for the PIE
+    /// x86-64 flavor, pointer-size absolute entries otherwise.
+    pub fn switch_dispatch(&mut self, cases: usize, pie: bool, table: usize) -> SwitchStyle {
+        debug_assert!((1..=127).contains(&cases));
+        // cmp eax, cases-1 ; ja +N (skip the dispatch sequence)
+        match (self.arch, pie) {
+            (Arch::X64, true) => {
+                self.emit(&[0x83, 0xf8, (cases - 1) as u8]);
+                self.emit(&[0x77, 17]); // lea(7) + movsxd(4) + add(3) + notrack jmp(3)
+                self.emit(&[0x48, 0x8d, 0x15]); // lea rdx, [rip+table]
+                self.fixup32(FixupKind::Rel32, Target::Rodata(table));
+                self.emit(&[0x48, 0x63, 0x04, 0x82]); // movsxd rax, [rdx+rax*4]
+                self.emit(&[0x48, 0x01, 0xd0]); // add rax, rdx
+                self.emit(&[0x3e, 0xff, 0xe0]); // notrack jmp rax
+                SwitchStyle::RelativeToTable
+            }
+            (Arch::X64, false) => {
+                self.emit(&[0x83, 0xf8, (cases - 1) as u8]);
+                self.emit(&[0x77, 8]); // notrack jmp [rax*8+table] is 8 bytes
+                self.emit(&[0x3e, 0xff, 0x24, 0xc5]);
+                self.fixup32(FixupKind::Abs32, Target::Rodata(table));
+                SwitchStyle::Absolute64
+            }
+            (Arch::X86, _) => {
+                self.emit(&[0x83, 0xf8, (cases - 1) as u8]);
+                self.emit(&[0x77, 8]); // notrack jmp [eax*4+table] is 8 bytes
+                self.emit(&[0x3e, 0xff, 0x24, 0x85]);
+                self.fixup32(FixupKind::Abs32, Target::Rodata(table));
+                SwitchStyle::Absolute32
+            }
+        }
+    }
+
+    /// One filler instruction chosen by `selector`; deterministic and
+    /// architecture-valid. Covers the common compiler vocabulary so the
+    /// decoder is exercised broadly.
+    pub fn filler(&mut self, selector: u64) {
+        let imm = (selector >> 8) as u32 | 1;
+        match selector % 14 {
+            0 => self.mov_eax_imm(imm),
+            1 => {
+                self.emit(&[0xb9]); // mov ecx, imm32
+                self.emit(&imm.to_le_bytes());
+            }
+            2 => self.emit(&[0x01, 0xc8]), // add eax, ecx
+            3 => self.emit(&[0x31, 0xd2]), // xor edx, edx
+            4 => match self.arch {
+                Arch::X64 => self.emit(&[0x48, 0x8d, 0x45, 0xf8]), // lea rax, [rbp-8]
+                Arch::X86 => self.emit(&[0x8d, 0x45, 0xf8]),       // lea eax, [ebp-8]
+            },
+            5 => self.emit(&[0x89, 0x45, 0xf8]), // mov [rbp-8], eax
+            6 => self.emit(&[0x8b, 0x45, 0xf8]), // mov eax, [rbp-8]
+            7 => self.emit(&[0x83, 0xf8, (imm & 0x7f) as u8]), // cmp eax, imm8
+            8 => self.emit(&[0x0f, 0xb6, 0xc0]), // movzx eax, al
+            9 => self.emit(&[0x85, 0xc0]),       // test eax, eax
+            10 => self.emit(&[0x0f, 0xaf, 0xc1]), // imul eax, ecx
+            11 => {
+                // Conditional hop over a 2-byte instruction — realistic
+                // if/else shape with a safe landing point.
+                self.emit(&[0x74, 0x02, 0x31, 0xd2]); // je +2; xor edx, edx
+            }
+            12 => self.emit(&[0x0f, 0x28, 0xc1]), // movaps xmm0, xmm1
+            _ => {
+                // Unconditional hop over a 2-byte instruction — the
+                // if/else join shape that floods J in configuration ③.
+                self.emit(&[0xeb, 0x02, 0x01, 0xc8]); // jmp +2; add eax, ecx
+            }
+        }
+    }
+
+    /// 16-byte-alignment padding with the multi-byte NOPs GCC uses.
+    pub fn align_pad(code: &mut Vec<u8>, align: usize) {
+        while !code.len().is_multiple_of(align) {
+            let gap = align - code.len() % align;
+            let nop: &[u8] = match gap {
+                1 => &[0x90],
+                2 => &[0x66, 0x90],
+                3 => &[0x0f, 0x1f, 0x00],
+                4 => &[0x0f, 0x1f, 0x40, 0x00],
+                5 => &[0x0f, 0x1f, 0x44, 0x00, 0x00],
+                6 => &[0x66, 0x0f, 0x1f, 0x44, 0x00, 0x00],
+                7 => &[0x0f, 0x1f, 0x80, 0x00, 0x00, 0x00, 0x00],
+                _ => &[0x0f, 0x1f, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00],
+            };
+            code.extend_from_slice(nop);
+        }
+    }
+}
+
+/// Jump-table entry format produced by [`Assembler::switch_dispatch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchStyle {
+    /// 4-byte entries holding `case_addr - table_addr`.
+    RelativeToTable,
+    /// 8-byte absolute case addresses.
+    Absolute64,
+    /// 4-byte absolute case addresses.
+    Absolute32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funseeker_disasm::{InsnKind, LinearSweep};
+
+    /// Decodes everything an assembler emitted and asserts full coverage
+    /// (no decode errors, no gaps).
+    fn assert_clean(asm: &Assembler) -> Vec<funseeker_disasm::Insn> {
+        let mut code = asm.code.clone();
+        // Patch fixup holes with harmless displacement values so branch
+        // decoding has something to chew on.
+        for f in &asm.fixups {
+            code[f.pos..f.pos + 4].copy_from_slice(&0x10u32.to_le_bytes());
+        }
+        let mut sweep = LinearSweep::new(&code, 0x1000, asm.arch.mode());
+        let insns: Vec<_> = sweep.by_ref().collect();
+        assert_eq!(sweep.error_count(), 0, "decode errors in emitted code");
+        let mut expect = 0x1000u64;
+        for i in &insns {
+            assert_eq!(i.addr, expect, "gap or overlap at {expect:#x}");
+            expect = i.end();
+        }
+        assert_eq!(expect, 0x1000 + code.len() as u64, "trailing undecoded bytes");
+        insns
+    }
+
+    #[test]
+    fn full_function_shape_decodes_cleanly_x64() {
+        let mut a = Assembler::new(Arch::X64);
+        a.endbr();
+        a.prologue(true);
+        for s in 0..40 {
+            a.filler(s * 2654435761);
+        }
+        a.call_unit(3);
+        a.call_plt(0);
+        a.take_address(2);
+        a.call_reg();
+        a.test_eax_jne(4);
+        a.switch_dispatch(5, true, 0);
+        a.zero_eax();
+        a.epilogue(true);
+        let insns = assert_clean(&a);
+        assert!(insns.iter().any(|i| i.kind == InsnKind::Endbr64));
+        assert!(insns.iter().any(|i| matches!(i.kind, InsnKind::JmpInd { notrack: true })));
+        assert!(insns.iter().any(|i| matches!(i.kind, InsnKind::Ret)));
+    }
+
+    #[test]
+    fn full_function_shape_decodes_cleanly_x86() {
+        let mut a = Assembler::new(Arch::X86);
+        a.endbr();
+        a.prologue(false);
+        for s in 0..40 {
+            a.filler(s * 0x9e3779b9);
+        }
+        a.call_unit(1);
+        a.take_address(1);
+        a.call_reg();
+        a.switch_dispatch(7, false, 16);
+        a.epilogue(false);
+        let insns = assert_clean(&a);
+        assert!(insns.iter().any(|i| i.kind == InsnKind::Endbr32));
+        assert!(insns.iter().any(|i| matches!(i.kind, InsnKind::JmpInd { notrack: true })));
+    }
+
+    #[test]
+    fn switch_dispatch_ja_skips_exactly_the_dispatch() {
+        // The `ja` displacement must land exactly past the notrack jmp for
+        // all three styles, or the fall-through default case would start
+        // mid-instruction.
+        for (arch, pie) in [(Arch::X64, true), (Arch::X64, false), (Arch::X86, false)] {
+            let mut a = Assembler::new(arch);
+            let start = a.here();
+            a.switch_dispatch(4, pie, 0);
+            let end = a.here();
+            // The ja is always at start+3 with an 8-bit displacement at
+            // start+4; its target must be `end`.
+            let ja_end = start + 5;
+            let disp = a.code[start + 4] as usize;
+            assert_eq!(ja_end + disp, end, "arch {arch:?} pie {pie}");
+        }
+    }
+
+    #[test]
+    fn every_filler_variant_decodes_on_both_arches() {
+        for arch in [Arch::X86, Arch::X64] {
+            for v in 0..14u64 {
+                let mut a = Assembler::new(arch);
+                a.filler(v + (v << 13) + 0xabcd00);
+                assert_clean(&a);
+            }
+        }
+    }
+
+    #[test]
+    fn alignment_padding_is_all_nops() {
+        for target in 1..=16usize {
+            let mut code = vec![0u8; target];
+            Assembler::align_pad(&mut code, 16);
+            assert_eq!(code.len() % 16, 0);
+            let pad = &code[target..];
+            if pad.is_empty() {
+                continue;
+            }
+            let insns: Vec<_> = LinearSweep::new(pad, 0, funseeker_disasm::Mode::Bits64).collect();
+            assert!(insns.iter().all(|i| i.kind == InsnKind::Nop), "pad for {target}: {insns:?}");
+        }
+    }
+
+    #[test]
+    fn fixups_record_positions() {
+        let mut a = Assembler::new(Arch::X64);
+        a.call_unit(9);
+        assert_eq!(a.fixups.len(), 1);
+        assert_eq!(a.fixups[0].pos, 1);
+        assert_eq!(a.fixups[0].target, Target::Unit(9));
+        assert_eq!(a.fixups[0].kind, FixupKind::Rel32);
+        assert_eq!(a.code.len(), 5);
+    }
+
+    #[test]
+    fn pc_thunk_decodes() {
+        let mut a = Assembler::new(Arch::X86);
+        a.pc_thunk_body();
+        let insns = assert_clean(&a);
+        assert_eq!(insns.last().unwrap().kind, InsnKind::Ret);
+    }
+}

@@ -1,0 +1,546 @@
+//! Lowering: [`ProgramSpec`] → emission units with fixups.
+//!
+//! This is the corpus "compiler middle end". It turns each function spec
+//! into machine code following the modeled compiler's CET emission rules,
+//! synthesizes the entities a real toolchain adds (`_start`, x86 PIC
+//! thunks, `.cold`/`.part` fragments), and records everything the linker
+//! stage and the ground truth need.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::arch::Arch;
+use crate::asm::{Assembler, Fixup, SwitchStyle};
+use crate::config::{BuildConfig, Compiler};
+use crate::spec::{Lang, Linkage, ProgramSpec};
+
+/// One jump-table entry to patch into `.rodata` after layout.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TableEntry {
+    /// Where the entry bytes live in `.rodata`.
+    pub rodata_off: usize,
+    /// Table base offset (for self-relative entries).
+    pub table_off: usize,
+    /// Unit whose label the entry points at.
+    pub unit: usize,
+    /// Label offset within that unit.
+    pub label_off: usize,
+    /// Entry format.
+    pub style: SwitchStyle,
+}
+
+/// One LSDA call-site record in unit-relative terms.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PadSite {
+    /// Protected-region start offset.
+    pub start: usize,
+    /// Protected-region length.
+    pub len: usize,
+    /// Landing-pad offset within the unit.
+    pub pad_off: usize,
+}
+
+/// One emission unit: a function, fragment, or synthesized entity.
+#[derive(Debug, Clone)]
+pub(crate) struct Unit {
+    pub name: String,
+    pub code: Vec<u8>,
+    pub fixups: Vec<Fixup>,
+    pub tables: Vec<TableEntry>,
+    pub pad_sites: Vec<PadSite>,
+    /// Offsets of end-branches following indirect-return call sites.
+    pub setjmp_endbrs: Vec<usize>,
+    pub endbr: bool,
+    pub is_part: bool,
+    pub is_thunk: bool,
+    pub is_start: bool,
+    pub has_symbol: bool,
+    pub dead: bool,
+    pub is_static: bool,
+}
+
+impl Unit {
+    fn new(name: impl Into<String>) -> Self {
+        Unit {
+            name: name.into(),
+            code: Vec::new(),
+            fixups: Vec::new(),
+            tables: Vec::new(),
+            pad_sites: Vec::new(),
+            setjmp_endbrs: Vec::new(),
+            endbr: false,
+            is_part: false,
+            is_thunk: false,
+            is_start: false,
+            has_symbol: true,
+            dead: false,
+            is_static: false,
+        }
+    }
+}
+
+/// Result of lowering one program for one configuration.
+#[derive(Debug, Clone)]
+pub(crate) struct Lowered {
+    pub units: Vec<Unit>,
+    pub rodata: Vec<u8>,
+    /// Imported function names, in PLT slot order.
+    pub imports: Vec<String>,
+    pub start_unit: usize,
+}
+
+/// The `setjmp` family GCC treats as indirect-return functions
+/// ([gcc/calls.c `special_function_p`]) — FILTERENDBR's match list.
+pub const INDIRECT_RETURN_FUNCTIONS: &[&str] =
+    &["setjmp", "_setjmp", "sigsetjmp", "__sigsetjmp", "vfork", "getcontext", "savectx"];
+
+struct LowerCtx<'a> {
+    cfg: BuildConfig,
+    options: crate::EmissionOptions,
+    /// Under `-mmanual-endbr`: whether each function keeps its marker.
+    manual_endbr_keep: Vec<bool>,
+    spec: &'a ProgramSpec,
+    imports: Vec<String>,
+    rodata: Vec<u8>,
+    /// Fragment unit index per spec function (when split).
+    frag_of: Vec<Option<usize>>,
+    /// (parent unit, resume offset) recorded while lowering parents.
+    frag_resume: Vec<Option<(usize, usize)>>,
+    thunk_unit: Option<usize>,
+}
+
+impl LowerCtx<'_> {
+    fn import(&mut self, name: &str) -> usize {
+        if let Some(i) = self.imports.iter().position(|n| n == name) {
+            return i;
+        }
+        self.imports.push(name.to_owned());
+        self.imports.len() - 1
+    }
+}
+
+/// Lowers `spec` for `cfg`, using `rng` for all layout randomness.
+pub(crate) fn lower_with(
+    spec: &ProgramSpec,
+    cfg: BuildConfig,
+    options: crate::EmissionOptions,
+    rng: &mut StdRng,
+) -> Lowered {
+    let n = spec.functions.len();
+    let arch = cfg.arch;
+
+    // Pre-assign indices: spec functions, then fragments, thunk, _start.
+    let splits = cfg.compiler == Compiler::Gcc && cfg.opt.splits_cold();
+    let mut frag_of = vec![None; n];
+    let mut next = n;
+    for (i, f) in spec.functions.iter().enumerate() {
+        if f.cold_part && splits {
+            frag_of[i] = Some(next);
+            next += 1;
+        }
+    }
+    let thunk_unit = if arch == Arch::X86 && cfg.pie {
+        let u = next;
+        next += 1;
+        Some(u)
+    } else {
+        None
+    };
+    let start_unit = next;
+
+    // Under -mmanual-endbr (§VI): a function keeps its end-branch only
+    // when it is an indirect-branch target — address-taken, or exported
+    // without any in-binary direct reference (its address can escape
+    // across DSO boundaries, so the programmer must annotate it).
+    let manual_endbr_keep: Vec<bool> = (0..n)
+        .map(|i| {
+            let f = &spec.functions[i];
+            if f.no_endbr_intrinsic || f.dead {
+                return f.address_taken;
+            }
+            let referenced = spec
+                .functions
+                .iter()
+                .any(|g| g.calls.contains(&i) || g.tail_call == Some(i));
+            f.address_taken || (f.linkage == Linkage::External && !referenced)
+        })
+        .collect();
+
+    let mut ctx = LowerCtx {
+        cfg,
+        options,
+        manual_endbr_keep,
+        spec,
+        imports: Vec::new(),
+        rodata: Vec::new(),
+        frag_of,
+        frag_resume: vec![None; n],
+        thunk_unit,
+    };
+
+    // Seed .rodata with a few strings, like a real binary's literals.
+    ctx.rodata.extend_from_slice(spec.name.as_bytes());
+    ctx.rodata.push(0);
+    ctx.rodata.extend_from_slice(b"usage: %s [options]\0");
+    while !ctx.rodata.len().is_multiple_of(8) {
+        ctx.rodata.push(0);
+    }
+
+    // Distribute address-taking: each address-taken function gets one
+    // live taker (main by default, sometimes another live function).
+    let main_idx = spec.main_index().expect("validated spec has main");
+    let live: Vec<usize> = (0..n).filter(|&i| !spec.functions[i].dead).collect();
+    let mut takes: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, f) in spec.functions.iter().enumerate() {
+        if f.address_taken && !f.dead {
+            let taker = if rng.gen_bool(0.6) || live.len() <= 1 {
+                main_idx
+            } else {
+                loop {
+                    let t = live[rng.gen_range(0..live.len())];
+                    if t != i {
+                        break t;
+                    }
+                }
+            };
+            takes[taker].push(i);
+        }
+    }
+
+    let mut units: Vec<Unit> = Vec::with_capacity(start_unit + 1);
+    for i in 0..n {
+        units.push(lower_function(&mut ctx, i, &takes[i], rng));
+    }
+    // Fragments (resume offsets are now known).
+    for i in 0..n {
+        if let Some(frag_idx) = ctx.frag_of[i] {
+            debug_assert_eq!(units.len(), frag_idx);
+            units.push(lower_fragment(&mut ctx, i, rng));
+        }
+    }
+    if let Some(t) = ctx.thunk_unit {
+        debug_assert_eq!(units.len(), t);
+        let mut u = Unit::new("__x86.get_pc_thunk.bx");
+        let mut a = Assembler::new(arch);
+        a.pc_thunk_body();
+        u.code = a.code;
+        u.is_thunk = true;
+        u.is_static = true;
+        // §V-A1: compilers sometimes omit the thunk's symbol.
+        u.has_symbol = rng.gen_bool(0.75);
+        units.push(u);
+    }
+    // _start: references main by address and enters libc.
+    {
+        debug_assert_eq!(units.len(), start_unit);
+        let mut u = Unit::new("_start");
+        let mut a = Assembler::new(arch);
+        a.endbr();
+        a.take_address(main_idx);
+        let libc = ctx.import("__libc_start_main");
+        a.call_plt(libc);
+        a.hlt();
+        u.code = a.code;
+        u.fixups = a.fixups;
+        u.endbr = true;
+        u.is_start = true;
+        units.push(u);
+    }
+
+    Lowered { units, rodata: ctx.rodata, imports: ctx.imports, start_unit }
+}
+
+fn lower_function(ctx: &mut LowerCtx<'_>, idx: usize, takes: &[usize], rng: &mut StdRng) -> Unit {
+    let f = ctx.spec.functions[idx].clone();
+    let cfg = ctx.cfg;
+    let mut u = Unit::new(f.name.clone());
+    u.dead = f.dead;
+    u.is_static = f.linkage == Linkage::Static;
+
+    let mut a = Assembler::new(cfg.arch);
+    let endbr = if ctx.options.manual_endbr {
+        ctx.manual_endbr_keep[idx]
+    } else {
+        f.gets_endbr()
+    };
+    if endbr {
+        a.endbr();
+    }
+    u.endbr = endbr;
+    let fp = cfg.opt.frame_pointer();
+    a.prologue(fp);
+    let body_start = a.here();
+
+    // x86 PIE functions load the GOT pointer through the thunk.
+    if let Some(t) = ctx.thunk_unit {
+        if rng.gen_bool(0.5) {
+            a.call_unit(t);
+            // add ebx, imm32 — the classic GOT adjustment after the thunk.
+            a.raw(&[0x81, 0xc3]);
+            a.raw(&0x2f00u32.to_le_bytes());
+        }
+    }
+
+    let fillers = ((f.body_size as f64) * cfg.opt.size_factor()).round().max(2.0) as usize;
+    let mut filler_budget = fillers;
+    let mut spend = |a: &mut Assembler, rng: &mut StdRng, n: usize| {
+        for _ in 0..n.min(filler_budget) {
+            a.filler(rng.gen());
+        }
+        filler_budget = filler_budget.saturating_sub(n);
+    };
+
+    spend(&mut a, rng, fillers / 3);
+
+    // Cold-fragment edge. GCC reaches fragments three ways: a direct
+    // call (the paper's 42.9% FP class), a conditional branch, or a
+    // skip-guarded unconditional jump (what crude tail-call heuristics
+    // misread as a tail call — the 57.1% FP class).
+    if ctx.frag_of[idx].is_some() {
+        let frag = ctx.frag_of[idx].unwrap();
+        if f.part_called {
+            a.call_unit(frag);
+        } else if rng.gen_bool(0.5) {
+            a.raw(&[0x85, 0xc0]); // test eax, eax
+            a.jne_unit(frag);
+        } else {
+            a.raw(&[0x85, 0xc0]); // test eax, eax
+            a.raw(&[0x74, 0x05]); // je +5 — skip the unconditional jmp
+            a.jmp_unit(frag);
+        }
+        ctx.frag_resume[idx] = Some((idx, a.here()));
+    }
+
+    // setjmp-family call followed by an end-branch (§III-B2).
+    if f.setjmp {
+        let name = INDIRECT_RETURN_FUNCTIONS[rng.gen_range(0..INDIRECT_RETURN_FUNCTIONS.len())];
+        let plt = ctx.import(name);
+        a.call_plt(plt);
+        u.setjmp_endbrs.push(a.here());
+        a.endbr();
+        a.test_eax_jne(2);
+        a.zero_eax();
+    }
+
+    // Direct calls, PLT calls, address-takes, interleaved with filler.
+    for &callee in &f.calls {
+        a.call_unit(callee);
+        spend(&mut a, rng, 2);
+    }
+    for name in &f.plt_calls {
+        let plt = ctx.import(name);
+        a.call_plt(plt);
+        spend(&mut a, rng, 1);
+    }
+    for &taken in takes {
+        a.take_address(taken);
+        a.call_reg();
+        spend(&mut a, rng, 1);
+    }
+
+    // Switch dispatch through a notrack jmp + jump table (§II Fig. 1).
+    if f.switch_cases > 0 {
+        let cases = f.switch_cases.clamp(2, 10);
+        let width = match (cfg.arch, cfg.pie) {
+            (Arch::X64, true) => 4,
+            (Arch::X64, false) => 8,
+            (Arch::X86, _) => 4,
+        };
+        while !ctx.rodata.len().is_multiple_of(8) {
+            ctx.rodata.push(0);
+        }
+        let table_off = ctx.rodata.len();
+        ctx.rodata.resize(table_off + cases * width, 0);
+
+        let style = a.switch_dispatch(cases, cfg.pie, table_off);
+        // Default block (the `ja` target), skipping the case blocks.
+        a.mov_eax_imm(0xdef);
+        a.jmp_short((cases * 7) as i8);
+        // Case blocks: 7 bytes each (mov eax, k ; jmp end).
+        for k in 0..cases {
+            let label = a.here();
+            a.mov_eax_imm(k as u32);
+            a.jmp_short(((cases - 1 - k) * 7) as i8);
+            u.tables.push(TableEntry {
+                rodata_off: table_off + k * width,
+                table_off,
+                unit: idx,
+                label_off: label,
+                style,
+            });
+        }
+    }
+
+    spend(&mut a, rng, usize::MAX); // whatever filler budget remains
+
+    let body_end = a.here();
+    match f.tail_call {
+        Some(t) if cfg.opt.tail_calls() => a.epilogue_tail_jmp(fp, t),
+        Some(t) => {
+            // -O0: no sibling-call optimization — the tail call degrades
+            // to an ordinary call followed by the normal epilogue.
+            a.call_unit(t);
+            a.epilogue(fp);
+        }
+        None => {
+            a.zero_eax();
+            a.epilogue(fp);
+        }
+    }
+
+    // C++ landing pads after the return (§III-B3).
+    if ctx.spec.lang == Lang::Cpp && f.landing_pads > 0 {
+        let pads = f.landing_pads.min(4);
+        let region = (body_end - body_start).max(pads);
+        let chunk = region / pads;
+        let unwind = ctx.import("_Unwind_Resume");
+        for p in 0..pads {
+            let pad_off = a.here();
+            a.endbr();
+            a.filler(rng.gen());
+            a.call_plt(unwind);
+            u.pad_sites.push(PadSite {
+                start: body_start + p * chunk,
+                len: chunk.max(1),
+                pad_off,
+            });
+        }
+    }
+
+    u.code = a.code;
+    u.fixups = a.fixups;
+    u
+}
+
+fn lower_fragment(ctx: &mut LowerCtx<'_>, parent: usize, rng: &mut StdRng) -> Unit {
+    let f = &ctx.spec.functions[parent];
+    let suffix = if rng.gen_bool(0.5) { ".cold" } else { ".part.0" };
+    let mut u = Unit::new(format!("{}{}", f.name, suffix));
+    u.is_part = true;
+    u.is_static = true;
+
+    let mut a = Assembler::new(ctx.cfg.arch);
+    // Fragments never get an end-branch: they are reached by direct
+    // branches only.
+    for _ in 0..rng.gen_range(2..6) {
+        a.filler(rng.gen());
+    }
+    if f.part_called {
+        a.ret();
+    } else {
+        let (p, resume) = ctx.frag_resume[parent].expect("parent lowered before fragment");
+        a.jmp_unit_offset(p, resume);
+    }
+    u.code = a.code;
+    u.fixups = a.fixups;
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OptLevel;
+    use crate::spec::FunctionSpec;
+    use rand::SeedableRng;
+
+    fn cfg64() -> BuildConfig {
+        BuildConfig { compiler: Compiler::Gcc, arch: Arch::X64, opt: OptLevel::O2, pie: true }
+    }
+
+    fn program() -> ProgramSpec {
+        let mut main = FunctionSpec::named("main");
+        main.calls = vec![1, 2];
+        main.switch_cases = 4;
+        main.setjmp = true;
+        let mut helper = FunctionSpec::named("helper");
+        helper.linkage = Linkage::Static;
+        helper.cold_part = true;
+        let mut cb = FunctionSpec::named("callback");
+        cb.linkage = Linkage::Static;
+        cb.address_taken = true;
+        ProgramSpec { name: "demo".into(), lang: Lang::C, functions: vec![main, helper, cb] }
+    }
+
+    #[test]
+    fn lowering_produces_expected_units() {
+        let spec = program();
+        let mut rng = StdRng::seed_from_u64(7);
+        let low = lower_with(&spec, cfg64(), crate::EmissionOptions::default(), &mut rng);
+        // 3 functions + 1 fragment + _start (no thunk on x64).
+        assert_eq!(low.units.len(), 5);
+        assert_eq!(low.units[0].name, "main");
+        assert!(low.units[3].is_part);
+        assert!(low.units[3].name.starts_with("helper."));
+        assert!(low.units[4].is_start);
+        // main called setjmp → one recorded post-call endbr.
+        assert_eq!(low.units[0].setjmp_endbrs.len(), 1);
+        // Jump table recorded for the switch.
+        assert_eq!(low.units[0].tables.len(), 4);
+        // Imports include a setjmp-family function and libc entry.
+        assert!(low.imports.iter().any(|n| INDIRECT_RETURN_FUNCTIONS.contains(&n.as_str())));
+        assert!(low.imports.iter().any(|n| n == "__libc_start_main"));
+    }
+
+    #[test]
+    fn endbr_follows_linkage_rules() {
+        let spec = program();
+        let mut rng = StdRng::seed_from_u64(7);
+        let low = lower_with(&spec, cfg64(), crate::EmissionOptions::default(), &mut rng);
+        assert!(low.units[0].endbr, "main is extern");
+        assert!(!low.units[1].endbr, "static helper has no endbr");
+        assert!(low.units[2].endbr, "address-taken static has endbr");
+        assert!(!low.units[3].endbr, "fragments never have endbr");
+        assert!(low.units[4].endbr, "_start has endbr");
+    }
+
+    #[test]
+    fn x86_pie_gets_thunk_unit() {
+        let spec = program();
+        let cfg = BuildConfig { compiler: Compiler::Gcc, arch: Arch::X86, opt: OptLevel::O0, pie: true };
+        let mut rng = StdRng::seed_from_u64(3);
+        let low = lower_with(&spec, cfg, crate::EmissionOptions::default(), &mut rng);
+        let thunks: Vec<_> = low.units.iter().filter(|u| u.is_thunk).collect();
+        assert_eq!(thunks.len(), 1);
+        assert_eq!(thunks[0].name, "__x86.get_pc_thunk.bx");
+        // O0 does not split cold fragments.
+        assert!(low.units.iter().all(|u| !u.is_part));
+    }
+
+    #[test]
+    fn clang_never_splits_fragments() {
+        let spec = program();
+        let cfg = BuildConfig { compiler: Compiler::Clang, arch: Arch::X64, opt: OptLevel::O3, pie: false };
+        let mut rng = StdRng::seed_from_u64(9);
+        let low = lower_with(&spec, cfg, crate::EmissionOptions::default(), &mut rng);
+        assert!(low.units.iter().all(|u| !u.is_part));
+    }
+
+    #[test]
+    fn cpp_landing_pads_are_recorded() {
+        let mut spec = program();
+        spec.lang = Lang::Cpp;
+        spec.functions[0].landing_pads = 2;
+        let mut rng = StdRng::seed_from_u64(11);
+        let low = lower_with(&spec, cfg64(), crate::EmissionOptions::default(), &mut rng);
+        assert_eq!(low.units[0].pad_sites.len(), 2);
+        assert!(low.imports.iter().any(|n| n == "_Unwind_Resume"));
+        // Each pad offset points at an end-branch in the code.
+        for site in &low.units[0].pad_sites {
+            assert_eq!(&low.units[0].code[site.pad_off..site.pad_off + 4], &cfg64().arch.endbr());
+        }
+    }
+
+    #[test]
+    fn lowering_is_deterministic_per_seed() {
+        let spec = program();
+        let a = lower_with(&spec, cfg64(), crate::EmissionOptions::default(), &mut StdRng::seed_from_u64(42));
+        let b = lower_with(&spec, cfg64(), crate::EmissionOptions::default(), &mut StdRng::seed_from_u64(42));
+        assert_eq!(a.units.len(), b.units.len());
+        for (x, y) in a.units.iter().zip(&b.units) {
+            assert_eq!(x.code, y.code);
+            assert_eq!(x.name, y.name);
+        }
+        assert_eq!(a.rodata, b.rodata);
+        assert_eq!(a.imports, b.imports);
+    }
+}

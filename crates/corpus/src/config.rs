@@ -1,0 +1,214 @@
+//! Build configurations: compiler × architecture × optimization × PIE.
+
+use crate::arch::Arch;
+
+/// The compiler whose CET emission behavior a binary models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Compiler {
+    /// GCC 10-style emission: FDEs for every function, `.plt.sec` second
+    /// PLT, `.cold`/`.part` fragment extraction at higher `-O` levels.
+    Gcc,
+    /// Clang 13-style emission: single `.plt`, **no FDEs for x86 C
+    /// code** (the paper's key FETCH/Ghidra failure mode), no fragment
+    /// extraction.
+    Clang,
+}
+
+impl Compiler {
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Compiler::Gcc => "GCC",
+            Compiler::Clang => "Clang",
+        }
+    }
+}
+
+/// Optimization level (§III-A: six levels per compiler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum OptLevel {
+    /// `-O0`
+    O0,
+    /// `-O1`
+    O1,
+    /// `-O2`
+    O2,
+    /// `-O3`
+    O3,
+    /// `-Os`
+    Os,
+    /// `-Ofast`
+    Ofast,
+}
+
+impl OptLevel {
+    /// All six levels in the study's order.
+    pub const ALL: [OptLevel; 6] =
+        [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Os, OptLevel::Ofast];
+
+    /// Whether the optimizer keeps frame pointers (`-O0`/`-O1` here).
+    pub fn frame_pointer(self) -> bool {
+        matches!(self, OptLevel::O0 | OptLevel::O1)
+    }
+
+    /// Whether hot/cold splitting (`.cold` / `.part` fragments) can
+    /// happen at this level.
+    pub fn splits_cold(self) -> bool {
+        !matches!(self, OptLevel::O0 | OptLevel::O1)
+    }
+
+    /// Whether sibling-call optimization (direct tail calls) is on.
+    pub fn tail_calls(self) -> bool {
+        !matches!(self, OptLevel::O0)
+    }
+
+    /// Rough body-size multiplier relative to `-O2` (O0 code is bloated).
+    pub fn size_factor(self) -> f64 {
+        match self {
+            OptLevel::O0 => 1.8,
+            OptLevel::O1 => 1.2,
+            OptLevel::O2 => 1.0,
+            OptLevel::O3 | OptLevel::Ofast => 1.15,
+            OptLevel::Os => 0.8,
+        }
+    }
+
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OptLevel::O0 => "O0",
+            OptLevel::O1 => "O1",
+            OptLevel::O2 => "O2",
+            OptLevel::O3 => "O3",
+            OptLevel::Os => "Os",
+            OptLevel::Ofast => "Ofast",
+        }
+    }
+}
+
+/// One point in the build-configuration grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct BuildConfig {
+    /// Modeled compiler.
+    pub compiler: Compiler,
+    /// Target architecture.
+    pub arch: Arch,
+    /// Optimization level.
+    pub opt: OptLevel,
+    /// Position-independent executable?
+    pub pie: bool,
+}
+
+impl BuildConfig {
+    /// The paper's 24-configuration grid (2 compilers × 2 archs × 6 opt
+    /// levels), with PIE alternating so both flavors are covered across
+    /// the grid as in §III-A.
+    pub fn grid() -> Vec<BuildConfig> {
+        let mut out = Vec::with_capacity(24);
+        for compiler in [Compiler::Gcc, Compiler::Clang] {
+            for arch in [Arch::X86, Arch::X64] {
+                for (i, &opt) in OptLevel::ALL.iter().enumerate() {
+                    out.push(BuildConfig { compiler, arch, opt, pie: i % 2 == 1 });
+                }
+            }
+        }
+        out
+    }
+
+    /// The full 48-way grid including both PIE flavors everywhere.
+    pub fn full_grid() -> Vec<BuildConfig> {
+        let mut out = Vec::with_capacity(48);
+        for compiler in [Compiler::Gcc, Compiler::Clang] {
+            for arch in [Arch::X86, Arch::X64] {
+                for &opt in &OptLevel::ALL {
+                    for pie in [false, true] {
+                        out.push(BuildConfig { compiler, arch, opt, pie });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Image base address for this configuration.
+    pub fn base(self) -> u64 {
+        if self.pie {
+            self.arch.pie_base()
+        } else {
+            self.arch.exec_base()
+        }
+    }
+
+    /// Whether this configuration emits FDE records for C functions.
+    ///
+    /// Models the paper's observation that Clang does not create an FDE
+    /// for every function in 32-bit C binaries (§IV-C, §V-C).
+    pub fn emits_c_fdes(self) -> bool {
+        !(self.compiler == Compiler::Clang && self.arch == Arch::X86)
+    }
+
+    /// Compact label like `GCC-x64-O2-pie`.
+    pub fn label(self) -> String {
+        format!(
+            "{}-{}-{}-{}",
+            self.compiler.label(),
+            self.arch.label(),
+            self.opt.label(),
+            if self.pie { "pie" } else { "nopie" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_24_unique_points() {
+        let g = BuildConfig::grid();
+        assert_eq!(g.len(), 24);
+        let mut set = std::collections::HashSet::new();
+        for c in &g {
+            assert!(set.insert((c.compiler, c.arch, c.opt)));
+        }
+        // Both PIE flavors appear.
+        assert!(g.iter().any(|c| c.pie));
+        assert!(g.iter().any(|c| !c.pie));
+    }
+
+    #[test]
+    fn full_grid_has_48_points() {
+        assert_eq!(BuildConfig::full_grid().len(), 48);
+    }
+
+    #[test]
+    fn clang_x86_suppresses_c_fdes() {
+        let mut cfg = BuildConfig { compiler: Compiler::Clang, arch: Arch::X86, opt: OptLevel::O2, pie: false };
+        assert!(!cfg.emits_c_fdes());
+        cfg.arch = Arch::X64;
+        assert!(cfg.emits_c_fdes());
+        cfg.compiler = Compiler::Gcc;
+        cfg.arch = Arch::X86;
+        assert!(cfg.emits_c_fdes());
+    }
+
+    #[test]
+    fn opt_level_knobs() {
+        assert!(OptLevel::O0.frame_pointer());
+        assert!(!OptLevel::O2.frame_pointer());
+        assert!(OptLevel::O2.splits_cold());
+        assert!(!OptLevel::O1.splits_cold());
+        assert!(!OptLevel::O0.tail_calls());
+        assert!(OptLevel::Os.size_factor() < OptLevel::O0.size_factor());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let cfg = BuildConfig { compiler: Compiler::Gcc, arch: Arch::X64, opt: OptLevel::O2, pie: true };
+        assert_eq!(cfg.label(), "GCC-x64-O2-pie");
+        assert_eq!(cfg.base(), 0x1000);
+        let cfg = BuildConfig { compiler: Compiler::Clang, arch: Arch::X86, opt: OptLevel::Os, pie: false };
+        assert_eq!(cfg.label(), "Clang-x86-Os-nopie");
+        assert_eq!(cfg.base(), 0x0804_8000);
+    }
+}

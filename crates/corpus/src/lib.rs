@@ -1,0 +1,95 @@
+//! Synthetic CET-enabled binary corpus for the FunSeeker reproduction.
+//!
+//! The paper evaluates on 8,136 binaries compiled from GNU Coreutils,
+//! GNU Binutils and SPEC CPU 2017 with GCC 10 and Clang 13. Those
+//! packages (and a licensed SPEC copy) are not reproducible here, so this
+//! crate substitutes a **compiler-emission simulator**: a seeded pipeline
+//!
+//! ```text
+//! ProgramSpec ──lower──▶ Units(+fixups) ──link──▶ ELF + GroundTruth
+//! ```
+//!
+//! that reproduces every CET-relevant emission rule the paper measures
+//! (§III): entry end-branches for non-static / address-taken functions,
+//! post-`setjmp` end-branches, landing-pad end-branches, `notrack`
+//! switch dispatch, `.cold`/`.part` fragment extraction, per-compiler
+//! `.eh_frame` coverage (including Clang's missing x86 C FDEs), and the
+//! split `.plt`/`.plt.sec` layout of CET binaries.
+//!
+//! Every emitted byte of `.text` is valid code that round-trips through
+//! `funseeker-disasm` (checked by the self-test in this crate), and each
+//! binary ships with exact [`GroundTruth`].
+//!
+//! # Quick example
+//!
+//! ```
+//! use funseeker_corpus::{Dataset, DatasetParams};
+//! let ds = Dataset::generate(&DatasetParams::tiny(), 42);
+//! let bin = &ds.binaries[0];
+//! println!("{} ({}): {} functions", bin.program, bin.config.label(),
+//!          bin.truth.eval_entries().len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod asm;
+mod codegen;
+pub mod config;
+pub mod dataset;
+mod link;
+pub mod spec;
+pub mod truth;
+pub mod workload;
+
+pub use arch::Arch;
+pub use codegen::INDIRECT_RETURN_FUNCTIONS;
+pub use config::{BuildConfig, Compiler, OptLevel};
+pub use dataset::{CorpusBinary, Dataset, DatasetParams};
+pub use link::LinkedBinary;
+pub use spec::{FunctionSpec, Lang, Linkage, ProgramSpec};
+pub use truth::{FunctionTruth, GroundTruth};
+pub use workload::{generate_program, Profile, Suite};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Emission options orthogonal to the build-configuration grid.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct EmissionOptions {
+    /// Model `-mmanual-endbr` (§VI of the paper): the compiler no longer
+    /// places an end-branch at every non-static entry; only functions
+    /// whose address is genuinely used as an indirect-branch target —
+    /// address-taken ones and exported-but-unreferenced ones (their
+    /// address may escape across DSOs) — keep the marker. Everything
+    /// else must be found through direct references.
+    pub manual_endbr: bool,
+    /// Omit `.symtab`/`.strtab`, like the stripped dataset the paper
+    /// evaluates on (§III-A). Ground truth still ships alongside, and no
+    /// identifier in this workspace reads symbols — asserted by tests.
+    pub strip_symbols: bool,
+}
+
+/// Compiles one program spec under one build configuration.
+///
+/// Deterministic in `(spec, cfg, seed)`. Panics on an invalid spec — use
+/// [`ProgramSpec::validate`] first for untrusted input.
+pub fn compile(spec: &ProgramSpec, cfg: BuildConfig, seed: u64) -> LinkedBinary {
+    compile_with(spec, cfg, EmissionOptions::default(), seed)
+}
+
+/// [`compile`] with explicit [`EmissionOptions`].
+pub fn compile_with(
+    spec: &ProgramSpec,
+    cfg: BuildConfig,
+    options: EmissionOptions,
+    seed: u64,
+) -> LinkedBinary {
+    if let Err(e) = spec.validate() {
+        panic!("invalid program spec: {e}");
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let low = codegen::lower_with(spec, cfg, options, &mut rng);
+    link::link_with(low, cfg, spec.lang, options)
+}

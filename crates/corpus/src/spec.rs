@@ -1,0 +1,212 @@
+//! Program specifications — the "source code" the corpus compiler lowers.
+//!
+//! A [`ProgramSpec`] captures exactly the properties that drive CET
+//! emission and function-identification behavior: linkage, address-taking,
+//! call/tail-call structure, `setjmp` usage, switch dispatch, and C++
+//! exception regions. Everything else about a real program is irrelevant
+//! to the identifiers and is replaced by seeded filler code.
+
+/// Source language of a translation unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Lang {
+    /// C — no exception tables.
+    C,
+    /// C++ — functions may carry try/catch regions.
+    Cpp,
+}
+
+/// Function linkage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Linkage {
+    /// Non-`static`: visible across translation units. Compilers insert
+    /// an end-branch at the entry (§III-B1) because the address may
+    /// escape before linking.
+    External,
+    /// `static`: end-branch only when the address is taken.
+    Static,
+}
+
+/// One function to generate.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FunctionSpec {
+    /// Symbol name.
+    pub name: String,
+    /// Linkage class.
+    pub linkage: Linkage,
+    /// Whether the program takes this function's address (forces an
+    /// end-branch even on statics).
+    pub address_taken: bool,
+    /// Never referenced by anything — dead code (§III-C's 0.01% and the
+    /// dominant false-negative class in §V-C).
+    pub dead: bool,
+    /// Approximate number of filler instructions in the body.
+    pub body_size: usize,
+    /// Indices of directly called functions.
+    pub calls: Vec<usize>,
+    /// Index of a function this one tail-jumps to instead of returning.
+    pub tail_call: Option<usize>,
+    /// External functions called through the PLT.
+    pub plt_calls: Vec<String>,
+    /// Calls `setjmp` (an indirect-return function): the call site is
+    /// followed by an end-branch (§III-B2).
+    pub setjmp: bool,
+    /// Contains a switch lowered to a `notrack jmp` + jump table, with
+    /// this many cases (0 = no switch).
+    pub switch_cases: usize,
+    /// Number of C++ catch landing pads (0 = none). Only meaningful in
+    /// [`Lang::Cpp`] units.
+    pub landing_pads: usize,
+    /// Models the 0.15% of non-static functions (compiler intrinsics)
+    /// that lack an entry end-branch (§III footnote 1).
+    pub no_endbr_intrinsic: bool,
+    /// Whether the optimizer splits a `.cold`/`.part` fragment out of
+    /// this function (GCC at O2+).
+    pub cold_part: bool,
+    /// Whether the cold fragment is reached by a `call` rather than a
+    /// jump (the paper's §V-C false-positive class: 42.9% of FunSeeker
+    /// FPs "had a direct call as if they were a function").
+    pub part_called: bool,
+}
+
+impl FunctionSpec {
+    /// A minimal function spec with the given name; everything off.
+    pub fn named(name: impl Into<String>) -> Self {
+        FunctionSpec {
+            name: name.into(),
+            linkage: Linkage::External,
+            address_taken: false,
+            dead: false,
+            body_size: 8,
+            calls: Vec::new(),
+            tail_call: None,
+            plt_calls: Vec::new(),
+            setjmp: false,
+            switch_cases: 0,
+            landing_pads: 0,
+            no_endbr_intrinsic: false,
+            cold_part: false,
+            part_called: false,
+        }
+    }
+
+    /// Whether CET emission places an end-branch at this function's entry.
+    pub fn gets_endbr(&self) -> bool {
+        if self.no_endbr_intrinsic {
+            return false;
+        }
+        self.linkage == Linkage::External || self.address_taken
+    }
+}
+
+/// One program (one output binary per build configuration).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ProgramSpec {
+    /// Program name (becomes the binary name).
+    pub name: String,
+    /// Source language.
+    pub lang: Lang,
+    /// Functions, in declaration order. `main` must be present; the
+    /// emitter synthesizes `_start` and architecture thunks itself.
+    pub functions: Vec<FunctionSpec>,
+}
+
+impl ProgramSpec {
+    /// Index of `main`, if present.
+    pub fn main_index(&self) -> Option<usize> {
+        self.functions.iter().position(|f| f.name == "main")
+    }
+
+    /// Sanity-checks internal references; returns a description of the
+    /// first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.main_index().is_none() {
+            return Err(format!("program {} has no main", self.name));
+        }
+        for (i, f) in self.functions.iter().enumerate() {
+            for &c in &f.calls {
+                if c >= self.functions.len() {
+                    return Err(format!("{}: call target {c} out of range", f.name));
+                }
+                if c == i {
+                    return Err(format!("{}: direct self-recursion not modeled", f.name));
+                }
+            }
+            if let Some(t) = f.tail_call {
+                if t >= self.functions.len() || t == i {
+                    return Err(format!("{}: bad tail-call target", f.name));
+                }
+            }
+            if f.landing_pads > 0 && self.lang != Lang::Cpp {
+                return Err(format!("{}: landing pads in a C unit", f.name));
+            }
+            if f.dead && f.address_taken {
+                // Address-taken implies referenced; dead means unreferenced.
+                return Err(format!("{}: dead but address-taken", f.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> ProgramSpec {
+        ProgramSpec {
+            name: "p".into(),
+            lang: Lang::C,
+            functions: vec![FunctionSpec::named("main")],
+        }
+    }
+
+    #[test]
+    fn endbr_rules_match_the_paper() {
+        let mut f = FunctionSpec::named("f");
+        assert!(f.gets_endbr(), "extern functions get an end-branch");
+        f.linkage = Linkage::Static;
+        assert!(!f.gets_endbr(), "plain statics do not");
+        f.address_taken = true;
+        assert!(f.gets_endbr(), "address-taken statics do");
+        f.linkage = Linkage::External;
+        f.address_taken = false;
+        f.no_endbr_intrinsic = true;
+        assert!(!f.gets_endbr(), "intrinsic-style externs are the 0.15% exception");
+    }
+
+    #[test]
+    fn validate_catches_missing_main() {
+        let mut p = minimal();
+        p.functions[0].name = "not_main".into();
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_references() {
+        let mut p = minimal();
+        p.functions[0].calls = vec![7];
+        assert!(p.validate().unwrap_err().contains("out of range"));
+
+        let mut p = minimal();
+        p.functions[0].tail_call = Some(0);
+        assert!(p.validate().is_err());
+
+        let mut p = minimal();
+        p.functions[0].landing_pads = 1;
+        assert!(p.validate().unwrap_err().contains("landing pads"));
+
+        let mut p = minimal();
+        p.functions[0].dead = true;
+        p.functions[0].address_taken = true;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let mut p = minimal();
+        p.functions.push(FunctionSpec::named("helper"));
+        p.functions[0].calls = vec![1];
+        assert!(p.validate().is_ok());
+        assert_eq!(p.main_index(), Some(0));
+    }
+}

@@ -1,0 +1,143 @@
+//! Ground-truth metadata emitted alongside each corpus binary.
+//!
+//! The paper extracts ground truth from DWARF symbols, excluding
+//! `.cold`/`.part` fragments and manually adding `__x86.get_pc_thunk`
+//! (§V-A1). The corpus knows the truth exactly, so it records it directly
+//! — including the facts needed to *verify* a symbol-based extractor.
+
+use std::collections::BTreeSet;
+
+/// One code entity in the emitted `.text` section.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FunctionTruth {
+    /// Symbol name (what `.symtab` carries when `has_symbol`).
+    pub name: String,
+    /// Entry virtual address.
+    pub addr: u64,
+    /// Code size in bytes (excluding inter-function padding).
+    pub size: u64,
+    /// A `.cold` / `.part` fragment — has a FUNC symbol but is *not* a
+    /// function; excluded from evaluation ground truth per §V-A1.
+    pub is_part: bool,
+    /// An `__x86.get_pc_thunk.*` compiler thunk — *included* in ground
+    /// truth even when its symbol is missing (§V-A1).
+    pub is_thunk: bool,
+    /// Whether `.symtab` carries a FUNC symbol for this entity.
+    pub has_symbol: bool,
+    /// Never referenced by any instruction (dominant FN class in §V-C).
+    pub dead: bool,
+    /// Starts with an end-branch instruction.
+    pub has_endbr: bool,
+    /// `static` linkage.
+    pub is_static: bool,
+}
+
+/// Complete ground truth for one binary.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct GroundTruth {
+    /// All code entities, sorted by address.
+    pub functions: Vec<FunctionTruth>,
+    /// `[start, end)` of the `.text` section.
+    pub text_range: (u64, u64),
+    /// Addresses (within `.text`) of end-branch instructions placed
+    /// *after an indirect-return call site* (§III-B2).
+    pub setjmp_return_endbrs: Vec<u64>,
+    /// Addresses of end-branch instructions at exception landing pads
+    /// (§III-B3).
+    pub landing_pad_endbrs: Vec<u64>,
+}
+
+impl GroundTruth {
+    /// The evaluation ground truth: entry addresses of real functions
+    /// (fragments excluded, thunks included) — the set identifiers are
+    /// scored against.
+    pub fn eval_entries(&self) -> BTreeSet<u64> {
+        self.functions
+            .iter()
+            .filter(|f| !f.is_part)
+            .map(|f| f.addr)
+            .collect()
+    }
+
+    /// Entry addresses of `.cold`/`.part` fragments.
+    pub fn part_entries(&self) -> BTreeSet<u64> {
+        self.functions
+            .iter()
+            .filter(|f| f.is_part)
+            .map(|f| f.addr)
+            .collect()
+    }
+
+    /// Looks up an entity by address.
+    pub fn by_addr(&self, addr: u64) -> Option<&FunctionTruth> {
+        self.functions
+            .binary_search_by_key(&addr, |f| f.addr)
+            .ok()
+            .map(|i| &self.functions[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> GroundTruth {
+        GroundTruth {
+            functions: vec![
+                FunctionTruth {
+                    name: "main".into(),
+                    addr: 0x1000,
+                    size: 32,
+                    is_part: false,
+                    is_thunk: false,
+                    has_symbol: true,
+                    dead: false,
+                    has_endbr: true,
+                    is_static: false,
+                },
+                FunctionTruth {
+                    name: "helper.cold".into(),
+                    addr: 0x1040,
+                    size: 8,
+                    is_part: true,
+                    is_thunk: false,
+                    has_symbol: true,
+                    dead: false,
+                    has_endbr: false,
+                    is_static: true,
+                },
+                FunctionTruth {
+                    name: "__x86.get_pc_thunk.bx".into(),
+                    addr: 0x1060,
+                    size: 4,
+                    is_part: false,
+                    is_thunk: true,
+                    has_symbol: false,
+                    dead: false,
+                    has_endbr: false,
+                    is_static: true,
+                },
+            ],
+            text_range: (0x1000, 0x2000),
+            setjmp_return_endbrs: vec![],
+            landing_pad_endbrs: vec![],
+        }
+    }
+
+    #[test]
+    fn eval_entries_exclude_parts_include_thunks() {
+        let t = truth();
+        let entries = t.eval_entries();
+        assert!(entries.contains(&0x1000));
+        assert!(!entries.contains(&0x1040), "fragments are not functions");
+        assert!(entries.contains(&0x1060), "thunks are functions even without symbols");
+        assert_eq!(t.part_entries().len(), 1);
+    }
+
+    #[test]
+    fn by_addr_binary_search() {
+        let t = truth();
+        assert_eq!(t.by_addr(0x1040).unwrap().name, "helper.cold");
+        assert!(t.by_addr(0x1041).is_none());
+    }
+}

@@ -1,0 +1,413 @@
+//! Suite-profile program generators.
+//!
+//! Three profiles mirror the paper's dataset (§III-A): GNU Coreutils
+//! (many small C programs), GNU Binutils (fewer, larger C programs), and
+//! SPEC CPU 2017 (large programs, a substantial share of C++ with
+//! exception handling — the source of Table I's landing-pad end-branch
+//! share and Table II's configuration-① precision collapse).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::spec::{FunctionSpec, Lang, Linkage, ProgramSpec};
+
+/// Benchmark suite a program belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Suite {
+    /// Coreutils-like: small C utilities.
+    Coreutils,
+    /// Binutils-like: larger C tools.
+    Binutils,
+    /// SPEC-like: big programs, mixed C / C++.
+    Spec,
+}
+
+impl Suite {
+    /// All suites in the paper's table order.
+    pub const ALL: [Suite; 3] = [Suite::Coreutils, Suite::Binutils, Suite::Spec];
+
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Suite::Coreutils => "Coreutils",
+            Suite::Binutils => "Binutils",
+            Suite::Spec => "SPEC CPU 2017",
+        }
+    }
+
+    /// Generation profile for this suite.
+    pub fn profile(self) -> Profile {
+        match self {
+            Suite::Coreutils => Profile {
+                funcs: (18, 45),
+                body: (6, 28),
+                static_frac: 0.22,
+                addr_taken_static_frac: 0.42,
+                addr_taken_extern_frac: 0.05,
+                dead_frac: 0.035,
+                intrinsic_no_endbr_frac: 0.0015,
+                call_coverage: 0.52,
+                setjmp_prob: 0.30,
+                switch_frac: 0.10,
+                shared_tail_targets: 1,
+                single_tail_prob: 0.3,
+                cold_frac: 0.05,
+                part_called_prob: 0.35,
+                cpp_prob: 0.0,
+                try_catch_frac: 0.0,
+            },
+            Suite::Binutils => Profile {
+                funcs: (45, 110),
+                body: (8, 36),
+                static_frac: 0.24,
+                addr_taken_static_frac: 0.45,
+                addr_taken_extern_frac: 0.06,
+                dead_frac: 0.035,
+                intrinsic_no_endbr_frac: 0.0015,
+                call_coverage: 0.50,
+                setjmp_prob: 0.25,
+                switch_frac: 0.13,
+                shared_tail_targets: 2,
+                single_tail_prob: 0.3,
+                cold_frac: 0.06,
+                part_called_prob: 0.35,
+                cpp_prob: 0.0,
+                try_catch_frac: 0.0,
+            },
+            Suite::Spec => Profile {
+                funcs: (50, 140),
+                body: (8, 40),
+                static_frac: 0.20,
+                addr_taken_static_frac: 0.45,
+                addr_taken_extern_frac: 0.08,
+                dead_frac: 0.035,
+                intrinsic_no_endbr_frac: 0.0015,
+                call_coverage: 0.50,
+                setjmp_prob: 0.10,
+                switch_frac: 0.12,
+                shared_tail_targets: 2,
+                single_tail_prob: 0.3,
+                cold_frac: 0.07,
+                part_called_prob: 0.35,
+                cpp_prob: 0.45,
+                try_catch_frac: 0.35,
+            },
+        }
+    }
+}
+
+/// Tunable generation probabilities (per suite).
+#[derive(Debug, Clone, Copy)]
+pub struct Profile {
+    /// Function count range per program.
+    pub funcs: (usize, usize),
+    /// Filler-instruction range per function body.
+    pub body: (usize, usize),
+    /// Fraction of functions with `static` linkage.
+    pub static_frac: f64,
+    /// Fraction of statics whose address is taken (⇒ end-branch).
+    pub addr_taken_static_frac: f64,
+    /// Fraction of externs additionally used through pointers.
+    pub addr_taken_extern_frac: f64,
+    /// Fraction of plain statics that are dead code.
+    pub dead_frac: f64,
+    /// The ~0.15% of externs without an entry end-branch (§III fn. 1).
+    pub intrinsic_no_endbr_frac: f64,
+    /// Fraction of functions that receive at least one direct call.
+    pub call_coverage: f64,
+    /// Probability that the program uses a `setjmp`-family function.
+    pub setjmp_prob: f64,
+    /// Fraction of functions containing a jump-table switch.
+    pub switch_frac: f64,
+    /// Tail-call targets shared by ≥2 callers per program.
+    pub shared_tail_targets: usize,
+    /// Probability of an additional single-caller tail-call edge.
+    pub single_tail_prob: f64,
+    /// Fraction of functions split into `.cold`/`.part` fragments
+    /// (effective only for GCC at O2+).
+    pub cold_frac: f64,
+    /// Probability a fragment is reached by `call` rather than a jump.
+    pub part_called_prob: f64,
+    /// Probability a program is C++.
+    pub cpp_prob: f64,
+    /// Fraction of C++ functions with try/catch landing pads.
+    pub try_catch_frac: f64,
+}
+
+const VERBS: &[&str] = &[
+    "parse", "read", "write", "init", "free", "hash", "sort", "copy", "scan", "emit", "load",
+    "dump", "check", "update", "merge", "split", "flush", "walk", "find", "push",
+];
+const NOUNS: &[&str] = &[
+    "buf", "file", "table", "node", "str", "opt", "arg", "line", "tree", "map", "list", "entry",
+    "chunk", "page", "sym", "sect",
+];
+const LIBC: &[&str] = &[
+    "malloc", "free", "printf", "puts", "memcpy", "strlen", "exit", "read", "write", "open",
+    "close", "strcmp", "fprintf", "calloc",
+];
+
+/// Generates one program for `suite`, rolling the language from the
+/// suite profile's `cpp_prob`.
+pub fn generate_program(suite: Suite, name: &str, rng: &mut StdRng) -> ProgramSpec {
+    let p = suite.profile();
+    let lang = if rng.gen_bool(p.cpp_prob) { Lang::Cpp } else { Lang::C };
+    generate_program_in(suite, name, lang, rng)
+}
+
+/// Generates one program with a fixed language — the dataset uses this
+/// to make the SPEC C++ share deterministic rather than sampled.
+pub fn generate_program_in(suite: Suite, name: &str, lang: Lang, rng: &mut StdRng) -> ProgramSpec {
+    let p = suite.profile();
+    let n = rng.gen_range(p.funcs.0..=p.funcs.1);
+
+    let mut functions = Vec::with_capacity(n);
+    for i in 0..n {
+        let fname = if i == 0 {
+            "main".to_owned()
+        } else {
+            format!(
+                "{}_{}{}",
+                VERBS[rng.gen_range(0..VERBS.len())],
+                NOUNS[rng.gen_range(0..NOUNS.len())],
+                i
+            )
+        };
+        let mut f = FunctionSpec::named(fname);
+        f.body_size = rng.gen_range(p.body.0..=p.body.1);
+        if i != 0 {
+            if rng.gen_bool(p.static_frac) {
+                f.linkage = Linkage::Static;
+                if rng.gen_bool(p.addr_taken_static_frac) {
+                    f.address_taken = true;
+                } else if rng.gen_bool(p.dead_frac) {
+                    f.dead = true;
+                }
+            } else {
+                if rng.gen_bool(p.addr_taken_extern_frac) {
+                    f.address_taken = true;
+                }
+                if rng.gen_bool(p.intrinsic_no_endbr_frac) {
+                    f.no_endbr_intrinsic = true;
+                }
+            }
+        }
+        if rng.gen_bool(p.switch_frac) {
+            f.switch_cases = rng.gen_range(2..=8);
+        }
+        if lang == Lang::Cpp && rng.gen_bool(p.try_catch_frac) {
+            f.landing_pads = rng.gen_range(1..=3);
+        }
+        if rng.gen_bool(p.cold_frac) && i != 0 {
+            f.cold_part = true;
+            f.part_called = rng.gen_bool(p.part_called_prob);
+        }
+        for _ in 0..rng.gen_range(0..=2usize) {
+            f.plt_calls.push(LIBC[rng.gen_range(0..LIBC.len())].to_owned());
+        }
+        functions.push(f);
+    }
+
+    // Direct-call graph over a "callable pool" covering ~call_coverage of
+    // the functions; edges always point at pool members.
+    let pool: Vec<usize> = (1..n)
+        .filter(|&i| !functions[i].dead)
+        .filter(|_| rng.gen_bool(p.call_coverage))
+        .collect();
+    if !pool.is_empty() {
+        for i in 0..n {
+            if functions[i].dead && rng.gen_bool(0.5) {
+                continue; // some dead functions call nothing at all
+            }
+            let k = rng.gen_range(0..=3usize);
+            for _ in 0..k {
+                let c = pool[rng.gen_range(0..pool.len())];
+                if c != i && !functions[i].calls.contains(&c) {
+                    functions[i].calls.push(c);
+                }
+            }
+        }
+        // main always calls into the program.
+        if functions[0].calls.is_empty() {
+            let c = pool[rng.gen_range(0..pool.len())];
+            if c != 0 {
+                functions[0].calls.push(c);
+            }
+        }
+    }
+
+    // Tail-call structure, assigned BEFORE the referenced-ness guarantee
+    // so that tail-only targets (statics reachable exclusively through
+    // jumps) actually exist: shared targets (≥2 tail callers —
+    // recoverable by SELECTTAILCALL) and single-caller targets (the §V-C
+    // false-negative class).
+    if n > 6 {
+        // Prefer plain statics as shared targets: those are the functions
+        // only SELECTTAILCALL can recover.
+        let static_pool: Vec<usize> = (1..n)
+            .filter(|&i| {
+                functions[i].linkage == Linkage::Static && !functions[i].address_taken && !functions[i].dead
+            })
+            .collect();
+        for t in 0..p.shared_tail_targets {
+            let target = if !static_pool.is_empty() && (t % 2 == 0 || rng.gen_bool(0.5)) {
+                static_pool[rng.gen_range(0..static_pool.len())]
+            } else {
+                rng.gen_range(1..n)
+            };
+            if functions[target].dead {
+                continue;
+            }
+            let want = rng.gen_range(2..=3);
+            let mut callers = 0;
+            for _ in 0..10 {
+                if callers >= want {
+                    break;
+                }
+                let c = rng.gen_range(1..n);
+                // Avoid the caller directly preceding the target in
+                // layout order: its tail jump would share the target's
+                // candidate interval, which no real compiler layout
+                // correlates the way dense random picks would.
+                if c != target && c + 1 != target && !functions[c].dead && functions[c].tail_call.is_none()
+                {
+                    functions[c].tail_call = Some(target);
+                    callers += 1;
+                }
+            }
+        }
+        if rng.gen_bool(p.single_tail_prob) {
+            // A single-caller tail target: a plain static that receives
+            // no direct calls stays invisible to configuration ④ (one
+            // referer < 2) — the paper's 6.7% false-negative class.
+            let uncalled_statics: Vec<usize> = static_pool
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    !functions.iter().any(|g| g.calls.contains(&i))
+                        && !functions.iter().any(|g| g.tail_call == Some(i))
+                })
+                .collect();
+            let target = if !uncalled_statics.is_empty() && rng.gen_bool(0.6) {
+                uncalled_statics[rng.gen_range(0..uncalled_statics.len())]
+            } else {
+                rng.gen_range(1..n)
+            };
+            for _ in 0..6 {
+                let caller = rng.gen_range(1..n);
+                if target != caller
+                    && caller + 1 != target
+                    && !functions[target].dead
+                    && !functions[caller].dead
+                    && functions[caller].tail_call.is_none()
+                    && functions[target].tail_call != Some(caller)
+                {
+                    functions[caller].tail_call = Some(target);
+                    break;
+                }
+            }
+        }
+    }
+
+    // Guarantee referenced-ness: every live function without an entry
+    // end-branch — plain statics and the no-endbr "intrinsic" externs
+    // (which the paper's footnote 1 observes are "referenced via a
+    // direct call") — must be reachable through a call or tail jump.
+    for i in 1..n {
+        let f = &functions[i];
+        let needs_ref = (f.linkage == Linkage::Static && !f.address_taken) || f.no_endbr_intrinsic;
+        if needs_ref && !f.dead {
+            let called = functions.iter().enumerate().any(|(j, g)| j != i && g.calls.contains(&i));
+            let tailed = functions.iter().any(|g| g.tail_call == Some(i));
+            if !called && !tailed {
+                let mut caller = rng.gen_range(0..n.min(8));
+                if caller == i {
+                    caller = 0;
+                }
+                if !functions[caller].dead {
+                    functions[caller].calls.push(i);
+                } else {
+                    functions[0].calls.push(i);
+                }
+            }
+        }
+    }
+
+    // setjmp usage (Figure 2a's `sort_files` pattern).
+    if rng.gen_bool(p.setjmp_prob) {
+        let i = if rng.gen_bool(0.5) { 0 } else { rng.gen_range(0..n) };
+        if !functions[i].dead {
+            functions[i].setjmp = true;
+        }
+    }
+
+    let spec = ProgramSpec { name: name.to_owned(), lang, functions };
+    debug_assert_eq!(spec.validate(), Ok(()));
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_programs_validate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for suite in Suite::ALL {
+            for i in 0..12 {
+                let p = generate_program(suite, &format!("prog{i}"), &mut rng);
+                assert_eq!(p.validate(), Ok(()), "{:?} prog{i}", suite);
+                assert!(!p.functions.is_empty());
+                assert_eq!(p.functions[0].name, "main");
+            }
+        }
+    }
+
+    #[test]
+    fn coreutils_and_binutils_are_pure_c() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            assert_eq!(generate_program(Suite::Coreutils, "a", &mut rng).lang, Lang::C);
+            assert_eq!(generate_program(Suite::Binutils, "b", &mut rng).lang, Lang::C);
+        }
+    }
+
+    #[test]
+    fn spec_suite_contains_cpp_with_landing_pads() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cpp = 0;
+        let mut pads = 0;
+        for i in 0..30 {
+            let p = generate_program(Suite::Spec, &format!("s{i}"), &mut rng);
+            if p.lang == Lang::Cpp {
+                cpp += 1;
+                pads += p.functions.iter().filter(|f| f.landing_pads > 0).count();
+            }
+        }
+        assert!(cpp >= 5, "expected a C++ share, got {cpp}/30");
+        assert!(pads > 10, "expected landing pads in C++ programs, got {pads}");
+    }
+
+    #[test]
+    fn live_plain_statics_are_always_referenced() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for i in 0..10 {
+            let p = generate_program(Suite::Binutils, &format!("p{i}"), &mut rng);
+            for (idx, f) in p.functions.iter().enumerate() {
+                if f.linkage == Linkage::Static && !f.address_taken && !f.dead {
+                    let called = p.functions.iter().any(|g| g.calls.contains(&idx));
+                    let tailed = p.functions.iter().any(|g| g.tail_call == Some(idx));
+                    assert!(called || tailed, "{} is unreachable but not dead", f.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = generate_program(Suite::Spec, "x", &mut StdRng::seed_from_u64(99));
+        let b = generate_program(Suite::Spec, "x", &mut StdRng::seed_from_u64(99));
+        assert_eq!(a, b);
+    }
+}

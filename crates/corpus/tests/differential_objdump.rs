@@ -1,0 +1,94 @@
+//! Differential test: corpus-emitted code vs GNU objdump.
+//!
+//! The corpus assembler hand-encodes every instruction it emits; this
+//! test has binutils disassemble whole corpus binaries (both
+//! architectures) and checks instruction boundaries agree with our
+//! decoder everywhere. Skipped when objdump is unavailable.
+
+use std::collections::BTreeMap;
+use std::process::Command;
+
+use funseeker_corpus::{BuildConfig, Dataset, DatasetParams};
+use funseeker_disasm::LinearSweep;
+use funseeker_elf::Elf;
+
+fn objdump_starts(path: &std::path::Path, x86: bool) -> Option<BTreeMap<u64, usize>> {
+    let mut cmd = Command::new("objdump");
+    cmd.args(["-d", "-w", "--section=.text"]);
+    if x86 {
+        cmd.args(["-m", "i386"]);
+    }
+    let out = cmd.arg(path).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8_lossy(&out.stdout);
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let mut parts = line.trim_start().splitn(3, '\t');
+        let addr_part = parts.next()?.trim_end_matches(':');
+        let Ok(addr) = u64::from_str_radix(addr_part.trim(), 16) else { continue };
+        let Some(bytes_part) = parts.next() else { continue };
+        let mnemonic = parts.next().unwrap_or("");
+        if mnemonic.contains("(bad)") || mnemonic.is_empty() {
+            continue;
+        }
+        map.insert(addr, bytes_part.split_whitespace().count());
+    }
+    Some(map)
+}
+
+#[test]
+fn corpus_binaries_agree_with_objdump() {
+    // Quick availability probe.
+    if Command::new("objdump").arg("--version").output().map(|o| !o.status.success()).unwrap_or(true) {
+        eprintln!("skipping: objdump unavailable");
+        return;
+    }
+
+    let mut params = DatasetParams::tiny();
+    params.programs = (2, 1, 2);
+    params.configs = BuildConfig::grid();
+    let ds = Dataset::generate(&params, 0xD1FF);
+
+    let dir = std::env::temp_dir().join("funseeker_corpus_diff");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut checked_binaries = 0usize;
+    let mut checked_insns = 0usize;
+    // A representative subsample across configurations keeps the test fast.
+    for (i, bin) in ds.binaries.iter().enumerate() {
+        if i % 7 != 0 {
+            continue;
+        }
+        let path = dir.join(format!("bin_{i}"));
+        std::fs::write(&path, &bin.bytes).unwrap();
+        let x86 = bin.config.arch == funseeker_corpus::Arch::X86;
+        let Some(expected) = objdump_starts(&path, x86) else { continue };
+        assert!(!expected.is_empty(), "objdump produced nothing for {}", bin.program);
+
+        let elf = Elf::parse(&bin.bytes).unwrap();
+        let (text_addr, text) = elf.section_bytes(".text").unwrap();
+        let ours: BTreeMap<u64, usize> = LinearSweep::new(text, text_addr, bin.config.arch.mode())
+            .map(|insn| (insn.addr, insn.len as usize))
+            .collect();
+
+        for (addr, len) in &expected {
+            assert_eq!(
+                ours.get(addr),
+                Some(len),
+                "{} {}: mismatch at {addr:#x} (objdump {len} bytes)",
+                bin.program,
+                bin.config.label()
+            );
+        }
+        // And the reverse: we decode nothing objdump didn't (boundary sets
+        // are identical because neither side errors on corpus output).
+        assert_eq!(ours.len(), expected.len(), "{}: instruction count", bin.program);
+        checked_binaries += 1;
+        checked_insns += expected.len();
+    }
+    assert!(checked_binaries >= 10, "too few binaries checked ({checked_binaries})");
+    assert!(checked_insns > 10_000, "too few instructions checked ({checked_insns})");
+    eprintln!("verified {checked_insns} instructions across {checked_binaries} binaries against objdump");
+}

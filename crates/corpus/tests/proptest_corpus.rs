@@ -1,0 +1,113 @@
+//! Property tests for the corpus compiler: arbitrary valid program
+//! specs must lower, link, and satisfy the pipeline invariants.
+
+use funseeker_corpus::{
+    compile, compile_with, Arch, BuildConfig, Compiler, EmissionOptions, FunctionSpec, Lang,
+    Linkage, OptLevel, ProgramSpec,
+};
+use funseeker_disasm::LinearSweep;
+use funseeker_elf::Elf;
+use proptest::prelude::*;
+
+/// Strategy: a structurally valid program spec.
+fn arb_spec() -> impl Strategy<Value = ProgramSpec> {
+    (2usize..14, any::<u64>(), any::<bool>()).prop_map(|(n, bits, cpp)| {
+        let lang = if cpp { Lang::Cpp } else { Lang::C };
+        let mut functions = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut f = FunctionSpec::named(if i == 0 { "main".into() } else { format!("f{i}") });
+            let r = bits.rotate_left((i * 7) as u32);
+            f.body_size = 2 + (r % 20) as usize;
+            if i != 0 {
+                if r & 1 == 1 {
+                    f.linkage = Linkage::Static;
+                    if r & 2 == 2 {
+                        f.address_taken = true;
+                    } else if r & 4 == 4 {
+                        f.dead = true;
+                    }
+                }
+                // Call a previous function sometimes (never self).
+                if r & 8 == 8 && i >= 2 {
+                    f.calls.push((r % (i as u64 - 1)) as usize + 1);
+                }
+                if r & 16 == 16 && i >= 2 {
+                    let t = (r % i as u64) as usize;
+                    if t != i {
+                        f.tail_call = Some(t);
+                    }
+                }
+            }
+            if r & 32 == 32 {
+                f.switch_cases = 2 + (r % 6) as usize;
+            }
+            if lang == Lang::Cpp && r & 64 == 64 {
+                f.landing_pads = 1 + (r % 3) as usize;
+            }
+            if r & 128 == 128 && i != 0 {
+                f.cold_part = true;
+                f.part_called = r & 256 == 256;
+            }
+            functions.push(f);
+        }
+        ProgramSpec { name: "prop".into(), lang, functions }
+    })
+    .prop_filter("valid spec", |spec| spec.validate().is_ok())
+}
+
+fn arb_config() -> impl Strategy<Value = BuildConfig> {
+    (any::<bool>(), any::<bool>(), 0usize..6, any::<bool>()).prop_map(|(gcc, x64, opt, pie)| BuildConfig {
+        compiler: if gcc { Compiler::Gcc } else { Compiler::Clang },
+        arch: if x64 { Arch::X64 } else { Arch::X86 },
+        opt: OptLevel::ALL[opt],
+        pie,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every compiled binary parses, sweeps with zero decode errors, and
+    /// places all ground-truth entries on instruction boundaries.
+    #[test]
+    fn compiled_binaries_uphold_invariants(spec in arb_spec(), cfg in arb_config(), seed in any::<u64>()) {
+        let built = compile(&spec, cfg, seed);
+        let elf = Elf::parse(&built.bytes).expect("parses");
+        let (text_addr, text) = elf.section_bytes(".text").expect("has .text");
+
+        let mut sweep = LinearSweep::new(text, text_addr, cfg.arch.mode());
+        let starts: std::collections::BTreeSet<u64> = sweep.by_ref().map(|i| i.addr).collect();
+        prop_assert_eq!(sweep.error_count(), 0);
+        for f in &built.truth.functions {
+            prop_assert!(starts.contains(&f.addr), "{} not on boundary", f.name);
+        }
+    }
+
+    /// FunSeeker never misses a live, endbr-carrying function, and never
+    /// reports an address outside .text.
+    #[test]
+    fn funseeker_invariants_hold(spec in arb_spec(), cfg in arb_config(), seed in any::<u64>()) {
+        let built = compile(&spec, cfg, seed);
+        let analysis = funseeker::FunSeeker::new().identify(&built.bytes).expect("analyzable");
+        let (lo, hi) = built.truth.text_range;
+        for &f in &analysis.functions {
+            prop_assert!(f >= lo && f < hi);
+        }
+        for f in built.truth.functions.iter().filter(|f| !f.is_part && f.has_endbr) {
+            prop_assert!(analysis.functions.contains(&f.addr), "missed endbr function {}", f.name);
+        }
+    }
+
+    /// Manual-endbr emission only ever removes end-branches, never adds.
+    #[test]
+    fn manual_endbr_is_a_reduction(spec in arb_spec(), cfg in arb_config(), seed in any::<u64>()) {
+        let normal = compile(&spec, cfg, seed);
+        let manual = compile_with(&spec, cfg, EmissionOptions { manual_endbr: true, ..Default::default() }, seed);
+        let count = |b: &funseeker_corpus::LinkedBinary| {
+            b.truth.functions.iter().filter(|f| f.has_endbr).count()
+        };
+        prop_assert!(count(&manual) <= count(&normal));
+        // And both binaries keep all their entries on boundaries.
+        prop_assert_eq!(normal.truth.functions.len(), manual.truth.functions.len());
+    }
+}

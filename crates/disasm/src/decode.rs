@@ -1,0 +1,619 @@
+//! The instruction decoder.
+//!
+//! A table-driven x86/x86-64 *length* decoder with semantic classification
+//! of the instructions relevant to function identification. It handles
+//! legacy prefixes, REX, the `0F`/`0F 38`/`0F 3A` escape maps, VEX
+//! (2- and 3-byte) and EVEX encodings, 16-bit addressing via `67` in
+//! 32-bit mode, and the hardware 15-byte length limit.
+
+use crate::error::DecodeError;
+use crate::insn::{Insn, InsnKind};
+use crate::mode::Mode;
+use crate::tables::{BAD, ENTER, FAR, GRP3, I16, I8, INV64, IV, IZ, M, MOFFS, ONE_BYTE, PFX, TWO_BYTE};
+
+/// Hardware limit on total instruction length.
+const MAX_LEN: usize = 15;
+
+struct Cursor<'a> {
+    code: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Result<u8, DecodeError> {
+        if self.pos >= MAX_LEN {
+            return Err(DecodeError::TooLong);
+        }
+        self.code.get(self.pos).copied().ok_or(DecodeError::Truncated)
+    }
+
+    fn take(&mut self) -> Result<u8, DecodeError> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn skip(&mut self, n: usize) -> Result<(), DecodeError> {
+        if self.pos + n > MAX_LEN {
+            return Err(DecodeError::TooLong);
+        }
+        if self.pos + n > self.code.len() {
+            return Err(DecodeError::Truncated);
+        }
+        self.pos += n;
+        Ok(())
+    }
+
+    fn take_le(&mut self, n: usize) -> Result<u64, DecodeError> {
+        if self.pos + n > MAX_LEN {
+            return Err(DecodeError::TooLong);
+        }
+        let bytes = self
+            .code
+            .get(self.pos..self.pos + n)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos += n;
+        let mut v = 0u64;
+        for (i, &b) in bytes.iter().enumerate() {
+            v |= u64::from(b) << (8 * i);
+        }
+        Ok(v)
+    }
+}
+
+fn sign_extend(v: u64, bytes: usize) -> i64 {
+    let bits = bytes * 8;
+    if bits >= 64 {
+        return v as i64;
+    }
+    let shift = 64 - bits;
+    ((v << shift) as i64) >> shift
+}
+
+#[derive(Default)]
+struct Prefixes {
+    opsize16: bool,
+    addrsize: bool,
+    rep: bool,   // F3
+    ds: bool,    // 3E — doubles as NOTRACK on indirect branches
+    rex: u8,     // 0 when absent
+}
+
+impl Prefixes {
+    fn rex_w(&self) -> bool {
+        self.rex & 0x08 != 0
+    }
+    fn rex_b(&self) -> bool {
+        self.rex & 0x01 != 0
+    }
+}
+
+/// Consumes ModRM + SIB + displacement, returning the ModRM byte.
+fn modrm(cur: &mut Cursor<'_>, addr16: bool) -> Result<u8, DecodeError> {
+    let byte = cur.take()?;
+    let mode_bits = byte >> 6;
+    let rm = byte & 7;
+    if mode_bits == 3 {
+        return Ok(byte);
+    }
+    if addr16 {
+        // 16-bit addressing (67-prefixed code in 32-bit mode).
+        match (mode_bits, rm) {
+            (0, 6) => cur.skip(2)?,
+            (0, _) => {}
+            (1, _) => cur.skip(1)?,
+            (2, _) => cur.skip(2)?,
+            _ => unreachable!(),
+        }
+    } else {
+        let has_sib = rm == 4;
+        let sib_base = if has_sib { cur.take()? & 7 } else { 0 };
+        match mode_bits {
+            0 => {
+                if (has_sib && sib_base == 5) || (!has_sib && rm == 5) {
+                    cur.skip(4)?; // disp32 (RIP-relative in 64-bit mode)
+                }
+            }
+            1 => cur.skip(1)?,
+            2 => cur.skip(4)?,
+            _ => unreachable!(),
+        }
+    }
+    Ok(byte)
+}
+
+/// Decodes the instruction at the start of `code`, which sits at virtual
+/// address `addr`.
+///
+/// `code` should extend to the end of the section (or at least 15 bytes
+/// past the instruction) so length decoding is never artificially cut
+/// short.
+///
+/// ```
+/// use funseeker_disasm::{decode, InsnKind, Mode};
+/// let insn = decode(&[0xf3, 0x0f, 0x1e, 0xfa], 0x1000, Mode::Bits64).unwrap();
+/// assert_eq!(insn.len, 4);
+/// assert_eq!(insn.kind, InsnKind::Endbr64);
+/// ```
+pub fn decode(code: &[u8], addr: u64, mode: Mode) -> Result<Insn, DecodeError> {
+    let mut cur = Cursor { code, pos: 0 };
+    let mut pfx = Prefixes::default();
+    let is64 = mode.is_64();
+
+    // --- prefixes ---
+    let opcode = loop {
+        let b = cur.peek()?;
+        if is64 && (0x40..=0x4F).contains(&b) {
+            // REX must immediately precede the opcode; a legacy prefix
+            // after it voids it, which re-entering the loop handles.
+            cur.take()?;
+            pfx.rex = b;
+            let next = cur.peek()?;
+            if ONE_BYTE[next as usize] & PFX != 0 || (0x40..=0x4F).contains(&next) {
+                pfx.rex = 0;
+                continue;
+            }
+            break cur.take()?;
+        }
+        if ONE_BYTE[b as usize] & PFX != 0 {
+            cur.take()?;
+            match b {
+                0x66 => pfx.opsize16 = true,
+                0x67 => pfx.addrsize = true,
+                0xF3 => pfx.rep = true,
+                0xF2 => pfx.rep = false,
+                0x3E => pfx.ds = true,
+                _ => {}
+            }
+            continue;
+        }
+        break cur.take()?;
+    };
+
+    let addr16 = !is64 && pfx.addrsize;
+
+    // --- opcode maps ---
+    // (attrs, map, second_opcode)
+    let (attrs, map, op) = match opcode {
+        0x0F => {
+            let b2 = cur.take()?;
+            match b2 {
+                0x38 => {
+                    let b3 = cur.take()?;
+                    (M, OpMap::Map38, b3)
+                }
+                0x3A => {
+                    let b3 = cur.take()?;
+                    (M | I8, OpMap::Map3A, b3)
+                }
+                _ => (TWO_BYTE[b2 as usize], OpMap::Map0F, b2),
+            }
+        }
+        0xC5 if is64 || cur.peek()? & 0xC0 == 0xC0 => {
+            // Two-byte VEX: implied 0F map.
+            cur.take()?; // payload
+            let vop = cur.take()?;
+            (TWO_BYTE[vop as usize] & !(IZ | BAD), OpMap::Map0F, vop)
+        }
+        0xC4 if is64 || cur.peek()? & 0xC0 == 0xC0 => {
+            // Three-byte VEX: map in mmmmm.
+            let p0 = cur.take()?;
+            cur.take()?; // p1
+            let vop = cur.take()?;
+            match p0 & 0x1F {
+                1 => (TWO_BYTE[vop as usize] & !(IZ | BAD), OpMap::Map0F, vop),
+                2 => (M, OpMap::Map38, vop),
+                3 => (M | I8, OpMap::Map3A, vop),
+                _ => return Err(DecodeError::BadOpcode),
+            }
+        }
+        0x62 if is64 || cur.peek()? & 0xC0 == 0xC0 => {
+            // EVEX: three payload bytes, map in p0's low bits.
+            let p0 = cur.take()?;
+            cur.take()?;
+            cur.take()?;
+            let eop = cur.take()?;
+            match p0 & 0x07 {
+                1 => (TWO_BYTE[eop as usize] & !(IZ | BAD), OpMap::Map0F, eop),
+                2 | 5 | 6 => (M, OpMap::Map38, eop),
+                3 => (M | I8, OpMap::Map3A, eop),
+                _ => return Err(DecodeError::BadOpcode),
+            }
+        }
+        _ => (ONE_BYTE[opcode as usize], OpMap::Primary, opcode),
+    };
+
+    if attrs & BAD != 0 {
+        return Err(DecodeError::BadOpcode);
+    }
+    if is64 && attrs & INV64 != 0 {
+        return Err(DecodeError::BadOpcode);
+    }
+
+    // --- ModRM / SIB / displacement ---
+    // MOV to/from control and debug registers (0F 20-23, legacy 0F 24/26)
+    // always use the register form: the mod bits are ignored and no
+    // SIB/displacement ever follows.
+    let reg_only_modrm = map == OpMap::Map0F && matches!(op, 0x20..=0x26);
+    let modrm_byte = if attrs & M != 0 {
+        if reg_only_modrm {
+            Some(cur.take()?)
+        } else {
+            Some(modrm(&mut cur, addr16)?)
+        }
+    } else {
+        None
+    };
+
+    // --- immediates ---
+    let mut rel: Option<(i64, usize)> = None; // (displacement, width) for branches
+    if attrs & GRP3 != 0 {
+        let reg = (modrm_byte.unwrap_or(0) >> 3) & 7;
+        if reg < 2 {
+            // TEST r/m, imm
+            if op == 0xF6 {
+                cur.skip(1)?;
+            } else {
+                let n = if pfx.opsize16 { 2 } else { 4 };
+                cur.skip(n)?;
+            }
+        }
+    }
+    if attrs & I8 != 0 {
+        let v = cur.take_le(1)?;
+        rel = Some((sign_extend(v, 1), 1));
+    }
+    if attrs & IZ != 0 {
+        // Near-branch displacement width honors the 66 prefix in every
+        // mode. (Intel documents the prefix as ignored for near branches
+        // in 64-bit mode while AMD truncates to 16 bits; binutils — our
+        // differential oracle — models the AMD/`data16` reading, and no
+        // compiler emits the combination, so we follow binutils.)
+        let n = if pfx.opsize16 { 2 } else { 4 };
+        let v = cur.take_le(n)?;
+        rel = Some((sign_extend(v, n), n));
+    }
+    if attrs & IV != 0 {
+        let n = if pfx.rex_w() { 8 } else if pfx.opsize16 { 2 } else { 4 };
+        cur.skip(n)?;
+    }
+    if attrs & I16 != 0 {
+        cur.skip(2)?;
+    }
+    if attrs & MOFFS != 0 {
+        let n = if is64 {
+            if pfx.addrsize { 4 } else { 8 }
+        } else if pfx.addrsize {
+            2
+        } else {
+            4
+        };
+        cur.skip(n)?;
+    }
+    if attrs & ENTER != 0 {
+        cur.skip(3)?;
+    }
+    if attrs & FAR != 0 {
+        let n = if pfx.opsize16 { 4 } else { 6 };
+        cur.skip(n)?;
+    }
+
+    let len = cur.pos;
+    debug_assert!(len <= MAX_LEN);
+    let end = addr.wrapping_add(len as u64);
+    let target = |(disp, width): (i64, usize)| -> u64 {
+        let t = end.wrapping_add(disp as u64);
+        // A 16-bit operand size truncates the computed IP.
+        if width == 2 && pfx.opsize16 {
+            t & 0xffff
+        } else {
+            mode.mask_addr(t)
+        }
+    };
+
+    // --- classification ---
+    let kind = match (map, op) {
+        (OpMap::Map0F, 0x1E) if pfx.rep => match modrm_byte {
+            Some(0xFA) => InsnKind::Endbr64,
+            Some(0xFB) => InsnKind::Endbr32,
+            _ => InsnKind::Nop,
+        },
+        (OpMap::Map0F, 0x1E) | (OpMap::Map0F, 0x1F) => InsnKind::Nop,
+        (OpMap::Map0F, 0x0B) => InsnKind::Ud2,
+        (OpMap::Map0F, o) if (0x80..=0x8F).contains(&o) => InsnKind::Jcc {
+            target: rel.map(target).unwrap_or(0),
+        },
+        (OpMap::Primary, 0xE8) => InsnKind::CallRel { target: rel.map(target).unwrap_or(0) },
+        (OpMap::Primary, 0xE9) | (OpMap::Primary, 0xEB) => {
+            InsnKind::JmpRel { target: rel.map(target).unwrap_or(0) }
+        }
+        (OpMap::Primary, o) if (0x70..=0x7F).contains(&o) || (0xE0..=0xE3).contains(&o) => {
+            InsnKind::Jcc { target: rel.map(target).unwrap_or(0) }
+        }
+        (OpMap::Primary, 0xFF) => {
+            let reg = (modrm_byte.unwrap_or(0) >> 3) & 7;
+            match reg {
+                2 | 3 => InsnKind::CallInd { notrack: pfx.ds },
+                4 | 5 => InsnKind::JmpInd { notrack: pfx.ds },
+                7 => return Err(DecodeError::BadOpcode), // FF /7 undefined
+                _ => InsnKind::Other,
+            }
+        }
+        (OpMap::Primary, 0xC3) | (OpMap::Primary, 0xC2) | (OpMap::Primary, 0xCB) | (OpMap::Primary, 0xCA) => {
+            InsnKind::Ret
+        }
+        (OpMap::Primary, 0xC9) => InsnKind::Leave,
+        (OpMap::Primary, 0xCC) => InsnKind::Int3,
+        (OpMap::Primary, 0xF4) => InsnKind::Hlt,
+        (OpMap::Primary, 0x90) if !pfx.rex_b() => InsnKind::Nop,
+        (OpMap::Primary, o) if (0x50..=0x57).contains(&o) => InsnKind::PushReg {
+            reg: (o - 0x50) + if pfx.rex_b() { 8 } else { 0 },
+        },
+        _ => InsnKind::Other,
+    };
+
+    Ok(Insn { addr, len: len as u8, kind })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpMap {
+    Primary,
+    Map0F,
+    Map38,
+    Map3A,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn len64(bytes: &[u8]) -> usize {
+        decode(bytes, 0x1000, Mode::Bits64).unwrap().len as usize
+    }
+
+    fn len32(bytes: &[u8]) -> usize {
+        decode(bytes, 0x1000, Mode::Bits32).unwrap().len as usize
+    }
+
+    fn kind64(bytes: &[u8]) -> InsnKind {
+        decode(bytes, 0x1000, Mode::Bits64).unwrap().kind
+    }
+
+    #[test]
+    fn endbr_both_widths() {
+        assert_eq!(kind64(&[0xf3, 0x0f, 0x1e, 0xfa]), InsnKind::Endbr64);
+        assert_eq!(kind64(&[0xf3, 0x0f, 0x1e, 0xfb]), InsnKind::Endbr32);
+        assert_eq!(len64(&[0xf3, 0x0f, 0x1e, 0xfa]), 4);
+        // Without the F3 prefix 0F 1E FA is a hint NOP, not an end branch.
+        assert_eq!(kind64(&[0x0f, 0x1e, 0xfa]), InsnKind::Nop);
+    }
+
+    #[test]
+    fn direct_branches_compute_targets() {
+        // call +0 → target is the next instruction.
+        let i = decode(&[0xe8, 0, 0, 0, 0], 0x1000, Mode::Bits64).unwrap();
+        assert_eq!(i.kind, InsnKind::CallRel { target: 0x1005 });
+        // jmp rel8 backward.
+        let i = decode(&[0xeb, 0xfe], 0x1000, Mode::Bits64).unwrap();
+        assert_eq!(i.kind, InsnKind::JmpRel { target: 0x1000 });
+        // jne rel32.
+        let i = decode(&[0x0f, 0x85, 0x10, 0x00, 0x00, 0x00], 0x2000, Mode::Bits64).unwrap();
+        assert_eq!(i.kind, InsnKind::Jcc { target: 0x2016 });
+        // jle rel8 (0x7e).
+        let i = decode(&[0x7e, 0x02], 0x3000, Mode::Bits64).unwrap();
+        assert_eq!(i.kind, InsnKind::Jcc { target: 0x3004 });
+    }
+
+    #[test]
+    fn branch_rel16_with_66_prefix() {
+        // 66 E8 xx xx decodes as rel16 in both modes (the binutils /
+        // AMD `data16` reading — see the comment in the decoder; Intel
+        // hardware ignores the prefix in long mode, but no compiler emits
+        // the combination).
+        let i = decode(&[0x66, 0xe8, 0x01, 0x00], 0x1000, Mode::Bits64).unwrap();
+        assert_eq!(i.len, 4);
+        // rel16 in 32-bit mode truncates EIP.
+        let i = decode(&[0x66, 0xe8, 0x01, 0x00], 0x1000, Mode::Bits32).unwrap();
+        assert_eq!(i.len, 4);
+        assert_eq!(i.kind, InsnKind::CallRel { target: 0x1005 & 0xffff });
+    }
+
+    #[test]
+    fn indirect_branches_and_notrack() {
+        // call rax → FF D0.
+        assert_eq!(kind64(&[0xff, 0xd0]), InsnKind::CallInd { notrack: false });
+        // jmp rdx → FF E2.
+        assert_eq!(kind64(&[0xff, 0xe2]), InsnKind::JmpInd { notrack: false });
+        // notrack jmp rdx → 3E FF E2 (the paper's Figure 1b switch).
+        assert_eq!(kind64(&[0x3e, 0xff, 0xe2]), InsnKind::JmpInd { notrack: true });
+        // call qword ptr [rbp-16] → FF 55 F0.
+        let i = decode(&[0xff, 0x55, 0xf0], 0x1000, Mode::Bits64).unwrap();
+        assert_eq!(i.len, 3);
+        assert_eq!(i.kind, InsnKind::CallInd { notrack: false });
+        // jmp [rip+disp32].
+        let i = decode(&[0xff, 0x25, 0x10, 0x20, 0x30, 0x00], 0x1000, Mode::Bits64).unwrap();
+        assert_eq!(i.len, 6);
+        assert_eq!(i.kind, InsnKind::JmpInd { notrack: false });
+        // push r/m (FF /6) is not a branch.
+        assert_eq!(kind64(&[0xff, 0x75, 0x08]), InsnKind::Other);
+    }
+
+    #[test]
+    fn returns_and_padding() {
+        assert_eq!(kind64(&[0xc3]), InsnKind::Ret);
+        let i = decode(&[0xc2, 0x08, 0x00], 0, Mode::Bits64).unwrap();
+        assert_eq!(i.kind, InsnKind::Ret);
+        assert_eq!(i.len, 3);
+        assert_eq!(kind64(&[0xc9]), InsnKind::Leave);
+        assert_eq!(kind64(&[0xcc]), InsnKind::Int3);
+        assert_eq!(kind64(&[0xf4]), InsnKind::Hlt);
+        assert_eq!(kind64(&[0x90]), InsnKind::Nop);
+        assert_eq!(kind64(&[0x0f, 0x0b]), InsnKind::Ud2);
+        // Multi-byte NOPs as emitted by GCC for alignment.
+        assert_eq!(len64(&[0x0f, 0x1f, 0x40, 0x00]), 4);
+        assert_eq!(len64(&[0x0f, 0x1f, 0x44, 0x00, 0x00]), 5);
+        assert_eq!(len64(&[0x66, 0x0f, 0x1f, 0x84, 0x00, 0, 0, 0, 0]), 9);
+        assert_eq!(kind64(&[0x0f, 0x1f, 0x40, 0x00]), InsnKind::Nop);
+    }
+
+    #[test]
+    fn push_reg_with_rex() {
+        assert_eq!(kind64(&[0x55]), InsnKind::PushReg { reg: 5 });
+        assert_eq!(kind64(&[0x41, 0x54]), InsnKind::PushReg { reg: 12 });
+    }
+
+    #[test]
+    fn common_compiler_instructions_length() {
+        // mov rbp, rsp → 48 89 E5.
+        assert_eq!(len64(&[0x48, 0x89, 0xe5]), 3);
+        // sub rsp, 0x20 → 48 83 EC 20.
+        assert_eq!(len64(&[0x48, 0x83, 0xec, 0x20]), 4);
+        // mov eax, imm32.
+        assert_eq!(len64(&[0xb8, 1, 0, 0, 0]), 5);
+        // mov rax, imm64 (REX.W).
+        assert_eq!(len64(&[0x48, 0xb8, 1, 2, 3, 4, 5, 6, 7, 8]), 10);
+        // lea rcx, [rip + disp32] → 48 8D 0D xx xx xx xx.
+        assert_eq!(len64(&[0x48, 0x8d, 0x0d, 1, 0, 0, 0]), 7);
+        // mov [rbp-16], rcx → 48 89 4D F0.
+        assert_eq!(len64(&[0x48, 0x89, 0x4d, 0xf0]), 4);
+        // mov dword [rsp+8], 5 → C7 44 24 08 05 00 00 00 (SIB).
+        assert_eq!(len64(&[0xc7, 0x44, 0x24, 0x08, 5, 0, 0, 0]), 8);
+        // cmp eax, imm8 → 83 F8 05.
+        assert_eq!(len64(&[0x83, 0xf8, 0x05]), 3);
+        // test al, imm8 / test eax, imm32.
+        assert_eq!(len64(&[0xa8, 0x01]), 2);
+        assert_eq!(len64(&[0xa9, 1, 0, 0, 0]), 5);
+        // movzx eax, byte [rdi] → 0F B6 07.
+        assert_eq!(len64(&[0x0f, 0xb6, 0x07]), 3);
+        // imul eax, ebx, 0x10 → 6B C3 10.
+        assert_eq!(len64(&[0x6b, 0xc3, 0x10]), 3);
+        // enter 0x20, 0 → C8 20 00 00.
+        assert_eq!(len64(&[0xc8, 0x20, 0x00, 0x00]), 4);
+    }
+
+    #[test]
+    fn grp3_immediate_presence_depends_on_reg() {
+        // test r/m32, imm32 → F7 /0 id.
+        assert_eq!(len64(&[0xf7, 0xc0, 1, 0, 0, 0]), 6);
+        // not r/m32 → F7 /2, no immediate.
+        assert_eq!(len64(&[0xf7, 0xd0]), 2);
+        // neg r/m32 → F7 /3.
+        assert_eq!(len64(&[0xf7, 0xd8]), 2);
+        // test r/m8, imm8 → F6 /0 ib.
+        assert_eq!(len64(&[0xf6, 0xc0, 0x7f]), 3);
+    }
+
+    #[test]
+    fn sib_and_displacement_forms() {
+        // mov eax, [ebx+ecx*4] → 8B 04 8B.
+        assert_eq!(len32(&[0x8b, 0x04, 0x8b]), 3);
+        // mov eax, [disp32] (mod=0, rm=5) → 8B 05 xx xx xx xx.
+        assert_eq!(len32(&[0x8b, 0x05, 1, 2, 3, 4]), 6);
+        // mov eax, [ebp+8] → 8B 45 08.
+        assert_eq!(len32(&[0x8b, 0x45, 0x08]), 3);
+        // mov eax, [ebp+disp32] → 8B 85 xx xx xx xx.
+        assert_eq!(len32(&[0x8b, 0x85, 1, 2, 3, 4]), 6);
+        // SIB with no base (mod=0, base=5): 8B 04 25 xx xx xx xx.
+        assert_eq!(len64(&[0x8b, 0x04, 0x25, 1, 2, 3, 4]), 7);
+        // 16-bit addressing in 32-bit mode: 67 8B 46 08 → mov eax, [bp+8].
+        assert_eq!(len32(&[0x67, 0x8b, 0x46, 0x08]), 4);
+        // 67 8B 06 xx xx → mov eax, [disp16].
+        assert_eq!(len32(&[0x67, 0x8b, 0x06, 1, 2]), 5);
+    }
+
+    #[test]
+    fn moffs_widths() {
+        // mov al, [moffs64] in 64-bit mode.
+        assert_eq!(len64(&[0xa0, 1, 2, 3, 4, 5, 6, 7, 8]), 9);
+        // mov eax, [moffs32] in 32-bit mode.
+        assert_eq!(len32(&[0xa1, 1, 2, 3, 4]), 5);
+        // 67 A1 in 64-bit mode → moffs32.
+        assert_eq!(len64(&[0x67, 0xa1, 1, 2, 3, 4]), 6);
+    }
+
+    #[test]
+    fn vex_lengths() {
+        // vzeroupper → C5 F8 77.
+        assert_eq!(len64(&[0xc5, 0xf8, 0x77]), 3);
+        // vmovdqa ymm0, [rdi] → C5 FD 6F 07.
+        assert_eq!(len64(&[0xc5, 0xfd, 0x6f, 0x07]), 4);
+        // vpshufd xmm0, xmm1, 0x1b → C5 F9 70 C1 1B (0F map imm8).
+        assert_eq!(len64(&[0xc5, 0xf9, 0x70, 0xc1, 0x1b]), 5);
+        // 3-byte VEX, 0F38 map: vpermd ymm, ymm, ymm → C4 E2 6D 36 C1.
+        assert_eq!(len64(&[0xc4, 0xe2, 0x6d, 0x36, 0xc1]), 5);
+        // 3-byte VEX, 0F3A map with imm8: vpblendd → C4 E3 75 02 C2 03.
+        assert_eq!(len64(&[0xc4, 0xe3, 0x75, 0x02, 0xc2, 0x03]), 6);
+        // In 32-bit mode C5 with mod!=11 is LDS (modrm form).
+        let i = decode(&[0xc5, 0x45, 0x08], 0, Mode::Bits32).unwrap();
+        assert_eq!(i.len, 3);
+        assert_eq!(i.kind, InsnKind::Other);
+    }
+
+    #[test]
+    fn evex_length() {
+        // vmovups zmm0, [rdi] → 62 F1 7C 48 10 07.
+        assert_eq!(len64(&[0x62, 0xf1, 0x7c, 0x48, 0x10, 0x07]), 6);
+        // In 32-bit mode, 62 with mod!=11 is BOUND.
+        let i = decode(&[0x62, 0x45, 0x08], 0, Mode::Bits32).unwrap();
+        assert_eq!(i.len, 3);
+        // BOUND is invalid in 64-bit mode only when not EVEX — 62 with
+        // mod!=11 payload is still consumed as EVEX there.
+    }
+
+    #[test]
+    fn invalid_in_64bit() {
+        for op in [0x06u8, 0x0e, 0x16, 0x1e, 0x27, 0x2f, 0x37, 0x3f, 0x60, 0x61, 0xce, 0xd4, 0xd5] {
+            assert_eq!(decode(&[op, 0, 0, 0], 0, Mode::Bits64), Err(DecodeError::BadOpcode), "op {op:#x}");
+            assert!(decode(&[op, 0, 0, 0, 0, 0, 0], 0, Mode::Bits32).is_ok(), "op {op:#x} in 32-bit");
+        }
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        assert_eq!(decode(&[0xe8, 0x01], 0, Mode::Bits64), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[], 0, Mode::Bits64), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[0x48], 0, Mode::Bits64), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[0x8b, 0x85, 1, 2], 0, Mode::Bits32), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn prefix_spam_hits_length_limit() {
+        let code = [0x66u8; 20];
+        assert_eq!(decode(&code, 0, Mode::Bits64), Err(DecodeError::TooLong));
+    }
+
+    #[test]
+    fn rex_voided_by_following_prefix() {
+        // 48 66 ... : REX then a legacy prefix — REX is dropped, 66
+        // applies, and the opcode parses.
+        let i = decode(&[0x48, 0x66, 0xb8, 0x01, 0x00], 0, Mode::Bits64).unwrap();
+        // mov ax, imm16 → 2-byte immediate because REX.W was voided.
+        assert_eq!(i.len, 5);
+    }
+
+    #[test]
+    fn far_branches() {
+        // Far call ptr16:32 in 32-bit mode → 9A + 6 bytes.
+        assert_eq!(len32(&[0x9a, 1, 2, 3, 4, 5, 6]), 7);
+        assert_eq!(decode(&[0x9a, 1, 2, 3, 4, 5, 6], 0, Mode::Bits64), Err(DecodeError::BadOpcode));
+    }
+
+    #[test]
+    fn x87_and_sse() {
+        // fld qword [esp] → DD 04 24.
+        assert_eq!(len32(&[0xdd, 0x04, 0x24]), 3);
+        // movaps xmm0, [rdi] → 0F 28 07.
+        assert_eq!(len64(&[0x0f, 0x28, 0x07]), 3);
+        // movsd xmm0, [rax] → F2 0F 10 00.
+        assert_eq!(len64(&[0xf2, 0x0f, 0x10, 0x00]), 4);
+        // pcmpistri xmm0, xmm1, 0x0c → 66 0F 3A 63 C1 0C.
+        assert_eq!(len64(&[0x66, 0x0f, 0x3a, 0x63, 0xc1, 0x0c]), 6);
+        // pshufb xmm0, xmm1 → 66 0F 38 00 C1.
+        assert_eq!(len64(&[0x66, 0x0f, 0x38, 0x00, 0xc1]), 5);
+    }
+
+    #[test]
+    fn ff_slash7_is_undefined() {
+        assert_eq!(decode(&[0xff, 0xf8], 0, Mode::Bits64), Err(DecodeError::BadOpcode));
+    }
+}

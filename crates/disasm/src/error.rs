@@ -1,0 +1,41 @@
+//! Decode errors.
+
+use core::fmt;
+
+/// Why an instruction could not be decoded.
+///
+/// The linear sweep treats any of these as "advance one byte and resume"
+/// (§IV-B of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended mid-instruction.
+    Truncated,
+    /// The opcode is undefined (or invalid in the current mode).
+    BadOpcode,
+    /// More than 15 bytes of prefixes/payload — the hardware limit.
+    TooLong,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => f.write_str("instruction truncated by end of buffer"),
+            DecodeError::BadOpcode => f.write_str("undefined opcode"),
+            DecodeError::TooLong => f.write_str("instruction exceeds 15 bytes"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(DecodeError::Truncated.to_string().contains("truncated"));
+        assert!(DecodeError::BadOpcode.to_string().contains("opcode"));
+        assert!(DecodeError::TooLong.to_string().contains("15"));
+    }
+}

@@ -1,0 +1,714 @@
+//! Textual disassembly (Intel syntax) for the common compiler subset.
+//!
+//! The length decoder in [`crate::decode`] answers *where* instructions
+//! are; this module answers *what they say*, for human consumption: the
+//! CLI's `--disasm` mode, corpus debugging, and examples. It covers the
+//! one-byte map, the frequent `0F` opcodes, and prints an honest
+//! `(bytes …)` fallback for exotic encodings rather than guessing.
+
+use crate::decode::decode;
+use crate::error::DecodeError;
+use crate::insn::InsnKind;
+use crate::mode::Mode;
+use crate::tables::{M, ONE_BYTE, PFX};
+
+const REG64: [&str; 16] = [
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11", "r12",
+    "r13", "r14", "r15",
+];
+const REG32: [&str; 16] = [
+    "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi", "r8d", "r9d", "r10d", "r11d", "r12d",
+    "r13d", "r14d", "r15d",
+];
+const REG16: [&str; 16] = [
+    "ax", "cx", "dx", "bx", "sp", "bp", "si", "di", "r8w", "r9w", "r10w", "r11w", "r12w", "r13w",
+    "r14w", "r15w",
+];
+const REG8: [&str; 16] = [
+    "al", "cl", "dl", "bl", "spl", "bpl", "sil", "dil", "r8b", "r9b", "r10b", "r11b", "r12b",
+    "r13b", "r14b", "r15b",
+];
+const REG8_LEGACY: [&str; 8] = ["al", "cl", "dl", "bl", "ah", "ch", "dh", "bh"];
+
+/// Operand width for register naming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Width {
+    B8,
+    B16,
+    B32,
+    B64,
+}
+
+fn reg_name(idx: usize, width: Width, has_rex: bool) -> &'static str {
+    match width {
+        Width::B64 => REG64[idx & 15],
+        Width::B32 => REG32[idx & 15],
+        Width::B16 => REG16[idx & 15],
+        Width::B8 => {
+            if has_rex {
+                REG8[idx & 15]
+            } else {
+                REG8_LEGACY[idx & 7]
+            }
+        }
+    }
+}
+
+struct Cur<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Cur<'_> {
+    fn u8(&mut self) -> Option<u8> {
+        let v = *self.b.get(self.i)?;
+        self.i += 1;
+        Some(v)
+    }
+    fn le(&mut self, n: usize) -> Option<u64> {
+        let s = self.b.get(self.i..self.i + n)?;
+        self.i += n;
+        let mut v = 0u64;
+        for (k, &x) in s.iter().enumerate() {
+            v |= u64::from(x) << (8 * k);
+        }
+        Some(v)
+    }
+    fn sle(&mut self, n: usize) -> Option<i64> {
+        let v = self.le(n)?;
+        let shift = 64 - 8 * n as u32;
+        Some(((v << shift) as i64) >> shift)
+    }
+}
+
+#[derive(Default)]
+struct Pfx {
+    opsize16: bool,
+    rex: u8,
+}
+
+impl Pfx {
+    fn w(&self) -> bool {
+        self.rex & 8 != 0
+    }
+    fn r(&self) -> usize {
+        ((self.rex >> 2) & 1) as usize * 8
+    }
+    fn x(&self) -> usize {
+        ((self.rex >> 1) & 1) as usize * 8
+    }
+    fn b(&self) -> usize {
+        (self.rex & 1) as usize * 8
+    }
+}
+
+/// A parsed ModRM memory or register operand, formatted lazily.
+enum Rm {
+    Reg(usize),
+    Mem { base: Option<usize>, index: Option<(usize, u32)>, disp: i64, rip: bool },
+}
+
+fn parse_modrm(cur: &mut Cur<'_>, pfx: &Pfx, mode: Mode) -> Option<(u8, Rm)> {
+    let modrm = cur.u8()?;
+    let md = modrm >> 6;
+    let reg = (modrm >> 3) & 7;
+    let rm = modrm & 7;
+    if md == 3 {
+        return Some((reg, Rm::Reg(rm as usize + pfx.b())));
+    }
+    let mut base = None;
+    let mut index = None;
+    let mut rip = false;
+    if rm == 4 {
+        let sib = cur.u8()?;
+        let scale = 1u32 << (sib >> 6);
+        let idx = ((sib >> 3) & 7) as usize + pfx.x();
+        let bse = (sib & 7) as usize + pfx.b();
+        if idx != 4 {
+            index = Some((idx, scale));
+        }
+        if (sib & 7) == 5 && md == 0 {
+            base = None; // disp32 only
+        } else {
+            base = Some(bse);
+        }
+    } else if rm == 5 && md == 0 {
+        if mode.is_64() {
+            rip = true;
+        }
+    } else {
+        base = Some(rm as usize + pfx.b());
+    }
+    let disp = match md {
+        1 => cur.sle(1)?,
+        2 => cur.sle(4)?,
+        0 if rip || (base.is_none() && rm == 5 || (rm == 4 && base.is_none())) => cur.sle(4)?,
+        _ => 0,
+    };
+    Some((reg, Rm::Mem { base, index, disp, rip }))
+}
+
+/// Signed hex with explicit sign (`{:+#x}` on signed ints would print
+/// the two's-complement bit pattern instead).
+fn signed_hex(v: i64) -> String {
+    if v < 0 {
+        format!("-{:#x}", v.unsigned_abs())
+    } else {
+        format!("+{v:#x}")
+    }
+}
+
+fn fmt_rm(rm: &Rm, width: Width, pfx: &Pfx, mode: Mode, next_ip: u64) -> String {
+    match rm {
+        Rm::Reg(i) => reg_name(*i, width, pfx.rex != 0).to_owned(),
+        Rm::Mem { base, index, disp, rip } => {
+            let mut inner = String::new();
+            if *rip {
+                let target = next_ip.wrapping_add(*disp as u64);
+                return format!("[rip{}] # {target:#x}", signed_hex(*disp));
+            }
+            let addr_width = if mode.is_64() { Width::B64 } else { Width::B32 };
+            if let Some(b) = base {
+                inner.push_str(reg_name(*b, addr_width, pfx.rex != 0));
+            }
+            if let Some((i, s)) = index {
+                if !inner.is_empty() {
+                    inner.push('+');
+                }
+                inner.push_str(reg_name(*i, addr_width, pfx.rex != 0));
+                if *s != 1 {
+                    inner.push_str(&format!("*{s}"));
+                }
+            }
+            if *disp != 0 || inner.is_empty() {
+                if inner.is_empty() {
+                    inner.push_str(&format!("{:#x}", *disp as u64 as u32));
+                } else {
+                    inner.push_str(&signed_hex(*disp));
+                }
+            }
+            format!("[{inner}]")
+        }
+    }
+}
+
+const GRP1: [&str; 8] = ["add", "or", "adc", "sbb", "and", "sub", "xor", "cmp"];
+const GRP2: [&str; 8] = ["rol", "ror", "rcl", "rcr", "shl", "shr", "sal", "sar"];
+const GRP3N: [&str; 8] = ["test", "test", "not", "neg", "mul", "imul", "div", "idiv"];
+const GRP5: [&str; 8] = ["inc", "dec", "call", "callf", "jmp", "jmpf", "push", "(bad)"];
+const CC: [&str; 16] = [
+    "o", "no", "b", "ae", "e", "ne", "be", "a", "s", "ns", "p", "np", "l", "ge", "le", "g",
+];
+
+/// Formats one instruction. Returns the text and its length in bytes, or
+/// `Err` when the bytes do not decode.
+pub fn format_insn(code: &[u8], addr: u64, mode: Mode) -> Result<(String, usize), DecodeError> {
+    // Authoritative length and classification from the main decoder.
+    let insn = decode(code, addr, mode)?;
+    let len = insn.len as usize;
+    let next_ip = insn.end();
+
+    // Fast paths for classified kinds with targets.
+    let quick = match insn.kind {
+        InsnKind::Endbr64 => Some("endbr64".to_owned()),
+        InsnKind::Endbr32 => Some("endbr32".to_owned()),
+        InsnKind::CallRel { target } => Some(format!("call {target:#x}")),
+        InsnKind::JmpRel { target } => Some(format!("jmp {target:#x}")),
+        InsnKind::Ret => {
+            // `C2 iw` / `CA iw` carry a stack-adjust immediate.
+            let imm_form = len >= 3 && matches!(code[len - 3], 0xc2 | 0xca);
+            Some(if imm_form {
+                let imm = u16::from_le_bytes([code[len - 2], code[len - 1]]);
+                format!("ret {imm:#x}")
+            } else {
+                "ret".to_owned()
+            })
+        }
+        InsnKind::Leave => Some("leave".to_owned()),
+        InsnKind::Int3 => Some("int3".to_owned()),
+        InsnKind::Hlt => Some("hlt".to_owned()),
+        InsnKind::Ud2 => Some("ud2".to_owned()),
+        _ => None,
+    };
+    if let Some(text) = quick {
+        return Ok((text, len));
+    }
+
+    // Re-parse with operand extraction.
+    let mut cur = Cur { b: &code[..len.min(code.len())], i: 0 };
+    let mut pfx = Pfx::default();
+    let mut rep = false;
+    let op = loop {
+        let Some(b) = cur.u8() else { return fallback(code, len) };
+        if mode.is_64() && (0x40..=0x4f).contains(&b) {
+            pfx.rex = b;
+            continue;
+        }
+        if ONE_BYTE[b as usize] & PFX != 0 {
+            match b {
+                0x66 => pfx.opsize16 = true,
+                0xf3 => rep = true,
+                _ => {}
+            }
+            continue;
+        }
+        break b;
+    };
+
+    let width = if pfx.w() {
+        Width::B64
+    } else if pfx.opsize16 {
+        Width::B16
+    } else {
+        Width::B32
+    };
+    let izn = if pfx.opsize16 { 2 } else { 4 };
+
+    let text = (|| -> Option<String> {
+        Some(match op {
+            // ALU rows: op r/m,r | op r,r/m | op al,imm8 | op eAX,immz.
+            0x00..=0x3b if op & 7 <= 3 && ONE_BYTE[op as usize] & M != 0 => {
+                let mnem = GRP1[(op >> 3) as usize];
+                let byte_op = op & 1 == 0;
+                let w = if byte_op { Width::B8 } else { width };
+                let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
+                let r = reg_name(reg as usize + pfx.r(), w, pfx.rex != 0);
+                let m = fmt_rm(&rm, w, &pfx, mode, next_ip);
+                if op & 2 == 0 {
+                    format!("{mnem} {m}, {r}")
+                } else {
+                    format!("{mnem} {r}, {m}")
+                }
+            }
+            0x04 | 0x0c | 0x14 | 0x1c | 0x24 | 0x2c | 0x34 | 0x3c => {
+                format!("{} al, {:#x}", GRP1[(op >> 3) as usize], cur.u8()?)
+            }
+            0x05 | 0x0d | 0x15 | 0x1d | 0x25 | 0x2d | 0x35 | 0x3d => {
+                format!(
+                    "{} {}, {:#x}",
+                    GRP1[(op >> 3) as usize],
+                    reg_name(0, width, false),
+                    cur.le(izn)?
+                )
+            }
+            0x50..=0x57 => format!("push {}", reg_name((op - 0x50) as usize + pfx.b(), if mode.is_64() { Width::B64 } else { Width::B32 }, pfx.rex != 0)),
+            0x58..=0x5f => format!("pop {}", reg_name((op - 0x58) as usize + pfx.b(), if mode.is_64() { Width::B64 } else { Width::B32 }, pfx.rex != 0)),
+            0x68 => format!("push {:#x}", cur.le(izn)?),
+            0x6a => format!("push {:#x}", cur.sle(1)?),
+            0x69 => {
+                let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
+                let m = fmt_rm(&rm, width, &pfx, mode, next_ip);
+                format!("imul {}, {m}, {:#x}", reg_name(reg as usize + pfx.r(), width, pfx.rex != 0), cur.le(izn)?)
+            }
+            0x6b => {
+                let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
+                let m = fmt_rm(&rm, width, &pfx, mode, next_ip);
+                format!("imul {}, {m}, {:#x}", reg_name(reg as usize + pfx.r(), width, pfx.rex != 0), cur.sle(1)?)
+            }
+            0x70..=0x7f => {
+                let disp = cur.sle(1)?;
+                format!("j{} {:#x}", CC[(op & 0xf) as usize], next_ip.wrapping_add(disp as u64))
+            }
+            0x80 | 0x81 | 0x83 => {
+                let byte_op = op == 0x80;
+                let w = if byte_op { Width::B8 } else { width };
+                let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
+                let m = fmt_rm(&rm, w, &pfx, mode, next_ip);
+                let imm = if op == 0x81 { cur.le(izn)? } else { cur.sle(1)? as u64 };
+                format!("{} {m}, {imm:#x}", GRP1[reg as usize])
+            }
+            0x84 | 0x85 => {
+                let w = if op == 0x84 { Width::B8 } else { width };
+                let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
+                format!(
+                    "test {}, {}",
+                    fmt_rm(&rm, w, &pfx, mode, next_ip),
+                    reg_name(reg as usize + pfx.r(), w, pfx.rex != 0)
+                )
+            }
+            0x88..=0x8b => {
+                let byte_op = op & 1 == 0;
+                let w = if byte_op { Width::B8 } else { width };
+                let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
+                let r = reg_name(reg as usize + pfx.r(), w, pfx.rex != 0);
+                let m = fmt_rm(&rm, w, &pfx, mode, next_ip);
+                if op & 2 == 0 {
+                    format!("mov {m}, {r}")
+                } else {
+                    format!("mov {r}, {m}")
+                }
+            }
+            0x8d => {
+                let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
+                format!(
+                    "lea {}, {}",
+                    reg_name(reg as usize + pfx.r(), width, pfx.rex != 0),
+                    fmt_rm(&rm, width, &pfx, mode, next_ip)
+                )
+            }
+            0x86 | 0x87 => {
+                let w = if op == 0x86 { Width::B8 } else { width };
+                let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
+                format!(
+                    "xchg {}, {}",
+                    fmt_rm(&rm, w, &pfx, mode, next_ip),
+                    reg_name(reg as usize + pfx.r(), w, pfx.rex != 0)
+                )
+            }
+            0x90 => "nop".to_owned(),
+            0x91..=0x97 => format!(
+                "xchg {}, {}",
+                reg_name(0, width, false),
+                reg_name((op - 0x90) as usize + pfx.b(), width, pfx.rex != 0)
+            ),
+            0x40..=0x47 if !mode.is_64() => {
+                format!("inc {}", reg_name((op - 0x40) as usize, width, false))
+            }
+            0x48..=0x4f if !mode.is_64() => {
+                format!("dec {}", reg_name((op - 0x48) as usize, width, false))
+            }
+            0xcd => format!("int {:#x}", cur.u8()?),
+            0x98 => if pfx.w() { "cdqe".into() } else { "cwde".into() },
+            0x99 => if pfx.w() { "cqo".into() } else { "cdq".into() },
+            0xb0..=0xb7 => format!(
+                "mov {}, {:#x}",
+                reg_name((op - 0xb0) as usize + pfx.b(), Width::B8, pfx.rex != 0),
+                cur.u8()?
+            ),
+            0xb8..=0xbf => {
+                let n = if pfx.w() { 8 } else { izn };
+                format!(
+                    "mov {}, {:#x}",
+                    reg_name((op - 0xb8) as usize + pfx.b(), width, pfx.rex != 0),
+                    cur.le(n)?
+                )
+            }
+            0xc0 | 0xc1 | 0xd0..=0xd3 => {
+                let byte_op = op & 1 == 0;
+                let w = if byte_op { Width::B8 } else { width };
+                let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
+                let m = fmt_rm(&rm, w, &pfx, mode, next_ip);
+                let amount = match op {
+                    0xc0 | 0xc1 => format!("{:#x}", cur.u8()?),
+                    0xd0 | 0xd1 => "1".to_owned(),
+                    _ => "cl".to_owned(),
+                };
+                format!("{} {m}, {amount}", GRP2[reg as usize])
+            }
+            0xc6 | 0xc7 => {
+                let byte_op = op == 0xc6;
+                let w = if byte_op { Width::B8 } else { width };
+                let (_, rm) = parse_modrm(&mut cur, &pfx, mode)?;
+                let m = fmt_rm(&rm, w, &pfx, mode, next_ip);
+                let imm = if byte_op { u64::from(cur.u8()?) } else { cur.le(izn)? };
+                format!("mov {m}, {imm:#x}")
+            }
+            0xf6 | 0xf7 => {
+                let byte_op = op == 0xf6;
+                let w = if byte_op { Width::B8 } else { width };
+                let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
+                let m = fmt_rm(&rm, w, &pfx, mode, next_ip);
+                if reg < 2 {
+                    let imm = if byte_op { u64::from(cur.u8()?) } else { cur.le(izn)? };
+                    format!("test {m}, {imm:#x}")
+                } else {
+                    format!("{} {m}", GRP3N[reg as usize])
+                }
+            }
+            0xfe | 0xff => {
+                let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
+                // Near branches and push default to 64-bit operands in
+                // long mode (no REX.W needed).
+                let w = if op == 0xfe {
+                    Width::B8
+                } else if mode.is_64() && matches!(reg, 2..=6) {
+                    Width::B64
+                } else {
+                    width
+                };
+                let mnem = if op == 0xfe { ["inc", "dec"][reg.min(1) as usize] } else { GRP5[reg as usize] };
+                let prefix = if code[0] == 0x3e { "notrack " } else { "" };
+                format!("{prefix}{mnem} {}", fmt_rm(&rm, w, &pfx, mode, next_ip))
+            }
+            0x0f => {
+                let op2 = cur.u8()?;
+                match op2 {
+                    0x1e | 0x1f => "nop".to_owned(), // hint space (endbr handled above)
+                    0x05 => "syscall".to_owned(),
+                    0x80..=0x8f => {
+                        let disp = cur.sle(izn)?;
+                        format!("j{} {:#x}", CC[(op2 & 0xf) as usize], next_ip.wrapping_add(disp as u64))
+                    }
+                    0x90..=0x9f => {
+                        let (_, rm) = parse_modrm(&mut cur, &pfx, mode)?;
+                        format!("set{} {}", CC[(op2 & 0xf) as usize], fmt_rm(&rm, Width::B8, &pfx, mode, next_ip))
+                    }
+                    0x40..=0x4f => {
+                        let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
+                        format!(
+                            "cmov{} {}, {}",
+                            CC[(op2 & 0xf) as usize],
+                            reg_name(reg as usize + pfx.r(), width, pfx.rex != 0),
+                            fmt_rm(&rm, width, &pfx, mode, next_ip)
+                        )
+                    }
+                    0xaf => {
+                        let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
+                        format!(
+                            "imul {}, {}",
+                            reg_name(reg as usize + pfx.r(), width, pfx.rex != 0),
+                            fmt_rm(&rm, width, &pfx, mode, next_ip)
+                        )
+                    }
+                    0xb6 | 0xb7 | 0xbe | 0xbf => {
+                        let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
+                        let src_w = if op2 & 1 == 0 { Width::B8 } else { Width::B16 };
+                        let mnem = if op2 < 0xbe { "movzx" } else { "movsx" };
+                        format!(
+                            "{mnem} {}, {}",
+                            reg_name(reg as usize + pfx.r(), width, pfx.rex != 0),
+                            fmt_rm(&rm, src_w, &pfx, mode, next_ip)
+                        )
+                    }
+                    0x31 => "rdtsc".to_owned(),
+                    0xa2 => "cpuid".to_owned(),
+                    0xc8..=0xcf => format!(
+                        "bswap {}",
+                        reg_name((op2 - 0xc8) as usize + pfx.b(), width, pfx.rex != 0)
+                    ),
+                    0xa3 | 0xab | 0xb3 | 0xbb => {
+                        let mnem = match op2 {
+                            0xa3 => "bt",
+                            0xab => "bts",
+                            0xb3 => "btr",
+                            _ => "btc",
+                        };
+                        let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
+                        format!(
+                            "{mnem} {}, {}",
+                            fmt_rm(&rm, width, &pfx, mode, next_ip),
+                            reg_name(reg as usize + pfx.r(), width, pfx.rex != 0)
+                        )
+                    }
+                    0xba => {
+                        let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
+                        let mnem = ["(bad)", "(bad)", "(bad)", "(bad)", "bt", "bts", "btr", "btc"]
+                            [reg as usize];
+                        format!("{mnem} {}, {:#x}", fmt_rm(&rm, width, &pfx, mode, next_ip), cur.u8()?)
+                    }
+                    0xbc | 0xbd => {
+                        let mnem = if op2 == 0xbc {
+                            if rep { "tzcnt" } else { "bsf" }
+                        } else if rep {
+                            "lzcnt"
+                        } else {
+                            "bsr"
+                        };
+                        let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
+                        format!(
+                            "{mnem} {}, {}",
+                            reg_name(reg as usize + pfx.r(), width, pfx.rex != 0),
+                            fmt_rm(&rm, width, &pfx, mode, next_ip)
+                        )
+                    }
+                    0xb8 if rep => {
+                        let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
+                        format!(
+                            "popcnt {}, {}",
+                            reg_name(reg as usize + pfx.r(), width, pfx.rex != 0),
+                            fmt_rm(&rm, width, &pfx, mode, next_ip)
+                        )
+                    }
+                    0xb0 | 0xb1 => {
+                        let w = if op2 == 0xb0 { Width::B8 } else { width };
+                        let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
+                        format!(
+                            "cmpxchg {}, {}",
+                            fmt_rm(&rm, w, &pfx, mode, next_ip),
+                            reg_name(reg as usize + pfx.r(), w, pfx.rex != 0)
+                        )
+                    }
+                    0xc0 | 0xc1 => {
+                        let w = if op2 == 0xc0 { Width::B8 } else { width };
+                        let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
+                        format!(
+                            "xadd {}, {}",
+                            fmt_rm(&rm, w, &pfx, mode, next_ip),
+                            reg_name(reg as usize + pfx.r(), w, pfx.rex != 0)
+                        )
+                    }
+                    0xa4 | 0xac => {
+                        let mnem = if op2 == 0xa4 { "shld" } else { "shrd" };
+                        let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
+                        let m = fmt_rm(&rm, width, &pfx, mode, next_ip);
+                        format!(
+                            "{mnem} {m}, {}, {:#x}",
+                            reg_name(reg as usize + pfx.r(), width, pfx.rex != 0),
+                            cur.u8()?
+                        )
+                    }
+                    0xa5 | 0xad => {
+                        let mnem = if op2 == 0xa5 { "shld" } else { "shrd" };
+                        let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
+                        format!(
+                            "{mnem} {}, {}, cl",
+                            fmt_rm(&rm, width, &pfx, mode, next_ip),
+                            reg_name(reg as usize + pfx.r(), width, pfx.rex != 0)
+                        )
+                    }
+                    0x28 | 0x29 | 0x10 | 0x11 => {
+                        let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
+                        let mnem = match (op2, pfx.opsize16, rep) {
+                            (0x10 | 0x11, _, true) => "movss",
+                            (0x10 | 0x11, true, _) => "movupd",
+                            (0x10 | 0x11, _, _) => "movups",
+                            (_, true, _) => "movapd",
+                            _ => "movaps",
+                        };
+                        let r = format!("xmm{}", reg as usize + pfx.r());
+                        let m = match &rm {
+                            Rm::Reg(i) => format!("xmm{i}"),
+                            m => fmt_rm(m, width, &pfx, mode, next_ip),
+                        };
+                        if op2 & 1 == 0 {
+                            format!("{mnem} {r}, {m}")
+                        } else {
+                            format!("{mnem} {m}, {r}")
+                        }
+                    }
+                    _ => return None,
+                }
+            }
+            0x31 => unreachable!("handled by ALU row"),
+            _ => return None,
+        })
+    })();
+
+    match text {
+        Some(t) => Ok((t, len)),
+        None => fallback(code, len),
+    }
+}
+
+fn fallback(code: &[u8], len: usize) -> Result<(String, usize), DecodeError> {
+    let bytes: Vec<String> = code[..len.min(code.len())].iter().map(|b| format!("{b:02x}")).collect();
+    Ok((format!("(bytes {})", bytes.join(" ")), len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f64(bytes: &[u8]) -> String {
+        format_insn(bytes, 0x1000, Mode::Bits64).unwrap().0
+    }
+
+    fn f32b(bytes: &[u8]) -> String {
+        format_insn(bytes, 0x1000, Mode::Bits32).unwrap().0
+    }
+
+    #[test]
+    fn control_flow_text() {
+        assert_eq!(f64(&[0xf3, 0x0f, 0x1e, 0xfa]), "endbr64");
+        assert_eq!(f64(&[0xe8, 0x10, 0x00, 0x00, 0x00]), "call 0x1015");
+        assert_eq!(f64(&[0xeb, 0xfe]), "jmp 0x1000");
+        assert_eq!(f64(&[0xc3]), "ret");
+        assert_eq!(f64(&[0x74, 0x02]), "je 0x1004");
+        assert_eq!(f64(&[0x0f, 0x85, 0x00, 0x01, 0x00, 0x00]), "jne 0x1106");
+        assert_eq!(f64(&[0xff, 0xd0]), "call rax");
+        assert_eq!(f64(&[0x3e, 0xff, 0xe2]), "notrack jmp rdx");
+        assert_eq!(f64(&[0xc9]), "leave");
+    }
+
+    #[test]
+    fn data_movement_text() {
+        assert_eq!(f64(&[0x48, 0x89, 0xe5]), "mov rbp, rsp");
+        assert_eq!(f64(&[0x89, 0x45, 0xf8]), "mov [rbp-0x8], eax");
+        assert_eq!(f64(&[0x8b, 0x45, 0xf8]), "mov eax, [rbp-0x8]");
+        assert_eq!(f64(&[0xb8, 0x39, 0x05, 0x00, 0x00]), "mov eax, 0x539");
+        assert_eq!(
+            f64(&[0x48, 0xb8, 1, 0, 0, 0, 0, 0, 0, 0]),
+            "mov rax, 0x1"
+        );
+        assert_eq!(f64(&[0x55]), "push rbp");
+        assert_eq!(f64(&[0x5d]), "pop rbp");
+        assert_eq!(f64(&[0x41, 0x54]), "push r12");
+        // RIP-relative lea prints the resolved target.
+        let s = f64(&[0x48, 0x8d, 0x05, 0x10, 0x00, 0x00, 0x00]);
+        assert!(s.starts_with("lea rax, [rip+0x10]"), "{s}");
+        assert!(s.contains("0x1017"), "{s}");
+    }
+
+    #[test]
+    fn alu_text() {
+        assert_eq!(f64(&[0x01, 0xc8]), "add eax, ecx");
+        assert_eq!(f64(&[0x31, 0xd2]), "xor edx, edx");
+        assert_eq!(f64(&[0x48, 0x83, 0xec, 0x20]), "sub rsp, 0x20");
+        assert_eq!(f64(&[0x83, 0xf8, 0x05]), "cmp eax, 0x5");
+        assert_eq!(f64(&[0x85, 0xc0]), "test eax, eax");
+        assert_eq!(f64(&[0xf7, 0xd8]), "neg eax");
+        assert_eq!(f64(&[0x0f, 0xaf, 0xc1]), "imul eax, ecx");
+        assert_eq!(f64(&[0x0f, 0xb6, 0xc0]), "movzx eax, al");
+        assert_eq!(f64(&[0xc1, 0xe0, 0x04]), "shl eax, 0x4");
+    }
+
+    #[test]
+    fn x86_32bit_text() {
+        assert_eq!(f32b(&[0xf3, 0x0f, 0x1e, 0xfb]), "endbr32");
+        assert_eq!(f32b(&[0x55]), "push ebp");
+        assert_eq!(f32b(&[0x89, 0xe5]), "mov ebp, esp");
+        assert_eq!(f32b(&[0x8b, 0x04, 0x8b]), "mov eax, [ebx+ecx*4]");
+    }
+
+    #[test]
+    fn sib_forms() {
+        assert_eq!(f64(&[0x8b, 0x04, 0x8b]), "mov eax, [rbx+rcx*4]");
+        assert_eq!(f64(&[0xc7, 0x44, 0x24, 0x08, 5, 0, 0, 0]), "mov [rsp+0x8], 0x5");
+        // SIB with no base: absolute.
+        assert_eq!(f64(&[0x8b, 0x04, 0x25, 0x10, 0x20, 0x00, 0x00]), "mov eax, [0x2010]");
+    }
+
+    #[test]
+    fn extended_0f_vocabulary() {
+        assert_eq!(f64(&[0x0f, 0x31]), "rdtsc");
+        assert_eq!(f64(&[0x0f, 0xa2]), "cpuid");
+        assert_eq!(f64(&[0x0f, 0xc8]), "bswap eax");
+        assert_eq!(f64(&[0x48, 0x0f, 0xc8]), "bswap rax");
+        assert_eq!(f64(&[0x0f, 0xa3, 0xc8]), "bt eax, ecx");
+        assert_eq!(f64(&[0x0f, 0xba, 0xe0, 0x05]), "bt eax, 0x5");
+        assert_eq!(f64(&[0x0f, 0xbc, 0xc1]), "bsf eax, ecx");
+        assert_eq!(f64(&[0xf3, 0x0f, 0xb8, 0xc1]), "popcnt eax, ecx");
+        assert_eq!(f64(&[0x0f, 0xb1, 0x0f]), "cmpxchg [rdi], ecx");
+        assert_eq!(f64(&[0x0f, 0xa4, 0xd0, 0x04]), "shld eax, edx, 0x4");
+        assert_eq!(f64(&[0x91]), "xchg eax, ecx");
+        assert_eq!(f64(&[0x87, 0xd8]), "xchg eax, ebx");
+        assert_eq!(f64(&[0xcd, 0x80]), "int 0x80");
+        assert_eq!(f32b(&[0x40]), "inc eax");
+        assert_eq!(f32b(&[0x4b]), "dec ebx");
+    }
+
+    #[test]
+    fn fallback_prints_bytes() {
+        // An SSE op the formatter does not name.
+        let s = f64(&[0x0f, 0x58, 0xc1]); // addps
+        assert!(s.starts_with("(bytes 0f 58 c1"), "{s}");
+        // Length still matches the decoder.
+        assert_eq!(format_insn(&[0x0f, 0x58, 0xc1], 0, Mode::Bits64).unwrap().1, 3);
+    }
+
+    #[test]
+    fn formatting_never_panics_on_decodables() {
+        // Brute force: every 3-byte prefix over a few leading bytes.
+        for a in 0..=255u8 {
+            for b in [0x00, 0x45, 0xc0, 0xff] {
+                let code = [a, b, 0x10, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99];
+                for mode in [Mode::Bits32, Mode::Bits64] {
+                    if let Ok((text, len)) = format_insn(&code, 0x1000, mode) {
+                        assert!(!text.is_empty());
+                        assert!(len >= 1);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Decoded instruction representation.
+
+/// Classification of a decoded instruction.
+///
+/// The decoder recovers exact lengths for (nearly) the whole instruction
+/// set but only *classifies* the instructions FunSeeker and the baseline
+/// identifiers care about: end-branch markers, control flow, and a few
+/// prologue/padding opcodes. Everything else is [`InsnKind::Other`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum InsnKind {
+    /// `ENDBR64` (`F3 0F 1E FA`) — 64-bit end-branch marker.
+    Endbr64,
+    /// `ENDBR32` (`F3 0F 1E FB`) — 32-bit end-branch marker.
+    Endbr32,
+    /// Direct near call (`E8`): `target` is the absolute destination.
+    CallRel {
+        /// Absolute destination address.
+        target: u64,
+    },
+    /// Direct unconditional jump (`E9`/`EB`).
+    JmpRel {
+        /// Absolute destination address.
+        target: u64,
+    },
+    /// Conditional branch (`7x`, `0F 8x`, `E0`–`E3` loop/jcxz).
+    Jcc {
+        /// Absolute destination address.
+        target: u64,
+    },
+    /// Indirect call (`FF /2`, `FF /3`).
+    CallInd {
+        /// Whether a `NOTRACK` (`3E`) prefix was present.
+        notrack: bool,
+    },
+    /// Indirect jump (`FF /4`, `FF /5`) — switch dispatch, tail calls
+    /// through pointers, `longjmp`-style returns.
+    JmpInd {
+        /// Whether a `NOTRACK` (`3E`) prefix was present.
+        notrack: bool,
+    },
+    /// Near return (`C3`, `C2 iw`) or far return (`CB`, `CA iw`).
+    Ret,
+    /// `LEAVE` (`C9`).
+    Leave,
+    /// `PUSH r` (`50+r`, REX-extended) — `reg` is the full register
+    /// number (e.g. 5 = RBP/EBP), used by prologue-pattern baselines.
+    PushReg {
+        /// Register number 0–15.
+        reg: u8,
+    },
+    /// Any form of NOP: `90`, `66 90`, `0F 1F /0` multi-byte — function
+    /// padding in compiler output.
+    Nop,
+    /// `INT3` (`CC`) — also used as padding by some toolchains.
+    Int3,
+    /// `UD2` (`0F 0B`) — compiler-emitted trap.
+    Ud2,
+    /// `HLT` (`F4`) — appears after `noreturn` calls in `_start`.
+    Hlt,
+    /// Any other successfully decoded instruction.
+    Other,
+}
+
+impl InsnKind {
+    /// Whether this is an end-branch marker (either width).
+    pub fn is_endbr(self) -> bool {
+        matches!(self, InsnKind::Endbr64 | InsnKind::Endbr32)
+    }
+
+    /// The direct branch destination, if this is a direct call/jump/jcc.
+    pub fn direct_target(self) -> Option<u64> {
+        match self {
+            InsnKind::CallRel { target } | InsnKind::JmpRel { target } | InsnKind::Jcc { target } => {
+                Some(target)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether control never falls through this instruction
+    /// (unconditional transfer or trap).
+    pub fn is_terminator(self) -> bool {
+        matches!(
+            self,
+            InsnKind::JmpRel { .. } | InsnKind::JmpInd { .. } | InsnKind::Ret | InsnKind::Ud2 | InsnKind::Hlt
+        )
+    }
+}
+
+/// One decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Insn {
+    /// Virtual address of the first byte.
+    pub addr: u64,
+    /// Length in bytes (1–15).
+    pub len: u8,
+    /// Classification.
+    pub kind: InsnKind,
+}
+
+impl Insn {
+    /// Address of the byte following this instruction.
+    pub fn end(&self) -> u64 {
+        self.addr + u64::from(self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_target_only_for_direct_branches() {
+        assert_eq!(InsnKind::CallRel { target: 0x10 }.direct_target(), Some(0x10));
+        assert_eq!(InsnKind::JmpRel { target: 0x20 }.direct_target(), Some(0x20));
+        assert_eq!(InsnKind::Jcc { target: 0x30 }.direct_target(), Some(0x30));
+        assert_eq!(InsnKind::CallInd { notrack: false }.direct_target(), None);
+        assert_eq!(InsnKind::Ret.direct_target(), None);
+    }
+
+    #[test]
+    fn endbr_and_terminator_predicates() {
+        assert!(InsnKind::Endbr64.is_endbr());
+        assert!(InsnKind::Endbr32.is_endbr());
+        assert!(!InsnKind::Nop.is_endbr());
+        assert!(InsnKind::Ret.is_terminator());
+        assert!(InsnKind::JmpInd { notrack: true }.is_terminator());
+        assert!(!InsnKind::CallRel { target: 0 }.is_terminator());
+        assert!(!InsnKind::Jcc { target: 0 }.is_terminator());
+    }
+
+    #[test]
+    fn insn_end() {
+        let i = Insn { addr: 0x1000, len: 4, kind: InsnKind::Endbr64 };
+        assert_eq!(i.end(), 0x1004);
+    }
+}

@@ -1,0 +1,45 @@
+//! Decode modes.
+
+/// Processor decode mode.
+///
+/// The study covers the two modes mainstream Linux userland uses:
+/// 32-bit protected mode (x86 binaries) and 64-bit long mode (x86-64).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// 32-bit protected mode (`EM_386` binaries).
+    Bits32,
+    /// 64-bit long mode (`EM_X86_64` binaries).
+    Bits64,
+}
+
+impl Mode {
+    /// Whether this is 64-bit long mode.
+    pub fn is_64(self) -> bool {
+        matches!(self, Mode::Bits64)
+    }
+
+    /// Masks a computed branch target to the mode's address width.
+    pub fn mask_addr(self, addr: u64) -> u64 {
+        match self {
+            Mode::Bits32 => addr & 0xffff_ffff,
+            Mode::Bits64 => addr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_to_width() {
+        assert_eq!(Mode::Bits32.mask_addr(0x1_2345_6789), 0x2345_6789);
+        assert_eq!(Mode::Bits64.mask_addr(0x1_2345_6789), 0x1_2345_6789);
+    }
+
+    #[test]
+    fn is_64_flag() {
+        assert!(Mode::Bits64.is_64());
+        assert!(!Mode::Bits32.is_64());
+    }
+}

@@ -1,0 +1,241 @@
+//! Opcode attribute tables for length decoding.
+//!
+//! Each entry encodes what follows the opcode byte: a ModRM byte,
+//! immediates of various widths, or nothing. The tables deliberately
+//! describe *lengths* only; semantic classification happens in
+//! `decode.rs` for the handful of opcodes the identifiers care about.
+
+/// Has a ModRM byte (and possibly SIB/displacement).
+pub const M: u16 = 1 << 0;
+/// 8-bit immediate.
+pub const I8: u16 = 1 << 1;
+/// 16- or 32-bit immediate selected by operand size (`iz`).
+pub const IZ: u16 = 1 << 2;
+/// 16-, 32- or 64-bit immediate selected by operand size incl. REX.W
+/// (`iv` — only `MOV r64, imm64` B8+r uses the 64-bit form).
+pub const IV: u16 = 1 << 3;
+/// 16-bit immediate regardless of operand size (`RET imm16` etc.).
+pub const I16: u16 = 1 << 4;
+/// Memory offset of address-size width (`A0`–`A3`).
+pub const MOFFS: u16 = 1 << 5;
+/// `ENTER`: imm16 followed by imm8.
+pub const ENTER: u16 = 1 << 6;
+/// Far pointer `ptr16:16/32` (`9A`, `EA`).
+pub const FAR: u16 = 1 << 7;
+/// Invalid in 64-bit mode.
+pub const INV64: u16 = 1 << 8;
+/// Legacy prefix byte.
+pub const PFX: u16 = 1 << 9;
+/// Group 3 (`F6`/`F7`): immediate present iff ModRM.reg is 0 or 1.
+pub const GRP3: u16 = 1 << 10;
+/// Undefined opcode — decode error.
+pub const BAD: u16 = 1 << 11;
+
+/// Attributes of the one-byte opcode map.
+#[rustfmt::skip]
+pub static ONE_BYTE: [u16; 256] = {
+    let mut t = [0u16; 256];
+    // 0x00-0x3F: the ALU block has a regular 8-entry pattern:
+    //   op r/m8,r8 | op r/m,r | op r8,r/m8 | op r,r/m | op al,imm8 |
+    //   op eAX,immz | push/pop seg or prefix/BCD
+    let mut base = 0usize;
+    while base < 0x40 {
+        t[base] = M;
+        t[base + 1] = M;
+        t[base + 2] = M;
+        t[base + 3] = M;
+        t[base + 4] = I8;
+        t[base + 5] = IZ;
+        base += 8;
+    }
+    // Row tails: push/pop segment registers and BCD ops (invalid in 64-bit),
+    // segment prefixes.
+    t[0x06] = INV64; t[0x07] = INV64;          // push/pop es
+    t[0x0E] = INV64;                            // push cs (0x0F is the escape)
+    t[0x16] = INV64; t[0x17] = INV64;          // push/pop ss
+    t[0x1E] = INV64; t[0x1F] = INV64;          // push/pop ds
+    t[0x26] = PFX;   t[0x27] = INV64;          // es:, daa
+    t[0x2E] = PFX;   t[0x2F] = INV64;          // cs:, das
+    t[0x36] = PFX;   t[0x37] = INV64;          // ss:, aaa
+    t[0x3E] = PFX;   t[0x3F] = INV64;          // ds:/notrack, aas
+    // 0x40-0x4F inc/dec reg — REX prefixes in 64-bit mode (decoder handles).
+    let mut i = 0x40; while i <= 0x4F { t[i] = 0; i += 1; }
+    // 0x50-0x5F push/pop reg.
+    i = 0x50; while i <= 0x5F { t[i] = 0; i += 1; }
+    t[0x60] = INV64; t[0x61] = INV64;          // pusha/popa
+    t[0x62] = M | INV64;                        // bound (EVEX escape in 64-bit)
+    t[0x63] = M;                                // arpl / movsxd
+    t[0x64] = PFX; t[0x65] = PFX;              // fs:, gs:
+    t[0x66] = PFX; t[0x67] = PFX;              // opsize, addrsize
+    t[0x68] = IZ;                               // push immz
+    t[0x69] = M | IZ;                           // imul r, r/m, immz
+    t[0x6A] = I8;                               // push imm8
+    t[0x6B] = M | I8;                           // imul r, r/m, imm8
+    // 0x6C-0x6F ins/outs: no operands.
+    // 0x70-0x7F jcc rel8.
+    i = 0x70; while i <= 0x7F { t[i] = I8; i += 1; }
+    t[0x80] = M | I8;                           // grp1 r/m8, imm8
+    t[0x81] = M | IZ;                           // grp1 r/m, immz
+    t[0x82] = M | I8 | INV64;                   // grp1 alias
+    t[0x83] = M | I8;                           // grp1 r/m, imm8
+    t[0x84] = M; t[0x85] = M;                   // test
+    t[0x86] = M; t[0x87] = M;                   // xchg
+    i = 0x88; while i <= 0x8E { t[i] = M; i += 1; } // mov family, lea
+    t[0x8F] = M;                                // pop r/m (XOP escape on AMD)
+    // 0x90-0x97 xchg eAX, reg / nop. 0x98-0x99 cwde/cdq.
+    t[0x9A] = FAR | INV64;                      // far call
+    // 0x9B wait, 0x9C pushf, 0x9D popf, 0x9E sahf, 0x9F lahf: no operands.
+    t[0xA0] = MOFFS; t[0xA1] = MOFFS;          // mov al/eax, moffs
+    t[0xA2] = MOFFS; t[0xA3] = MOFFS;          // mov moffs, al/eax
+    // 0xA4-0xA7 movs/cmps.
+    t[0xA8] = I8;                               // test al, imm8
+    t[0xA9] = IZ;                               // test eAX, immz
+    // 0xAA-0xAF stos/lods/scas.
+    i = 0xB0; while i <= 0xB7 { t[i] = I8; i += 1; }  // mov r8, imm8
+    i = 0xB8; while i <= 0xBF { t[i] = IV; i += 1; }  // mov reg, immv
+    t[0xC0] = M | I8; t[0xC1] = M | I8;        // shift grp2 imm8
+    t[0xC2] = I16;                              // ret imm16
+    // 0xC3 ret: no operands.
+    t[0xC4] = M | INV64;                        // les (VEX3 escape)
+    t[0xC5] = M | INV64;                        // lds (VEX2 escape)
+    t[0xC6] = M | I8;                           // mov r/m8, imm8
+    t[0xC7] = M | IZ;                           // mov r/m, immz
+    t[0xC8] = ENTER;                            // enter imm16, imm8
+    // 0xC9 leave.
+    t[0xCA] = I16;                              // retf imm16
+    // 0xCB retf, 0xCC int3.
+    t[0xCD] = I8;                               // int imm8
+    t[0xCE] = INV64;                            // into
+    // 0xCF iret.
+    t[0xD0] = M; t[0xD1] = M; t[0xD2] = M; t[0xD3] = M; // shift grp2
+    t[0xD4] = I8 | INV64;                       // aam
+    t[0xD5] = I8 | INV64;                       // aad
+    t[0xD6] = INV64;                            // salc
+    // 0xD7 xlat.
+    i = 0xD8; while i <= 0xDF { t[i] = M; i += 1; }   // x87 escapes
+    i = 0xE0; while i <= 0xE3 { t[i] = I8; i += 1; }  // loopcc / jcxz rel8
+    t[0xE4] = I8; t[0xE5] = I8;                // in al/eax, imm8
+    t[0xE6] = I8; t[0xE7] = I8;                // out imm8, al/eax
+    t[0xE8] = IZ;                               // call relz
+    t[0xE9] = IZ;                               // jmp relz
+    t[0xEA] = FAR | INV64;                      // far jmp
+    t[0xEB] = I8;                               // jmp rel8
+    // 0xEC-0xEF in/out dx forms.
+    t[0xF0] = PFX;                              // lock
+    // 0xF1 int1, 0xF4 hlt, 0xF5 cmc.
+    t[0xF2] = PFX; t[0xF3] = PFX;              // repne / rep (endbr escape)
+    t[0xF6] = M | GRP3;                         // grp3 r/m8
+    t[0xF7] = M | GRP3;                         // grp3 r/m
+    // 0xF8-0xFD clc/stc/cli/sti/cld/std.
+    t[0xFE] = M;                                // grp4 inc/dec r/m8
+    t[0xFF] = M;                                // grp5 inc/dec/call/jmp/push
+    t
+};
+
+/// Attributes of the two-byte (`0F xx`) opcode map.
+#[rustfmt::skip]
+pub static TWO_BYTE: [u16; 256] = {
+    let mut t = [M; 256]; // most of the map is ModRM-only SSE/MMX
+    // No-operand or register-only opcodes.
+    t[0x05] = 0; // syscall
+    t[0x06] = 0; // clts
+    t[0x07] = 0; // sysret
+    t[0x08] = 0; // invd
+    t[0x09] = 0; // wbinvd
+    t[0x0A] = BAD;
+    t[0x0B] = 0; // ud2
+    t[0x0C] = BAD;
+    t[0x0E] = 0; // femms
+    t[0x0F] = M | I8; // 3DNow!: modrm + suffix byte
+    t[0x04] = BAD;
+    // 0x10-0x1F: SSE moves and the NOP/hint space (0F 1E is ENDBR with F3).
+    // All ModRM — already set.
+    t[0x30] = 0; // wrmsr
+    t[0x31] = 0; // rdtsc
+    t[0x32] = 0; // rdmsr
+    t[0x33] = 0; // rdpmc
+    t[0x34] = 0; // sysenter
+    t[0x35] = 0; // sysexit
+    t[0x36] = BAD;
+    t[0x37] = 0; // getsec
+    t[0x38] = 0; // escape: 0F 38 map (handled by the decoder)
+    t[0x39] = BAD;
+    t[0x3A] = 0; // escape: 0F 3A map (handled by the decoder)
+    let mut i = 0x3B; while i <= 0x3F { t[i] = BAD; i += 1; }
+    // 0x70-0x73: pshuf*/shift groups take imm8.
+    t[0x70] = M | I8;
+    t[0x71] = M | I8;
+    t[0x72] = M | I8;
+    t[0x73] = M | I8;
+    t[0x77] = 0; // emms
+    // 0x80-0x8F: jcc relz.
+    i = 0x80; while i <= 0x8F { t[i] = IZ; i += 1; }
+    t[0xA0] = 0; // push fs
+    t[0xA1] = 0; // pop fs
+    t[0xA2] = 0; // cpuid
+    t[0xA4] = M | I8; // shld imm8
+    t[0xA6] = BAD;
+    t[0xA7] = BAD;
+    t[0xA8] = 0; // push gs
+    t[0xA9] = 0; // pop gs
+    t[0xAA] = 0; // rsm
+    t[0xAC] = M | I8; // shrd imm8
+    t[0xB8] = M; // popcnt (F3) / jmpe
+    t[0xBA] = M | I8; // bt/bts/btr/btc r/m, imm8
+    t[0xC2] = M | I8; // cmpps imm8
+    t[0xC4] = M | I8; // pinsrw imm8
+    t[0xC5] = M | I8; // pextrw imm8
+    t[0xC6] = M | I8; // shufps imm8
+    i = 0xC8; while i <= 0xCF { t[i] = 0; i += 1; } // bswap reg
+    t
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_block_pattern() {
+        // add/or/adc/sbb/and/sub/xor/cmp all share the layout.
+        for base in [0x00usize, 0x08, 0x10, 0x18, 0x20, 0x28, 0x30, 0x38] {
+            assert_eq!(ONE_BYTE[base], M, "opcode {base:#x}");
+            assert_eq!(ONE_BYTE[base + 4], I8);
+            assert_eq!(ONE_BYTE[base + 5], IZ);
+        }
+    }
+
+    #[test]
+    fn control_flow_opcodes() {
+        assert_eq!(ONE_BYTE[0xE8], IZ);
+        assert_eq!(ONE_BYTE[0xE9], IZ);
+        assert_eq!(ONE_BYTE[0xEB], I8);
+        assert_eq!(ONE_BYTE[0xC2], I16);
+        assert_eq!(ONE_BYTE[0xC3], 0);
+        assert_eq!(ONE_BYTE[0xFF], M);
+        for op in 0x70..=0x7F {
+            assert_eq!(ONE_BYTE[op], I8);
+        }
+        for op in 0x80..=0x8F {
+            assert_eq!(TWO_BYTE[op], IZ);
+        }
+    }
+
+    #[test]
+    fn prefix_opcodes() {
+        for op in [0x26, 0x2E, 0x36, 0x3E, 0x64, 0x65, 0x66, 0x67, 0xF0, 0xF2, 0xF3] {
+            assert_eq!(ONE_BYTE[op], PFX, "prefix {op:#x}");
+        }
+    }
+
+    #[test]
+    fn endbr_escape_path_is_modrm() {
+        // F3 0F 1E FA decodes via the 0F map: 0F 1E must be ModRM-only.
+        assert_eq!(TWO_BYTE[0x1E], M);
+    }
+
+    #[test]
+    fn grp3_flags() {
+        assert_eq!(ONE_BYTE[0xF6], M | GRP3);
+        assert_eq!(ONE_BYTE[0xF7], M | GRP3);
+    }
+}

@@ -1,0 +1,149 @@
+//! Differential test: our length decoder vs GNU objdump on real binaries.
+//!
+//! For every instruction objdump prints in `.text`, decoding at the same
+//! address must yield the same length. This exercises the decoder on
+//! genuine compiler output (including CET binaries when GCC is present).
+//!
+//! The test is skipped silently when objdump or the sample binaries are
+//! unavailable, so the suite stays green on minimal systems.
+
+use std::collections::BTreeMap;
+use std::process::Command;
+
+use funseeker_disasm::{decode, Mode};
+use funseeker_elf::{Elf, Machine};
+
+/// Parses `objdump -d -w` output into (address → length-in-bytes).
+fn objdump_lengths(path: &str) -> Option<BTreeMap<u64, usize>> {
+    let out = Command::new("objdump")
+        .args(["-d", "-w", "--section=.text", path])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8_lossy(&out.stdout);
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        // "    22d0:\te8 6b fd ff ff       \tcall   2040 <abort@plt>"
+        let mut parts = line.trim_start().splitn(3, '\t');
+        let addr_part = parts.next()?.trim_end_matches(':');
+        let Ok(addr) = u64::from_str_radix(addr_part.trim(), 16) else { continue };
+        let Some(bytes_part) = parts.next() else { continue };
+        let mnemonic = parts.next().unwrap_or("");
+        if mnemonic.contains("(bad)") || mnemonic.is_empty() {
+            continue;
+        }
+        let n = bytes_part.split_whitespace().count();
+        if n == 0 {
+            continue;
+        }
+        map.insert(addr, n);
+    }
+    Some(map)
+}
+
+fn check_binary(path: &str) -> Option<(usize, usize)> {
+    let bytes = std::fs::read(path).ok()?;
+    let elf = Elf::parse(&bytes).ok()?;
+    let mode = match elf.header.machine {
+        Machine::X86_64 => Mode::Bits64,
+        Machine::X86 => Mode::Bits32,
+        Machine::Other(_) => return None,
+    };
+    let (base, text) = elf.section_bytes(".text")?;
+    let expected = objdump_lengths(path)?;
+    if expected.is_empty() {
+        return None;
+    }
+
+    let mut checked = 0usize;
+    let mut mismatches = Vec::new();
+    for (&addr, &len) in &expected {
+        let Some(off) = addr.checked_sub(base).map(|o| o as usize) else { continue };
+        if off >= text.len() {
+            continue;
+        }
+        checked += 1;
+        match decode(&text[off..], addr, mode) {
+            Ok(insn) => {
+                if insn.len as usize != len {
+                    mismatches.push((addr, len, insn.len as usize));
+                }
+            }
+            Err(e) => mismatches.push((addr, len, 1000 + e as usize)),
+        }
+    }
+    for (addr, want, got) in mismatches.iter().take(10) {
+        eprintln!("{path}: {addr:#x}: objdump says {want} bytes, we say {got}");
+    }
+    Some((checked, mismatches.len()))
+}
+
+#[test]
+fn lengths_match_objdump_on_system_binaries() {
+    let mut total_checked = 0usize;
+    let mut total_bad = 0usize;
+    let mut ran_any = false;
+    for path in ["/bin/true", "/bin/cat", "/bin/ls", "/usr/bin/ld"] {
+        if let Some((checked, bad)) = check_binary(path) {
+            ran_any = true;
+            total_checked += checked;
+            total_bad += bad;
+        }
+    }
+    if !ran_any {
+        eprintln!("skipping: no objdump or no readable system binaries");
+        return;
+    }
+    assert!(total_checked > 1000, "expected a substantial instruction count, got {total_checked}");
+    assert_eq!(total_bad, 0, "length mismatches against objdump ({total_checked} checked)");
+}
+
+#[test]
+fn lengths_match_objdump_on_fresh_cet_binary() {
+    // Compile a CET-enabled binary with the system compiler, if present,
+    // and run the same differential check — this covers endbr64-rich code.
+    let dir = std::env::temp_dir().join("funseeker_disasm_diff");
+    let _ = std::fs::create_dir_all(&dir);
+    let src = dir.join("sample.c");
+    let bin = dir.join("sample");
+    std::fs::write(
+        &src,
+        r#"
+        #include <stdio.h>
+        #include <setjmp.h>
+        static jmp_buf env;
+        static int helper(int x) { return x * 3 + 1; }
+        int visible(int x) { return helper(x) - 2; }
+        int main(int argc, char **argv) {
+            if (setjmp(env)) return 1;
+            int acc = 0;
+            for (int i = 0; i < argc; i++) acc += visible(i);
+            switch (acc & 7) {
+                case 0: puts("zero"); break;
+                case 3: puts("three"); break;
+                case 5: puts("five"); break;
+                default: printf("%d\n", acc); break;
+            }
+            return acc & 1;
+        }
+        "#,
+    )
+    .unwrap();
+    let status = Command::new("gcc")
+        .args(["-O2", "-fcf-protection=full", "-o"])
+        .arg(&bin)
+        .arg(&src)
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        _ => {
+            eprintln!("skipping: gcc unavailable");
+            return;
+        }
+    }
+    let (checked, bad) = check_binary(bin.to_str().unwrap()).expect("differential run");
+    assert!(checked > 50);
+    assert_eq!(bad, 0, "length mismatches on CET binary");
+}

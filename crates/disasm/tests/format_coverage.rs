@@ -1,0 +1,84 @@
+//! Formatter coverage: on real compiler output the named-mnemonic path
+//! must dominate, and formatting must be total over whatever decodes.
+
+use funseeker_disasm::{decode, format_insn, Mode};
+use funseeker_elf::{Elf, Machine};
+
+fn coverage_on(path: &str) -> Option<(usize, usize)> {
+    let bytes = std::fs::read(path).ok()?;
+    let elf = Elf::parse(&bytes).ok()?;
+    let mode = match elf.header.machine {
+        Machine::X86_64 => Mode::Bits64,
+        Machine::X86 => Mode::Bits32,
+        Machine::Other(_) => return None,
+    };
+    let (base, text) = elf.section_bytes(".text")?;
+    let mut named = 0usize;
+    let mut total = 0usize;
+    let mut off = 0usize;
+    while off < text.len() {
+        let addr = base + off as u64;
+        match format_insn(&text[off..], addr, mode) {
+            Ok((s, len)) => {
+                total += 1;
+                if !s.starts_with("(bytes") {
+                    named += 1;
+                }
+                // Length must agree with the main decoder.
+                let insn = decode(&text[off..], addr, mode).unwrap();
+                assert_eq!(insn.len as usize, len, "{path} at {addr:#x}");
+                off += len;
+            }
+            Err(_) => off += 1,
+        }
+    }
+    Some((named, total))
+}
+
+#[test]
+fn named_mnemonics_dominate_on_system_binaries() {
+    let mut any = false;
+    for path in ["/bin/true", "/bin/cat", "/bin/ls"] {
+        let Some((named, total)) = coverage_on(path) else { continue };
+        any = true;
+        let ratio = named as f64 / total.max(1) as f64;
+        assert!(
+            ratio > 0.80,
+            "{path}: only {:.1}% of {total} instructions named",
+            ratio * 100.0
+        );
+    }
+    if !any {
+        eprintln!("skipping: no system binaries readable");
+    }
+}
+
+#[test]
+fn corpus_binaries_format_fully() {
+    use funseeker_corpus::{Dataset, DatasetParams};
+    let ds = Dataset::generate(&DatasetParams::tiny(), 77);
+    for bin in &ds.binaries {
+        let elf = Elf::parse(&bin.bytes).unwrap();
+        let (base, text) = elf.section_bytes(".text").unwrap();
+        let mode = bin.config.arch.mode();
+        let mut off = 0usize;
+        let mut named = 0usize;
+        let mut total = 0usize;
+        while off < text.len() {
+            let (s, len) = format_insn(&text[off..], base + off as u64, mode).expect("corpus decodes");
+            total += 1;
+            if !s.starts_with("(bytes") {
+                named += 1;
+            }
+            off += len;
+        }
+        // The corpus emits from a fixed vocabulary; nearly everything is
+        // nameable (movaps filler and exotic nops may fall back).
+        assert!(
+            named * 10 >= total * 9,
+            "{} {}: {named}/{total} named",
+            bin.program,
+            bin.config.label()
+        );
+    }
+}

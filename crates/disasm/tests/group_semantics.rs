@@ -1,0 +1,106 @@
+//! Semantic classification coverage for opcode groups the identifiers
+//! depend on: every FF /r sub-opcode, shifts, and the conditional-branch
+//! space, across both modes.
+
+use funseeker_disasm::{decode, InsnKind, Mode};
+
+#[test]
+fn ff_group_complete_classification() {
+    // modrm = 0b11_rrr_000 selects register form with reg field r.
+    for (reg, expect_call, expect_jmp) in [
+        (0u8, false, false), // inc
+        (1, false, false),   // dec
+        (2, true, false),    // call
+        (3, true, false),    // callf
+        (4, false, true),    // jmp
+        (5, false, true),    // jmpf
+        (6, false, false),   // push
+    ] {
+        let modrm = 0xc0 | (reg << 3);
+        let insn = decode(&[0xff, modrm], 0, Mode::Bits64).unwrap();
+        match insn.kind {
+            InsnKind::CallInd { .. } => assert!(expect_call, "reg {reg}"),
+            InsnKind::JmpInd { .. } => assert!(expect_jmp, "reg {reg}"),
+            _ => assert!(!expect_call && !expect_jmp, "reg {reg}: {:?}", insn.kind),
+        }
+    }
+    // FF /7 is undefined.
+    assert!(decode(&[0xff, 0xf8], 0, Mode::Bits64).is_err());
+}
+
+#[test]
+fn notrack_applies_to_all_indirect_forms() {
+    // register, memory, and RIP-relative operands all carry the prefix.
+    for (bytes, len) in [
+        (&[0x3e, 0xff, 0xe0][..], 3usize),                      // notrack jmp rax
+        (&[0x3e, 0xff, 0x20][..], 3),                           // notrack jmp [rax]
+        (&[0x3e, 0xff, 0x25, 1, 0, 0, 0][..], 7),               // notrack jmp [rip+1]
+        (&[0x3e, 0xff, 0x24, 0xc5, 0, 0, 0, 0][..], 8),         // notrack jmp [rax*8+0]
+    ] {
+        let insn = decode(bytes, 0x1000, Mode::Bits64).unwrap();
+        assert_eq!(insn.len as usize, len, "{bytes:02x?}");
+        assert_eq!(insn.kind, InsnKind::JmpInd { notrack: true }, "{bytes:02x?}");
+    }
+    // Without the prefix, notrack is false.
+    assert_eq!(
+        decode(&[0xff, 0xe0], 0, Mode::Bits64).unwrap().kind,
+        InsnKind::JmpInd { notrack: false }
+    );
+}
+
+#[test]
+fn every_jcc_opcode_computes_its_target() {
+    for op in 0x70..=0x7fu8 {
+        let insn = decode(&[op, 0x10], 0x1000, Mode::Bits64).unwrap();
+        assert_eq!(insn.kind, InsnKind::Jcc { target: 0x1012 }, "short jcc {op:#x}");
+    }
+    for op in 0x80..=0x8fu8 {
+        let insn = decode(&[0x0f, op, 0x10, 0, 0, 0], 0x1000, Mode::Bits64).unwrap();
+        assert_eq!(insn.kind, InsnKind::Jcc { target: 0x1016 }, "near jcc 0f {op:#x}");
+    }
+    // loop/loope/loopne/jcxz are conditional too.
+    for op in 0xe0..=0xe3u8 {
+        let insn = decode(&[op, 0x02], 0x1000, Mode::Bits64).unwrap();
+        assert_eq!(insn.kind, InsnKind::Jcc { target: 0x1004 }, "loop-family {op:#x}");
+    }
+}
+
+#[test]
+fn shift_group_lengths() {
+    // C0/C1 take imm8; D0-D3 do not.
+    for reg in 0..8u8 {
+        let modrm = 0xc0 | (reg << 3);
+        assert_eq!(decode(&[0xc1, modrm, 4], 0, Mode::Bits64).unwrap().len, 3, "c1 /{reg}");
+        assert_eq!(decode(&[0xd1, modrm], 0, Mode::Bits64).unwrap().len, 2, "d1 /{reg}");
+        assert_eq!(decode(&[0xd3, modrm], 0, Mode::Bits64).unwrap().len, 2, "d3 /{reg}");
+    }
+}
+
+#[test]
+fn push_pop_classification_with_rex() {
+    for op in 0x50..=0x57u8 {
+        let plain = decode(&[op], 0, Mode::Bits64).unwrap();
+        assert_eq!(plain.kind, InsnKind::PushReg { reg: op - 0x50 });
+        let rexed = decode(&[0x41, op], 0, Mode::Bits64).unwrap();
+        assert_eq!(rexed.kind, InsnKind::PushReg { reg: op - 0x50 + 8 });
+    }
+    // pops are Other but must still be one byte.
+    for op in 0x58..=0x5fu8 {
+        assert_eq!(decode(&[op], 0, Mode::Bits64).unwrap().len, 1);
+    }
+}
+
+#[test]
+fn endbr_requires_exact_modrm() {
+    // Only FA/FB are end branches; neighboring modrm values are hint NOPs.
+    for (modrm, expect) in [
+        (0xfau8, InsnKind::Endbr64),
+        (0xfb, InsnKind::Endbr32),
+        (0xf9, InsnKind::Nop),
+        (0xfc, InsnKind::Nop),
+    ] {
+        let insn = decode(&[0xf3, 0x0f, 0x1e, modrm], 0, Mode::Bits64).unwrap();
+        assert_eq!(insn.kind, expect, "modrm {modrm:#x}");
+        assert_eq!(insn.len, 4);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests: the decoder and sweep are total functions over bytes.
+
+use funseeker_disasm::{decode, DecodeError, InsnKind, LinearSweep, Mode};
+use proptest::prelude::*;
+
+proptest! {
+    /// Decoding arbitrary bytes never panics, and any success reports a
+    /// plausible length.
+    #[test]
+    fn decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..64),
+                       mode_is_64 in any::<bool>(),
+                       addr in any::<u64>()) {
+        let mode = if mode_is_64 { Mode::Bits64 } else { Mode::Bits32 };
+        match decode(&bytes, addr, mode) {
+            Ok(insn) => {
+                prop_assert!(insn.len >= 1);
+                prop_assert!(insn.len <= 15);
+                prop_assert!(usize::from(insn.len) <= bytes.len());
+                prop_assert_eq!(insn.addr, addr);
+            }
+            Err(DecodeError::Truncated | DecodeError::BadOpcode | DecodeError::TooLong) => {}
+        }
+    }
+
+    /// The linear sweep terminates, covers the buffer monotonically, and
+    /// never produces overlapping or out-of-bounds instructions.
+    #[test]
+    fn sweep_is_monotone_and_bounded(bytes in proptest::collection::vec(any::<u8>(), 0..512),
+                                     mode_is_64 in any::<bool>()) {
+        let mode = if mode_is_64 { Mode::Bits64 } else { Mode::Bits32 };
+        let base = 0x1000u64;
+        let mut last_end = base;
+        let mut count = 0usize;
+        for insn in LinearSweep::new(&bytes, base, mode) {
+            prop_assert!(insn.addr >= last_end);
+            prop_assert!(insn.end() <= base + bytes.len() as u64);
+            last_end = insn.end();
+            count += 1;
+        }
+        prop_assert!(count <= bytes.len());
+    }
+
+    /// Direct branch targets are deterministic: decoding the same bytes
+    /// twice yields identical results.
+    #[test]
+    fn decode_is_deterministic(bytes in proptest::collection::vec(any::<u8>(), 0..32)) {
+        let a = decode(&bytes, 0x4000, Mode::Bits64);
+        let b = decode(&bytes, 0x4000, Mode::Bits64);
+        prop_assert_eq!(a, b);
+    }
+
+    /// A relative call constructed from any displacement decodes back to
+    /// the target we encoded (round-trip through the target arithmetic).
+    #[test]
+    fn call_rel32_round_trips(disp in any::<i32>(), addr in 0u64..0x7fff_ffff_0000) {
+        let mut code = vec![0xe8];
+        code.extend_from_slice(&disp.to_le_bytes());
+        let insn = decode(&code, addr, Mode::Bits64).unwrap();
+        let expect = addr.wrapping_add(5).wrapping_add(disp as i64 as u64);
+        prop_assert_eq!(insn.kind, InsnKind::CallRel { target: expect });
+    }
+
+    /// Prefix padding before `ret` never turns it into something else as
+    /// long as the total stays within the 15-byte limit.
+    #[test]
+    fn prefixed_ret_still_ret(n_prefix in 0usize..12) {
+        let mut code = vec![0x66; n_prefix];
+        code.push(0xc3);
+        let insn = decode(&code, 0, Mode::Bits64).unwrap();
+        prop_assert_eq!(insn.kind, InsnKind::Ret);
+        prop_assert_eq!(insn.len as usize, n_prefix + 1);
+    }
+}
+
+proptest! {
+    /// The formatter agrees with the decoder on lengths for any bytes and
+    /// never yields an empty rendering.
+    #[test]
+    fn formatter_agrees_with_decoder(bytes in proptest::collection::vec(any::<u8>(), 0..32),
+                                     mode_is_64 in any::<bool>()) {
+        let mode = if mode_is_64 { Mode::Bits64 } else { Mode::Bits32 };
+        match (funseeker_disasm::format_insn(&bytes, 0x1000, mode), decode(&bytes, 0x1000, mode)) {
+            (Ok((text, flen)), Ok(insn)) => {
+                prop_assert_eq!(flen, insn.len as usize);
+                prop_assert!(!text.is_empty());
+            }
+            (Err(fe), Err(de)) => prop_assert_eq!(fe, de),
+            (f, d) => prop_assert!(false, "formatter {:?} vs decoder {:?}", f.map(|x| x.1), d),
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! DWARF Call Frame Information (`DW_CFA_*`) instruction decoding.
+//!
+//! FDE bodies carry a CFI program describing how to unwind each frame.
+//! Function *identification* does not need to execute it, but a complete
+//! `.eh_frame` substrate should at least walk it: tools like Ghidra
+//! validate FDEs by checking their CFI parses, and corrupted programs
+//! are a realistic failure-injection surface.
+
+use crate::error::{EhError, Result};
+use crate::leb128::{read_sleb128, read_uleb128};
+
+/// One decoded CFI instruction (operands resolved, rules not evaluated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CfiInsn {
+    /// `DW_CFA_advance_loc` and its `1/2/4` variants — move the location
+    /// forward by `delta` (pre-scaled by `code_alignment_factor`).
+    AdvanceLoc {
+        /// Code-alignment-scaled delta.
+        delta: u64,
+    },
+    /// `DW_CFA_def_cfa` (register, offset).
+    DefCfa {
+        /// CFA base register number.
+        reg: u64,
+        /// Offset from the register.
+        offset: u64,
+    },
+    /// `DW_CFA_def_cfa_register`.
+    DefCfaRegister {
+        /// New CFA base register.
+        reg: u64,
+    },
+    /// `DW_CFA_def_cfa_offset`.
+    DefCfaOffset {
+        /// New offset.
+        offset: u64,
+    },
+    /// `DW_CFA_offset` — register saved at CFA-relative slot.
+    Offset {
+        /// Register number.
+        reg: u64,
+        /// Factored offset.
+        offset: u64,
+    },
+    /// `DW_CFA_restore`.
+    Restore {
+        /// Register number.
+        reg: u64,
+    },
+    /// `DW_CFA_remember_state`.
+    RememberState,
+    /// `DW_CFA_restore_state`.
+    RestoreState,
+    /// `DW_CFA_nop` (also used as padding).
+    Nop,
+    /// Any other opcode, skipped with correct operand sizes.
+    Other {
+        /// The raw opcode byte.
+        opcode: u8,
+    },
+}
+
+/// Decodes a CFI program (an FDE's instruction bytes, padding included).
+///
+/// Returns the decoded instructions; unknown opcodes with unknown operand
+/// layouts produce [`EhError::Malformed`].
+pub fn decode_cfi(program: &[u8]) -> Result<Vec<CfiInsn>> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < program.len() {
+        let byte = program[pos];
+        pos += 1;
+        let high = byte >> 6;
+        let low = byte & 0x3f;
+        let insn = match high {
+            0x1 => CfiInsn::AdvanceLoc { delta: u64::from(low) },
+            0x2 => {
+                let offset = read_uleb128(program, &mut pos)?;
+                CfiInsn::Offset { reg: u64::from(low), offset }
+            }
+            0x3 => CfiInsn::Restore { reg: u64::from(low) },
+            _ => match low {
+                0x00 => CfiInsn::Nop,
+                0x02 => {
+                    let d = *program.get(pos).ok_or(EhError::Truncated { offset: pos })?;
+                    pos += 1;
+                    CfiInsn::AdvanceLoc { delta: u64::from(d) }
+                }
+                0x03 => {
+                    let b = program
+                        .get(pos..pos + 2)
+                        .ok_or(EhError::Truncated { offset: pos })?;
+                    pos += 2;
+                    CfiInsn::AdvanceLoc { delta: u64::from(u16::from_le_bytes(b.try_into().unwrap())) }
+                }
+                0x04 => {
+                    let b = program
+                        .get(pos..pos + 4)
+                        .ok_or(EhError::Truncated { offset: pos })?;
+                    pos += 4;
+                    CfiInsn::AdvanceLoc { delta: u64::from(u32::from_le_bytes(b.try_into().unwrap())) }
+                }
+                0x05 => {
+                    let reg = read_uleb128(program, &mut pos)?;
+                    let offset = read_uleb128(program, &mut pos)?;
+                    CfiInsn::Offset { reg, offset }
+                }
+                0x0a => CfiInsn::RememberState,
+                0x0b => CfiInsn::RestoreState,
+                0x0c => {
+                    let reg = read_uleb128(program, &mut pos)?;
+                    let offset = read_uleb128(program, &mut pos)?;
+                    CfiInsn::DefCfa { reg, offset }
+                }
+                0x0d => {
+                    let reg = read_uleb128(program, &mut pos)?;
+                    CfiInsn::DefCfaRegister { reg }
+                }
+                0x0e => {
+                    let offset = read_uleb128(program, &mut pos)?;
+                    CfiInsn::DefCfaOffset { offset }
+                }
+                // Opcodes with one ULEB operand.
+                0x06..=0x09 => {
+                    let _ = read_uleb128(program, &mut pos)?;
+                    if low == 0x09 {
+                        let _ = read_uleb128(program, &mut pos)?; // register pair
+                    }
+                    CfiInsn::Other { opcode: byte }
+                }
+                // def_cfa_sf / offset_extended_sf: uleb + sleb.
+                0x11 | 0x12 => {
+                    let _ = read_uleb128(program, &mut pos)?;
+                    let _ = read_sleb128(program, &mut pos)?;
+                    CfiInsn::Other { opcode: byte }
+                }
+                0x13 => {
+                    let _ = read_sleb128(program, &mut pos)?;
+                    CfiInsn::Other { opcode: byte }
+                }
+                // Expression forms: uleb length + block.
+                0x0f => {
+                    let n = read_uleb128(program, &mut pos)? as usize;
+                    pos = pos.checked_add(n).filter(|&p| p <= program.len()).ok_or(EhError::Malformed("CFI expression overruns"))?;
+                    CfiInsn::Other { opcode: byte }
+                }
+                0x10 | 0x16 => {
+                    let _ = read_uleb128(program, &mut pos)?;
+                    let n = read_uleb128(program, &mut pos)? as usize;
+                    pos = pos.checked_add(n).filter(|&p| p <= program.len()).ok_or(EhError::Malformed("CFI expression overruns"))?;
+                    CfiInsn::Other { opcode: byte }
+                }
+                // GNU extensions: args_size (uleb).
+                0x2e => {
+                    let _ = read_uleb128(program, &mut pos)?;
+                    CfiInsn::Other { opcode: byte }
+                }
+                _ => return Err(EhError::Malformed("unknown CFI opcode")),
+            },
+        };
+        out.push(insn);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_the_classic_prologue_program() {
+        // What GCC emits for push rbp; mov rbp,rsp frames:
+        //   advance_loc 1; def_cfa_offset 16; offset rbp, 2;
+        //   advance_loc 3; def_cfa_register rbp; nops.
+        let program = [
+            0x41, // advance_loc 1
+            0x0e, 0x10, // def_cfa_offset 16
+            0x86, 0x02, // offset r6(rbp), 2
+            0x43, // advance_loc 3
+            0x0d, 0x06, // def_cfa_register rbp
+            0x00, 0x00, // nops
+        ];
+        let insns = decode_cfi(&program).unwrap();
+        assert_eq!(
+            insns,
+            vec![
+                CfiInsn::AdvanceLoc { delta: 1 },
+                CfiInsn::DefCfaOffset { offset: 16 },
+                CfiInsn::Offset { reg: 6, offset: 2 },
+                CfiInsn::AdvanceLoc { delta: 3 },
+                CfiInsn::DefCfaRegister { reg: 6 },
+                CfiInsn::Nop,
+                CfiInsn::Nop,
+            ]
+        );
+    }
+
+    #[test]
+    fn wide_advance_and_def_cfa() {
+        let program = [
+            0x02, 0x80, // advance_loc1 128
+            0x03, 0x00, 0x01, // advance_loc2 256
+            0x04, 0x00, 0x00, 0x01, 0x00, // advance_loc4 65536
+            0x0c, 0x07, 0x08, // def_cfa r7, 8
+            0x0a, 0x0b, // remember/restore state
+        ];
+        let insns = decode_cfi(&program).unwrap();
+        assert_eq!(insns[0], CfiInsn::AdvanceLoc { delta: 128 });
+        assert_eq!(insns[1], CfiInsn::AdvanceLoc { delta: 256 });
+        assert_eq!(insns[2], CfiInsn::AdvanceLoc { delta: 65536 });
+        assert_eq!(insns[3], CfiInsn::DefCfa { reg: 7, offset: 8 });
+        assert_eq!(insns[4], CfiInsn::RememberState);
+        assert_eq!(insns[5], CfiInsn::RestoreState);
+    }
+
+    #[test]
+    fn expression_blocks_are_skipped_safely() {
+        let program = [0x0f, 0x03, 0x11, 0x22, 0x33, 0x00];
+        let insns = decode_cfi(&program).unwrap();
+        assert_eq!(insns.len(), 2);
+        assert!(matches!(insns[0], CfiInsn::Other { opcode: 0x0f }));
+        // Overrunning expression is malformed, not a panic.
+        assert!(matches!(decode_cfi(&[0x0f, 0x7f, 0x00]), Err(EhError::Malformed(_))));
+    }
+
+    #[test]
+    fn truncations_error_cleanly() {
+        for bytes in [&[0x02][..], &[0x03, 0x00][..], &[0x0c, 0x07][..]] {
+            assert!(decode_cfi(bytes).is_err());
+        }
+    }
+}

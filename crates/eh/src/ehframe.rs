@@ -1,0 +1,402 @@
+//! `.eh_frame` parsing and emission (CIE / FDE records).
+//!
+//! Function identifiers consume two facts per FDE: the covered PC range
+//! (`pc_begin`, `pc_range`) and the LSDA pointer, which leads to the
+//! landing pads FunSeeker's FILTERENDBR must discard. The FETCH and
+//! Ghidra baselines use `pc_begin` directly as a function-start oracle.
+
+use crate::encoding::{
+    read_encoded, read_raw, write_encoded, Bases, DW_EH_PE_OMIT, DW_EH_PE_PCREL, DW_EH_PE_SDATA4,
+};
+use crate::error::{EhError, Result};
+use crate::leb128::{read_uleb128, write_uleb128};
+
+/// One Frame Description Entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fde {
+    /// First address of the covered range (the paper's "PC begin").
+    pub pc_begin: u64,
+    /// Length of the covered range in bytes.
+    pub pc_range: u64,
+    /// Absolute address of the function's LSDA in `.gcc_except_table`,
+    /// when the function has exception-handling call sites.
+    pub lsda: Option<u64>,
+}
+
+/// Parsed `.eh_frame` contents.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EhFrame {
+    /// All FDEs in record order.
+    pub fdes: Vec<Fde>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Cie {
+    fde_enc: u8,
+    lsda_enc: u8,
+    has_aug_data: bool,
+}
+
+/// Parses an `.eh_frame` section loaded at `section_addr`.
+///
+/// `wide` selects pointer width for `DW_EH_PE_absptr` values (true on
+/// x86-64). Unknown augmentations make the affected record be skipped
+/// rather than failing the whole parse — real-world sections mix CIE
+/// flavors.
+pub fn parse_eh_frame(data: &[u8], section_addr: u64, wide: bool) -> Result<EhFrame> {
+    let mut fdes = Vec::new();
+    let mut cies: Vec<(usize, Cie)> = Vec::new();
+    let mut pos = 0usize;
+
+    while pos + 4 <= data.len() {
+        let record_start = pos;
+        let mut len = u64::from(u32::from_le_bytes(
+            data[pos..pos + 4].try_into().unwrap(),
+        ));
+        pos += 4;
+        if len == 0 {
+            // Terminator. GCC emits one at the very end; tolerate embedded
+            // ones by continuing (ld -r output can concatenate).
+            continue;
+        }
+        if len == 0xffff_ffff {
+            let bytes = data
+                .get(pos..pos + 8)
+                .ok_or(EhError::Truncated { offset: pos })?;
+            len = u64::from_le_bytes(bytes.try_into().unwrap());
+            pos += 8;
+        }
+        let body_end = pos
+            .checked_add(usize::try_from(len).map_err(|_| EhError::Overflow)?)
+            .ok_or(EhError::Overflow)?;
+        if body_end > data.len() {
+            return Err(EhError::Malformed("record length runs past section"));
+        }
+
+        let id_pos = pos;
+        let id = u32::from_le_bytes(
+            data.get(pos..pos + 4)
+                .ok_or(EhError::Truncated { offset: pos })?
+                .try_into()
+                .unwrap(),
+        );
+        pos += 4;
+
+        if id == 0 {
+            // CIE.
+            match parse_cie(data, pos, body_end, wide) {
+                Ok(cie) => cies.push((record_start, cie)),
+                Err(_) => { /* unsupported CIE flavor: skip its FDEs too */ }
+            }
+        } else {
+            // FDE: id is the distance from the id field back to the CIE.
+            let cie_start = id_pos
+                .checked_sub(id as usize)
+                .ok_or(EhError::BadCiePointer { offset: id_pos })?;
+            let Some(&(_, cie)) = cies.iter().find(|(off, _)| *off == cie_start) else {
+                pos = body_end;
+                continue; // FDE for a CIE we skipped
+            };
+            if let Ok(fde) = parse_fde(data, pos, section_addr, cie, wide) {
+                fdes.push(fde);
+            }
+        }
+        pos = body_end;
+    }
+
+    Ok(EhFrame { fdes })
+}
+
+fn parse_cie(data: &[u8], mut pos: usize, end: usize, wide: bool) -> Result<Cie> {
+    let version = *data.get(pos).ok_or(EhError::Truncated { offset: pos })?;
+    pos += 1;
+    if version != 1 && version != 3 {
+        return Err(EhError::BadCieVersion(version));
+    }
+    let aug_start = pos;
+    let aug_region = data
+        .get(aug_start..end)
+        .ok_or(EhError::Malformed("CIE body outside record bounds"))?;
+    let aug_end = aug_region
+        .iter()
+        .position(|&b| b == 0)
+        .ok_or(EhError::Malformed("unterminated augmentation string"))?;
+    let augmentation: Vec<u8> = aug_region[..aug_end].to_vec();
+    pos = aug_start + aug_end + 1;
+
+    let _code_align = read_uleb128(data, &mut pos)?;
+    let _data_align = crate::leb128::read_sleb128(data, &mut pos)?;
+    if version == 1 {
+        pos += 1; // return-address register as a plain byte
+    } else {
+        let _ = read_uleb128(data, &mut pos)?;
+    }
+
+    let mut cie = Cie { fde_enc: crate::encoding::DW_EH_PE_ABSPTR, lsda_enc: DW_EH_PE_OMIT, has_aug_data: false };
+    if augmentation.first() == Some(&b'z') {
+        cie.has_aug_data = true;
+        let _aug_len = read_uleb128(data, &mut pos)?;
+        for &ch in &augmentation[1..] {
+            match ch {
+                b'R' => {
+                    cie.fde_enc = *data.get(pos).ok_or(EhError::Truncated { offset: pos })?;
+                    pos += 1;
+                }
+                b'L' => {
+                    cie.lsda_enc = *data.get(pos).ok_or(EhError::Truncated { offset: pos })?;
+                    pos += 1;
+                }
+                b'P' => {
+                    let enc = *data.get(pos).ok_or(EhError::Truncated { offset: pos })?;
+                    pos += 1;
+                    // Consume the personality pointer; its value is
+                    // irrelevant for function identification, and
+                    // indirect pointers cannot be resolved statically.
+                    match read_encoded(data, &mut pos, enc, Bases::default(), wide) {
+                        Ok(_) | Err(EhError::IndirectPointer) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                b'S' | b'B' | b'G' => {}
+                _ => return Err(EhError::Malformed("unknown augmentation character")),
+            }
+        }
+    }
+    Ok(cie)
+}
+
+fn parse_fde(data: &[u8], mut pos: usize, section_addr: u64, cie: Cie, wide: bool) -> Result<Fde> {
+    let field_vaddr = section_addr + pos as u64;
+    let pc_begin = read_encoded(
+        data,
+        &mut pos,
+        cie.fde_enc,
+        Bases { pc: field_vaddr, ..Default::default() },
+        wide,
+    )?
+    .ok_or(EhError::Malformed("FDE without pc_begin"))?;
+    let pc_range = read_raw(data, &mut pos, cie.fde_enc & 0x0f, wide)? as u64;
+
+    let mut lsda = None;
+    if cie.has_aug_data {
+        let aug_len = read_uleb128(data, &mut pos)? as usize;
+        let aug_end = pos + aug_len;
+        if cie.lsda_enc != DW_EH_PE_OMIT {
+            let lsda_vaddr = section_addr + pos as u64;
+            // A stored zero means "no LSDA" even under pc-relative
+            // encodings, so null-check the raw value before rebasing.
+            let mut probe = pos;
+            let raw = read_raw(data, &mut probe, cie.lsda_enc & 0x0f, wide)?;
+            if raw != 0 {
+                lsda = read_encoded(
+                    data,
+                    &mut pos,
+                    cie.lsda_enc,
+                    Bases { pc: lsda_vaddr, ..Default::default() },
+                    wide,
+                )?;
+            }
+        }
+        let _ = aug_end;
+    }
+
+    Ok(Fde { pc_begin, pc_range, lsda })
+}
+
+/// Builds an `.eh_frame` section: one shared CIE plus one FDE per
+/// function, using GCC's usual `zR` / `zLR` augmentation with
+/// PC-relative `sdata4` pointers.
+#[derive(Debug, Clone)]
+pub struct EhFrameBuilder {
+    section_addr: u64,
+    buf: Vec<u8>,
+    with_lsda: bool,
+}
+
+impl EhFrameBuilder {
+    /// Starts a builder for a section that will be loaded at
+    /// `section_addr`. When `with_lsda` is set the CIE carries an `L`
+    /// augmentation and FDEs may reference LSDAs.
+    pub fn new(section_addr: u64, with_lsda: bool) -> Self {
+        let mut b = EhFrameBuilder { section_addr, buf: Vec::new(), with_lsda };
+        b.emit_cie();
+        b
+    }
+
+    fn enc() -> u8 {
+        DW_EH_PE_PCREL | DW_EH_PE_SDATA4
+    }
+
+    fn emit_cie(&mut self) {
+        let start = self.buf.len();
+        self.buf.extend_from_slice(&[0; 4]); // length placeholder
+        self.buf.extend_from_slice(&0u32.to_le_bytes()); // CIE id
+        self.buf.push(1); // version
+        if self.with_lsda {
+            self.buf.extend_from_slice(b"zLR\0");
+        } else {
+            self.buf.extend_from_slice(b"zR\0");
+        }
+        write_uleb128(&mut self.buf, 1); // code alignment
+        crate::leb128::write_sleb128(&mut self.buf, -8); // data alignment
+        self.buf.push(16); // return-address register (RA on x86-64)
+        // Augmentation data: [lsda_enc,] fde_enc.
+        if self.with_lsda {
+            write_uleb128(&mut self.buf, 2);
+            self.buf.push(Self::enc());
+            self.buf.push(Self::enc());
+        } else {
+            write_uleb128(&mut self.buf, 1);
+            self.buf.push(Self::enc());
+        }
+        self.pad_and_patch_len(start);
+    }
+
+    /// Appends one FDE, returning its absolute record address (what an
+    /// `.eh_frame_hdr` table entry points at).
+    pub fn add_fde(&mut self, pc_begin: u64, pc_range: u64, lsda: Option<u64>) -> u64 {
+        let start = self.buf.len();
+        let record_addr = self.section_addr + start as u64;
+        self.buf.extend_from_slice(&[0; 4]); // length placeholder
+        let id_pos = self.buf.len();
+        self.buf
+            .extend_from_slice(&(id_pos as u32).to_le_bytes()); // distance back to CIE at 0
+        let field_vaddr = self.section_addr + self.buf.len() as u64;
+        write_encoded(
+            &mut self.buf,
+            Self::enc(),
+            pc_begin,
+            Bases { pc: field_vaddr, ..Default::default() },
+            true,
+        )
+        .expect("sdata4 encoding is always writable");
+        // pc_range: plain size in the same format.
+        self.buf.extend_from_slice(&(pc_range as u32).to_le_bytes());
+        if self.with_lsda {
+            write_uleb128(&mut self.buf, 4); // aug length: one sdata4
+            match lsda {
+                Some(addr) => {
+                    let lsda_vaddr = self.section_addr + self.buf.len() as u64;
+                    write_encoded(
+                        &mut self.buf,
+                        Self::enc(),
+                        addr,
+                        Bases { pc: lsda_vaddr, ..Default::default() },
+                        true,
+                    )
+                    .expect("sdata4 encoding is always writable");
+                }
+                None => self.buf.extend_from_slice(&0u32.to_le_bytes()),
+            }
+        } else {
+            write_uleb128(&mut self.buf, 0);
+        }
+        self.pad_and_patch_len(start);
+        record_addr
+    }
+
+    fn pad_and_patch_len(&mut self, start: usize) {
+        while !(self.buf.len() - start).is_multiple_of(8) {
+            self.buf.push(0); // DW_CFA_nop
+        }
+        let len = (self.buf.len() - start - 4) as u32;
+        self.buf[start..start + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// Finishes the section (appends the zero terminator).
+    pub fn finish(mut self) -> Vec<u8> {
+        self.buf.extend_from_slice(&0u32.to_le_bytes());
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_section_parses_to_no_fdes() {
+        assert_eq!(parse_eh_frame(&[], 0, true).unwrap().fdes.len(), 0);
+        // Just a terminator.
+        assert_eq!(parse_eh_frame(&[0, 0, 0, 0], 0, true).unwrap().fdes.len(), 0);
+    }
+
+    #[test]
+    fn builder_round_trips_without_lsda() {
+        let mut b = EhFrameBuilder::new(0x5000, false);
+        b.add_fde(0x401000, 0x40, None);
+        b.add_fde(0x401040, 0x123, None);
+        let bytes = b.finish();
+        let parsed = parse_eh_frame(&bytes, 0x5000, true).unwrap();
+        assert_eq!(
+            parsed.fdes,
+            vec![
+                Fde { pc_begin: 0x401000, pc_range: 0x40, lsda: None },
+                Fde { pc_begin: 0x401040, pc_range: 0x123, lsda: None },
+            ]
+        );
+    }
+
+    #[test]
+    fn builder_round_trips_with_lsda() {
+        let mut b = EhFrameBuilder::new(0x2000, true);
+        b.add_fde(0x1000, 0x80, Some(0x3000));
+        b.add_fde(0x1080, 0x20, None);
+        b.add_fde(0x10a0, 0x60, Some(0x3040));
+        let bytes = b.finish();
+        let parsed = parse_eh_frame(&bytes, 0x2000, true).unwrap();
+        assert_eq!(parsed.fdes.len(), 3);
+        assert_eq!(parsed.fdes[0].lsda, Some(0x3000));
+        assert_eq!(parsed.fdes[1].lsda, None, "zero LSDA field must read back as None");
+        assert_eq!(parsed.fdes[2].lsda, Some(0x3040));
+        assert_eq!(parsed.fdes[2].pc_begin, 0x10a0);
+    }
+
+    #[test]
+    fn record_overrunning_section_is_malformed() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&100u32.to_le_bytes()); // claims 100 bytes
+        bytes.extend_from_slice(&[0u8; 8]); // but only 8 follow
+        assert!(matches!(
+            parse_eh_frame(&bytes, 0, true),
+            Err(EhError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn fde_with_unknown_cie_is_skipped() {
+        // A lone FDE pointing back past the start of the section.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&12u32.to_le_bytes());
+        bytes.extend_from_slice(&4u32.to_le_bytes()); // back-pointer to offset 0 — not a CIE we parsed
+        bytes.extend_from_slice(&[0u8; 8]);
+        // Offset 0 holds this very record (not a CIE), so lookup fails and
+        // the FDE is skipped gracefully.
+        let parsed = parse_eh_frame(&bytes, 0, true).unwrap();
+        assert_eq!(parsed.fdes.len(), 0);
+    }
+
+    #[test]
+    fn parses_own_executables_eh_frame() {
+        // Real-world differential: the running test binary has a genuine
+        // .eh_frame produced by rustc/LLVM.
+        let Ok(raw) = std::fs::read("/proc/self/exe") else { return };
+        let Ok(elf) = funseeker_elf::Elf::parse(&raw) else { return };
+        let Some((addr, data)) = elf.section_bytes(".eh_frame") else { return };
+        let parsed = parse_eh_frame(data, addr, true).expect("parse own .eh_frame");
+        assert!(parsed.fdes.len() > 100, "a Rust test binary has many FDEs, got {}", parsed.fdes.len());
+        // Every pc_begin should land in an executable section.
+        let (text_addr, text) = elf.section_bytes(".text").unwrap();
+        let text_end = text_addr + text.len() as u64;
+        let in_text = parsed
+            .fdes
+            .iter()
+            .filter(|f| f.pc_begin >= text_addr && f.pc_begin < text_end)
+            .count();
+        assert!(
+            in_text * 10 >= parsed.fdes.len() * 9,
+            "≥90% of FDEs should point into .text ({in_text}/{})",
+            parsed.fdes.len()
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! `.eh_frame_hdr` — the binary-search index over FDEs.
+//!
+//! The runtime unwinder locates FDEs through this header's sorted
+//! `(initial_location, fde_address)` table. Tools in the FETCH family
+//! consume it as a cheap, pre-sorted function-start oracle, so the
+//! corpus can emit it and the baselines can read it.
+
+use crate::encoding::{
+    read_encoded, write_encoded, Bases, DW_EH_PE_DATAREL, DW_EH_PE_OMIT, DW_EH_PE_PCREL,
+    DW_EH_PE_SDATA4, DW_EH_PE_UDATA4,
+};
+use crate::error::{EhError, Result};
+
+/// Parsed `.eh_frame_hdr` contents.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EhFrameHdr {
+    /// Address of `.eh_frame` as recorded in the header.
+    pub eh_frame_ptr: Option<u64>,
+    /// Sorted `(function_start, fde_address)` pairs.
+    pub table: Vec<(u64, u64)>,
+}
+
+/// Parses an `.eh_frame_hdr` section loaded at `section_addr`.
+pub fn parse_eh_frame_hdr(data: &[u8], section_addr: u64, wide: bool) -> Result<EhFrameHdr> {
+    let mut pos = 0usize;
+    let version = *data.first().ok_or(EhError::Truncated { offset: 0 })?;
+    if version != 1 {
+        return Err(EhError::Malformed("unsupported .eh_frame_hdr version"));
+    }
+    pos += 1;
+    let eh_frame_ptr_enc = *data.get(pos).ok_or(EhError::Truncated { offset: pos })?;
+    pos += 1;
+    let fde_count_enc = *data.get(pos).ok_or(EhError::Truncated { offset: pos })?;
+    pos += 1;
+    let table_enc = *data.get(pos).ok_or(EhError::Truncated { offset: pos })?;
+    pos += 1;
+
+    let bases = |pos: usize| Bases {
+        pc: section_addr + pos as u64,
+        data: section_addr,
+        ..Default::default()
+    };
+
+    let eh_frame_ptr = if eh_frame_ptr_enc == DW_EH_PE_OMIT {
+        None
+    } else {
+        let b = bases(pos);
+        read_encoded(data, &mut pos, eh_frame_ptr_enc, b, wide)?
+    };
+
+    let count = if fde_count_enc == DW_EH_PE_OMIT {
+        0
+    } else {
+        let b = bases(pos);
+        read_encoded(data, &mut pos, fde_count_enc, b, wide)?.unwrap_or(0)
+    };
+
+    let mut table = Vec::new();
+    if table_enc != DW_EH_PE_OMIT {
+        for _ in 0..count {
+            let b = bases(pos);
+            let loc = read_encoded(data, &mut pos, table_enc, b, wide)?
+                .ok_or(EhError::Malformed("omitted table entry"))?;
+            let b = bases(pos);
+            let fde = read_encoded(data, &mut pos, table_enc, b, wide)?
+                .ok_or(EhError::Malformed("omitted table entry"))?;
+            table.push((loc, fde));
+        }
+    }
+    Ok(EhFrameHdr { eh_frame_ptr, table })
+}
+
+/// Builds an `.eh_frame_hdr` in the standard GNU flavor: a PC-relative
+/// `eh_frame_ptr`, a `udata4` count, and a `datarel|sdata4` sorted table.
+pub fn build_eh_frame_hdr(
+    section_addr: u64,
+    eh_frame_addr: u64,
+    mut entries: Vec<(u64, u64)>,
+) -> Vec<u8> {
+    entries.sort_unstable();
+    let mut out = Vec::with_capacity(12 + entries.len() * 8);
+    out.push(1); // version
+    out.push(DW_EH_PE_PCREL | DW_EH_PE_SDATA4);
+    out.push(DW_EH_PE_UDATA4);
+    out.push(DW_EH_PE_DATAREL | DW_EH_PE_SDATA4);
+    write_encoded(
+        &mut out,
+        DW_EH_PE_PCREL | DW_EH_PE_SDATA4,
+        eh_frame_addr,
+        Bases { pc: section_addr + 4, ..Default::default() },
+        true,
+    )
+    .expect("sdata4 always writable");
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (loc, fde) in entries {
+        for v in [loc, fde] {
+            write_encoded(
+                &mut out,
+                DW_EH_PE_DATAREL | DW_EH_PE_SDATA4,
+                v,
+                Bases { data: section_addr, ..Default::default() },
+                true,
+            )
+            .expect("sdata4 always writable");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let hdr_addr = 0x2000u64;
+        let eh_addr = 0x3000u64;
+        let entries = vec![(0x1100u64, 0x3040u64), (0x1000, 0x3010), (0x1200, 0x3080)];
+        let bytes = build_eh_frame_hdr(hdr_addr, eh_addr, entries);
+        let parsed = parse_eh_frame_hdr(&bytes, hdr_addr, true).unwrap();
+        assert_eq!(parsed.eh_frame_ptr, Some(eh_addr));
+        // Entries come back sorted by location.
+        assert_eq!(parsed.table, vec![(0x1000, 0x3010), (0x1100, 0x3040), (0x1200, 0x3080)]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let bytes = build_eh_frame_hdr(0x2000, 0x3000, vec![]);
+        let parsed = parse_eh_frame_hdr(&bytes, 0x2000, true).unwrap();
+        assert!(parsed.table.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_version_and_truncation() {
+        assert!(parse_eh_frame_hdr(&[], 0, true).is_err());
+        assert!(parse_eh_frame_hdr(&[9, 0, 0, 0], 0, true).is_err());
+        let good = build_eh_frame_hdr(0x2000, 0x3000, vec![(1, 2)]);
+        for cut in 1..good.len() {
+            let _ = parse_eh_frame_hdr(&good[..cut], 0x2000, true); // no panic
+        }
+    }
+
+    #[test]
+    fn parses_own_executables_header_if_present() {
+        let Ok(raw) = std::fs::read("/proc/self/exe") else { return };
+        let Ok(elf) = funseeker_elf::Elf::parse(&raw) else { return };
+        let Some((addr, data)) = elf.section_bytes(".eh_frame_hdr") else { return };
+        let parsed = parse_eh_frame_hdr(data, addr, true).expect("real .eh_frame_hdr parses");
+        assert!(!parsed.table.is_empty());
+        // Sortedness is guaranteed by the format.
+        assert!(parsed.table.windows(2).all(|w| w[0].0 <= w[1].0));
+        // And the recorded eh_frame pointer matches the actual section.
+        if let Some((ehf_addr, _)) = elf.section_bytes(".eh_frame") {
+            assert_eq!(parsed.eh_frame_ptr, Some(ehf_addr));
+        }
+    }
+}

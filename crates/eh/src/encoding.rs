@@ -1,0 +1,277 @@
+//! `DW_EH_PE_*` pointer encodings.
+//!
+//! Exception-handling sections encode pointers with a one-byte encoding
+//! descriptor: the low nibble selects the value format (absolute,
+//! LEB128, fixed-width signed/unsigned) and the high nibble the base the
+//! value is relative to (absolute, PC-relative, section-relative, …).
+
+use crate::error::{EhError, Result};
+use crate::leb128::{read_sleb128, read_uleb128, write_sleb128, write_uleb128};
+
+/// `DW_EH_PE_absptr` — machine-word absolute pointer.
+pub const DW_EH_PE_ABSPTR: u8 = 0x00;
+/// `DW_EH_PE_uleb128`.
+pub const DW_EH_PE_ULEB128: u8 = 0x01;
+/// `DW_EH_PE_udata2`.
+pub const DW_EH_PE_UDATA2: u8 = 0x02;
+/// `DW_EH_PE_udata4`.
+pub const DW_EH_PE_UDATA4: u8 = 0x03;
+/// `DW_EH_PE_udata8`.
+pub const DW_EH_PE_UDATA8: u8 = 0x04;
+/// `DW_EH_PE_sleb128`.
+pub const DW_EH_PE_SLEB128: u8 = 0x09;
+/// `DW_EH_PE_sdata2`.
+pub const DW_EH_PE_SDATA2: u8 = 0x0a;
+/// `DW_EH_PE_sdata4`.
+pub const DW_EH_PE_SDATA4: u8 = 0x0b;
+/// `DW_EH_PE_sdata8`.
+pub const DW_EH_PE_SDATA8: u8 = 0x0c;
+/// `DW_EH_PE_pcrel` base modifier.
+pub const DW_EH_PE_PCREL: u8 = 0x10;
+/// `DW_EH_PE_textrel` base modifier.
+pub const DW_EH_PE_TEXTREL: u8 = 0x20;
+/// `DW_EH_PE_datarel` base modifier.
+pub const DW_EH_PE_DATAREL: u8 = 0x30;
+/// `DW_EH_PE_funcrel` base modifier.
+pub const DW_EH_PE_FUNCREL: u8 = 0x40;
+/// `DW_EH_PE_indirect` flag.
+pub const DW_EH_PE_INDIRECT: u8 = 0x80;
+/// `DW_EH_PE_omit` — no value present.
+pub const DW_EH_PE_OMIT: u8 = 0xff;
+
+/// Bases a relative pointer encoding can be resolved against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bases {
+    /// Virtual address corresponding to the *current read position* —
+    /// used by `DW_EH_PE_pcrel`. Set per read by the caller.
+    pub pc: u64,
+    /// `.text` base for `DW_EH_PE_textrel`.
+    pub text: u64,
+    /// Section base (e.g. `.eh_frame` or `.gcc_except_table` address)
+    /// for `DW_EH_PE_datarel`.
+    pub data: u64,
+    /// Function start for `DW_EH_PE_funcrel`.
+    pub func: u64,
+}
+
+/// Reads a pointer with encoding `enc` from `data` at `*pos`.
+///
+/// `wide` selects the width of `DW_EH_PE_absptr` (8 bytes on x86-64,
+/// 4 on x86). Returns `None` for `DW_EH_PE_omit`.
+pub fn read_encoded(
+    data: &[u8],
+    pos: &mut usize,
+    enc: u8,
+    bases: Bases,
+    wide: bool,
+) -> Result<Option<u64>> {
+    if enc == DW_EH_PE_OMIT {
+        return Ok(None);
+    }
+    if enc & DW_EH_PE_INDIRECT != 0 {
+        // We still must consume the bytes to stay in sync, but the value
+        // itself is unavailable without a memory image. Consume, then
+        // report.
+        let _ = read_raw(data, pos, enc & 0x0f, wide)?;
+        return Err(EhError::IndirectPointer);
+    }
+    let raw = read_raw(data, pos, enc & 0x0f, wide)?;
+    let base = match enc & 0x70 {
+        0x00 => 0,
+        DW_EH_PE_PCREL => bases.pc,
+        DW_EH_PE_TEXTREL => bases.text,
+        DW_EH_PE_DATAREL => bases.data,
+        DW_EH_PE_FUNCREL => bases.func,
+        _ => return Err(EhError::BadEncoding(enc)),
+    };
+    Ok(Some(base.wrapping_add(raw as u64)))
+}
+
+/// Reads a value with a *format* nibble only (no base applied). Used for
+/// `pc_range` (always a plain size) and for null-checks where a stored
+/// zero means "absent" regardless of the base.
+pub(crate) fn read_raw(data: &[u8], pos: &mut usize, format: u8, wide: bool) -> Result<i64> {
+    let take = |pos: &mut usize, n: usize| -> Result<u64> {
+        let bytes = data
+            .get(*pos..*pos + n)
+            .ok_or(EhError::Truncated { offset: *pos })?;
+        *pos += n;
+        let mut v = 0u64;
+        for (i, &b) in bytes.iter().enumerate() {
+            v |= u64::from(b) << (8 * i);
+        }
+        Ok(v)
+    };
+    match format {
+        DW_EH_PE_ABSPTR => Ok(take(pos, if wide { 8 } else { 4 })? as i64),
+        DW_EH_PE_ULEB128 => Ok(read_uleb128(data, pos)? as i64),
+        DW_EH_PE_UDATA2 => Ok(take(pos, 2)? as i64),
+        DW_EH_PE_UDATA4 => Ok(take(pos, 4)? as i64),
+        DW_EH_PE_UDATA8 => Ok(take(pos, 8)? as i64),
+        DW_EH_PE_SLEB128 => read_sleb128(data, pos),
+        DW_EH_PE_SDATA2 => Ok(take(pos, 2)? as u16 as i16 as i64),
+        DW_EH_PE_SDATA4 => Ok(take(pos, 4)? as u32 as i32 as i64),
+        DW_EH_PE_SDATA8 => Ok(take(pos, 8)? as i64),
+        other => Err(EhError::BadEncoding(other)),
+    }
+}
+
+/// Appends a pointer value with encoding `enc` to `out`.
+///
+/// `value` is the final address; the caller provides the same [`Bases`]
+/// the eventual reader will use so the stored delta is computed here.
+/// `DW_EH_PE_omit` writes nothing.
+pub fn write_encoded(out: &mut Vec<u8>, enc: u8, value: u64, bases: Bases, wide: bool) -> Result<()> {
+    if enc == DW_EH_PE_OMIT {
+        return Ok(());
+    }
+    if enc & DW_EH_PE_INDIRECT != 0 {
+        return Err(EhError::IndirectPointer);
+    }
+    let base = match enc & 0x70 {
+        0x00 => 0,
+        DW_EH_PE_PCREL => bases.pc,
+        DW_EH_PE_TEXTREL => bases.text,
+        DW_EH_PE_DATAREL => bases.data,
+        DW_EH_PE_FUNCREL => bases.func,
+        _ => return Err(EhError::BadEncoding(enc)),
+    };
+    let delta = value.wrapping_sub(base) as i64;
+    match enc & 0x0f {
+        DW_EH_PE_ABSPTR => {
+            if wide {
+                out.extend_from_slice(&(delta as u64).to_le_bytes());
+            } else {
+                out.extend_from_slice(&(delta as u64 as u32).to_le_bytes());
+            }
+        }
+        DW_EH_PE_ULEB128 => write_uleb128(out, delta as u64),
+        DW_EH_PE_UDATA2 => out.extend_from_slice(&(delta as u16).to_le_bytes()),
+        DW_EH_PE_UDATA4 => out.extend_from_slice(&(delta as u32).to_le_bytes()),
+        DW_EH_PE_UDATA8 => out.extend_from_slice(&(delta as u64).to_le_bytes()),
+        DW_EH_PE_SLEB128 => write_sleb128(out, delta),
+        DW_EH_PE_SDATA2 => out.extend_from_slice(&(delta as i16).to_le_bytes()),
+        DW_EH_PE_SDATA4 => out.extend_from_slice(&(delta as i32).to_le_bytes()),
+        DW_EH_PE_SDATA8 => out.extend_from_slice(&delta.to_le_bytes()),
+        other => return Err(EhError::BadEncoding(other)),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absptr_round_trip_both_widths() {
+        for wide in [false, true] {
+            let mut out = Vec::new();
+            write_encoded(&mut out, DW_EH_PE_ABSPTR, 0x401000, Bases::default(), wide).unwrap();
+            assert_eq!(out.len(), if wide { 8 } else { 4 });
+            let mut pos = 0;
+            let v = read_encoded(&out, &mut pos, DW_EH_PE_ABSPTR, Bases::default(), wide).unwrap();
+            assert_eq!(v, Some(0x401000));
+        }
+    }
+
+    #[test]
+    fn pcrel_sdata4_round_trip() {
+        // The encoding GCC actually uses for FDE pc_begin in PIEs.
+        let enc = DW_EH_PE_PCREL | DW_EH_PE_SDATA4;
+        let bases = Bases { pc: 0x2000, ..Default::default() };
+        let mut out = Vec::new();
+        write_encoded(&mut out, enc, 0x1500, bases, true).unwrap(); // negative delta
+        let mut pos = 0;
+        assert_eq!(read_encoded(&out, &mut pos, enc, bases, true).unwrap(), Some(0x1500));
+    }
+
+    #[test]
+    fn datarel_and_funcrel() {
+        let enc_d = DW_EH_PE_DATAREL | DW_EH_PE_UDATA4;
+        let bases = Bases { data: 0x10000, func: 0x500, ..Default::default() };
+        let mut out = Vec::new();
+        write_encoded(&mut out, enc_d, 0x10020, bases, true).unwrap();
+        let mut pos = 0;
+        assert_eq!(read_encoded(&out, &mut pos, enc_d, bases, true).unwrap(), Some(0x10020));
+
+        let enc_f = DW_EH_PE_FUNCREL | DW_EH_PE_ULEB128;
+        let mut out = Vec::new();
+        write_encoded(&mut out, enc_f, 0x540, bases, true).unwrap();
+        let mut pos = 0;
+        assert_eq!(read_encoded(&out, &mut pos, enc_f, bases, true).unwrap(), Some(0x540));
+    }
+
+    #[test]
+    fn uleb_and_sleb_formats() {
+        for enc in [DW_EH_PE_ULEB128, DW_EH_PE_SLEB128] {
+            let mut out = Vec::new();
+            write_encoded(&mut out, enc, 1234, Bases::default(), true).unwrap();
+            let mut pos = 0;
+            assert_eq!(read_encoded(&out, &mut pos, enc, Bases::default(), true).unwrap(), Some(1234));
+        }
+    }
+
+    #[test]
+    fn fixed_width_signed_formats() {
+        // Signed formats handle negative (backward) deltas.
+        for (enc, len) in [(DW_EH_PE_SDATA2, 2), (DW_EH_PE_SDATA4, 4), (DW_EH_PE_SDATA8, 8)] {
+            let bases = Bases { pc: 0x9000, ..Default::default() };
+            let e = enc | DW_EH_PE_PCREL;
+            let mut out = Vec::new();
+            write_encoded(&mut out, e, 0x8ff0, bases, true).unwrap();
+            assert_eq!(out.len(), len);
+            let mut pos = 0;
+            assert_eq!(read_encoded(&out, &mut pos, e, bases, true).unwrap(), Some(0x8ff0));
+        }
+        // Unsigned formats handle forward deltas (a udata2 cannot
+        // represent a negative one — that is inherent to the format).
+        for (enc, len) in [(DW_EH_PE_UDATA2, 2), (DW_EH_PE_UDATA4, 4), (DW_EH_PE_UDATA8, 8)] {
+            let bases = Bases { pc: 0x9000, ..Default::default() };
+            let e = enc | DW_EH_PE_PCREL;
+            let mut out = Vec::new();
+            write_encoded(&mut out, e, 0x9010, bases, true).unwrap();
+            assert_eq!(out.len(), len);
+            let mut pos = 0;
+            assert_eq!(read_encoded(&out, &mut pos, e, bases, true).unwrap(), Some(0x9010));
+        }
+    }
+
+    #[test]
+    fn omit_reads_and_writes_nothing() {
+        let mut out = Vec::new();
+        write_encoded(&mut out, DW_EH_PE_OMIT, 0xdead, Bases::default(), true).unwrap();
+        assert!(out.is_empty());
+        let mut pos = 0;
+        assert_eq!(read_encoded(&[], &mut pos, DW_EH_PE_OMIT, Bases::default(), true).unwrap(), None);
+    }
+
+    #[test]
+    fn indirect_is_rejected_but_consumed() {
+        let data = [0u8; 8];
+        let mut pos = 0;
+        let err = read_encoded(&data, &mut pos, DW_EH_PE_INDIRECT | DW_EH_PE_UDATA4, Bases::default(), true)
+            .unwrap_err();
+        assert_eq!(err, EhError::IndirectPointer);
+        assert_eq!(pos, 4, "bytes must still be consumed to stay in sync");
+    }
+
+    #[test]
+    fn bad_encodings_are_rejected() {
+        let data = [0u8; 8];
+        let mut pos = 0;
+        assert!(read_encoded(&data, &mut pos, 0x0d, Bases::default(), true).is_err());
+        let mut pos = 0;
+        assert!(read_encoded(&data, &mut pos, 0x50 | DW_EH_PE_UDATA4, Bases::default(), true).is_err());
+        let mut out = Vec::new();
+        assert!(write_encoded(&mut out, 0x0e, 0, Bases::default(), true).is_err());
+    }
+
+    #[test]
+    fn truncated_reads_fail() {
+        let mut pos = 0;
+        assert!(matches!(
+            read_encoded(&[1, 2], &mut pos, DW_EH_PE_UDATA4, Bases::default(), true),
+            Err(EhError::Truncated { .. })
+        ));
+    }
+}

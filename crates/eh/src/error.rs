@@ -1,0 +1,62 @@
+//! Error type for exception-handling metadata parsing.
+
+use core::fmt;
+
+/// Errors while parsing `.eh_frame` / `.gcc_except_table` contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EhError {
+    /// Ran off the end of the section.
+    Truncated {
+        /// Offset of the failed read.
+        offset: usize,
+    },
+    /// A LEB128 value does not fit in 64 bits.
+    Overflow,
+    /// An unknown or unsupported `DW_EH_PE_*` encoding byte.
+    BadEncoding(u8),
+    /// An `DW_EH_PE_indirect` pointer, which needs a loaded process image
+    /// to dereference.
+    IndirectPointer,
+    /// A CIE has a version we do not understand.
+    BadCieVersion(u8),
+    /// An FDE references a CIE at an invalid offset.
+    BadCiePointer {
+        /// Offset the FDE pointed at.
+        offset: usize,
+    },
+    /// Structurally invalid data (e.g. record length runs past the
+    /// section).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for EhError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EhError::Truncated { offset } => write!(f, "EH data truncated at offset {offset}"),
+            EhError::Overflow => f.write_str("LEB128 value exceeds 64 bits"),
+            EhError::BadEncoding(b) => write!(f, "unsupported DW_EH_PE encoding {b:#04x}"),
+            EhError::IndirectPointer => f.write_str("DW_EH_PE_indirect pointer requires a process image"),
+            EhError::BadCieVersion(v) => write!(f, "unsupported CIE version {v}"),
+            EhError::BadCiePointer { offset } => write!(f, "FDE references invalid CIE offset {offset}"),
+            EhError::Malformed(what) => write!(f, "malformed EH data: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EhError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = core::result::Result<T, EhError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_mention_specifics() {
+        assert!(EhError::Truncated { offset: 9 }.to_string().contains('9'));
+        assert!(EhError::BadEncoding(0x5d).to_string().contains("0x5d"));
+        assert!(EhError::BadCieVersion(7).to_string().contains('7'));
+    }
+}

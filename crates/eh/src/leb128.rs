@@ -1,0 +1,149 @@
+//! LEB128 variable-length integers (DWARF's workhorse encoding).
+
+use crate::error::{EhError, Result};
+
+/// Reads an unsigned LEB128 from `data` starting at `*pos`, advancing it.
+pub fn read_uleb128(data: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut result = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data.get(*pos).ok_or(EhError::Truncated { offset: *pos })?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(EhError::Overflow);
+        }
+        // Bits past the 64th must be zero or the value doesn't fit.
+        if shift == 63 && byte & 0x7e != 0 {
+            return Err(EhError::Overflow);
+        }
+        result |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(result);
+        }
+        shift += 7;
+    }
+}
+
+/// Reads a signed LEB128 from `data` starting at `*pos`, advancing it.
+pub fn read_sleb128(data: &[u8], pos: &mut usize) -> Result<i64> {
+    let mut result = 0i64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data.get(*pos).ok_or(EhError::Truncated { offset: *pos })?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(EhError::Overflow);
+        }
+        result |= i64::from(byte & 0x7f) << shift;
+        shift += 7;
+        if byte & 0x80 == 0 {
+            if shift < 64 && byte & 0x40 != 0 {
+                // Sign extend.
+                result |= -1i64 << shift;
+            }
+            return Ok(result);
+        }
+    }
+}
+
+/// Appends an unsigned LEB128 encoding of `value` to `out`.
+pub fn write_uleb128(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a signed LEB128 encoding of `value` to `out`.
+pub fn write_sleb128(out: &mut Vec<u8>, mut value: i64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        let sign_clear = byte & 0x40 == 0;
+        if (value == 0 && sign_clear) || (value == -1 && !sign_clear) {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uleb_known_vectors() {
+        // Classic DWARF spec examples.
+        let cases: &[(u64, &[u8])] = &[
+            (0, &[0x00]),
+            (2, &[0x02]),
+            (127, &[0x7f]),
+            (128, &[0x80, 0x01]),
+            (129, &[0x81, 0x01]),
+            (624485, &[0xe5, 0x8e, 0x26]),
+            (u64::MAX, &[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01]),
+        ];
+        for (value, bytes) in cases {
+            let mut out = Vec::new();
+            write_uleb128(&mut out, *value);
+            assert_eq!(&out, bytes, "encode {value}");
+            let mut pos = 0;
+            assert_eq!(read_uleb128(&out, &mut pos).unwrap(), *value);
+            assert_eq!(pos, out.len());
+        }
+    }
+
+    #[test]
+    fn sleb_known_vectors() {
+        let cases: &[(i64, &[u8])] = &[
+            (0, &[0x00]),
+            (2, &[0x02]),
+            (-2, &[0x7e]),
+            (63, &[0x3f]),
+            (-64, &[0x40]),
+            (64, &[0xc0, 0x00]),
+            (-65, &[0xbf, 0x7f]),
+            (-624485, &[0x9b, 0xf1, 0x59]),
+            (i64::MIN, &[0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x7f]),
+        ];
+        for (value, bytes) in cases {
+            let mut out = Vec::new();
+            write_sleb128(&mut out, *value);
+            assert_eq!(&out, bytes, "encode {value}");
+            let mut pos = 0;
+            assert_eq!(read_sleb128(&out, &mut pos).unwrap(), *value);
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_error() {
+        let mut pos = 0;
+        assert!(matches!(read_uleb128(&[0x80], &mut pos), Err(EhError::Truncated { .. })));
+        let mut pos = 0;
+        assert!(matches!(read_sleb128(&[0xff, 0x80], &mut pos), Err(EhError::Truncated { .. })));
+        let mut pos = 0;
+        assert!(matches!(read_uleb128(&[], &mut pos), Err(EhError::Truncated { .. })));
+    }
+
+    #[test]
+    fn oversized_uleb_is_overflow() {
+        // 11 continuation bytes exceed 64 bits.
+        let bytes = [0xffu8; 11];
+        let mut pos = 0;
+        assert!(matches!(read_uleb128(&bytes, &mut pos), Err(EhError::Overflow)));
+    }
+
+    #[test]
+    fn position_advances_only_past_the_value() {
+        let data = [0x81, 0x01, 0xc3, 0xc3];
+        let mut pos = 0;
+        assert_eq!(read_uleb128(&data, &mut pos).unwrap(), 129);
+        assert_eq!(pos, 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! DWARF exception-handling substrate for the FunSeeker reproduction.
+//!
+//! Three layers, each with a parser **and** an emitter (the corpus
+//! simulator writes what the identifiers later read):
+//!
+//! * [`leb128`] — variable-length integers.
+//! * [`encoding`] — `DW_EH_PE_*` pointer encodings.
+//! * [`ehframe`] / [`lsda`] — `.eh_frame` CIE/FDE records and
+//!   `.gcc_except_table` Language-Specific Data Areas.
+//!
+//! FunSeeker's FILTERENDBR uses LSDAs to discard landing-pad end-branch
+//! instructions (§IV-C of the paper); the FETCH and Ghidra baselines use
+//! FDE `pc_begin` values as their function oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cfi;
+pub mod encoding;
+pub mod ehframe_hdr;
+pub mod ehframe;
+pub mod error;
+pub mod leb128;
+pub mod lsda;
+
+pub use cfi::{decode_cfi, CfiInsn};
+pub use ehframe::{parse_eh_frame, EhFrame, EhFrameBuilder, Fde};
+pub use ehframe_hdr::{build_eh_frame_hdr, parse_eh_frame_hdr, EhFrameHdr};
+pub use error::{EhError, Result};
+pub use lsda::{parse_lsda, CallSite, ExceptTableBuilder, Lsda, LsdaBuilder};

@@ -1,0 +1,245 @@
+//! `.gcc_except_table` — Language-Specific Data Area (LSDA) parsing and
+//! emission.
+//!
+//! Each function with exception-handling call sites owns one LSDA; its
+//! call-site table maps code ranges to *landing pads* (catch/cleanup
+//! blocks). In CET binaries every landing pad begins with an end-branch
+//! instruction (§III-B3 of the paper), which is exactly the false-positive
+//! source FunSeeker's FILTERENDBR removes by reading these tables.
+
+use crate::encoding::{read_encoded, read_raw, Bases, DW_EH_PE_OMIT, DW_EH_PE_ULEB128};
+use crate::error::{EhError, Result};
+use crate::leb128::{read_uleb128, write_uleb128};
+
+/// Parsed contents of one LSDA.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Lsda {
+    /// Absolute addresses of all landing pads (deduplicated, sorted).
+    pub landing_pads: Vec<u64>,
+    /// Number of call-site records (including ones without a pad).
+    pub call_sites: usize,
+}
+
+/// Parses the LSDA at absolute address `lsda_addr` inside a
+/// `.gcc_except_table` section loaded at `table_addr`.
+///
+/// `func_start` is the entry of the owning function (from the FDE); it is
+/// the landing-pad base when the header omits `LPStart`, which is what
+/// GCC and Clang emit in practice.
+pub fn parse_lsda(
+    table: &[u8],
+    table_addr: u64,
+    lsda_addr: u64,
+    func_start: u64,
+    wide: bool,
+) -> Result<Lsda> {
+    let mut pos = usize::try_from(lsda_addr.wrapping_sub(table_addr))
+        .map_err(|_| EhError::Malformed("LSDA address before section start"))?;
+    if pos >= table.len() {
+        return Err(EhError::Malformed("LSDA address past section end"));
+    }
+
+    // --- header ---
+    let lpstart_enc = *table.get(pos).ok_or(EhError::Truncated { offset: pos })?;
+    pos += 1;
+    let lpstart = if lpstart_enc == DW_EH_PE_OMIT {
+        func_start
+    } else {
+        let vaddr = table_addr + pos as u64;
+        read_encoded(table, &mut pos, lpstart_enc, Bases { pc: vaddr, ..Default::default() }, wide)?
+            .unwrap_or(func_start)
+    };
+
+    let ttype_enc = *table.get(pos).ok_or(EhError::Truncated { offset: pos })?;
+    pos += 1;
+    if ttype_enc != DW_EH_PE_OMIT {
+        // Distance from here to the end of the type table — we only need
+        // to skip the header field itself.
+        let _ttype_offset = read_uleb128(table, &mut pos)?;
+    }
+
+    let cs_enc = *table.get(pos).ok_or(EhError::Truncated { offset: pos })?;
+    pos += 1;
+    let cs_len = read_uleb128(table, &mut pos)? as usize;
+    let cs_end = pos.checked_add(cs_len).ok_or(EhError::Overflow)?;
+    if cs_end > table.len() {
+        return Err(EhError::Malformed("call-site table runs past section"));
+    }
+
+    // --- call-site records ---
+    let mut pads = Vec::new();
+    let mut call_sites = 0usize;
+    while pos < cs_end {
+        let _start = read_raw(table, &mut pos, cs_enc & 0x0f, wide)?;
+        let _len = read_raw(table, &mut pos, cs_enc & 0x0f, wide)?;
+        let lp = read_raw(table, &mut pos, cs_enc & 0x0f, wide)? as u64;
+        let _action = read_uleb128(table, &mut pos)?;
+        call_sites += 1;
+        if lp != 0 {
+            pads.push(lpstart.wrapping_add(lp));
+        }
+    }
+    pads.sort_unstable();
+    pads.dedup();
+    Ok(Lsda { landing_pads: pads, call_sites })
+}
+
+/// One call-site record queued in [`LsdaBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallSite {
+    /// Offset of the protected region start, relative to the function.
+    pub start: u64,
+    /// Length of the protected region.
+    pub len: u64,
+    /// Landing-pad offset relative to the function start; 0 = none
+    /// (the unwinder keeps unwinding).
+    pub landing_pad: u64,
+    /// Action-table index (0 = cleanup only).
+    pub action: u64,
+}
+
+/// Builds one LSDA in the `LPStart = omit`, `uleb128` call-site flavor
+/// GCC emits for C++ code.
+#[derive(Debug, Clone, Default)]
+pub struct LsdaBuilder {
+    call_sites: Vec<CallSite>,
+}
+
+impl LsdaBuilder {
+    /// Starts an empty LSDA.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a call-site record.
+    pub fn call_site(&mut self, cs: CallSite) -> &mut Self {
+        self.call_sites.push(cs);
+        self
+    }
+
+    /// Serializes the LSDA.
+    pub fn build(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        for cs in &self.call_sites {
+            write_uleb128(&mut body, cs.start);
+            write_uleb128(&mut body, cs.len);
+            write_uleb128(&mut body, cs.landing_pad);
+            write_uleb128(&mut body, cs.action);
+        }
+        let mut out = Vec::with_capacity(body.len() + 8);
+        out.push(DW_EH_PE_OMIT); // LPStart: function entry
+        out.push(DW_EH_PE_OMIT); // @TType: none (cleanup-style table)
+        out.push(DW_EH_PE_ULEB128); // call-site encoding
+        write_uleb128(&mut out, body.len() as u64);
+        out.extend_from_slice(&body);
+        out
+    }
+}
+
+/// Assembles multiple LSDAs into a `.gcc_except_table` section image,
+/// returning the section bytes and the absolute address of each LSDA (in
+/// insertion order).
+#[derive(Debug, Clone)]
+pub struct ExceptTableBuilder {
+    section_addr: u64,
+    buf: Vec<u8>,
+    addrs: Vec<u64>,
+}
+
+impl ExceptTableBuilder {
+    /// Starts a section that will be loaded at `section_addr`.
+    pub fn new(section_addr: u64) -> Self {
+        ExceptTableBuilder { section_addr, buf: Vec::new(), addrs: Vec::new() }
+    }
+
+    /// Appends one LSDA (4-byte aligned, as GCC does) and returns its
+    /// absolute address.
+    pub fn add(&mut self, lsda: &LsdaBuilder) -> u64 {
+        while !self.buf.len().is_multiple_of(4) {
+            self.buf.push(0);
+        }
+        let addr = self.section_addr + self.buf.len() as u64;
+        self.buf.extend_from_slice(&lsda.build());
+        self.addrs.push(addr);
+        addr
+    }
+
+    /// Whether no LSDA has been added.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Finishes the section, returning `(bytes, lsda_addresses)`.
+    pub fn finish(self) -> (Vec<u8>, Vec<u64>) {
+        (self.buf, self.addrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_lsda_round_trips() {
+        let mut b = LsdaBuilder::new();
+        b.call_site(CallSite { start: 0x10, len: 0x20, landing_pad: 0x80, action: 1 });
+        b.call_site(CallSite { start: 0x30, len: 0x08, landing_pad: 0, action: 0 });
+        b.call_site(CallSite { start: 0x40, len: 0x10, landing_pad: 0x95, action: 2 });
+        let bytes = b.build();
+
+        let func = 0x401000u64;
+        let lsda = parse_lsda(&bytes, 0x5000, 0x5000, func, true).unwrap();
+        assert_eq!(lsda.call_sites, 3);
+        assert_eq!(lsda.landing_pads, vec![func + 0x80, func + 0x95]);
+    }
+
+    #[test]
+    fn except_table_addresses_are_aligned_and_resolvable() {
+        let mut table = ExceptTableBuilder::new(0x6000);
+        let mut a = LsdaBuilder::new();
+        a.call_site(CallSite { start: 0, len: 4, landing_pad: 0x40, action: 1 });
+        let mut b = LsdaBuilder::new();
+        b.call_site(CallSite { start: 8, len: 4, landing_pad: 0x21, action: 1 });
+        b.call_site(CallSite { start: 16, len: 2, landing_pad: 0x21, action: 1 });
+
+        let addr_a = table.add(&a);
+        let addr_b = table.add(&b);
+        assert_eq!(addr_a % 4, 0);
+        assert_eq!(addr_b % 4, 0);
+        assert!(!table.is_empty());
+        let (bytes, addrs) = table.finish();
+        assert_eq!(addrs, vec![addr_a, addr_b]);
+
+        let la = parse_lsda(&bytes, 0x6000, addr_a, 0x1000, true).unwrap();
+        assert_eq!(la.landing_pads, vec![0x1040]);
+        let lb = parse_lsda(&bytes, 0x6000, addr_b, 0x2000, true).unwrap();
+        // Duplicate pads are deduplicated.
+        assert_eq!(lb.landing_pads, vec![0x2021]);
+        assert_eq!(lb.call_sites, 2);
+    }
+
+    #[test]
+    fn lsda_outside_section_is_rejected() {
+        assert!(parse_lsda(&[0xff; 8], 0x6000, 0x5000, 0, true).is_err());
+        assert!(parse_lsda(&[0xff; 8], 0x6000, 0x7000, 0, true).is_err());
+    }
+
+    #[test]
+    fn corrupt_call_site_length_is_malformed() {
+        // Header claims a call-site table longer than the section.
+        let bytes = [DW_EH_PE_OMIT, DW_EH_PE_OMIT, DW_EH_PE_ULEB128, 0x7f];
+        assert!(matches!(
+            parse_lsda(&bytes, 0, 0, 0, true),
+            Err(EhError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn empty_call_site_table_is_fine() {
+        let b = LsdaBuilder::new();
+        let bytes = b.build();
+        let lsda = parse_lsda(&bytes, 0, 0, 0x100, true).unwrap();
+        assert!(lsda.landing_pads.is_empty());
+        assert_eq!(lsda.call_sites, 0);
+    }
+}

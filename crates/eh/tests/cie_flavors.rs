@@ -1,0 +1,103 @@
+//! Hand-assembled CIE flavors the builder does not emit: the parser must
+//! handle the `zPLR` augmentation (personality routine) and version-3
+//! CIEs that real GCC C++ objects carry.
+
+use funseeker_eh::encoding::{DW_EH_PE_ABSPTR, DW_EH_PE_PCREL, DW_EH_PE_SDATA4, DW_EH_PE_UDATA4};
+use funseeker_eh::leb128::write_uleb128;
+use funseeker_eh::parse_eh_frame;
+
+fn push_u32(v: u32, out: &mut Vec<u8>) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Builds a `zPLR` CIE + one FDE with absolute-pointer encodings.
+fn zplr_section(pc_begin: u32, pc_range: u32, lsda: u32, version: u8) -> Vec<u8> {
+    let mut cie = Vec::new();
+    push_u32(0, &mut cie); // CIE id
+    cie.push(version);
+    cie.extend_from_slice(b"zPLR\0");
+    write_uleb128(&mut cie, 1); // code align
+    cie.push(0x78); // data align: sleb(-8)
+    if version == 1 {
+        cie.push(16); // RA register, plain byte
+    } else {
+        write_uleb128(&mut cie, 16); // RA register, uleb (v3)
+    }
+    // Augmentation data: P(enc+ptr) L(enc) R(enc).
+    let mut aug = Vec::new();
+    aug.push(DW_EH_PE_ABSPTR | DW_EH_PE_UDATA4); // personality encoding
+    aug.extend_from_slice(&0xdead_b0d0u32.to_le_bytes()); // personality ptr
+    aug.push(DW_EH_PE_UDATA4); // LSDA encoding
+    aug.push(DW_EH_PE_UDATA4); // FDE encoding
+    write_uleb128(&mut cie, aug.len() as u64);
+    cie.extend_from_slice(&aug);
+    while (cie.len() + 4) % 8 != 0 {
+        cie.push(0);
+    }
+
+    let mut out = Vec::new();
+    push_u32(cie.len() as u32, &mut out);
+    out.extend_from_slice(&cie);
+
+    // FDE referencing the CIE at offset 0.
+    let fde_start = out.len();
+    let mut fde = Vec::new();
+    push_u32((fde_start + 4) as u32, &mut fde); // back-pointer to CIE
+    push_u32(pc_begin, &mut fde); // udata4 absolute
+    push_u32(pc_range, &mut fde);
+    write_uleb128(&mut fde, 4); // aug length: one udata4 LSDA
+    push_u32(lsda, &mut fde);
+    while (fde.len() + 4) % 8 != 0 {
+        fde.push(0);
+    }
+    push_u32(fde.len() as u32, &mut out);
+    out.extend_from_slice(&fde);
+    push_u32(0, &mut out); // terminator
+    out
+}
+
+#[test]
+fn zplr_cie_version1_parses() {
+    let bytes = zplr_section(0x40_1000, 0x80, 0x50_2000, 1);
+    let parsed = parse_eh_frame(&bytes, 0x1_0000, true).unwrap();
+    assert_eq!(parsed.fdes.len(), 1);
+    assert_eq!(parsed.fdes[0].pc_begin, 0x40_1000);
+    assert_eq!(parsed.fdes[0].pc_range, 0x80);
+    assert_eq!(parsed.fdes[0].lsda, Some(0x50_2000));
+}
+
+#[test]
+fn zplr_cie_version3_parses() {
+    let bytes = zplr_section(0x40_2000, 0x44, 0x50_3000, 3);
+    let parsed = parse_eh_frame(&bytes, 0, true).unwrap();
+    assert_eq!(parsed.fdes.len(), 1);
+    assert_eq!(parsed.fdes[0].pc_begin, 0x40_2000);
+    assert_eq!(parsed.fdes[0].lsda, Some(0x50_3000));
+}
+
+#[test]
+fn unsupported_cie_version_skips_its_fdes() {
+    let bytes = zplr_section(0x40_3000, 0x10, 0, 9);
+    let parsed = parse_eh_frame(&bytes, 0, true).unwrap();
+    assert!(parsed.fdes.is_empty(), "FDEs of an unknown CIE flavor are skipped, not crashed on");
+}
+
+#[test]
+fn pcrel_and_absptr_cies_can_coexist() {
+    // A zPLR/absolute section concatenated with a builder-produced
+    // pcrel section: both FDE sets surface. (ld -r style concatenation.)
+    let first = zplr_section(0x40_1000, 0x80, 0, 1);
+    // Strip the terminator from the first so the reader continues.
+    let first_len = first.len() - 4;
+    let mut combined = first[..first_len].to_vec();
+    let second_addr = 0x2_0000u64 + combined.len() as u64;
+    let mut b = funseeker_eh::EhFrameBuilder::new(second_addr, false);
+    b.add_fde(0x40_9000, 0x20, None);
+    combined.extend_from_slice(&b.finish());
+
+    let parsed = parse_eh_frame(&combined, 0x2_0000, true).unwrap();
+    let begins: Vec<u64> = parsed.fdes.iter().map(|f| f.pc_begin).collect();
+    assert!(begins.contains(&0x40_1000));
+    assert!(begins.contains(&0x40_9000));
+    let _ = (DW_EH_PE_PCREL, DW_EH_PE_SDATA4); // encodings used implicitly by the builder
+}

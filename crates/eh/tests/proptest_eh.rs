@@ -1,0 +1,102 @@
+//! Property tests for the EH substrate.
+
+use funseeker_eh::encoding::{self, Bases};
+use funseeker_eh::leb128::{read_sleb128, read_uleb128, write_sleb128, write_uleb128};
+use funseeker_eh::lsda::{parse_lsda, CallSite, LsdaBuilder};
+use funseeker_eh::{parse_eh_frame, EhFrameBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn uleb_round_trips(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        write_uleb128(&mut buf, v);
+        prop_assert!(buf.len() <= 10);
+        let mut pos = 0;
+        prop_assert_eq!(read_uleb128(&buf, &mut pos).unwrap(), v);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn sleb_round_trips(v in any::<i64>()) {
+        let mut buf = Vec::new();
+        write_sleb128(&mut buf, v);
+        prop_assert!(buf.len() <= 10);
+        let mut pos = 0;
+        prop_assert_eq!(read_sleb128(&buf, &mut pos).unwrap(), v);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn leb_readers_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..24)) {
+        let mut pos = 0;
+        let _ = read_uleb128(&bytes, &mut pos);
+        let mut pos = 0;
+        let _ = read_sleb128(&bytes, &mut pos);
+    }
+
+    /// pcrel/sdata4 — the encoding the whole pipeline leans on — round
+    /// trips for any target within ±2 GiB of the field.
+    #[test]
+    fn pcrel_sdata4_round_trips(pc in 0x8000_0000u64..0x7fff_0000_0000, delta in -0x4000_0000i64..0x4000_0000) {
+        let enc = 0x10 | 0x0b; // pcrel | sdata4
+        let value = pc.wrapping_add(delta as u64);
+        let bases = Bases { pc, ..Default::default() };
+        let mut out = Vec::new();
+        encoding::write_encoded(&mut out, enc, value, bases, true).unwrap();
+        let mut pos = 0;
+        prop_assert_eq!(encoding::read_encoded(&out, &mut pos, enc, bases, true).unwrap(), Some(value));
+    }
+
+    /// The eh_frame parser is total over arbitrary bytes.
+    #[test]
+    fn eh_frame_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256),
+                                    addr in any::<u32>()) {
+        let _ = parse_eh_frame(&bytes, u64::from(addr), true);
+        let _ = parse_eh_frame(&bytes, u64::from(addr), false);
+    }
+
+    /// The LSDA parser is total over arbitrary bytes.
+    #[test]
+    fn lsda_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128),
+                                off in 0u64..160) {
+        let _ = parse_lsda(&bytes, 0x1000, 0x1000 + off, 0x400000, true);
+    }
+
+    /// Builder → parser round trip with arbitrary call-site tables.
+    #[test]
+    fn lsda_round_trips(sites in proptest::collection::vec(
+        (0u64..0x1000, 1u64..0x100, 0u64..0x2000, 0u64..4), 0..12)) {
+        let mut b = LsdaBuilder::new();
+        for &(start, len, lp, action) in &sites {
+            b.call_site(CallSite { start, len, landing_pad: lp, action });
+        }
+        let bytes = b.build();
+        let func = 0x400000u64;
+        let parsed = parse_lsda(&bytes, 0, 0, func, true).unwrap();
+        prop_assert_eq!(parsed.call_sites, sites.len());
+        let mut expect: Vec<u64> = sites.iter().filter(|s| s.2 != 0).map(|s| func + s.2).collect();
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(parsed.landing_pads, expect);
+    }
+
+    /// eh_frame builder → parser round trip for arbitrary function lists.
+    #[test]
+    fn eh_frame_round_trips(funcs in proptest::collection::vec(
+        (0x40_0000u64..0x50_0000, 1u64..0x4000, proptest::option::of(0x60_0000u64..0x61_0000)), 0..20),
+        section in 0x10_0000u64..0x20_0000) {
+        let mut b = EhFrameBuilder::new(section, true);
+        for &(begin, range, lsda) in &funcs {
+            b.add_fde(begin, range, lsda);
+        }
+        let bytes = b.finish();
+        let parsed = parse_eh_frame(&bytes, section, true).unwrap();
+        prop_assert_eq!(parsed.fdes.len(), funcs.len());
+        for (fde, &(begin, range, lsda)) in parsed.fdes.iter().zip(&funcs) {
+            prop_assert_eq!(fde.pc_begin, begin);
+            prop_assert_eq!(fde.pc_range, range);
+            prop_assert_eq!(fde.lsda, lsda);
+        }
+    }
+}

@@ -1,0 +1,624 @@
+//! Building ELF images from scratch.
+//!
+//! The corpus simulator (crate `funseeker-corpus`) uses this to emit the
+//! synthetic CET-enabled binaries the evaluation runs on. The builder
+//! produces images that round-trip through [`crate::Elf::parse`] and are
+//! recognizable to standard tooling (`readelf`, `objdump`): a file header,
+//! program headers (one `PT_LOAD` per allocated section plus
+//! `PT_GNU_STACK`), section contents, `.shstrtab`, and the section header
+//! table.
+
+use crate::error::{Error, Result};
+use crate::header::{Machine, ObjectType};
+use crate::ident::{Class, MAGIC};
+use crate::reloc::Reloc;
+use crate::section::{SectionType, SHF_ALLOC, SHF_EXECINSTR};
+use crate::symbol::Symbol;
+
+/// A string table under construction (for `.shstrtab`, `.strtab`,
+/// `.dynstr`).
+#[derive(Debug, Clone)]
+pub struct StringTable {
+    data: Vec<u8>,
+}
+
+impl Default for StringTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StringTable {
+    /// Creates a table holding only the mandatory leading NUL.
+    pub fn new() -> Self {
+        StringTable { data: vec![0] }
+    }
+
+    /// Interns `s`, returning its offset. Identical strings are reused.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if s.is_empty() {
+            return 0;
+        }
+        // Linear scan is fine at corpus scale (tables have tens to a few
+        // thousand entries and are built once).
+        let needle = s.as_bytes();
+        let mut i = 1;
+        while i + needle.len() < self.data.len() {
+            if &self.data[i..i + needle.len()] == needle && self.data[i + needle.len()] == 0 {
+                return i as u32;
+            }
+            // Skip to the byte after the next NUL.
+            match self.data[i..].iter().position(|&b| b == 0) {
+                Some(p) => i += p + 1,
+                None => break,
+            }
+        }
+        let off = self.data.len() as u32;
+        self.data.extend_from_slice(needle);
+        self.data.push(0);
+        off
+    }
+
+    /// Finished table bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+/// One section queued in the builder.
+#[derive(Debug, Clone)]
+struct PendingSection {
+    name: String,
+    section_type: SectionType,
+    flags: u64,
+    addr: u64,
+    data: Vec<u8>,
+    /// Name of the section `sh_link` should point at (resolved at build).
+    link_name: Option<String>,
+    info: u32,
+    addralign: u64,
+    entsize: u64,
+}
+
+/// Builds an ELF image section by section.
+///
+/// ```
+/// use funseeker_elf::{ElfBuilder, Class, Machine, ObjectType, Elf};
+/// use funseeker_elf::section::{SHF_ALLOC, SHF_EXECINSTR};
+///
+/// let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::Executable);
+/// b.entry(0x401000);
+/// b.progbits(".text", 0x401000, SHF_ALLOC | SHF_EXECINSTR, vec![0xf3, 0x0f, 0x1e, 0xfa, 0xc3]);
+/// let bytes = b.build().unwrap();
+/// let elf = Elf::parse(&bytes).unwrap();
+/// assert_eq!(elf.section_bytes(".text").unwrap().0, 0x401000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ElfBuilder {
+    class: Class,
+    machine: Machine,
+    object_type: ObjectType,
+    entry: u64,
+    sections: Vec<PendingSection>,
+}
+
+impl ElfBuilder {
+    /// Starts a builder for the given class/machine/type.
+    pub fn new(class: Class, machine: Machine, object_type: ObjectType) -> Self {
+        ElfBuilder { class, machine, object_type, entry: 0, sections: Vec::new() }
+    }
+
+    /// Sets the entry point address.
+    pub fn entry(&mut self, addr: u64) -> &mut Self {
+        self.entry = addr;
+        self
+    }
+
+    /// Queues a raw section.
+    #[allow(clippy::too_many_arguments)]
+    pub fn section(
+        &mut self,
+        name: &str,
+        section_type: SectionType,
+        flags: u64,
+        addr: u64,
+        data: Vec<u8>,
+        link_name: Option<&str>,
+        info: u32,
+        addralign: u64,
+        entsize: u64,
+    ) -> &mut Self {
+        self.sections.push(PendingSection {
+            name: name.to_owned(),
+            section_type,
+            flags,
+            addr,
+            data,
+            link_name: link_name.map(str::to_owned),
+            info,
+            addralign,
+            entsize,
+        });
+        self
+    }
+
+    /// Queues a `SHT_PROGBITS` section.
+    pub fn progbits(&mut self, name: &str, addr: u64, flags: u64, data: Vec<u8>) -> &mut Self {
+        self.section(name, SectionType::ProgBits, flags, addr, data, None, 0, 16, 0)
+    }
+
+    /// Queues an executable `.text`-like section.
+    pub fn text(&mut self, name: &str, addr: u64, data: Vec<u8>) -> &mut Self {
+        self.progbits(name, addr, SHF_ALLOC | SHF_EXECINSTR, data)
+    }
+
+    /// Queues a symbol table and its string table.
+    ///
+    /// `table` is `.symtab` or `.dynsym`; the matching string table name is
+    /// derived (`.strtab` / `.dynstr`). Local symbols must precede globals
+    /// per the ELF spec; the builder sorts accordingly and sets `sh_info`
+    /// to the first non-local index.
+    pub fn symbol_table(&mut self, table: &str, addr: u64, symbols: &[Symbol]) -> &mut Self {
+        let strtab_name = if table == ".dynsym" { ".dynstr" } else { ".strtab" };
+        let mut strings = StringTable::new();
+
+        let mut sorted: Vec<&Symbol> = symbols.iter().collect();
+        sorted.sort_by_key(|s| !matches!(s.binding, crate::symbol::SymbolBinding::Local));
+        let first_global = sorted
+            .iter()
+            .position(|s| !matches!(s.binding, crate::symbol::SymbolBinding::Local))
+            .unwrap_or(sorted.len());
+
+        let mut data = Vec::new();
+        // Index 0: the mandatory null symbol.
+        data.resize(self.class.sym_size(), 0);
+        for sym in &sorted {
+            let name_off = strings.intern(&sym.name);
+            encode_symbol(&mut data, name_off, sym, self.class);
+        }
+
+        let (table_type, dynamic) = if table == ".dynsym" {
+            (SectionType::DynSym, SHF_ALLOC)
+        } else {
+            (SectionType::SymTab, 0)
+        };
+        self.section(
+            table,
+            table_type,
+            dynamic,
+            addr,
+            data,
+            Some(strtab_name),
+            (first_global + 1) as u32,
+            8,
+            self.class.sym_size() as u64,
+        );
+        self.section(
+            strtab_name,
+            SectionType::StrTab,
+            dynamic,
+            0,
+            strings.into_bytes(),
+            None,
+            0,
+            1,
+            0,
+        );
+        self
+    }
+
+    /// Queues a PLT relocation section (`.rela.plt` for ELF64, `.rel.plt`
+    /// for ELF32 — matching what GCC emits on each architecture).
+    pub fn plt_relocations(&mut self, addr: u64, relocs: &[Reloc]) -> &mut Self {
+        let (name, stype, entsize) = match self.class {
+            Class::Elf64 => (".rela.plt", SectionType::Rela, self.class.rela_size()),
+            Class::Elf32 => (".rel.plt", SectionType::Rel, self.class.rel_size()),
+        };
+        let mut data = Vec::with_capacity(relocs.len() * entsize);
+        for r in relocs {
+            encode_reloc(&mut data, r, self.class);
+        }
+        self.section(name, stype, SHF_ALLOC, addr, data, Some(".dynsym"), 0, 8, entsize as u64)
+    }
+
+    /// Serializes the image.
+    pub fn build(&self) -> Result<Vec<u8>> {
+        let class = self.class;
+        let wide = class.is_wide();
+        if !wide {
+            for s in &self.sections {
+                if s.addr > u64::from(u32::MAX) {
+                    return Err(Error::Unencodable("section address exceeds 32 bits"));
+                }
+            }
+        }
+
+        // Final section list: null + user sections + .shstrtab.
+        let mut shstr = StringTable::new();
+        let mut name_offsets = vec![0u32];
+        for s in &self.sections {
+            name_offsets.push(shstr.intern(&s.name));
+        }
+        let shstrtab_name_off = shstr.intern(".shstrtab");
+        let shstrtab = shstr.into_bytes();
+
+        let shnum = self.sections.len() + 2;
+        let alloc_count = self.sections.iter().filter(|s| s.flags & SHF_ALLOC != 0).count();
+        let phnum = alloc_count + 1; // + PT_GNU_STACK
+
+        let ehsize = class.ehdr_size();
+        let phoff = ehsize;
+        let mut cursor = phoff + phnum * class.phdr_size();
+
+        // Assign file offsets to section data.
+        let mut offsets = Vec::with_capacity(self.sections.len());
+        for s in &self.sections {
+            let align = s.addralign.max(1) as usize;
+            cursor = cursor.div_ceil(align) * align;
+            offsets.push(cursor);
+            if s.section_type != SectionType::NoBits {
+                cursor += s.data.len();
+            }
+        }
+        let shstrtab_off = cursor;
+        cursor += shstrtab.len();
+        let shoff = cursor.div_ceil(8) * 8;
+
+        let mut out = vec![0u8; shoff + shnum * class.shdr_size()];
+
+        // --- file header ---
+        out[..4].copy_from_slice(&MAGIC);
+        out[4] = class.to_byte();
+        out[5] = 1; // little-endian
+        out[6] = 1; // EV_CURRENT
+        let mut w = FieldWriter { out: &mut out, pos: 16 };
+        w.u16(self.object_type.to_u16());
+        w.u16(self.machine.to_u16());
+        w.u32(1);
+        w.word(self.entry, wide);
+        w.word(phoff as u64, wide);
+        w.word(shoff as u64, wide);
+        w.u32(0); // e_flags
+        w.u16(ehsize as u16);
+        w.u16(class.phdr_size() as u16);
+        w.u16(phnum as u16);
+        w.u16(class.shdr_size() as u16);
+        w.u16(shnum as u16);
+        w.u16((shnum - 1) as u16); // .shstrtab is last
+
+        // --- program headers: one PT_LOAD per allocated section ---
+        let mut w = FieldWriter { out: &mut out, pos: phoff };
+        for (s, &off) in self.sections.iter().zip(&offsets) {
+            if s.flags & SHF_ALLOC == 0 {
+                continue;
+            }
+            let filesz = if s.section_type == SectionType::NoBits { 0 } else { s.data.len() as u64 };
+            let memsz = s.data.len() as u64;
+            let mut flags = crate::segment::PF_R;
+            if s.flags & SHF_EXECINSTR != 0 {
+                flags |= crate::segment::PF_X;
+            }
+            if s.flags & crate::section::SHF_WRITE != 0 {
+                flags |= crate::segment::PF_W;
+            }
+            w.phdr(1, flags, off as u64, s.addr, filesz, memsz, s.addralign.max(1), wide);
+        }
+        // PT_GNU_STACK, non-executable.
+        w.phdr(0x6474_e551, crate::segment::PF_R | crate::segment::PF_W, 0, 0, 0, 0, 0x10, wide);
+
+        // --- section contents ---
+        for (s, &off) in self.sections.iter().zip(&offsets) {
+            if s.section_type != SectionType::NoBits {
+                out[off..off + s.data.len()].copy_from_slice(&s.data);
+            }
+        }
+        out[shstrtab_off..shstrtab_off + shstrtab.len()].copy_from_slice(&shstrtab);
+
+        // --- section headers ---
+        let link_index = |name: &str| -> u32 {
+            self.sections
+                .iter()
+                .position(|s| s.name == name)
+                .map(|i| (i + 1) as u32)
+                .unwrap_or(0)
+        };
+        let mut w = FieldWriter { out: &mut out, pos: shoff };
+        w.shdr(0, 0, 0, 0, 0, 0, 0, 0, 0, 0, wide); // null section
+        for (i, (s, &off)) in self.sections.iter().zip(&offsets).enumerate() {
+            let link = s.link_name.as_deref().map(link_index).unwrap_or(0);
+            w.shdr(
+                name_offsets[i + 1],
+                s.section_type.to_u32(),
+                s.flags,
+                s.addr,
+                off as u64,
+                s.data.len() as u64,
+                link,
+                s.info,
+                s.addralign,
+                s.entsize,
+                wide,
+            );
+        }
+        w.shdr(
+            shstrtab_name_off,
+            SectionType::StrTab.to_u32(),
+            0,
+            0,
+            shstrtab_off as u64,
+            shstrtab.len() as u64,
+            0,
+            0,
+            1,
+            0,
+            wide,
+        );
+
+        Ok(out)
+    }
+}
+
+/// Encodes one symbol into `out` (appending).
+fn encode_symbol(out: &mut Vec<u8>, name_off: u32, sym: &Symbol, class: Class) {
+    match class {
+        Class::Elf32 => {
+            out.extend_from_slice(&name_off.to_le_bytes());
+            out.extend_from_slice(&(sym.value as u32).to_le_bytes());
+            out.extend_from_slice(&(sym.size as u32).to_le_bytes());
+            out.push(sym.info_byte());
+            out.push(0);
+            out.extend_from_slice(&sym.shndx.to_le_bytes());
+        }
+        Class::Elf64 => {
+            out.extend_from_slice(&name_off.to_le_bytes());
+            out.push(sym.info_byte());
+            out.push(0);
+            out.extend_from_slice(&sym.shndx.to_le_bytes());
+            out.extend_from_slice(&sym.value.to_le_bytes());
+            out.extend_from_slice(&sym.size.to_le_bytes());
+        }
+    }
+}
+
+/// Encodes one relocation into `out` (appending). ELF32 uses `Rel`
+/// (no addend), ELF64 uses `Rela`.
+fn encode_reloc(out: &mut Vec<u8>, r: &Reloc, class: Class) {
+    match class {
+        Class::Elf32 => {
+            out.extend_from_slice(&(r.offset as u32).to_le_bytes());
+            out.extend_from_slice(&(Reloc::info_word(r.symbol, r.rtype, class) as u32).to_le_bytes());
+        }
+        Class::Elf64 => {
+            out.extend_from_slice(&r.offset.to_le_bytes());
+            out.extend_from_slice(&Reloc::info_word(r.symbol, r.rtype, class).to_le_bytes());
+            out.extend_from_slice(&r.addend.to_le_bytes());
+        }
+    }
+}
+
+/// In-place little-endian field writer over a pre-sized buffer.
+struct FieldWriter<'a> {
+    out: &'a mut [u8],
+    pos: usize,
+}
+
+impl FieldWriter<'_> {
+    fn u16(&mut self, v: u16) {
+        self.out[self.pos..self.pos + 2].copy_from_slice(&v.to_le_bytes());
+        self.pos += 2;
+    }
+    fn u32(&mut self, v: u32) {
+        self.out[self.pos..self.pos + 4].copy_from_slice(&v.to_le_bytes());
+        self.pos += 4;
+    }
+    fn u64(&mut self, v: u64) {
+        self.out[self.pos..self.pos + 8].copy_from_slice(&v.to_le_bytes());
+        self.pos += 8;
+    }
+    fn word(&mut self, v: u64, wide: bool) {
+        if wide {
+            self.u64(v);
+        } else {
+            self.u32(v as u32);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn phdr(&mut self, ptype: u32, flags: u32, off: u64, vaddr: u64, filesz: u64, memsz: u64, align: u64, wide: bool) {
+        self.u32(ptype);
+        if wide {
+            self.u32(flags);
+            self.u64(off);
+            self.u64(vaddr);
+            self.u64(vaddr);
+            self.u64(filesz);
+            self.u64(memsz);
+            self.u64(align);
+        } else {
+            self.u32(off as u32);
+            self.u32(vaddr as u32);
+            self.u32(vaddr as u32);
+            self.u32(filesz as u32);
+            self.u32(memsz as u32);
+            self.u32(flags);
+            self.u32(align as u32);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn shdr(
+        &mut self,
+        name: u32,
+        stype: u32,
+        flags: u64,
+        addr: u64,
+        off: u64,
+        size: u64,
+        link: u32,
+        info: u32,
+        align: u64,
+        entsize: u64,
+        wide: bool,
+    ) {
+        self.u32(name);
+        self.u32(stype);
+        self.word(flags, wide);
+        self.word(addr, wide);
+        self.word(off, wide);
+        self.word(size, wide);
+        self.u32(link);
+        self.u32(info);
+        self.word(align, wide);
+        self.word(entsize, wide);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elf::Elf;
+    use crate::plt::PltMap;
+    use crate::reloc::R_X86_64_JUMP_SLOT;
+    use crate::symbol::{SymbolBinding, SymbolType};
+
+    fn func_symbol(name: &str, value: u64, binding: SymbolBinding, shndx: u16) -> Symbol {
+        Symbol { name: name.into(), value, size: 16, symbol_type: SymbolType::Func, binding, shndx }
+    }
+
+    #[test]
+    fn string_table_interns_and_reuses() {
+        let mut t = StringTable::new();
+        let a = t.intern("main");
+        let b = t.intern("foo");
+        let a2 = t.intern("main");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.intern(""), 0);
+        let bytes = t.into_bytes();
+        assert_eq!(bytes[0], 0);
+        assert_eq!(crate::read::cstr_at(&bytes, a as usize).as_deref(), Some("main"));
+        assert_eq!(crate::read::cstr_at(&bytes, b as usize).as_deref(), Some("foo"));
+    }
+
+    #[test]
+    fn minimal_elf64_round_trips() {
+        let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::Executable);
+        b.entry(0x401000);
+        b.text(".text", 0x401000, vec![0xf3, 0x0f, 0x1e, 0xfa, 0xc3]);
+        let bytes = b.build().unwrap();
+
+        let elf = Elf::parse(&bytes).unwrap();
+        assert_eq!(elf.header.entry, 0x401000);
+        assert_eq!(elf.header.machine, Machine::X86_64);
+        let (addr, text) = elf.section_bytes(".text").unwrap();
+        assert_eq!(addr, 0x401000);
+        assert_eq!(text, &[0xf3, 0x0f, 0x1e, 0xfa, 0xc3]);
+        // One PT_LOAD (for .text) + PT_GNU_STACK.
+        assert_eq!(elf.segments.len(), 2);
+        assert!(elf.segments[0].is_executable());
+    }
+
+    #[test]
+    fn minimal_elf32_round_trips() {
+        let mut b = ElfBuilder::new(Class::Elf32, Machine::X86, ObjectType::SharedObject);
+        b.entry(0x1000);
+        b.text(".text", 0x1000, vec![0xf3, 0x0f, 0x1e, 0xfb, 0xc3]);
+        let bytes = b.build().unwrap();
+        let elf = Elf::parse(&bytes).unwrap();
+        assert_eq!(elf.class(), Class::Elf32);
+        assert!(elf.header.is_pie());
+        assert_eq!(elf.section_bytes(".text").unwrap().0, 0x1000);
+    }
+
+    #[test]
+    fn elf32_rejects_wide_addresses() {
+        let mut b = ElfBuilder::new(Class::Elf32, Machine::X86, ObjectType::Executable);
+        b.text(".text", 0x1_0000_0000, vec![0xc3]);
+        assert!(matches!(b.build(), Err(Error::Unencodable(_))));
+    }
+
+    #[test]
+    fn symtab_round_trips_with_local_first_ordering() {
+        let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::Executable);
+        b.text(".text", 0x401000, vec![0xc3]);
+        b.symbol_table(
+            ".symtab",
+            0,
+            &[
+                func_symbol("global_fn", 0x401000, SymbolBinding::Global, 1),
+                func_symbol("local_fn", 0x401010, SymbolBinding::Local, 1),
+            ],
+        );
+        let bytes = b.build().unwrap();
+        let elf = Elf::parse(&bytes).unwrap();
+        let syms = elf.symbols().unwrap();
+        // Null symbol + 2 real ones, locals first.
+        assert_eq!(syms.len(), 3);
+        assert_eq!(syms[1].name, "local_fn");
+        assert_eq!(syms[1].binding, SymbolBinding::Local);
+        assert_eq!(syms[2].name, "global_fn");
+        assert!(syms[2].is_defined_func());
+    }
+
+    #[test]
+    fn dynsym_plus_relocations_resolve_plt_names() {
+        let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::Executable);
+        b.text(".text", 0x401000, vec![0xc3]);
+        // PLT: slot 0 reserved, two stubs of 16 bytes each.
+        b.progbits(".plt", 0x401100, SHF_ALLOC | SHF_EXECINSTR, vec![0x90; 48]);
+        let dynsyms = [
+            func_symbol("setjmp", 0, SymbolBinding::Global, 0),
+            func_symbol("vfork", 0, SymbolBinding::Global, 0),
+        ];
+        b.symbol_table(".dynsym", 0x400400, &dynsyms);
+        // Symbol indices in the final table: null=0, setjmp=1, vfork=2.
+        b.plt_relocations(
+            0x400500,
+            &[
+                Reloc { offset: 0x404018, rtype: R_X86_64_JUMP_SLOT, symbol: 1, addend: 0 },
+                Reloc { offset: 0x404020, rtype: R_X86_64_JUMP_SLOT, symbol: 2, addend: 0 },
+            ],
+        );
+        let bytes = b.build().unwrap();
+        let elf = Elf::parse(&bytes).unwrap();
+        let plt = PltMap::from_elf(&elf).unwrap();
+        assert_eq!(plt.name_at(0x401110), Some("setjmp"));
+        assert_eq!(plt.name_at(0x401120), Some("vfork"));
+        assert_eq!(plt.name_at(0x401100), None); // PLT0 is the resolver stub
+    }
+
+    #[test]
+    fn elf32_rel_plt_resolution() {
+        let mut b = ElfBuilder::new(Class::Elf32, Machine::X86, ObjectType::Executable);
+        b.text(".text", 0x8048000, vec![0xc3]);
+        b.progbits(".plt", 0x8048100, SHF_ALLOC | SHF_EXECINSTR, vec![0x90; 32]);
+        b.symbol_table(".dynsym", 0, &[func_symbol("sigsetjmp", 0, SymbolBinding::Global, 0)]);
+        b.plt_relocations(
+            0x8048080,
+            &[Reloc { offset: 0x804a00c, rtype: crate::reloc::R_386_JMP_SLOT, symbol: 1, addend: 0 }],
+        );
+        let bytes = b.build().unwrap();
+        let elf = Elf::parse(&bytes).unwrap();
+        let plt = PltMap::from_elf(&elf).unwrap();
+        assert_eq!(plt.name_at(0x8048110), Some("sigsetjmp"));
+    }
+
+    #[test]
+    fn plt_sec_entries_resolve_from_index_zero() {
+        let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::Executable);
+        b.text(".text", 0x401000, vec![0xc3]);
+        b.progbits(".plt", 0x401100, SHF_ALLOC | SHF_EXECINSTR, vec![0x90; 32]);
+        b.progbits(".plt.sec", 0x401200, SHF_ALLOC | SHF_EXECINSTR, vec![0x90; 16]);
+        b.symbol_table(".dynsym", 0, &[func_symbol("vfork", 0, SymbolBinding::Global, 0)]);
+        b.plt_relocations(
+            0x400500,
+            &[Reloc { offset: 0x404018, rtype: R_X86_64_JUMP_SLOT, symbol: 1, addend: 0 }],
+        );
+        let bytes = b.build().unwrap();
+        let elf = Elf::parse(&bytes).unwrap();
+        let plt = PltMap::from_elf(&elf).unwrap();
+        // .plt stub at slot 1, .plt.sec stub at slot 0 — both are vfork.
+        assert_eq!(plt.name_at(0x401110), Some("vfork"));
+        assert_eq!(plt.name_at(0x401200), Some("vfork"));
+    }
+}

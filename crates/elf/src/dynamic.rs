@@ -1,0 +1,228 @@
+//! `.dynamic` section parsing (`DT_*` tags).
+//!
+//! Section headers can be stripped from a loadable image; the dynamic
+//! loader only needs `PT_DYNAMIC`. Tools that want to survive
+//! sectionless binaries resolve the PLT through `DT_JMPREL` /
+//! `DT_PLTRELSZ` / `DT_SYMTAB` / `DT_STRTAB` instead of section names.
+//! This module provides the tag walk; [`crate::PltMap`] stays on the
+//! section path for ordinary binaries.
+
+use std::collections::BTreeMap;
+
+use crate::elf::Elf;
+use crate::error::Result;
+use crate::reloc::Reloc;
+use crate::read::Reader;
+use crate::section::SectionType;
+
+/// `DT_NULL` — end of the dynamic array.
+pub const DT_NULL: u64 = 0;
+/// `DT_STRTAB` — address of the dynamic string table.
+pub const DT_STRTAB: u64 = 5;
+/// `DT_SYMTAB` — address of the dynamic symbol table.
+pub const DT_SYMTAB: u64 = 6;
+/// `DT_JMPREL` — address of the PLT relocations.
+pub const DT_JMPREL: u64 = 23;
+/// `DT_PLTRELSZ` — size in bytes of the PLT relocations.
+pub const DT_PLTRELSZ: u64 = 2;
+/// `DT_PLTREL` — type of the PLT relocations (`DT_REL`/`DT_RELA`).
+pub const DT_PLTREL: u64 = 20;
+/// `DT_NEEDED` — name offset of a required library.
+pub const DT_NEEDED: u64 = 1;
+
+/// Parsed dynamic table: tag → last value (tags other than `DT_NEEDED`
+/// appear at most once in practice).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DynamicTable {
+    /// Tag → value.
+    pub entries: BTreeMap<u64, u64>,
+    /// All `DT_NEEDED` string offsets, in order.
+    pub needed: Vec<u64>,
+}
+
+impl DynamicTable {
+    /// Parses the `.dynamic` section, if present.
+    pub fn from_elf(elf: &Elf<'_>) -> Result<Option<DynamicTable>> {
+        let Some(sec) = elf
+            .sections
+            .iter()
+            .find(|s| s.section_type == SectionType::Dynamic)
+        else {
+            return Ok(None);
+        };
+        let Some(data) = elf.section_data(sec) else { return Ok(None) };
+        let wide = elf.class().is_wide();
+        let mut out = DynamicTable::default();
+        let mut r = Reader::new(data);
+        loop {
+            let Ok(tag) = r.word(wide) else { break };
+            let Ok(value) = r.word(wide) else { break };
+            if tag == DT_NULL {
+                break;
+            }
+            if tag == DT_NEEDED {
+                out.needed.push(value);
+            } else {
+                out.entries.insert(tag, value);
+            }
+        }
+        Ok(Some(out))
+    }
+
+    /// Value of a tag.
+    pub fn get(&self, tag: u64) -> Option<u64> {
+        self.entries.get(&tag).copied()
+    }
+
+    /// Reads the PLT relocations through `DT_JMPREL`/`DT_PLTRELSZ`,
+    /// translating the virtual address via the section/segment map.
+    pub fn plt_relocations(&self, elf: &Elf<'_>) -> Result<Vec<Reloc>> {
+        let (Some(addr), Some(size)) = (self.get(DT_JMPREL), self.get(DT_PLTRELSZ)) else {
+            return Ok(Vec::new());
+        };
+        let Some(data) = elf
+            .section_containing(addr)
+            .and_then(|sec| {
+                let (start, end) = sec.file_range()?;
+                let off = (addr - sec.addr) as usize;
+                elf.raw().get(start + off..(start + off + size as usize).min(end))
+            })
+        else {
+            return Ok(Vec::new());
+        };
+        // DT_PLTREL: 7 = DT_RELA, 17 = DT_REL.
+        let rela = self.get(DT_PLTREL).unwrap_or(7) == 7;
+        let class = elf.class();
+        let entsize = if rela { class.rela_size() } else { class.rel_size() };
+        let mut out = Vec::with_capacity(data.len() / entsize);
+        let mut r = Reader::new(data);
+        for _ in 0..data.len() / entsize {
+            out.push(if rela {
+                Reloc::parse_rela(&mut r, class)?
+            } else {
+                Reloc::parse_rel(&mut r, class)?
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ElfBuilder;
+    use crate::header::{Machine, ObjectType};
+    use crate::ident::Class;
+    use crate::section::SHF_ALLOC;
+
+    fn dyn_bytes(wide: bool, entries: &[(u64, u64)]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for &(t, v) in entries {
+            if wide {
+                out.extend_from_slice(&t.to_le_bytes());
+                out.extend_from_slice(&v.to_le_bytes());
+            } else {
+                out.extend_from_slice(&(t as u32).to_le_bytes());
+                out.extend_from_slice(&(v as u32).to_le_bytes());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn parses_tags_and_needed_list() {
+        let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::SharedObject);
+        b.text(".text", 0x1000, vec![0xc3]);
+        b.section(
+            ".dynamic",
+            SectionType::Dynamic,
+            SHF_ALLOC,
+            0x3000,
+            dyn_bytes(
+                true,
+                &[
+                    (DT_NEEDED, 1),
+                    (DT_NEEDED, 12),
+                    (DT_STRTAB, 0x4000),
+                    (DT_SYMTAB, 0x4100),
+                    (DT_JMPREL, 0x4200),
+                    (DT_PLTRELSZ, 48),
+                    (DT_PLTREL, 7),
+                    (DT_NULL, 0),
+                    (DT_STRTAB, 0xdead), // past DT_NULL: ignored
+                ],
+            ),
+            None,
+            0,
+            8,
+            16,
+        );
+        let bytes = b.build().unwrap();
+        let elf = Elf::parse(&bytes).unwrap();
+        let dt = DynamicTable::from_elf(&elf).unwrap().expect("has .dynamic");
+        assert_eq!(dt.needed, vec![1, 12]);
+        assert_eq!(dt.get(DT_STRTAB), Some(0x4000));
+        assert_eq!(dt.get(DT_JMPREL), Some(0x4200));
+        assert_eq!(dt.get(DT_PLTRELSZ), Some(48));
+        assert_eq!(dt.get(0xdead), None);
+    }
+
+    #[test]
+    fn absent_dynamic_is_none() {
+        let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::Executable);
+        b.text(".text", 0x1000, vec![0xc3]);
+        let bytes = b.build().unwrap();
+        let elf = Elf::parse(&bytes).unwrap();
+        assert!(DynamicTable::from_elf(&elf).unwrap().is_none());
+    }
+
+    #[test]
+    fn plt_relocations_resolve_through_dt_jmprel() {
+        use crate::reloc::R_X86_64_JUMP_SLOT;
+        // Build a .rela.plt and point DT_JMPREL at its address.
+        let rela_addr = 0x4200u64;
+        let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::SharedObject);
+        b.text(".text", 0x1000, vec![0xc3]);
+        b.plt_relocations(
+            rela_addr,
+            &[
+                Reloc { offset: 0x5018, rtype: R_X86_64_JUMP_SLOT, symbol: 1, addend: 0 },
+                Reloc { offset: 0x5020, rtype: R_X86_64_JUMP_SLOT, symbol: 2, addend: 0 },
+            ],
+        );
+        b.section(
+            ".dynamic",
+            SectionType::Dynamic,
+            SHF_ALLOC,
+            0x3000,
+            dyn_bytes(true, &[(DT_JMPREL, rela_addr), (DT_PLTRELSZ, 48), (DT_PLTREL, 7), (DT_NULL, 0)]),
+            None,
+            0,
+            8,
+            16,
+        );
+        let bytes = b.build().unwrap();
+        let elf = Elf::parse(&bytes).unwrap();
+        let dt = DynamicTable::from_elf(&elf).unwrap().unwrap();
+        let relocs = dt.plt_relocations(&elf).unwrap();
+        assert_eq!(relocs.len(), 2);
+        assert_eq!(relocs[0].offset, 0x5018);
+        assert_eq!(relocs[1].symbol, 2);
+    }
+
+    #[test]
+    fn parses_own_executables_dynamic() {
+        let Ok(bytes) = std::fs::read("/proc/self/exe") else { return };
+        let elf = Elf::parse(&bytes).unwrap();
+        let Some(dt) = DynamicTable::from_elf(&elf).unwrap() else { return };
+        // A dynamically linked Rust binary needs libc and has a strtab.
+        assert!(!dt.needed.is_empty());
+        assert!(dt.get(DT_STRTAB).is_some());
+        // And the DT_JMPREL path agrees with the section-name path.
+        let via_dt = dt.plt_relocations(&elf).unwrap();
+        let via_section = elf.relocations(".rela.plt").unwrap();
+        if !via_section.is_empty() {
+            assert_eq!(via_dt, via_section);
+        }
+    }
+}

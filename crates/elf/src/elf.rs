@@ -1,0 +1,252 @@
+//! The top-level parsed ELF view.
+
+use crate::error::{Error, Result};
+use crate::header::FileHeader;
+use crate::ident::{parse_ident, Class};
+use crate::read::{cstr_at, Reader};
+use crate::reloc::Reloc;
+use crate::section::{Section, SectionType};
+use crate::segment::Segment;
+use crate::symbol::Symbol;
+
+/// A zero-copy view over a parsed ELF image.
+///
+/// Headers are parsed eagerly (they are small and validate the image);
+/// symbol and relocation tables are decoded on demand.
+///
+/// ```
+/// use funseeker_elf::Elf;
+/// let bytes = std::fs::read("/proc/self/exe").unwrap();
+/// let elf = Elf::parse(&bytes).unwrap();
+/// assert!(elf.section_by_name(".text").is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Elf<'a> {
+    data: &'a [u8],
+    /// Parsed file header.
+    pub header: FileHeader,
+    /// All section headers, with names resolved from `.shstrtab`.
+    pub sections: Vec<Section>,
+    /// All program headers.
+    pub segments: Vec<Segment>,
+}
+
+/// Upper bound on header table entries we will parse. Real binaries have
+/// tens of sections; a count beyond this indicates corruption and would
+/// only waste memory.
+const MAX_TABLE_ENTRIES: usize = 1 << 20;
+
+impl<'a> Elf<'a> {
+    /// Parses an ELF image from raw bytes.
+    pub fn parse(data: &'a [u8]) -> Result<Self> {
+        let class = parse_ident(data)?;
+        let header = FileHeader::parse(data, class)?;
+
+        let shnum = usize::from(header.shnum);
+        let phnum = usize::from(header.phnum);
+        if shnum > MAX_TABLE_ENTRIES || phnum > MAX_TABLE_ENTRIES {
+            return Err(Error::Implausible("header table count"));
+        }
+
+        let mut sections = Vec::with_capacity(shnum);
+        let mut name_offsets = Vec::with_capacity(shnum);
+        if shnum > 0 {
+            let shoff = usize::try_from(header.shoff)
+                .map_err(|_| Error::Implausible("section header offset"))?;
+            let mut r = Reader::at(data, shoff)?;
+            for _ in 0..shnum {
+                let (name_off, sec) = Section::parse(&mut r, class)?;
+                name_offsets.push(name_off);
+                sections.push(sec);
+            }
+        }
+
+        let mut segments = Vec::with_capacity(phnum);
+        if phnum > 0 {
+            let phoff = usize::try_from(header.phoff)
+                .map_err(|_| Error::Implausible("program header offset"))?;
+            let mut r = Reader::at(data, phoff)?;
+            for _ in 0..phnum {
+                segments.push(Segment::parse(&mut r, class)?);
+            }
+        }
+
+        // Resolve section names from .shstrtab. A bad shstrndx leaves the
+        // names empty rather than failing the whole parse.
+        let strtab_idx = usize::from(header.shstrndx);
+        if let Some(range) = sections.get(strtab_idx).and_then(Section::file_range) {
+            if let Some(table) = data.get(range.0..range.1) {
+                for (sec, &off) in sections.iter_mut().zip(&name_offsets) {
+                    if let Some(name) = cstr_at(table, off as usize) {
+                        sec.name = name;
+                    }
+                }
+            }
+        }
+
+        Ok(Elf { data, header, sections, segments })
+    }
+
+    /// The raw bytes the view was parsed from.
+    pub fn raw(&self) -> &'a [u8] {
+        self.data
+    }
+
+    /// The file class (32 or 64 bit).
+    pub fn class(&self) -> Class {
+        self.header.class
+    }
+
+    /// Finds the first section with the given name.
+    pub fn section_by_name(&self, name: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// Returns the file contents of a section (`None` for `SHT_NOBITS`
+    /// or ranges outside the file).
+    pub fn section_data(&self, section: &Section) -> Option<&'a [u8]> {
+        let (start, end) = section.file_range()?;
+        self.data.get(start..end)
+    }
+
+    /// Convenience: contents and load address of a named section.
+    pub fn section_bytes(&self, name: &str) -> Option<(u64, &'a [u8])> {
+        let sec = self.section_by_name(name)?;
+        Some((sec.addr, self.section_data(sec)?))
+    }
+
+    /// The section containing virtual address `addr`, if any.
+    pub fn section_containing(&self, addr: u64) -> Option<&Section> {
+        self.sections
+            .iter()
+            .find(|s| s.flags & crate::section::SHF_ALLOC != 0 && s.contains_addr(addr))
+    }
+
+    fn symbols_from(&self, table_type: SectionType) -> Result<Vec<Symbol>> {
+        let Some((idx, sec)) = self
+            .sections
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.section_type == table_type)
+        else {
+            return Ok(Vec::new());
+        };
+
+        let data = self.section_data(sec).ok_or(Error::BadRange {
+            what: "symbol table",
+            offset: sec.offset,
+            size: sec.size,
+        })?;
+        let strtab = self
+            .sections
+            .get(sec.link as usize)
+            .and_then(|s| self.section_data(s))
+            .unwrap_or(&[]);
+
+        let entsize = self.class().sym_size();
+        let count = data.len() / entsize;
+        if count > MAX_TABLE_ENTRIES {
+            return Err(Error::Implausible("symbol count"));
+        }
+        let mut out = Vec::with_capacity(count);
+        let mut r = Reader::new(data);
+        for _ in 0..count {
+            let (name_off, mut sym) = Symbol::parse(&mut r, self.class())?;
+            if let Some(name) = cstr_at(strtab, name_off as usize) {
+                sym.name = name;
+            }
+            out.push(sym);
+        }
+        let _ = idx;
+        Ok(out)
+    }
+
+    /// All symbols from `.symtab` (empty when stripped).
+    pub fn symbols(&self) -> Result<Vec<Symbol>> {
+        self.symbols_from(SectionType::SymTab)
+    }
+
+    /// All symbols from `.dynsym` (survives stripping).
+    pub fn dynamic_symbols(&self) -> Result<Vec<Symbol>> {
+        self.symbols_from(SectionType::DynSym)
+    }
+
+    /// Parses the relocations of a named section (`.rela.plt` / `.rel.plt`).
+    pub fn relocations(&self, name: &str) -> Result<Vec<Reloc>> {
+        let Some(sec) = self.section_by_name(name) else {
+            return Ok(Vec::new());
+        };
+        let data = self.section_data(sec).ok_or(Error::BadRange {
+            what: "relocation table",
+            offset: sec.offset,
+            size: sec.size,
+        })?;
+        let class = self.class();
+        let (entsize, with_addend) = match sec.section_type {
+            SectionType::Rela => (class.rela_size(), true),
+            SectionType::Rel => (class.rel_size(), false),
+            _ => return Ok(Vec::new()),
+        };
+        let count = data.len() / entsize;
+        if count > MAX_TABLE_ENTRIES {
+            return Err(Error::Implausible("relocation count"));
+        }
+        let mut out = Vec::with_capacity(count);
+        let mut r = Reader::new(data);
+        for _ in 0..count {
+            out.push(if with_addend {
+                Reloc::parse_rela(&mut r, class)?
+            } else {
+                Reloc::parse_rel(&mut r, class)?
+            });
+        }
+        Ok(out)
+    }
+
+    /// Whether the image carries any executable section named `.text`.
+    pub fn has_text(&self) -> bool {
+        self.section_by_name(".text").is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The builder round-trip tests live in build.rs; here we exercise the
+    // parser against hostile inputs.
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Elf::parse(b"").is_err());
+        assert!(Elf::parse(b"\x7fELF").is_err());
+        assert!(Elf::parse(&[0u8; 64]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_section_table() {
+        let mut data = vec![0u8; 64];
+        data[..4].copy_from_slice(&crate::ident::MAGIC);
+        data[4] = 2; // ELF64
+        data[5] = 1;
+        data[40..48].copy_from_slice(&64u64.to_le_bytes()); // shoff just past header
+        data[60..62].copy_from_slice(&4u16.to_le_bytes()); // 4 sections, no room
+        assert!(matches!(Elf::parse(&data), Err(Error::Truncated { .. })));
+    }
+
+    #[test]
+    fn parses_self_if_available() {
+        // Differential smoke test against a real binary when running on
+        // Linux: our own test executable.
+        if let Ok(bytes) = std::fs::read("/proc/self/exe") {
+            let elf = Elf::parse(&bytes).expect("parse own executable");
+            assert!(elf.has_text());
+            let (addr, text) = elf.section_bytes(".text").unwrap();
+            assert!(addr > 0);
+            assert!(!text.is_empty());
+            let syms = elf.dynamic_symbols().unwrap();
+            // A Rust binary certainly imports something.
+            assert!(syms.iter().any(|s| s.is_undefined()));
+        }
+    }
+}

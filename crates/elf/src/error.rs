@@ -1,0 +1,107 @@
+//! Error type for ELF parsing and emission.
+
+use core::fmt;
+
+/// Errors produced while parsing or building an ELF image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The input is too short to contain the requested bytes.
+    ///
+    /// `offset` is the file offset at which `wanted` bytes were requested,
+    /// while only `available` remained.
+    Truncated {
+        /// Offset of the failed read.
+        offset: usize,
+        /// Number of bytes requested.
+        wanted: usize,
+        /// Number of bytes actually available.
+        available: usize,
+    },
+    /// The file does not start with the `\x7fELF` magic.
+    BadMagic([u8; 4]),
+    /// `e_ident[EI_CLASS]` is neither `ELFCLASS32` nor `ELFCLASS64`.
+    BadClass(u8),
+    /// `e_ident[EI_DATA]` is not little-endian (`ELFDATA2LSB`).
+    ///
+    /// The x86 family is little-endian only, so big-endian images are
+    /// rejected outright instead of being mis-parsed.
+    UnsupportedEndianness(u8),
+    /// A section header references a string-table offset past its end.
+    BadStringOffset {
+        /// Index of the string-table section.
+        strtab: usize,
+        /// Offset into the string table that is out of range.
+        offset: usize,
+    },
+    /// A section or segment header describes a range outside the file.
+    BadRange {
+        /// What kind of entity had the bad range (for diagnostics).
+        what: &'static str,
+        /// Start file offset.
+        offset: u64,
+        /// Length in bytes.
+        size: u64,
+    },
+    /// Structure counts in the header are implausible (e.g. more section
+    /// headers than could fit in the file), suggesting a corrupt image.
+    Implausible(&'static str),
+    /// A named section that the operation requires is missing.
+    MissingSection(&'static str),
+    /// The builder was asked to produce an image it cannot represent
+    /// (e.g. a 32-bit file with a 64-bit address).
+    Unencodable(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated { offset, wanted, available } => write!(
+                f,
+                "truncated input: wanted {wanted} bytes at offset {offset}, only {available} available"
+            ),
+            Error::BadMagic(m) => write!(f, "bad ELF magic {m:02x?}"),
+            Error::BadClass(c) => write!(f, "unsupported ELF class {c}"),
+            Error::UnsupportedEndianness(d) => {
+                write!(f, "unsupported ELF endianness {d} (only little-endian x86 images are supported)")
+            }
+            Error::BadStringOffset { strtab, offset } => {
+                write!(f, "string offset {offset} out of range for string table section {strtab}")
+            }
+            Error::BadRange { what, offset, size } => {
+                write!(f, "{what} range [{offset:#x}, {offset:#x}+{size:#x}) lies outside the file")
+            }
+            Error::Implausible(what) => write!(f, "implausible ELF structure: {what}"),
+            Error::MissingSection(name) => write!(f, "required section {name} is missing"),
+            Error::Unencodable(what) => write!(f, "cannot encode: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = core::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::Truncated { offset: 4, wanted: 8, available: 2 };
+        let s = e.to_string();
+        assert!(s.contains("offset 4"));
+        assert!(s.contains("8 bytes"));
+
+        assert!(Error::BadMagic(*b"\x7fBAD").to_string().contains("magic"));
+        assert!(Error::BadClass(9).to_string().contains('9'));
+        assert!(Error::MissingSection(".text").to_string().contains(".text"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::Implausible("x"));
+    }
+}

@@ -1,0 +1,199 @@
+//! ELF file header (`Ehdr`).
+
+use crate::error::Result;
+use crate::ident::Class;
+use crate::read::Reader;
+
+/// `e_type` values we care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjectType {
+    /// Relocatable object (`ET_REL`).
+    Relocatable,
+    /// Non-PIE executable (`ET_EXEC`).
+    Executable,
+    /// Shared object / PIE (`ET_DYN`).
+    SharedObject,
+    /// Core dump (`ET_CORE`).
+    Core,
+    /// Anything else, preserved verbatim.
+    Other(u16),
+}
+
+impl ObjectType {
+    /// Decodes an `e_type` field.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            1 => ObjectType::Relocatable,
+            2 => ObjectType::Executable,
+            3 => ObjectType::SharedObject,
+            4 => ObjectType::Core,
+            other => ObjectType::Other(other),
+        }
+    }
+
+    /// Encodes back to the `e_type` field.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            ObjectType::Relocatable => 1,
+            ObjectType::Executable => 2,
+            ObjectType::SharedObject => 3,
+            ObjectType::Core => 4,
+            ObjectType::Other(v) => v,
+        }
+    }
+}
+
+/// `e_machine` values for the two architectures in the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Machine {
+    /// `EM_386` — 32-bit x86.
+    X86,
+    /// `EM_X86_64` — 64-bit x86.
+    X86_64,
+    /// Anything else, preserved verbatim.
+    Other(u16),
+}
+
+impl Machine {
+    /// Decodes an `e_machine` field.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            3 => Machine::X86,
+            62 => Machine::X86_64,
+            other => Machine::Other(other),
+        }
+    }
+
+    /// Encodes back to the `e_machine` field.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            Machine::X86 => 3,
+            Machine::X86_64 => 62,
+            Machine::Other(v) => v,
+        }
+    }
+}
+
+/// Parsed ELF file header, class-independent representation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileHeader {
+    /// 32-bit or 64-bit layout.
+    pub class: Class,
+    /// Object file type (EXEC for non-PIE, DYN for PIE in our corpus).
+    pub object_type: ObjectType,
+    /// Target machine.
+    pub machine: Machine,
+    /// Entry point virtual address.
+    pub entry: u64,
+    /// File offset of the program header table.
+    pub phoff: u64,
+    /// File offset of the section header table.
+    pub shoff: u64,
+    /// Processor-specific flags.
+    pub flags: u32,
+    /// Number of program headers.
+    pub phnum: u16,
+    /// Number of section headers.
+    pub shnum: u16,
+    /// Index of the section-name string table.
+    pub shstrndx: u16,
+}
+
+impl FileHeader {
+    /// Parses the file header. `class` must come from the `e_ident`
+    /// validation (`parse_ident`).
+    pub fn parse(data: &[u8], class: Class) -> Result<FileHeader> {
+        let mut r = Reader::at(data, 16)?;
+        let object_type = ObjectType::from_u16(r.u16()?);
+        let machine = Machine::from_u16(r.u16()?);
+        let _version = r.u32()?;
+        let wide = class.is_wide();
+        let entry = r.word(wide)?;
+        let phoff = r.word(wide)?;
+        let shoff = r.word(wide)?;
+        let flags = r.u32()?;
+        let _ehsize = r.u16()?;
+        let _phentsize = r.u16()?;
+        let phnum = r.u16()?;
+        let _shentsize = r.u16()?;
+        let shnum = r.u16()?;
+        let shstrndx = r.u16()?;
+        Ok(FileHeader {
+            class,
+            object_type,
+            machine,
+            entry,
+            phoff,
+            shoff,
+            flags,
+            phnum,
+            shnum,
+            shstrndx,
+        })
+    }
+
+    /// Whether this image is position independent (`ET_DYN`).
+    ///
+    /// For the executables in the study this distinguishes PIE from
+    /// non-PIE; we never analyze plain shared libraries there.
+    pub fn is_pie(&self) -> bool {
+        self.object_type == ObjectType::SharedObject
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_type_round_trips() {
+        for t in [
+            ObjectType::Relocatable,
+            ObjectType::Executable,
+            ObjectType::SharedObject,
+            ObjectType::Core,
+            ObjectType::Other(0xfe00),
+        ] {
+            assert_eq!(ObjectType::from_u16(t.to_u16()), t);
+        }
+    }
+
+    #[test]
+    fn machine_round_trips() {
+        for m in [Machine::X86, Machine::X86_64, Machine::Other(40)] {
+            assert_eq!(Machine::from_u16(m.to_u16()), m);
+        }
+    }
+
+    #[test]
+    fn parses_a_hand_built_elf64_header() {
+        let mut data = vec![0u8; 64];
+        data[..4].copy_from_slice(&crate::ident::MAGIC);
+        data[4] = 2;
+        data[5] = 1;
+        data[16..18].copy_from_slice(&2u16.to_le_bytes()); // ET_EXEC
+        data[18..20].copy_from_slice(&62u16.to_le_bytes()); // EM_X86_64
+        data[20..24].copy_from_slice(&1u32.to_le_bytes());
+        data[24..32].copy_from_slice(&0x401000u64.to_le_bytes()); // entry
+        data[32..40].copy_from_slice(&64u64.to_le_bytes()); // phoff
+        data[40..48].copy_from_slice(&0x2000u64.to_le_bytes()); // shoff
+        data[56..58].copy_from_slice(&2u16.to_le_bytes()); // phnum
+        data[60..62].copy_from_slice(&7u16.to_le_bytes()); // shnum
+        data[62..64].copy_from_slice(&6u16.to_le_bytes()); // shstrndx
+
+        let h = FileHeader::parse(&data, Class::Elf64).unwrap();
+        assert_eq!(h.object_type, ObjectType::Executable);
+        assert_eq!(h.machine, Machine::X86_64);
+        assert_eq!(h.entry, 0x401000);
+        assert_eq!(h.phnum, 2);
+        assert_eq!(h.shnum, 7);
+        assert_eq!(h.shstrndx, 6);
+        assert!(!h.is_pie());
+    }
+
+    #[test]
+    fn truncated_header_is_an_error() {
+        let data = vec![0u8; 30];
+        assert!(FileHeader::parse(&data, Class::Elf64).is_err());
+    }
+}

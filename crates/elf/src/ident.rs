@@ -1,0 +1,149 @@
+//! The `e_ident` prefix: class, data encoding and the ELF magic.
+
+use crate::error::{Error, Result};
+
+/// ELF file class: 32-bit or 64-bit object layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// `ELFCLASS32` — 32-bit structures (x86 binaries in the study).
+    Elf32,
+    /// `ELFCLASS64` — 64-bit structures (x86-64 binaries in the study).
+    Elf64,
+}
+
+impl Class {
+    /// Parses the `EI_CLASS` byte.
+    pub fn from_byte(b: u8) -> Result<Self> {
+        match b {
+            1 => Ok(Class::Elf32),
+            2 => Ok(Class::Elf64),
+            other => Err(Error::BadClass(other)),
+        }
+    }
+
+    /// The `EI_CLASS` byte value.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            Class::Elf32 => 1,
+            Class::Elf64 => 2,
+        }
+    }
+
+    /// Whether addresses and offsets are 8 bytes wide.
+    pub fn is_wide(self) -> bool {
+        matches!(self, Class::Elf64)
+    }
+
+    /// Size in bytes of the file header for this class.
+    pub fn ehdr_size(self) -> usize {
+        match self {
+            Class::Elf32 => 52,
+            Class::Elf64 => 64,
+        }
+    }
+
+    /// Size in bytes of one program header for this class.
+    pub fn phdr_size(self) -> usize {
+        match self {
+            Class::Elf32 => 32,
+            Class::Elf64 => 56,
+        }
+    }
+
+    /// Size in bytes of one section header for this class.
+    pub fn shdr_size(self) -> usize {
+        match self {
+            Class::Elf32 => 40,
+            Class::Elf64 => 64,
+        }
+    }
+
+    /// Size in bytes of one symbol-table entry for this class.
+    pub fn sym_size(self) -> usize {
+        match self {
+            Class::Elf32 => 16,
+            Class::Elf64 => 24,
+        }
+    }
+
+    /// Size in bytes of one `Rela` entry for this class.
+    pub fn rela_size(self) -> usize {
+        match self {
+            Class::Elf32 => 12,
+            Class::Elf64 => 24,
+        }
+    }
+
+    /// Size in bytes of one `Rel` entry (no addend) for this class.
+    pub fn rel_size(self) -> usize {
+        match self {
+            Class::Elf32 => 8,
+            Class::Elf64 => 16,
+        }
+    }
+}
+
+/// The four magic bytes every ELF file starts with.
+pub const MAGIC: [u8; 4] = [0x7f, b'E', b'L', b'F'];
+
+/// Validates the 16-byte `e_ident` prefix and returns the file class.
+///
+/// Only little-endian images are accepted (see
+/// [`Error::UnsupportedEndianness`]).
+pub fn parse_ident(data: &[u8]) -> Result<Class> {
+    if data.len() < 16 {
+        return Err(Error::Truncated { offset: 0, wanted: 16, available: data.len() });
+    }
+    let magic = [data[0], data[1], data[2], data[3]];
+    if magic != MAGIC {
+        return Err(Error::BadMagic(magic));
+    }
+    let class = Class::from_byte(data[4])?;
+    if data[5] != 1 {
+        return Err(Error::UnsupportedEndianness(data[5]));
+    }
+    Ok(class)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_round_trips() {
+        for c in [Class::Elf32, Class::Elf64] {
+            assert_eq!(Class::from_byte(c.to_byte()).unwrap(), c);
+        }
+        assert!(Class::from_byte(0).is_err());
+        assert!(Class::from_byte(3).is_err());
+    }
+
+    #[test]
+    fn structure_sizes_match_the_spec() {
+        assert_eq!(Class::Elf32.ehdr_size(), 52);
+        assert_eq!(Class::Elf64.ehdr_size(), 64);
+        assert_eq!(Class::Elf32.shdr_size(), 40);
+        assert_eq!(Class::Elf64.shdr_size(), 64);
+        assert_eq!(Class::Elf32.sym_size(), 16);
+        assert_eq!(Class::Elf64.sym_size(), 24);
+        assert_eq!(Class::Elf32.phdr_size(), 32);
+        assert_eq!(Class::Elf64.phdr_size(), 56);
+    }
+
+    #[test]
+    fn ident_validation() {
+        let mut ident = [0u8; 16];
+        ident[..4].copy_from_slice(&MAGIC);
+        ident[4] = 2; // ELFCLASS64
+        ident[5] = 1; // little-endian
+        assert_eq!(parse_ident(&ident).unwrap(), Class::Elf64);
+
+        ident[5] = 2; // big-endian → rejected
+        assert!(matches!(parse_ident(&ident), Err(Error::UnsupportedEndianness(2))));
+
+        ident[0] = b'X';
+        assert!(matches!(parse_ident(&ident), Err(Error::BadMagic(_))));
+
+        assert!(matches!(parse_ident(&ident[..8]), Err(Error::Truncated { .. })));
+    }
+}

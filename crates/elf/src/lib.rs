@@ -1,0 +1,61 @@
+//! From-scratch ELF parsing and emission for the FunSeeker reproduction.
+//!
+//! This crate is the binary front-end substrate of the workspace (the role
+//! B2R2 played for the original FunSeeker): it parses ELF32/ELF64 images —
+//! headers, sections, segments, symbols, relocations — and resolves PLT
+//! stub addresses to imported names, which the FILTERENDBR stage needs to
+//! recognize calls to *indirect-return* functions such as `setjmp`.
+//!
+//! It also contains a full **writer** ([`ElfBuilder`]): the corpus
+//! simulator emits synthetic CET-enabled binaries through it, and every
+//! builder feature is validated by round-tripping through the parser.
+//!
+//! Only little-endian x86/x86-64 images are supported, matching the
+//! scope of the paper.
+//!
+//! # Quick example
+//!
+//! ```
+//! use funseeker_elf::{Elf, PltMap};
+//!
+//! let bytes = std::fs::read("/proc/self/exe").unwrap();
+//! let elf = Elf::parse(&bytes).unwrap();
+//! let (addr, text) = elf.section_bytes(".text").unwrap();
+//! println!(".text at {addr:#x}, {} bytes", text.len());
+//! let plt = PltMap::from_elf(&elf).unwrap();
+//! for (stub, name) in plt.iter().take(3) {
+//!     println!("PLT stub {stub:#x} -> {name}");
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod elf;
+mod error;
+mod header;
+mod ident;
+mod plt;
+mod read;
+
+pub mod build;
+pub mod dynamic;
+pub mod note;
+pub mod reloc;
+pub mod section;
+pub mod segment;
+pub mod symbol;
+
+pub use build::{ElfBuilder, StringTable};
+pub use dynamic::DynamicTable;
+pub use note::{build_cet_note, cet_properties, CetProperties};
+pub use elf::Elf;
+pub use error::{Error, Result};
+pub use header::{FileHeader, Machine, ObjectType};
+pub use ident::Class;
+pub use plt::PltMap;
+pub use read::{cstr_at, Reader};
+pub use reloc::Reloc;
+pub use section::{Section, SectionType};
+pub use segment::{Segment, SegmentType};
+pub use symbol::{Symbol, SymbolBinding, SymbolType};

@@ -1,0 +1,225 @@
+//! `.note.gnu.property` — where a binary declares its CET capabilities.
+//!
+//! Linkers merge per-object `GNU_PROPERTY_X86_FEATURE_1_AND` properties;
+//! the kernel and dynamic loader enable Indirect Branch Tracking and the
+//! shadow stack only when the final note carries the respective bits.
+//! For this reproduction it answers the practical question "is this a
+//! CET-enabled binary?" before running an end-branch-based identifier.
+
+use crate::elf::Elf;
+use crate::error::{Error, Result};
+use crate::read::Reader;
+
+/// `GNU_PROPERTY_X86_FEATURE_1_AND` property type.
+pub const GNU_PROPERTY_X86_FEATURE_1_AND: u32 = 0xc000_0002;
+/// IBT bit within the feature word.
+pub const GNU_PROPERTY_X86_FEATURE_1_IBT: u32 = 1 << 0;
+/// Shadow-stack bit within the feature word.
+pub const GNU_PROPERTY_X86_FEATURE_1_SHSTK: u32 = 1 << 1;
+
+/// Parsed CET-related capabilities of a binary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CetProperties {
+    /// Indirect Branch Tracking enabled (end-branch enforcement).
+    pub ibt: bool,
+    /// Shadow stack enabled.
+    pub shstk: bool,
+}
+
+impl CetProperties {
+    /// Whether both CET features are on — the paper's definition of a
+    /// "CET-enabled binary" (§II: `-fcf-protection=full`).
+    pub fn full(&self) -> bool {
+        self.ibt && self.shstk
+    }
+}
+
+/// Parses `.note.gnu.property` from an ELF image. Returns the default
+/// (all false) when the note is absent — pre-CET binaries simply have
+/// no properties.
+pub fn cet_properties(elf: &Elf<'_>) -> Result<CetProperties> {
+    let Some((_, data)) = elf.section_bytes(".note.gnu.property") else {
+        return Ok(CetProperties::default());
+    };
+    let align = if elf.class().is_wide() { 8usize } else { 4 };
+    let mut out = CetProperties::default();
+
+    let mut r = Reader::new(data);
+    while r.remaining() >= 12 {
+        let namesz = r.u32()? as usize;
+        let descsz = r.u32()? as usize;
+        let ntype = r.u32()?;
+        let name = r.bytes(namesz)?;
+        // Name is padded to 4 bytes.
+        r.skip(namesz.next_multiple_of(4) - namesz)?;
+        let desc_start = r.position();
+        if ntype == 5 && name == b"GNU\0" {
+            // NT_GNU_PROPERTY_TYPE_0: a sequence of (type, size, data)
+            // records, each padded to the class alignment.
+            let mut d = Reader::at(data, desc_start)?;
+            let desc_end = desc_start + descsz;
+            while d.position() + 8 <= desc_end {
+                let pr_type = d.u32()?;
+                let pr_size = d.u32()? as usize;
+                if d.position() + pr_size > desc_end {
+                    return Err(Error::Implausible("property record size"));
+                }
+                if pr_type == GNU_PROPERTY_X86_FEATURE_1_AND && pr_size >= 4 {
+                    let word = d.u32()?;
+                    d.skip(pr_size - 4)?;
+                    out.ibt |= word & GNU_PROPERTY_X86_FEATURE_1_IBT != 0;
+                    out.shstk |= word & GNU_PROPERTY_X86_FEATURE_1_SHSTK != 0;
+                } else {
+                    d.skip(pr_size)?;
+                }
+                let pad = pr_size.next_multiple_of(align) - pr_size;
+                d.skip(pad.min(d.remaining()))?;
+            }
+        }
+        // Advance past the (padded) descriptor.
+        let skip = descsz.next_multiple_of(4).min(r.remaining());
+        r.skip(skip)?;
+        let _ = desc_start;
+    }
+    Ok(out)
+}
+
+/// Builds a `.note.gnu.property` section declaring the given CET
+/// features (what `gcc -fcf-protection` makes the linker emit).
+pub fn build_cet_note(wide: bool, props: CetProperties) -> Vec<u8> {
+    let mut word = 0u32;
+    if props.ibt {
+        word |= GNU_PROPERTY_X86_FEATURE_1_IBT;
+    }
+    if props.shstk {
+        word |= GNU_PROPERTY_X86_FEATURE_1_SHSTK;
+    }
+    let align = if wide { 8usize } else { 4 };
+    let pr_data_size = 4usize;
+    let padded = pr_data_size.next_multiple_of(align);
+    let descsz = 8 + padded;
+
+    let mut out = Vec::with_capacity(16 + descsz);
+    out.extend_from_slice(&4u32.to_le_bytes()); // namesz
+    out.extend_from_slice(&(descsz as u32).to_le_bytes());
+    out.extend_from_slice(&5u32.to_le_bytes()); // NT_GNU_PROPERTY_TYPE_0
+    out.extend_from_slice(b"GNU\0");
+    out.extend_from_slice(&GNU_PROPERTY_X86_FEATURE_1_AND.to_le_bytes());
+    out.extend_from_slice(&(pr_data_size as u32).to_le_bytes());
+    out.extend_from_slice(&word.to_le_bytes());
+    out.resize(out.len() + (padded - pr_data_size), 0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ElfBuilder;
+    use crate::header::{Machine, ObjectType};
+    use crate::ident::Class;
+    use crate::section::{SectionType, SHF_ALLOC};
+
+    fn image_with_note(class: Class, props: CetProperties) -> Vec<u8> {
+        let machine = if class == Class::Elf64 { Machine::X86_64 } else { Machine::X86 };
+        let mut b = ElfBuilder::new(class, machine, ObjectType::Executable);
+        b.text(".text", 0x1000, vec![0xc3]);
+        b.section(
+            ".note.gnu.property",
+            SectionType::Note,
+            SHF_ALLOC,
+            0x400,
+            build_cet_note(class.is_wide(), props),
+            None,
+            0,
+            8,
+            0,
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_trips_both_classes_and_all_combinations() {
+        for class in [Class::Elf32, Class::Elf64] {
+            for (ibt, shstk) in [(false, false), (true, false), (false, true), (true, true)] {
+                let props = CetProperties { ibt, shstk };
+                let bytes = image_with_note(class, props);
+                let elf = Elf::parse(&bytes).unwrap();
+                assert_eq!(cet_properties(&elf).unwrap(), props, "{class:?} {props:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn absent_note_means_no_cet() {
+        let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::Executable);
+        b.text(".text", 0x1000, vec![0xc3]);
+        let bytes = b.build().unwrap();
+        let elf = Elf::parse(&bytes).unwrap();
+        let p = cet_properties(&elf).unwrap();
+        assert!(!p.ibt && !p.shstk && !p.full());
+    }
+
+    #[test]
+    fn full_means_both() {
+        assert!(CetProperties { ibt: true, shstk: true }.full());
+        assert!(!CetProperties { ibt: true, shstk: false }.full());
+    }
+
+    #[test]
+    fn real_cet_binary_if_available() {
+        // A fresh gcc -fcf-protection=full binary must carry IBT+SHSTK.
+        let dir = std::env::temp_dir().join("funseeker_note_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let src = dir.join("t.c");
+        let bin = dir.join("t");
+        std::fs::write(&src, "int main(){return 0;}").unwrap();
+        // Distro CRT objects may lack the property, which would make the
+        // linker's AND-merge drop it — force the final-note bits so the
+        // test exercises a genuine linker-produced CET note.
+        let ok = std::process::Command::new("gcc")
+            .args(["-fcf-protection=full", "-Wl,-z,ibt,-z,shstk", "-o"])
+            .arg(&bin)
+            .arg(&src)
+            .status()
+            .map(|s| s.success())
+            .unwrap_or(false);
+        if !ok {
+            eprintln!("skipping: gcc unavailable");
+            return;
+        }
+        let bytes = std::fs::read(&bin).unwrap();
+        let elf = Elf::parse(&bytes).unwrap();
+        let p = cet_properties(&elf).unwrap();
+        assert!(p.ibt, "real CET binary must declare IBT");
+        assert!(p.shstk, "real CET binary must declare SHSTK");
+        assert!(p.full());
+    }
+
+    #[test]
+    fn truncated_note_degrades() {
+        let bytes = image_with_note(Class::Elf64, CetProperties { ibt: true, shstk: true });
+        let elf = Elf::parse(&bytes).unwrap();
+        // Parsing must not panic for any truncation of the note section —
+        // rebuild images with shortened note data.
+        let note = build_cet_note(true, CetProperties { ibt: true, shstk: true });
+        for cut in 0..note.len() {
+            let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::Executable);
+            b.text(".text", 0x1000, vec![0xc3]);
+            b.section(
+                ".note.gnu.property",
+                SectionType::Note,
+                SHF_ALLOC,
+                0x400,
+                note[..cut].to_vec(),
+                None,
+                0,
+                8,
+                0,
+            );
+            let img = b.build().unwrap();
+            let e = Elf::parse(&img).unwrap();
+            let _ = cet_properties(&e); // must not panic
+        }
+        let _ = elf;
+    }
+}

@@ -1,0 +1,142 @@
+//! Resolving PLT entry addresses to imported function names.
+//!
+//! FunSeeker's FILTERENDBR step must decide whether a `call` targets a PLT
+//! stub for one of the *indirect-return* functions (`setjmp`, `vfork`, …).
+//! The classic resolution works by index correspondence: the `j`-th
+//! relocation of `.rela.plt`/`.rel.plt` fills the GOT slot used by the
+//! `j`-th PLT stub.
+//!
+//! CET-enabled binaries add a twist: GCC splits the PLT into `.plt`
+//! (legacy stubs) and `.plt.sec` ("second PLT", `endbr`-first stubs that
+//! the program actually calls). Entries of `.plt` start at index 1 (slot
+//! 0 is the resolver trampoline), entries of `.plt.sec` start at index 0.
+//! Both are mapped here so a `call` to either stub resolves.
+
+use std::collections::BTreeMap;
+
+use crate::elf::Elf;
+use crate::error::Result;
+use crate::header::Machine;
+
+/// Maps PLT stub addresses to the imported symbol names they dispatch to.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PltMap {
+    entries: BTreeMap<u64, String>,
+}
+
+impl PltMap {
+    /// Builds the map from an ELF image. Returns an empty map when the
+    /// binary has no PLT (e.g. a static binary with no imports).
+    ///
+    /// Relocations come from `.rela.plt`/`.rel.plt` by name, falling back
+    /// to the `DT_JMPREL` dynamic tag when the sections are absent or
+    /// renamed (sectionless loadable images).
+    pub fn from_elf(elf: &Elf<'_>) -> Result<PltMap> {
+        let dynsyms = elf.dynamic_symbols()?;
+        let mut relocs = elf.relocations(".rela.plt")?;
+        if relocs.is_empty() {
+            relocs = elf.relocations(".rel.plt")?;
+        }
+        if relocs.is_empty() {
+            if let Some(dt) = crate::dynamic::DynamicTable::from_elf(elf)? {
+                relocs = dt.plt_relocations(elf)?;
+            }
+        }
+        let is_64 = elf.header.machine == Machine::X86_64;
+
+        // The i-th *jump-slot* relocation corresponds to the i-th PLT stub.
+        let slot_names: Vec<&str> = relocs
+            .iter()
+            .filter(|r| r.is_jump_slot(is_64))
+            .map(|r| {
+                dynsyms
+                    .get(r.symbol as usize)
+                    .map(|s| s.name.as_str())
+                    .unwrap_or("")
+            })
+            .collect();
+
+        let mut entries = BTreeMap::new();
+        for (section, skip_first) in [(".plt", true), (".plt.sec", false)] {
+            let Some(sec) = elf.section_by_name(section) else { continue };
+            let entsize = if sec.entsize >= 4 { sec.entsize } else { 16 };
+            let slots = (sec.size / entsize) as usize;
+            let first = usize::from(skip_first);
+            for (i, name) in slot_names.iter().enumerate() {
+                let slot = first + i;
+                if slot >= slots {
+                    break;
+                }
+                let addr = sec.addr + entsize * slot as u64;
+                entries.insert(addr, (*name).to_owned());
+            }
+        }
+        Ok(PltMap { entries })
+    }
+
+    /// The imported function name a call to `addr` would reach, if `addr`
+    /// is a PLT stub.
+    pub fn name_at(&self, addr: u64) -> Option<&str> {
+        self.entries.get(&addr).map(String::as_str)
+    }
+
+    /// Number of resolved stubs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no stubs were resolved.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(stub address, name)` in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &str)> {
+        self.entries.iter().map(|(a, n)| (*a, n.as_str()))
+    }
+
+    /// Builds a map directly from `(address, name)` pairs — used by tests
+    /// and by callers that already know the layout.
+    pub fn from_pairs<I, S>(pairs: I) -> PltMap
+    where
+        I: IntoIterator<Item = (u64, S)>,
+        S: Into<String>,
+    {
+        PltMap {
+            entries: pairs.into_iter().map(|(a, n)| (a, n.into())).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_and_lookup() {
+        let map = PltMap::from_pairs([(0x1020u64, "setjmp"), (0x1030, "vfork")]);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.name_at(0x1020), Some("setjmp"));
+        assert_eq!(map.name_at(0x1030), Some("vfork"));
+        assert_eq!(map.name_at(0x1040), None);
+        assert!(!map.is_empty());
+        let collected: Vec<_> = map.iter().collect();
+        assert_eq!(collected, vec![(0x1020, "setjmp"), (0x1030, "vfork")]);
+    }
+
+    #[test]
+    fn resolves_plt_of_own_executable() {
+        // Smoke test on the running test binary: if it has a .plt or
+        // .plt.sec with jump-slot relocations, names must resolve.
+        if let Ok(bytes) = std::fs::read("/proc/self/exe") {
+            let elf = crate::Elf::parse(&bytes).unwrap();
+            let map = PltMap::from_elf(&elf).unwrap();
+            if elf.section_by_name(".plt.sec").is_some() {
+                assert!(!map.is_empty());
+            }
+            for (_, name) in map.iter() {
+                assert!(!name.contains('\0'));
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Bounds-checked little-endian byte reader.
+//!
+//! All multi-byte reads are little-endian: the x86 family — the only
+//! architecture the FunSeeker study targets — is little-endian, and the
+//! parser rejects big-endian images up front.
+
+use crate::error::{Error, Result};
+
+/// A bounds-checked cursor over a byte slice.
+///
+/// Every read returns [`Error::Truncated`] instead of panicking when the
+/// input is short, which lets the parsers degrade gracefully on corrupt
+/// or adversarial images.
+#[derive(Debug, Clone, Copy)]
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader positioned at the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    /// Creates a reader positioned at `offset` within `data`.
+    pub fn at(data: &'a [u8], offset: usize) -> Result<Self> {
+        if offset > data.len() {
+            return Err(Error::Truncated { offset, wanted: 0, available: 0 });
+        }
+        Ok(Reader { data, pos: offset })
+    }
+
+    /// Current position from the start of the underlying slice.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Number of bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether the cursor has consumed the whole slice.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::Truncated { offset: self.pos, wanted: n, available: self.remaining() });
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Skips `n` bytes.
+    pub fn skip(&mut self, n: usize) -> Result<()> {
+        self.bytes(n).map(|_| ())
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16> {
+        let b = self.bytes(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads a little-endian `i16`.
+    pub fn i16(&mut self) -> Result<i16> {
+        self.u16().map(|v| v as i16)
+    }
+
+    /// Reads a little-endian `i32`.
+    pub fn i32(&mut self) -> Result<i32> {
+        self.u32().map(|v| v as i32)
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64> {
+        self.u64().map(|v| v as i64)
+    }
+
+    /// Reads a word sized by `wide`: `u32` zero-extended when `wide` is
+    /// false (ELF32), `u64` when true (ELF64).
+    pub fn word(&mut self, wide: bool) -> Result<u64> {
+        if wide {
+            self.u64()
+        } else {
+            self.u32().map(u64::from)
+        }
+    }
+}
+
+/// Reads a NUL-terminated string starting at `offset` in `table`.
+///
+/// Returns `None` when `offset` is out of range or no terminator exists
+/// before the end of the table. Non-UTF-8 names are replaced lossily —
+/// section and symbol names in compiler-generated binaries are ASCII in
+/// practice, and a lossy name is still useful for diagnostics.
+pub fn cstr_at(table: &[u8], offset: usize) -> Option<String> {
+    let rest = table.get(offset..)?;
+    let end = rest.iter().position(|&b| b == 0)?;
+    Some(String::from_utf8_lossy(&rest[..end]).into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_little_endian_integers() {
+        let data = [0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0xff];
+        let mut r = Reader::new(&data);
+        assert_eq!(r.u16().unwrap(), 0x0201);
+        assert_eq!(r.u32().unwrap(), 0x06050403);
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(r.u8().unwrap(), 0x07);
+    }
+
+    #[test]
+    fn u64_and_signed() {
+        let data = 0xdead_beef_cafe_f00d_u64.to_le_bytes();
+        assert_eq!(Reader::new(&data).u64().unwrap(), 0xdead_beef_cafe_f00d);
+        let neg = (-5i32).to_le_bytes();
+        assert_eq!(Reader::new(&neg).i32().unwrap(), -5);
+        let neg = (-5i64).to_le_bytes();
+        assert_eq!(Reader::new(&neg).i64().unwrap(), -5);
+        let neg = (-5i16).to_le_bytes();
+        assert_eq!(Reader::new(&neg).i16().unwrap(), -5);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let data = [1, 2, 3];
+        let mut r = Reader::new(&data);
+        let err = r.u32().unwrap_err();
+        assert!(matches!(err, crate::Error::Truncated { wanted: 4, available: 3, .. }));
+        // The failed read must not consume anything.
+        assert_eq!(r.remaining(), 3);
+    }
+
+    #[test]
+    fn at_rejects_out_of_range_offsets() {
+        assert!(Reader::at(&[0u8; 4], 5).is_err());
+        assert!(Reader::at(&[0u8; 4], 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn word_switches_width() {
+        let data = [0x78, 0x56, 0x34, 0x12, 0, 0, 0, 0];
+        assert_eq!(Reader::new(&data).word(false).unwrap(), 0x12345678);
+        assert_eq!(Reader::new(&data).word(true).unwrap(), 0x12345678);
+    }
+
+    #[test]
+    fn cstr_reads_and_rejects() {
+        let table = b"\0.text\0.data\0";
+        assert_eq!(cstr_at(table, 1).as_deref(), Some(".text"));
+        assert_eq!(cstr_at(table, 7).as_deref(), Some(".data"));
+        assert_eq!(cstr_at(table, 0).as_deref(), Some(""));
+        assert_eq!(cstr_at(table, 100), None);
+        // No terminator before end of table.
+        assert_eq!(cstr_at(b"abc", 0), None);
+    }
+}

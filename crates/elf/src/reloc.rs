@@ -1,0 +1,124 @@
+//! Relocation entries (`Rel`/`Rela`), as needed for PLT resolution.
+
+use crate::error::Result;
+use crate::ident::Class;
+use crate::read::Reader;
+
+/// `R_X86_64_JUMP_SLOT` — PLT slot relocation on x86-64.
+pub const R_X86_64_JUMP_SLOT: u32 = 7;
+/// `R_X86_64_IRELATIVE`.
+pub const R_X86_64_IRELATIVE: u32 = 37;
+/// `R_386_JMP_SLOT` — PLT slot relocation on x86.
+pub const R_386_JMP_SLOT: u32 = 7;
+
+/// One parsed relocation (`Rel` entries get `addend == 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reloc {
+    /// Location patched by the relocation (for JUMP_SLOT: the GOT slot).
+    pub offset: u64,
+    /// Relocation type (machine specific).
+    pub rtype: u32,
+    /// Symbol-table index the relocation refers to.
+    pub symbol: u32,
+    /// Explicit addend (`Rela` only).
+    pub addend: i64,
+}
+
+impl Reloc {
+    /// Parses one `Rela` entry.
+    pub fn parse_rela(r: &mut Reader<'_>, class: Class) -> Result<Reloc> {
+        match class {
+            Class::Elf32 => {
+                let offset = u64::from(r.u32()?);
+                let info = r.u32()?;
+                let addend = i64::from(r.i32()?);
+                Ok(Reloc { offset, rtype: info & 0xff, symbol: info >> 8, addend })
+            }
+            Class::Elf64 => {
+                let offset = r.u64()?;
+                let info = r.u64()?;
+                let addend = r.i64()?;
+                Ok(Reloc {
+                    offset,
+                    rtype: (info & 0xffff_ffff) as u32,
+                    symbol: (info >> 32) as u32,
+                    addend,
+                })
+            }
+        }
+    }
+
+    /// Parses one `Rel` entry (no addend; x86 uses these for the PLT).
+    pub fn parse_rel(r: &mut Reader<'_>, class: Class) -> Result<Reloc> {
+        match class {
+            Class::Elf32 => {
+                let offset = u64::from(r.u32()?);
+                let info = r.u32()?;
+                Ok(Reloc { offset, rtype: info & 0xff, symbol: info >> 8, addend: 0 })
+            }
+            Class::Elf64 => {
+                let offset = r.u64()?;
+                let info = r.u64()?;
+                Ok(Reloc {
+                    offset,
+                    rtype: (info & 0xffff_ffff) as u32,
+                    symbol: (info >> 32) as u32,
+                    addend: 0,
+                })
+            }
+        }
+    }
+
+    /// Whether this relocation fills a PLT jump slot.
+    pub fn is_jump_slot(&self, machine_is_64: bool) -> bool {
+        if machine_is_64 {
+            self.rtype == R_X86_64_JUMP_SLOT
+        } else {
+            self.rtype == R_386_JMP_SLOT
+        }
+    }
+
+    /// Packs `(symbol, rtype)` back into an `r_info` word for the writer.
+    pub fn info_word(symbol: u32, rtype: u32, class: Class) -> u64 {
+        match class {
+            Class::Elf32 => u64::from((symbol << 8) | (rtype & 0xff)),
+            Class::Elf64 => (u64::from(symbol) << 32) | u64::from(rtype),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_elf64_rela() {
+        let mut b = Vec::new();
+        b.extend_from_slice(&0x404018u64.to_le_bytes());
+        b.extend_from_slice(&Reloc::info_word(3, R_X86_64_JUMP_SLOT, Class::Elf64).to_le_bytes());
+        b.extend_from_slice(&0i64.to_le_bytes());
+        let rel = Reloc::parse_rela(&mut Reader::new(&b), Class::Elf64).unwrap();
+        assert_eq!(rel.offset, 0x404018);
+        assert_eq!(rel.symbol, 3);
+        assert!(rel.is_jump_slot(true));
+    }
+
+    #[test]
+    fn parses_elf32_rel() {
+        let mut b = Vec::new();
+        b.extend_from_slice(&0x804a00cu32.to_le_bytes());
+        b.extend_from_slice(&(Reloc::info_word(2, R_386_JMP_SLOT, Class::Elf32) as u32).to_le_bytes());
+        let rel = Reloc::parse_rel(&mut Reader::new(&b), Class::Elf32).unwrap();
+        assert_eq!(rel.offset, 0x804a00c);
+        assert_eq!(rel.symbol, 2);
+        assert_eq!(rel.addend, 0);
+        assert!(rel.is_jump_slot(false));
+    }
+
+    #[test]
+    fn info_word_round_trips_through_parse() {
+        let info = Reloc::info_word(0x1234, 7, Class::Elf64);
+        assert_eq!(info >> 32, 0x1234);
+        assert_eq!(info & 0xffff_ffff, 7);
+    }
+}

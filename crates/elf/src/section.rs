@@ -1,0 +1,222 @@
+//! Section headers (`Shdr`).
+
+use crate::error::Result;
+use crate::ident::Class;
+use crate::read::Reader;
+
+/// `sh_type` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SectionType {
+    /// `SHT_NULL` — unused entry.
+    Null,
+    /// `SHT_PROGBITS` — program-defined contents.
+    ProgBits,
+    /// `SHT_SYMTAB` — full symbol table.
+    SymTab,
+    /// `SHT_STRTAB` — string table.
+    StrTab,
+    /// `SHT_RELA` — relocations with addends.
+    Rela,
+    /// `SHT_HASH` — symbol hash table.
+    Hash,
+    /// `SHT_DYNAMIC` — dynamic linking info.
+    Dynamic,
+    /// `SHT_NOTE` — notes (e.g. `.note.gnu.property` carrying the IBT bit).
+    Note,
+    /// `SHT_NOBITS` — occupies no file space (`.bss`).
+    NoBits,
+    /// `SHT_REL` — relocations without addends.
+    Rel,
+    /// `SHT_DYNSYM` — dynamic symbol table.
+    DynSym,
+    /// Anything else, preserved verbatim.
+    Other(u32),
+}
+
+impl SectionType {
+    /// Decodes `sh_type`.
+    pub fn from_u32(v: u32) -> Self {
+        match v {
+            0 => SectionType::Null,
+            1 => SectionType::ProgBits,
+            2 => SectionType::SymTab,
+            3 => SectionType::StrTab,
+            4 => SectionType::Rela,
+            5 => SectionType::Hash,
+            6 => SectionType::Dynamic,
+            7 => SectionType::Note,
+            8 => SectionType::NoBits,
+            9 => SectionType::Rel,
+            11 => SectionType::DynSym,
+            other => SectionType::Other(other),
+        }
+    }
+
+    /// Encodes back to `sh_type`.
+    pub fn to_u32(self) -> u32 {
+        match self {
+            SectionType::Null => 0,
+            SectionType::ProgBits => 1,
+            SectionType::SymTab => 2,
+            SectionType::StrTab => 3,
+            SectionType::Rela => 4,
+            SectionType::Hash => 5,
+            SectionType::Dynamic => 6,
+            SectionType::Note => 7,
+            SectionType::NoBits => 8,
+            SectionType::Rel => 9,
+            SectionType::DynSym => 11,
+            SectionType::Other(v) => v,
+        }
+    }
+}
+
+/// `sh_flags`: section is writable at run time.
+pub const SHF_WRITE: u64 = 0x1;
+/// `sh_flags`: section occupies memory at run time.
+pub const SHF_ALLOC: u64 = 0x2;
+/// `sh_flags`: section contains executable instructions.
+pub const SHF_EXECINSTR: u64 = 0x4;
+/// `sh_flags`: section holds null-terminated strings.
+pub const SHF_STRINGS: u64 = 0x20;
+/// `sh_flags`: `sh_info` holds a section index.
+pub const SHF_INFO_LINK: u64 = 0x40;
+
+/// One parsed section header plus its resolved name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    /// Resolved name from `.shstrtab` (empty when unresolvable).
+    pub name: String,
+    /// Section type.
+    pub section_type: SectionType,
+    /// `sh_flags`.
+    pub flags: u64,
+    /// Virtual address of the section in memory (`sh_addr`).
+    pub addr: u64,
+    /// File offset of the section contents (`sh_offset`).
+    pub offset: u64,
+    /// Size of the section in bytes (`sh_size`).
+    pub size: u64,
+    /// `sh_link` (meaning depends on type — e.g. the string table of a
+    /// symbol table).
+    pub link: u32,
+    /// `sh_info`.
+    pub info: u32,
+    /// Required alignment (`sh_addralign`).
+    pub addralign: u64,
+    /// Entry size for table sections (`sh_entsize`).
+    pub entsize: u64,
+}
+
+impl Section {
+    /// Parses one section header at the reader's position. The name is
+    /// left empty; [`crate::Elf`] fills it in from `.shstrtab`.
+    pub fn parse(r: &mut Reader<'_>, class: Class) -> Result<(u32, Section)> {
+        let wide = class.is_wide();
+        let name_off = r.u32()?;
+        let section_type = SectionType::from_u32(r.u32()?);
+        let flags = r.word(wide)?;
+        let addr = r.word(wide)?;
+        let offset = r.word(wide)?;
+        let size = r.word(wide)?;
+        let link = r.u32()?;
+        let info = r.u32()?;
+        let addralign = r.word(wide)?;
+        let entsize = r.word(wide)?;
+        Ok((
+            name_off,
+            Section {
+                name: String::new(),
+                section_type,
+                flags,
+                addr,
+                offset,
+                size,
+                link,
+                info,
+                addralign,
+                entsize,
+            },
+        ))
+    }
+
+    /// Whether the section is mapped executable (`SHF_EXECINSTR`).
+    pub fn is_executable(&self) -> bool {
+        self.flags & SHF_EXECINSTR != 0
+    }
+
+    /// Whether `addr` falls inside this section's memory range.
+    pub fn contains_addr(&self, addr: u64) -> bool {
+        addr >= self.addr && addr < self.addr.saturating_add(self.size)
+    }
+
+    /// The file range `[offset, offset + size)` of this section, or `None`
+    /// for `SHT_NOBITS` sections which have no file contents.
+    pub fn file_range(&self) -> Option<(usize, usize)> {
+        if self.section_type == SectionType::NoBits {
+            return None;
+        }
+        let start = usize::try_from(self.offset).ok()?;
+        let len = usize::try_from(self.size).ok()?;
+        Some((start, start.checked_add(len)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_type_round_trips() {
+        for v in [0u32, 1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 0x6fff_fff6] {
+            assert_eq!(SectionType::from_u32(v).to_u32(), v);
+        }
+    }
+
+    #[test]
+    fn parses_a_64bit_section_header() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&7u32.to_le_bytes()); // name offset
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // PROGBITS
+        bytes.extend_from_slice(&(SHF_ALLOC | SHF_EXECINSTR).to_le_bytes());
+        bytes.extend_from_slice(&0x401000u64.to_le_bytes()); // addr
+        bytes.extend_from_slice(&0x1000u64.to_le_bytes()); // offset
+        bytes.extend_from_slice(&0x200u64.to_le_bytes()); // size
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&16u64.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+
+        let mut r = Reader::new(&bytes);
+        let (name_off, s) = Section::parse(&mut r, Class::Elf64).unwrap();
+        assert_eq!(name_off, 7);
+        assert_eq!(s.section_type, SectionType::ProgBits);
+        assert!(s.is_executable());
+        assert!(s.contains_addr(0x401000));
+        assert!(s.contains_addr(0x4011ff));
+        assert!(!s.contains_addr(0x401200));
+        assert_eq!(s.file_range(), Some((0x1000, 0x1200)));
+    }
+
+    #[test]
+    fn parses_a_32bit_section_header() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&8u32.to_le_bytes()); // NOBITS
+        bytes.extend_from_slice(&(SHF_ALLOC as u32).to_le_bytes());
+        bytes.extend_from_slice(&0x804_9000u32.to_le_bytes());
+        bytes.extend_from_slice(&0x2000u32.to_le_bytes());
+        bytes.extend_from_slice(&0x100u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+
+        let mut r = Reader::new(&bytes);
+        let (_, s) = Section::parse(&mut r, Class::Elf32).unwrap();
+        assert_eq!(s.section_type, SectionType::NoBits);
+        assert_eq!(s.addr, 0x804_9000);
+        // NOBITS sections have no file contents.
+        assert_eq!(s.file_range(), None);
+    }
+}

@@ -1,0 +1,177 @@
+//! Program headers (`Phdr`).
+
+use crate::error::Result;
+use crate::ident::Class;
+use crate::read::Reader;
+
+/// `p_type` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegmentType {
+    /// `PT_NULL`.
+    Null,
+    /// `PT_LOAD` — loadable segment.
+    Load,
+    /// `PT_DYNAMIC` — dynamic linking information.
+    Dynamic,
+    /// `PT_INTERP` — interpreter path.
+    Interp,
+    /// `PT_NOTE`.
+    Note,
+    /// `PT_PHDR` — the program header table itself.
+    Phdr,
+    /// `PT_GNU_EH_FRAME` — pointer to `.eh_frame_hdr`.
+    GnuEhFrame,
+    /// `PT_GNU_STACK`.
+    GnuStack,
+    /// `PT_GNU_PROPERTY` — carries `.note.gnu.property` (IBT/SHSTK bits).
+    GnuProperty,
+    /// Anything else, preserved verbatim.
+    Other(u32),
+}
+
+impl SegmentType {
+    /// Decodes `p_type`.
+    pub fn from_u32(v: u32) -> Self {
+        match v {
+            0 => SegmentType::Null,
+            1 => SegmentType::Load,
+            2 => SegmentType::Dynamic,
+            3 => SegmentType::Interp,
+            4 => SegmentType::Note,
+            6 => SegmentType::Phdr,
+            0x6474_e550 => SegmentType::GnuEhFrame,
+            0x6474_e551 => SegmentType::GnuStack,
+            0x6474_e553 => SegmentType::GnuProperty,
+            other => SegmentType::Other(other),
+        }
+    }
+
+    /// Encodes back to `p_type`.
+    pub fn to_u32(self) -> u32 {
+        match self {
+            SegmentType::Null => 0,
+            SegmentType::Load => 1,
+            SegmentType::Dynamic => 2,
+            SegmentType::Interp => 3,
+            SegmentType::Note => 4,
+            SegmentType::Phdr => 6,
+            SegmentType::GnuEhFrame => 0x6474_e550,
+            SegmentType::GnuStack => 0x6474_e551,
+            SegmentType::GnuProperty => 0x6474_e553,
+            SegmentType::Other(v) => v,
+        }
+    }
+}
+
+/// `p_flags`: executable.
+pub const PF_X: u32 = 0x1;
+/// `p_flags`: writable.
+pub const PF_W: u32 = 0x2;
+/// `p_flags`: readable.
+pub const PF_R: u32 = 0x4;
+
+/// One parsed program header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Segment type.
+    pub segment_type: SegmentType,
+    /// Permission flags (`PF_R | PF_W | PF_X`).
+    pub flags: u32,
+    /// File offset of the segment contents.
+    pub offset: u64,
+    /// Virtual address.
+    pub vaddr: u64,
+    /// Physical address (unused on our targets).
+    pub paddr: u64,
+    /// Bytes of the segment in the file.
+    pub filesz: u64,
+    /// Bytes of the segment in memory.
+    pub memsz: u64,
+    /// Alignment.
+    pub align: u64,
+}
+
+impl Segment {
+    /// Parses one program header at the reader's position.
+    ///
+    /// ELF32 and ELF64 program headers have different field *orders*
+    /// (`p_flags` moves), which this handles.
+    pub fn parse(r: &mut Reader<'_>, class: Class) -> Result<Segment> {
+        let segment_type = SegmentType::from_u32(r.u32()?);
+        match class {
+            Class::Elf32 => {
+                let offset = u64::from(r.u32()?);
+                let vaddr = u64::from(r.u32()?);
+                let paddr = u64::from(r.u32()?);
+                let filesz = u64::from(r.u32()?);
+                let memsz = u64::from(r.u32()?);
+                let flags = r.u32()?;
+                let align = u64::from(r.u32()?);
+                Ok(Segment { segment_type, flags, offset, vaddr, paddr, filesz, memsz, align })
+            }
+            Class::Elf64 => {
+                let flags = r.u32()?;
+                let offset = r.u64()?;
+                let vaddr = r.u64()?;
+                let paddr = r.u64()?;
+                let filesz = r.u64()?;
+                let memsz = r.u64()?;
+                let align = r.u64()?;
+                Ok(Segment { segment_type, flags, offset, vaddr, paddr, filesz, memsz, align })
+            }
+        }
+    }
+
+    /// Whether the segment is mapped executable.
+    pub fn is_executable(&self) -> bool {
+        self.flags & PF_X != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_type_round_trips() {
+        for v in [0u32, 1, 2, 3, 4, 6, 0x6474_e550, 0x6474_e551, 0x6474_e553, 0x7000_0000] {
+            assert_eq!(SegmentType::from_u32(v).to_u32(), v);
+        }
+    }
+
+    #[test]
+    fn parses_elf64_layout() {
+        let mut b = Vec::new();
+        b.extend_from_slice(&1u32.to_le_bytes()); // PT_LOAD
+        b.extend_from_slice(&(PF_R | PF_X).to_le_bytes());
+        b.extend_from_slice(&0x1000u64.to_le_bytes());
+        b.extend_from_slice(&0x401000u64.to_le_bytes());
+        b.extend_from_slice(&0x401000u64.to_le_bytes());
+        b.extend_from_slice(&0x500u64.to_le_bytes());
+        b.extend_from_slice(&0x500u64.to_le_bytes());
+        b.extend_from_slice(&0x1000u64.to_le_bytes());
+        let s = Segment::parse(&mut Reader::new(&b), Class::Elf64).unwrap();
+        assert_eq!(s.segment_type, SegmentType::Load);
+        assert!(s.is_executable());
+        assert_eq!(s.vaddr, 0x401000);
+        assert_eq!(s.filesz, 0x500);
+    }
+
+    #[test]
+    fn parses_elf32_layout_with_trailing_flags() {
+        let mut b = Vec::new();
+        b.extend_from_slice(&1u32.to_le_bytes()); // PT_LOAD
+        b.extend_from_slice(&0x2000u32.to_le_bytes()); // offset
+        b.extend_from_slice(&0x8048000u32.to_le_bytes()); // vaddr
+        b.extend_from_slice(&0x8048000u32.to_le_bytes()); // paddr
+        b.extend_from_slice(&0x300u32.to_le_bytes()); // filesz
+        b.extend_from_slice(&0x400u32.to_le_bytes()); // memsz
+        b.extend_from_slice(&PF_R.to_le_bytes()); // flags (after memsz in ELF32!)
+        b.extend_from_slice(&0x1000u32.to_le_bytes()); // align
+        let s = Segment::parse(&mut Reader::new(&b), Class::Elf32).unwrap();
+        assert_eq!(s.vaddr, 0x8048000);
+        assert_eq!(s.memsz, 0x400);
+        assert_eq!(s.flags, PF_R);
+        assert!(!s.is_executable());
+    }
+}

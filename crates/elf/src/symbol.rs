@@ -1,0 +1,228 @@
+//! Symbol-table entries (`Sym`).
+
+use crate::error::Result;
+use crate::ident::Class;
+use crate::read::Reader;
+
+/// Symbol type (low nibble of `st_info`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymbolType {
+    /// `STT_NOTYPE`.
+    NoType,
+    /// `STT_OBJECT` — data object.
+    Object,
+    /// `STT_FUNC` — function. Ground truth comes from these.
+    Func,
+    /// `STT_SECTION`.
+    Section,
+    /// `STT_FILE`.
+    File,
+    /// `STT_COMMON`.
+    Common,
+    /// `STT_TLS`.
+    Tls,
+    /// `STT_GNU_IFUNC` — indirect function (resolver).
+    GnuIFunc,
+    /// Anything else, preserved verbatim.
+    Other(u8),
+}
+
+impl SymbolType {
+    /// Decodes the low nibble of `st_info`.
+    pub fn from_nibble(v: u8) -> Self {
+        match v {
+            0 => SymbolType::NoType,
+            1 => SymbolType::Object,
+            2 => SymbolType::Func,
+            3 => SymbolType::Section,
+            4 => SymbolType::File,
+            5 => SymbolType::Common,
+            6 => SymbolType::Tls,
+            10 => SymbolType::GnuIFunc,
+            other => SymbolType::Other(other),
+        }
+    }
+
+    /// Encodes back to the low nibble of `st_info`.
+    pub fn to_nibble(self) -> u8 {
+        match self {
+            SymbolType::NoType => 0,
+            SymbolType::Object => 1,
+            SymbolType::Func => 2,
+            SymbolType::Section => 3,
+            SymbolType::File => 4,
+            SymbolType::Common => 5,
+            SymbolType::Tls => 6,
+            SymbolType::GnuIFunc => 10,
+            SymbolType::Other(v) => v,
+        }
+    }
+}
+
+/// Symbol binding (high nibble of `st_info`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymbolBinding {
+    /// `STB_LOCAL` — e.g. `static` functions.
+    Local,
+    /// `STB_GLOBAL`.
+    Global,
+    /// `STB_WEAK`.
+    Weak,
+    /// Anything else, preserved verbatim.
+    Other(u8),
+}
+
+impl SymbolBinding {
+    /// Decodes the high nibble of `st_info`.
+    pub fn from_nibble(v: u8) -> Self {
+        match v {
+            0 => SymbolBinding::Local,
+            1 => SymbolBinding::Global,
+            2 => SymbolBinding::Weak,
+            other => SymbolBinding::Other(other),
+        }
+    }
+
+    /// Encodes back to the high nibble of `st_info`.
+    pub fn to_nibble(self) -> u8 {
+        match self {
+            SymbolBinding::Local => 0,
+            SymbolBinding::Global => 1,
+            SymbolBinding::Weak => 2,
+            SymbolBinding::Other(v) => v,
+        }
+    }
+}
+
+/// One parsed symbol with its resolved name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// Resolved name (empty for unnamed symbols).
+    pub name: String,
+    /// Value — for `STT_FUNC` in executables this is the entry address.
+    pub value: u64,
+    /// Size in bytes (0 when unknown).
+    pub size: u64,
+    /// Symbol type.
+    pub symbol_type: SymbolType,
+    /// Symbol binding.
+    pub binding: SymbolBinding,
+    /// Section index (`SHN_UNDEF` = 0 for imports).
+    pub shndx: u16,
+}
+
+impl Symbol {
+    /// Parses one symbol at the reader's position, leaving the name empty.
+    ///
+    /// The ELF32 and ELF64 symbol layouts differ in field order
+    /// (value/size precede info in ELF32, follow it in ELF64).
+    pub fn parse(r: &mut Reader<'_>, class: Class) -> Result<(u32, Symbol)> {
+        match class {
+            Class::Elf32 => {
+                let name_off = r.u32()?;
+                let value = u64::from(r.u32()?);
+                let size = u64::from(r.u32()?);
+                let info = r.u8()?;
+                let _other = r.u8()?;
+                let shndx = r.u16()?;
+                Ok((name_off, Symbol::from_parts(value, size, info, shndx)))
+            }
+            Class::Elf64 => {
+                let name_off = r.u32()?;
+                let info = r.u8()?;
+                let _other = r.u8()?;
+                let shndx = r.u16()?;
+                let value = r.u64()?;
+                let size = r.u64()?;
+                Ok((name_off, Symbol::from_parts(value, size, info, shndx)))
+            }
+        }
+    }
+
+    fn from_parts(value: u64, size: u64, info: u8, shndx: u16) -> Symbol {
+        Symbol {
+            name: String::new(),
+            value,
+            size,
+            symbol_type: SymbolType::from_nibble(info & 0xf),
+            binding: SymbolBinding::from_nibble(info >> 4),
+            shndx,
+        }
+    }
+
+    /// Whether this is a defined function symbol (the raw material for
+    /// ground-truth extraction).
+    pub fn is_defined_func(&self) -> bool {
+        matches!(self.symbol_type, SymbolType::Func | SymbolType::GnuIFunc) && self.shndx != 0
+    }
+
+    /// Whether the symbol is undefined (an import).
+    pub fn is_undefined(&self) -> bool {
+        self.shndx == 0
+    }
+
+    /// Packs type and binding back into an `st_info` byte.
+    pub fn info_byte(&self) -> u8 {
+        (self.binding.to_nibble() << 4) | (self.symbol_type.to_nibble() & 0xf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nibbles_round_trip() {
+        for t in [
+            SymbolType::NoType,
+            SymbolType::Object,
+            SymbolType::Func,
+            SymbolType::Section,
+            SymbolType::File,
+            SymbolType::Common,
+            SymbolType::Tls,
+            SymbolType::GnuIFunc,
+            SymbolType::Other(12),
+        ] {
+            assert_eq!(SymbolType::from_nibble(t.to_nibble()), t);
+        }
+        for b in [SymbolBinding::Local, SymbolBinding::Global, SymbolBinding::Weak, SymbolBinding::Other(13)] {
+            assert_eq!(SymbolBinding::from_nibble(b.to_nibble()), b);
+        }
+    }
+
+    #[test]
+    fn parses_elf64_symbol() {
+        let mut b = Vec::new();
+        b.extend_from_slice(&5u32.to_le_bytes()); // name offset
+        b.push((1 << 4) | 2); // GLOBAL FUNC
+        b.push(0);
+        b.extend_from_slice(&1u16.to_le_bytes()); // shndx
+        b.extend_from_slice(&0x401040u64.to_le_bytes()); // value
+        b.extend_from_slice(&0x20u64.to_le_bytes()); // size
+        let (off, s) = Symbol::parse(&mut Reader::new(&b), Class::Elf64).unwrap();
+        assert_eq!(off, 5);
+        assert_eq!(s.symbol_type, SymbolType::Func);
+        assert_eq!(s.binding, SymbolBinding::Global);
+        assert_eq!(s.value, 0x401040);
+        assert!(s.is_defined_func());
+        assert!(!s.is_undefined());
+        assert_eq!(s.info_byte(), 0x12);
+    }
+
+    #[test]
+    fn parses_elf32_symbol() {
+        let mut b = Vec::new();
+        b.extend_from_slice(&9u32.to_le_bytes());
+        b.extend_from_slice(&0x8048100u32.to_le_bytes());
+        b.extend_from_slice(&0x10u32.to_le_bytes());
+        b.push(2); // LOCAL FUNC
+        b.push(0);
+        b.extend_from_slice(&0u16.to_le_bytes()); // UNDEF
+        let (_, s) = Symbol::parse(&mut Reader::new(&b), Class::Elf32).unwrap();
+        assert_eq!(s.value, 0x8048100);
+        assert_eq!(s.binding, SymbolBinding::Local);
+        assert!(s.is_undefined());
+        assert!(!s.is_defined_func());
+    }
+}

@@ -1,0 +1,131 @@
+//! Regenerates the paper's tables and figures on a fresh corpus.
+//!
+//! ```text
+//! experiments <table1|table2|table3|fig3|failures|by-opt|manual-endbr|arm|all> [--seed N] [--scale tiny|default|large] [--csv]
+//! ```
+
+use std::time::Instant;
+
+use funseeker_corpus::{Dataset, DatasetParams};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <table1|table2|table3|fig3|failures|by-opt|manual-endbr|arm|all> [--seed N] [--scale tiny|default|large] [--csv]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let what = args[0].clone();
+    let mut seed = 2022u64; // the paper's year, for a stable default
+    let mut scale = "default".to_owned();
+    let mut csv = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--scale" => {
+                i += 1;
+                scale = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--csv" => csv = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let mut params = DatasetParams::default();
+    match scale.as_str() {
+        "tiny" => params.programs = (3, 2, 3),
+        "default" => {}
+        "large" => params.programs = (27, 8, 12),
+        _ => usage(),
+    }
+
+    eprintln!(
+        "generating corpus: {:?} programs × {} configs (seed {seed})…",
+        params.programs,
+        params.configs.len()
+    );
+    let t0 = Instant::now();
+    let ds = Dataset::generate(&params, seed);
+    let total_functions: usize = ds.binaries.iter().map(|b| b.truth.eval_entries().len()).sum();
+    eprintln!(
+        "corpus ready: {} binaries, {} ground-truth functions ({:.1}s)",
+        ds.len(),
+        total_functions,
+        t0.elapsed().as_secs_f64()
+    );
+
+    let run_one = |name: &str| {
+        let t = Instant::now();
+        match name {
+            "table1" => {
+                let t = funseeker_eval::table1::run(&ds);
+                if csv {
+                    print!("{}", t.render_csv());
+                } else {
+                    println!("## Table I — end-branch location distribution\n");
+                    println!("{}", t.render());
+                }
+            }
+            "fig3" => {
+                println!("## Figure 3 — syntactic property relation\n");
+                println!("{}", funseeker_eval::fig3::run(&ds).render());
+            }
+            "table2" => {
+                let t = funseeker_eval::table2::run(&ds);
+                if csv {
+                    print!("{}", t.render_csv());
+                } else {
+                    println!("## Table II — FunSeeker configurations (1)-(4)\n");
+                    println!("{}", t.render());
+                }
+            }
+            "table3" => {
+                let t = funseeker_eval::table3::run(&ds);
+                if csv {
+                    print!("{}", t.render_csv());
+                } else {
+                    println!("## Table III — tool comparison\n");
+                    println!("{}", t.render());
+                }
+            }
+            "by-opt" => {
+                println!("## Per-optimization-level breakdown (extension)\n");
+                println!("{}", funseeker_eval::by_opt::run(&ds).render());
+            }
+            "arm" => {
+                println!("## ARM BTI extension (Section VI future work)\n");
+                println!("{}", funseeker_eval::arm::run(40, seed).render());
+            }
+            "manual-endbr" => {
+                println!("## Section VI — -mmanual-endbr ablation\n");
+                println!("{}", funseeker_eval::manual_endbr::run(&params, seed).render());
+            }
+            "failures" => {
+                println!("## Section V-C — failure analysis (configuration (4))\n");
+                println!("{}", funseeker_eval::failures::run(&ds).render());
+            }
+            _ => usage(),
+        }
+        eprintln!("[{name} done in {:.1}s]", t.elapsed().as_secs_f64());
+    };
+
+    match what.as_str() {
+        "all" => {
+            for name in ["table1", "fig3", "table2", "table3", "failures", "by-opt", "manual-endbr", "arm"] {
+                run_one(name);
+                println!();
+            }
+        }
+        other => run_one(other),
+    }
+}

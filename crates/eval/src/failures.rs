@@ -1,0 +1,122 @@
+//! §V-C failure analysis: what FunSeeker's residual false negatives and
+//! false positives are made of.
+//!
+//! The paper reports: 93.3% of false negatives were dead functions and
+//! the rest missed tail-call targets; all false positives referred to
+//! `.part` blocks (57.1% misidentified tail calls, 42.9% direct-called
+//! fragments).
+
+use funseeker::FunSeeker;
+use funseeker_corpus::Dataset;
+
+use crate::report::Table;
+use crate::runner::par_map;
+
+/// Classified error counts for the full (④) configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailureBreakdown {
+    /// FN: ground-truth functions that are dead code.
+    pub fn_dead: usize,
+    /// FN: live functions missed (mostly single-caller tail targets).
+    pub fn_tail_or_other: usize,
+    /// FP: `.cold`/`.part` fragment entries reported as functions.
+    pub fp_fragment: usize,
+    /// FP: anything else.
+    pub fp_other: usize,
+}
+
+impl FailureBreakdown {
+    /// Total false negatives.
+    pub fn total_fn(&self) -> usize {
+        self.fn_dead + self.fn_tail_or_other
+    }
+
+    /// Total false positives.
+    pub fn total_fp(&self) -> usize {
+        self.fp_fragment + self.fp_other
+    }
+
+    /// Renders the summary.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(["Class", "Count", "Share %"]);
+        let fns = self.total_fn().max(1) as f64;
+        let fps = self.total_fp().max(1) as f64;
+        t.row(["FN: dead function".to_owned(), self.fn_dead.to_string(), format!("{:.1}", self.fn_dead as f64 / fns * 100.0)]);
+        t.row([
+            "FN: missed tail target / other".to_owned(),
+            self.fn_tail_or_other.to_string(),
+            format!("{:.1}", self.fn_tail_or_other as f64 / fns * 100.0),
+        ]);
+        t.row([
+            "FP: .cold/.part fragment".to_owned(),
+            self.fp_fragment.to_string(),
+            format!("{:.1}", self.fp_fragment as f64 / fps * 100.0),
+        ]);
+        t.row(["FP: other".to_owned(), self.fp_other.to_string(), format!("{:.1}", self.fp_other as f64 / fps * 100.0)]);
+        t.render()
+    }
+}
+
+/// Runs the failure analysis over a dataset.
+pub fn run(ds: &Dataset) -> FailureBreakdown {
+    let per_bin = par_map(&ds.binaries, |bin| {
+        let truth = bin.truth.eval_entries();
+        let parts = bin.truth.part_entries();
+        let analysis = FunSeeker::new().identify(&bin.bytes).expect("corpus binary analyzable");
+        let mut b = FailureBreakdown::default();
+        for missed in truth.difference(&analysis.functions) {
+            let f = bin.truth.by_addr(*missed).expect("truth entry");
+            if f.dead {
+                b.fn_dead += 1;
+            } else {
+                b.fn_tail_or_other += 1;
+            }
+        }
+        for extra in analysis.functions.difference(&truth) {
+            if parts.contains(extra) {
+                b.fp_fragment += 1;
+            } else {
+                b.fp_other += 1;
+            }
+        }
+        b
+    });
+    let mut total = FailureBreakdown::default();
+    for b in per_bin {
+        total.fn_dead += b.fn_dead;
+        total.fn_tail_or_other += b.fn_tail_or_other;
+        total.fp_fragment += b.fp_fragment;
+        total.fp_other += b.fp_other;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funseeker_corpus::{BuildConfig, DatasetParams};
+
+    #[test]
+    fn failure_classes_match_the_papers_story() {
+        let mut params = DatasetParams::tiny();
+        params.programs = (4, 2, 3);
+        params.configs = BuildConfig::grid();
+        let ds = Dataset::generate(&params, 66);
+        let b = run(&ds);
+        // There are some errors to classify at all.
+        assert!(b.total_fn() > 0, "no FNs — corpus too easy");
+        assert!(b.total_fp() > 0, "no FPs — corpus too easy");
+        // Dead functions dominate FNs (paper: 93.3%).
+        assert!(
+            b.fn_dead * 2 > b.total_fn(),
+            "dead functions should dominate FNs: {b:?}"
+        );
+        // Fragments dominate FPs (paper: 100%).
+        assert!(
+            b.fp_fragment * 2 > b.total_fp(),
+            "fragments should dominate FPs: {b:?}"
+        );
+        let rendered = b.render();
+        assert!(rendered.contains("dead function"));
+    }
+}

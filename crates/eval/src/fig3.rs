@@ -1,0 +1,156 @@
+//! Figure 3 — the Venn relation between the three syntactic function
+//! properties: `EndBrAtHead`, `DirJmpTarget`, `DirCallTarget`.
+
+use funseeker::parse::parse;
+use funseeker_corpus::{CorpusBinary, Dataset};
+use funseeker_disasm::{InsnKind, LinearSweep};
+
+use crate::report::Table;
+use crate::runner::par_map;
+
+/// Counts of functions per Venn region. Index bits: 1 = EndBrAtHead,
+/// 2 = DirJmpTarget, 4 = DirCallTarget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fig3 {
+    /// `regions[bits]` = number of functions with exactly that property
+    /// combination (`regions[0]` = none — the dead 0.01% of the paper).
+    pub regions: [usize; 8],
+}
+
+impl Fig3 {
+    /// Total functions counted.
+    pub fn total(&self) -> usize {
+        self.regions.iter().sum()
+    }
+
+    /// Share of functions with an end-branch at the entry (the paper's
+    /// 89.3%).
+    pub fn endbr_at_head_share(&self) -> f64 {
+        let n: usize = (0..8).filter(|b| b & 1 != 0).map(|b| self.regions[b]).sum();
+        n as f64 / self.total().max(1) as f64
+    }
+
+    /// Share of functions with at least one property (the paper's
+    /// 99.99%).
+    pub fn any_property_share(&self) -> f64 {
+        1.0 - self.regions[0] as f64 / self.total().max(1) as f64
+    }
+
+    /// Renders the region table.
+    pub fn render(&self) -> String {
+        let label = |bits: usize| -> String {
+            if bits == 0 {
+                return "(none — dead code)".to_owned();
+            }
+            let mut parts = Vec::new();
+            if bits & 1 != 0 {
+                parts.push("EndBrAtHead");
+            }
+            if bits & 2 != 0 {
+                parts.push("DirJmpTarget");
+            }
+            if bits & 4 != 0 {
+                parts.push("DirCallTarget");
+            }
+            parts.join(" ∩ ")
+        };
+        let total = self.total().max(1) as f64;
+        let mut t = Table::new(["Region", "Functions", "Share %"]);
+        // Paper-style ordering: biggest single regions first.
+        for bits in [1usize, 5, 4, 3, 7, 6, 2, 0] {
+            t.row([
+                label(bits),
+                self.regions[bits].to_string(),
+                format!("{:.2}", self.regions[bits] as f64 / total * 100.0),
+            ]);
+        }
+        let mut out = t.render();
+        out.push_str(&format!(
+            "\nEndBrAtHead share: {:.2}%  ·  ≥1 property: {:.2}%\n",
+            self.endbr_at_head_share() * 100.0,
+            self.any_property_share() * 100.0
+        ));
+        out
+    }
+}
+
+/// Computes the property bits for all ground-truth functions of one
+/// binary.
+pub fn classify_binary(bin: &CorpusBinary) -> Fig3 {
+    let parsed = parse(&bin.bytes).expect("corpus binary parses");
+    let mode = bin.config.arch.mode();
+    let mut call_targets = std::collections::BTreeSet::new();
+    let mut jmp_targets = std::collections::BTreeSet::new();
+    let mut endbrs = std::collections::BTreeSet::new();
+    for insn in LinearSweep::new(parsed.text, parsed.text_addr, mode) {
+        match insn.kind {
+            InsnKind::CallRel { target } => {
+                call_targets.insert(target);
+            }
+            InsnKind::JmpRel { target } => {
+                jmp_targets.insert(target);
+            }
+            InsnKind::Endbr32 | InsnKind::Endbr64 => {
+                endbrs.insert(insn.addr);
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = Fig3::default();
+    for f in bin.truth.functions.iter().filter(|f| !f.is_part) {
+        let mut bits = 0usize;
+        if endbrs.contains(&f.addr) {
+            bits |= 1;
+        }
+        if jmp_targets.contains(&f.addr) {
+            bits |= 2;
+        }
+        if call_targets.contains(&f.addr) {
+            bits |= 4;
+        }
+        out.regions[bits] += 1;
+    }
+    out
+}
+
+/// Runs the Figure 3 experiment over a dataset.
+pub fn run(ds: &Dataset) -> Fig3 {
+    let per_bin = par_map(&ds.binaries, classify_binary);
+    let mut total = Fig3::default();
+    for f in per_bin {
+        for (t, s) in total.regions.iter_mut().zip(f.regions) {
+            *t += s;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funseeker_corpus::DatasetParams;
+
+    #[test]
+    fn properties_cover_nearly_all_functions() {
+        let mut params = DatasetParams::tiny();
+        params.programs = (3, 2, 3);
+        params.configs = funseeker_corpus::BuildConfig::grid();
+        let ds = Dataset::generate(&params, 33);
+        let fig = run(&ds);
+        assert!(fig.total() > 1000);
+        // The paper's headline shapes.
+        let endbr = fig.endbr_at_head_share();
+        assert!(
+            endbr > 0.70 && endbr < 0.97,
+            "EndBrAtHead share {endbr:.3} out of plausible range (paper: 0.893)"
+        );
+        let any = fig.any_property_share();
+        assert!(any > 0.99, "≥1-property share {any:.4} (paper: 0.9999)");
+        // Region 0 (no properties) is exactly the dead, endbr-less code.
+        assert!(fig.regions[0] < fig.total() / 100);
+        let rendered = fig.render();
+        assert!(rendered.contains("EndBrAtHead"));
+        assert!(rendered.contains("dead code"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Symbol-based ground-truth extraction (§V-A1 methodology).
+//!
+//! The paper derives ground truth from debug/symbol information with two
+//! corrections: `.cold`/`.part` symbols are *excluded* (they are
+//! fragments, not functions), and the `__x86.get_pc_thunk` intrinsic is
+//! *included* even when the compiler forgot its symbol.
+//!
+//! The corpus carries exact [`funseeker_corpus::GroundTruth`] alongside
+//! each binary, so evaluation itself never needs this extractor; it
+//! exists to reproduce the paper's methodology from the binary alone and
+//! is cross-validated against the corpus truth in tests.
+
+use std::collections::BTreeSet;
+
+use funseeker_elf::Elf;
+
+/// Whether a symbol name denotes a compiler-generated fragment rather
+/// than a function (`foo.cold`, `foo.part.0`, `foo.constprop.0.cold`…).
+pub fn is_fragment_name(name: &str) -> bool {
+    name.ends_with(".cold")
+        || name.contains(".cold.")
+        || name.contains(".part.")
+        || name.ends_with(".part")
+}
+
+/// Extracts function entries from `.symtab`, applying the paper's two
+/// corrections. `thunk_hints` supplies addresses of `__x86.get_pc_thunk`
+/// instances known through other means (the paper added them manually).
+pub fn extract(bytes: &[u8], thunk_hints: &[u64]) -> Result<BTreeSet<u64>, funseeker_elf::Error> {
+    let elf = Elf::parse(bytes)?;
+    let mut out: BTreeSet<u64> = elf
+        .symbols()?
+        .iter()
+        .filter(|s| s.is_defined_func() && !is_fragment_name(&s.name))
+        .map(|s| s.value)
+        .collect();
+    out.extend(thunk_hints.iter().copied());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funseeker_corpus::{Dataset, DatasetParams};
+
+    #[test]
+    fn fragment_names() {
+        assert!(is_fragment_name("sort_files.cold"));
+        assert!(is_fragment_name("helper.part.0"));
+        assert!(is_fragment_name("x.cold.1"));
+        assert!(!is_fragment_name("main"));
+        assert!(!is_fragment_name("partition"));
+        assert!(!is_fragment_name("coldstart"));
+    }
+
+    #[test]
+    fn symbol_extraction_matches_corpus_truth() {
+        let ds = Dataset::generate(&DatasetParams::tiny(), 99);
+        for bin in &ds.binaries {
+            // Thunk hints: the corpus knows where symbol-less thunks are.
+            let hints: Vec<u64> = bin
+                .truth
+                .functions
+                .iter()
+                .filter(|f| f.is_thunk && !f.has_symbol)
+                .map(|f| f.addr)
+                .collect();
+            let extracted = extract(&bin.bytes, &hints).unwrap();
+            assert_eq!(
+                extracted,
+                bin.truth.eval_entries(),
+                "{} {}",
+                bin.program,
+                bin.config.label()
+            );
+        }
+    }
+}

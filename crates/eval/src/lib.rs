@@ -1,0 +1,35 @@
+//! Evaluation harness reproducing the paper's tables and figures.
+//!
+//! One module per experiment:
+//!
+//! * [`table1`] — end-branch location distribution (Table I),
+//! * [`fig3`] — syntactic-property Venn over all functions (Figure 3),
+//! * [`table2`] — configuration ablation ①–④ (Table II),
+//! * [`table3`] — tool comparison incl. timing (Table III),
+//! * [`failures`] — FN/FP breakdown (§V-C),
+//! * [`manual_endbr`] — the §VI `-mmanual-endbr` ablation.
+//!
+//! Run everything with the `experiments` binary:
+//!
+//! ```text
+//! cargo run --release -p funseeker-eval --bin experiments -- all
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arm;
+pub mod by_opt;
+pub mod failures;
+pub mod manual_endbr;
+pub mod fig3;
+pub mod groundtruth;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+pub use metrics::Score;
+pub use report::Table;

@@ -1,0 +1,103 @@
+//! Precision / recall accounting.
+
+use std::collections::BTreeSet;
+use std::ops::AddAssign;
+
+/// Confusion counts for one or more binaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Score {
+    /// Identified entries that are real function entries.
+    pub tp: usize,
+    /// Identified entries that are not.
+    pub fp: usize,
+    /// Real entries the tool missed.
+    pub fn_: usize,
+}
+
+impl Score {
+    /// Scores a found-set against ground truth.
+    pub fn from_sets(found: &BTreeSet<u64>, truth: &BTreeSet<u64>) -> Score {
+        let tp = found.intersection(truth).count();
+        Score { tp, fp: found.len() - tp, fn_: truth.len() - tp }
+    }
+
+    /// Precision in `[0, 1]` (1 when nothing was reported).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall in `[0, 1]` (1 when there was nothing to find).
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 score.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+impl AddAssign for Score {
+    fn add_assign(&mut self, rhs: Score) {
+        self.tp += rhs.tp;
+        self.fp += rhs.fp;
+        self.fn_ += rhs.fn_;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[u64]) -> BTreeSet<u64> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn scoring_against_truth() {
+        let found = set(&[1, 2, 3, 4]);
+        let truth = set(&[2, 3, 4, 5, 6]);
+        let s = Score::from_sets(&found, &truth);
+        assert_eq!(s, Score { tp: 3, fp: 1, fn_: 2 });
+        assert!((s.precision() - 0.75).abs() < 1e-12);
+        assert!((s.recall() - 0.6).abs() < 1e-12);
+        assert!((s.f1() - 2.0 * 0.75 * 0.6 / 1.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let empty = BTreeSet::new();
+        let s = Score::from_sets(&empty, &empty);
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+        let s = Score::from_sets(&set(&[1]), &empty);
+        assert_eq!(s.precision(), 0.0);
+        assert_eq!(s.recall(), 1.0);
+        let s = Score::from_sets(&empty, &set(&[1]));
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 0.0);
+        assert_eq!(s.f1(), 0.0);
+    }
+
+    #[test]
+    fn accumulation() {
+        let mut total = Score::default();
+        total += Score { tp: 5, fp: 1, fn_: 0 };
+        total += Score { tp: 10, fp: 0, fn_: 2 };
+        assert_eq!(total, Score { tp: 15, fp: 1, fn_: 2 });
+    }
+}

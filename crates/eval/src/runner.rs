@@ -1,0 +1,49 @@
+//! Parallel evaluation over a dataset.
+
+use funseeker_corpus::CorpusBinary;
+
+/// Maps `f` over the binaries in parallel, preserving order.
+///
+/// The per-binary work (parse + sweep + set algebra, possibly × several
+/// tools) dominates, so simple chunking over `available_parallelism`
+/// workers is enough.
+pub fn par_map<T, F>(bins: &[CorpusBinary], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&CorpusBinary) -> T + Sync,
+{
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    if workers <= 1 || bins.len() <= 1 {
+        return bins.iter().map(f).collect();
+    }
+    let chunk_size = bins.len().div_ceil(workers);
+    let mut results: Vec<Vec<T>> = Vec::new();
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = bins
+            .chunks(chunk_size)
+            .map(|chunk| s.spawn(|_| chunk.iter().map(&f).collect::<Vec<T>>()))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("evaluation worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funseeker_corpus::{Dataset, DatasetParams};
+
+    #[test]
+    fn preserves_order_and_covers_all() {
+        let ds = Dataset::generate(&DatasetParams::tiny(), 5);
+        let names = par_map(&ds.binaries, |b| (b.program.clone(), b.config.label()));
+        assert_eq!(names.len(), ds.binaries.len());
+        for (got, bin) in names.iter().zip(&ds.binaries) {
+            assert_eq!(got.0, bin.program);
+            assert_eq!(got.1, bin.config.label());
+        }
+    }
+}

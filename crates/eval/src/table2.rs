@@ -1,0 +1,126 @@
+//! Table II — precision/recall of FunSeeker's four configurations
+//! (the FILTERENDBR / SELECTTAILCALL ablation, §V-B).
+
+use std::collections::BTreeMap;
+
+use funseeker::disassemble::disassemble;
+use funseeker::parse::parse;
+use funseeker::{Config, FunSeeker};
+use funseeker_corpus::{Compiler, Dataset, Suite};
+
+use crate::metrics::Score;
+use crate::report::{pct, Table};
+use crate::runner::par_map;
+
+/// Scores per (compiler, suite) per configuration ①–④.
+#[derive(Debug, Clone, Default)]
+pub struct Table2 {
+    /// `(compiler, suite) → [score_c1, score_c2, score_c3, score_c4]`.
+    pub groups: BTreeMap<(&'static str, &'static str), [Score; 4]>,
+    /// Dataset-wide totals.
+    pub total: [Score; 4],
+}
+
+/// Runs all four configurations over the dataset, reusing one disassembly
+/// pass per binary (the stages differ only in set algebra).
+pub fn run(ds: &Dataset) -> Table2 {
+    let per_bin = par_map(&ds.binaries, |bin| {
+        let truth = bin.truth.eval_entries();
+        let parsed = parse(&bin.bytes).expect("corpus binary parses");
+        let sweep = disassemble(&parsed);
+        let mut scores = [Score::default(); 4];
+        for (i, (_, cfg)) in Config::table2().iter().enumerate() {
+            let analysis = FunSeeker::with_config(*cfg).run_stages(&parsed, &sweep);
+            scores[i] = Score::from_sets(&analysis.functions, &truth);
+        }
+        (bin.config.compiler, bin.suite, scores)
+    });
+
+    let mut out = Table2::default();
+    for (compiler, suite, scores) in per_bin {
+        let group = out.groups.entry((compiler.label(), suite.label())).or_default();
+        for i in 0..4 {
+            group[i] += scores[i];
+            out.total[i] += scores[i];
+        }
+    }
+    out
+}
+
+impl Table2 {
+    /// Builds the result table (paper layout).
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new([
+            "Compiler", "Suite", "1 Prec.", "1 Rec.", "2 Prec.", "2 Rec.", "3 Prec.", "3 Rec.",
+            "4 Prec.", "4 Rec.",
+        ]);
+        for compiler in [Compiler::Gcc, Compiler::Clang] {
+            for suite in Suite::ALL {
+                let Some(g) = self.groups.get(&(compiler.label(), suite.label())) else { continue };
+                let mut row = vec![compiler.label().to_owned(), suite.label().to_owned()];
+                for s in g {
+                    row.push(pct(s.precision()));
+                    row.push(pct(s.recall()));
+                }
+                t.row(row);
+            }
+        }
+        let mut row = vec!["Total".to_owned(), String::new()];
+        for s in &self.total {
+            row.push(pct(s.precision()));
+            row.push(pct(s.recall()));
+        }
+        t.row(row);
+        t
+    }
+
+    /// Renders the paper's Table II layout as markdown.
+    pub fn render(&self) -> String {
+        self.to_table().render()
+    }
+
+    /// Renders as CSV.
+    pub fn render_csv(&self) -> String {
+        self.to_table().render_csv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funseeker_corpus::DatasetParams;
+
+    #[test]
+    fn table2_shape_matches_paper() {
+        let mut params = DatasetParams::tiny();
+        params.programs = (3, 2, 3);
+        params.configs = funseeker_corpus::BuildConfig::grid();
+        let ds = Dataset::generate(&params, 44);
+        let t2 = run(&ds);
+
+        let [c1, c2, c3, c4] = t2.total;
+        // ② strictly improves precision over ① and keeps recall.
+        assert!(c2.precision() > c1.precision());
+        assert_eq!(c1.recall(), c2.recall());
+        // ③ maximizes recall but collapses precision.
+        assert!(c3.recall() >= c2.recall());
+        assert!(c3.precision() < 0.7);
+        // ④ recovers precision (the paper's +73.18 points) and keeps a
+        // recall edge over ②.
+        assert!(c4.precision() - c3.precision() > 0.2);
+        assert!(c4.recall() >= c2.recall());
+        assert!(c4.precision() > 0.97);
+
+        // SPEC (C++) is where ① hurts most for each compiler.
+        for compiler in ["GCC", "Clang"] {
+            let spec = &t2.groups[&(compiler, "SPEC CPU 2017")];
+            let core = &t2.groups[&(compiler, "Coreutils")];
+            assert!(
+                spec[0].precision() < core[0].precision(),
+                "{compiler}: ① precision should dip on C++-heavy SPEC"
+            );
+        }
+        let rendered = t2.render();
+        assert!(rendered.contains("Total"));
+    }
+}

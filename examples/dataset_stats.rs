@@ -1,0 +1,50 @@
+//! Generate a corpus and print its §III-style statistics: the Figure 3
+//! property Venn plus the Table I end-branch location split.
+//!
+//! ```text
+//! cargo run --release --example dataset_stats [seed]
+//! ```
+
+use funseeker_corpus::{Dataset, DatasetParams};
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2022);
+    let mut params = DatasetParams::default();
+    params.programs = (6, 3, 5);
+    eprintln!("generating corpus (seed {seed})…");
+    let ds = Dataset::generate(&params, seed);
+
+    let mut total_funcs = 0usize;
+    let mut total_parts = 0usize;
+    let mut total_dead = 0usize;
+    let mut total_endbr = 0usize;
+    let mut bytes = 0usize;
+    for bin in &ds.binaries {
+        bytes += bin.bytes.len();
+        for f in &bin.truth.functions {
+            if f.is_part {
+                total_parts += 1;
+                continue;
+            }
+            total_funcs += 1;
+            if f.dead {
+                total_dead += 1;
+            }
+            if f.has_endbr {
+                total_endbr += 1;
+            }
+        }
+    }
+    println!("binaries        : {}", ds.len());
+    println!("total size      : {:.1} MiB", bytes as f64 / (1024.0 * 1024.0));
+    println!("functions       : {total_funcs}");
+    println!("  with endbr    : {total_endbr} ({:.2}%)", total_endbr as f64 / total_funcs as f64 * 100.0);
+    println!("  dead          : {total_dead} ({:.3}%)", total_dead as f64 / total_funcs as f64 * 100.0);
+    println!(".cold/.part     : {total_parts}");
+
+    println!("\n— Figure 3 property relation —\n");
+    println!("{}", funseeker_eval::fig3::run(&ds).render());
+
+    println!("— Table I end-branch locations —\n");
+    println!("{}", funseeker_eval::table1::run(&ds).render());
+}

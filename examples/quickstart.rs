@@ -1,0 +1,59 @@
+//! Quickstart: identify functions in a binary with FunSeeker.
+//!
+//! ```text
+//! cargo run --example quickstart [path/to/elf]
+//! ```
+//!
+//! Without an argument it analyzes its own executable (which, on a
+//! CET-enabled distro toolchain, is itself full of `endbr64`).
+
+use funseeker::{Config, FunSeeker};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "/proc/self/exe".to_owned());
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let analysis = match FunSeeker::new().identify(&bytes) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("analysis failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("binary        : {path}");
+    println!(
+        ".text         : {:#x}..{:#x} ({} KiB)",
+        analysis.text_range.0,
+        analysis.text_range.1,
+        (analysis.text_range.1 - analysis.text_range.0) / 1024
+    );
+    println!("end-branches  : {} (filtered {})", analysis.endbr_count, analysis.filtered_endbrs);
+    println!("call targets  : {}", analysis.call_target_count);
+    println!("jump targets  : {} (kept as tail calls: {})", analysis.jmp_target_count, analysis.tail_target_count);
+    println!("decode errors : {}", analysis.decode_errors);
+    println!("functions     : {}", analysis.functions.len());
+
+    println!("\nfirst 10 entries:");
+    for addr in analysis.functions.iter().take(10) {
+        println!("  {addr:#x}");
+    }
+
+    // Compare against the naive all-endbr view (configuration ①).
+    let naive = FunSeeker::with_config(Config::c1())
+        .identify(&bytes)
+        .expect("same binary parses");
+    println!(
+        "\nconfiguration 1 (E ∪ C) finds {} candidates; the full pipeline keeps {}",
+        naive.functions.len(),
+        analysis.functions.len()
+    );
+}

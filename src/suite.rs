@@ -1,0 +1,14 @@
+//! Workspace-level façade for the FunSeeker reproduction.
+//!
+//! Re-exports the public crates so examples and integration tests can use
+//! one import root. Library users should depend on the individual crates
+//! (`funseeker`, `funseeker-corpus`, …) directly.
+
+pub use funseeker;
+pub use funseeker_aarch64 as aarch64;
+pub use funseeker_baselines as baselines;
+pub use funseeker_corpus as corpus;
+pub use funseeker_disasm as disasm;
+pub use funseeker_eh as eh;
+pub use funseeker_elf as elf;
+pub use funseeker_eval as eval;

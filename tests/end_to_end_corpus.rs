@@ -1,0 +1,93 @@
+//! End-to-end acceptance tests over the synthetic corpus: the headline
+//! claims of the paper must hold on every fresh dataset.
+
+use funseeker_baselines::{FetchLike, FunSeekerTool, FunctionIdentifier, GhidraLike, IdaLike};
+use funseeker_corpus::{Arch, BuildConfig, Compiler, Dataset, DatasetParams};
+use funseeker_eval::Score;
+
+fn dataset(seed: u64) -> Dataset {
+    let mut params = DatasetParams::tiny();
+    params.programs = (4, 2, 4);
+    params.configs = BuildConfig::grid();
+    Dataset::generate(&params, seed)
+}
+
+fn total_score(ds: &Dataset, tool: &dyn FunctionIdentifier) -> Score {
+    let mut total = Score::default();
+    for bin in &ds.binaries {
+        let found = tool.identify(&bin.bytes).expect("corpus binary analyzable");
+        total += Score::from_sets(&found, &bin.truth.eval_entries());
+    }
+    total
+}
+
+#[test]
+fn headline_claim_funseeker_beats_every_baseline() {
+    // Multiple seeds: the ordering must be robust, not a lucky draw.
+    for seed in [1u64, 77, 424242] {
+        let ds = dataset(seed);
+        let fun = total_score(&ds, &FunSeekerTool::new());
+        assert!(fun.precision() > 0.98, "seed {seed}: precision {:.4}", fun.precision());
+        assert!(fun.recall() > 0.99, "seed {seed}: recall {:.4}", fun.recall());
+
+        for tool in [&IdaLike as &dyn FunctionIdentifier, &GhidraLike, &FetchLike] {
+            let s = total_score(&ds, tool);
+            assert!(
+                fun.precision() >= s.precision(),
+                "seed {seed}: {} precision {:.4} beats FunSeeker {:.4}",
+                tool.name(),
+                s.precision(),
+                fun.precision()
+            );
+            assert!(
+                fun.recall() > s.recall(),
+                "seed {seed}: {} recall {:.4} not below FunSeeker {:.4}",
+                tool.name(),
+                s.recall(),
+                fun.recall()
+            );
+        }
+    }
+}
+
+#[test]
+fn eh_based_tools_collapse_without_fdes() {
+    let ds = dataset(99);
+    // Restrict to the Clang/x86/C binaries — the no-FDE regime.
+    let mut fetch = Score::default();
+    let mut funseeker = Score::default();
+    for bin in ds.binaries.iter().filter(|b| {
+        b.config.compiler == Compiler::Clang
+            && b.config.arch == Arch::X86
+            && b.truth.landing_pad_endbrs.is_empty()
+    }) {
+        let truth = bin.truth.eval_entries();
+        fetch += Score::from_sets(&FetchLike.identify(&bin.bytes).unwrap(), &truth);
+        funseeker += Score::from_sets(&FunSeekerTool::new().identify(&bin.bytes).unwrap(), &truth);
+    }
+    assert!(fetch.recall() < 0.05, "FETCH without FDEs should find ~nothing, got {:.3}", fetch.recall());
+    assert!(funseeker.recall() > 0.99, "FunSeeker is FDE-independent, got {:.3}", funseeker.recall());
+}
+
+#[test]
+fn results_are_deterministic() {
+    let ds = dataset(5);
+    let tool = FunSeekerTool::new();
+    for bin in ds.binaries.iter().take(10) {
+        let a = tool.identify(&bin.bytes).unwrap();
+        let b = tool.identify(&bin.bytes).unwrap();
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn strawman_loses_to_full_pipeline_everywhere() {
+    use funseeker_baselines::NaiveEndbr;
+    let ds = dataset(3);
+    let naive = total_score(&ds, &NaiveEndbr);
+    let full = total_score(&ds, &FunSeekerTool::new());
+    assert!(full.precision() > naive.precision());
+    assert!(full.recall() > naive.recall());
+    // The strawman's recall ceiling is the EndBrAtHead share (~89%).
+    assert!(naive.recall() < 0.93);
+}

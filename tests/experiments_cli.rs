@@ -1,0 +1,56 @@
+//! Smoke tests for the `experiments` binary — the artifact a user runs
+//! to regenerate the paper's tables.
+
+use std::process::Command;
+
+fn run_experiments(args: &[&str]) -> (String, String, bool) {
+    // cargo test binaries live in target/<profile>/deps; the experiments
+    // binary in target/<profile>. Use `cargo run` to be robust to layout.
+    let out = Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "-p", "funseeker-eval", "--bin", "experiments", "--"])
+        .args(args)
+        .output()
+        .expect("spawn cargo run");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn table1_markdown_output() {
+    let (stdout, stderr, ok) = run_experiments(&["table1", "--scale", "tiny", "--seed", "3"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("Table I"), "{stdout}");
+    assert!(stdout.contains("Func. Entry %"));
+    assert!(stdout.contains("SPEC CPU 2017"));
+    assert!(stderr.contains("corpus ready"));
+}
+
+#[test]
+fn table3_csv_output_is_machine_readable() {
+    let (stdout, _, ok) = run_experiments(&["table3", "--scale", "tiny", "--seed", "3", "--csv"]);
+    assert!(ok);
+    let mut lines = stdout.lines();
+    let header = lines.next().expect("csv header");
+    assert!(header.starts_with("Arch,Suite,FunSeeker P"));
+    let n_cols = header.split(',').count();
+    let mut rows = 0;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        assert_eq!(line.split(',').count(), n_cols, "ragged CSV row: {line}");
+        rows += 1;
+    }
+    assert!(rows >= 6, "expected per-arch/suite rows + total, got {rows}");
+}
+
+#[test]
+fn bad_arguments_exit_nonzero() {
+    let (_, _, ok) = run_experiments(&["no-such-table"]);
+    assert!(!ok);
+    let (_, _, ok) = run_experiments(&["table1", "--scale", "bogus"]);
+    assert!(!ok);
+}

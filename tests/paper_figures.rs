@@ -1,0 +1,210 @@
+//! Integration tests reconstructing the paper's running examples
+//! (Figures 1 and 2) as hand-assembled binaries, end to end through the
+//! ELF builder, the EH writer, the disassembler, and FunSeeker.
+
+use std::collections::BTreeSet;
+
+use funseeker::{Config, FunSeeker};
+use funseeker_eh::{CallSite, EhFrameBuilder, ExceptTableBuilder, LsdaBuilder};
+use funseeker_elf::section::{SHF_ALLOC, SHF_EXECINSTR};
+use funseeker_elf::{Class, ElfBuilder, Machine, ObjectType, Reloc, Symbol, SymbolBinding, SymbolType};
+
+fn undef_func(name: &str) -> Symbol {
+    Symbol {
+        name: name.into(),
+        value: 0,
+        size: 0,
+        symbol_type: SymbolType::Func,
+        binding: SymbolBinding::Global,
+        shndx: 0,
+    }
+}
+
+/// Figure 1: `foo` and `main`, a switch with `notrack jmp`, and an
+/// indirect call through a function pointer.
+#[test]
+fn figure1_ibt_example() {
+    // foo:  endbr64; ret
+    // main: endbr64; lea rcx,[rip+foo]; notrack jmp rdx would be live
+    //       code; call rcx; ret
+    let text_addr = 0x401000u64;
+    let mut text = Vec::new();
+    let foo = text_addr;
+    text.extend_from_slice(&[0xf3, 0x0f, 0x1e, 0xfa]); // endbr64
+    text.push(0xc3); // ret
+    while text.len() % 16 != 0 {
+        text.push(0x90);
+    }
+    let main = text_addr + text.len() as u64;
+    text.extend_from_slice(&[0xf3, 0x0f, 0x1e, 0xfa]); // endbr64
+    // lea rcx, [rip + disp32 → foo]
+    let lea_end = main + 4 + 7;
+    text.extend_from_slice(&[0x48, 0x8d, 0x0d]);
+    text.extend_from_slice(&((foo.wrapping_sub(lea_end)) as u32).to_le_bytes());
+    text.extend_from_slice(&[0x3e, 0xff, 0xe2]); // notrack jmp rdx
+    text.extend_from_slice(&[0xff, 0xd1]); // call rcx
+    text.push(0xc3); // ret
+
+    let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::Executable);
+    b.entry(main);
+    b.text(".text", text_addr, text);
+    let bytes = b.build().unwrap();
+
+    let a = FunSeeker::new().identify(&bytes).unwrap();
+    let expect: BTreeSet<u64> = [foo, main].into_iter().collect();
+    assert_eq!(a.functions, expect);
+    assert_eq!(a.endbr_count, 2);
+    assert_eq!(a.filtered_endbrs, 0);
+}
+
+/// Figure 2a: an end-branch after a `setjmp` call site must be filtered,
+/// because it is a return point of an indirect-return function, not a
+/// function entry.
+#[test]
+fn figure2a_setjmp_return_point() {
+    let plt_addr = 0x400800u64;
+    let text_addr = 0x401000u64;
+
+    // sort_files: endbr64; call setjmp@plt; endbr64; test eax,eax; ret
+    let mut text = Vec::new();
+    let sort_files = text_addr;
+    text.extend_from_slice(&[0xf3, 0x0f, 0x1e, 0xfa]);
+    let call_site = text_addr + text.len() as u64;
+    let setjmp_stub = plt_addr + 16; // entry index 1 (PLT0 is slot 0)
+    text.push(0xe8);
+    text.extend_from_slice(&((setjmp_stub.wrapping_sub(call_site + 5)) as u32).to_le_bytes());
+    let return_point = text_addr + text.len() as u64;
+    text.extend_from_slice(&[0xf3, 0x0f, 0x1e, 0xfa]); // the Figure 2a endbr
+    text.extend_from_slice(&[0x85, 0xc0]); // test eax, eax
+    text.push(0xc3);
+
+    let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::Executable);
+    b.entry(sort_files);
+    b.progbits(".plt", plt_addr, SHF_ALLOC | SHF_EXECINSTR, vec![0x90u8; 32]);
+    b.text(".text", text_addr, text);
+    b.symbol_table(".dynsym", 0, &[undef_func("setjmp")]);
+    b.plt_relocations(
+        0x400700,
+        &[Reloc { offset: 0x404018, rtype: funseeker_elf::reloc::R_X86_64_JUMP_SLOT, symbol: 1, addend: 0 }],
+    );
+    let bytes = b.build().unwrap();
+
+    // Full pipeline: the return-point endbr is filtered.
+    let full = FunSeeker::new().identify(&bytes).unwrap();
+    assert!(full.functions.contains(&sort_files));
+    assert!(!full.functions.contains(&return_point), "setjmp return point must not be a function");
+    assert_eq!(full.filtered_endbrs, 1);
+
+    // Configuration ① (no filtering) reports it — the false positive the
+    // paper's Table II quantifies.
+    let naive = FunSeeker::with_config(Config::c1()).identify(&bytes).unwrap();
+    assert!(naive.functions.contains(&return_point));
+}
+
+/// Figure 2b: a C++ catch-block landing pad starts with an end-branch;
+/// FILTERENDBR removes it using the LSDA.
+#[test]
+fn figure2b_exception_landing_pad() {
+    let text_addr = 0x109000u64;
+
+    // _ZN8MoleculeC2Ev: endbr64; …; ret; [landing pad] endbr64; mov r12,rax; ret
+    let mut text = Vec::new();
+    let ctor = text_addr;
+    text.extend_from_slice(&[0xf3, 0x0f, 0x1e, 0xfa]);
+    text.extend_from_slice(&[0x41, 0x5c]); // pop r12
+    text.push(0xc3); // ret
+    let pad = text_addr + text.len() as u64;
+    text.extend_from_slice(&[0xf3, 0x0f, 0x1e, 0xfa]); // catch-block endbr
+    text.extend_from_slice(&[0x49, 0x89, 0xc4]); // mov r12, rax
+    text.push(0xc3);
+    let func_len = text.len() as u64;
+
+    // LSDA for the constructor covering its body with one landing pad.
+    let gx_addr = 0x10a000u64;
+    let mut lsda = LsdaBuilder::new();
+    lsda.call_site(CallSite { start: 4, len: 3, landing_pad: pad - ctor, action: 1 });
+    let mut gx = ExceptTableBuilder::new(gx_addr);
+    let lsda_addr = gx.add(&lsda);
+    let (gx_bytes, _) = gx.finish();
+
+    let eh_addr = 0x10b000u64;
+    let mut eh = EhFrameBuilder::new(eh_addr, true);
+    eh.add_fde(ctor, func_len, Some(lsda_addr));
+    let eh_bytes = eh.finish();
+
+    let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::SharedObject);
+    b.entry(ctor);
+    b.text(".text", text_addr, text);
+    b.progbits(".gcc_except_table", gx_addr, SHF_ALLOC, gx_bytes);
+    b.progbits(".eh_frame", eh_addr, SHF_ALLOC, eh_bytes);
+    let bytes = b.build().unwrap();
+
+    let full = FunSeeker::new().identify(&bytes).unwrap();
+    assert!(full.functions.contains(&ctor));
+    assert!(!full.functions.contains(&pad), "landing pad must not be a function");
+    assert_eq!(full.filtered_endbrs, 1);
+
+    let naive = FunSeeker::with_config(Config::c1()).identify(&bytes).unwrap();
+    assert!(naive.functions.contains(&pad), "① misreports the catch block (Table II, SPEC rows)");
+}
+
+/// Tail-call selection on a minimal hand-built scene: a shared target is
+/// recovered, a single-caller target is not (§IV-D conditions).
+#[test]
+fn tail_call_selection_conditions() {
+    let text_addr = 0x401000u64;
+    let mut text = Vec::new();
+    let mut functions = Vec::new();
+
+    // Three endbr'd callers, each tail-jumping to `shared`; one of them
+    // also tail-jumps to `single` in a second copy.
+    // Layout: f0, f1, f2, shared (no endbr), single (no endbr).
+    let mut jmp_fixups = Vec::new(); // (pos, which_target)
+    for i in 0..3 {
+        while text.len() % 16 != 0 {
+            text.push(0x90);
+        }
+        functions.push(text_addr + text.len() as u64);
+        text.extend_from_slice(&[0xf3, 0x0f, 0x1e, 0xfa]);
+        text.extend_from_slice(&[0x31, 0xc0]); // xor eax, eax
+        text.push(0xe9); // jmp rel32 → shared
+        jmp_fixups.push((text.len(), 0usize));
+        text.extend_from_slice(&[0; 4]);
+        if i == 0 {
+            text.push(0xe9); // jmp rel32 → single
+            jmp_fixups.push((text.len(), 1));
+            text.extend_from_slice(&[0; 4]);
+        }
+    }
+    while text.len() % 16 != 0 {
+        text.push(0x90);
+    }
+    let shared = text_addr + text.len() as u64;
+    text.extend_from_slice(&[0x31, 0xc0, 0xc3]); // xor eax,eax; ret
+    while text.len() % 16 != 0 {
+        text.push(0x90);
+    }
+    let single = text_addr + text.len() as u64;
+    text.extend_from_slice(&[0x31, 0xd2, 0xc3]); // xor edx,edx; ret
+    let targets = [shared, single];
+    for (pos, which) in jmp_fixups {
+        let next = text_addr + pos as u64 + 4;
+        let rel = (targets[which].wrapping_sub(next)) as u32;
+        text[pos..pos + 4].copy_from_slice(&rel.to_le_bytes());
+    }
+
+    let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::Executable);
+    b.entry(functions[0]);
+    b.text(".text", text_addr, text);
+    let bytes = b.build().unwrap();
+
+    let full = FunSeeker::new().identify(&bytes).unwrap();
+    assert!(full.functions.contains(&shared), "two distinct referers → selected");
+    assert!(!full.functions.contains(&single), "one referer → rejected (the §V-C FN class)");
+    assert_eq!(full.tail_target_count, 1);
+
+    // Configuration ③ takes both (and would flood on real binaries).
+    let c3 = FunSeeker::with_config(Config::c3()).identify(&bytes).unwrap();
+    assert!(c3.functions.contains(&shared));
+    assert!(c3.functions.contains(&single));
+}

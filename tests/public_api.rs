@@ -1,0 +1,63 @@
+//! Public-API contract tests: the surfaces downstream users program
+//! against stay stable and composable across crates.
+
+use funseeker::{Config, FunSeeker};
+use funseeker_corpus::{Dataset, DatasetParams};
+
+#[test]
+fn suite_facade_reexports_all_crates() {
+    // The root crate re-exports everything under one namespace.
+    use funseeker_suite as suite;
+    let _ = suite::funseeker::Config::c4();
+    let _ = suite::corpus::DatasetParams::tiny();
+    let _ = suite::disasm::Mode::Bits64;
+    let _ = suite::elf::Class::Elf64;
+    let _ = suite::eh::CallSite { start: 0, len: 0, landing_pad: 0, action: 0 };
+    let _ = suite::baselines::NaiveEndbr;
+    let _ = suite::aarch64::ArmParams::default();
+    let _ = suite::eval::Score::default();
+}
+
+#[test]
+fn analysis_is_self_describing() {
+    let ds = Dataset::generate(&DatasetParams::tiny(), 1);
+    let bin = &ds.binaries[0];
+    let a = FunSeeker::new().identify(&bin.bytes).unwrap();
+
+    // Accounting invariants a consumer can rely on.
+    assert!(a.functions.len() <= a.endbr_count + a.call_target_count + a.tail_target_count);
+    assert!(a.filtered_endbrs <= a.endbr_count);
+    assert!(a.tail_target_count <= a.jmp_target_count);
+    assert!(a.text_range.0 < a.text_range.1);
+    assert!(a.cet_enabled, "corpus binaries declare full CET");
+
+    // Config accessor reflects construction.
+    let seeker = FunSeeker::with_config(Config::c2());
+    assert_eq!(seeker.config(), Config::c2());
+}
+
+#[test]
+fn errors_are_printable_and_sourced() {
+    let err = FunSeeker::new().identify(b"not an elf").unwrap_err();
+    let text = format!("{err}");
+    assert!(!text.is_empty());
+    // Error chains expose the underlying ELF failure.
+    assert!(std::error::Error::source(&err).is_some());
+}
+
+#[test]
+fn bounds_compose_with_identify() {
+    let ds = Dataset::generate(&DatasetParams::tiny(), 2);
+    let bin = &ds.binaries[0];
+    let a = FunSeeker::new().identify(&bin.bytes).unwrap();
+    let parsed = funseeker::parse::parse(&bin.bytes).unwrap();
+    let bounds = funseeker::estimate_bounds(&parsed, &a.functions);
+    assert_eq!(bounds.len(), a.functions.len());
+    // Ranges are sorted, non-overlapping, within .text.
+    for w in bounds.windows(2) {
+        assert!(w[0].end <= w[1].start);
+    }
+    for b in &bounds {
+        assert!(b.start >= a.text_range.0 && b.end <= a.text_range.1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Failure injection: the whole pipeline must be total — corrupt,
+//! truncated, or adversarial inputs produce errors or degraded results,
+//! never panics.
+
+use funseeker::FunSeeker;
+use funseeker_baselines::{FetchLike, FunctionIdentifier, GhidraLike, IdaLike, NaiveEndbr};
+use funseeker_corpus::{compile, BuildConfig, FunctionSpec, Lang, ProgramSpec};
+use proptest::prelude::*;
+
+fn sample_binary() -> Vec<u8> {
+    let mut main = FunctionSpec::named("main");
+    main.calls = vec![1];
+    main.switch_cases = 3;
+    main.setjmp = true;
+    let mut helper = FunctionSpec::named("helper");
+    helper.landing_pads = 1;
+    let spec = ProgramSpec { name: "robust".into(), lang: Lang::Cpp, functions: vec![main, helper] };
+    let cfg = BuildConfig {
+        compiler: funseeker_corpus::Compiler::Gcc,
+        arch: funseeker_corpus::Arch::X64,
+        opt: funseeker_corpus::OptLevel::O2,
+        pie: true,
+    };
+    compile(&spec, cfg, 1).bytes
+}
+
+fn run_all_tools(bytes: &[u8]) {
+    let _ = FunSeeker::new().identify(bytes);
+    let _ = FetchLike.identify(bytes);
+    let _ = GhidraLike.identify(bytes);
+    let _ = IdaLike.identify(bytes);
+    let _ = NaiveEndbr.identify(bytes);
+}
+
+#[test]
+fn truncation_at_every_boundary_class() {
+    let bytes = sample_binary();
+    // Truncate at a spread of prefixes, including mid-header, mid-section
+    // table, and mid-.text cuts.
+    let mut cuts: Vec<usize> = (0..64).collect();
+    cuts.extend((0..32).map(|i| bytes.len() * (i + 1) / 33));
+    for cut in cuts {
+        run_all_tools(&bytes[..cut.min(bytes.len())]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random byte flips anywhere in the image never panic any tool.
+    #[test]
+    fn random_corruption_never_panics(
+        flips in proptest::collection::vec((any::<usize>(), any::<u8>()), 1..32)
+    ) {
+        let mut bytes = sample_binary();
+        for (pos, val) in flips {
+            let len = bytes.len();
+            bytes[pos % len] = val;
+        }
+        run_all_tools(&bytes);
+    }
+
+    /// Corruption targeted at the exception metadata degrades gracefully:
+    /// FunSeeker still runs and still reports a function set.
+    #[test]
+    fn corrupt_eh_metadata_degrades_gracefully(
+        flips in proptest::collection::vec((any::<usize>(), any::<u8>()), 1..16)
+    ) {
+        let bytes = sample_binary();
+        let elf = funseeker_elf::Elf::parse(&bytes).unwrap();
+        let mut ranges = Vec::new();
+        for name in [".eh_frame", ".gcc_except_table"] {
+            if let Some(sec) = elf.section_by_name(name) {
+                if let Some(r) = sec.file_range() {
+                    ranges.push(r);
+                }
+            }
+        }
+        prop_assume!(!ranges.is_empty());
+        let mut mutated = bytes.clone();
+        for (pos, val) in flips {
+            let (start, end) = ranges[pos % ranges.len()];
+            let width = end - start;
+            mutated[start + (pos / ranges.len()) % width.max(1)] = val;
+        }
+        // Must not panic; when it still parses, the function set is
+        // non-empty (the sweep itself is unaffected by EH corruption).
+        if let Ok(analysis) = FunSeeker::new().identify(&mutated) {
+            prop_assert!(!analysis.functions.is_empty());
+        }
+    }
+
+    /// Entire random buffers (non-ELF) are rejected, not crashed on.
+    #[test]
+    fn arbitrary_buffers_are_rejected(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        prop_assume!(bytes.get(..4) != Some(b"\x7fELF"));
+        prop_assert!(FunSeeker::new().identify(&bytes).is_err());
+    }
+}
+
+#[test]
+fn zero_filled_sections_are_handled() {
+    // A valid ELF whose .text is all zeroes: `add [rax], al` decodes
+    // everywhere, no functions are found, nothing crashes.
+    use funseeker_elf::{Class, ElfBuilder, Machine, ObjectType};
+    let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::Executable);
+    b.text(".text", 0x1000, vec![0u8; 4096]);
+    let bytes = b.build().unwrap();
+    let a = FunSeeker::new().identify(&bytes).unwrap();
+    assert!(a.functions.is_empty());
+}
+
+#[test]
+fn data_in_text_resyncs() {
+    // Hand-written-assembly scenario (§VI): a jump table embedded in
+    // .text desynchronizes the sweep locally, but decoding recovers and
+    // the endbr'd function after the data is still found.
+    use funseeker_elf::{Class, ElfBuilder, Machine, ObjectType};
+    let text_addr = 0x1000u64;
+    let mut text = vec![0xf3, 0x0f, 0x1e, 0xfa, 0xc3]; // endbr64; ret
+    // 64 bytes of pointer-like data (mostly undecodable in sequence).
+    for i in 0..8u64 {
+        text.extend_from_slice(&(0x0620_0000_0000 + i).to_le_bytes());
+    }
+    while text.len() % 16 != 0 {
+        text.push(0x90);
+    }
+    let second = text_addr + text.len() as u64;
+    text.extend_from_slice(&[0xf3, 0x0f, 0x1e, 0xfa, 0x31, 0xc0, 0xc3]);
+    let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::Executable);
+    b.text(".text", text_addr, text);
+    let bytes = b.build().unwrap();
+    let a = FunSeeker::new().identify(&bytes).unwrap();
+    assert!(a.functions.contains(&text_addr));
+    assert!(a.functions.contains(&second), "sweep must resync past embedded data");
+}
+
+#[test]
+fn pattern_scan_recovers_swallowed_endbr() {
+    // §VI future-work scenario: inline data ends with the first byte of a
+    // long instruction (48 B8 = mov rax, imm64), whose 8-byte immediate
+    // swallows the next function's ENDBR during the linear sweep. The
+    // superset pattern scan recovers it.
+    use funseeker_elf::{Class, ElfBuilder, Machine, ObjectType};
+    let text_addr = 0x1000u64;
+    let mut text = vec![0xf3, 0x0f, 0x1e, 0xfa, 0xc3]; // f0: endbr64; ret
+    // "Data" that happens to end with 48 B8 right before the next entry:
+    // the sweep decodes the nops, then `mov rax, imm64` swallows the
+    // ENDBR into its immediate.
+    text.extend_from_slice(&[0x90, 0x90, 0x90, 0x48, 0xb8]);
+    let hidden = text_addr + text.len() as u64;
+    text.extend_from_slice(&[0xf3, 0x0f, 0x1e, 0xfa, 0x31, 0xc0, 0xc3]); // hidden fn
+    let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::Executable);
+    b.text(".text", text_addr, text);
+    let bytes = b.build().unwrap();
+
+    // The plain linear pipeline misses the hidden entry…
+    let linear = funseeker::FunSeeker::new().identify(&bytes).unwrap();
+    assert!(!linear.functions.contains(&hidden), "test premise: linear sweep desyncs");
+
+    // …the superset scan recovers it.
+    let cfg = funseeker::Config { endbr_pattern_scan: true, ..funseeker::Config::c4() };
+    let scan = funseeker::FunSeeker::with_config(cfg).identify(&bytes).unwrap();
+    assert!(scan.functions.contains(&hidden));
+    assert!(scan.functions.contains(&text_addr));
+}
