@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local CI gate: everything a pull request must pass.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> CI gate passed"

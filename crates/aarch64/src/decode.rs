@@ -63,7 +63,9 @@ impl A64Kind {
     /// Direct branch destination, if any.
     pub fn direct_target(self) -> Option<u64> {
         match self {
-            A64Kind::Bl { target } | A64Kind::B { target } | A64Kind::BCond { target } => Some(target),
+            A64Kind::Bl { target } | A64Kind::B { target } | A64Kind::BCond { target } => {
+                Some(target)
+            }
             _ => None,
         }
     }
@@ -170,7 +172,9 @@ mod tests {
 
     #[test]
     fn ordinary_instructions_are_other() {
-        for w in [0x9100_0000u32 /* add */, 0xF940_0000 /* ldr */, 0xAA00_03E0 /* mov */] {
+        for w in
+            [0x9100_0000u32 /* add */, 0xF940_0000 /* ldr */, 0xAA00_03E0 /* mov */]
+        {
             assert_eq!(decode_a64(w, 0), A64Kind::Other);
         }
     }

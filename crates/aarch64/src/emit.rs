@@ -123,11 +123,11 @@ pub fn generate(params: ArmParams, seed: u64) -> ArmBinary {
     // Call graph over ~half the functions.
     let pool: Vec<usize> = (1..n).filter(|&i| !plan[i].dead && rng.gen_bool(0.5)).collect();
     if !pool.is_empty() {
-        for i in 0..n {
+        for (i, f) in plan.iter_mut().enumerate().take(n) {
             for _ in 0..rng.gen_range(0..3usize) {
                 let c = pool[rng.gen_range(0..pool.len())];
-                if c != i && !plan[i].calls.contains(&c) {
-                    plan[i].calls.push(c);
+                if c != i && !f.calls.contains(&c) {
+                    f.calls.push(c);
                 }
             }
         }
@@ -284,10 +284,8 @@ mod tests {
 
         // Every marked function starts with a call-valid landing pad;
         // every unmarked one does not.
-        let landings: std::collections::BTreeSet<u64> = sweep_a64(text, addr)
-            .filter(|(_, k)| k.is_call_landing())
-            .map(|(a, _)| a)
-            .collect();
+        let landings: std::collections::BTreeSet<u64> =
+            sweep_a64(text, addr).filter(|(_, k)| k.is_call_landing()).map(|(a, _)| a).collect();
         for f in &bin.functions {
             assert_eq!(landings.contains(&f.addr), f.has_bti, "{}", f.name);
         }
@@ -295,8 +293,7 @@ mod tests {
 
     #[test]
     fn switch_labels_are_bti_j_not_c() {
-        let mut params = ArmParams::default();
-        params.switch_frac = 1.0;
+        let params = ArmParams { switch_frac: 1.0, ..Default::default() };
         let bin = generate(params, 3);
         let elf = funseeker_elf::Elf::parse(&bin.bytes).unwrap();
         let (addr, text) = elf.section_bytes(".text").unwrap();

@@ -108,7 +108,12 @@ impl BtiSeeker {
 
         let mut tail_count = 0;
         if self.config.select_tail_calls {
-            let tails = select_tail_calls(&functions, &jmp_edges, self.config.min_tail_referers);
+            let tails = select_tail_calls(
+                &functions,
+                &jmp_edges,
+                self.config.min_tail_referers,
+                &[text_addr],
+            );
             tail_count = tails.len();
             functions.extend(tails);
         }
@@ -148,8 +153,7 @@ mod tests {
 
     #[test]
     fn bti_j_labels_are_never_reported() {
-        let mut params = ArmParams::default();
-        params.switch_frac = 1.0;
+        let params = ArmParams { switch_frac: 1.0, ..Default::default() };
         let bin = generate(params, 9);
         let a = BtiSeeker::new().identify(&bin.bytes).unwrap();
         assert!(a.bti_j_count > 0);

@@ -30,7 +30,7 @@ pub mod identify;
 pub mod note;
 
 pub use decode::{decode_a64, sweep_a64, A64Kind};
-pub use format::{format_a64, format_region};
 pub use emit::{generate, ArmBinary, ArmFunctionTruth, ArmParams, EM_AARCH64};
+pub use format::{format_a64, format_region};
 pub use identify::{ArmAnalysis, BtiConfig, BtiSeeker};
 pub use note::{bti_properties, build_bti_note, BtiProperties};

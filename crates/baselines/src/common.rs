@@ -1,10 +1,13 @@
 //! Shared front-end for the baseline identifiers.
+//!
+//! Every tool consumes the same [`Prepared`] view — one PARSE and one
+//! linear sweep per binary, shared with FunSeeker itself — instead of
+//! re-decoding the image per tool.
 
 use std::collections::BTreeSet;
 
-use funseeker_disasm::{Insn, InsnKind, LinearSweep, Mode};
-use funseeker_eh::parse_eh_frame;
-use funseeker_elf::{Class, Elf};
+use funseeker::{prepare, Prepared};
+use funseeker_disasm::Mode;
 
 /// A uniform interface over all function identifiers in the comparison
 /// (Table III).
@@ -12,68 +15,28 @@ pub trait FunctionIdentifier {
     /// Tool name as it appears in result tables.
     fn name(&self) -> &'static str;
 
+    /// Identifies function entry addresses from a prepared binary,
+    /// reusing its shared sweep index.
+    fn identify_prepared(&self, prepared: &Prepared<'_>)
+        -> Result<BTreeSet<u64>, funseeker::Error>;
+
     /// Identifies function entry addresses in a raw ELF image.
-    fn identify(&self, bytes: &[u8]) -> Result<BTreeSet<u64>, funseeker::Error>;
+    fn identify(&self, bytes: &[u8]) -> Result<BTreeSet<u64>, funseeker::Error> {
+        self.identify_prepared(&prepare(bytes)?)
+    }
 }
 
-/// Pre-parsed image shared by the baselines.
-#[derive(Debug, Clone)]
-pub struct Image<'a> {
-    /// `.text` load address.
-    pub text_addr: u64,
-    /// `.text` bytes.
-    pub text: &'a [u8],
-    /// Decode mode.
-    pub mode: Mode,
-    /// Entry point.
-    pub entry: u64,
-    /// FDE `pc_begin` values (empty when `.eh_frame` is absent or
-    /// unparseable).
-    pub fde_begins: Vec<u64>,
-    /// FDE ranges `(pc_begin, pc_range)`.
-    pub fde_ranges: Vec<(u64, u64)>,
+/// FDE `pc_begin` values that land inside the analyzed code.
+pub fn fde_begins_in_code<'p>(p: &'p Prepared<'_>) -> impl Iterator<Item = u64> + 'p {
+    p.parsed.fde_ranges.iter().map(|&(b, _)| b).filter(|&a| p.parsed.in_code(a))
 }
 
-impl<'a> Image<'a> {
-    /// Parses the sections every baseline needs.
-    pub fn load(bytes: &'a [u8]) -> Result<Self, funseeker::Error> {
-        let elf = Elf::parse(bytes)?;
-        let (text_addr, text) = elf.section_bytes(".text").ok_or(funseeker::Error::NoText)?;
-        let wide = elf.class() == Class::Elf64;
-        let mode = if wide { Mode::Bits64 } else { Mode::Bits32 };
-        let mut fde_begins = Vec::new();
-        let mut fde_ranges = Vec::new();
-        if let Some((addr, data)) = elf.section_bytes(".eh_frame") {
-            if let Ok(frame) = parse_eh_frame(data, addr, wide) {
-                for fde in frame.fdes {
-                    fde_begins.push(fde.pc_begin);
-                    fde_ranges.push((fde.pc_begin, fde.pc_range));
-                }
-            }
-        }
-        Ok(Image { text_addr, text, mode, entry: elf.header.entry, fde_begins, fde_ranges })
-    }
-
-    /// End of `.text` (exclusive).
-    pub fn text_end(&self) -> u64 {
-        self.text_addr + self.text.len() as u64
-    }
-
-    /// Whether `addr` is inside `.text`.
-    pub fn in_text(&self, addr: u64) -> bool {
-        addr >= self.text_addr && addr < self.text_end()
-    }
-
-    /// Linear sweep over the whole `.text`.
-    pub fn sweep(&self) -> Vec<Insn> {
-        LinearSweep::new(self.text, self.text_addr, self.mode).collect()
-    }
-
-    /// Raw bytes at a virtual address.
-    pub fn bytes_at(&self, addr: u64, n: usize) -> Option<&'a [u8]> {
-        let off = addr.checked_sub(self.text_addr)? as usize;
-        self.text.get(off..off.checked_add(n)?)
-    }
+/// Up to `max` raw bytes starting at `addr`, clamped to the end of the
+/// containing code region.
+pub fn window_at<'d>(p: &Prepared<'d>, addr: u64, max: usize) -> Option<&'d [u8]> {
+    let region = p.parsed.code.region_of(addr)?;
+    let avail = usize::try_from(region.end() - addr).unwrap_or(usize::MAX).min(max);
+    p.parsed.code.bytes_at(addr, avail)
 }
 
 /// Does `addr` start with a classic frame prologue?
@@ -84,77 +47,67 @@ impl<'a> Image<'a> {
 ///
 /// * x86-64: `[endbr64] push rbp; mov rbp, rsp`
 /// * x86:    `[endbr32] push ebp; mov ebp, esp`
-pub fn has_frame_prologue(img: &Image<'_>, addr: u64) -> bool {
-    let avail = (img.text_end().saturating_sub(addr)).min(8) as usize;
-    let Some(head) = img.bytes_at(addr, avail) else { return false };
+pub fn has_frame_prologue(p: &Prepared<'_>, addr: u64) -> bool {
+    let Some(head) = window_at(p, addr, 8) else { return false };
     let body = if head.get(..3) == Some(&[0xf3, 0x0f, 0x1e]) && head.len() > 4 {
         &head[4..]
     } else {
         head
     };
-    match img.mode {
+    match p.parsed.mode() {
         Mode::Bits64 => body.starts_with(&[0x55, 0x48, 0x89, 0xe5]),
         Mode::Bits32 => body.starts_with(&[0x55, 0x89, 0xe5]),
     }
 }
 
-/// Collects direct call targets reachable in `insns` (within `.text`).
-pub fn call_targets(img: &Image<'_>, insns: &[Insn]) -> BTreeSet<u64> {
-    insns
-        .iter()
-        .filter_map(|i| match i.kind {
-            InsnKind::CallRel { target } if img.in_text(target) => Some(target),
-            _ => None,
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use funseeker::parse::Parsed;
 
-    fn image_of(text: &'static [u8], mode: Mode) -> Image<'static> {
-        Image {
-            text_addr: 0x1000,
-            text,
-            mode,
-            entry: 0x1000,
-            fde_begins: vec![],
-            fde_ranges: vec![],
-        }
+    fn prepared_of(text: &'static [u8], wide: bool) -> Prepared<'static> {
+        Prepared::from_parsed(Parsed::from_region(0x1000, text, wide))
     }
 
     #[test]
     fn frame_prologue_detection() {
         // endbr64; push rbp; mov rbp, rsp
         static A: &[u8] = &[0xf3, 0x0f, 0x1e, 0xfa, 0x55, 0x48, 0x89, 0xe5, 0xc3];
-        let img = image_of(A, Mode::Bits64);
-        assert!(has_frame_prologue(&img, 0x1000));
-        assert!(has_frame_prologue(&img, 0x1004), "bare push rbp; mov rbp,rsp also matches");
-        assert!(!has_frame_prologue(&img, 0x1005));
+        let p = prepared_of(A, true);
+        assert!(has_frame_prologue(&p, 0x1000));
+        assert!(has_frame_prologue(&p, 0x1004), "bare push rbp; mov rbp,rsp also matches");
+        assert!(!has_frame_prologue(&p, 0x1005));
 
         static B: &[u8] = &[0x55, 0x89, 0xe5, 0xc3, 0x90, 0x90, 0x90, 0x90];
-        let img = image_of(B, Mode::Bits32);
-        assert!(has_frame_prologue(&img, 0x1000));
-        assert!(!has_frame_prologue(&img, 0x1001));
+        let p = prepared_of(B, false);
+        assert!(has_frame_prologue(&p, 0x1000));
+        assert!(!has_frame_prologue(&p, 0x1001));
     }
 
     #[test]
     fn frameless_entry_is_not_a_prologue() {
         // endbr64; sub rsp, 0x18 — the O2 shape.
         static C: &[u8] = &[0xf3, 0x0f, 0x1e, 0xfa, 0x48, 0x83, 0xec, 0x18, 0xc3];
-        let img = image_of(C, Mode::Bits64);
-        assert!(!has_frame_prologue(&img, 0x1000));
+        let p = prepared_of(C, true);
+        assert!(!has_frame_prologue(&p, 0x1000));
     }
 
     #[test]
-    fn loads_own_executable() {
+    fn prepares_own_executable() {
         let bytes = std::fs::read("/proc/self/exe").unwrap();
-        let img = Image::load(&bytes).unwrap();
-        assert!(img.in_text(img.text_addr));
-        assert!(!img.fde_begins.is_empty(), "rustc emits FDEs");
-        let insns = img.sweep();
-        assert!(insns.len() > 1000);
-        assert!(!call_targets(&img, &insns).is_empty());
+        let p = prepare(&bytes).unwrap();
+        assert!(!p.parsed.fde_ranges.is_empty(), "rustc emits FDEs");
+        assert!(fde_begins_in_code(&p).next().is_some());
+        assert!(p.index.insns.len() > 1000);
+        assert!(!p.index.call_targets.is_empty());
+    }
+
+    #[test]
+    fn window_clamps_to_region_end() {
+        static D: &[u8] = &[0x90, 0x90, 0x90];
+        let p = prepared_of(D, true);
+        assert_eq!(window_at(&p, 0x1001, 16), Some(&D[1..]));
+        assert_eq!(window_at(&p, 0x1003, 16), None, "one past the end is outside the region");
+        assert_eq!(window_at(&p, 0x0fff, 16), None);
     }
 }

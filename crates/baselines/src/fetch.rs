@@ -25,9 +25,10 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use funseeker::Prepared;
 use funseeker_disasm::{decode, Insn, InsnKind, Mode};
 
-use crate::common::{FunctionIdentifier, Image};
+use crate::common::{fde_begins_in_code, window_at, FunctionIdentifier};
 
 /// The FETCH-style identifier.
 #[derive(Debug, Clone, Default)]
@@ -38,25 +39,23 @@ impl FunctionIdentifier for FetchLike {
         "FETCH"
     }
 
-    fn identify(&self, bytes: &[u8]) -> Result<BTreeSet<u64>, funseeker::Error> {
-        let img = Image::load(bytes)?;
-        let mut functions: BTreeSet<u64> =
-            img.fde_begins.iter().copied().filter(|&a| img.in_text(a)).collect();
+    fn identify_prepared(&self, p: &Prepared<'_>) -> Result<BTreeSet<u64>, funseeker::Error> {
+        let mut functions: BTreeSet<u64> = fde_begins_in_code(p).collect();
 
         // Pass 1: full-binary disassembly (FETCH disassembles everything,
-        // not just FDE ranges).
-        let insns = img.sweep();
-        let index_of: BTreeMap<u64, usize> = insns.iter().enumerate().map(|(i, x)| (x.addr, i)).collect();
+        // not just FDE ranges) — read from the shared sweep index.
+        let insns = &p.index.insns;
+        let index_of: BTreeMap<u64, usize> =
+            insns.iter().enumerate().map(|(i, x)| (x.addr, i)).collect();
 
-        let mut ranges: Vec<(u64, u64)> = img.fde_ranges.clone();
-        ranges.sort_unstable();
+        let ranges: &[(u64, u64)] = &p.parsed.fde_ranges; // (begin, end), sorted
         let owner = |addr: u64| -> Option<usize> {
             match ranges.binary_search_by(|&(b, _)| b.cmp(&addr)) {
                 Ok(i) => Some(i),
                 Err(0) => None,
                 Err(i) => {
-                    let (b, r) = ranges[i - 1];
-                    (addr < b + r).then_some(i - 1)
+                    let (_, e) = ranges[i - 1];
+                    (addr < e).then_some(i - 1)
                 }
             }
         };
@@ -65,18 +64,19 @@ impl FunctionIdentifier for FetchLike {
         // blocks to a fixpoint (heights propagate along fallthrough and
         // conditional edges).
         let mut tail_candidates: BTreeMap<u64, i64> = BTreeMap::new();
-        for &(begin, range) in &ranges {
-            if !img.in_text(begin) || range == 0 {
+        for &(begin, fde_end) in ranges {
+            let Some(region) = p.parsed.code.region_of(begin) else { continue };
+            if fde_end <= begin {
                 continue;
             }
-            // Corrupt FDEs can claim absurd ranges; clamp to .text.
-            let end = begin.saturating_add(range).min(img.text_end());
-            let heights = dataflow_heights(&img, &insns, &index_of, begin, end);
+            // Corrupt FDEs can claim absurd ranges; clamp to the region.
+            let end = fde_end.min(region.end());
+            let heights = dataflow_heights(p, insns, &index_of, begin, end);
             // Direct jumps leaving the FDE at height ≤ 0 are tail calls.
             let Some(&start_idx) = index_of.get(&begin) else { continue };
             for insn in insns[start_idx..].iter().take_while(|i| i.addr < end) {
                 if let InsnKind::JmpRel { target } = insn.kind {
-                    if img.in_text(target) && owner(target) != owner(insn.addr) {
+                    if p.parsed.in_code(target) && owner(target) != owner(insn.addr) {
                         if let Some(&h) = heights.get(&insn.addr) {
                             if h >= 0 {
                                 tail_candidates.insert(target, h);
@@ -89,13 +89,13 @@ impl FunctionIdentifier for FetchLike {
 
         // Pass 3: calling-convention probe on every function head and
         // every candidate (FETCH validates both).
-        for &(begin, _) in &ranges {
-            if img.in_text(begin) {
-                let _ = probe_function_head(&img, begin);
+        for &(begin, _) in ranges {
+            if p.parsed.in_code(begin) {
+                let _ = probe_function_head(p, begin);
             }
         }
         for &target in tail_candidates.keys() {
-            if probe_function_head(&img, target) {
+            if probe_function_head(p, target) {
                 functions.insert(target);
             }
         }
@@ -111,12 +111,13 @@ impl FunctionIdentifier for FetchLike {
 /// each instruction address. Conservative join: first-reached height
 /// wins; conflicting heights settle to the smaller absolute value.
 fn dataflow_heights(
-    img: &Image<'_>,
+    p: &Prepared<'_>,
     insns: &[Insn],
     index_of: &BTreeMap<u64, usize>,
     begin: u64,
     end: u64,
 ) -> BTreeMap<u64, i64> {
+    let mode = p.parsed.mode();
     let mut heights: BTreeMap<u64, i64> = BTreeMap::new();
     let mut worklist: Vec<(u64, i64)> = vec![(begin, 0)];
     let mut iterations = 0usize;
@@ -139,18 +140,19 @@ fn dataflow_heights(
                 _ => {}
             }
             heights.insert(insn.addr, h);
-            let Some(window) = img.bytes_at(insn.addr, insn.len as usize) else { break };
-            h += stack_delta(window, insn.len as usize, img.mode);
+            let Some(window) = p.parsed.code.bytes_at(insn.addr, insn.len as usize) else {
+                break;
+            };
+            h += stack_delta(window, insn.len as usize, mode);
             if matches!(insn.kind, InsnKind::Leave) {
                 // `leave` restores RSP from RBP: the whole frame unwinds,
                 // not one word — reset to the entry height.
                 h = 0;
             }
             match insn.kind {
-                InsnKind::Jcc { target }
-                    if target >= begin && target < end => {
-                        worklist.push((target, h));
-                    }
+                InsnKind::Jcc { target } if target >= begin && target < end => {
+                    worklist.push((target, h));
+                }
                 InsnKind::JmpRel { target } => {
                     if target >= begin && target < end && !heights.contains_key(&target) {
                         worklist.push((target, h));
@@ -183,22 +185,22 @@ fn stack_delta(bytes: &[u8], len: usize, mode: Mode) -> i64 {
         None => return 0,
     };
     match op {
-        0x50..=0x57 => -word,         // push reg
-        0x58..=0x5f => word,          // pop reg
-        0x68 | 0x6a => -word,         // push imm
-        0xc9 => word,                 // leave (frees the frame)
+        0x50..=0x57 => -word, // push reg
+        0x58..=0x5f => word,  // pop reg
+        0x68 | 0x6a => -word, // push imm
+        0xc9 => word,         // leave (frees the frame)
         0x83 => match rest.first() {
             Some(0xec) => -i64::from(*rest.get(1).unwrap_or(&0)), // sub esp, imm8
             Some(0xc4) => i64::from(*rest.get(1).unwrap_or(&0)),  // add esp, imm8
             _ => 0,
         },
         0x81 => match rest.first() {
-            Some(0xec) => {
-                -i64::from(u32::from_le_bytes(rest.get(1..5).map(|s| s.try_into().unwrap()).unwrap_or([0; 4])))
-            }
-            Some(0xc4) => {
-                i64::from(u32::from_le_bytes(rest.get(1..5).map(|s| s.try_into().unwrap()).unwrap_or([0; 4])))
-            }
+            Some(0xec) => -i64::from(u32::from_le_bytes(
+                rest.get(1..5).map(|s| s.try_into().unwrap()).unwrap_or([0; 4]),
+            )),
+            Some(0xc4) => i64::from(u32::from_le_bytes(
+                rest.get(1..5).map(|s| s.try_into().unwrap()).unwrap_or([0; 4]),
+            )),
             _ => 0,
         },
         _ => 0,
@@ -208,17 +210,17 @@ fn stack_delta(bytes: &[u8], len: usize, mode: Mode) -> i64 {
 /// Calling-convention probe: decode the candidate head and require valid,
 /// non-trapping code while scanning which registers are touched before
 /// the first transfer — FETCH's argument-register plausibility test.
-fn probe_function_head(img: &Image<'_>, addr: u64) -> bool {
+fn probe_function_head(p: &Prepared<'_>, addr: u64) -> bool {
+    let mode = p.parsed.mode();
     let mut a = addr;
     let mut reads = 0u32;
     for _ in 0..8 {
-        if a >= img.text_end() {
-            return true;
-        }
-        let Some(window) = img.bytes_at(a, 16.min((img.text_end() - a) as usize)) else {
-            return false;
+        let Some(window) = window_at(p, a, 16) else {
+            // Walked off the end of the region: fine. Started outside the
+            // code in the first place: not a function head.
+            return a > addr;
         };
-        match decode(window, a, img.mode) {
+        match decode(window, a, mode) {
             Ok(insn) => {
                 // Count ModRM register traffic as a cheap liveness proxy.
                 if insn.len >= 2 {
@@ -242,7 +244,9 @@ fn probe_function_head(img: &Image<'_>, addr: u64) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use funseeker_corpus::{compile, BuildConfig, Compiler, FunctionSpec, Lang, OptLevel, ProgramSpec};
+    use funseeker_corpus::{
+        compile, BuildConfig, Compiler, FunctionSpec, Lang, OptLevel, ProgramSpec,
+    };
 
     fn demo_spec() -> ProgramSpec {
         let mut main = FunctionSpec::named("main");
@@ -291,11 +295,8 @@ mod tests {
         b.tail_call = Some(3);
         let mut t = FunctionSpec::named("tail_target");
         t.linkage = funseeker_corpus::Linkage::Static;
-        let spec = ProgramSpec {
-            name: "tails".into(),
-            lang: Lang::C,
-            functions: vec![main, a, b, t],
-        };
+        let spec =
+            ProgramSpec { name: "tails".into(), lang: Lang::C, functions: vec![main, a, b, t] };
         let cfg = BuildConfig {
             compiler: Compiler::Gcc,
             arch: funseeker_corpus::Arch::X64,
@@ -317,9 +318,6 @@ mod tests {
         assert_eq!(stack_delta(&[0x48, 0x83, 0xc4, 0x18], 4, Mode::Bits64), 0x18);
         assert_eq!(stack_delta(&[0xc9], 1, Mode::Bits64), 8); // leave
         assert_eq!(stack_delta(&[0x90], 1, Mode::Bits64), 0);
-        assert_eq!(
-            stack_delta(&[0x81, 0xec, 0x00, 0x01, 0x00, 0x00], 6, Mode::Bits32),
-            -0x100
-        );
+        assert_eq!(stack_delta(&[0x81, 0xec, 0x00, 0x01, 0x00, 0x00], 6, Mode::Bits32), -0x100);
     }
 }

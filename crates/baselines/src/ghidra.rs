@@ -11,9 +11,10 @@
 
 use std::collections::BTreeSet;
 
+use funseeker::Prepared;
 use funseeker_disasm::InsnKind;
 
-use crate::common::{call_targets, has_frame_prologue, FunctionIdentifier, Image};
+use crate::common::{fde_begins_in_code, has_frame_prologue, FunctionIdentifier};
 
 /// The Ghidra-style identifier.
 #[derive(Debug, Clone, Default)]
@@ -24,47 +25,35 @@ impl FunctionIdentifier for GhidraLike {
         "Ghidra"
     }
 
-    fn identify(&self, bytes: &[u8]) -> Result<BTreeSet<u64>, funseeker::Error> {
-        let img = Image::load(bytes)?;
-        let insns = img.sweep();
-
+    fn identify_prepared(&self, p: &Prepared<'_>) -> Result<BTreeSet<u64>, funseeker::Error> {
         // Seed set: the entry point and every FDE begin.
-        let mut functions: BTreeSet<u64> = img
-            .fde_begins
-            .iter()
-            .copied()
-            .filter(|&a| img.in_text(a))
-            .collect();
-        if img.in_text(img.entry) {
-            functions.insert(img.entry);
+        let mut functions: BTreeSet<u64> = fde_begins_in_code(p).collect();
+        if p.parsed.in_code(p.parsed.entry) {
+            functions.insert(p.parsed.entry);
         }
 
         // Call-graph expansion (linear approximation of Ghidra's
         // recursive disassembly: compiler code is exactly the linear
-        // sweep, so the reachable call targets coincide).
-        functions.extend(call_targets(&img, &insns));
+        // sweep, so the reachable call targets coincide with the shared
+        // sweep's).
+        functions.extend(p.index.call_targets.iter().copied());
 
         // Cross-function direct-jump targets become functions too (this
         // is what makes Ghidra report fragments as functions).
         let sorted: Vec<u64> = functions.iter().copied().collect();
         let interval = |addr: u64| -> usize { sorted.partition_point(|&s| s <= addr) };
-        for insn in &insns {
-            if let InsnKind::JmpRel { target } = insn.kind {
-                if img.in_text(target)
-                    && !functions.contains(&target)
-                    && interval(insn.addr) != interval(target)
-                {
-                    functions.insert(target);
-                }
+        for &(site, target) in &p.index.jmp_edges {
+            if !functions.contains(&target) && interval(site) != interval(target) {
+                functions.insert(target);
             }
         }
 
         // Pattern pass: classic frame prologues in the gaps (Ghidra's
         // "function start patterns" analyzer).
-        for insn in &insns {
+        for insn in &p.index.insns {
             if matches!(insn.kind, InsnKind::PushReg { reg: 5 })
-                && has_frame_prologue(&img, insn.addr)
-                && is_gap_start(&img, &insns, insn.addr)
+                && has_frame_prologue(p, insn.addr)
+                && is_gap_start(p, insn.addr)
             {
                 functions.insert(insn.addr);
             }
@@ -75,11 +64,13 @@ impl FunctionIdentifier for GhidraLike {
 }
 
 /// A prologue only starts a function when it sits at a plausible start:
-/// preceded by padding, a return, or an unconditional transfer.
-fn is_gap_start(img: &Image<'_>, insns: &[funseeker_disasm::Insn], addr: u64) -> bool {
-    if addr == img.text_addr {
+/// preceded by padding, a return, or an unconditional transfer. Region
+/// starts always qualify.
+fn is_gap_start(p: &Prepared<'_>, addr: u64) -> bool {
+    if p.parsed.code.is_region_start(addr) {
         return true;
     }
+    let insns = &p.index.insns;
     let idx = insns.partition_point(|i| i.addr < addr);
     if idx == 0 {
         return true;
@@ -104,7 +95,9 @@ fn is_gap_start(img: &Image<'_>, insns: &[funseeker_disasm::Insn], addr: u64) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use funseeker_corpus::{compile, BuildConfig, Compiler, FunctionSpec, Lang, Linkage, OptLevel, ProgramSpec};
+    use funseeker_corpus::{
+        compile, BuildConfig, Compiler, FunctionSpec, Lang, Linkage, OptLevel, ProgramSpec,
+    };
 
     fn spec_with_static() -> ProgramSpec {
         let mut main = FunctionSpec::named("main");
@@ -142,13 +135,7 @@ mod tests {
         // The statically-called helper is still discovered through the
         // call graph even with no FDE records.
         let truth = bin.truth.eval_entries();
-        let quiet = bin
-            .truth
-            .functions
-            .iter()
-            .find(|f| f.name == "quiet")
-            .unwrap()
-            .addr;
+        let quiet = bin.truth.functions.iter().find(|f| f.name == "quiet").unwrap().addr;
         assert!(found.contains(&quiet));
         // But not everything is found (main is only referenced by lea).
         assert!(found.len() < truth.len() + 4);

@@ -12,9 +12,10 @@
 
 use std::collections::BTreeSet;
 
+use funseeker::Prepared;
 use funseeker_disasm::{decode, InsnKind};
 
-use crate::common::{has_frame_prologue, FunctionIdentifier, Image};
+use crate::common::{has_frame_prologue, window_at, FunctionIdentifier};
 
 /// The IDA-style identifier.
 #[derive(Debug, Clone, Default)]
@@ -25,52 +26,47 @@ impl FunctionIdentifier for IdaLike {
         "IDA Pro"
     }
 
-    fn identify(&self, bytes: &[u8]) -> Result<BTreeSet<u64>, funseeker::Error> {
-        let img = Image::load(bytes)?;
-        let insns = img.sweep();
+    fn identify_prepared(&self, p: &Prepared<'_>) -> Result<BTreeSet<u64>, funseeker::Error> {
+        let insns = &p.index.insns;
 
         // Seed: entry point, the start-routine's main argument, and
-        // every direct call target. (IDA defines code throughout `.text`
-        // and creates a function at every resolved call destination; on
-        // compiler output that coincides with the linear sweep's call
-        // targets.)
+        // every direct call target. (IDA defines code throughout the
+        // executable sections and creates a function at every resolved
+        // call destination; on compiler output that coincides with the
+        // shared sweep's call targets.)
         let mut functions: BTreeSet<u64> = BTreeSet::new();
-        if img.in_text(img.entry) {
-            functions.insert(img.entry);
+        if p.parsed.in_code(p.parsed.entry) {
+            functions.insert(p.parsed.entry);
             // IDA's start-routine heuristic: `_start` passes `main` to
             // `__libc_start_main` by address (lea/mov immediately before
             // the call); IDA resolves that argument and creates `main`.
-            functions.extend(scan_start_args(&img));
+            functions.extend(scan_start_args(p));
         }
-        functions.extend(crate::common::call_targets(&img, &insns));
+        functions.extend(p.index.call_targets.iter().copied());
 
         // Tail-jump heuristic: a direct jump that leaves its function and
         // lands after a code break is treated as a function. This is the
         // behavior that makes the real tool report `.cold`/`.part`
         // fragments as functions (a false-positive class the paper
         // observes for every compared tool).
-        let insns = img.sweep();
         let sorted: Vec<u64> = functions.iter().copied().collect();
         let interval = |addr: u64| sorted.partition_point(|&s| s <= addr);
-        for insn in &insns {
-            if let InsnKind::JmpRel { target } = insn.kind {
-                if img.in_text(target)
-                    && !functions.contains(&target)
-                    && interval(insn.addr) != interval(target)
-                    && starts_after_break(&insns, img.text_addr, target)
-                {
-                    functions.insert(target);
-                }
+        for &(site, target) in &p.index.jmp_edges {
+            if !functions.contains(&target)
+                && interval(site) != interval(target)
+                && starts_after_break(p, target)
+            {
+                functions.insert(target);
             }
         }
 
         // FLIRT-ish signature pass: classic frame prologues in unexplored
         // space become functions. (The real FLIRT matches library
         // signatures; frame prologues are the universal subset.)
-        for insn in &insns {
+        for insn in insns {
             if matches!(insn.kind, InsnKind::PushReg { reg: 5 })
-                && has_frame_prologue(&img, insn.addr)
-                && starts_after_break(&insns, img.text_addr, insn.addr)
+                && has_frame_prologue(p, insn.addr)
+                && starts_after_break(p, insn.addr)
             {
                 functions.insert(insn.addr);
             }
@@ -84,17 +80,14 @@ impl FunctionIdentifier for IdaLike {
 /// before calling into libc — the `__libc_start_main(main, …)` idiom.
 /// Scans only the entry routine's first instructions, so pointer-taking
 /// anywhere else stays invisible (matching the tool's real blindness).
-fn scan_start_args(img: &Image<'_>) -> Vec<u64> {
+fn scan_start_args(p: &Prepared<'_>) -> Vec<u64> {
+    let mode = p.parsed.mode();
     let mut out = Vec::new();
-    let mut addr = img.entry;
+    let mut addr = p.parsed.entry;
     for _ in 0..12 {
-        if !img.in_text(addr) {
-            break;
-        }
-        let window_len = 16.min((img.text_end() - addr) as usize);
-        let Some(w) = img.bytes_at(addr, window_len) else { break };
-        let Ok(insn) = decode(w, addr, img.mode) else { break };
-        match img.mode {
+        let Some(w) = window_at(p, addr, 16) else { break };
+        let Ok(insn) = decode(w, addr, mode) else { break };
+        match mode {
             funseeker_disasm::Mode::Bits64 => {
                 // lea r64, [rip+disp32]: 48/4C 8D /r with mod=00, rm=101.
                 if insn.len == 7
@@ -104,7 +97,7 @@ fn scan_start_args(img: &Image<'_>) -> Vec<u64> {
                 {
                     let disp = i32::from_le_bytes(w[3..7].try_into().unwrap());
                     let target = insn.end().wrapping_add(disp as i64 as u64);
-                    if img.in_text(target) {
+                    if p.parsed.in_code(target) {
                         out.push(target);
                     }
                 }
@@ -113,7 +106,7 @@ fn scan_start_args(img: &Image<'_>) -> Vec<u64> {
                 // mov r32, imm32 (B8+r) holding a code address.
                 if insn.len == 5 && (0xb8..=0xbf).contains(&w[0]) {
                     let imm = u32::from_le_bytes(w[1..5].try_into().unwrap());
-                    if img.in_text(u64::from(imm)) {
+                    if p.parsed.in_code(u64::from(imm)) {
                         out.push(u64::from(imm));
                     }
                 }
@@ -129,10 +122,12 @@ fn scan_start_args(img: &Image<'_>) -> Vec<u64> {
 
 /// A signature hit counts only right after padding or a no-fallthrough
 /// instruction — mirroring how IDA seeds "sig found" functions in gaps.
-fn starts_after_break(insns: &[funseeker_disasm::Insn], text_addr: u64, addr: u64) -> bool {
-    if addr == text_addr {
+/// The first byte of any code region always qualifies.
+fn starts_after_break(p: &Prepared<'_>, addr: u64) -> bool {
+    if p.parsed.code.is_region_start(addr) {
         return true;
     }
+    let insns = &p.index.insns;
     let idx = insns.partition_point(|i| i.addr < addr);
     if idx == 0 {
         return true;
@@ -154,7 +149,9 @@ fn starts_after_break(insns: &[funseeker_disasm::Insn], text_addr: u64, addr: u6
 #[cfg(test)]
 mod tests {
     use super::*;
-    use funseeker_corpus::{compile, BuildConfig, Compiler, FunctionSpec, Lang, Linkage, OptLevel, ProgramSpec};
+    use funseeker_corpus::{
+        compile, BuildConfig, Compiler, FunctionSpec, Lang, Linkage, OptLevel, ProgramSpec,
+    };
 
     fn spec() -> ProgramSpec {
         let mut main = FunctionSpec::named("main");
@@ -187,9 +184,6 @@ mod tests {
         let bin = compile(&spec(), cfg(OptLevel::O2), 4);
         let found = IdaLike.identify(&bin.bytes).unwrap();
         let taken = bin.truth.functions.iter().find(|f| f.name == "only_by_pointer").unwrap();
-        assert!(
-            !found.contains(&taken.addr),
-            "IDA-like must not see pointer-only functions at O2"
-        );
+        assert!(!found.contains(&taken.addr), "IDA-like must not see pointer-only functions at O2");
     }
 }

@@ -26,7 +26,7 @@ mod ghidra;
 mod ida;
 mod naive;
 
-pub use common::{FunctionIdentifier, Image};
+pub use common::FunctionIdentifier;
 pub use fetch::FetchLike;
 pub use ghidra::GhidraLike;
 pub use ida::IdaLike;
@@ -50,8 +50,11 @@ impl FunctionIdentifier for FunSeekerTool {
         "FunSeeker"
     }
 
-    fn identify(&self, bytes: &[u8]) -> Result<BTreeSet<u64>, funseeker::Error> {
-        Ok(self.0.identify(bytes)?.functions)
+    fn identify_prepared(
+        &self,
+        prepared: &funseeker::Prepared<'_>,
+    ) -> Result<BTreeSet<u64>, funseeker::Error> {
+        Ok(self.0.identify_prepared(prepared).functions)
     }
 }
 

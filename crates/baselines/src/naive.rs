@@ -8,9 +8,9 @@
 
 use std::collections::BTreeSet;
 
-use funseeker_disasm::LinearSweep;
+use funseeker::Prepared;
 
-use crate::common::{FunctionIdentifier, Image};
+use crate::common::FunctionIdentifier;
 
 /// The all-endbrs-are-functions strawman.
 #[derive(Debug, Clone, Default)]
@@ -21,19 +21,20 @@ impl FunctionIdentifier for NaiveEndbr {
         "Naive-ENDBR"
     }
 
-    fn identify(&self, bytes: &[u8]) -> Result<BTreeSet<u64>, funseeker::Error> {
-        let img = Image::load(bytes)?;
-        Ok(LinearSweep::new(img.text, img.text_addr, img.mode)
-            .filter(|i| i.kind.is_endbr())
-            .map(|i| i.addr)
-            .collect())
+    fn identify_prepared(
+        &self,
+        prepared: &Prepared<'_>,
+    ) -> Result<BTreeSet<u64>, funseeker::Error> {
+        Ok(prepared.index.endbrs.iter().copied().collect())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use funseeker_corpus::{compile, BuildConfig, Compiler, FunctionSpec, Lang, Linkage, OptLevel, ProgramSpec};
+    use funseeker_corpus::{
+        compile, BuildConfig, Compiler, FunctionSpec, Lang, Linkage, OptLevel, ProgramSpec,
+    };
 
     #[test]
     fn finds_endbr_functions_and_misses_statics() {

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use funseeker_bench::single_binary;
-use funseeker_disasm::LinearSweep;
+use funseeker_disasm::sweep_all;
 use funseeker_elf::{Elf, PltMap};
 
 fn bench(c: &mut Criterion) {
@@ -26,14 +26,16 @@ fn bench(c: &mut Criterion) {
 
     g.throughput(Throughput::Bytes(text.len() as u64));
     g.bench_function("linear_sweep", |b| {
-        b.iter(|| std::hint::black_box(LinearSweep::new(text, text_addr, mode).count()))
+        b.iter(|| std::hint::black_box(sweep_all(text, text_addr, mode).insns.len()))
     });
 
     if let Some((eh_addr, eh)) = elf.section_bytes(".eh_frame") {
         g.throughput(Throughput::Bytes(eh.len() as u64));
         g.bench_function("eh_frame_parse", |b| {
             b.iter(|| {
-                std::hint::black_box(funseeker_eh::parse_eh_frame(eh, eh_addr, true).unwrap().fdes.len())
+                std::hint::black_box(
+                    funseeker_eh::parse_eh_frame(eh, eh_addr, true).unwrap().fdes.len(),
+                )
             })
         });
     }
@@ -47,7 +49,9 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("selecttailcall_min_referers", min_referers),
             &min_referers,
-            |b, _| b.iter(|| std::hint::black_box(seeker.run_stages(&parsed, &sweep).functions.len())),
+            |b, _| {
+                b.iter(|| std::hint::black_box(seeker.run_stages(&parsed, &sweep).functions.len()))
+            },
         );
     }
     // Corpus generation throughput (binaries/second of the simulator).

@@ -1,0 +1,45 @@
+//! Sequential vs sharded linear sweep (the `par_sweep` speedup claim).
+//!
+//! The corpus binaries are small, so a multi-MB `.text` is synthesized by
+//! tiling a real corpus text section — same instruction mix, megabytes of
+//! it. Shard counts cover the interesting range: 1 (pure sequential path
+//! plus stitch bookkeeping), the typical small-core counts, and 16 (the
+//! pipeline's cap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use funseeker_bench::single_binary;
+use funseeker_disasm::{par_sweep, sweep_all};
+use funseeker_elf::Elf;
+
+/// Tiles one binary's `.text` until the buffer crosses `target` bytes.
+fn tiled_text(target: usize) -> (Vec<u8>, funseeker_disasm::Mode) {
+    let bin = single_binary();
+    let elf = Elf::parse(&bin.bytes).unwrap();
+    let (_, text) = elf.section_bytes(".text").unwrap();
+    let mut code = Vec::with_capacity(target + text.len());
+    while code.len() < target {
+        code.extend_from_slice(text);
+    }
+    (code, bin.config.arch.mode())
+}
+
+fn bench(c: &mut Criterion) {
+    let (code, mode) = tiled_text(4 << 20);
+    let base = 0x40_1000u64;
+
+    let mut g = c.benchmark_group("sweep_shards");
+    g.throughput(Throughput::Bytes(code.len() as u64));
+
+    g.bench_function("sequential", |b| {
+        b.iter(|| std::hint::black_box(sweep_all(&code, base, mode).insns.len()))
+    });
+    for shards in [1usize, 2, 4, 8, 16] {
+        g.bench_with_input(BenchmarkId::new("sharded", shards), &shards, |b, &n| {
+            b.iter(|| std::hint::black_box(par_sweep(&code, base, mode, n).insns.len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

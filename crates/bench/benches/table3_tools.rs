@@ -4,7 +4,9 @@
 //! by `experiments -- table3` and tracked here per tool.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use funseeker_baselines::{FetchLike, FunSeekerTool, FunctionIdentifier, GhidraLike, IdaLike, NaiveEndbr};
+use funseeker_baselines::{
+    FetchLike, FunSeekerTool, FunctionIdentifier, GhidraLike, IdaLike, NaiveEndbr,
+};
 use funseeker_bench::single_binary;
 
 fn bench(c: &mut Criterion) {

@@ -3,26 +3,56 @@
 use std::collections::BTreeSet;
 
 use crate::config::Config;
-use crate::disassemble::{disassemble, SweepSets};
+use crate::disassemble::{disassemble, SweepIndex};
 use crate::error::Error;
 use crate::filter::filter_endbr;
-use crate::parse::parse;
+use crate::parse::{parse, Parsed};
 use crate::tailcall::select_tail_calls;
+
+/// A binary with its front-end work done: parsed sections plus the one
+/// shared disassembly pass.
+///
+/// This is the unit of work the evaluation harness and the baseline
+/// identifiers share — PARSE and DISASSEMBLE run once per binary here,
+/// and every consumer (all four FunSeeker configurations, each baseline
+/// tool, the figure/table classifiers) reads the same [`SweepIndex`]
+/// instead of re-decoding the image.
+#[derive(Debug, Clone)]
+pub struct Prepared<'a> {
+    /// Sections, exception info, PLT map.
+    pub parsed: Parsed<'a>,
+    /// The shared linear-sweep index over all code regions.
+    pub index: SweepIndex,
+}
+
+impl<'a> Prepared<'a> {
+    /// Runs the disassembly pass over an already-parsed binary.
+    pub fn from_parsed(parsed: Parsed<'a>) -> Self {
+        let index = disassemble(&parsed);
+        Prepared { parsed, index }
+    }
+}
+
+/// Parses a raw ELF image and runs the shared disassembly pass.
+pub fn prepare(bytes: &[u8]) -> Result<Prepared<'_>, Error> {
+    Ok(Prepared::from_parsed(parse(bytes)?))
+}
 
 /// Function identification result with per-stage accounting.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Analysis {
     /// Identified function entry addresses.
     pub functions: BTreeSet<u64>,
-    /// `[start, end)` of the analyzed `.text`.
+    /// `[start, end)` span of the analyzed code (first region start to
+    /// last region end).
     pub text_range: (u64, u64),
     /// |E| — end-branches found by the sweep.
     pub endbr_count: usize,
     /// |E| − |E′| — end-branches removed by FILTERENDBR.
     pub filtered_endbrs: usize,
-    /// |C| — direct call targets inside `.text`.
+    /// |C| — direct call targets inside the analyzed code.
     pub call_target_count: usize,
-    /// |J| — distinct direct jump targets inside `.text`.
+    /// |J| — distinct direct jump targets inside the analyzed code.
     pub jmp_target_count: usize,
     /// |J′| — jump targets kept by SELECTTAILCALL (0 when disabled).
     pub tail_target_count: usize,
@@ -67,35 +97,40 @@ impl FunSeeker {
 
     /// Identifies function entries in a raw ELF image.
     pub fn identify(&self, bytes: &[u8]) -> Result<Analysis, Error> {
-        let parsed = parse(bytes)?;
-        let sweep = disassemble(&parsed);
-        Ok(self.run_stages(&parsed, &sweep))
+        Ok(self.identify_prepared(&prepare(bytes)?))
     }
 
-    /// Runs FILTERENDBR/SELECTTAILCALL over pre-computed sweep sets.
+    /// Identifies function entries in an already-prepared binary,
+    /// reusing its shared sweep.
+    pub fn identify_prepared(&self, prepared: &Prepared<'_>) -> Analysis {
+        self.run_stages(&prepared.parsed, &prepared.index)
+    }
+
+    /// Runs FILTERENDBR/SELECTTAILCALL over a pre-computed sweep index.
     /// Exposed for the evaluation harness, which reuses one sweep across
     /// all four configurations.
-    pub fn run_stages(&self, parsed: &crate::parse::Parsed<'_>, sweep: &SweepSets) -> Analysis {
+    pub fn run_stages(&self, parsed: &Parsed<'_>, sweep: &SweepIndex) -> Analysis {
         // Optional superset pass: recover end-branches the linear sweep
-        // may have lost to data-in-text desynchronization.
-        let mut sweep_aug;
-        let sweep = if self.config.endbr_pattern_scan {
-            sweep_aug = sweep.clone();
-            let mut all: BTreeSet<u64> = sweep_aug.endbrs.iter().copied().collect();
+        // may have lost to data-in-text desynchronization. Only the
+        // end-branch list is augmented — borrow the rest of the index
+        // rather than cloning it.
+        let scanned: Vec<u64>;
+        let endbrs: &[u64] = if self.config.endbr_pattern_scan {
+            let mut all: BTreeSet<u64> = sweep.endbrs.iter().copied().collect();
             all.extend(crate::disassemble::scan_endbr_pattern(parsed));
-            sweep_aug.endbrs = all.into_iter().collect();
-            &sweep_aug
+            scanned = all.into_iter().collect();
+            &scanned
         } else {
-            sweep
+            &sweep.endbrs
         };
 
-        let endbr_count = sweep.endbrs.len();
+        let endbr_count = endbrs.len();
 
         // E or E′.
         let e: BTreeSet<u64> = if self.config.filter_endbr {
-            filter_endbr(parsed, sweep)
+            filter_endbr(parsed, &sweep.call_sites, endbrs)
         } else {
-            sweep.endbrs.iter().copied().collect()
+            endbrs.iter().copied().collect()
         };
         let filtered = endbr_count - e.len();
 
@@ -108,8 +143,12 @@ impl FunSeeker {
         let mut tail_count = 0;
         if self.config.include_jump_targets {
             if self.config.select_tail_calls {
-                let tails =
-                    select_tail_calls(&functions, &sweep.jmp_edges, self.config.min_tail_referers);
+                let tails = select_tail_calls(
+                    &functions,
+                    &sweep.jmp_edges,
+                    self.config.min_tail_referers,
+                    &sweep.region_starts(),
+                );
                 tail_count = tails.len();
                 functions.extend(tails);
             } else {
@@ -119,7 +158,7 @@ impl FunSeeker {
 
         Analysis {
             functions,
-            text_range: (parsed.text_addr, parsed.text_end()),
+            text_range: parsed.code.bounds(),
             endbr_count,
             filtered_endbrs: filtered,
             call_target_count: sweep.call_targets.len(),
@@ -149,15 +188,25 @@ mod tests {
     #[test]
     fn config_monotonicity_on_real_binary() {
         let bytes = std::fs::read("/proc/self/exe").unwrap();
-        let c1 = FunSeeker::with_config(Config::c1()).identify(&bytes).unwrap();
-        let c2 = FunSeeker::with_config(Config::c2()).identify(&bytes).unwrap();
-        let c3 = FunSeeker::with_config(Config::c3()).identify(&bytes).unwrap();
-        let c4 = FunSeeker::with_config(Config::c4()).identify(&bytes).unwrap();
+        let prepared = prepare(&bytes).unwrap();
+        let c1 = FunSeeker::with_config(Config::c1()).identify_prepared(&prepared);
+        let c2 = FunSeeker::with_config(Config::c2()).identify_prepared(&prepared);
+        let c3 = FunSeeker::with_config(Config::c3()).identify_prepared(&prepared);
+        let c4 = FunSeeker::with_config(Config::c4()).identify_prepared(&prepared);
         // ② ⊆ ①: filtering only removes.
         assert!(c2.functions.is_subset(&c1.functions));
         // ② ⊆ ④ ⊆ ③: tail-call selection keeps a subset of J.
         assert!(c2.functions.is_subset(&c4.functions));
         assert!(c4.functions.is_subset(&c3.functions));
+    }
+
+    #[test]
+    fn prepared_reuse_matches_direct_identify() {
+        let bytes = std::fs::read("/proc/self/exe").unwrap();
+        let prepared = prepare(&bytes).unwrap();
+        let via_prepared = FunSeeker::new().identify_prepared(&prepared);
+        let direct = FunSeeker::new().identify(&bytes).unwrap();
+        assert_eq!(via_prepared, direct);
     }
 
     #[test]

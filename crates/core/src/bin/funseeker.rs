@@ -92,28 +92,28 @@ fn main() {
     }
 }
 
-/// Prints the .text disassembly with identified function entries marked.
+/// Prints the disassembly of every code region with identified function
+/// entries marked.
 fn print_disassembly(bytes: &[u8], analysis: &funseeker::Analysis) {
     let Ok(parsed) = funseeker::parse::parse(bytes) else { return };
-    let mode = if parsed.wide {
-        funseeker_disasm::Mode::Bits64
-    } else {
-        funseeker_disasm::Mode::Bits32
-    };
-    let mut off = 0usize;
-    while off < parsed.text.len() {
-        let addr = parsed.text_addr + off as u64;
-        if analysis.functions.contains(&addr) {
-            println!("\n{addr:#x} <fn>:");
-        }
-        match funseeker_disasm::format_insn(&parsed.text[off..], addr, mode) {
-            Ok((text, len)) => {
-                println!("  {addr:#x}: {text}");
-                off += len;
+    let mode = parsed.mode();
+    for region in parsed.code.regions() {
+        println!("\nDisassembly of section {}:", region.name);
+        let mut off = 0usize;
+        while off < region.bytes.len() {
+            let addr = region.addr + off as u64;
+            if analysis.functions.contains(&addr) {
+                println!("\n{addr:#x} <fn>:");
             }
-            Err(_) => {
-                println!("  {addr:#x}: (bad) {:02x}", parsed.text[off]);
-                off += 1;
+            match funseeker_disasm::format_insn(&region.bytes[off..], addr, mode) {
+                Ok((text, len)) => {
+                    println!("  {addr:#x}: {text}");
+                    off += len;
+                }
+                Err(_) => {
+                    println!("  {addr:#x}: (bad) {:02x}", region.bytes[off]);
+                    off += 1;
+                }
             }
         }
     }

@@ -9,9 +9,9 @@
 
 use std::collections::BTreeSet;
 
-use funseeker_disasm::{InsnKind, LinearSweep, Mode};
+use funseeker_disasm::InsnKind;
 
-use crate::parse::Parsed;
+use crate::analyzer::Prepared;
 
 /// One estimated function extent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,20 +38,24 @@ impl FunctionBounds {
 /// Derives boundaries for a set of identified entries.
 ///
 /// Instructions between one entry and the next belong to the earlier
-/// function; trailing `NOP`/`INT3` alignment padding is trimmed.
-pub fn estimate_bounds(parsed: &Parsed<'_>, entries: &BTreeSet<u64>) -> Vec<FunctionBounds> {
-    let mode = if parsed.wide { Mode::Bits64 } else { Mode::Bits32 };
-    let insns: Vec<_> = LinearSweep::new(parsed.text, parsed.text_addr, mode).collect();
+/// function; trailing `NOP`/`INT3` alignment padding is trimmed. A
+/// function never extends past the end of its code region: the last
+/// entry in `.text` stops at `.text`'s end even when `.fini` follows.
+///
+/// Reads the instruction stream from the shared [`Prepared::index`]; no
+/// re-disassembly happens here.
+pub fn estimate_bounds(prepared: &Prepared<'_>, entries: &BTreeSet<u64>) -> Vec<FunctionBounds> {
     let starts: Vec<u64> = entries.iter().copied().collect();
+    let (_, code_end) = prepared.parsed.code.bounds();
 
     let mut out = Vec::with_capacity(starts.len());
     for (i, &start) in starts.iter().enumerate() {
-        let limit = starts.get(i + 1).copied().unwrap_or(parsed.text_end());
+        let region_end = prepared.parsed.code.region_of(start).map(|r| r.end()).unwrap_or(code_end);
+        let limit = starts.get(i + 1).copied().unwrap_or(region_end).min(region_end);
         // Walk instructions in [start, limit), remembering the last
         // non-padding one.
-        let from = insns.partition_point(|x| x.addr < start);
         let mut end = start;
-        for insn in insns[from..].iter().take_while(|x| x.addr < limit) {
+        for insn in prepared.index.insns_in(start, limit) {
             match insn.kind {
                 InsnKind::Nop | InsnKind::Int3 => {}
                 _ => end = insn.end(),
@@ -65,17 +69,10 @@ pub fn estimate_bounds(parsed: &Parsed<'_>, entries: &BTreeSet<u64>) -> Vec<Func
 #[cfg(test)]
 mod tests {
     use super::*;
-    use funseeker_elf::PltMap;
+    use crate::parse::Parsed;
 
-    fn parsed(text: &[u8], addr: u64) -> Parsed<'_> {
-        Parsed {
-            text_addr: addr,
-            text,
-            wide: true,
-            landing_pads: BTreeSet::new(),
-            plt: PltMap::default(),
-            cet: Default::default(),
-        }
+    fn prepared(text: &[u8], addr: u64) -> Prepared<'_> {
+        Prepared::from_parsed(Parsed::from_region(addr, text, true))
     }
 
     #[test]
@@ -86,7 +83,7 @@ mod tests {
             0x90, 0x90, 0x90, // padding
             0xf3, 0x0f, 0x1e, 0xfa, 0x31, 0xc0, 0xc3, // 0x1008..
         ];
-        let p = parsed(&code, 0x1000);
+        let p = prepared(&code, 0x1000);
         let entries: BTreeSet<u64> = [0x1000u64, 0x1008].into_iter().collect();
         let bounds = estimate_bounds(&p, &entries);
         assert_eq!(bounds.len(), 2);
@@ -97,12 +94,30 @@ mod tests {
     }
 
     #[test]
-    fn last_function_extends_to_text_end() {
+    fn last_function_extends_to_region_end() {
         let code = [0xf3, 0x0f, 0x1e, 0xfa, 0x31, 0xc0, 0xc3];
-        let p = parsed(&code, 0x2000);
+        let p = prepared(&code, 0x2000);
         let entries: BTreeSet<u64> = [0x2000u64].into_iter().collect();
         let bounds = estimate_bounds(&p, &entries);
         assert_eq!(bounds[0].end, 0x2007);
+    }
+
+    #[test]
+    fn bounds_stop_at_region_boundary() {
+        use crate::parse::{CodeRegion, CodeView};
+        // One entry in region A; region B follows with live code. The
+        // function must not absorb region B.
+        let a = [0xf3u8, 0x0f, 0x1e, 0xfa, 0xc3];
+        let b = [0x31u8, 0xc0, 0xc3];
+        let mut parsed = Parsed::from_region(0, &[], true);
+        parsed.code = CodeView::new(vec![
+            CodeRegion { name: ".a".into(), addr: 0x1000, bytes: &a },
+            CodeRegion { name: ".b".into(), addr: 0x1008, bytes: &b },
+        ]);
+        let p = Prepared::from_parsed(parsed);
+        let entries: BTreeSet<u64> = [0x1000u64].into_iter().collect();
+        let bounds = estimate_bounds(&p, &entries);
+        assert_eq!(bounds[0], FunctionBounds { start: 0x1000, end: 0x1005 });
     }
 
     #[test]
@@ -110,20 +125,14 @@ mod tests {
         use funseeker_corpus::{Dataset, DatasetParams};
         let ds = Dataset::generate(&DatasetParams::tiny(), 3);
         for bin in ds.binaries.iter().take(4) {
-            let parsed = crate::parse::parse(&bin.bytes).unwrap();
+            let prepared = crate::analyzer::prepare(&bin.bytes).unwrap();
             let truth = bin.truth.eval_entries();
-            let bounds = estimate_bounds(&parsed, &truth);
+            let bounds = estimate_bounds(&prepared, &truth);
             for (b, f) in bounds.iter().zip(bin.truth.functions.iter().filter(|f| !f.is_part)) {
                 assert_eq!(b.start, f.addr);
                 // The estimate may absorb an adjacent fragment, but never
                 // undershoots the function's real code.
-                assert!(
-                    b.len() >= f.size,
-                    "{}: estimated {} < real {}",
-                    f.name,
-                    b.len(),
-                    f.size
-                );
+                assert!(b.len() >= f.size, "{}: estimated {} < real {}", f.name, b.len(), f.size);
             }
         }
     }

@@ -1,7 +1,7 @@
 //! Analysis configurations (the ablation grid of §V-B).
 
 /// Knobs controlling which stages of Algorithm 1 run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Config {
     /// Run FILTERENDBR (drop landing-pad and post-`setjmp` end-branches).
     pub filter_endbr: bool,

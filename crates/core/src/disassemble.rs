@@ -1,93 +1,157 @@
 //! DISASSEMBLE — linear sweep producing `(E, C, J)` (Algorithm 1 line 3).
+//!
+//! The sweep runs **once per binary** and is shared: the resulting
+//! [`SweepIndex`] carries the full decoded instruction stream plus the
+//! derived sets, so FunSeeker's stages, every baseline identifier, and
+//! the evaluation harness all consume the same decode pass instead of
+//! re-sweeping the image. Each code region is swept independently (the
+//! sweep restarts at every region base) using the sharded parallel sweep,
+//! which is bit-identical to the sequential one.
 
 use std::collections::BTreeSet;
 
-use funseeker_disasm::{InsnKind, LinearSweep, Mode};
+use funseeker_disasm::{par_sweep, Insn, InsnKind};
 
 use crate::parse::Parsed;
 
-/// The raw material FILTERENDBR and SELECTTAILCALL work from.
+/// Shard count for the parallel sweep: one shard per available core,
+/// bounded to keep stitching overhead negligible.
+fn sweep_shards() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+}
+
+/// Per-region slice of the global instruction stream.
+#[derive(Debug, Clone)]
+pub struct RegionSpan {
+    /// Region start address.
+    pub start: u64,
+    /// Region end address (exclusive).
+    pub end: u64,
+    /// Range into [`SweepIndex::insns`] holding this region's chain.
+    pub insn_range: std::ops::Range<usize>,
+    /// Decode errors encountered while sweeping this region.
+    pub decode_errors: usize,
+}
+
+/// The shared product of the disassembly pass: the decoded instruction
+/// stream and the sets FILTERENDBR / SELECTTAILCALL work from.
 #[derive(Debug, Clone, Default)]
-pub struct SweepSets {
-    /// `E`: addresses of end-branch instructions in `.text`.
+pub struct SweepIndex {
+    /// Every decoded instruction, in address order across all regions.
+    pub insns: Vec<Insn>,
+    /// One span per code region, in address order.
+    pub regions: Vec<RegionSpan>,
+    /// `E`: addresses of end-branch instructions in the code.
     pub endbrs: Vec<u64>,
-    /// `C`: direct call targets that land inside `.text`.
+    /// `C`: direct call targets that land inside the analyzed code.
     pub call_targets: BTreeSet<u64>,
-    /// Direct unconditional jumps: `(site, target)` pairs with in-`.text`
+    /// Direct unconditional jumps: `(site, target)` pairs with in-code
     /// targets — the raw `J` with provenance, which SELECTTAILCALL needs.
     pub jmp_edges: Vec<(u64, u64)>,
     /// All direct call sites as `(address_after_call, target)` — used to
     /// spot indirect-return call sites whose following end-branch must be
-    /// filtered. Targets outside `.text` (PLT stubs) are *kept* here.
+    /// filtered. Targets outside the analyzed code (PLT stubs) are *kept*
+    /// here.
     pub call_sites: Vec<(u64, u64)>,
-    /// Number of byte positions skipped on decode errors.
+    /// Number of byte positions skipped on decode errors, summed over
+    /// regions.
     pub decode_errors: usize,
 }
 
-impl SweepSets {
+impl SweepIndex {
     /// `J` as a plain set of targets.
     pub fn jmp_targets(&self) -> BTreeSet<u64> {
         self.jmp_edges.iter().map(|&(_, t)| t).collect()
     }
+
+    /// The instructions whose addresses fall in `[lo, hi)`.
+    ///
+    /// Instruction addresses are globally sorted (regions are swept in
+    /// address order), so this is a binary-search slice.
+    pub fn insns_in(&self, lo: u64, hi: u64) -> &[Insn] {
+        let a = self.insns.partition_point(|i| i.addr < lo);
+        let b = self.insns.partition_point(|i| i.addr < hi);
+        &self.insns[a..b]
+    }
+
+    /// Index of the instruction starting exactly at `addr`, if any.
+    pub fn insn_at(&self, addr: u64) -> Option<usize> {
+        self.insns.binary_search_by_key(&addr, |i| i.addr).ok()
+    }
+
+    /// Start addresses of all regions, in order — the interval breaks a
+    /// function can never span.
+    pub fn region_starts(&self) -> Vec<u64> {
+        self.regions.iter().map(|r| r.start).collect()
+    }
 }
 
-/// Superset-style end-branch recovery: scans the raw bytes for the
-/// 4-byte `ENDBR` pattern at every offset, independent of instruction
-/// boundaries. Complements the linear sweep when `.text` contains data
-/// or hand-written assembly that desynchronizes it (§VI future work).
+/// Superset-style end-branch recovery: scans the raw bytes of every code
+/// region for the 4-byte `ENDBR` pattern at every offset, independent of
+/// instruction boundaries. Complements the linear sweep when the code
+/// contains data or hand-written assembly that desynchronizes it (§VI
+/// future work).
 pub fn scan_endbr_pattern(p: &Parsed<'_>) -> Vec<u64> {
     let marker: [u8; 4] = if p.wide {
         [0xf3, 0x0f, 0x1e, 0xfa] // endbr64
     } else {
         [0xf3, 0x0f, 0x1e, 0xfb] // endbr32
     };
-    p.text
-        .windows(4)
-        .enumerate()
-        .filter(|(_, w)| *w == marker)
-        .map(|(i, _)| p.text_addr + i as u64)
-        .collect()
+    let mut out = Vec::new();
+    for region in p.code.regions() {
+        out.extend(
+            region
+                .bytes
+                .windows(4)
+                .enumerate()
+                .filter(|(_, w)| *w == marker)
+                .map(|(i, _)| region.addr + i as u64),
+        );
+    }
+    out
 }
 
-/// Sweeps the `.text` section and collects the three sets.
-pub fn disassemble(p: &Parsed<'_>) -> SweepSets {
-    let mode = if p.wide { Mode::Bits64 } else { Mode::Bits32 };
-    let mut out = SweepSets::default();
-    let mut sweep = LinearSweep::new(p.text, p.text_addr, mode);
-    for insn in sweep.by_ref() {
-        match insn.kind {
-            InsnKind::Endbr64 | InsnKind::Endbr32 => out.endbrs.push(insn.addr),
-            InsnKind::CallRel { target } => {
-                out.call_sites.push((insn.end(), target));
-                if p.in_text(target) {
-                    out.call_targets.insert(target);
+/// Sweeps every code region and builds the shared index.
+pub fn disassemble(p: &Parsed<'_>) -> SweepIndex {
+    let mode = p.mode();
+    let shards = sweep_shards();
+    let mut out = SweepIndex::default();
+    for region in p.code.regions() {
+        let swept = par_sweep(region.bytes, region.addr, mode, shards);
+        let first = out.insns.len();
+        for insn in &swept.insns {
+            match insn.kind {
+                InsnKind::Endbr64 | InsnKind::Endbr32 => out.endbrs.push(insn.addr),
+                InsnKind::CallRel { target } => {
+                    out.call_sites.push((insn.end(), target));
+                    if p.in_code(target) {
+                        out.call_targets.insert(target);
+                    }
                 }
-            }
-            InsnKind::JmpRel { target }
-                if p.in_text(target) => {
+                InsnKind::JmpRel { target } if p.in_code(target) => {
                     out.jmp_edges.push((insn.addr, target));
                 }
-            _ => {}
+                _ => {}
+            }
         }
+        out.insns.extend_from_slice(&swept.insns);
+        out.regions.push(RegionSpan {
+            start: region.addr,
+            end: region.end(),
+            insn_range: first..out.insns.len(),
+            decode_errors: swept.error_count,
+        });
+        out.decode_errors += swept.error_count;
     }
-    out.decode_errors = sweep.error_count();
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use funseeker_elf::PltMap;
 
     fn parsed(text: &[u8], addr: u64, wide: bool) -> Parsed<'_> {
-        Parsed {
-            text_addr: addr,
-            text,
-            wide,
-            landing_pads: BTreeSet::new(),
-            plt: PltMap::default(),
-            cet: Default::default(),
-        }
+        Parsed::from_region(addr, text, wide)
     }
 
     #[test]
@@ -114,6 +178,9 @@ mod tests {
         // But the PLT-bound call site is retained for FILTERENDBR.
         assert!(s.call_sites.iter().any(|&(_, t)| t == 0x2000));
         assert_eq!(s.decode_errors, 0);
+        assert_eq!(s.insns.len(), 5);
+        assert_eq!(s.regions.len(), 1);
+        assert_eq!(s.regions[0].insn_range, 0..5);
     }
 
     #[test]
@@ -140,5 +207,43 @@ mod tests {
         let p = parsed(&code, 0x8048000, false);
         let s = disassemble(&p);
         assert_eq!(s.endbrs, vec![0x8048000]);
+    }
+
+    #[test]
+    fn multi_region_sweep_restarts_per_region() {
+        use crate::parse::{CodeRegion, CodeView};
+        // Region A ends mid-"instruction" if concatenated with B; separate
+        // sweeps must not leak across the gap.
+        let a = [0xf3, 0x0f, 0x1e, 0xfa, 0xe8]; // endbr64; dangling call opcode
+        let b = [0xf3, 0x0f, 0x1e, 0xfa, 0xc3]; // endbr64; ret
+        let mut p = Parsed::from_region(0, &[], true);
+        p.code = CodeView::new(vec![
+            CodeRegion { name: ".a".into(), addr: 0x1000, bytes: &a },
+            CodeRegion { name: ".b".into(), addr: 0x2000, bytes: &b },
+        ]);
+        let s = disassemble(&p);
+        assert_eq!(s.endbrs, vec![0x1000, 0x2000]);
+        assert_eq!(s.regions.len(), 2);
+        // The dangling `e8` at the end of region A can't pull bytes from
+        // region B: it is a decode error, not a call into B.
+        assert!(s.call_sites.is_empty());
+        assert_eq!(s.regions[0].decode_errors, 1);
+        assert_eq!(s.regions[1].decode_errors, 0);
+        assert_eq!(s.insns_in(0x2000, 0x2005).len(), 2);
+        assert_eq!(s.insn_at(0x2004), Some(s.insns.len() - 1));
+        assert_eq!(s.region_starts(), vec![0x1000, 0x2000]);
+    }
+
+    #[test]
+    fn endbr_pattern_scan_covers_all_regions() {
+        use crate::parse::{CodeRegion, CodeView};
+        let a = [0x90, 0xf3, 0x0f, 0x1e, 0xfa]; // endbr64 at offset 1
+        let b = [0xf3, 0x0f, 0x1e, 0xfa, 0xc3];
+        let mut p = Parsed::from_region(0, &[], true);
+        p.code = CodeView::new(vec![
+            CodeRegion { name: ".a".into(), addr: 0x1000, bytes: &a },
+            CodeRegion { name: ".b".into(), addr: 0x2000, bytes: &b },
+        ]);
+        assert_eq!(scan_endbr_pattern(&p), vec![0x1001, 0x2000]);
     }
 }

@@ -8,7 +8,6 @@
 
 use std::collections::BTreeSet;
 
-use crate::disassemble::SweepSets;
 use crate::parse::Parsed;
 
 /// GCC's list of indirect-return functions (from `special_function_p` in
@@ -23,17 +22,19 @@ pub const INDIRECT_RETURN_FUNCTIONS: &[&str] =
 /// leading-underscore aliases both count (e.g. `__vfork`).
 pub fn is_indirect_return_name(name: &str) -> bool {
     let trimmed = name.trim_start_matches('_');
-    INDIRECT_RETURN_FUNCTIONS
-        .iter()
-        .any(|f| name == *f || trimmed == f.trim_start_matches('_'))
+    INDIRECT_RETURN_FUNCTIONS.iter().any(|f| name == *f || trimmed == f.trim_start_matches('_'))
 }
 
 /// Computes `E′`: `E` minus setjmp-return points and landing pads.
-pub fn filter_endbr(p: &Parsed<'_>, sweep: &SweepSets) -> BTreeSet<u64> {
+///
+/// `call_sites` are `(address_after_call, target)` pairs from the shared
+/// sweep index; `endbrs` is the end-branch list to filter (either the
+/// sweep's or the pattern-scan-augmented one).
+pub fn filter_endbr(p: &Parsed<'_>, call_sites: &[(u64, u64)], endbrs: &[u64]) -> BTreeSet<u64> {
     // Return points of indirect-return calls: address right after each
     // call whose target is a PLT stub for a listed function.
     let mut return_points = BTreeSet::new();
-    for &(after, target) in &sweep.call_sites {
+    for &(after, target) in call_sites {
         if let Some(name) = p.plt.name_at(target) {
             if is_indirect_return_name(name) {
                 return_points.insert(after);
@@ -41,8 +42,7 @@ pub fn filter_endbr(p: &Parsed<'_>, sweep: &SweepSets) -> BTreeSet<u64> {
         }
     }
 
-    sweep
-        .endbrs
+    endbrs
         .iter()
         .copied()
         .filter(|a| !return_points.contains(a) && !p.landing_pads.contains(a))
@@ -56,7 +56,16 @@ mod tests {
 
     #[test]
     fn name_matching_covers_aliases() {
-        for n in ["setjmp", "_setjmp", "sigsetjmp", "__sigsetjmp", "vfork", "__vfork", "getcontext", "savectx"] {
+        for n in [
+            "setjmp",
+            "_setjmp",
+            "sigsetjmp",
+            "__sigsetjmp",
+            "vfork",
+            "__vfork",
+            "getcontext",
+            "savectx",
+        ] {
             assert!(is_indirect_return_name(n), "{n}");
         }
         for n in ["longjmp", "fork", "malloc", "setjmp2", "mysetjmp"] {
@@ -65,27 +74,19 @@ mod tests {
     }
 
     fn parsed_with(plt: PltMap, pads: &[u64]) -> Parsed<'static> {
-        Parsed {
-            text_addr: 0x1000,
-            text: &[],
-            wide: true,
-            landing_pads: pads.iter().copied().collect(),
-            plt,
-            cet: Default::default(),
-        }
+        let mut p = Parsed::from_region(0x1000, &[], true);
+        p.landing_pads = pads.iter().copied().collect();
+        p.plt = plt;
+        p
     }
 
     #[test]
     fn filters_setjmp_return_points() {
         let plt = PltMap::from_pairs([(0x500u64, "setjmp"), (0x510, "puts")]);
         let p = parsed_with(plt, &[]);
-        let sweep = SweepSets {
-            endbrs: vec![0x1000, 0x1040, 0x1080],
-            // call setjmp@plt ending at 0x1040; call puts@plt ending at 0x1080.
-            call_sites: vec![(0x1040, 0x500), (0x1080, 0x510)],
-            ..Default::default()
-        };
-        let e = filter_endbr(&p, &sweep);
+        // call setjmp@plt ending at 0x1040; call puts@plt ending at 0x1080.
+        let call_sites = [(0x1040, 0x500), (0x1080, 0x510)];
+        let e = filter_endbr(&p, &call_sites, &[0x1000, 0x1040, 0x1080]);
         assert!(e.contains(&0x1000));
         assert!(!e.contains(&0x1040), "post-setjmp endbr must be dropped");
         assert!(e.contains(&0x1080), "post-puts endbr is a coincidence and stays");
@@ -94,15 +95,13 @@ mod tests {
     #[test]
     fn filters_landing_pads() {
         let p = parsed_with(PltMap::default(), &[0x1100, 0x1200]);
-        let sweep = SweepSets { endbrs: vec![0x1000, 0x1100, 0x1200], ..Default::default() };
-        let e = filter_endbr(&p, &sweep);
+        let e = filter_endbr(&p, &[], &[0x1000, 0x1100, 0x1200]);
         assert_eq!(e.into_iter().collect::<Vec<_>>(), vec![0x1000]);
     }
 
     #[test]
     fn no_metadata_means_no_filtering() {
         let p = parsed_with(PltMap::default(), &[]);
-        let sweep = SweepSets { endbrs: vec![1, 2, 3], ..Default::default() };
-        assert_eq!(filter_endbr(&p, &sweep).len(), 3);
+        assert_eq!(filter_endbr(&p, &[], &[1, 2, 3]).len(), 3);
     }
 }

@@ -41,7 +41,7 @@ pub mod filter;
 pub mod parse;
 pub mod tailcall;
 
-pub use analyzer::{Analysis, FunSeeker};
+pub use analyzer::{prepare, Analysis, FunSeeker, Prepared};
 pub use boundaries::{estimate_bounds, FunctionBounds};
 pub use config::Config;
 pub use error::Error;

@@ -1,28 +1,144 @@
 //! PARSE — the binary front-end step of Algorithm 1 (line 2).
 //!
-//! Extracts the `.text` section, the C++ exception information (landing
-//! pads, via `.eh_frame` → `.gcc_except_table`), and the PLT name map
-//! used to recognize calls to indirect-return functions.
+//! Extracts every mapped executable region of the image into a
+//! [`CodeView`], plus the C++ exception information (landing pads, via
+//! `.eh_frame` → `.gcc_except_table`), the FDE address ranges used by the
+//! EH-based baselines, and the PLT name map used to recognize calls to
+//! indirect-return functions.
 
 use std::collections::BTreeSet;
 
+use funseeker_disasm::Mode;
 use funseeker_eh::{parse_eh_frame, parse_lsda};
 use funseeker_elf::{Class, Elf, PltMap};
 
 use crate::error::Error;
 
+/// One executable region (an ELF section's worth of code).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeRegion<'a> {
+    /// Section name (`.text`, `.init`, …).
+    pub name: String,
+    /// Load address of the first byte.
+    pub addr: u64,
+    /// Region contents.
+    pub bytes: &'a [u8],
+}
+
+impl<'a> CodeRegion<'a> {
+    /// Address one past the last byte (exclusive end).
+    pub fn end(&self) -> u64 {
+        self.addr + self.bytes.len() as u64
+    }
+
+    /// Whether `addr` lies inside this region.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.addr && addr < self.end()
+    }
+}
+
+/// The executable portion of a binary: an ordered, non-overlapping list
+/// of code regions.
+///
+/// This replaces the single-`.text` view the pipeline used to carry.
+/// PLT-like regions (`.plt`, `.plt.got`, `.plt.sec`, `.iplt`) are
+/// excluded at construction: stubs there are import trampolines, not
+/// functions the paper's ground truth counts, and keeping them out
+/// preserves the original "targets inside `.plt` are not candidates"
+/// semantics for every stage downstream.
+#[derive(Debug, Clone)]
+pub struct CodeView<'a> {
+    regions: Vec<CodeRegion<'a>>,
+}
+
+impl<'a> CodeView<'a> {
+    /// Builds a view from regions, sorting them by address.
+    pub fn new(mut regions: Vec<CodeRegion<'a>>) -> Self {
+        regions.sort_by_key(|r| r.addr);
+        CodeView { regions }
+    }
+
+    /// A view of one anonymous `.text` region — the single-section shape
+    /// used by synthetic fixtures and unit tests.
+    pub fn single(addr: u64, bytes: &'a [u8]) -> Self {
+        CodeView::new(vec![CodeRegion { name: ".text".into(), addr, bytes }])
+    }
+
+    /// The regions, in address order.
+    pub fn regions(&self) -> &[CodeRegion<'a>] {
+        &self.regions
+    }
+
+    /// Whether `addr` falls inside any region.
+    pub fn in_code(&self, addr: u64) -> bool {
+        self.region_of(addr).is_some()
+    }
+
+    /// The region containing `addr`, if any.
+    pub fn region_of(&self, addr: u64) -> Option<&CodeRegion<'a>> {
+        // Regions are sorted: the candidate is the last one starting at
+        // or before `addr`.
+        let idx = self.regions.partition_point(|r| r.addr <= addr);
+        let r = &self.regions[..idx];
+        r.last().filter(|r| r.contains(addr))
+    }
+
+    /// Whether `addr` is the first byte of a region.
+    pub fn is_region_start(&self, addr: u64) -> bool {
+        self.regions.binary_search_by_key(&addr, |r| r.addr).is_ok()
+    }
+
+    /// Raw bytes at a virtual address, if `[addr, addr + n)` lies within
+    /// one region.
+    pub fn bytes_at(&self, addr: u64, n: usize) -> Option<&'a [u8]> {
+        let region = self.region_of(addr)?;
+        let off = (addr - region.addr) as usize;
+        region.bytes.get(off..off.checked_add(n)?)
+    }
+
+    /// Lowest and one-past-highest code address across all regions.
+    pub fn bounds(&self) -> (u64, u64) {
+        let lo = self.regions.first().map_or(0, |r| r.addr);
+        let hi = self.regions.last().map_or(0, |r| r.end());
+        (lo, hi)
+    }
+
+    /// The span of the `.text` region when one exists, else [`bounds`].
+    ///
+    /// Compatibility accessor for callers that still reason about "the
+    /// text range" of a binary.
+    ///
+    /// [`bounds`]: CodeView::bounds
+    pub fn text_range(&self) -> (u64, u64) {
+        self.regions
+            .iter()
+            .find(|r| r.name == ".text")
+            .map(|r| (r.addr, r.end()))
+            .unwrap_or_else(|| self.bounds())
+    }
+
+    /// Total code size in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.regions.iter().map(|r| r.bytes.len()).sum()
+    }
+}
+
 /// Everything later stages need from the binary.
 #[derive(Debug, Clone)]
 pub struct Parsed<'a> {
-    /// `.text` load address.
-    pub text_addr: u64,
-    /// `.text` contents.
-    pub text: &'a [u8],
+    /// The executable regions under analysis.
+    pub code: CodeView<'a>,
     /// Whether this is a 64-bit image.
     pub wide: bool,
+    /// Program entry point (`e_entry`).
+    pub entry: u64,
     /// Exception landing-pad addresses (`exn` in Algorithm 1; empty for
     /// C binaries).
     pub landing_pads: BTreeSet<u64>,
+    /// FDE ranges `(pc_begin, pc_end)` from `.eh_frame`, sorted by start
+    /// (empty when absent or unparseable). Consumed by the EH-based
+    /// baselines.
+    pub fde_ranges: Vec<(u64, u64)>,
     /// PLT stub address → imported name.
     pub plt: PltMap,
     /// CET capabilities declared in `.note.gnu.property`.
@@ -30,45 +146,77 @@ pub struct Parsed<'a> {
 }
 
 impl<'a> Parsed<'a> {
-    /// End of the `.text` range (exclusive).
-    pub fn text_end(&self) -> u64 {
-        self.text_addr + self.text.len() as u64
+    /// A minimal single-region `Parsed` for synthetic inputs and tests:
+    /// no exception info, no PLT, no CET note.
+    pub fn from_region(addr: u64, bytes: &'a [u8], wide: bool) -> Self {
+        Parsed {
+            code: CodeView::single(addr, bytes),
+            wide,
+            entry: 0,
+            landing_pads: BTreeSet::new(),
+            fde_ranges: Vec::new(),
+            plt: PltMap::default(),
+            cet: funseeker_elf::CetProperties::default(),
+        }
     }
 
-    /// Whether `addr` lies within `.text`.
-    pub fn in_text(&self, addr: u64) -> bool {
-        addr >= self.text_addr && addr < self.text_end()
+    /// Decode mode matching the image class.
+    pub fn mode(&self) -> Mode {
+        if self.wide {
+            Mode::Bits64
+        } else {
+            Mode::Bits32
+        }
+    }
+
+    /// Whether `addr` lies within any analyzed code region.
+    pub fn in_code(&self, addr: u64) -> bool {
+        self.code.in_code(addr)
     }
 }
+
+/// Section-name prefixes excluded from the analysis view (import stubs).
+const STUB_SECTION_PREFIXES: [&str; 2] = [".plt", ".iplt"];
 
 /// Parses a raw ELF image.
 ///
 /// Exception information is best-effort: corrupt or exotic EH metadata
-/// degrades to "no landing pads" rather than failing the analysis, since
-/// FILTERENDBR treats `exn` as an optional reduction.
+/// degrades to "no landing pads / no FDEs" rather than failing the
+/// analysis, since FILTERENDBR treats `exn` as an optional reduction.
 pub fn parse(bytes: &[u8]) -> Result<Parsed<'_>, Error> {
     let elf = Elf::parse(bytes)?;
-    let (text_addr, text) = elf.section_bytes(".text").ok_or(Error::NoText)?;
+    let regions: Vec<CodeRegion<'_>> = elf
+        .executable_sections()
+        .into_iter()
+        .filter(|(sec, _, _)| !STUB_SECTION_PREFIXES.iter().any(|p| sec.name.starts_with(p)))
+        .map(|(sec, addr, bytes)| CodeRegion { name: sec.name.clone(), addr, bytes })
+        .collect();
+    if regions.is_empty() {
+        return Err(Error::NoText);
+    }
+    let code = CodeView::new(regions);
     let wide = elf.class() == Class::Elf64;
 
     let mut landing_pads = BTreeSet::new();
-    if let (Some((eh_addr, eh_data)), Some((gx_addr, gx_data))) =
-        (elf.section_bytes(".eh_frame"), elf.section_bytes(".gcc_except_table"))
-    {
+    let mut fde_ranges = Vec::new();
+    if let Some((eh_addr, eh_data)) = elf.section_bytes(".eh_frame") {
         if let Ok(frame) = parse_eh_frame(eh_data, eh_addr, wide) {
+            let gx = elf.section_bytes(".gcc_except_table");
             for fde in &frame.fdes {
-                let Some(lsda) = fde.lsda else { continue };
+                fde_ranges.push((fde.pc_begin, fde.pc_begin + fde.pc_range));
+                let (Some((gx_addr, gx_data)), Some(lsda)) = (gx, fde.lsda) else { continue };
                 if let Ok(parsed) = parse_lsda(gx_data, gx_addr, lsda, fde.pc_begin, wide) {
                     landing_pads.extend(parsed.landing_pads);
                 }
             }
+            fde_ranges.sort_unstable();
         }
     }
 
     let plt = PltMap::from_elf(&elf).unwrap_or_default();
     let cet = funseeker_elf::cet_properties(&elf).unwrap_or_default();
 
-    Ok(Parsed { text_addr, text, wide, landing_pads, plt, cet })
+    Ok(Parsed { code, wide, entry: elf.header.entry, landing_pads, fde_ranges, plt, cet })
 }
 
 #[cfg(test)]
@@ -93,8 +241,55 @@ mod tests {
         let bytes = std::fs::read("/proc/self/exe").unwrap();
         let p = parse(&bytes).unwrap();
         assert!(p.wide);
-        assert!(!p.text.is_empty());
-        assert!(p.in_text(p.text_addr));
-        assert!(!p.in_text(p.text_end()));
+        let (text_lo, text_hi) = p.code.text_range();
+        assert!(text_lo < text_hi);
+        assert!(p.in_code(text_lo));
+        let (lo, hi) = p.code.bounds();
+        assert!(lo <= text_lo && text_hi <= hi);
+        assert!(p.in_code(lo));
+        assert!(!p.in_code(hi), "one past the last region is outside the view");
+        // No analyzed region is an import-stub section.
+        assert!(p.code.regions().iter().all(|r| !r.name.starts_with(".plt")));
+    }
+
+    #[test]
+    fn multi_region_view_orders_and_excludes_plt() {
+        use funseeker_elf::{ElfBuilder, Machine, ObjectType};
+        let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::Executable);
+        b.entry(0x401000);
+        b.text(".text", 0x401000, vec![0xf3, 0x0f, 0x1e, 0xfa, 0xc3]);
+        b.text(".init", 0x400100, vec![0xc3]);
+        b.text(".plt", 0x400200, vec![0xff, 0x25, 0, 0, 0, 0]);
+        b.text(".fini", 0x402000, vec![0x55, 0xc3]);
+        let bytes = b.build().unwrap();
+
+        let p = parse(&bytes).unwrap();
+        let names: Vec<&str> = p.code.regions().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, [".init", ".text", ".fini"]);
+        assert!(p.in_code(0x400100));
+        assert!(!p.in_code(0x400200), "PLT must stay outside the analysis view");
+        assert!(p.code.is_region_start(0x402000));
+        assert!(!p.code.is_region_start(0x402001));
+        assert_eq!(p.code.text_range(), (0x401000, 0x401005));
+        assert_eq!(p.code.bounds(), (0x400100, 0x402002));
+        assert_eq!(p.code.bytes_at(0x402000, 2), Some(&[0x55, 0xc3][..]));
+        assert_eq!(p.code.bytes_at(0x402001, 2), None);
+        assert_eq!(p.entry, 0x401000);
+    }
+
+    #[test]
+    fn region_lookup_on_boundaries() {
+        let a = [0x90u8; 4];
+        let b = [0xc3u8; 4];
+        let view = CodeView::new(vec![
+            CodeRegion { name: ".b".into(), addr: 0x2000, bytes: &b },
+            CodeRegion { name: ".a".into(), addr: 0x1000, bytes: &a },
+        ]);
+        assert_eq!(view.region_of(0x0fff).map(|r| r.name.as_str()), None);
+        assert_eq!(view.region_of(0x1000).map(|r| r.name.as_str()), Some(".a"));
+        assert_eq!(view.region_of(0x1003).map(|r| r.name.as_str()), Some(".a"));
+        assert_eq!(view.region_of(0x1004), None);
+        assert_eq!(view.region_of(0x2003).map(|r| r.name.as_str()), Some(".b"));
+        assert_eq!(view.len_bytes(), 8);
     }
 }

@@ -11,7 +11,10 @@
 //! "Function boundaries" here are approximated by the candidate set
 //! `E′ ∪ C`: each candidate starts an interval that runs to the next
 //! candidate, exactly the cheap approximation the paper's linear-time
-//! budget allows.
+//! budget allows. Region starts are additional interval breaks — a
+//! function never spans two executable sections, so a jump target in a
+//! candidate-free region (e.g. `.fini`) is not attributed to the last
+//! `.text` candidate's interval.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -21,14 +24,24 @@ use std::collections::{BTreeMap, BTreeSet};
 /// * `jmp_edges` — `(site, target)` pairs of direct unconditional jumps.
 /// * `min_referers` — condition (2)'s threshold ("multiple" = 2 in the
 ///   default configuration).
+/// * `region_starts` — sorted start addresses of the code regions; may
+///   be empty for single-interval analyses (tests, synthetic inputs).
 pub fn select_tail_calls(
     candidates: &BTreeSet<u64>,
     jmp_edges: &[(u64, u64)],
     min_referers: usize,
+    region_starts: &[u64],
 ) -> BTreeSet<u64> {
-    // Interval id of an address = the greatest candidate ≤ address
-    // (None for addresses before the first candidate).
-    let interval = |addr: u64| -> Option<u64> { candidates.range(..=addr).next_back().copied() };
+    // Interval id of an address = the greatest candidate-or-region-start
+    // ≤ address (None for addresses before all of them). For a single
+    // region this matches the plain candidate interval: addresses below
+    // the first candidate share the region-start interval, which the
+    // site/target comparison treats just like sharing `None`.
+    let interval = |addr: u64| -> Option<u64> {
+        let cand = candidates.range(..=addr).next_back().copied();
+        let region = region_starts[..region_starts.partition_point(|&s| s <= addr)].last().copied();
+        cand.max(region)
+    };
 
     // target → set of referring intervals (excluding the target's own).
     let mut referers: BTreeMap<u64, BTreeSet<Option<u64>>> = BTreeMap::new();
@@ -45,11 +58,7 @@ pub fn select_tail_calls(
         referers.entry(target).or_default().insert(site_iv);
     }
 
-    referers
-        .into_iter()
-        .filter(|(_, ivs)| ivs.len() >= min_referers)
-        .map(|(t, _)| t)
-        .collect()
+    referers.into_iter().filter(|(_, ivs)| ivs.len() >= min_referers).map(|(t, _)| t).collect()
 }
 
 #[cfg(test)]
@@ -65,7 +74,7 @@ mod tests {
         // One function at 0x100; jumps inside it never qualify.
         let c = cands(&[0x100]);
         let edges = [(0x110u64, 0x150u64), (0x120, 0x150), (0x130, 0x150)];
-        assert!(select_tail_calls(&c, &edges, 2).is_empty());
+        assert!(select_tail_calls(&c, &edges, 2, &[]).is_empty());
     }
 
     #[test]
@@ -77,7 +86,7 @@ mod tests {
         // functions, so it is selected).
         let c = cands(&[0x100, 0x200, 0x300]);
         let edges = [(0x110u64, 0x350u64), (0x210, 0x350)];
-        let sel = select_tail_calls(&c, &edges, 2);
+        let sel = select_tail_calls(&c, &edges, 2, &[]);
         assert_eq!(sel.into_iter().collect::<Vec<_>>(), vec![0x350]);
     }
 
@@ -85,9 +94,9 @@ mod tests {
     fn single_referer_is_rejected_at_threshold_two() {
         let c = cands(&[0x100, 0x200]);
         let edges = [(0x110u64, 0x250u64)];
-        assert!(select_tail_calls(&c, &edges, 2).is_empty());
+        assert!(select_tail_calls(&c, &edges, 2, &[]).is_empty());
         // …but accepted when the threshold is relaxed.
-        assert_eq!(select_tail_calls(&c, &edges, 1).len(), 1);
+        assert_eq!(select_tail_calls(&c, &edges, 1, &[]).len(), 1);
     }
 
     #[test]
@@ -96,9 +105,9 @@ mod tests {
         // (same interval) must not count as a referer.
         let c = cands(&[0x100, 0x200]);
         let edges = [(0x210u64, 0x250u64), (0x110, 0x250)];
-        let sel = select_tail_calls(&c, &edges, 2);
+        let sel = select_tail_calls(&c, &edges, 2, &[]);
         assert!(sel.is_empty(), "only one *other* function refers to 0x250");
-        let sel = select_tail_calls(&c, &edges, 1);
+        let sel = select_tail_calls(&c, &edges, 1, &[]);
         assert_eq!(sel.len(), 1);
     }
 
@@ -106,7 +115,7 @@ mod tests {
     fn already_identified_targets_are_skipped() {
         let c = cands(&[0x100, 0x200]);
         let edges = [(0x110u64, 0x200u64), (0x150, 0x200)];
-        assert!(select_tail_calls(&c, &edges, 2).is_empty());
+        assert!(select_tail_calls(&c, &edges, 2, &[]).is_empty());
     }
 
     #[test]
@@ -114,7 +123,7 @@ mod tests {
         // Two jumps from the same function are one referer.
         let c = cands(&[0x100, 0x200, 0x300]);
         let edges = [(0x110u64, 0x350u64), (0x120, 0x350)];
-        assert!(select_tail_calls(&c, &edges, 2).is_empty());
+        assert!(select_tail_calls(&c, &edges, 2, &[]).is_empty());
     }
 
     #[test]
@@ -124,6 +133,37 @@ mod tests {
         // threshold 2.
         let c = cands(&[]);
         let edges = [(0x10u64, 0x50u64), (0x20, 0x50)];
-        assert!(select_tail_calls(&c, &edges, 2).is_empty());
+        assert!(select_tail_calls(&c, &edges, 2, &[]).is_empty());
+    }
+
+    #[test]
+    fn region_starts_break_intervals() {
+        // Candidates only in the first region; the target lives in a
+        // second, candidate-free region (say `.fini`). Without the region
+        // break, 0x2000 would share 0x180's interval and the jump from
+        // 0x190 would look intra-function.
+        let c = cands(&[0x100, 0x180]);
+        let edges = [(0x190u64, 0x2000u64), (0x110, 0x2000)];
+        assert!(select_tail_calls(&c, &edges, 2, &[]).is_empty());
+        let sel = select_tail_calls(&c, &edges, 2, &[0x100, 0x2000]);
+        assert_eq!(sel.into_iter().collect::<Vec<_>>(), vec![0x2000]);
+    }
+
+    #[test]
+    fn region_starts_equivalent_to_none_for_single_region() {
+        // For single-region inputs the region start must not change any
+        // verdict: rerun the scenarios above with the base as the sole
+        // region start.
+        let c = cands(&[0x100, 0x200, 0x300]);
+        let edges = [(0x110u64, 0x350u64), (0x210, 0x350)];
+        assert_eq!(
+            select_tail_calls(&c, &edges, 2, &[]),
+            select_tail_calls(&c, &edges, 2, &[0x100]),
+        );
+        let edges = [(0x10u64, 0x350u64), (0x210, 0x350)];
+        assert_eq!(
+            select_tail_calls(&c, &edges, 2, &[]),
+            select_tail_calls(&c, &edges, 2, &[0x10]),
+        );
     }
 }

@@ -13,7 +13,10 @@ fn dataset() -> Dataset {
     Dataset::generate(&params, 0xFACADE)
 }
 
-fn prf(found: &std::collections::BTreeSet<u64>, truth: &std::collections::BTreeSet<u64>) -> (f64, f64) {
+fn prf(
+    found: &std::collections::BTreeSet<u64>,
+    truth: &std::collections::BTreeSet<u64>,
+) -> (f64, f64) {
     let tp = found.intersection(truth).count() as f64;
     let p = if found.is_empty() { 1.0 } else { tp / found.len() as f64 };
     let r = if truth.is_empty() { 1.0 } else { tp / truth.len() as f64 };
@@ -49,18 +52,8 @@ fn per_binary_recall_never_collapses() {
         let truth = bin.truth.eval_entries();
         let a = seeker.identify(&bin.bytes).unwrap();
         let (p, r) = prf(&a.functions, &truth);
-        assert!(
-            r > 0.9,
-            "{} {}: recall {r:.3} precision {p:.3}",
-            bin.program,
-            bin.config.label()
-        );
-        assert!(
-            p > 0.9,
-            "{} {}: precision {p:.3}",
-            bin.program,
-            bin.config.label()
-        );
+        assert!(r > 0.9, "{} {}: recall {r:.3} precision {p:.3}", bin.program, bin.config.label());
+        assert!(p > 0.9, "{} {}: precision {p:.3}", bin.program, bin.config.label());
         assert_eq!(a.decode_errors, 0);
     }
 }

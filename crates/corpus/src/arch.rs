@@ -4,7 +4,7 @@ use funseeker_disasm::Mode;
 use funseeker_elf::{Class, Machine};
 
 /// The two architectures of the study (§III-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Arch {
     /// 32-bit x86.
     X86,

@@ -316,7 +316,7 @@ pub enum SwitchStyle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use funseeker_disasm::{InsnKind, LinearSweep};
+    use funseeker_disasm::{sweep_all, InsnKind};
 
     /// Decodes everything an assembler emitted and asserts full coverage
     /// (no decode errors, no gaps).
@@ -327,9 +327,9 @@ mod tests {
         for f in &asm.fixups {
             code[f.pos..f.pos + 4].copy_from_slice(&0x10u32.to_le_bytes());
         }
-        let mut sweep = LinearSweep::new(&code, 0x1000, asm.arch.mode());
-        let insns: Vec<_> = sweep.by_ref().collect();
-        assert_eq!(sweep.error_count(), 0, "decode errors in emitted code");
+        let swept = sweep_all(&code, 0x1000, asm.arch.mode());
+        let insns = swept.insns;
+        assert_eq!(swept.error_count, 0, "decode errors in emitted code");
         let mut expect = 0x1000u64;
         for i in &insns {
             assert_eq!(i.addr, expect, "gap or overlap at {expect:#x}");
@@ -418,7 +418,7 @@ mod tests {
             if pad.is_empty() {
                 continue;
             }
-            let insns: Vec<_> = LinearSweep::new(pad, 0, funseeker_disasm::Mode::Bits64).collect();
+            let insns = sweep_all(pad, 0, funseeker_disasm::Mode::Bits64).insns;
             assert!(insns.iter().all(|i| i.kind == InsnKind::Nop), "pad for {target}: {insns:?}");
         }
     }

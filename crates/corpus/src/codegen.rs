@@ -158,10 +158,8 @@ pub(crate) fn lower_with(
             if f.no_endbr_intrinsic || f.dead {
                 return f.address_taken;
             }
-            let referenced = spec
-                .functions
-                .iter()
-                .any(|g| g.calls.contains(&i) || g.tail_call == Some(i));
+            let referenced =
+                spec.functions.iter().any(|g| g.calls.contains(&i) || g.tail_call == Some(i));
             f.address_taken || (f.linkage == Linkage::External && !referenced)
         })
         .collect();
@@ -208,8 +206,8 @@ pub(crate) fn lower_with(
     }
 
     let mut units: Vec<Unit> = Vec::with_capacity(start_unit + 1);
-    for i in 0..n {
-        units.push(lower_function(&mut ctx, i, &takes[i], rng));
+    for (i, takes_i) in takes.iter().enumerate().take(n) {
+        units.push(lower_function(&mut ctx, i, takes_i, rng));
     }
     // Fragments (resume offsets are now known).
     for i in 0..n {
@@ -258,11 +256,7 @@ fn lower_function(ctx: &mut LowerCtx<'_>, idx: usize, takes: &[usize], rng: &mut
     u.is_static = f.linkage == Linkage::Static;
 
     let mut a = Assembler::new(cfg.arch);
-    let endbr = if ctx.options.manual_endbr {
-        ctx.manual_endbr_keep[idx]
-    } else {
-        f.gets_endbr()
-    };
+    let endbr = if ctx.options.manual_endbr { ctx.manual_endbr_keep[idx] } else { f.gets_endbr() };
     if endbr {
         a.endbr();
     }
@@ -399,11 +393,7 @@ fn lower_function(ctx: &mut LowerCtx<'_>, idx: usize, takes: &[usize], rng: &mut
             a.endbr();
             a.filler(rng.gen());
             a.call_plt(unwind);
-            u.pad_sites.push(PadSite {
-                start: body_start + p * chunk,
-                len: chunk.max(1),
-                pad_off,
-            });
+            u.pad_sites.push(PadSite { start: body_start + p * chunk, len: chunk.max(1), pad_off });
         }
     }
 
@@ -496,7 +486,8 @@ mod tests {
     #[test]
     fn x86_pie_gets_thunk_unit() {
         let spec = program();
-        let cfg = BuildConfig { compiler: Compiler::Gcc, arch: Arch::X86, opt: OptLevel::O0, pie: true };
+        let cfg =
+            BuildConfig { compiler: Compiler::Gcc, arch: Arch::X86, opt: OptLevel::O0, pie: true };
         let mut rng = StdRng::seed_from_u64(3);
         let low = lower_with(&spec, cfg, crate::EmissionOptions::default(), &mut rng);
         let thunks: Vec<_> = low.units.iter().filter(|u| u.is_thunk).collect();
@@ -509,7 +500,12 @@ mod tests {
     #[test]
     fn clang_never_splits_fragments() {
         let spec = program();
-        let cfg = BuildConfig { compiler: Compiler::Clang, arch: Arch::X64, opt: OptLevel::O3, pie: false };
+        let cfg = BuildConfig {
+            compiler: Compiler::Clang,
+            arch: Arch::X64,
+            opt: OptLevel::O3,
+            pie: false,
+        };
         let mut rng = StdRng::seed_from_u64(9);
         let low = lower_with(&spec, cfg, crate::EmissionOptions::default(), &mut rng);
         assert!(low.units.iter().all(|u| !u.is_part));
@@ -533,8 +529,18 @@ mod tests {
     #[test]
     fn lowering_is_deterministic_per_seed() {
         let spec = program();
-        let a = lower_with(&spec, cfg64(), crate::EmissionOptions::default(), &mut StdRng::seed_from_u64(42));
-        let b = lower_with(&spec, cfg64(), crate::EmissionOptions::default(), &mut StdRng::seed_from_u64(42));
+        let a = lower_with(
+            &spec,
+            cfg64(),
+            crate::EmissionOptions::default(),
+            &mut StdRng::seed_from_u64(42),
+        );
+        let b = lower_with(
+            &spec,
+            cfg64(),
+            crate::EmissionOptions::default(),
+            &mut StdRng::seed_from_u64(42),
+        );
         assert_eq!(a.units.len(), b.units.len());
         for (x, y) in a.units.iter().zip(&b.units) {
             assert_eq!(x.code, y.code);

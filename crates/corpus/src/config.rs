@@ -3,7 +3,7 @@
 use crate::arch::Arch;
 
 /// The compiler whose CET emission behavior a binary models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Compiler {
     /// GCC 10-style emission: FDEs for every function, `.plt.sec` second
     /// PLT, `.cold`/`.part` fragment extraction at higher `-O` levels.
@@ -25,7 +25,7 @@ impl Compiler {
 }
 
 /// Optimization level (§III-A: six levels per compiler).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OptLevel {
     /// `-O0`
     O0,
@@ -87,7 +87,7 @@ impl OptLevel {
 }
 
 /// One point in the build-configuration grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BuildConfig {
     /// Modeled compiler.
     pub compiler: Compiler,
@@ -183,7 +183,12 @@ mod tests {
 
     #[test]
     fn clang_x86_suppresses_c_fdes() {
-        let mut cfg = BuildConfig { compiler: Compiler::Clang, arch: Arch::X86, opt: OptLevel::O2, pie: false };
+        let mut cfg = BuildConfig {
+            compiler: Compiler::Clang,
+            arch: Arch::X86,
+            opt: OptLevel::O2,
+            pie: false,
+        };
         assert!(!cfg.emits_c_fdes());
         cfg.arch = Arch::X64;
         assert!(cfg.emits_c_fdes());
@@ -204,10 +209,16 @@ mod tests {
 
     #[test]
     fn labels_are_stable() {
-        let cfg = BuildConfig { compiler: Compiler::Gcc, arch: Arch::X64, opt: OptLevel::O2, pie: true };
+        let cfg =
+            BuildConfig { compiler: Compiler::Gcc, arch: Arch::X64, opt: OptLevel::O2, pie: true };
         assert_eq!(cfg.label(), "GCC-x64-O2-pie");
         assert_eq!(cfg.base(), 0x1000);
-        let cfg = BuildConfig { compiler: Compiler::Clang, arch: Arch::X86, opt: OptLevel::Os, pie: false };
+        let cfg = BuildConfig {
+            compiler: Compiler::Clang,
+            arch: Arch::X86,
+            opt: OptLevel::Os,
+            pie: false,
+        };
         assert_eq!(cfg.label(), "Clang-x86-Os-nopie");
         assert_eq!(cfg.base(), 0x0804_8000);
     }

@@ -89,8 +89,10 @@ impl Dataset {
                 let mut rng = StdRng::seed_from_u64(
                     seed ^ (suite as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ ((i as u64) << 32),
                 );
-                let name = format!("{}_{:03}", suite.label().split(' ').next().unwrap().to_lowercase(), i);
-                let lang = if i < cpp_count { crate::spec::Lang::Cpp } else { crate::spec::Lang::C };
+                let name =
+                    format!("{}_{:03}", suite.label().split(' ').next().unwrap().to_lowercase(), i);
+                let lang =
+                    if i < cpp_count { crate::spec::Lang::Cpp } else { crate::spec::Lang::C };
                 let mut spec = crate::workload::generate_program_in(suite, &name, lang, &mut rng);
                 if i == 0 {
                     // Structural floor: at least one program per suite

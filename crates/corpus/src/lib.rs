@@ -56,7 +56,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Emission options orthogonal to the build-configuration grid.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EmissionOptions {
     /// Model `-mmanual-endbr` (§VI of the paper): the compiler no longer
     /// places an end-branch at every non-static entry; only functions

@@ -276,11 +276,8 @@ pub(crate) fn link_with(
         })
         .collect();
 
-    let jump_slot = if arch == Arch::X64 {
-        reloc::R_X86_64_JUMP_SLOT
-    } else {
-        reloc::R_386_JMP_SLOT
-    };
+    let jump_slot =
+        if arch == Arch::X64 { reloc::R_X86_64_JUMP_SLOT } else { reloc::R_386_JMP_SLOT };
     let relocs: Vec<Reloc> = (0..nplt as usize)
         .map(|i| Reloc {
             offset: got_slot(i),
@@ -453,7 +450,9 @@ fn build_plt_sec(arch: Arch, sec_addr: u64, got_slot: impl Fn(usize) -> u64, n: 
                 let entry = sec_addr + PLT_ENTSIZE * i as u64;
                 out.extend_from_slice(&[0xf3, 0x0f, 0x1e, 0xfa]);
                 out.extend_from_slice(&[0xff, 0x25]); // jmp [rip+got slot]
-                out.extend_from_slice(&((got_slot(i).wrapping_sub(entry + 10)) as u32).to_le_bytes());
+                out.extend_from_slice(
+                    &((got_slot(i).wrapping_sub(entry + 10)) as u32).to_le_bytes(),
+                );
                 out.extend_from_slice(&[0x66, 0x0f, 0x1f, 0x44, 0x00, 0x00]);
             }
             Arch::X86 => {

@@ -7,7 +7,7 @@
 //! to the identifiers and is replaced by seeded filler code.
 
 /// Source language of a translation unit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Lang {
     /// C — no exception tables.
     C,
@@ -16,7 +16,7 @@ pub enum Lang {
 }
 
 /// Function linkage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Linkage {
     /// Non-`static`: visible across translation units. Compilers insert
     /// an end-branch at the entry (§III-B1) because the address may
@@ -27,7 +27,7 @@ pub enum Linkage {
 }
 
 /// One function to generate.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FunctionSpec {
     /// Symbol name.
     pub name: String,
@@ -99,7 +99,7 @@ impl FunctionSpec {
 }
 
 /// One program (one output binary per build configuration).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProgramSpec {
     /// Program name (becomes the binary name).
     pub name: String,

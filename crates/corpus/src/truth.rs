@@ -8,7 +8,7 @@
 use std::collections::BTreeSet;
 
 /// One code entity in the emitted `.text` section.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FunctionTruth {
     /// Symbol name (what `.symtab` carries when `has_symbol`).
     pub name: String,
@@ -33,7 +33,7 @@ pub struct FunctionTruth {
 }
 
 /// Complete ground truth for one binary.
-#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GroundTruth {
     /// All code entities, sorted by address.
     pub functions: Vec<FunctionTruth>,
@@ -52,28 +52,17 @@ impl GroundTruth {
     /// (fragments excluded, thunks included) — the set identifiers are
     /// scored against.
     pub fn eval_entries(&self) -> BTreeSet<u64> {
-        self.functions
-            .iter()
-            .filter(|f| !f.is_part)
-            .map(|f| f.addr)
-            .collect()
+        self.functions.iter().filter(|f| !f.is_part).map(|f| f.addr).collect()
     }
 
     /// Entry addresses of `.cold`/`.part` fragments.
     pub fn part_entries(&self) -> BTreeSet<u64> {
-        self.functions
-            .iter()
-            .filter(|f| f.is_part)
-            .map(|f| f.addr)
-            .collect()
+        self.functions.iter().filter(|f| f.is_part).map(|f| f.addr).collect()
     }
 
     /// Looks up an entity by address.
     pub fn by_addr(&self, addr: u64) -> Option<&FunctionTruth> {
-        self.functions
-            .binary_search_by_key(&addr, |f| f.addr)
-            .ok()
-            .map(|i| &self.functions[i])
+        self.functions.binary_search_by_key(&addr, |f| f.addr).ok().map(|i| &self.functions[i])
     }
 }
 

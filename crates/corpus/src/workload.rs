@@ -12,7 +12,7 @@ use rand::Rng;
 use crate::spec::{FunctionSpec, Lang, Linkage, ProgramSpec};
 
 /// Benchmark suite a program belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     /// Coreutils-like: small C utilities.
     Coreutils,
@@ -210,20 +210,18 @@ pub fn generate_program_in(suite: Suite, name: &str, lang: Lang, rng: &mut StdRn
 
     // Direct-call graph over a "callable pool" covering ~call_coverage of
     // the functions; edges always point at pool members.
-    let pool: Vec<usize> = (1..n)
-        .filter(|&i| !functions[i].dead)
-        .filter(|_| rng.gen_bool(p.call_coverage))
-        .collect();
+    let pool: Vec<usize> =
+        (1..n).filter(|&i| !functions[i].dead).filter(|_| rng.gen_bool(p.call_coverage)).collect();
     if !pool.is_empty() {
-        for i in 0..n {
-            if functions[i].dead && rng.gen_bool(0.5) {
+        for (i, f) in functions.iter_mut().enumerate().take(n) {
+            if f.dead && rng.gen_bool(0.5) {
                 continue; // some dead functions call nothing at all
             }
             let k = rng.gen_range(0..=3usize);
             for _ in 0..k {
                 let c = pool[rng.gen_range(0..pool.len())];
-                if c != i && !functions[i].calls.contains(&c) {
-                    functions[i].calls.push(c);
+                if c != i && !f.calls.contains(&c) {
+                    f.calls.push(c);
                 }
             }
         }
@@ -246,7 +244,9 @@ pub fn generate_program_in(suite: Suite, name: &str, lang: Lang, rng: &mut StdRn
         // only SELECTTAILCALL can recover.
         let static_pool: Vec<usize> = (1..n)
             .filter(|&i| {
-                functions[i].linkage == Linkage::Static && !functions[i].address_taken && !functions[i].dead
+                functions[i].linkage == Linkage::Static
+                    && !functions[i].address_taken
+                    && !functions[i].dead
             })
             .collect();
         for t in 0..p.shared_tail_targets {
@@ -269,7 +269,10 @@ pub fn generate_program_in(suite: Suite, name: &str, lang: Lang, rng: &mut StdRn
                 // layout order: its tail jump would share the target's
                 // candidate interval, which no real compiler layout
                 // correlates the way dense random picks would.
-                if c != target && c + 1 != target && !functions[c].dead && functions[c].tail_call.is_none()
+                if c != target
+                    && c + 1 != target
+                    && !functions[c].dead
+                    && functions[c].tail_call.is_none()
                 {
                     functions[c].tail_call = Some(target);
                     callers += 1;

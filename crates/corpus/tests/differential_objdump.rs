@@ -9,7 +9,7 @@ use std::collections::BTreeMap;
 use std::process::Command;
 
 use funseeker_corpus::{BuildConfig, Dataset, DatasetParams};
-use funseeker_disasm::LinearSweep;
+use funseeker_disasm::sweep_all;
 use funseeker_elf::Elf;
 
 fn objdump_starts(path: &std::path::Path, x86: bool) -> Option<BTreeMap<u64, usize>> {
@@ -41,7 +41,12 @@ fn objdump_starts(path: &std::path::Path, x86: bool) -> Option<BTreeMap<u64, usi
 #[test]
 fn corpus_binaries_agree_with_objdump() {
     // Quick availability probe.
-    if Command::new("objdump").arg("--version").output().map(|o| !o.status.success()).unwrap_or(true) {
+    if Command::new("objdump")
+        .arg("--version")
+        .output()
+        .map(|o| !o.status.success())
+        .unwrap_or(true)
+    {
         eprintln!("skipping: objdump unavailable");
         return;
     }
@@ -69,7 +74,9 @@ fn corpus_binaries_agree_with_objdump() {
 
         let elf = Elf::parse(&bin.bytes).unwrap();
         let (text_addr, text) = elf.section_bytes(".text").unwrap();
-        let ours: BTreeMap<u64, usize> = LinearSweep::new(text, text_addr, bin.config.arch.mode())
+        let ours: BTreeMap<u64, usize> = sweep_all(text, text_addr, bin.config.arch.mode())
+            .insns
+            .iter()
             .map(|insn| (insn.addr, insn.len as usize))
             .collect();
 
@@ -90,5 +97,7 @@ fn corpus_binaries_agree_with_objdump() {
     }
     assert!(checked_binaries >= 10, "too few binaries checked ({checked_binaries})");
     assert!(checked_insns > 10_000, "too few instructions checked ({checked_insns})");
-    eprintln!("verified {checked_insns} instructions across {checked_binaries} binaries against objdump");
+    eprintln!(
+        "verified {checked_insns} instructions across {checked_binaries} binaries against objdump"
+    );
 }

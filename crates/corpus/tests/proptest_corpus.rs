@@ -5,62 +5,66 @@ use funseeker_corpus::{
     compile, compile_with, Arch, BuildConfig, Compiler, EmissionOptions, FunctionSpec, Lang,
     Linkage, OptLevel, ProgramSpec,
 };
-use funseeker_disasm::LinearSweep;
+use funseeker_disasm::sweep_all;
 use funseeker_elf::Elf;
 use proptest::prelude::*;
 
 /// Strategy: a structurally valid program spec.
 fn arb_spec() -> impl Strategy<Value = ProgramSpec> {
-    (2usize..14, any::<u64>(), any::<bool>()).prop_map(|(n, bits, cpp)| {
-        let lang = if cpp { Lang::Cpp } else { Lang::C };
-        let mut functions = Vec::with_capacity(n);
-        for i in 0..n {
-            let mut f = FunctionSpec::named(if i == 0 { "main".into() } else { format!("f{i}") });
-            let r = bits.rotate_left((i * 7) as u32);
-            f.body_size = 2 + (r % 20) as usize;
-            if i != 0 {
-                if r & 1 == 1 {
-                    f.linkage = Linkage::Static;
-                    if r & 2 == 2 {
-                        f.address_taken = true;
-                    } else if r & 4 == 4 {
-                        f.dead = true;
+    (2usize..14, any::<u64>(), any::<bool>())
+        .prop_map(|(n, bits, cpp)| {
+            let lang = if cpp { Lang::Cpp } else { Lang::C };
+            let mut functions = Vec::with_capacity(n);
+            for i in 0..n {
+                let mut f =
+                    FunctionSpec::named(if i == 0 { "main".into() } else { format!("f{i}") });
+                let r = bits.rotate_left((i * 7) as u32);
+                f.body_size = 2 + (r % 20) as usize;
+                if i != 0 {
+                    if r & 1 == 1 {
+                        f.linkage = Linkage::Static;
+                        if r & 2 == 2 {
+                            f.address_taken = true;
+                        } else if r & 4 == 4 {
+                            f.dead = true;
+                        }
+                    }
+                    // Call a previous function sometimes (never self).
+                    if r & 8 == 8 && i >= 2 {
+                        f.calls.push((r % (i as u64 - 1)) as usize + 1);
+                    }
+                    if r & 16 == 16 && i >= 2 {
+                        let t = (r % i as u64) as usize;
+                        if t != i {
+                            f.tail_call = Some(t);
+                        }
                     }
                 }
-                // Call a previous function sometimes (never self).
-                if r & 8 == 8 && i >= 2 {
-                    f.calls.push((r % (i as u64 - 1)) as usize + 1);
+                if r & 32 == 32 {
+                    f.switch_cases = 2 + (r % 6) as usize;
                 }
-                if r & 16 == 16 && i >= 2 {
-                    let t = (r % i as u64) as usize;
-                    if t != i {
-                        f.tail_call = Some(t);
-                    }
+                if lang == Lang::Cpp && r & 64 == 64 {
+                    f.landing_pads = 1 + (r % 3) as usize;
                 }
+                if r & 128 == 128 && i != 0 {
+                    f.cold_part = true;
+                    f.part_called = r & 256 == 256;
+                }
+                functions.push(f);
             }
-            if r & 32 == 32 {
-                f.switch_cases = 2 + (r % 6) as usize;
-            }
-            if lang == Lang::Cpp && r & 64 == 64 {
-                f.landing_pads = 1 + (r % 3) as usize;
-            }
-            if r & 128 == 128 && i != 0 {
-                f.cold_part = true;
-                f.part_called = r & 256 == 256;
-            }
-            functions.push(f);
-        }
-        ProgramSpec { name: "prop".into(), lang, functions }
-    })
-    .prop_filter("valid spec", |spec| spec.validate().is_ok())
+            ProgramSpec { name: "prop".into(), lang, functions }
+        })
+        .prop_filter("valid spec", |spec| spec.validate().is_ok())
 }
 
 fn arb_config() -> impl Strategy<Value = BuildConfig> {
-    (any::<bool>(), any::<bool>(), 0usize..6, any::<bool>()).prop_map(|(gcc, x64, opt, pie)| BuildConfig {
-        compiler: if gcc { Compiler::Gcc } else { Compiler::Clang },
-        arch: if x64 { Arch::X64 } else { Arch::X86 },
-        opt: OptLevel::ALL[opt],
-        pie,
+    (any::<bool>(), any::<bool>(), 0usize..6, any::<bool>()).prop_map(|(gcc, x64, opt, pie)| {
+        BuildConfig {
+            compiler: if gcc { Compiler::Gcc } else { Compiler::Clang },
+            arch: if x64 { Arch::X64 } else { Arch::X86 },
+            opt: OptLevel::ALL[opt],
+            pie,
+        }
     })
 }
 
@@ -75,9 +79,9 @@ proptest! {
         let elf = Elf::parse(&built.bytes).expect("parses");
         let (text_addr, text) = elf.section_bytes(".text").expect("has .text");
 
-        let mut sweep = LinearSweep::new(text, text_addr, cfg.arch.mode());
-        let starts: std::collections::BTreeSet<u64> = sweep.by_ref().map(|i| i.addr).collect();
-        prop_assert_eq!(sweep.error_count(), 0);
+        let swept = sweep_all(text, text_addr, cfg.arch.mode());
+        let starts: std::collections::BTreeSet<u64> = swept.insns.iter().map(|i| i.addr).collect();
+        prop_assert_eq!(swept.error_count, 0);
         for f in &built.truth.functions {
             prop_assert!(starts.contains(&f.addr), "{} not on boundary", f.name);
         }

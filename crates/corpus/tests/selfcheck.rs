@@ -5,7 +5,7 @@
 use std::collections::BTreeSet;
 
 use funseeker_corpus::{Compiler, Dataset, DatasetParams, Lang, Suite};
-use funseeker_disasm::LinearSweep;
+use funseeker_disasm::sweep_all;
 use funseeker_eh::parse_eh_frame;
 use funseeker_elf::{Elf, PltMap};
 
@@ -29,10 +29,10 @@ fn all_binaries_parse_and_sweep_cleanly() {
         // The entire .text must decode with zero errors: the modeled
         // compilers never put data in .text (§IV-B).
         let mode = bin.config.arch.mode();
-        let mut sweep = LinearSweep::new(text, text_addr, mode);
-        let insns: Vec<_> = sweep.by_ref().collect();
+        let swept = sweep_all(text, text_addr, mode);
+        let insns = swept.insns;
         assert_eq!(
-            sweep.error_count(),
+            swept.error_count,
             0,
             "{} {}: decode errors in .text",
             bin.program,
@@ -60,7 +60,9 @@ fn endbr_placement_matches_ground_truth() {
     for bin in &ds.binaries {
         let elf = Elf::parse(&bin.bytes).unwrap();
         let (text_addr, text) = elf.section_bytes(".text").unwrap();
-        let endbrs: BTreeSet<u64> = LinearSweep::new(text, text_addr, bin.config.arch.mode())
+        let endbrs: BTreeSet<u64> = sweep_all(text, text_addr, bin.config.arch.mode())
+            .insns
+            .iter()
             .filter(|i| i.kind.is_endbr())
             .map(|i| i.addr)
             .collect();
@@ -77,13 +79,8 @@ fn endbr_placement_matches_ground_truth() {
         }
         // Every endbr is accounted for: function entry, setjmp return,
         // or landing pad — the paper's complete location taxonomy (§III-B).
-        let entry_set: BTreeSet<u64> = bin
-            .truth
-            .functions
-            .iter()
-            .filter(|f| f.has_endbr)
-            .map(|f| f.addr)
-            .collect();
+        let entry_set: BTreeSet<u64> =
+            bin.truth.functions.iter().filter(|f| f.has_endbr).map(|f| f.addr).collect();
         let setjmp: BTreeSet<u64> = bin.truth.setjmp_return_endbrs.iter().copied().collect();
         let pads: BTreeSet<u64> = bin.truth.landing_pad_endbrs.iter().copied().collect();
         for &e in &endbrs {
@@ -111,10 +108,7 @@ fn plt_resolves_indirect_return_functions() {
             "{}: __libc_start_main missing from PLT map",
             bin.program
         );
-        if plt
-            .iter()
-            .any(|(_, n)| funseeker_corpus::INDIRECT_RETURN_FUNCTIONS.contains(&n))
-        {
+        if plt.iter().any(|(_, n)| funseeker_corpus::INDIRECT_RETURN_FUNCTIONS.contains(&n)) {
             saw_setjmp_family += 1;
         }
     }
@@ -142,7 +136,12 @@ fn eh_frame_matches_compiler_model() {
                 bin.program
             );
             if bin.truth.landing_pad_endbrs.is_empty() {
-                assert!(fdes.is_empty(), "{} {}: Clang x86 C must have no FDEs", bin.program, bin.config.label());
+                assert!(
+                    fdes.is_empty(),
+                    "{} {}: Clang x86 C must have no FDEs",
+                    bin.program,
+                    bin.config.label()
+                );
             }
         } else {
             // Everything (functions, fragments, thunks, _start) has an FDE.
@@ -171,7 +170,8 @@ fn lsda_landing_pads_match_ground_truth() {
         }
         let elf = Elf::parse(&bin.bytes).unwrap();
         let wide = bin.config.arch == funseeker_corpus::Arch::X64;
-        let (eh_addr, eh_data) = elf.section_bytes(".eh_frame").expect("C++ binaries carry .eh_frame");
+        let (eh_addr, eh_data) =
+            elf.section_bytes(".eh_frame").expect("C++ binaries carry .eh_frame");
         let (gx_addr, gx_data) = elf.section_bytes(".gcc_except_table").expect("LSDAs present");
         let fdes = parse_eh_frame(eh_data, eh_addr, wide).unwrap().fdes;
 
@@ -196,11 +196,8 @@ fn symtab_covers_symbolled_functions() {
     for bin in &ds.binaries {
         let elf = Elf::parse(&bin.bytes).unwrap();
         let syms = elf.symbols().unwrap();
-        let func_syms: BTreeSet<u64> = syms
-            .iter()
-            .filter(|s| s.is_defined_func())
-            .map(|s| s.value)
-            .collect();
+        let func_syms: BTreeSet<u64> =
+            syms.iter().filter(|s| s.is_defined_func()).map(|s| s.value).collect();
         for f in &bin.truth.functions {
             assert_eq!(
                 func_syms.contains(&f.addr),
@@ -240,7 +237,11 @@ fn eh_frame_hdr_indexes_every_fde() {
         let wide = bin.config.arch == funseeker_corpus::Arch::X64;
         let Some((hdr_addr, hdr)) = elf.section_bytes(".eh_frame_hdr") else {
             // Clang x86 C binaries have no exception info at all.
-            assert!(elf.section_bytes(".eh_frame").is_none(), "{}: eh_frame without hdr", bin.program);
+            assert!(
+                elf.section_bytes(".eh_frame").is_none(),
+                "{}: eh_frame without hdr",
+                bin.program
+            );
             continue;
         };
         let parsed = funseeker_eh::parse_eh_frame_hdr(hdr, hdr_addr, wide).unwrap();

@@ -9,7 +9,9 @@
 use crate::error::DecodeError;
 use crate::insn::{Insn, InsnKind};
 use crate::mode::Mode;
-use crate::tables::{BAD, ENTER, FAR, GRP3, I16, I8, INV64, IV, IZ, M, MOFFS, ONE_BYTE, PFX, TWO_BYTE};
+use crate::tables::{
+    BAD, ENTER, FAR, GRP3, I16, I8, INV64, IV, IZ, M, MOFFS, ONE_BYTE, PFX, TWO_BYTE,
+};
 
 /// Hardware limit on total instruction length.
 const MAX_LEN: usize = 15;
@@ -48,10 +50,7 @@ impl<'a> Cursor<'a> {
         if self.pos + n > MAX_LEN {
             return Err(DecodeError::TooLong);
         }
-        let bytes = self
-            .code
-            .get(self.pos..self.pos + n)
-            .ok_or(DecodeError::Truncated)?;
+        let bytes = self.code.get(self.pos..self.pos + n).ok_or(DecodeError::Truncated)?;
         self.pos += n;
         let mut v = 0u64;
         for (i, &b) in bytes.iter().enumerate() {
@@ -74,9 +73,9 @@ fn sign_extend(v: u64, bytes: usize) -> i64 {
 struct Prefixes {
     opsize16: bool,
     addrsize: bool,
-    rep: bool,   // F3
-    ds: bool,    // 3E — doubles as NOTRACK on indirect branches
-    rex: u8,     // 0 when absent
+    rep: bool, // F3
+    ds: bool,  // 3E — doubles as NOTRACK on indirect branches
+    rex: u8,   // 0 when absent
 }
 
 impl Prefixes {
@@ -274,7 +273,13 @@ pub fn decode(code: &[u8], addr: u64, mode: Mode) -> Result<Insn, DecodeError> {
         rel = Some((sign_extend(v, n), n));
     }
     if attrs & IV != 0 {
-        let n = if pfx.rex_w() { 8 } else if pfx.opsize16 { 2 } else { 4 };
+        let n = if pfx.rex_w() {
+            8
+        } else if pfx.opsize16 {
+            2
+        } else {
+            4
+        };
         cur.skip(n)?;
     }
     if attrs & I16 != 0 {
@@ -282,7 +287,11 @@ pub fn decode(code: &[u8], addr: u64, mode: Mode) -> Result<Insn, DecodeError> {
     }
     if attrs & MOFFS != 0 {
         let n = if is64 {
-            if pfx.addrsize { 4 } else { 8 }
+            if pfx.addrsize {
+                4
+            } else {
+                8
+            }
         } else if pfx.addrsize {
             2
         } else {
@@ -320,9 +329,9 @@ pub fn decode(code: &[u8], addr: u64, mode: Mode) -> Result<Insn, DecodeError> {
         },
         (OpMap::Map0F, 0x1E) | (OpMap::Map0F, 0x1F) => InsnKind::Nop,
         (OpMap::Map0F, 0x0B) => InsnKind::Ud2,
-        (OpMap::Map0F, o) if (0x80..=0x8F).contains(&o) => InsnKind::Jcc {
-            target: rel.map(target).unwrap_or(0),
-        },
+        (OpMap::Map0F, o) if (0x80..=0x8F).contains(&o) => {
+            InsnKind::Jcc { target: rel.map(target).unwrap_or(0) }
+        }
         (OpMap::Primary, 0xE8) => InsnKind::CallRel { target: rel.map(target).unwrap_or(0) },
         (OpMap::Primary, 0xE9) | (OpMap::Primary, 0xEB) => {
             InsnKind::JmpRel { target: rel.map(target).unwrap_or(0) }
@@ -339,16 +348,17 @@ pub fn decode(code: &[u8], addr: u64, mode: Mode) -> Result<Insn, DecodeError> {
                 _ => InsnKind::Other,
             }
         }
-        (OpMap::Primary, 0xC3) | (OpMap::Primary, 0xC2) | (OpMap::Primary, 0xCB) | (OpMap::Primary, 0xCA) => {
-            InsnKind::Ret
-        }
+        (OpMap::Primary, 0xC3)
+        | (OpMap::Primary, 0xC2)
+        | (OpMap::Primary, 0xCB)
+        | (OpMap::Primary, 0xCA) => InsnKind::Ret,
         (OpMap::Primary, 0xC9) => InsnKind::Leave,
         (OpMap::Primary, 0xCC) => InsnKind::Int3,
         (OpMap::Primary, 0xF4) => InsnKind::Hlt,
         (OpMap::Primary, 0x90) if !pfx.rex_b() => InsnKind::Nop,
-        (OpMap::Primary, o) if (0x50..=0x57).contains(&o) => InsnKind::PushReg {
-            reg: (o - 0x50) + if pfx.rex_b() { 8 } else { 0 },
-        },
+        (OpMap::Primary, o) if (0x50..=0x57).contains(&o) => {
+            InsnKind::PushReg { reg: (o - 0x50) + if pfx.rex_b() { 8 } else { 0 } }
+        }
         _ => InsnKind::Other,
     };
 
@@ -563,8 +573,15 @@ mod tests {
     #[test]
     fn invalid_in_64bit() {
         for op in [0x06u8, 0x0e, 0x16, 0x1e, 0x27, 0x2f, 0x37, 0x3f, 0x60, 0x61, 0xce, 0xd4, 0xd5] {
-            assert_eq!(decode(&[op, 0, 0, 0], 0, Mode::Bits64), Err(DecodeError::BadOpcode), "op {op:#x}");
-            assert!(decode(&[op, 0, 0, 0, 0, 0, 0], 0, Mode::Bits32).is_ok(), "op {op:#x} in 32-bit");
+            assert_eq!(
+                decode(&[op, 0, 0, 0], 0, Mode::Bits64),
+                Err(DecodeError::BadOpcode),
+                "op {op:#x}"
+            );
+            assert!(
+                decode(&[op, 0, 0, 0, 0, 0, 0], 0, Mode::Bits32).is_ok(),
+                "op {op:#x} in 32-bit"
+            );
         }
     }
 

@@ -13,8 +13,8 @@ use crate::mode::Mode;
 use crate::tables::{M, ONE_BYTE, PFX};
 
 const REG64: [&str; 16] = [
-    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11", "r12",
-    "r13", "r14", "r15",
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11", "r12", "r13",
+    "r14", "r15",
 ];
 const REG32: [&str; 16] = [
     "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi", "r8d", "r9d", "r10d", "r11d", "r12d",
@@ -196,9 +196,8 @@ const GRP1: [&str; 8] = ["add", "or", "adc", "sbb", "and", "sub", "xor", "cmp"];
 const GRP2: [&str; 8] = ["rol", "ror", "rcl", "rcr", "shl", "shr", "sal", "sar"];
 const GRP3N: [&str; 8] = ["test", "test", "not", "neg", "mul", "imul", "div", "idiv"];
 const GRP5: [&str; 8] = ["inc", "dec", "call", "callf", "jmp", "jmpf", "push", "(bad)"];
-const CC: [&str; 16] = [
-    "o", "no", "b", "ae", "e", "ne", "be", "a", "s", "ns", "p", "np", "l", "ge", "le", "g",
-];
+const CC: [&str; 16] =
+    ["o", "no", "b", "ae", "e", "ne", "be", "a", "s", "ns", "p", "np", "l", "ge", "le", "g"];
 
 /// Formats one instruction. Returns the text and its length in bytes, or
 /// `Err` when the bytes do not decode.
@@ -291,19 +290,41 @@ pub fn format_insn(code: &[u8], addr: u64, mode: Mode) -> Result<(String, usize)
                     cur.le(izn)?
                 )
             }
-            0x50..=0x57 => format!("push {}", reg_name((op - 0x50) as usize + pfx.b(), if mode.is_64() { Width::B64 } else { Width::B32 }, pfx.rex != 0)),
-            0x58..=0x5f => format!("pop {}", reg_name((op - 0x58) as usize + pfx.b(), if mode.is_64() { Width::B64 } else { Width::B32 }, pfx.rex != 0)),
+            0x50..=0x57 => format!(
+                "push {}",
+                reg_name(
+                    (op - 0x50) as usize + pfx.b(),
+                    if mode.is_64() { Width::B64 } else { Width::B32 },
+                    pfx.rex != 0
+                )
+            ),
+            0x58..=0x5f => format!(
+                "pop {}",
+                reg_name(
+                    (op - 0x58) as usize + pfx.b(),
+                    if mode.is_64() { Width::B64 } else { Width::B32 },
+                    pfx.rex != 0
+                )
+            ),
             0x68 => format!("push {:#x}", cur.le(izn)?),
             0x6a => format!("push {:#x}", cur.sle(1)?),
             0x69 => {
                 let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
                 let m = fmt_rm(&rm, width, &pfx, mode, next_ip);
-                format!("imul {}, {m}, {:#x}", reg_name(reg as usize + pfx.r(), width, pfx.rex != 0), cur.le(izn)?)
+                format!(
+                    "imul {}, {m}, {:#x}",
+                    reg_name(reg as usize + pfx.r(), width, pfx.rex != 0),
+                    cur.le(izn)?
+                )
             }
             0x6b => {
                 let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
                 let m = fmt_rm(&rm, width, &pfx, mode, next_ip);
-                format!("imul {}, {m}, {:#x}", reg_name(reg as usize + pfx.r(), width, pfx.rex != 0), cur.sle(1)?)
+                format!(
+                    "imul {}, {m}, {:#x}",
+                    reg_name(reg as usize + pfx.r(), width, pfx.rex != 0),
+                    cur.sle(1)?
+                )
             }
             0x70..=0x7f => {
                 let disp = cur.sle(1)?;
@@ -368,8 +389,20 @@ pub fn format_insn(code: &[u8], addr: u64, mode: Mode) -> Result<(String, usize)
                 format!("dec {}", reg_name((op - 0x48) as usize, width, false))
             }
             0xcd => format!("int {:#x}", cur.u8()?),
-            0x98 => if pfx.w() { "cdqe".into() } else { "cwde".into() },
-            0x99 => if pfx.w() { "cqo".into() } else { "cdq".into() },
+            0x98 => {
+                if pfx.w() {
+                    "cdqe".into()
+                } else {
+                    "cwde".into()
+                }
+            }
+            0x99 => {
+                if pfx.w() {
+                    "cqo".into()
+                } else {
+                    "cdq".into()
+                }
+            }
             0xb0..=0xb7 => format!(
                 "mov {}, {:#x}",
                 reg_name((op - 0xb0) as usize + pfx.b(), Width::B8, pfx.rex != 0),
@@ -426,7 +459,11 @@ pub fn format_insn(code: &[u8], addr: u64, mode: Mode) -> Result<(String, usize)
                 } else {
                     width
                 };
-                let mnem = if op == 0xfe { ["inc", "dec"][reg.min(1) as usize] } else { GRP5[reg as usize] };
+                let mnem = if op == 0xfe {
+                    ["inc", "dec"][reg.min(1) as usize]
+                } else {
+                    GRP5[reg as usize]
+                };
                 let prefix = if code[0] == 0x3e { "notrack " } else { "" };
                 format!("{prefix}{mnem} {}", fmt_rm(&rm, w, &pfx, mode, next_ip))
             }
@@ -437,11 +474,19 @@ pub fn format_insn(code: &[u8], addr: u64, mode: Mode) -> Result<(String, usize)
                     0x05 => "syscall".to_owned(),
                     0x80..=0x8f => {
                         let disp = cur.sle(izn)?;
-                        format!("j{} {:#x}", CC[(op2 & 0xf) as usize], next_ip.wrapping_add(disp as u64))
+                        format!(
+                            "j{} {:#x}",
+                            CC[(op2 & 0xf) as usize],
+                            next_ip.wrapping_add(disp as u64)
+                        )
                     }
                     0x90..=0x9f => {
                         let (_, rm) = parse_modrm(&mut cur, &pfx, mode)?;
-                        format!("set{} {}", CC[(op2 & 0xf) as usize], fmt_rm(&rm, Width::B8, &pfx, mode, next_ip))
+                        format!(
+                            "set{} {}",
+                            CC[(op2 & 0xf) as usize],
+                            fmt_rm(&rm, Width::B8, &pfx, mode, next_ip)
+                        )
                     }
                     0x40..=0x4f => {
                         let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
@@ -494,11 +539,19 @@ pub fn format_insn(code: &[u8], addr: u64, mode: Mode) -> Result<(String, usize)
                         let (reg, rm) = parse_modrm(&mut cur, &pfx, mode)?;
                         let mnem = ["(bad)", "(bad)", "(bad)", "(bad)", "bt", "bts", "btr", "btc"]
                             [reg as usize];
-                        format!("{mnem} {}, {:#x}", fmt_rm(&rm, width, &pfx, mode, next_ip), cur.u8()?)
+                        format!(
+                            "{mnem} {}, {:#x}",
+                            fmt_rm(&rm, width, &pfx, mode, next_ip),
+                            cur.u8()?
+                        )
                     }
                     0xbc | 0xbd => {
                         let mnem = if op2 == 0xbc {
-                            if rep { "tzcnt" } else { "bsf" }
+                            if rep {
+                                "tzcnt"
+                            } else {
+                                "bsf"
+                            }
                         } else if rep {
                             "lzcnt"
                         } else {
@@ -591,7 +644,8 @@ pub fn format_insn(code: &[u8], addr: u64, mode: Mode) -> Result<(String, usize)
 }
 
 fn fallback(code: &[u8], len: usize) -> Result<(String, usize), DecodeError> {
-    let bytes: Vec<String> = code[..len.min(code.len())].iter().map(|b| format!("{b:02x}")).collect();
+    let bytes: Vec<String> =
+        code[..len.min(code.len())].iter().map(|b| format!("{b:02x}")).collect();
     Ok((format!("(bytes {})", bytes.join(" ")), len))
 }
 
@@ -626,10 +680,7 @@ mod tests {
         assert_eq!(f64(&[0x89, 0x45, 0xf8]), "mov [rbp-0x8], eax");
         assert_eq!(f64(&[0x8b, 0x45, 0xf8]), "mov eax, [rbp-0x8]");
         assert_eq!(f64(&[0xb8, 0x39, 0x05, 0x00, 0x00]), "mov eax, 0x539");
-        assert_eq!(
-            f64(&[0x48, 0xb8, 1, 0, 0, 0, 0, 0, 0, 0]),
-            "mov rax, 0x1"
-        );
+        assert_eq!(f64(&[0x48, 0xb8, 1, 0, 0, 0, 0, 0, 0, 0]), "mov rax, 0x1");
         assert_eq!(f64(&[0x55]), "push rbp");
         assert_eq!(f64(&[0x5d]), "pop rbp");
         assert_eq!(f64(&[0x41, 0x54]), "push r12");

@@ -71,9 +71,9 @@ impl InsnKind {
     /// The direct branch destination, if this is a direct call/jump/jcc.
     pub fn direct_target(self) -> Option<u64> {
         match self {
-            InsnKind::CallRel { target } | InsnKind::JmpRel { target } | InsnKind::Jcc { target } => {
-                Some(target)
-            }
+            InsnKind::CallRel { target }
+            | InsnKind::JmpRel { target }
+            | InsnKind::Jcc { target } => Some(target),
             _ => None,
         }
     }
@@ -83,7 +83,11 @@ impl InsnKind {
     pub fn is_terminator(self) -> bool {
         matches!(
             self,
-            InsnKind::JmpRel { .. } | InsnKind::JmpInd { .. } | InsnKind::Ret | InsnKind::Ud2 | InsnKind::Hlt
+            InsnKind::JmpRel { .. }
+                | InsnKind::JmpInd { .. }
+                | InsnKind::Ret
+                | InsnKind::Ud2
+                | InsnKind::Hlt
         )
     }
 }

@@ -26,16 +26,18 @@
 #![warn(missing_docs)]
 
 mod decode;
-mod format;
 mod error;
+mod format;
 mod insn;
 mod mode;
+mod par;
 mod sweep;
 mod tables;
 
 pub use decode::decode;
-pub use format::format_insn;
 pub use error::DecodeError;
+pub use format::format_insn;
 pub use insn::{Insn, InsnKind};
 pub use mode::Mode;
+pub use par::{par_sweep, sweep_all, SweepOutput};
 pub use sweep::{LinearSweep, SupersetSweep};

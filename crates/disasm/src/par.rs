@@ -1,0 +1,219 @@
+//! Sharded parallel linear sweep, bit-identical to [`LinearSweep`].
+//!
+//! Linear sweep (§IV-B of the paper) is a deterministic chain: the offset
+//! after decoding at `o` depends only on the bytes at `o` (instruction
+//! length on success, `o + 1` on a decode error). That makes the sweep
+//! parallelizable *without* changing its output: split the section into
+//! `N` byte-range shards, decode each shard speculatively from its nominal
+//! start, then stitch the shards back together by **resynchronizing** —
+//! walking the true chain forward from the previous shard's exit offset
+//! until it lands on an offset the speculative shard also decoded at,
+//! after which the shard's remaining chain is provably identical to the
+//! sequential one and can be spliced wholesale.
+//!
+//! Self-repairing disassembly resynchronizes quickly in practice (a
+//! handful of instructions), so the serial stitching work is tiny compared
+//! to the per-shard decoding it replaces.
+
+use crate::decode::decode;
+use crate::insn::Insn;
+use crate::mode::Mode;
+use crate::sweep::LinearSweep;
+
+/// The result of sweeping one code region: the decoded instruction chain
+/// plus how many byte positions failed to decode.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOutput {
+    /// Instructions in address order, exactly as [`LinearSweep`] yields
+    /// them.
+    pub insns: Vec<Insn>,
+    /// Byte positions skipped by the §IV-B "advance one byte" repair rule.
+    pub error_count: usize,
+}
+
+/// Sequential sweep of a whole region, collected.
+///
+/// The single entry point non-parallel callers should use instead of
+/// driving [`LinearSweep`] by hand; [`par_sweep`] is the parallel
+/// equivalent and defers to this for small inputs.
+pub fn sweep_all(code: &[u8], base: u64, mode: Mode) -> SweepOutput {
+    let mut sweep = LinearSweep::new(code, base, mode);
+    let insns: Vec<Insn> = sweep.by_ref().collect();
+    SweepOutput { insns, error_count: sweep.error_count() }
+}
+
+/// Below this size sharding costs more than it saves.
+const MIN_SHARD_BYTES: usize = 4096;
+
+/// Speculative decoding of one shard's byte range.
+struct ShardChain {
+    /// Offsets (into `code`) at which an instruction was decoded, sorted.
+    insn_offsets: Vec<usize>,
+    /// The instructions at those offsets, same order.
+    insns: Vec<Insn>,
+    /// Offsets at which decoding failed, sorted.
+    error_offsets: Vec<usize>,
+    /// First chain offset at or past the shard's end boundary.
+    exit: usize,
+}
+
+/// Parallel sharded linear sweep.
+///
+/// Produces output **bit-identical** to `sweep_all(code, base, mode)` for
+/// every input (see the module docs for why; `proptest_par_sweep.rs`
+/// checks it on random byte soups and corpus-generated code). `shards` is
+/// an upper bound: it is clamped so every shard spans at least
+/// [`MIN_SHARD_BYTES`], and `shards <= 1` falls back to the sequential
+/// sweep.
+pub fn par_sweep(code: &[u8], base: u64, mode: Mode, shards: usize) -> SweepOutput {
+    let shards = shards.min(code.len() / MIN_SHARD_BYTES);
+    if shards <= 1 {
+        return sweep_all(code, base, mode);
+    }
+
+    // Nominal shard boundaries: shard k speculatively decodes the chain
+    // starting at starts[k], stopping once it crosses starts[k + 1].
+    let starts: Vec<usize> = (0..shards).map(|k| k * code.len() / shards).collect();
+
+    let chains: Vec<ShardChain> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|k| {
+                let lo = starts[k];
+                let hi = starts.get(k + 1).copied().unwrap_or(code.len());
+                scope.spawn(move || decode_shard(code, base, mode, lo, hi))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep shard panicked")).collect()
+    });
+
+    // Stitch: walk the true chain, splicing in each shard's speculative
+    // chain as soon as the true chain reaches an offset the shard decoded
+    // at (from there on the two chains are the same function of the same
+    // bytes, hence equal).
+    let mut out = SweepOutput {
+        insns: Vec::with_capacity(chains.iter().map(|c| c.insns.len()).sum()),
+        error_count: 0,
+    };
+    let mut t = 0usize; // next true-chain offset
+    for (k, chain) in chains.iter().enumerate() {
+        let hi = starts.get(k + 1).copied().unwrap_or(code.len());
+        // An instruction from an earlier shard may straddle this entire
+        // shard; if so the speculative work here is dead, skip it.
+        while t < hi {
+            if let Ok(i) = chain.insn_offsets.binary_search(&t) {
+                out.insns.extend_from_slice(&chain.insns[i..]);
+                let first_err = chain.error_offsets.partition_point(|&e| e < t);
+                out.error_count += chain.error_offsets.len() - first_err;
+                t = chain.exit;
+                break;
+            }
+            // Not an offset this shard visited: decode one true-chain step.
+            match decode(&code[t..], base + t as u64, mode) {
+                Ok(insn) => {
+                    t += insn.len as usize;
+                    out.insns.push(insn);
+                }
+                Err(_) => {
+                    t += 1;
+                    out.error_count += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn decode_shard(code: &[u8], base: u64, mode: Mode, lo: usize, hi: usize) -> ShardChain {
+    let mut chain = ShardChain {
+        insn_offsets: Vec::new(),
+        insns: Vec::new(),
+        error_offsets: Vec::new(),
+        exit: lo,
+    };
+    let mut off = lo;
+    while off < hi {
+        match decode(&code[off..], base + off as u64, mode) {
+            Ok(insn) => {
+                chain.insn_offsets.push(off);
+                chain.insns.push(insn);
+                off += insn.len as usize;
+            }
+            Err(_) => {
+                chain.error_offsets.push(off);
+                off += 1;
+            }
+        }
+    }
+    chain.exit = off;
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_equivalent(code: &[u8], base: u64, mode: Mode, shards: usize) {
+        let seq = sweep_all(code, base, mode);
+        let par = par_sweep(code, base, mode, shards);
+        assert_eq!(seq.insns, par.insns);
+        assert_eq!(seq.error_count, par.error_count);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_equivalent(&[], 0x1000, Mode::Bits64, 4);
+        assert_equivalent(&[0xc3], 0x1000, Mode::Bits64, 4);
+    }
+
+    #[test]
+    fn straight_line_code_matches() {
+        // endbr64; push rbp; nop; ret — repeated past the shard minimum.
+        let unit = [0xf3, 0x0f, 0x1e, 0xfa, 0x55, 0x90, 0xc3];
+        let code: Vec<u8> = unit.iter().copied().cycle().take(MIN_SHARD_BYTES * 4 + 3).collect();
+        for shards in [1, 2, 3, 7] {
+            assert_equivalent(&code, 0x40_0000, Mode::Bits64, shards);
+        }
+    }
+
+    #[test]
+    fn misaligned_shard_boundaries_resynchronize() {
+        // 15-byte instructions (max length) force shard boundaries to land
+        // mid-instruction almost everywhere: 66 repeated data16 prefixes on
+        // a mov — decoders reject over-long prefix runs, so mix lengths.
+        let mut code = Vec::new();
+        while code.len() < MIN_SHARD_BYTES * 3 {
+            code.extend_from_slice(&[0x48, 0xb8, 1, 2, 3, 4, 5, 6, 7, 8]); // mov rax, imm64
+            code.push(0x90);
+            code.extend_from_slice(&[0xe8, 0x00, 0x00, 0x00, 0x00]); // call +0
+        }
+        for shards in [2, 3, 7] {
+            assert_equivalent(&code, 0x1000, Mode::Bits64, shards);
+        }
+    }
+
+    #[test]
+    fn byte_soup_with_decode_errors_matches() {
+        // Deterministic pseudo-random bytes (xorshift) — plenty of invalid
+        // encodings, exercising the error-offset accounting in the splice.
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        let code: Vec<u8> = (0..MIN_SHARD_BYTES * 3)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        for shards in [2, 3, 7] {
+            assert_equivalent(&code, 0, Mode::Bits64, shards);
+            assert_equivalent(&code, 0, Mode::Bits32, shards);
+        }
+    }
+
+    #[test]
+    fn shard_count_clamped_for_small_inputs() {
+        let code = vec![0x90u8; MIN_SHARD_BYTES - 1];
+        // Would be 0 shards by the ratio; must fall back to sequential.
+        assert_equivalent(&code, 0, Mode::Bits64, 8);
+    }
+}

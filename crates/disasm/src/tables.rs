@@ -212,11 +212,11 @@ mod tests {
         assert_eq!(ONE_BYTE[0xC2], I16);
         assert_eq!(ONE_BYTE[0xC3], 0);
         assert_eq!(ONE_BYTE[0xFF], M);
-        for op in 0x70..=0x7F {
-            assert_eq!(ONE_BYTE[op], I8);
+        for &entry in &ONE_BYTE[0x70..=0x7F] {
+            assert_eq!(entry, I8);
         }
-        for op in 0x80..=0x8F {
-            assert_eq!(TWO_BYTE[op], IZ);
+        for &entry in &TWO_BYTE[0x80..=0x8F] {
+            assert_eq!(entry, IZ);
         }
     }
 

@@ -15,10 +15,7 @@ use funseeker_elf::{Elf, Machine};
 
 /// Parses `objdump -d -w` output into (address → length-in-bytes).
 fn objdump_lengths(path: &str) -> Option<BTreeMap<u64, usize>> {
-    let out = Command::new("objdump")
-        .args(["-d", "-w", "--section=.text", path])
-        .output()
-        .ok()?;
+    let out = Command::new("objdump").args(["-d", "-w", "--section=.text", path]).output().ok()?;
     if !out.status.success() {
         return None;
     }

@@ -42,11 +42,7 @@ fn named_mnemonics_dominate_on_system_binaries() {
         let Some((named, total)) = coverage_on(path) else { continue };
         any = true;
         let ratio = named as f64 / total.max(1) as f64;
-        assert!(
-            ratio > 0.80,
-            "{path}: only {:.1}% of {total} instructions named",
-            ratio * 100.0
-        );
+        assert!(ratio > 0.80, "{path}: only {:.1}% of {total} instructions named", ratio * 100.0);
     }
     if !any {
         eprintln!("skipping: no system binaries readable");
@@ -65,7 +61,8 @@ fn corpus_binaries_format_fully() {
         let mut named = 0usize;
         let mut total = 0usize;
         while off < text.len() {
-            let (s, len) = format_insn(&text[off..], base + off as u64, mode).expect("corpus decodes");
+            let (s, len) =
+                format_insn(&text[off..], base + off as u64, mode).expect("corpus decodes");
             total += 1;
             if !s.starts_with("(bytes") {
                 named += 1;

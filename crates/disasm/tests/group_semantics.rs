@@ -32,10 +32,10 @@ fn ff_group_complete_classification() {
 fn notrack_applies_to_all_indirect_forms() {
     // register, memory, and RIP-relative operands all carry the prefix.
     for (bytes, len) in [
-        (&[0x3e, 0xff, 0xe0][..], 3usize),                      // notrack jmp rax
-        (&[0x3e, 0xff, 0x20][..], 3),                           // notrack jmp [rax]
-        (&[0x3e, 0xff, 0x25, 1, 0, 0, 0][..], 7),               // notrack jmp [rip+1]
-        (&[0x3e, 0xff, 0x24, 0xc5, 0, 0, 0, 0][..], 8),         // notrack jmp [rax*8+0]
+        (&[0x3e, 0xff, 0xe0][..], 3usize),              // notrack jmp rax
+        (&[0x3e, 0xff, 0x20][..], 3),                   // notrack jmp [rax]
+        (&[0x3e, 0xff, 0x25, 1, 0, 0, 0][..], 7),       // notrack jmp [rip+1]
+        (&[0x3e, 0xff, 0x24, 0xc5, 0, 0, 0, 0][..], 8), // notrack jmp [rax*8+0]
     ] {
         let insn = decode(bytes, 0x1000, Mode::Bits64).unwrap();
         assert_eq!(insn.len as usize, len, "{bytes:02x?}");

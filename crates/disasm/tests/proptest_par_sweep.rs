@@ -1,0 +1,93 @@
+//! Property tests for the sharding invariant: `par_sweep` must be
+//! bit-identical to the sequential sweep — same instructions (address,
+//! length, kind), same error count — on arbitrary byte soups and on real
+//! corpus-generated code, for every shard count and both modes.
+
+use funseeker_corpus::{
+    compile, Arch, BuildConfig, Compiler, FunctionSpec, Lang, OptLevel, ProgramSpec,
+};
+use funseeker_disasm::{par_sweep, sweep_all, Mode};
+use funseeker_elf::Elf;
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 7];
+
+/// Asserts the invariant for one buffer under every shard count.
+fn assert_shard_invariant(
+    code: &[u8],
+    base: u64,
+    mode: Mode,
+) -> Result<(), proptest::TestCaseError> {
+    let seq = sweep_all(code, base, mode);
+    for shards in SHARD_COUNTS {
+        let par = par_sweep(code, base, mode, shards);
+        prop_assert_eq!(
+            &par.insns,
+            &seq.insns,
+            "instruction stream diverges at {} shards ({} bytes)",
+            shards,
+            code.len()
+        );
+        prop_assert_eq!(
+            par.error_count,
+            seq.error_count,
+            "error count diverges at {} shards",
+            shards
+        );
+    }
+    Ok(())
+}
+
+/// Strategy: a small, structurally valid program spec (a reduced version
+/// of the corpus proptest's generator — enough to exercise real
+/// instruction mixes including switches and tail calls).
+fn arb_spec() -> impl Strategy<Value = ProgramSpec> {
+    (2usize..10, any::<u64>())
+        .prop_map(|(n, bits)| {
+            let mut functions = Vec::with_capacity(n);
+            for i in 0..n {
+                let mut f =
+                    FunctionSpec::named(if i == 0 { "main".into() } else { format!("f{i}") });
+                let r = bits.rotate_left((i * 9) as u32);
+                f.body_size = 2 + (r % 16) as usize;
+                if i >= 2 && r & 1 == 1 {
+                    f.calls.push((r % (i as u64 - 1)) as usize + 1);
+                }
+                if r & 2 == 2 {
+                    f.switch_cases = 2 + (r % 5) as usize;
+                }
+                functions.push(f);
+            }
+            ProgramSpec { name: "shard".into(), lang: Lang::C, functions }
+        })
+        .prop_filter("valid spec", |spec| spec.validate().is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random byte soups: decode errors land everywhere, shard entry
+    /// points are desynchronized on purpose.
+    #[test]
+    fn byte_soup_invariant(code in proptest::collection::vec(any::<u8>(), 0..12_000), wide in any::<bool>()) {
+        let mode = if wide { Mode::Bits64 } else { Mode::Bits32 };
+        assert_shard_invariant(&code, 0x1000, mode)?;
+    }
+
+    /// Corpus-generated code: well-formed instruction streams from the
+    /// workspace's own compiler model, both architectures.
+    #[test]
+    fn corpus_code_invariant(spec in arb_spec(), seed in any::<u64>(), x64 in any::<bool>(), opt in 0usize..6) {
+        let arch = if x64 { Arch::X64 } else { Arch::X86 };
+        let cfg = BuildConfig {
+            compiler: if seed & 1 == 0 { Compiler::Gcc } else { Compiler::Clang },
+            arch,
+            opt: OptLevel::ALL[opt],
+            pie: seed & 2 == 0,
+        };
+        let built = compile(&spec, cfg, seed);
+        let elf = Elf::parse(&built.bytes).expect("corpus binary parses");
+        let (text_addr, text) = elf.section_bytes(".text").expect("has .text");
+        assert_shard_invariant(text, text_addr, arch.mode())?;
+    }
+}

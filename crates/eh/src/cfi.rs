@@ -88,18 +88,18 @@ pub fn decode_cfi(program: &[u8]) -> Result<Vec<CfiInsn>> {
                     CfiInsn::AdvanceLoc { delta: u64::from(d) }
                 }
                 0x03 => {
-                    let b = program
-                        .get(pos..pos + 2)
-                        .ok_or(EhError::Truncated { offset: pos })?;
+                    let b = program.get(pos..pos + 2).ok_or(EhError::Truncated { offset: pos })?;
                     pos += 2;
-                    CfiInsn::AdvanceLoc { delta: u64::from(u16::from_le_bytes(b.try_into().unwrap())) }
+                    CfiInsn::AdvanceLoc {
+                        delta: u64::from(u16::from_le_bytes(b.try_into().unwrap())),
+                    }
                 }
                 0x04 => {
-                    let b = program
-                        .get(pos..pos + 4)
-                        .ok_or(EhError::Truncated { offset: pos })?;
+                    let b = program.get(pos..pos + 4).ok_or(EhError::Truncated { offset: pos })?;
                     pos += 4;
-                    CfiInsn::AdvanceLoc { delta: u64::from(u32::from_le_bytes(b.try_into().unwrap())) }
+                    CfiInsn::AdvanceLoc {
+                        delta: u64::from(u32::from_le_bytes(b.try_into().unwrap())),
+                    }
                 }
                 0x05 => {
                     let reg = read_uleb128(program, &mut pos)?;
@@ -142,13 +142,19 @@ pub fn decode_cfi(program: &[u8]) -> Result<Vec<CfiInsn>> {
                 // Expression forms: uleb length + block.
                 0x0f => {
                     let n = read_uleb128(program, &mut pos)? as usize;
-                    pos = pos.checked_add(n).filter(|&p| p <= program.len()).ok_or(EhError::Malformed("CFI expression overruns"))?;
+                    pos = pos
+                        .checked_add(n)
+                        .filter(|&p| p <= program.len())
+                        .ok_or(EhError::Malformed("CFI expression overruns"))?;
                     CfiInsn::Other { opcode: byte }
                 }
                 0x10 | 0x16 => {
                     let _ = read_uleb128(program, &mut pos)?;
                     let n = read_uleb128(program, &mut pos)? as usize;
-                    pos = pos.checked_add(n).filter(|&p| p <= program.len()).ok_or(EhError::Malformed("CFI expression overruns"))?;
+                    pos = pos
+                        .checked_add(n)
+                        .filter(|&p| p <= program.len())
+                        .ok_or(EhError::Malformed("CFI expression overruns"))?;
                     CfiInsn::Other { opcode: byte }
                 }
                 // GNU extensions: args_size (uleb).

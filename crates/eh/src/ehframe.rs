@@ -50,9 +50,7 @@ pub fn parse_eh_frame(data: &[u8], section_addr: u64, wide: bool) -> Result<EhFr
 
     while pos + 4 <= data.len() {
         let record_start = pos;
-        let mut len = u64::from(u32::from_le_bytes(
-            data[pos..pos + 4].try_into().unwrap(),
-        ));
+        let mut len = u64::from(u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()));
         pos += 4;
         if len == 0 {
             // Terminator. GCC emits one at the very end; tolerate embedded
@@ -60,9 +58,7 @@ pub fn parse_eh_frame(data: &[u8], section_addr: u64, wide: bool) -> Result<EhFr
             continue;
         }
         if len == 0xffff_ffff {
-            let bytes = data
-                .get(pos..pos + 8)
-                .ok_or(EhError::Truncated { offset: pos })?;
+            let bytes = data.get(pos..pos + 8).ok_or(EhError::Truncated { offset: pos })?;
             len = u64::from_le_bytes(bytes.try_into().unwrap());
             pos += 8;
         }
@@ -75,10 +71,7 @@ pub fn parse_eh_frame(data: &[u8], section_addr: u64, wide: bool) -> Result<EhFr
 
         let id_pos = pos;
         let id = u32::from_le_bytes(
-            data.get(pos..pos + 4)
-                .ok_or(EhError::Truncated { offset: pos })?
-                .try_into()
-                .unwrap(),
+            data.get(pos..pos + 4).ok_or(EhError::Truncated { offset: pos })?.try_into().unwrap(),
         );
         pos += 4;
 
@@ -90,9 +83,8 @@ pub fn parse_eh_frame(data: &[u8], section_addr: u64, wide: bool) -> Result<EhFr
             }
         } else {
             // FDE: id is the distance from the id field back to the CIE.
-            let cie_start = id_pos
-                .checked_sub(id as usize)
-                .ok_or(EhError::BadCiePointer { offset: id_pos })?;
+            let cie_start =
+                id_pos.checked_sub(id as usize).ok_or(EhError::BadCiePointer { offset: id_pos })?;
             let Some(&(_, cie)) = cies.iter().find(|(off, _)| *off == cie_start) else {
                 pos = body_end;
                 continue; // FDE for a CIE we skipped
@@ -114,9 +106,8 @@ fn parse_cie(data: &[u8], mut pos: usize, end: usize, wide: bool) -> Result<Cie>
         return Err(EhError::BadCieVersion(version));
     }
     let aug_start = pos;
-    let aug_region = data
-        .get(aug_start..end)
-        .ok_or(EhError::Malformed("CIE body outside record bounds"))?;
+    let aug_region =
+        data.get(aug_start..end).ok_or(EhError::Malformed("CIE body outside record bounds"))?;
     let aug_end = aug_region
         .iter()
         .position(|&b| b == 0)
@@ -132,7 +123,11 @@ fn parse_cie(data: &[u8], mut pos: usize, end: usize, wide: bool) -> Result<Cie>
         let _ = read_uleb128(data, &mut pos)?;
     }
 
-    let mut cie = Cie { fde_enc: crate::encoding::DW_EH_PE_ABSPTR, lsda_enc: DW_EH_PE_OMIT, has_aug_data: false };
+    let mut cie = Cie {
+        fde_enc: crate::encoding::DW_EH_PE_ABSPTR,
+        lsda_enc: DW_EH_PE_OMIT,
+        has_aug_data: false,
+    };
     if augmentation.first() == Some(&b'z') {
         cie.has_aug_data = true;
         let _aug_len = read_uleb128(data, &mut pos)?;
@@ -240,7 +235,7 @@ impl EhFrameBuilder {
         write_uleb128(&mut self.buf, 1); // code alignment
         crate::leb128::write_sleb128(&mut self.buf, -8); // data alignment
         self.buf.push(16); // return-address register (RA on x86-64)
-        // Augmentation data: [lsda_enc,] fde_enc.
+                           // Augmentation data: [lsda_enc,] fde_enc.
         if self.with_lsda {
             write_uleb128(&mut self.buf, 2);
             self.buf.push(Self::enc());
@@ -259,8 +254,7 @@ impl EhFrameBuilder {
         let record_addr = self.section_addr + start as u64;
         self.buf.extend_from_slice(&[0; 4]); // length placeholder
         let id_pos = self.buf.len();
-        self.buf
-            .extend_from_slice(&(id_pos as u32).to_le_bytes()); // distance back to CIE at 0
+        self.buf.extend_from_slice(&(id_pos as u32).to_le_bytes()); // distance back to CIE at 0
         let field_vaddr = self.section_addr + self.buf.len() as u64;
         write_encoded(
             &mut self.buf,
@@ -357,10 +351,7 @@ mod tests {
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&100u32.to_le_bytes()); // claims 100 bytes
         bytes.extend_from_slice(&[0u8; 8]); // but only 8 follow
-        assert!(matches!(
-            parse_eh_frame(&bytes, 0, true),
-            Err(EhError::Malformed(_))
-        ));
+        assert!(matches!(parse_eh_frame(&bytes, 0, true), Err(EhError::Malformed(_))));
     }
 
     #[test]
@@ -384,15 +375,16 @@ mod tests {
         let Ok(elf) = funseeker_elf::Elf::parse(&raw) else { return };
         let Some((addr, data)) = elf.section_bytes(".eh_frame") else { return };
         let parsed = parse_eh_frame(data, addr, true).expect("parse own .eh_frame");
-        assert!(parsed.fdes.len() > 100, "a Rust test binary has many FDEs, got {}", parsed.fdes.len());
+        assert!(
+            parsed.fdes.len() > 100,
+            "a Rust test binary has many FDEs, got {}",
+            parsed.fdes.len()
+        );
         // Every pc_begin should land in an executable section.
         let (text_addr, text) = elf.section_bytes(".text").unwrap();
         let text_end = text_addr + text.len() as u64;
-        let in_text = parsed
-            .fdes
-            .iter()
-            .filter(|f| f.pc_begin >= text_addr && f.pc_begin < text_end)
-            .count();
+        let in_text =
+            parsed.fdes.iter().filter(|f| f.pc_begin >= text_addr && f.pc_begin < text_end).count();
         assert!(
             in_text * 10 >= parsed.fdes.len() * 9,
             "≥90% of FDEs should point into .text ({in_text}/{})",

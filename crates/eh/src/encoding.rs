@@ -92,9 +92,7 @@ pub fn read_encoded(
 /// zero means "absent" regardless of the base.
 pub(crate) fn read_raw(data: &[u8], pos: &mut usize, format: u8, wide: bool) -> Result<i64> {
     let take = |pos: &mut usize, n: usize| -> Result<u64> {
-        let bytes = data
-            .get(*pos..*pos + n)
-            .ok_or(EhError::Truncated { offset: *pos })?;
+        let bytes = data.get(*pos..*pos + n).ok_or(EhError::Truncated { offset: *pos })?;
         *pos += n;
         let mut v = 0u64;
         for (i, &b) in bytes.iter().enumerate() {
@@ -121,7 +119,13 @@ pub(crate) fn read_raw(data: &[u8], pos: &mut usize, format: u8, wide: bool) -> 
 /// `value` is the final address; the caller provides the same [`Bases`]
 /// the eventual reader will use so the stored delta is computed here.
 /// `DW_EH_PE_omit` writes nothing.
-pub fn write_encoded(out: &mut Vec<u8>, enc: u8, value: u64, bases: Bases, wide: bool) -> Result<()> {
+pub fn write_encoded(
+    out: &mut Vec<u8>,
+    enc: u8,
+    value: u64,
+    bases: Bases,
+    wide: bool,
+) -> Result<()> {
     if enc == DW_EH_PE_OMIT {
         return Ok(());
     }
@@ -207,7 +211,10 @@ mod tests {
             let mut out = Vec::new();
             write_encoded(&mut out, enc, 1234, Bases::default(), true).unwrap();
             let mut pos = 0;
-            assert_eq!(read_encoded(&out, &mut pos, enc, Bases::default(), true).unwrap(), Some(1234));
+            assert_eq!(
+                read_encoded(&out, &mut pos, enc, Bases::default(), true).unwrap(),
+                Some(1234)
+            );
         }
     }
 
@@ -242,15 +249,24 @@ mod tests {
         write_encoded(&mut out, DW_EH_PE_OMIT, 0xdead, Bases::default(), true).unwrap();
         assert!(out.is_empty());
         let mut pos = 0;
-        assert_eq!(read_encoded(&[], &mut pos, DW_EH_PE_OMIT, Bases::default(), true).unwrap(), None);
+        assert_eq!(
+            read_encoded(&[], &mut pos, DW_EH_PE_OMIT, Bases::default(), true).unwrap(),
+            None
+        );
     }
 
     #[test]
     fn indirect_is_rejected_but_consumed() {
         let data = [0u8; 8];
         let mut pos = 0;
-        let err = read_encoded(&data, &mut pos, DW_EH_PE_INDIRECT | DW_EH_PE_UDATA4, Bases::default(), true)
-            .unwrap_err();
+        let err = read_encoded(
+            &data,
+            &mut pos,
+            DW_EH_PE_INDIRECT | DW_EH_PE_UDATA4,
+            Bases::default(),
+            true,
+        )
+        .unwrap_err();
         assert_eq!(err, EhError::IndirectPointer);
         assert_eq!(pos, 4, "bytes must still be consumed to stay in sync");
     }
@@ -261,7 +277,9 @@ mod tests {
         let mut pos = 0;
         assert!(read_encoded(&data, &mut pos, 0x0d, Bases::default(), true).is_err());
         let mut pos = 0;
-        assert!(read_encoded(&data, &mut pos, 0x50 | DW_EH_PE_UDATA4, Bases::default(), true).is_err());
+        assert!(
+            read_encoded(&data, &mut pos, 0x50 | DW_EH_PE_UDATA4, Bases::default(), true).is_err()
+        );
         let mut out = Vec::new();
         assert!(write_encoded(&mut out, 0x0e, 0, Bases::default(), true).is_err());
     }

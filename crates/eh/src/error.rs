@@ -36,9 +36,13 @@ impl fmt::Display for EhError {
             EhError::Truncated { offset } => write!(f, "EH data truncated at offset {offset}"),
             EhError::Overflow => f.write_str("LEB128 value exceeds 64 bits"),
             EhError::BadEncoding(b) => write!(f, "unsupported DW_EH_PE encoding {b:#04x}"),
-            EhError::IndirectPointer => f.write_str("DW_EH_PE_indirect pointer requires a process image"),
+            EhError::IndirectPointer => {
+                f.write_str("DW_EH_PE_indirect pointer requires a process image")
+            }
             EhError::BadCieVersion(v) => write!(f, "unsupported CIE version {v}"),
-            EhError::BadCiePointer { offset } => write!(f, "FDE references invalid CIE offset {offset}"),
+            EhError::BadCiePointer { offset } => {
+                write!(f, "FDE references invalid CIE offset {offset}")
+            }
             EhError::Malformed(what) => write!(f, "malformed EH data: {what}"),
         }
     }

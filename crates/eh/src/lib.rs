@@ -16,9 +16,9 @@
 #![warn(missing_docs)]
 
 pub mod cfi;
-pub mod encoding;
-pub mod ehframe_hdr;
 pub mod ehframe;
+pub mod ehframe_hdr;
+pub mod encoding;
 pub mod error;
 pub mod leb128;
 pub mod lsda;

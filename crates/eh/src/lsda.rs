@@ -228,10 +228,7 @@ mod tests {
     fn corrupt_call_site_length_is_malformed() {
         // Header claims a call-site table longer than the section.
         let bytes = [DW_EH_PE_OMIT, DW_EH_PE_OMIT, DW_EH_PE_ULEB128, 0x7f];
-        assert!(matches!(
-            parse_lsda(&bytes, 0, 0, 0, true),
-            Err(EhError::Malformed(_))
-        ));
+        assert!(matches!(parse_lsda(&bytes, 0, 0, 0, true), Err(EhError::Malformed(_))));
     }
 
     #[test]

@@ -169,9 +169,8 @@ impl ElfBuilder {
             .position(|s| !matches!(s.binding, crate::symbol::SymbolBinding::Local))
             .unwrap_or(sorted.len());
 
-        let mut data = Vec::new();
         // Index 0: the mandatory null symbol.
-        data.resize(self.class.sym_size(), 0);
+        let mut data = vec![0; self.class.sym_size()];
         for sym in &sorted {
             let name_off = strings.intern(&sym.name);
             encode_symbol(&mut data, name_off, sym, self.class);
@@ -292,7 +291,8 @@ impl ElfBuilder {
             if s.flags & SHF_ALLOC == 0 {
                 continue;
             }
-            let filesz = if s.section_type == SectionType::NoBits { 0 } else { s.data.len() as u64 };
+            let filesz =
+                if s.section_type == SectionType::NoBits { 0 } else { s.data.len() as u64 };
             let memsz = s.data.len() as u64;
             let mut flags = crate::segment::PF_R;
             if s.flags & SHF_EXECINSTR != 0 {
@@ -316,11 +316,7 @@ impl ElfBuilder {
 
         // --- section headers ---
         let link_index = |name: &str| -> u32 {
-            self.sections
-                .iter()
-                .position(|s| s.name == name)
-                .map(|i| (i + 1) as u32)
-                .unwrap_or(0)
+            self.sections.iter().position(|s| s.name == name).map(|i| (i + 1) as u32).unwrap_or(0)
         };
         let mut w = FieldWriter { out: &mut out, pos: shoff };
         w.shdr(0, 0, 0, 0, 0, 0, 0, 0, 0, 0, wide); // null section
@@ -386,7 +382,9 @@ fn encode_reloc(out: &mut Vec<u8>, r: &Reloc, class: Class) {
     match class {
         Class::Elf32 => {
             out.extend_from_slice(&(r.offset as u32).to_le_bytes());
-            out.extend_from_slice(&(Reloc::info_word(r.symbol, r.rtype, class) as u32).to_le_bytes());
+            out.extend_from_slice(
+                &(Reloc::info_word(r.symbol, r.rtype, class) as u32).to_le_bytes(),
+            );
         }
         Class::Elf64 => {
             out.extend_from_slice(&r.offset.to_le_bytes());
@@ -424,7 +422,17 @@ impl FieldWriter<'_> {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn phdr(&mut self, ptype: u32, flags: u32, off: u64, vaddr: u64, filesz: u64, memsz: u64, align: u64, wide: bool) {
+    fn phdr(
+        &mut self,
+        ptype: u32,
+        flags: u32,
+        off: u64,
+        vaddr: u64,
+        filesz: u64,
+        memsz: u64,
+        align: u64,
+        wide: bool,
+    ) {
         self.u32(ptype);
         if wide {
             self.u32(flags);
@@ -519,6 +527,26 @@ mod tests {
     }
 
     #[test]
+    fn executable_sections_enumerates_in_address_order() {
+        let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::Executable);
+        b.entry(0x401000);
+        // Queue out of address order; enumeration must sort.
+        b.text(".text", 0x401000, vec![0xf3, 0x0f, 0x1e, 0xfa, 0xc3]);
+        b.text(".init", 0x400000, vec![0xc3]);
+        b.text(".fini", 0x402000, vec![0x55, 0xc3]);
+        b.progbits(".rodata", 0x403000, SHF_ALLOC, vec![1, 2, 3]);
+        let bytes = b.build().unwrap();
+
+        let elf = Elf::parse(&bytes).unwrap();
+        let execs = elf.executable_sections();
+        let names: Vec<&str> = execs.iter().map(|(s, _, _)| s.name.as_str()).collect();
+        assert_eq!(names, [".init", ".text", ".fini"]);
+        let addrs: Vec<u64> = execs.iter().map(|&(_, a, _)| a).collect();
+        assert_eq!(addrs, [0x400000, 0x401000, 0x402000]);
+        assert_eq!(execs[2].2, &[0x55, 0xc3]);
+    }
+
+    #[test]
     fn minimal_elf32_round_trips() {
         let mut b = ElfBuilder::new(Class::Elf32, Machine::X86, ObjectType::SharedObject);
         b.entry(0x1000);
@@ -595,7 +623,12 @@ mod tests {
         b.symbol_table(".dynsym", 0, &[func_symbol("sigsetjmp", 0, SymbolBinding::Global, 0)]);
         b.plt_relocations(
             0x8048080,
-            &[Reloc { offset: 0x804a00c, rtype: crate::reloc::R_386_JMP_SLOT, symbol: 1, addend: 0 }],
+            &[Reloc {
+                offset: 0x804a00c,
+                rtype: crate::reloc::R_386_JMP_SLOT,
+                symbol: 1,
+                addend: 0,
+            }],
         );
         let bytes = b.build().unwrap();
         let elf = Elf::parse(&bytes).unwrap();

@@ -11,8 +11,8 @@ use std::collections::BTreeMap;
 
 use crate::elf::Elf;
 use crate::error::Result;
-use crate::reloc::Reloc;
 use crate::read::Reader;
+use crate::reloc::Reloc;
 use crate::section::SectionType;
 
 /// `DT_NULL` — end of the dynamic array.
@@ -43,20 +43,14 @@ pub struct DynamicTable {
 impl DynamicTable {
     /// Parses the `.dynamic` section, if present.
     pub fn from_elf(elf: &Elf<'_>) -> Result<Option<DynamicTable>> {
-        let Some(sec) = elf
-            .sections
-            .iter()
-            .find(|s| s.section_type == SectionType::Dynamic)
-        else {
+        let Some(sec) = elf.sections.iter().find(|s| s.section_type == SectionType::Dynamic) else {
             return Ok(None);
         };
         let Some(data) = elf.section_data(sec) else { return Ok(None) };
         let wide = elf.class().is_wide();
         let mut out = DynamicTable::default();
         let mut r = Reader::new(data);
-        loop {
-            let Ok(tag) = r.word(wide) else { break };
-            let Ok(value) = r.word(wide) else { break };
+        while let (Ok(tag), Ok(value)) = (r.word(wide), r.word(wide)) {
             if tag == DT_NULL {
                 break;
             }
@@ -80,14 +74,11 @@ impl DynamicTable {
         let (Some(addr), Some(size)) = (self.get(DT_JMPREL), self.get(DT_PLTRELSZ)) else {
             return Ok(Vec::new());
         };
-        let Some(data) = elf
-            .section_containing(addr)
-            .and_then(|sec| {
-                let (start, end) = sec.file_range()?;
-                let off = (addr - sec.addr) as usize;
-                elf.raw().get(start + off..(start + off + size as usize).min(end))
-            })
-        else {
+        let Some(data) = elf.section_containing(addr).and_then(|sec| {
+            let (start, end) = sec.file_range()?;
+            let off = (addr - sec.addr) as usize;
+            elf.raw().get(start + off..(start + off + size as usize).min(end))
+        }) else {
             return Ok(Vec::new());
         };
         // DT_PLTREL: 7 = DT_RELA, 17 = DT_REL.
@@ -195,7 +186,10 @@ mod tests {
             SectionType::Dynamic,
             SHF_ALLOC,
             0x3000,
-            dyn_bytes(true, &[(DT_JMPREL, rela_addr), (DT_PLTRELSZ, 48), (DT_PLTREL, 7), (DT_NULL, 0)]),
+            dyn_bytes(
+                true,
+                &[(DT_JMPREL, rela_addr), (DT_PLTRELSZ, 48), (DT_PLTREL, 7), (DT_NULL, 0)],
+            ),
             None,
             0,
             8,

@@ -123,11 +123,8 @@ impl<'a> Elf<'a> {
     }
 
     fn symbols_from(&self, table_type: SectionType) -> Result<Vec<Symbol>> {
-        let Some((idx, sec)) = self
-            .sections
-            .iter()
-            .enumerate()
-            .find(|(_, s)| s.section_type == table_type)
+        let Some((idx, sec)) =
+            self.sections.iter().enumerate().find(|(_, s)| s.section_type == table_type)
         else {
             return Ok(Vec::new());
         };
@@ -137,11 +134,8 @@ impl<'a> Elf<'a> {
             offset: sec.offset,
             size: sec.size,
         })?;
-        let strtab = self
-            .sections
-            .get(sec.link as usize)
-            .and_then(|s| self.section_data(s))
-            .unwrap_or(&[]);
+        let strtab =
+            self.sections.get(sec.link as usize).and_then(|s| self.section_data(s)).unwrap_or(&[]);
 
         let entsize = self.class().sym_size();
         let count = data.len() / entsize;
@@ -206,6 +200,26 @@ impl<'a> Elf<'a> {
     /// Whether the image carries any executable section named `.text`.
     pub fn has_text(&self) -> bool {
         self.section_by_name(".text").is_some()
+    }
+
+    /// All mapped executable sections with their load address and file
+    /// contents, sorted by address.
+    ///
+    /// A section qualifies when it is both allocated (`SHF_ALLOC`) and
+    /// executable (`SHF_EXECINSTR`), is non-empty, and has file-backed
+    /// contents (`SHT_NOBITS` is skipped). This is the enumeration the
+    /// multi-region front end sweeps: `.init`, `.plt` variants, `.text`,
+    /// `.fini`, and any nonstandard executable sections a linker script
+    /// added.
+    pub fn executable_sections(&self) -> Vec<(&Section, u64, &'a [u8])> {
+        let mut out: Vec<(&Section, u64, &'a [u8])> = self
+            .sections
+            .iter()
+            .filter(|s| s.flags & crate::section::SHF_ALLOC != 0 && s.is_executable() && s.size > 0)
+            .filter_map(|s| Some((s, s.addr, self.section_data(s)?)))
+            .collect();
+        out.sort_by_key(|&(_, addr, _)| addr);
+        out
     }
 }
 

@@ -48,11 +48,11 @@ pub mod symbol;
 
 pub use build::{ElfBuilder, StringTable};
 pub use dynamic::DynamicTable;
-pub use note::{build_cet_note, cet_properties, CetProperties};
 pub use elf::Elf;
 pub use error::{Error, Result};
 pub use header::{FileHeader, Machine, ObjectType};
 pub use ident::Class;
+pub use note::{build_cet_note, cet_properties, CetProperties};
 pub use plt::PltMap;
 pub use read::{cstr_at, Reader};
 pub use reloc::Reloc;

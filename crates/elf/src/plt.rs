@@ -48,12 +48,7 @@ impl PltMap {
         let slot_names: Vec<&str> = relocs
             .iter()
             .filter(|r| r.is_jump_slot(is_64))
-            .map(|r| {
-                dynsyms
-                    .get(r.symbol as usize)
-                    .map(|s| s.name.as_str())
-                    .unwrap_or("")
-            })
+            .map(|r| dynsyms.get(r.symbol as usize).map(|s| s.name.as_str()).unwrap_or(""))
             .collect();
 
         let mut entries = BTreeMap::new();
@@ -102,9 +97,7 @@ impl PltMap {
         I: IntoIterator<Item = (u64, S)>,
         S: Into<String>,
     {
-        PltMap {
-            entries: pairs.into_iter().map(|(a, n)| (a, n.into())).collect(),
-        }
+        PltMap { entries: pairs.into_iter().map(|(a, n)| (a, n.into())).collect() }
     }
 }
 

@@ -49,7 +49,11 @@ impl<'a> Reader<'a> {
     /// Takes `n` raw bytes.
     pub fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.remaining() < n {
-            return Err(Error::Truncated { offset: self.pos, wanted: n, available: self.remaining() });
+            return Err(Error::Truncated {
+                offset: self.pos,
+                wanted: n,
+                available: self.remaining(),
+            });
         }
         let out = &self.data[self.pos..self.pos + n];
         self.pos += n;

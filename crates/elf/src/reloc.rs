@@ -107,7 +107,9 @@ mod tests {
     fn parses_elf32_rel() {
         let mut b = Vec::new();
         b.extend_from_slice(&0x804a00cu32.to_le_bytes());
-        b.extend_from_slice(&(Reloc::info_word(2, R_386_JMP_SLOT, Class::Elf32) as u32).to_le_bytes());
+        b.extend_from_slice(
+            &(Reloc::info_word(2, R_386_JMP_SLOT, Class::Elf32) as u32).to_le_bytes(),
+        );
         let rel = Reloc::parse_rel(&mut Reader::new(&b), Class::Elf32).unwrap();
         assert_eq!(rel.offset, 0x804a00c);
         assert_eq!(rel.symbol, 2);

@@ -186,7 +186,12 @@ mod tests {
         ] {
             assert_eq!(SymbolType::from_nibble(t.to_nibble()), t);
         }
-        for b in [SymbolBinding::Local, SymbolBinding::Global, SymbolBinding::Weak, SymbolBinding::Other(13)] {
+        for b in [
+            SymbolBinding::Local,
+            SymbolBinding::Global,
+            SymbolBinding::Weak,
+            SymbolBinding::Other(13),
+        ] {
             assert_eq!(SymbolBinding::from_nibble(b.to_nibble()), b);
         }
     }

@@ -23,7 +23,8 @@ pub struct ArmEval {
 /// Runs the experiment over `count` seeded binaries.
 pub fn run(count: usize, seed: u64) -> ArmEval {
     let mut out = ArmEval::default();
-    let no_tails = BtiSeeker::with_config(BtiConfig { select_tail_calls: false, min_tail_referers: 2 });
+    let no_tails =
+        BtiSeeker::with_config(BtiConfig { select_tail_calls: false, min_tail_referers: 2 });
     let full = BtiSeeker::new();
     for s in 0..count as u64 {
         let bin = generate(ArmParams::default(), seed ^ (s.wrapping_mul(0x9e37_79b9)));
@@ -41,7 +42,11 @@ impl ArmEval {
     /// Renders the comparison table.
     pub fn render(&self) -> String {
         let mut t = Table::new(["BTI identifier", "Prec. %", "Rec. %"]);
-        t.row(["BTI ∪ BL-targets".to_owned(), pct(self.without_tails.precision()), pct(self.without_tails.recall())]);
+        t.row([
+            "BTI ∪ BL-targets".to_owned(),
+            pct(self.without_tails.precision()),
+            pct(self.without_tails.recall()),
+        ]);
         t.row(["+ SELECTTAILCALL".to_owned(), pct(self.full.precision()), pct(self.full.recall())]);
         let mut out = t.render();
         out.push_str(&format!("\n({} AArch64 binaries)\n", self.binaries));

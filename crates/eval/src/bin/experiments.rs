@@ -121,7 +121,9 @@ fn main() {
 
     match what.as_str() {
         "all" => {
-            for name in ["table1", "fig3", "table2", "table3", "failures", "by-opt", "manual-endbr", "arm"] {
+            for name in
+                ["table1", "fig3", "table2", "table3", "failures", "by-opt", "manual-endbr", "arm"]
+            {
                 run_one(name);
                 println!();
             }

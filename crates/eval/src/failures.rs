@@ -41,7 +41,11 @@ impl FailureBreakdown {
         let mut t = Table::new(["Class", "Count", "Share %"]);
         let fns = self.total_fn().max(1) as f64;
         let fps = self.total_fp().max(1) as f64;
-        t.row(["FN: dead function".to_owned(), self.fn_dead.to_string(), format!("{:.1}", self.fn_dead as f64 / fns * 100.0)]);
+        t.row([
+            "FN: dead function".to_owned(),
+            self.fn_dead.to_string(),
+            format!("{:.1}", self.fn_dead as f64 / fns * 100.0),
+        ]);
         t.row([
             "FN: missed tail target / other".to_owned(),
             self.fn_tail_or_other.to_string(),
@@ -52,7 +56,11 @@ impl FailureBreakdown {
             self.fp_fragment.to_string(),
             format!("{:.1}", self.fp_fragment as f64 / fps * 100.0),
         ]);
-        t.row(["FP: other".to_owned(), self.fp_other.to_string(), format!("{:.1}", self.fp_other as f64 / fps * 100.0)]);
+        t.row([
+            "FP: other".to_owned(),
+            self.fp_other.to_string(),
+            format!("{:.1}", self.fp_other as f64 / fps * 100.0),
+        ]);
         t.render()
     }
 }
@@ -107,15 +115,9 @@ mod tests {
         assert!(b.total_fn() > 0, "no FNs — corpus too easy");
         assert!(b.total_fp() > 0, "no FPs — corpus too easy");
         // Dead functions dominate FNs (paper: 93.3%).
-        assert!(
-            b.fn_dead * 2 > b.total_fn(),
-            "dead functions should dominate FNs: {b:?}"
-        );
+        assert!(b.fn_dead * 2 > b.total_fn(), "dead functions should dominate FNs: {b:?}");
         // Fragments dominate FPs (paper: 100%).
-        assert!(
-            b.fp_fragment * 2 > b.total_fp(),
-            "fragments should dominate FPs: {b:?}"
-        );
+        assert!(b.fp_fragment * 2 > b.total_fp(), "fragments should dominate FPs: {b:?}");
         let rendered = b.render();
         assert!(rendered.contains("dead function"));
     }

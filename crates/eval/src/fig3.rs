@@ -1,9 +1,8 @@
 //! Figure 3 — the Venn relation between the three syntactic function
 //! properties: `EndBrAtHead`, `DirJmpTarget`, `DirCallTarget`.
 
-use funseeker::parse::parse;
+use funseeker::prepare;
 use funseeker_corpus::{CorpusBinary, Dataset};
-use funseeker_disasm::{InsnKind, LinearSweep};
 
 use crate::report::Table;
 use crate::runner::par_map;
@@ -77,36 +76,24 @@ impl Fig3 {
 /// Computes the property bits for all ground-truth functions of one
 /// binary.
 pub fn classify_binary(bin: &CorpusBinary) -> Fig3 {
-    let parsed = parse(&bin.bytes).expect("corpus binary parses");
-    let mode = bin.config.arch.mode();
-    let mut call_targets = std::collections::BTreeSet::new();
-    let mut jmp_targets = std::collections::BTreeSet::new();
-    let mut endbrs = std::collections::BTreeSet::new();
-    for insn in LinearSweep::new(parsed.text, parsed.text_addr, mode) {
-        match insn.kind {
-            InsnKind::CallRel { target } => {
-                call_targets.insert(target);
-            }
-            InsnKind::JmpRel { target } => {
-                jmp_targets.insert(target);
-            }
-            InsnKind::Endbr32 | InsnKind::Endbr64 => {
-                endbrs.insert(insn.addr);
-            }
-            _ => {}
-        }
-    }
+    // One shared PARSE + DISASSEMBLE; the property sets come straight
+    // from the sweep index. Ground-truth entries always lie inside the
+    // code, so the index's in-code-filtered `C`/`J` sets are
+    // membership-equivalent to unfiltered ones here.
+    let prepared = prepare(&bin.bytes).expect("corpus binary parses");
+    let index = &prepared.index;
+    let jmp_targets = index.jmp_targets();
 
     let mut out = Fig3::default();
     for f in bin.truth.functions.iter().filter(|f| !f.is_part) {
         let mut bits = 0usize;
-        if endbrs.contains(&f.addr) {
+        if index.endbrs.binary_search(&f.addr).is_ok() {
             bits |= 1;
         }
         if jmp_targets.contains(&f.addr) {
             bits |= 2;
         }
-        if call_targets.contains(&f.addr) {
+        if index.call_targets.contains(&f.addr) {
             bits |= 4;
         }
         out.regions[bits] += 1;

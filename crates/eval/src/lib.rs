@@ -21,9 +21,9 @@
 pub mod arm;
 pub mod by_opt;
 pub mod failures;
-pub mod manual_endbr;
 pub mod fig3;
 pub mod groundtruth;
+pub mod manual_endbr;
 pub mod metrics;
 pub mod report;
 pub mod runner;

@@ -1,34 +1,49 @@
 //! Parallel evaluation over a dataset.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use funseeker_corpus::CorpusBinary;
 
 /// Maps `f` over the binaries in parallel, preserving order.
 ///
-/// The per-binary work (parse + sweep + set algebra, possibly × several
-/// tools) dominates, so simple chunking over `available_parallelism`
-/// workers is enough.
+/// Workers steal one binary at a time from a shared atomic cursor, so a
+/// single oversized binary occupies one worker while the rest drain the
+/// remainder — unlike fixed chunking, where the chunk holding the big
+/// binary would serialize everything behind it.
 pub fn par_map<T, F>(bins: &[CorpusBinary], f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(&CorpusBinary) -> T + Sync,
 {
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    if workers <= 1 || bins.len() <= 1 {
+    let workers =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(bins.len());
+    if workers <= 1 {
         return bins.iter().map(f).collect();
     }
-    let chunk_size = bins.len().div_ceil(workers);
-    let mut results: Vec<Vec<T>> = Vec::new();
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = bins
-            .chunks(chunk_size)
-            .map(|chunk| s.spawn(|_| chunk.iter().map(&f).collect::<Vec<T>>()))
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("evaluation worker panicked"));
+
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(bins.len()));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                // Batch locally and merge once per worker: the lock is
+                // touched `workers` times, not `bins.len()` times.
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(bin) = bins.get(i) else { break };
+                    local.push((i, f(bin)));
+                }
+                done.lock().expect("evaluation worker panicked").extend(local);
+            });
         }
-    })
-    .expect("crossbeam scope");
-    results.into_iter().flatten().collect()
+    });
+
+    let mut indexed = done.into_inner().expect("evaluation worker panicked");
+    assert_eq!(indexed.len(), bins.len());
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, v)| v).collect()
 }
 
 #[cfg(test)]
@@ -45,5 +60,11 @@ mod tests {
             assert_eq!(got.0, bin.program);
             assert_eq!(got.1, bin.config.label());
         }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out = par_map(&[], |_| unreachable!("no binaries to visit"));
+        let _: Vec<()> = out;
     }
 }

@@ -10,9 +10,8 @@
 
 use std::collections::BTreeMap;
 
-use funseeker::parse::parse;
+use funseeker::prepare;
 use funseeker_corpus::{Compiler, CorpusBinary, Dataset, Suite};
-use funseeker_disasm::LinearSweep;
 
 use crate::report::Table;
 use crate::runner::par_map;
@@ -39,32 +38,31 @@ impl EndbrCounts {
 
 /// Classifies all end-branches of one binary.
 pub fn classify_binary(bin: &CorpusBinary) -> EndbrCounts {
-    let parsed = parse(&bin.bytes).expect("corpus binary parses");
-    let mode = bin.config.arch.mode();
+    // One shared PARSE + DISASSEMBLE; the call sites and end-branches come
+    // from the sweep index instead of two private sweeps.
+    let prepared = prepare(&bin.bytes).expect("corpus binary parses");
+    let parsed = &prepared.parsed;
 
     // Indirect-return points, recomputed from the binary like FILTERENDBR.
+    // `call_sites` keeps out-of-code (PLT-bound) targets and records the
+    // address *after* each call — exactly the point an end-branch follows.
     let mut ret_points = std::collections::BTreeSet::new();
-    for insn in LinearSweep::new(parsed.text, parsed.text_addr, mode) {
-        if let funseeker_disasm::InsnKind::CallRel { target } = insn.kind {
-            if let Some(name) = parsed.plt.name_at(target) {
-                if funseeker::is_indirect_return_name(name) {
-                    ret_points.insert(insn.end());
-                }
+    for &(after, target) in &prepared.index.call_sites {
+        if let Some(name) = parsed.plt.name_at(target) {
+            if funseeker::is_indirect_return_name(name) {
+                ret_points.insert(after);
             }
         }
     }
 
     let entries = bin.truth.eval_entries();
     let mut counts = EndbrCounts::default();
-    for insn in LinearSweep::new(parsed.text, parsed.text_addr, mode) {
-        if !insn.kind.is_endbr() {
-            continue;
-        }
-        if entries.contains(&insn.addr) {
+    for &addr in &prepared.index.endbrs {
+        if entries.contains(&addr) {
             counts.entry += 1;
-        } else if parsed.landing_pads.contains(&insn.addr) {
+        } else if parsed.landing_pads.contains(&addr) {
             counts.exception += 1;
-        } else if ret_points.contains(&insn.addr) {
+        } else if ret_points.contains(&addr) {
             counts.indirect_ret += 1;
         } else {
             counts.other += 1;
@@ -97,7 +95,8 @@ pub fn run(ds: &Dataset) -> Table1 {
 impl Table1 {
     /// Builds the result table (percentages per row, paper layout).
     pub fn to_table(&self) -> Table {
-        let mut t = Table::new(["Compiler", "Suite", "Func. Entry %", "Indirect Ret. %", "Exception %"]);
+        let mut t =
+            Table::new(["Compiler", "Suite", "Func. Entry %", "Indirect Ret. %", "Exception %"]);
         for compiler in [Compiler::Gcc, Compiler::Clang] {
             for suite in Suite::ALL {
                 let Some(c) = self.groups.get(&(compiler.label(), suite.label())) else { continue };
@@ -154,10 +153,7 @@ mod tests {
         for compiler in ["GCC", "Clang"] {
             let spec = t1.groups[&(compiler, "SPEC CPU 2017")];
             let exc_share = spec.exception as f64 / spec.total() as f64;
-            assert!(
-                exc_share > 0.05,
-                "{compiler} SPEC exception share too low: {exc_share:.3}"
-            );
+            assert!(exc_share > 0.05, "{compiler} SPEC exception share too low: {exc_share:.3}");
             let core = t1.groups[&(compiler, "Coreutils")];
             assert_eq!(core.exception, 0, "C suites have no landing pads");
             // The paper reports 99.98% here; at the corpus's small
@@ -167,7 +163,10 @@ mod tests {
             // stays the same.
             let entry_share = core.entry as f64 / core.total() as f64;
             assert!(entry_share > 0.90, "{compiler} Coreutils entry share {entry_share:.4}");
-            assert!(core.entry > 20 * core.indirect_ret, "{compiler}: indirect-return share too large");
+            assert!(
+                core.entry > 20 * core.indirect_ret,
+                "{compiler}: indirect-return share too large"
+            );
         }
         let rendered = t1.render();
         assert!(rendered.contains("SPEC CPU 2017"));

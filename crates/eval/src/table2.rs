@@ -3,9 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use funseeker::disassemble::disassemble;
-use funseeker::parse::parse;
-use funseeker::{Config, FunSeeker};
+use funseeker::{prepare, Config, FunSeeker};
 use funseeker_corpus::{Compiler, Dataset, Suite};
 
 use crate::metrics::Score;
@@ -26,11 +24,10 @@ pub struct Table2 {
 pub fn run(ds: &Dataset) -> Table2 {
     let per_bin = par_map(&ds.binaries, |bin| {
         let truth = bin.truth.eval_entries();
-        let parsed = parse(&bin.bytes).expect("corpus binary parses");
-        let sweep = disassemble(&parsed);
+        let prepared = prepare(&bin.bytes).expect("corpus binary parses");
         let mut scores = [Score::default(); 4];
         for (i, (_, cfg)) in Config::table2().iter().enumerate() {
-            let analysis = FunSeeker::with_config(*cfg).run_stages(&parsed, &sweep);
+            let analysis = FunSeeker::with_config(*cfg).identify_prepared(&prepared);
             scores[i] = Score::from_sets(&analysis.functions, &truth);
         }
         (bin.config.compiler, bin.suite, scores)

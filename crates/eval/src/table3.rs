@@ -52,16 +52,20 @@ pub fn run(ds: &Dataset) -> Table3 {
             Box::new(GhidraLike),
             Box::new(FetchLike),
         ];
+        // PARSE + DISASSEMBLE run once per binary; every tool consumes
+        // the shared index. Each tool's reported time still includes the
+        // shared preparation cost so the per-tool totals stay comparable
+        // to the paper's end-to-end measurements.
+        let t0 = Instant::now();
+        let prepared = funseeker::prepare(&bin.bytes).expect("corpus binary parses");
+        let prep_seconds = t0.elapsed().as_secs_f64();
         let mut cells = [ToolCell::default(); 4];
         for (i, tool) in tools.iter().enumerate() {
             let t0 = Instant::now();
-            let found = tool.identify(&bin.bytes).expect("corpus binary analyzable");
-            let dt = t0.elapsed().as_secs_f64();
-            cells[i] = ToolCell {
-                score: Score::from_sets(&found, &truth),
-                seconds: dt,
-                binaries: 1,
-            };
+            let found = tool.identify_prepared(&prepared).expect("corpus binary analyzable");
+            let dt = prep_seconds + t0.elapsed().as_secs_f64();
+            cells[i] =
+                ToolCell { score: Score::from_sets(&found, &truth), seconds: dt, binaries: 1 };
         }
         (bin.config.arch, bin.suite, cells)
     });

@@ -13,7 +13,10 @@ fn main() {
     let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2022);
     let seeker = BtiSeeker::new();
 
-    println!("{:<8} {:>6} {:>8} {:>8} {:>10} {:>8}", "seed", "funcs", "BTI c", "BTI j", "precision", "recall");
+    println!(
+        "{:<8} {:>6} {:>8} {:>8} {:>10} {:>8}",
+        "seed", "funcs", "BTI c", "BTI j", "precision", "recall"
+    );
     let mut tp = 0usize;
     let mut fp = 0usize;
     let mut fn_ = 0usize;

@@ -8,7 +8,9 @@
 use std::collections::BTreeSet;
 use std::time::Instant;
 
-use funseeker_baselines::{FetchLike, FunSeekerTool, FunctionIdentifier, GhidraLike, IdaLike, NaiveEndbr};
+use funseeker_baselines::{
+    FetchLike, FunSeekerTool, FunctionIdentifier, GhidraLike, IdaLike, NaiveEndbr,
+};
 use funseeker_corpus::{Dataset, DatasetParams};
 
 fn main() {

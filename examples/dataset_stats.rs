@@ -9,8 +9,7 @@ use funseeker_corpus::{Dataset, DatasetParams};
 
 fn main() {
     let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2022);
-    let mut params = DatasetParams::default();
-    params.programs = (6, 3, 5);
+    let params = DatasetParams { programs: (6, 3, 5), ..Default::default() };
     eprintln!("generating corpus (seed {seed})…");
     let ds = Dataset::generate(&params, seed);
 
@@ -38,8 +37,14 @@ fn main() {
     println!("binaries        : {}", ds.len());
     println!("total size      : {:.1} MiB", bytes as f64 / (1024.0 * 1024.0));
     println!("functions       : {total_funcs}");
-    println!("  with endbr    : {total_endbr} ({:.2}%)", total_endbr as f64 / total_funcs as f64 * 100.0);
-    println!("  dead          : {total_dead} ({:.3}%)", total_dead as f64 / total_funcs as f64 * 100.0);
+    println!(
+        "  with endbr    : {total_endbr} ({:.2}%)",
+        total_endbr as f64 / total_funcs as f64 * 100.0
+    );
+    println!(
+        "  dead          : {total_dead} ({:.3}%)",
+        total_dead as f64 / total_funcs as f64 * 100.0
+    );
     println!(".cold/.part     : {total_parts}");
 
     println!("\n— Figure 3 property relation —\n");

@@ -18,10 +18,7 @@ fn main() {
     let specs = Dataset::program_specs(&DatasetParams::tiny(), seed);
     // Pick a program with fragment-splitting and dead code so the diff
     // has something to show; force the features if the roll missed them.
-    let (suite, mut spec) = specs
-        .into_iter()
-        .next()
-        .expect("tiny dataset has programs");
+    let (suite, mut spec) = specs.into_iter().next().expect("tiny dataset has programs");
     if !spec.functions.iter().any(|f| f.cold_part && f.part_called) {
         spec.functions[2].cold_part = true;
         spec.functions[2].part_called = true; // fragment reached by call → an FP at -O2
@@ -72,7 +69,8 @@ fn main() {
 
     // Addresses shift between builds, so diff by *name* via ground truth
     // (a real workflow would use signatures; the corpus gives us truth).
-    let names = |built: &funseeker_corpus::LinkedBinary, found: &std::collections::BTreeSet<u64>| {
+    let names = |built: &funseeker_corpus::LinkedBinary,
+                 found: &std::collections::BTreeSet<u64>| {
         built
             .truth
             .functions
@@ -86,10 +84,15 @@ fn main() {
 
     let only_debug: Vec<_> = debug_names.difference(&release_names).collect();
     let only_release: Vec<_> = release_names.difference(&debug_names).collect();
-    let fragment_fps = |built: &funseeker_corpus::LinkedBinary, found: &std::collections::BTreeSet<u64>| {
+    let fragment_fps = |built: &funseeker_corpus::LinkedBinary,
+                        found: &std::collections::BTreeSet<u64>| {
         built.truth.part_entries().iter().filter(|a| found.contains(a)).count()
     };
-    println!("fragment FPs     : -O0 {}  -O2 {}", fragment_fps(&debug_build, &a.functions), fragment_fps(&release_build, &b.functions));
+    println!(
+        "fragment FPs     : -O0 {}  -O2 {}",
+        fragment_fps(&debug_build, &a.functions),
+        fragment_fps(&release_build, &b.functions)
+    );
     println!("\nidentified in -O0 but not -O2 ({}):", only_debug.len());
     for n in only_debug.iter().take(8) {
         println!("  - {n}");
@@ -103,12 +106,12 @@ fn main() {
     println!(" §V-C error classes.)");
 
     // Boundary view for the release build.
-    let parsed = funseeker::parse::parse(&release_build.bytes).unwrap();
-    let bounds = funseeker::estimate_bounds(&parsed, &b.functions);
+    let prepared = funseeker::prepare(&release_build.bytes).unwrap();
+    let bounds = funseeker::estimate_bounds(&prepared, &b.functions);
     let total: u64 = bounds.iter().map(|r| r.len()).sum();
     println!(
         "\n-O2 code attributed to functions: {total} bytes across {} ranges (text {} bytes)",
         bounds.len(),
-        parsed.text.len()
+        prepared.parsed.code.len_bytes()
     );
 }

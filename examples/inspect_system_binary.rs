@@ -12,8 +12,7 @@
 
 use std::collections::BTreeSet;
 
-use funseeker::parse::parse;
-use funseeker_disasm::{InsnKind, LinearSweep, Mode};
+use funseeker::prepare;
 use funseeker_elf::Elf;
 
 fn main() {
@@ -25,48 +24,37 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let parsed = match parse(&bytes) {
+    let prepared = match prepare(&bytes) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("cannot analyze {path}: {e}");
             std::process::exit(1);
         }
     };
-    let mode = if parsed.wide { Mode::Bits64 } else { Mode::Bits32 };
+    let parsed = &prepared.parsed;
+    let index = &prepared.index;
 
-    // --- end-branch census over .text ---
-    let mut endbrs = BTreeSet::new();
-    let mut call_targets = BTreeSet::new();
-    let mut jmp_targets = BTreeSet::new();
+    // --- end-branch census over the code regions, straight from the
+    // shared sweep index ---
+    let endbrs: BTreeSet<u64> = index.endbrs.iter().copied().collect();
+    let call_targets = &index.call_targets;
+    let jmp_targets = index.jmp_targets();
     let mut setjmp_returns = BTreeSet::new();
-    let mut insn_count = 0usize;
-    for insn in LinearSweep::new(parsed.text, parsed.text_addr, mode) {
-        insn_count += 1;
-        match insn.kind {
-            InsnKind::Endbr32 | InsnKind::Endbr64 => {
-                endbrs.insert(insn.addr);
+    for &(after, target) in &index.call_sites {
+        if let Some(name) = parsed.plt.name_at(target) {
+            if funseeker::is_indirect_return_name(name) {
+                setjmp_returns.insert(after);
             }
-            InsnKind::CallRel { target } => {
-                if parsed.in_text(target) {
-                    call_targets.insert(target);
-                }
-                if let Some(name) = parsed.plt.name_at(target) {
-                    if funseeker::is_indirect_return_name(name) {
-                        setjmp_returns.insert(insn.end());
-                    }
-                }
-            }
-            InsnKind::JmpRel { target }
-                if parsed.in_text(target) => {
-                    jmp_targets.insert(target);
-                }
-            _ => {}
         }
     }
 
     println!("binary         : {path}");
-    println!("mode           : {:?}", mode);
-    println!("instructions   : {insn_count}");
+    println!("mode           : {:?}", parsed.mode());
+    println!(
+        "code regions   : {}",
+        parsed.code.regions().iter().map(|r| r.name.as_str()).collect::<Vec<_>>().join(" ")
+    );
+    println!("instructions   : {}", index.insns.len());
     println!("end-branches   : {}", endbrs.len());
     println!("  at landing pads        : {}", endbrs.intersection(&parsed.landing_pads).count());
     println!("  after setjmp-family    : {}", endbrs.intersection(&setjmp_returns).count());
@@ -111,8 +99,8 @@ fn main() {
         );
     }
 
-    // --- FunSeeker run ---
-    let analysis = funseeker::FunSeeker::new().identify(&bytes).unwrap();
+    // --- FunSeeker run, reusing the same prepared index ---
+    let analysis = funseeker::FunSeeker::new().identify_prepared(&prepared);
     println!("\nFunSeeker identifies      : {} functions", analysis.functions.len());
     if !funcs.is_empty() {
         let tp = analysis.functions.intersection(&funcs).count();

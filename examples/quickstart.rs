@@ -10,9 +10,7 @@
 use funseeker::{Config, FunSeeker};
 
 fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "/proc/self/exe".to_owned());
+    let path = std::env::args().nth(1).unwrap_or_else(|| "/proc/self/exe".to_owned());
     let bytes = match std::fs::read(&path) {
         Ok(b) => b,
         Err(e) => {
@@ -38,7 +36,10 @@ fn main() {
     );
     println!("end-branches  : {} (filtered {})", analysis.endbr_count, analysis.filtered_endbrs);
     println!("call targets  : {}", analysis.call_target_count);
-    println!("jump targets  : {} (kept as tail calls: {})", analysis.jmp_target_count, analysis.tail_target_count);
+    println!(
+        "jump targets  : {} (kept as tail calls: {})",
+        analysis.jmp_target_count, analysis.tail_target_count
+    );
     println!("decode errors : {}", analysis.decode_errors);
     println!("functions     : {}", analysis.functions.len());
 
@@ -48,9 +49,7 @@ fn main() {
     }
 
     // Compare against the naive all-endbr view (configuration ①).
-    let naive = FunSeeker::with_config(Config::c1())
-        .identify(&bytes)
-        .expect("same binary parses");
+    let naive = FunSeeker::with_config(Config::c1()).identify(&bytes).expect("same binary parses");
     println!(
         "\nconfiguration 1 (E ∪ C) finds {} candidates; the full pipeline keeps {}",
         naive.functions.len(),

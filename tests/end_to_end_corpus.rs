@@ -65,8 +65,16 @@ fn eh_based_tools_collapse_without_fdes() {
         fetch += Score::from_sets(&FetchLike.identify(&bin.bytes).unwrap(), &truth);
         funseeker += Score::from_sets(&FunSeekerTool::new().identify(&bin.bytes).unwrap(), &truth);
     }
-    assert!(fetch.recall() < 0.05, "FETCH without FDEs should find ~nothing, got {:.3}", fetch.recall());
-    assert!(funseeker.recall() > 0.99, "FunSeeker is FDE-independent, got {:.3}", funseeker.recall());
+    assert!(
+        fetch.recall() < 0.05,
+        "FETCH without FDEs should find ~nothing, got {:.3}",
+        fetch.recall()
+    );
+    assert!(
+        funseeker.recall() > 0.99,
+        "FunSeeker is FDE-independent, got {:.3}",
+        funseeker.recall()
+    );
 }
 
 #[test]

@@ -1,0 +1,74 @@
+//! End-to-end multi-region analysis: a binary whose code is spread over
+//! `.init`, `.text`, and `.fini` must yield function entries from all
+//! three regions through the full pipeline (PARSE → shared sweep →
+//! stages), with boundaries confined to their regions.
+
+use funseeker::{prepare, FunSeeker};
+use funseeker_elf::{Class, ElfBuilder, Machine, ObjectType};
+
+/// `endbr64; ret`, padded to 16 bytes with NOPs.
+fn endbr_func() -> Vec<u8> {
+    let mut f = vec![0xf3, 0x0f, 0x1e, 0xfa, 0xc3];
+    f.resize(16, 0x90);
+    f
+}
+
+fn three_region_binary() -> Vec<u8> {
+    // .text holds two functions; the first calls the second so the
+    // call-target set is exercised across the same index.
+    let mut text = vec![0xf3, 0x0f, 0x1e, 0xfa]; // 0x401000: endbr64
+    text.push(0xe8); // call rel32 → 0x401010
+    text.extend_from_slice(&7i32.to_le_bytes());
+    text.push(0xc3); // ret
+    text.resize(16, 0x90);
+    text.extend_from_slice(&endbr_func()); // 0x401010
+
+    let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::Executable);
+    b.entry(0x401000);
+    b.text(".init", 0x400100, endbr_func());
+    b.text(".text", 0x401000, text);
+    b.text(".fini", 0x402000, endbr_func());
+    b.build().unwrap()
+}
+
+#[test]
+fn functions_found_in_all_three_regions() {
+    let bytes = three_region_binary();
+    let a = FunSeeker::new().identify(&bytes).unwrap();
+
+    for entry in [0x400100u64, 0x401000, 0x401010, 0x402000] {
+        assert!(a.functions.contains(&entry), "missing entry {entry:#x}");
+    }
+    // Region membership: one entry per outer region, two in .text.
+    assert!(a.functions.iter().any(|&f| (0x400100..0x401000).contains(&f)));
+    assert!(a.functions.iter().any(|&f| f >= 0x402000));
+    assert_eq!(a.functions.iter().filter(|&&f| (0x401000..0x402000).contains(&f)).count(), 2);
+}
+
+#[test]
+fn shared_index_spans_all_regions_and_bounds_respect_them() {
+    let bytes = three_region_binary();
+    let prepared = prepare(&bytes).unwrap();
+
+    let names: Vec<&str> = prepared.parsed.code.regions().iter().map(|r| r.name.as_str()).collect();
+    assert_eq!(names, [".init", ".text", ".fini"]);
+    assert_eq!(prepared.index.regions.len(), 3);
+    assert_eq!(prepared.index.decode_errors, 0);
+    assert!(prepared.index.call_targets.contains(&0x401010));
+
+    let a = FunSeeker::new().identify_prepared(&prepared);
+    let bounds = funseeker::estimate_bounds(&prepared, &a.functions);
+    assert_eq!(bounds.len(), a.functions.len());
+    // No estimated range crosses a region boundary.
+    for b in &bounds {
+        let region = prepared.parsed.code.region_of(b.start).expect("entry is in a region");
+        assert!(
+            b.end <= region.end(),
+            "bounds {:#x}..{:#x} leak past region {} end {:#x}",
+            b.start,
+            b.end,
+            region.name,
+            region.end()
+        );
+    }
+}

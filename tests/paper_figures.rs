@@ -7,7 +7,9 @@ use std::collections::BTreeSet;
 use funseeker::{Config, FunSeeker};
 use funseeker_eh::{CallSite, EhFrameBuilder, ExceptTableBuilder, LsdaBuilder};
 use funseeker_elf::section::{SHF_ALLOC, SHF_EXECINSTR};
-use funseeker_elf::{Class, ElfBuilder, Machine, ObjectType, Reloc, Symbol, SymbolBinding, SymbolType};
+use funseeker_elf::{
+    Class, ElfBuilder, Machine, ObjectType, Reloc, Symbol, SymbolBinding, SymbolType,
+};
 
 fn undef_func(name: &str) -> Symbol {
     Symbol {
@@ -37,7 +39,7 @@ fn figure1_ibt_example() {
     }
     let main = text_addr + text.len() as u64;
     text.extend_from_slice(&[0xf3, 0x0f, 0x1e, 0xfa]); // endbr64
-    // lea rcx, [rip + disp32 → foo]
+                                                       // lea rcx, [rip + disp32 → foo]
     let lea_end = main + 4 + 7;
     text.extend_from_slice(&[0x48, 0x8d, 0x0d]);
     text.extend_from_slice(&((foo.wrapping_sub(lea_end)) as u32).to_le_bytes());
@@ -85,7 +87,12 @@ fn figure2a_setjmp_return_point() {
     b.symbol_table(".dynsym", 0, &[undef_func("setjmp")]);
     b.plt_relocations(
         0x400700,
-        &[Reloc { offset: 0x404018, rtype: funseeker_elf::reloc::R_X86_64_JUMP_SLOT, symbol: 1, addend: 0 }],
+        &[Reloc {
+            offset: 0x404018,
+            rtype: funseeker_elf::reloc::R_X86_64_JUMP_SLOT,
+            symbol: 1,
+            addend: 0,
+        }],
     );
     let bytes = b.build().unwrap();
 

@@ -49,9 +49,9 @@ fn errors_are_printable_and_sourced() {
 fn bounds_compose_with_identify() {
     let ds = Dataset::generate(&DatasetParams::tiny(), 2);
     let bin = &ds.binaries[0];
-    let a = FunSeeker::new().identify(&bin.bytes).unwrap();
-    let parsed = funseeker::parse::parse(&bin.bytes).unwrap();
-    let bounds = funseeker::estimate_bounds(&parsed, &a.functions);
+    let prepared = funseeker::prepare(&bin.bytes).unwrap();
+    let a = FunSeeker::new().identify_prepared(&prepared);
+    let bounds = funseeker::estimate_bounds(&prepared, &a.functions);
     assert_eq!(bounds.len(), a.functions.len());
     // Ranges are sorted, non-overlapping, within .text.
     for w in bounds.windows(2) {

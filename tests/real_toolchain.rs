@@ -114,10 +114,7 @@ fn funseeker_on_real_gcc_binaries() {
         );
         assert!(ours.len() >= 4, "{opt}: expected our symbols, found {ours:?}");
         for (name, addr) in &ours {
-            assert!(
-                analysis.functions.contains(addr),
-                "{opt}: {name} at {addr:#x} not identified"
-            );
+            assert!(analysis.functions.contains(addr), "{opt}: {name} at {addr:#x} not identified");
         }
 
         // Whole-binary recall against all in-.text symbols. The residue

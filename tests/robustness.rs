@@ -14,7 +14,8 @@ fn sample_binary() -> Vec<u8> {
     main.setjmp = true;
     let mut helper = FunctionSpec::named("helper");
     helper.landing_pads = 1;
-    let spec = ProgramSpec { name: "robust".into(), lang: Lang::Cpp, functions: vec![main, helper] };
+    let spec =
+        ProgramSpec { name: "robust".into(), lang: Lang::Cpp, functions: vec![main, helper] };
     let cfg = BuildConfig {
         compiler: funseeker_corpus::Compiler::Gcc,
         arch: funseeker_corpus::Arch::X64,
@@ -118,7 +119,7 @@ fn data_in_text_resyncs() {
     use funseeker_elf::{Class, ElfBuilder, Machine, ObjectType};
     let text_addr = 0x1000u64;
     let mut text = vec![0xf3, 0x0f, 0x1e, 0xfa, 0xc3]; // endbr64; ret
-    // 64 bytes of pointer-like data (mostly undecodable in sequence).
+                                                       // 64 bytes of pointer-like data (mostly undecodable in sequence).
     for i in 0..8u64 {
         text.extend_from_slice(&(0x0620_0000_0000 + i).to_le_bytes());
     }
@@ -144,9 +145,9 @@ fn pattern_scan_recovers_swallowed_endbr() {
     use funseeker_elf::{Class, ElfBuilder, Machine, ObjectType};
     let text_addr = 0x1000u64;
     let mut text = vec![0xf3, 0x0f, 0x1e, 0xfa, 0xc3]; // f0: endbr64; ret
-    // "Data" that happens to end with 48 B8 right before the next entry:
-    // the sweep decodes the nops, then `mov rax, imm64` swallows the
-    // ENDBR into its immediate.
+                                                       // "Data" that happens to end with 48 B8 right before the next entry:
+                                                       // the sweep decodes the nops, then `mov rax, imm64` swallows the
+                                                       // ENDBR into its immediate.
     text.extend_from_slice(&[0x90, 0x90, 0x90, 0x48, 0xb8]);
     let hidden = text_addr + text.len() as u64;
     text.extend_from_slice(&[0xf3, 0x0f, 0x1e, 0xfa, 0x31, 0xc0, 0xc3]); // hidden fn
