@@ -9,6 +9,14 @@ cargo build --workspace --release
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> mutation fuzz harness (1000 cases)"
+FUNSEEKER_MUTATION_CASES=1000 cargo test -q -p funseeker-corpus --test proptest_mutate
+
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
+  -p funseeker-elf -p funseeker-eh -p funseeker-disasm -p funseeker \
+  -p funseeker-corpus -p funseeker-baselines -p funseeker-eval -p funseeker-aarch64
+
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
 

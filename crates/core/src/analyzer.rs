@@ -63,6 +63,10 @@ pub struct Analysis {
     /// CET-enabled binary). End-branch evidence is still used either
     /// way; this flag tells the caller how much to trust it.
     pub cet_enabled: bool,
+    /// Warnings recorded while the front end degraded over malformed
+    /// optional metadata; empty for a clean image. See
+    /// [`crate::Diagnostics`].
+    pub diagnostics: crate::Diagnostics,
 }
 
 /// The FunSeeker function identifier.
@@ -73,9 +77,26 @@ pub struct Analysis {
 /// let analysis = FunSeeker::new().identify(&bytes).unwrap();
 /// println!("{} functions", analysis.functions.len());
 /// ```
+///
+/// Malformed *optional* metadata (a corrupt `.eh_frame`, property note,
+/// or PLT relocation chain) does not fail [`identify`]: the pipeline
+/// degrades, records what happened in [`Analysis::diagnostics`], and
+/// analyzes the regions it can still read. Opt into rejection instead
+/// with [`strict`]:
+///
+/// ```
+/// use funseeker::FunSeeker;
+/// let bytes = std::fs::read("/proc/self/exe").unwrap();
+/// let analysis = FunSeeker::new().strict(true).identify(&bytes).unwrap();
+/// assert!(analysis.diagnostics.is_empty()); // strict Ok implies no warnings
+/// ```
+///
+/// [`identify`]: FunSeeker::identify
+/// [`strict`]: FunSeeker::strict
 #[derive(Debug, Clone, Default)]
 pub struct FunSeeker {
     config: Config,
+    strict: bool,
 }
 
 impl FunSeeker {
@@ -87,7 +108,7 @@ impl FunSeeker {
     /// An analyzer with an explicit [`Config`] (e.g. the Table II
     /// ablations).
     pub fn with_config(config: Config) -> Self {
-        FunSeeker { config }
+        FunSeeker { config, strict: false }
     }
 
     /// The active configuration.
@@ -95,9 +116,26 @@ impl FunSeeker {
         self.config
     }
 
+    /// Sets strict mode: when enabled, [`FunSeeker::identify`] turns
+    /// front-end degradation warnings into [`Error::Strict`] instead of
+    /// returning a degraded [`Analysis`].
+    pub fn strict(mut self, strict: bool) -> Self {
+        self.strict = strict;
+        self
+    }
+
+    /// Whether strict mode is enabled.
+    pub fn is_strict(&self) -> bool {
+        self.strict
+    }
+
     /// Identifies function entries in a raw ELF image.
     pub fn identify(&self, bytes: &[u8]) -> Result<Analysis, Error> {
-        Ok(self.identify_prepared(&prepare(bytes)?))
+        let analysis = self.identify_prepared(&prepare(bytes)?);
+        if self.strict && !analysis.diagnostics.is_empty() {
+            return Err(Error::Strict(analysis.diagnostics));
+        }
+        Ok(analysis)
     }
 
     /// Identifies function entries in an already-prepared binary,
@@ -166,6 +204,7 @@ impl FunSeeker {
             tail_target_count: tail_count,
             decode_errors: sweep.decode_errors,
             cet_enabled: parsed.cet.full(),
+            diagnostics: parsed.diagnostics.clone(),
         }
     }
 }

@@ -1,16 +1,18 @@
 //! `funseeker` — command-line function identification for CET binaries.
 //!
 //! ```text
-//! funseeker [--config 1|2|3|4] [--summary] [--disasm] <binary>…
+//! funseeker [--config 1|2|3|4] [--summary] [--disasm] [--strict] <binary>…
 //! ```
 //!
 //! Prints one function entry address per line (hex), or a per-binary
-//! summary with `--summary`. Exit code 1 if any input failed to parse.
+//! summary with `--summary`. Malformed optional metadata normally
+//! degrades to warnings on stderr; `--strict` turns those warnings into
+//! errors. Exit code 1 if any input failed to parse.
 
 use funseeker::{Config, FunSeeker};
 
 fn usage() -> ! {
-    eprintln!("usage: funseeker [--config 1|2|3|4] [--summary] [--disasm] <binary>...");
+    eprintln!("usage: funseeker [--config 1|2|3|4] [--summary] [--disasm] [--strict] <binary>...");
     std::process::exit(2);
 }
 
@@ -18,6 +20,7 @@ fn main() {
     let mut config = Config::c4();
     let mut summary = false;
     let mut disasm = false;
+    let mut strict = false;
     let mut paths: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -35,6 +38,7 @@ fn main() {
             }
             "--summary" => summary = true,
             "--disasm" => disasm = true,
+            "--strict" => strict = true,
             "-h" | "--help" => usage(),
             _ => paths.push(arg),
         }
@@ -43,7 +47,7 @@ fn main() {
         usage();
     }
 
-    let seeker = FunSeeker::with_config(config);
+    let seeker = FunSeeker::with_config(config).strict(strict);
     let mut failed = false;
     for path in &paths {
         let bytes = match std::fs::read(path) {
@@ -56,6 +60,9 @@ fn main() {
         };
         match seeker.identify(&bytes) {
             Ok(analysis) => {
+                for warning in analysis.diagnostics.iter() {
+                    eprintln!("{path}: warning: {warning}");
+                }
                 if summary {
                     println!(
                         "{path}: {} functions ({} endbr, {} filtered, {} call targets, {} tail targets, {} decode errors){}",
@@ -101,7 +108,7 @@ fn print_disassembly(bytes: &[u8], analysis: &funseeker::Analysis) {
         println!("\nDisassembly of section {}:", region.name);
         let mut off = 0usize;
         while off < region.bytes.len() {
-            let addr = region.addr + off as u64;
+            let addr = region.addr.wrapping_add(off as u64);
             if analysis.functions.contains(&addr) {
                 println!("\n{addr:#x} <fn>:");
             }

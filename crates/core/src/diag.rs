@@ -1,0 +1,191 @@
+//! Diagnostics — the graceful-degradation sink of the pipeline.
+//!
+//! The paper's pipeline assumes well-formed CET binaries, but a
+//! production identifier meets truncated, corrupt, and adversarial
+//! images. Mirroring how interactive tools (IDA, Ghidra) never hard-fail
+//! on recoverable damage, PARSE downgrades malformed *optional* metadata
+//! — `.eh_frame`, `.gcc_except_table`, `.note.gnu.property`, the PLT
+//! relocation chain, structural layout oddities — to warnings collected
+//! here, and keeps analyzing every region it can still read. Callers
+//! that prefer rejection over degradation enable strict mode on
+//! [`crate::FunSeeker`] (or pass `--strict` to the CLI), which turns a
+//! non-empty sink into [`crate::Error::Strict`].
+
+use core::fmt;
+
+/// The pipeline component a diagnostic originated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum Component {
+    /// Section/segment header layout (overlaps, ranges past the file).
+    Layout,
+    /// `.eh_frame` CIE/FDE parsing.
+    EhFrame,
+    /// `.gcc_except_table` LSDA parsing.
+    GccExceptTable,
+    /// `.note.gnu.property` CET property parsing.
+    NoteProperty,
+    /// PLT stub resolution (`.rela.plt` / `DT_JMPREL` chain).
+    Plt,
+    /// `.dynamic` tag walking.
+    Dynamic,
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Component::Layout => "layout",
+            Component::EhFrame => ".eh_frame",
+            Component::GccExceptTable => ".gcc_except_table",
+            Component::NoteProperty => ".note.gnu.property",
+            Component::Plt => "plt",
+            Component::Dynamic => ".dynamic",
+        })
+    }
+}
+
+/// One warning recorded while parsing a damaged input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which component degraded.
+    pub component: Component,
+    /// Human-readable description (typically the underlying parse
+    /// error's `Display` output).
+    pub message: String,
+    /// How many times this exact warning occurred (identical warnings
+    /// are coalesced so a section with thousands of damaged records
+    /// cannot balloon memory).
+    pub count: usize,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.component, self.message)?;
+        if self.count > 1 {
+            write!(f, " (x{})", self.count)?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered collection of [`Diagnostic`]s.
+///
+/// Duplicate `(component, message)` pairs are coalesced into one entry
+/// with a count, which bounds memory on inputs engineered to produce the
+/// same failure millions of times.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a warning, coalescing exact duplicates.
+    pub fn warn(&mut self, component: Component, message: impl Into<String>) {
+        let message = message.into();
+        if let Some(d) =
+            self.items.iter_mut().find(|d| d.component == component && d.message == message)
+        {
+            d.count += 1;
+        } else {
+            self.items.push(Diagnostic { component, message, count: 1 });
+        }
+    }
+
+    /// The recorded warnings, in first-occurrence order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Number of distinct warnings (after coalescing).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing degraded.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total occurrences across all warnings (before coalescing).
+    pub fn total(&self) -> usize {
+        self.items.iter().map(|d| d.count).sum()
+    }
+
+    /// Whether any warning came from `component`.
+    pub fn has(&self, component: Component) -> bool {
+        self.items.iter().any(|d| d.component == component)
+    }
+
+    /// Merges another sink into this one (coalescing duplicates).
+    pub fn extend(&mut self, other: &Diagnostics) {
+        for d in &other.items {
+            if let Some(e) =
+                self.items.iter_mut().find(|e| e.component == d.component && e.message == d.message)
+            {
+                e.count += d.count;
+            } else {
+                self.items.push(d.clone());
+            }
+        }
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.items.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "warning: {d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warns_and_coalesces() {
+        let mut d = Diagnostics::new();
+        assert!(d.is_empty());
+        d.warn(Component::EhFrame, "truncated record");
+        d.warn(Component::EhFrame, "truncated record");
+        d.warn(Component::Plt, "bad reloc");
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.total(), 3);
+        assert!(d.has(Component::EhFrame));
+        assert!(!d.has(Component::Dynamic));
+        let first = d.iter().next().unwrap();
+        assert_eq!(first.count, 2);
+        assert!(first.to_string().contains("x2"));
+    }
+
+    #[test]
+    fn extend_merges_counts() {
+        let mut a = Diagnostics::new();
+        a.warn(Component::Layout, "overlap");
+        let mut b = Diagnostics::new();
+        b.warn(Component::Layout, "overlap");
+        b.warn(Component::NoteProperty, "bad note");
+        a.extend(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.iter().next().unwrap().count, 2);
+    }
+
+    #[test]
+    fn display_is_line_per_warning() {
+        let mut d = Diagnostics::new();
+        d.warn(Component::EhFrame, "a");
+        d.warn(Component::Plt, "b");
+        let s = d.to_string();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.lines().all(|l| l.starts_with("warning: ")));
+    }
+}

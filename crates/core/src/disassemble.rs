@@ -105,7 +105,7 @@ pub fn scan_endbr_pattern(p: &Parsed<'_>) -> Vec<u64> {
                 .windows(4)
                 .enumerate()
                 .filter(|(_, w)| *w == marker)
-                .map(|(i, _)| region.addr + i as u64),
+                .map(|(i, _)| region.addr.wrapping_add(i as u64)),
         );
     }
     out

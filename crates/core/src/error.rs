@@ -10,6 +10,10 @@ pub enum Error {
     Elf(funseeker_elf::Error),
     /// The image has no `.text` section to analyze.
     NoText,
+    /// Strict mode rejected an input that would otherwise have been
+    /// analyzed with degraded metadata. Carries the warnings that would
+    /// have been recorded (see [`crate::Diagnostics`]).
+    Strict(crate::Diagnostics),
 }
 
 impl fmt::Display for Error {
@@ -17,6 +21,13 @@ impl fmt::Display for Error {
         match self {
             Error::Elf(e) => write!(f, "ELF parse error: {e}"),
             Error::NoText => f.write_str("binary has no .text section"),
+            Error::Strict(d) => {
+                write!(f, "strict mode: input degraded with {} warning(s)", d.len())?;
+                if let Some(first) = d.iter().next() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -25,7 +36,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Elf(e) => Some(e),
-            Error::NoText => None,
+            Error::NoText | Error::Strict(_) => None,
         }
     }
 }
@@ -46,5 +57,15 @@ mod tests {
         assert!(e.to_string().contains("class"));
         assert!(std::error::Error::source(&e).is_some());
         assert!(std::error::Error::source(&Error::NoText).is_none());
+    }
+
+    #[test]
+    fn strict_error_reports_first_warning() {
+        let mut d = crate::Diagnostics::new();
+        d.warn(crate::diag::Component::EhFrame, "truncated record");
+        let e = Error::Strict(d);
+        let s = e.to_string();
+        assert!(s.contains("strict mode"));
+        assert!(s.contains("truncated record"));
     }
 }

@@ -29,11 +29,12 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod analyzer;
 pub mod boundaries;
 mod config;
+pub mod diag;
 mod error;
 
 pub mod disassemble;
@@ -44,5 +45,6 @@ pub mod tailcall;
 pub use analyzer::{prepare, Analysis, FunSeeker, Prepared};
 pub use boundaries::{estimate_bounds, FunctionBounds};
 pub use config::Config;
+pub use diag::{Diagnostic, Diagnostics};
 pub use error::Error;
 pub use filter::{is_indirect_return_name, INDIRECT_RETURN_FUNCTIONS};

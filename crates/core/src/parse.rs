@@ -12,6 +12,7 @@ use funseeker_disasm::Mode;
 use funseeker_eh::{parse_eh_frame, parse_lsda};
 use funseeker_elf::{Class, Elf, PltMap};
 
+use crate::diag::{Component, Diagnostics};
 use crate::error::Error;
 
 /// One executable region (an ELF section's worth of code).
@@ -27,8 +28,11 @@ pub struct CodeRegion<'a> {
 
 impl<'a> CodeRegion<'a> {
     /// Address one past the last byte (exclusive end).
+    ///
+    /// Saturating: a hostile section address near `u64::MAX` clamps
+    /// instead of wrapping (and panicking in debug builds).
     pub fn end(&self) -> u64 {
-        self.addr + self.bytes.len() as u64
+        self.addr.saturating_add(self.bytes.len() as u64)
     }
 
     /// Whether `addr` lies inside this region.
@@ -143,6 +147,9 @@ pub struct Parsed<'a> {
     pub plt: PltMap,
     /// CET capabilities declared in `.note.gnu.property`.
     pub cet: funseeker_elf::CetProperties,
+    /// Warnings recorded while degrading over malformed optional
+    /// metadata (see [`Diagnostics`]); empty for a clean image.
+    pub diagnostics: Diagnostics,
 }
 
 impl<'a> Parsed<'a> {
@@ -157,6 +164,7 @@ impl<'a> Parsed<'a> {
             fde_ranges: Vec::new(),
             plt: PltMap::default(),
             cet: funseeker_elf::CetProperties::default(),
+            diagnostics: Diagnostics::new(),
         }
     }
 
@@ -180,17 +188,36 @@ const STUB_SECTION_PREFIXES: [&str; 2] = [".plt", ".iplt"];
 
 /// Parses a raw ELF image.
 ///
-/// Exception information is best-effort: corrupt or exotic EH metadata
-/// degrades to "no landing pads / no FDEs" rather than failing the
-/// analysis, since FILTERENDBR treats `exn` as an optional reduction.
+/// Optional metadata is best-effort: corrupt or exotic exception
+/// tables, property notes, and PLT relocation chains degrade to their
+/// empty defaults with a warning recorded in [`Parsed::diagnostics`],
+/// rather than failing the analysis — FILTERENDBR treats `exn` as an
+/// optional reduction, and the sweep itself only needs the code regions.
+/// Only an unparseable image (`Error::Elf`) or one with no executable
+/// regions at all (`Error::NoText`) is a hard error.
 pub fn parse(bytes: &[u8]) -> Result<Parsed<'_>, Error> {
     let elf = Elf::parse(bytes)?;
-    let regions: Vec<CodeRegion<'_>> = elf
-        .executable_sections()
-        .into_iter()
-        .filter(|(sec, _, _)| !STUB_SECTION_PREFIXES.iter().any(|p| sec.name.starts_with(p)))
-        .map(|(sec, addr, bytes)| CodeRegion { name: sec.name.clone(), addr, bytes })
-        .collect();
+    let mut diagnostics = Diagnostics::new();
+    for finding in elf.check_layout() {
+        diagnostics.warn(Component::Layout, finding.to_string());
+    }
+    let mut regions: Vec<CodeRegion<'_>> = Vec::new();
+    for (sec, addr, bytes) in elf.executable_sections() {
+        if STUB_SECTION_PREFIXES.iter().any(|p| sec.name.starts_with(p)) {
+            continue;
+        }
+        // A region whose address range wraps the 64-bit address space is
+        // structurally implausible; analyzing it would produce entry
+        // addresses outside any coherent text range.
+        if addr.checked_add(bytes.len() as u64).is_none() {
+            diagnostics.warn(
+                Component::Layout,
+                format!("section {} at {addr:#x} wraps the address space; skipped", sec.name),
+            );
+            continue;
+        }
+        regions.push(CodeRegion { name: sec.name.clone(), addr, bytes });
+    }
     if regions.is_empty() {
         return Err(Error::NoText);
     }
@@ -200,23 +227,42 @@ pub fn parse(bytes: &[u8]) -> Result<Parsed<'_>, Error> {
     let mut landing_pads = BTreeSet::new();
     let mut fde_ranges = Vec::new();
     if let Some((eh_addr, eh_data)) = elf.section_bytes(".eh_frame") {
-        if let Ok(frame) = parse_eh_frame(eh_data, eh_addr, wide) {
-            let gx = elf.section_bytes(".gcc_except_table");
-            for fde in &frame.fdes {
-                fde_ranges.push((fde.pc_begin, fde.pc_begin + fde.pc_range));
-                let (Some((gx_addr, gx_data)), Some(lsda)) = (gx, fde.lsda) else { continue };
-                if let Ok(parsed) = parse_lsda(gx_data, gx_addr, lsda, fde.pc_begin, wide) {
-                    landing_pads.extend(parsed.landing_pads);
+        match parse_eh_frame(eh_data, eh_addr, wide) {
+            Ok(frame) => {
+                let gx = elf.section_bytes(".gcc_except_table");
+                for fde in &frame.fdes {
+                    fde_ranges.push((fde.pc_begin, fde.pc_begin.saturating_add(fde.pc_range)));
+                    let (Some((gx_addr, gx_data)), Some(lsda)) = (gx, fde.lsda) else { continue };
+                    match parse_lsda(gx_data, gx_addr, lsda, fde.pc_begin, wide) {
+                        Ok(parsed) => landing_pads.extend(parsed.landing_pads),
+                        Err(e) => diagnostics.warn(Component::GccExceptTable, e.to_string()),
+                    }
                 }
+                fde_ranges.sort_unstable();
             }
-            fde_ranges.sort_unstable();
+            Err(e) => diagnostics.warn(Component::EhFrame, e.to_string()),
         }
     }
 
-    let plt = PltMap::from_elf(&elf).unwrap_or_default();
-    let cet = funseeker_elf::cet_properties(&elf).unwrap_or_default();
+    let plt = PltMap::from_elf(&elf).unwrap_or_else(|e| {
+        diagnostics.warn(Component::Plt, e.to_string());
+        PltMap::default()
+    });
+    let cet = funseeker_elf::cet_properties(&elf).unwrap_or_else(|e| {
+        diagnostics.warn(Component::NoteProperty, e.to_string());
+        funseeker_elf::CetProperties::default()
+    });
 
-    Ok(Parsed { code, wide, entry: elf.header.entry, landing_pads, fde_ranges, plt, cet })
+    Ok(Parsed {
+        code,
+        wide,
+        entry: elf.header.entry,
+        landing_pads,
+        fde_ranges,
+        plt,
+        cet,
+        diagnostics,
+    })
 }
 
 #[cfg(test)]

@@ -39,6 +39,7 @@ mod codegen;
 pub mod config;
 pub mod dataset;
 mod link;
+pub mod mutate;
 pub mod spec;
 pub mod truth;
 pub mod workload;
@@ -48,6 +49,7 @@ pub use codegen::INDIRECT_RETURN_FUNCTIONS;
 pub use config::{BuildConfig, Compiler, OptLevel};
 pub use dataset::{CorpusBinary, Dataset, DatasetParams};
 pub use link::LinkedBinary;
+pub use mutate::{Corruption, Mutator};
 pub use spec::{FunctionSpec, Lang, Linkage, ProgramSpec};
 pub use truth::{FunctionTruth, GroundTruth};
 pub use workload::{generate_program, Profile, Suite};

@@ -1,0 +1,371 @@
+//! Deterministic ELF fault injection — the mutation half of the
+//! robustness harness.
+//!
+//! [`Mutator`] applies *structured* corruptions to a well-formed image:
+//! instead of only flipping random bytes (which mostly lands in code or
+//! padding), it aims at the places a hostile input actually attacks a
+//! parser — header fields, the section/segment tables, size and offset
+//! words, the CET property note, `.eh_frame`, and the PLT relocations.
+//! Every corruption is a pure function of the seed, so a failing case
+//! reproduces from its `(seed, corruption)` pair alone.
+//!
+//! The companion proptest (`tests/proptest_mutate.rs`) asserts the
+//! pipeline contract over these mutants: `FunSeeker::identify` never
+//! panics, never overruns its time budget, and returns either `Ok` with
+//! diagnostics or a typed error.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One structured corruption class — the mutator's grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum Corruption {
+    /// Scramble fields of the ELF file header (type, machine, shoff,
+    /// shnum, shstrndx, entry, …) while keeping the magic intact.
+    HeaderScramble,
+    /// Overwrite one section-header entry with random bytes.
+    SectionScramble,
+    /// Overwrite one program-header entry with random bytes.
+    SegmentScramble,
+    /// Replace a size/offset word in a section header with a value near
+    /// `u64::MAX` (the classic integer-overflow probe).
+    OffsetOverflow,
+    /// Truncate the image at a random point (mid-header, mid-table, or
+    /// mid-section).
+    TailTruncate,
+    /// Flip bits inside `.note.gnu.property`.
+    NoteBitFlip,
+    /// Flip bits inside `.eh_frame` / `.gcc_except_table`.
+    EhFrameBitFlip,
+    /// Shuffle and damage the PLT relocation entries
+    /// (`.rela.plt`/`.rel.plt`).
+    RelocShuffle,
+    /// Plain random byte flips anywhere in the image (baseline noise).
+    RandomFlips,
+}
+
+impl Corruption {
+    /// Every corruption class, in a stable order.
+    pub const ALL: [Corruption; 9] = [
+        Corruption::HeaderScramble,
+        Corruption::SectionScramble,
+        Corruption::SegmentScramble,
+        Corruption::OffsetOverflow,
+        Corruption::TailTruncate,
+        Corruption::NoteBitFlip,
+        Corruption::EhFrameBitFlip,
+        Corruption::RelocShuffle,
+        Corruption::RandomFlips,
+    ];
+
+    /// A short stable label (for campaign tables).
+    pub fn label(self) -> &'static str {
+        match self {
+            Corruption::HeaderScramble => "header-scramble",
+            Corruption::SectionScramble => "section-scramble",
+            Corruption::SegmentScramble => "segment-scramble",
+            Corruption::OffsetOverflow => "offset-overflow",
+            Corruption::TailTruncate => "tail-truncate",
+            Corruption::NoteBitFlip => "note-bit-flip",
+            Corruption::EhFrameBitFlip => "ehframe-bit-flip",
+            Corruption::RelocShuffle => "reloc-shuffle",
+            Corruption::RandomFlips => "random-flips",
+        }
+    }
+}
+
+/// Byte layout facts the mutator needs from the pristine image, located
+/// via the workspace's own parser *before* any damage is applied.
+#[derive(Debug, Clone, Default)]
+struct Layout {
+    /// `(file_offset, len)` of the section-header table.
+    shdr_table: Option<(usize, usize)>,
+    /// `(file_offset, len)` of the program-header table.
+    phdr_table: Option<(usize, usize)>,
+    /// File ranges of named sections.
+    note: Option<(usize, usize)>,
+    eh: Vec<(usize, usize)>,
+    relocs: Option<(usize, usize)>,
+    /// Per-section-header entry size.
+    shentsize: usize,
+    phentsize: usize,
+}
+
+fn layout_of(bytes: &[u8]) -> Layout {
+    let Ok(elf) = funseeker_elf::Elf::parse(bytes) else { return Layout::default() };
+    let class = elf.class();
+    let (shentsize, phentsize) =
+        if class.is_wide() { (64usize, 56usize) } else { (40usize, 32usize) };
+    let range = |name: &str| -> Option<(usize, usize)> {
+        let sec = elf.section_by_name(name)?;
+        let (start, end) = sec.file_range()?;
+        (end <= bytes.len() && start < end).then(|| (start, end - start))
+    };
+    let table = |off: u64, n: usize, entsize: usize| -> Option<(usize, usize)> {
+        let start = usize::try_from(off).ok()?;
+        let len = n.checked_mul(entsize)?;
+        (n > 0 && start.checked_add(len)? <= bytes.len()).then_some((start, len))
+    };
+    Layout {
+        shdr_table: table(elf.header.shoff, usize::from(elf.header.shnum), shentsize),
+        phdr_table: table(elf.header.phoff, usize::from(elf.header.phnum), phentsize),
+        note: range(".note.gnu.property"),
+        eh: [".eh_frame", ".gcc_except_table"].iter().filter_map(|n| range(n)).collect(),
+        relocs: range(".rela.plt").or_else(|| range(".rel.plt")),
+        shentsize,
+        phentsize,
+    }
+}
+
+/// A seeded source of structured ELF corruptions.
+///
+/// ```
+/// use funseeker_corpus::{
+///     compile, Arch, BuildConfig, Compiler, Corruption, FunctionSpec, Mutator, OptLevel,
+///     ProgramSpec,
+/// };
+/// let spec = ProgramSpec {
+///     name: "victim".into(),
+///     lang: funseeker_corpus::Lang::C,
+///     functions: vec![FunctionSpec::named("main")],
+/// };
+/// let cfg = BuildConfig { compiler: Compiler::Gcc, arch: Arch::X64, opt: OptLevel::O2, pie: true };
+/// let pristine = compile(&spec, cfg, 7).bytes;
+/// let mut m = Mutator::new(42);
+/// let (mutant, applied) = m.mutate(&pristine);
+/// assert_ne!(mutant, pristine);
+/// assert!(Corruption::ALL.contains(&applied));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mutator {
+    rng: StdRng,
+}
+
+impl Mutator {
+    /// A mutator with a fixed seed; the corruption stream is a pure
+    /// function of it.
+    pub fn new(seed: u64) -> Self {
+        Mutator { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Applies one randomly chosen corruption, returning the mutated
+    /// image and which class was applied.
+    pub fn mutate(&mut self, pristine: &[u8]) -> (Vec<u8>, Corruption) {
+        let c = Corruption::ALL[self.rng.gen_range(0..Corruption::ALL.len())];
+        (self.apply(pristine, c), c)
+    }
+
+    /// Applies one specific corruption class.
+    ///
+    /// Falls back to [`Corruption::RandomFlips`] behavior when the class
+    /// has no target in this image (e.g. `NoteBitFlip` on an image with
+    /// no property note) so every call damages *something*.
+    pub fn apply(&mut self, pristine: &[u8], c: Corruption) -> Vec<u8> {
+        let mut bytes = pristine.to_vec();
+        if bytes.is_empty() {
+            return bytes;
+        }
+        let layout = layout_of(pristine);
+        let done = match c {
+            Corruption::HeaderScramble => self.header_scramble(&mut bytes),
+            Corruption::SectionScramble => {
+                self.table_scramble(&mut bytes, layout.shdr_table, layout.shentsize)
+            }
+            Corruption::SegmentScramble => {
+                self.table_scramble(&mut bytes, layout.phdr_table, layout.phentsize)
+            }
+            Corruption::OffsetOverflow => {
+                self.offset_overflow(&mut bytes, layout.shdr_table, layout.shentsize)
+            }
+            Corruption::TailTruncate => {
+                let keep = self.rng.gen_range(0..bytes.len());
+                bytes.truncate(keep);
+                true
+            }
+            Corruption::NoteBitFlip => self.bit_flips(&mut bytes, layout.note),
+            Corruption::EhFrameBitFlip => {
+                let target = (!layout.eh.is_empty())
+                    .then(|| layout.eh[self.rng.gen_range(0..layout.eh.len())]);
+                self.bit_flips(&mut bytes, target)
+            }
+            Corruption::RelocShuffle => self.reloc_shuffle(&mut bytes, layout.relocs),
+            Corruption::RandomFlips => false,
+        };
+        if !done {
+            // Class had no target (or is RandomFlips): baseline noise.
+            let n = self.rng.gen_range(1..24usize);
+            for _ in 0..n {
+                let pos = self.rng.gen_range(0..bytes.len());
+                bytes[pos] = self.rng.gen();
+            }
+        }
+        bytes
+    }
+
+    /// Scrambles fields of the file header past the 16-byte ident, so the
+    /// image still *looks* like an ELF but its structure lies.
+    fn header_scramble(&mut self, bytes: &mut [u8]) -> bool {
+        if bytes.len() <= 16 {
+            return false;
+        }
+        let header_end = bytes.len().min(64);
+        let n = self.rng.gen_range(1..8usize);
+        for _ in 0..n {
+            let pos = self.rng.gen_range(16..header_end);
+            // Mix small values and extreme ones: both "subtly wrong" and
+            // "obviously hostile" header fields are interesting.
+            bytes[pos] = if self.rng.gen_bool(0.5) { self.rng.gen() } else { 0xff };
+        }
+        true
+    }
+
+    /// Overwrites one table entry (section or program header) wholesale.
+    fn table_scramble(
+        &mut self,
+        bytes: &mut [u8],
+        table: Option<(usize, usize)>,
+        entsize: usize,
+    ) -> bool {
+        let Some((start, len)) = table else { return false };
+        if len < entsize {
+            return false;
+        }
+        let entry = self.rng.gen_range(0..len / entsize);
+        let at = start + entry * entsize;
+        for b in &mut bytes[at..at + entsize] {
+            if self.rng.gen_bool(0.7) {
+                *b = self.rng.gen();
+            }
+        }
+        true
+    }
+
+    /// Plants a near-`u64::MAX` value into a section header's offset or
+    /// size field — the classic `checked_add` probe.
+    fn offset_overflow(
+        &mut self,
+        bytes: &mut [u8],
+        table: Option<(usize, usize)>,
+        entsize: usize,
+    ) -> bool {
+        let Some((start, len)) = table else { return false };
+        if len < entsize {
+            return false;
+        }
+        let entry = self.rng.gen_range(0..len / entsize);
+        // ELF64 Shdr: sh_addr @16, sh_offset @24, sh_size @32 (8 bytes
+        // each); ELF32: sh_addr @12, sh_offset @16, sh_size @20 (4 each).
+        let wide = entsize == 64;
+        let fields: &[usize] = if wide { &[16, 24, 32] } else { &[12, 16, 20] };
+        let field = fields[self.rng.gen_range(0..fields.len())];
+        let width = if wide { 8 } else { 4 };
+        let at = start + entry * entsize + field;
+        let value = u64::MAX - self.rng.gen_range(0..0x1000u64);
+        bytes[at..at + width].copy_from_slice(&value.to_le_bytes()[..width]);
+        true
+    }
+
+    /// Flips 1–32 bits inside the target range.
+    fn bit_flips(&mut self, bytes: &mut [u8], target: Option<(usize, usize)>) -> bool {
+        let Some((start, len)) = target else { return false };
+        if len == 0 {
+            return false;
+        }
+        let n = self.rng.gen_range(1..32usize);
+        for _ in 0..n {
+            let pos = start + self.rng.gen_range(0..len);
+            bytes[pos] ^= 1 << self.rng.gen_range(0..8u32);
+        }
+        true
+    }
+
+    /// Swaps whole relocation entries around and corrupts their symbol
+    /// indices / offsets, desynchronizing the PLT index correspondence.
+    fn reloc_shuffle(&mut self, bytes: &mut [u8], relocs: Option<(usize, usize)>) -> bool {
+        let Some((start, len)) = relocs else { return false };
+        let entsize = 24usize; // Elf64 Rela; close enough for Rel too
+        let n = len / entsize;
+        if n < 1 {
+            return false;
+        }
+        for _ in 0..self.rng.gen_range(1..=n) {
+            let a = start + self.rng.gen_range(0..n) * entsize;
+            let b = start + self.rng.gen_range(0..n) * entsize;
+            for i in 0..entsize {
+                bytes.swap(a + i, b + i);
+            }
+        }
+        // Damage one entry's r_info (symbol index + type).
+        let at = start + self.rng.gen_range(0..n) * entsize + 8;
+        for b in &mut bytes[at..at + 8] {
+            *b = self.rng.gen();
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, Arch, BuildConfig, Compiler, FunctionSpec, Lang, OptLevel, ProgramSpec};
+
+    fn pristine() -> Vec<u8> {
+        let mut main = FunctionSpec::named("main");
+        main.calls = vec![1];
+        main.setjmp = true;
+        let mut helper = FunctionSpec::named("helper");
+        helper.landing_pads = 1;
+        let spec =
+            ProgramSpec { name: "mut".into(), lang: Lang::Cpp, functions: vec![main, helper] };
+        let cfg =
+            BuildConfig { compiler: Compiler::Gcc, arch: Arch::X64, opt: OptLevel::O2, pie: true };
+        compile(&spec, cfg, 3).bytes
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let p = pristine();
+        let (a, ca) = Mutator::new(9).mutate(&p);
+        let (b, cb) = Mutator::new(9).mutate(&p);
+        assert_eq!(ca, cb);
+        assert_eq!(a, b);
+        let (c, _) = Mutator::new(10).mutate(&p);
+        assert!(c != a || Mutator::new(10).mutate(&p).0 == c);
+    }
+
+    #[test]
+    fn every_class_changes_the_image() {
+        let p = pristine();
+        let mut m = Mutator::new(1);
+        for c in Corruption::ALL {
+            let out = m.apply(&p, c);
+            assert_ne!(out, p, "{c:?} must damage the image");
+            assert!(!c.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn targeted_classes_hit_their_section() {
+        let p = pristine();
+        let elf = funseeker_elf::Elf::parse(&p).unwrap();
+        let (eh_start, eh_end) =
+            elf.section_by_name(".eh_frame").and_then(|s| s.file_range()).unwrap();
+        let mut m = Mutator::new(5);
+        let out = m.apply(&p, Corruption::EhFrameBitFlip);
+        assert_eq!(out.len(), p.len());
+        let changed: Vec<usize> = (0..p.len()).filter(|&i| out[i] != p[i]).collect();
+        assert!(!changed.is_empty());
+        assert!(
+            changed.iter().all(|&i| i >= eh_start && i < eh_end),
+            "EhFrameBitFlip must stay inside .eh_frame/.gcc_except_table"
+        );
+    }
+
+    #[test]
+    fn empty_input_is_a_no_op() {
+        let mut m = Mutator::new(0);
+        let (out, _) = m.mutate(&[]);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! Mutation fuzz harness: the pipeline contract over hostile images.
+//!
+//! For every `(seed, corruption-class)` pair the mutator damages a
+//! pristine corpus-built binary and `FunSeeker::identify` must
+//!
+//! 1. never panic,
+//! 2. never overrun a generous per-case time budget, and
+//! 3. return either `Ok` (possibly with degradation diagnostics) or a
+//!    typed error — both of which are *answers*, not crashes.
+//!
+//! Case count comes from `FUNSEEKER_MUTATION_CASES` (default 256; ci.sh
+//! runs 1000). Failures reproduce from the printed seed alone.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use funseeker::FunSeeker;
+use funseeker_corpus::{
+    compile, Arch, BuildConfig, Compiler, Corruption, FunctionSpec, Lang, Mutator, OptLevel,
+    ProgramSpec,
+};
+use proptest::prelude::*;
+
+/// Upper bound per identify() call. The pipeline is linear in the input
+/// size and these images are tens of KiB, so normal runs take well under
+/// a millisecond; the budget only exists to catch accidental
+/// super-linear blowups on hostile metadata.
+const TIME_BUDGET: Duration = Duration::from_secs(10);
+
+/// Pristine images are compiled once and shared across all cases.
+fn pristine_images() -> &'static [Vec<u8>] {
+    static IMAGES: OnceLock<Vec<Vec<u8>>> = OnceLock::new();
+    IMAGES.get_or_init(|| {
+        let mut images = Vec::new();
+        for (lang, compiler, seed) in
+            [(Lang::Cpp, Compiler::Gcc, 11), (Lang::C, Compiler::Clang, 12)]
+        {
+            let mut main = FunctionSpec::named("main");
+            main.calls = vec![1, 2];
+            main.setjmp = true;
+            let mut worker = FunctionSpec::named("worker");
+            if lang == Lang::Cpp {
+                worker.landing_pads = 2;
+            }
+            worker.calls = vec![2];
+            let mut leaf = FunctionSpec::named("leaf");
+            leaf.address_taken = true;
+            let spec = ProgramSpec {
+                name: "fuzz-victim".into(),
+                lang,
+                functions: vec![main, worker, leaf],
+            };
+            let cfg = BuildConfig { compiler, arch: Arch::X64, opt: OptLevel::O2, pie: true };
+            images.push(compile(&spec, cfg, seed).bytes);
+        }
+        images
+    })
+}
+
+fn cases() -> u32 {
+    std::env::var("FUNSEEKER_MUTATION_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256)
+}
+
+/// The contract every mutant must satisfy.
+fn check_contract(mutant: &[u8], what: &str) -> Result<(), TestCaseError> {
+    let start = Instant::now();
+    // catch_unwind is deliberately absent: a panic anywhere in the
+    // pipeline fails the proptest case directly, which is the point.
+    let outcome = FunSeeker::new().identify(mutant);
+    let elapsed = start.elapsed();
+    prop_assert!(
+        elapsed < TIME_BUDGET,
+        "{what}: identify took {elapsed:?} (budget {TIME_BUDGET:?})"
+    );
+    match outcome {
+        Ok(analysis) => {
+            // Degraded-but-Ok results must still be internally coherent.
+            let (lo, hi) = analysis.text_range;
+            prop_assert!(
+                analysis.functions.iter().all(|&f| f >= lo && f < hi),
+                "{what}: function outside text range"
+            );
+            prop_assert!(analysis.filtered_endbrs <= analysis.endbr_count);
+            // Strict mode must agree with the diagnostics.
+            let strict = FunSeeker::new().strict(true).identify(mutant);
+            if analysis.diagnostics.is_empty() {
+                prop_assert!(strict.is_ok(), "{what}: strict failed with no diagnostics");
+            } else {
+                prop_assert!(
+                    matches!(strict, Err(funseeker::Error::Strict(_))),
+                    "{what}: strict mode must reject degraded input"
+                );
+            }
+        }
+        Err(e) => {
+            // Typed rejection: the Display chain must render (this also
+            // walks the source chain without panicking).
+            let mut msg = e.to_string();
+            let mut src: Option<&dyn std::error::Error> = std::error::Error::source(&e);
+            while let Some(s) = src {
+                msg.push_str(": ");
+                msg.push_str(&s.to_string());
+                src = s.source();
+            }
+            prop_assert!(!msg.is_empty());
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// Random corruption class per case, across all pristine images.
+    #[test]
+    fn identify_survives_mutation(seed in any::<u64>()) {
+        let mut m = Mutator::new(seed);
+        for (i, pristine) in pristine_images().iter().enumerate() {
+            let (mutant, class) = m.mutate(pristine);
+            check_contract(&mutant, &format!("seed {seed}, image {i}, {class:?}"))?;
+        }
+    }
+
+    /// Every corruption class exercised explicitly per case, so rare
+    /// classes don't depend on the random pick.
+    #[test]
+    fn identify_survives_every_class(seed in any::<u64>()) {
+        let mut m = Mutator::new(seed);
+        let pristine = &pristine_images()[(seed % 2) as usize];
+        for class in Corruption::ALL {
+            let mutant = m.apply(pristine, class);
+            check_contract(&mutant, &format!("seed {seed}, {class:?}"))?;
+        }
+    }
+
+    /// Second-generation mutants: damage an already-damaged image.
+    #[test]
+    fn identify_survives_stacked_mutation(seed in any::<u64>()) {
+        let mut m = Mutator::new(seed);
+        let (first, c1) = m.mutate(&pristine_images()[0]);
+        let (second, c2) = m.mutate(&first);
+        check_contract(&second, &format!("seed {seed}, {c1:?} then {c2:?}"))?;
+    }
+}
+
+#[test]
+fn pristine_images_analyze_cleanly() {
+    for (i, image) in pristine_images().iter().enumerate() {
+        let analysis = FunSeeker::new().strict(true).identify(image).unwrap_or_else(|e| {
+            panic!("pristine image {i} must pass strict analysis: {e}");
+        });
+        assert!(analysis.diagnostics.is_empty());
+        assert!(!analysis.functions.is_empty());
+    }
+}

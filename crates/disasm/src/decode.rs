@@ -102,6 +102,7 @@ fn modrm(cur: &mut Cursor<'_>, addr16: bool) -> Result<u8, DecodeError> {
             (0, _) => {}
             (1, _) => cur.skip(1)?,
             (2, _) => cur.skip(2)?,
+            // invariant: mode_bits = byte >> 6 & 3 and mode 3 returned above.
             _ => unreachable!(),
         }
     } else {
@@ -115,6 +116,7 @@ fn modrm(cur: &mut Cursor<'_>, addr16: bool) -> Result<u8, DecodeError> {
             }
             1 => cur.skip(1)?,
             2 => cur.skip(4)?,
+            // invariant: mode_bits = byte >> 6 & 3 and mode 3 returned above.
             _ => unreachable!(),
         }
     }

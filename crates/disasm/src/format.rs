@@ -632,6 +632,7 @@ pub fn format_insn(code: &[u8], addr: u64, mode: Mode) -> Result<(String, usize)
                     _ => return None,
                 }
             }
+            // invariant: opcode 0x31 is consumed by the ALU row above.
             0x31 => unreachable!("handled by ALU row"),
             _ => return None,
         })

@@ -104,9 +104,10 @@ pub struct Insn {
 }
 
 impl Insn {
-    /// Address of the byte following this instruction.
+    /// Address of the byte following this instruction (modulo 2^64, for
+    /// code mapped at the top of the address space).
     pub fn end(&self) -> u64 {
-        self.addr + u64::from(self.len)
+        self.addr.wrapping_add(u64::from(self.len))
     }
 }
 

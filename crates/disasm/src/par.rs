@@ -63,7 +63,7 @@ struct ShardChain {
 /// every input (see the module docs for why; `proptest_par_sweep.rs`
 /// checks it on random byte soups and corpus-generated code). `shards` is
 /// an upper bound: it is clamped so every shard spans at least
-/// [`MIN_SHARD_BYTES`], and `shards <= 1` falls back to the sequential
+/// `MIN_SHARD_BYTES`, and `shards <= 1` falls back to the sequential
 /// sweep.
 pub fn par_sweep(code: &[u8], base: u64, mode: Mode, shards: usize) -> SweepOutput {
     let shards = shards.min(code.len() / MIN_SHARD_BYTES);
@@ -83,6 +83,8 @@ pub fn par_sweep(code: &[u8], base: u64, mode: Mode, shards: usize) -> SweepOutp
                 scope.spawn(move || decode_shard(code, base, mode, lo, hi))
             })
             .collect();
+        // invariant: shards run the total decode loop, which never
+        // panics on any byte sequence; join only fails on a panic.
         handles.into_iter().map(|h| h.join().expect("sweep shard panicked")).collect()
     });
 
@@ -108,7 +110,7 @@ pub fn par_sweep(code: &[u8], base: u64, mode: Mode, shards: usize) -> SweepOutp
                 break;
             }
             // Not an offset this shard visited: decode one true-chain step.
-            match decode(&code[t..], base + t as u64, mode) {
+            match decode(&code[t..], base.wrapping_add(t as u64), mode) {
                 Ok(insn) => {
                     t += insn.len as usize;
                     out.insns.push(insn);
@@ -132,7 +134,7 @@ fn decode_shard(code: &[u8], base: u64, mode: Mode, lo: usize, hi: usize) -> Sha
     };
     let mut off = lo;
     while off < hi {
-        match decode(&code[off..], base + off as u64, mode) {
+        match decode(&code[off..], base.wrapping_add(off as u64), mode) {
             Ok(insn) => {
                 chain.insn_offsets.push(off);
                 chain.insns.push(insn);

@@ -50,7 +50,9 @@ impl Iterator for LinearSweep<'_> {
 
     fn next(&mut self) -> Option<Insn> {
         while self.offset < self.code.len() {
-            let addr = self.base + self.offset as u64;
+            // Wrapping: hostile section addresses can sit near u64::MAX;
+            // address math is modulo 2^64 like everywhere else.
+            let addr = self.base.wrapping_add(self.offset as u64);
             match decode(&self.code[self.offset..], addr, self.mode) {
                 Ok(insn) => {
                     self.offset += insn.len as usize;
@@ -94,7 +96,7 @@ impl Iterator for SupersetSweep<'_> {
 
     fn next(&mut self) -> Option<Insn> {
         while self.offset < self.code.len() {
-            let addr = self.base + self.offset as u64;
+            let addr = self.base.wrapping_add(self.offset as u64);
             let at = self.offset;
             self.offset += 1;
             if let Ok(insn) = decode(&self.code[at..], addr, self.mode) {

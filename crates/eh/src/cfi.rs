@@ -91,6 +91,7 @@ pub fn decode_cfi(program: &[u8]) -> Result<Vec<CfiInsn>> {
                     let b = program.get(pos..pos + 2).ok_or(EhError::Truncated { offset: pos })?;
                     pos += 2;
                     CfiInsn::AdvanceLoc {
+                        // invariant: the slice is exactly 2 bytes long.
                         delta: u64::from(u16::from_le_bytes(b.try_into().unwrap())),
                     }
                 }
@@ -98,6 +99,7 @@ pub fn decode_cfi(program: &[u8]) -> Result<Vec<CfiInsn>> {
                     let b = program.get(pos..pos + 4).ok_or(EhError::Truncated { offset: pos })?;
                     pos += 4;
                     CfiInsn::AdvanceLoc {
+                        // invariant: the slice is exactly 4 bytes long.
                         delta: u64::from(u32::from_le_bytes(b.try_into().unwrap())),
                     }
                 }

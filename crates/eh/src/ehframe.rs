@@ -50,6 +50,8 @@ pub fn parse_eh_frame(data: &[u8], section_addr: u64, wide: bool) -> Result<EhFr
 
     while pos + 4 <= data.len() {
         let record_start = pos;
+        // invariant: the loop condition guarantees pos + 4 <= data.len(),
+        // and the 4-byte slice converts to [u8; 4] infallibly.
         let mut len = u64::from(u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()));
         pos += 4;
         if len == 0 {
@@ -58,7 +60,9 @@ pub fn parse_eh_frame(data: &[u8], section_addr: u64, wide: bool) -> Result<EhFr
             continue;
         }
         if len == 0xffff_ffff {
-            let bytes = data.get(pos..pos + 8).ok_or(EhError::Truncated { offset: pos })?;
+            let end = pos.checked_add(8).ok_or(EhError::Overflow)?;
+            let bytes = data.get(pos..end).ok_or(EhError::Truncated { offset: pos })?;
+            // invariant: the slice is exactly 8 bytes long.
             len = u64::from_le_bytes(bytes.try_into().unwrap());
             pos += 8;
         }
@@ -70,6 +74,7 @@ pub fn parse_eh_frame(data: &[u8], section_addr: u64, wide: bool) -> Result<EhFr
         }
 
         let id_pos = pos;
+        // invariant: the slice is exactly 4 bytes long.
         let id = u32::from_le_bytes(
             data.get(pos..pos + 4).ok_or(EhError::Truncated { offset: pos })?.try_into().unwrap(),
         );
@@ -161,7 +166,9 @@ fn parse_cie(data: &[u8], mut pos: usize, end: usize, wide: bool) -> Result<Cie>
 }
 
 fn parse_fde(data: &[u8], mut pos: usize, section_addr: u64, cie: Cie, wide: bool) -> Result<Fde> {
-    let field_vaddr = section_addr + pos as u64;
+    // Wrapping: pc-relative DWARF address math is modulo 2^64; a hostile
+    // section_addr near u64::MAX must not abort the parse.
+    let field_vaddr = section_addr.wrapping_add(pos as u64);
     let pc_begin = read_encoded(
         data,
         &mut pos,
@@ -174,10 +181,9 @@ fn parse_fde(data: &[u8], mut pos: usize, section_addr: u64, cie: Cie, wide: boo
 
     let mut lsda = None;
     if cie.has_aug_data {
-        let aug_len = read_uleb128(data, &mut pos)? as usize;
-        let aug_end = pos + aug_len;
+        let _aug_len = read_uleb128(data, &mut pos)?;
         if cie.lsda_enc != DW_EH_PE_OMIT {
-            let lsda_vaddr = section_addr + pos as u64;
+            let lsda_vaddr = section_addr.wrapping_add(pos as u64);
             // A stored zero means "no LSDA" even under pc-relative
             // encodings, so null-check the raw value before rebasing.
             let mut probe = pos;
@@ -192,7 +198,6 @@ fn parse_fde(data: &[u8], mut pos: usize, section_addr: u64, cie: Cie, wide: boo
                 )?;
             }
         }
-        let _ = aug_end;
     }
 
     Ok(Fde { pc_begin, pc_range, lsda })
@@ -263,6 +268,7 @@ impl EhFrameBuilder {
             Bases { pc: field_vaddr, ..Default::default() },
             true,
         )
+        // invariant: write-side only; the fixed sdata4 encoding never fails.
         .expect("sdata4 encoding is always writable");
         // pc_range: plain size in the same format.
         self.buf.extend_from_slice(&(pc_range as u32).to_le_bytes());
@@ -278,6 +284,7 @@ impl EhFrameBuilder {
                         Bases { pc: lsda_vaddr, ..Default::default() },
                         true,
                     )
+                    // invariant: write-side only; the fixed sdata4 encoding never fails.
                     .expect("sdata4 encoding is always writable");
                 }
                 None => self.buf.extend_from_slice(&0u32.to_le_bytes()),

@@ -35,8 +35,10 @@ pub fn parse_eh_frame_hdr(data: &[u8], section_addr: u64, wide: bool) -> Result<
     let table_enc = *data.get(pos).ok_or(EhError::Truncated { offset: pos })?;
     pos += 1;
 
+    // Wrapping: pc-relative DWARF address math is modulo 2^64; a hostile
+    // section_addr near u64::MAX must not abort the parse.
     let bases = |pos: usize| Bases {
-        pc: section_addr + pos as u64,
+        pc: section_addr.wrapping_add(pos as u64),
         data: section_addr,
         ..Default::default()
     };
@@ -90,6 +92,7 @@ pub fn build_eh_frame_hdr(
         Bases { pc: section_addr + 4, ..Default::default() },
         true,
     )
+    // invariant: write-side only; the fixed sdata4 encoding never fails.
     .expect("sdata4 always writable");
     out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
     for (loc, fde) in entries {
@@ -101,6 +104,7 @@ pub fn build_eh_frame_hdr(
                 Bases { data: section_addr, ..Default::default() },
                 true,
             )
+            // invariant: write-side only; the fixed sdata4 encoding never fails.
             .expect("sdata4 always writable");
         }
     }

@@ -92,7 +92,8 @@ pub fn read_encoded(
 /// zero means "absent" regardless of the base.
 pub(crate) fn read_raw(data: &[u8], pos: &mut usize, format: u8, wide: bool) -> Result<i64> {
     let take = |pos: &mut usize, n: usize| -> Result<u64> {
-        let bytes = data.get(*pos..*pos + n).ok_or(EhError::Truncated { offset: *pos })?;
+        let end = pos.checked_add(n).ok_or(EhError::Overflow)?;
+        let bytes = data.get(*pos..end).ok_or(EhError::Truncated { offset: *pos })?;
         *pos += n;
         let mut v = 0u64;
         for (i, &b) in bytes.iter().enumerate() {

@@ -45,7 +45,9 @@ pub fn parse_lsda(
     let lpstart = if lpstart_enc == DW_EH_PE_OMIT {
         func_start
     } else {
-        let vaddr = table_addr + pos as u64;
+        // Wrapping: pc-relative DWARF address math is modulo 2^64, and a
+        // hostile table_addr near u64::MAX must not abort the parse.
+        let vaddr = table_addr.wrapping_add(pos as u64);
         read_encoded(table, &mut pos, lpstart_enc, Bases { pc: vaddr, ..Default::default() }, wide)?
             .unwrap_or(func_start)
     };

@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 
 use crate::elf::Elf;
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::read::Reader;
 use crate::reloc::Reloc;
 use crate::section::SectionType;
@@ -74,11 +74,24 @@ impl DynamicTable {
         let (Some(addr), Some(size)) = (self.get(DT_JMPREL), self.get(DT_PLTRELSZ)) else {
             return Ok(Vec::new());
         };
-        let Some(data) = elf.section_containing(addr).and_then(|sec| {
-            let (start, end) = sec.file_range()?;
-            let off = (addr - sec.addr) as usize;
-            elf.raw().get(start + off..(start + off + size as usize).min(end))
-        }) else {
+        let Some(sec) = elf.section_containing(addr) else {
+            return Ok(Vec::new());
+        };
+        let Some((start, end)) = sec.file_range() else {
+            return Ok(Vec::new());
+        };
+        // All offset math is checked: DT_* values are attacker-controlled
+        // and a wrapped sum would index the wrong bytes (or panic in
+        // debug builds).
+        let off = usize::try_from(addr - sec.addr)
+            .ok()
+            .and_then(|off| start.checked_add(off))
+            .ok_or(Error::BadOffset { what: "DT_JMPREL", offset: addr })?;
+        let size = usize::try_from(size)
+            .map_err(|_| Error::BadOffset { what: "DT_PLTRELSZ", offset: size })?;
+        let reloc_end =
+            off.checked_add(size).ok_or(Error::BadOffset { what: "DT_PLTRELSZ", offset: addr })?;
+        let Some(data) = elf.raw().get(off..reloc_end.min(end)) else {
             return Ok(Vec::new());
         };
         // DT_PLTREL: 7 = DT_RELA, 17 = DT_REL.

@@ -221,6 +221,78 @@ impl<'a> Elf<'a> {
         out.sort_by_key(|&(_, addr, _)| addr);
         out
     }
+
+    /// Audits the header tables for structural inconsistencies a valid
+    /// linker never produces: section contents running past the end of
+    /// the file, executable sections mapping overlapping addresses, and
+    /// `PT_LOAD` segments whose file extents overlap.
+    ///
+    /// Parsing deliberately tolerates all of these (the image may still
+    /// be partially analyzable); callers that want to surface them as
+    /// warnings — or reject the image under a strict policy — collect
+    /// the findings here. An empty vector means the layout is clean.
+    pub fn check_layout(&self) -> Vec<Error> {
+        let mut findings = Vec::new();
+
+        // Allocated PROGBITS-style sections must lie within the file.
+        for sec in &self.sections {
+            if sec.section_type == SectionType::NoBits
+                || sec.section_type == SectionType::Null
+                || sec.flags & crate::section::SHF_ALLOC == 0
+            {
+                continue;
+            }
+            let in_file = sec
+                .file_range()
+                .is_some_and(|(start, end)| start <= self.data.len() && end <= self.data.len());
+            if !in_file {
+                findings.push(Error::BadRange {
+                    what: "section",
+                    offset: sec.offset,
+                    size: sec.size,
+                });
+            }
+        }
+
+        // Executable sections must map disjoint address ranges.
+        let mut exec: Vec<&Section> = self
+            .sections
+            .iter()
+            .filter(|s| s.flags & crate::section::SHF_ALLOC != 0 && s.is_executable() && s.size > 0)
+            .collect();
+        exec.sort_by_key(|s| s.addr);
+        for w in exec.windows(2) {
+            let end = w[0].addr.saturating_add(w[0].size);
+            if w[1].addr < end {
+                findings.push(Error::Overlap {
+                    what: "executable sections",
+                    a: w[0].name.clone(),
+                    b: w[1].name.clone(),
+                });
+            }
+        }
+
+        // PT_LOAD file extents must be disjoint.
+        let mut loads: Vec<(usize, &Segment)> = self
+            .segments
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.segment_type == crate::segment::SegmentType::Load && p.filesz > 0)
+            .collect();
+        loads.sort_by_key(|(_, p)| p.offset);
+        for w in loads.windows(2) {
+            let end = w[0].1.offset.saturating_add(w[0].1.filesz);
+            if w[1].1.offset < end {
+                findings.push(Error::Overlap {
+                    what: "PT_LOAD segments",
+                    a: format!("phdr {}", w[0].0),
+                    b: format!("phdr {}", w[1].0),
+                });
+            }
+        }
+
+        findings
+    }
 }
 
 #[cfg(test)]

@@ -43,6 +43,28 @@ pub enum Error {
         /// Length in bytes.
         size: u64,
     },
+    /// An offset or address computation overflowed or referenced a
+    /// location no valid image can contain (e.g. `DT_JMPREL` + size
+    /// wrapping past the end of the address space).
+    BadOffset {
+        /// What kind of entity carried the bad offset (for diagnostics).
+        what: &'static str,
+        /// The offending offset or address.
+        offset: u64,
+    },
+    /// Two headers claim overlapping extents that must be disjoint
+    /// (e.g. executable sections mapping the same addresses).
+    Overlap {
+        /// What kind of entities overlap (for diagnostics).
+        what: &'static str,
+        /// Name or index of the first entity.
+        a: String,
+        /// Name or index of the second entity.
+        b: String,
+    },
+    /// A `.note.gnu.property` descriptor is malformed (bad alignment,
+    /// record size past the descriptor end, truncated payload).
+    BadNoteProperty(&'static str),
     /// Structure counts in the header are implausible (e.g. more section
     /// headers than could fit in the file), suggesting a corrupt image.
     Implausible(&'static str),
@@ -71,6 +93,15 @@ impl fmt::Display for Error {
             Error::BadRange { what, offset, size } => {
                 write!(f, "{what} range [{offset:#x}, {offset:#x}+{size:#x}) lies outside the file")
             }
+            Error::BadOffset { what, offset } => {
+                write!(f, "{what} offset {offset:#x} is unrepresentable or out of range")
+            }
+            Error::Overlap { what, a, b } => {
+                write!(f, "overlapping {what}: {a} and {b}")
+            }
+            Error::BadNoteProperty(what) => {
+                write!(f, "malformed .note.gnu.property: {what}")
+            }
             Error::Implausible(what) => write!(f, "implausible ELF structure: {what}"),
             Error::MissingSection(name) => write!(f, "required section {name} is missing"),
             Error::Unencodable(what) => write!(f, "cannot encode: {what}"),
@@ -97,6 +128,12 @@ mod tests {
         assert!(Error::BadMagic(*b"\x7fBAD").to_string().contains("magic"));
         assert!(Error::BadClass(9).to_string().contains('9'));
         assert!(Error::MissingSection(".text").to_string().contains(".text"));
+        assert!(Error::BadOffset { what: "DT_JMPREL", offset: 0x40 }
+            .to_string()
+            .contains("DT_JMPREL"));
+        let e = Error::Overlap { what: "sections", a: ".text".into(), b: ".init".into() };
+        assert!(e.to_string().contains(".init"));
+        assert!(Error::BadNoteProperty("record size").to_string().contains("note"));
     }
 
     #[test]

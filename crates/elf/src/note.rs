@@ -57,12 +57,24 @@ pub fn cet_properties(elf: &Elf<'_>) -> Result<CetProperties> {
             // NT_GNU_PROPERTY_TYPE_0: a sequence of (type, size, data)
             // records, each padded to the class alignment.
             let mut d = Reader::at(data, desc_start)?;
-            let desc_end = desc_start + descsz;
-            while d.position() + 8 <= desc_end {
+            let desc_end = desc_start
+                .checked_add(descsz)
+                .ok_or(Error::BadNoteProperty("descriptor size overflows"))?;
+            if desc_end > data.len() {
+                return Err(Error::BadNoteProperty("descriptor runs past the section"));
+            }
+            if !descsz.is_multiple_of(4) {
+                return Err(Error::BadNoteProperty("descriptor size not 4-byte aligned"));
+            }
+            while d.position().saturating_add(8) <= desc_end {
                 let pr_type = d.u32()?;
                 let pr_size = d.u32()? as usize;
-                if d.position() + pr_size > desc_end {
-                    return Err(Error::Implausible("property record size"));
+                let record_end = d
+                    .position()
+                    .checked_add(pr_size)
+                    .ok_or(Error::BadNoteProperty("property record size overflows"))?;
+                if record_end > desc_end {
+                    return Err(Error::BadNoteProperty("property record exceeds descriptor"));
                 }
                 if pr_type == GNU_PROPERTY_X86_FEATURE_1_AND && pr_size >= 4 {
                     let word = d.u32()?;

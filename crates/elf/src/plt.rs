@@ -62,7 +62,13 @@ impl PltMap {
                 if slot >= slots {
                     break;
                 }
-                let addr = sec.addr + entsize * slot as u64;
+                // Checked: a hostile entsize/addr pair must not wrap the
+                // stub address into an unrelated region.
+                let Some(addr) =
+                    entsize.checked_mul(slot as u64).and_then(|o| sec.addr.checked_add(o))
+                else {
+                    break;
+                };
                 entries.insert(addr, (*name).to_owned());
             }
         }

@@ -11,6 +11,18 @@ use crate::error::{Error, Result};
 /// Every read returns [`Error::Truncated`] instead of panicking when the
 /// input is short, which lets the parsers degrade gracefully on corrupt
 /// or adversarial images.
+///
+/// ```
+/// use funseeker_elf::{Error, Reader};
+///
+/// let data = [0x7f, b'E', b'L', b'F', 0x02, 0x01];
+/// let mut r = Reader::new(&data);
+/// assert_eq!(r.u32().unwrap(), u32::from_le_bytes(*b"\x7fELF"));
+/// assert_eq!(r.u8().unwrap(), 2); // ELFCLASS64
+///
+/// // Short reads are typed errors, never panics.
+/// assert!(matches!(r.u64(), Err(Error::Truncated { wanted: 8, available: 1, .. })));
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct Reader<'a> {
     data: &'a [u8],
@@ -26,7 +38,9 @@ impl<'a> Reader<'a> {
     /// Creates a reader positioned at `offset` within `data`.
     pub fn at(data: &'a [u8], offset: usize) -> Result<Self> {
         if offset > data.len() {
-            return Err(Error::Truncated { offset, wanted: 0, available: 0 });
+            // wanted: 1 — the offset itself is past the end, so not even
+            // one byte of whatever the caller meant to read is present.
+            return Err(Error::Truncated { offset, wanted: 1, available: 0 });
         }
         Ok(Reader { data, pos: offset })
     }

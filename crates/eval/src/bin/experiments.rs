@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures on a fresh corpus.
 //!
 //! ```text
-//! experiments <table1|table2|table3|fig3|failures|by-opt|manual-endbr|arm|all> [--seed N] [--scale tiny|default|large] [--csv]
+//! experiments <table1|table2|table3|fig3|failures|by-opt|manual-endbr|arm|robustness|all> [--seed N] [--scale tiny|default|large] [--csv]
 //! ```
 
 use std::time::Instant;
@@ -10,7 +10,7 @@ use funseeker_corpus::{Dataset, DatasetParams};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <table1|table2|table3|fig3|failures|by-opt|manual-endbr|arm|all> [--seed N] [--scale tiny|default|large] [--csv]"
+        "usage: experiments <table1|table2|table3|fig3|failures|by-opt|manual-endbr|arm|robustness|all> [--seed N] [--scale tiny|default|large] [--csv]"
     );
     std::process::exit(2);
 }
@@ -114,6 +114,15 @@ fn main() {
                 println!("## Section V-C — failure analysis (configuration (4))\n");
                 println!("{}", funseeker_eval::failures::run(&ds).render());
             }
+            "robustness" => {
+                let t = funseeker_eval::robustness::run(&ds, seed);
+                if csv {
+                    print!("{}", t.render_csv());
+                } else {
+                    println!("## Robustness — hostile-input mutation campaign (extension)\n");
+                    println!("{}", t.render());
+                }
+            }
             _ => usage(),
         }
         eprintln!("[{name} done in {:.1}s]", t.elapsed().as_secs_f64());
@@ -121,9 +130,17 @@ fn main() {
 
     match what.as_str() {
         "all" => {
-            for name in
-                ["table1", "fig3", "table2", "table3", "failures", "by-opt", "manual-endbr", "arm"]
-            {
+            for name in [
+                "table1",
+                "fig3",
+                "table2",
+                "table3",
+                "failures",
+                "by-opt",
+                "manual-endbr",
+                "arm",
+                "robustness",
+            ] {
                 run_one(name);
                 println!();
             }

@@ -7,7 +7,8 @@
 //! * [`table2`] — configuration ablation ①–④ (Table II),
 //! * [`table3`] — tool comparison incl. timing (Table III),
 //! * [`failures`] — FN/FP breakdown (§V-C),
-//! * [`manual_endbr`] — the §VI `-mmanual-endbr` ablation.
+//! * [`manual_endbr`] — the §VI `-mmanual-endbr` ablation,
+//! * [`robustness`] — hostile-input mutation campaign (extension).
 //!
 //! Run everything with the `experiments` binary:
 //!
@@ -26,6 +27,7 @@ pub mod groundtruth;
 pub mod manual_endbr;
 pub mod metrics;
 pub mod report;
+pub mod robustness;
 pub mod runner;
 pub mod table1;
 pub mod table2;

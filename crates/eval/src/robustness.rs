@@ -1,0 +1,161 @@
+//! Robustness campaign: the mutation fuzz harness as a reportable
+//! experiment.
+//!
+//! Runs the [`funseeker_corpus::Mutator`] over corpus binaries, one row
+//! per corruption class, and tallies how `FunSeeker::identify` answered:
+//! `Ok` with no warnings, `Ok` degraded (diagnostics recorded), or a
+//! typed error. The invariant the row totals certify is the hostile-input
+//! contract — every mutant got exactly one of those three answers, and
+//! none panicked or hung.
+//!
+//! ```text
+//! cargo run --release -p funseeker-eval --bin experiments -- robustness
+//! ```
+
+use std::time::Instant;
+
+use funseeker::FunSeeker;
+use funseeker_corpus::{Corruption, Dataset, Mutator};
+
+use crate::report::Table;
+
+/// Per-corruption-class tallies from one campaign.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassStats {
+    /// Mutants of this class analyzed.
+    pub cases: usize,
+    /// `Ok` with an empty diagnostics sink.
+    pub ok_clean: usize,
+    /// `Ok` with at least one degradation warning.
+    pub ok_degraded: usize,
+    /// Typed `Err` (rejected input).
+    pub rejected: usize,
+    /// Total degradation warnings across this class's mutants.
+    pub warnings: usize,
+    /// Slowest single `identify` call, in seconds.
+    pub worst_secs: f64,
+}
+
+/// Campaign outcome: per-class stats in [`Corruption::ALL`] order.
+#[derive(Debug, Clone, Default)]
+pub struct Campaign {
+    /// One entry per corruption class.
+    pub per_class: Vec<(Corruption, ClassStats)>,
+}
+
+impl Campaign {
+    /// Total mutants analyzed.
+    pub fn total_cases(&self) -> usize {
+        self.per_class.iter().map(|(_, s)| s.cases).sum()
+    }
+}
+
+/// Runs the campaign: `mutants_per_class` mutants of every class for
+/// each of the dataset's first `max_binaries` binaries.
+pub fn campaign(
+    ds: &Dataset,
+    seed: u64,
+    max_binaries: usize,
+    mutants_per_class: usize,
+) -> Campaign {
+    let seeker = FunSeeker::new();
+    let mut mutator = Mutator::new(seed);
+    let mut out = Campaign {
+        per_class: Corruption::ALL.iter().map(|&c| (c, ClassStats::default())).collect(),
+    };
+    for bin in ds.binaries.iter().take(max_binaries) {
+        for (class, stats) in &mut out.per_class {
+            for _ in 0..mutants_per_class {
+                let mutant = mutator.apply(&bin.bytes, *class);
+                let t = Instant::now();
+                let outcome = seeker.identify(&mutant);
+                stats.worst_secs = stats.worst_secs.max(t.elapsed().as_secs_f64());
+                stats.cases += 1;
+                match outcome {
+                    Ok(a) if a.diagnostics.is_empty() => stats.ok_clean += 1,
+                    Ok(a) => {
+                        stats.ok_degraded += 1;
+                        stats.warnings += a.diagnostics.total();
+                    }
+                    Err(_) => stats.rejected += 1,
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs a default-size campaign and renders the report table.
+pub fn run(ds: &Dataset, seed: u64) -> Table {
+    let c = campaign(ds, seed, 24, 8);
+    let mut t = Table::new([
+        "corruption",
+        "cases",
+        "ok (clean)",
+        "ok (degraded)",
+        "rejected (typed)",
+        "warnings",
+        "worst case (ms)",
+    ]);
+    for (class, s) in &c.per_class {
+        t.row([
+            class.label().to_owned(),
+            s.cases.to_string(),
+            s.ok_clean.to_string(),
+            s.ok_degraded.to_string(),
+            s.rejected.to_string(),
+            s.warnings.to_string(),
+            format!("{:.2}", s.worst_secs * 1000.0),
+        ]);
+    }
+    let totals: ClassStats = c.per_class.iter().fold(ClassStats::default(), |mut acc, (_, s)| {
+        acc.cases += s.cases;
+        acc.ok_clean += s.ok_clean;
+        acc.ok_degraded += s.ok_degraded;
+        acc.rejected += s.rejected;
+        acc.warnings += s.warnings;
+        acc.worst_secs = acc.worst_secs.max(s.worst_secs);
+        acc
+    });
+    t.row([
+        "total".to_owned(),
+        totals.cases.to_string(),
+        totals.ok_clean.to_string(),
+        totals.ok_degraded.to_string(),
+        totals.rejected.to_string(),
+        totals.warnings.to_string(),
+        format!("{:.2}", totals.worst_secs * 1000.0),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funseeker_corpus::DatasetParams;
+
+    #[test]
+    fn every_mutant_gets_exactly_one_answer() {
+        let ds = Dataset::generate(&DatasetParams::tiny(), 7);
+        let c = campaign(&ds, 7, 2, 2);
+        assert_eq!(c.per_class.len(), Corruption::ALL.len());
+        for (class, s) in &c.per_class {
+            assert_eq!(s.cases, 2 * 2, "{class:?}");
+            assert_eq!(s.ok_clean + s.ok_degraded + s.rejected, s.cases, "{class:?}");
+        }
+        assert!(c.total_cases() > 0);
+    }
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let ds = Dataset::generate(&DatasetParams::tiny(), 7);
+        let a = campaign(&ds, 9, 1, 2);
+        let b = campaign(&ds, 9, 1, 2);
+        for ((_, x), (_, y)) in a.per_class.iter().zip(&b.per_class) {
+            assert_eq!(
+                (x.ok_clean, x.ok_degraded, x.rejected),
+                (y.ok_clean, y.ok_degraded, y.rejected)
+            );
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Regression corpus of hand-crafted malformed ELFs.
+//!
+//! Each fixture pins the *exact* typed error or diagnostic the front end
+//! must produce — not just "doesn't panic". The cases mirror the
+//! degrade-vs-reject policy documented in DESIGN.md: damage to the
+//! structural skeleton (header, section table, code regions) rejects
+//! with a typed error; damage to optional metadata (property note,
+//! segment layout) degrades to a diagnostic that `--strict` escalates.
+
+use funseeker::diag::Component;
+use funseeker::FunSeeker;
+use funseeker_elf::section::SHF_ALLOC;
+use funseeker_elf::{
+    build_cet_note, CetProperties, Class, Elf, ElfBuilder, Error as ElfError, Machine, ObjectType,
+    SectionType,
+};
+
+/// A minimal well-formed 64-bit image: one `.text` with `endbr64; ret`.
+fn tiny_elf() -> Vec<u8> {
+    let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::Executable);
+    b.entry(0x1000);
+    b.text(".text", 0x1000, vec![0xf3, 0x0f, 0x1e, 0xfa, 0xc3]);
+    b.build().unwrap()
+}
+
+#[test]
+fn truncated_shdr_table_is_a_typed_truncation_error() {
+    let bytes = tiny_elf();
+    let shoff = usize::try_from(Elf::parse(&bytes).unwrap().header.shoff).unwrap();
+    // Cut mid-way through the section-header table: the headers promise
+    // entries the file no longer contains.
+    let cut = &bytes[..shoff + 10];
+    match Elf::parse(cut) {
+        Err(ElfError::Truncated { offset, wanted, available }) => {
+            assert!(offset >= shoff, "truncation detected inside the shdr table");
+            assert!(available < wanted);
+        }
+        other => panic!("expected Error::Truncated, got {other:?}"),
+    }
+    // And the pipeline surfaces it as a typed parse failure, not a panic.
+    assert!(matches!(FunSeeker::new().identify(cut), Err(funseeker::Error::Elf(_))));
+}
+
+#[test]
+fn overlapping_pt_load_segments_degrade_to_a_layout_warning() {
+    let mut bytes = {
+        let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::Executable);
+        b.entry(0x1000);
+        b.text(".text", 0x1000, vec![0xf3, 0x0f, 0x1e, 0xfa, 0xc3]);
+        b.text(".fini", 0x2000, vec![0xc3]);
+        b.build().unwrap()
+    };
+    // ELF64 phdrs start at 0x40, 56 bytes each, p_offset at +8. Point the
+    // second PT_LOAD's file extent at the first one's.
+    let elf = Elf::parse(&bytes).unwrap();
+    let phoff = usize::try_from(elf.header.phoff).unwrap();
+    let first_offset = bytes[phoff + 8..phoff + 16].to_vec();
+    let second = phoff + 56;
+    bytes[second + 8..second + 16].copy_from_slice(&first_offset);
+
+    let analysis = FunSeeker::new().identify(&bytes).unwrap();
+    assert!(analysis.diagnostics.has(Component::Layout));
+    let text = analysis.diagnostics.to_string();
+    assert!(text.contains("overlapping PT_LOAD segments"), "got: {text}");
+    // The parseable code is still analyzed.
+    assert!(analysis.functions.contains(&0x1000));
+    // Strict mode rejects the same image with the warnings attached.
+    match FunSeeker::new().strict(true).identify(&bytes) {
+        Err(funseeker::Error::Strict(diags)) => assert!(diags.has(Component::Layout)),
+        other => panic!("expected Error::Strict, got {other:?}"),
+    }
+}
+
+#[test]
+fn misaligned_note_descriptor_degrades_to_a_note_warning() {
+    let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::Executable);
+    b.entry(0x1000);
+    b.text(".text", 0x1000, vec![0xf3, 0x0f, 0x1e, 0xfa, 0xc3]);
+    // A property note whose descriptor size is not 4-byte aligned.
+    let mut note = Vec::new();
+    note.extend_from_slice(&4u32.to_le_bytes()); // namesz
+    note.extend_from_slice(&7u32.to_le_bytes()); // descsz: misaligned
+    note.extend_from_slice(&5u32.to_le_bytes()); // NT_GNU_PROPERTY_TYPE_0
+    note.extend_from_slice(b"GNU\0");
+    note.extend_from_slice(&[0u8; 8]); // desc padded to the 8-byte note boundary
+    b.section(".note.gnu.property", SectionType::Note, SHF_ALLOC, 0x400, note, None, 0, 8, 0);
+    let bytes = b.build().unwrap();
+
+    // Exact elf-layer error…
+    let elf = Elf::parse(&bytes).unwrap();
+    match funseeker_elf::cet_properties(&elf) {
+        Err(ElfError::BadNoteProperty(what)) => {
+            assert_eq!(what, "descriptor size not 4-byte aligned")
+        }
+        other => panic!("expected Error::BadNoteProperty, got {other:?}"),
+    }
+    // …degrades to a NoteProperty warning at pipeline level, with the
+    // CET capability conservatively reported absent.
+    let analysis = FunSeeker::new().identify(&bytes).unwrap();
+    assert!(analysis.diagnostics.has(Component::NoteProperty));
+    assert!(!analysis.cet_enabled);
+    assert!(analysis.functions.contains(&0x1000));
+    assert!(matches!(
+        FunSeeker::new().strict(true).identify(&bytes),
+        Err(funseeker::Error::Strict(_))
+    ));
+}
+
+#[test]
+fn zero_length_text_is_no_text() {
+    let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::Executable);
+    b.entry(0x1000);
+    b.text(".text", 0x1000, Vec::new());
+    let bytes = b.build().unwrap();
+    assert!(matches!(FunSeeker::new().identify(&bytes), Err(funseeker::Error::NoText)));
+}
+
+#[test]
+fn code_section_wrapping_the_address_space_is_skipped() {
+    let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::Executable);
+    b.entry(0x1000);
+    b.text(".text", 0x1000, vec![0xf3, 0x0f, 0x1e, 0xfa, 0xc3]);
+    b.text(".wrap", u64::MAX - 2, vec![0x90, 0x90, 0x90, 0x90, 0x90]);
+    let bytes = b.build().unwrap();
+
+    let analysis = FunSeeker::new().identify(&bytes).unwrap();
+    assert!(analysis.diagnostics.has(Component::Layout));
+    assert!(analysis.diagnostics.to_string().contains("wraps the address space"));
+    // Only the sane region is analyzed; every entry stays in range.
+    assert!(analysis.functions.contains(&0x1000));
+    let (lo, hi) = analysis.text_range;
+    assert!(analysis.functions.iter().all(|&f| f >= lo && f < hi));
+}
+
+#[test]
+fn intact_note_still_round_trips_next_to_the_hostile_fixtures() {
+    // Control: the note parser accepts what the note builder emits, so
+    // the misaligned-descriptor rejection above is about the corruption,
+    // not the fixture shape.
+    let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::Executable);
+    b.entry(0x1000);
+    b.text(".text", 0x1000, vec![0xf3, 0x0f, 0x1e, 0xfa, 0xc3]);
+    b.section(
+        ".note.gnu.property",
+        SectionType::Note,
+        SHF_ALLOC,
+        0x400,
+        build_cet_note(true, CetProperties { ibt: true, shstk: true }),
+        None,
+        0,
+        8,
+        0,
+    );
+    let bytes = b.build().unwrap();
+    let analysis = FunSeeker::new().strict(true).identify(&bytes).unwrap();
+    assert!(analysis.cet_enabled);
+    assert!(analysis.diagnostics.is_empty());
+}
