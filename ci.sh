@@ -23,4 +23,8 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> sweep perf smoke (quick mode, >30% regression fails)"
+cargo run --release -q -p funseeker-eval --bin experiments -- \
+  perf --quick --check BENCH_sweep.json
+
 echo "==> CI gate passed"

@@ -26,7 +26,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use funseeker::Prepared;
-use funseeker_disasm::{decode, Insn, InsnKind, Mode};
+use funseeker_disasm::{decode, InsnKind, InsnStream, Mode};
 
 use crate::common::{fde_begins_in_code, window_at, FunctionIdentifier};
 
@@ -43,10 +43,10 @@ impl FunctionIdentifier for FetchLike {
         let mut functions: BTreeSet<u64> = fde_begins_in_code(p).collect();
 
         // Pass 1: full-binary disassembly (FETCH disassembles everything,
-        // not just FDE ranges) — read from the shared sweep index.
+        // not just FDE ranges) — read from the shared sweep index. The
+        // packed stream's binary search replaces the address→index map a
+        // `Vec<Insn>` representation needed.
         let insns = &p.index.insns;
-        let index_of: BTreeMap<u64, usize> =
-            insns.iter().enumerate().map(|(i, x)| (x.addr, i)).collect();
 
         let ranges: &[(u64, u64)] = &p.parsed.fde_ranges; // (begin, end), sorted
         let owner = |addr: u64| -> Option<usize> {
@@ -71,10 +71,10 @@ impl FunctionIdentifier for FetchLike {
             }
             // Corrupt FDEs can claim absurd ranges; clamp to the region.
             let end = fde_end.min(region.end());
-            let heights = dataflow_heights(p, insns, &index_of, begin, end);
+            let heights = dataflow_heights(p, insns, begin, end);
             // Direct jumps leaving the FDE at height ≤ 0 are tail calls.
-            let Some(&start_idx) = index_of.get(&begin) else { continue };
-            for insn in insns[start_idx..].iter().take_while(|i| i.addr < end) {
+            let Some(start_idx) = insns.index_of_addr(begin) else { continue };
+            for insn in insns.iter_from(start_idx).take_while(|i| i.addr < end) {
                 if let InsnKind::JmpRel { target } = insn.kind {
                     if p.parsed.in_code(target) && owner(target) != owner(insn.addr) {
                         if let Some(&h) = heights.get(&insn.addr) {
@@ -112,8 +112,7 @@ impl FunctionIdentifier for FetchLike {
 /// wins; conflicting heights settle to the smaller absolute value.
 fn dataflow_heights(
     p: &Prepared<'_>,
-    insns: &[Insn],
-    index_of: &BTreeMap<u64, usize>,
+    insns: &InsnStream,
     begin: u64,
     end: u64,
 ) -> BTreeMap<u64, i64> {
@@ -129,8 +128,8 @@ fn dataflow_heights(
         .saturating_add(16);
 
     while let Some((addr, mut h)) = worklist.pop() {
-        let Some(&start_idx) = index_of.get(&addr) else { continue };
-        for insn in insns[start_idx..].iter().take_while(|i| i.addr < end) {
+        let Some(start_idx) = insns.index_of_addr(addr) else { continue };
+        for insn in insns.iter_from(start_idx).take_while(|i| i.addr < end) {
             iterations += 1;
             if iterations > budget {
                 return heights;

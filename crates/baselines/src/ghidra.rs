@@ -49,13 +49,13 @@ impl FunctionIdentifier for GhidraLike {
         }
 
         // Pattern pass: classic frame prologues in the gaps (Ghidra's
-        // "function start patterns" analyzer).
-        for insn in &p.index.insns {
-            if matches!(insn.kind, InsnKind::PushReg { reg: 5 })
-                && has_frame_prologue(p, insn.addr)
-                && is_gap_start(p, insn.addr)
-            {
-                functions.insert(insn.addr);
+        // "function start patterns" analyzer). The candidate filter runs
+        // on the packed tag array — one byte per instruction — instead of
+        // materializing every instruction.
+        for idx in p.index.insns.push_reg_indices(5) {
+            let addr = p.index.insns.addr_at(idx);
+            if has_frame_prologue(p, addr) && is_gap_start(p, addr) {
+                functions.insert(addr);
             }
         }
 
@@ -71,11 +71,11 @@ fn is_gap_start(p: &Prepared<'_>, addr: u64) -> bool {
         return true;
     }
     let insns = &p.index.insns;
-    let idx = insns.partition_point(|i| i.addr < addr);
+    let idx = insns.partition_point_addr(addr);
     if idx == 0 {
         return true;
     }
-    let prev = &insns[idx - 1];
+    let prev = insns.get(idx - 1);
     if prev.end() != addr {
         return false;
     }

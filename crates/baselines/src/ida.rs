@@ -62,13 +62,13 @@ impl FunctionIdentifier for IdaLike {
 
         // FLIRT-ish signature pass: classic frame prologues in unexplored
         // space become functions. (The real FLIRT matches library
-        // signatures; frame prologues are the universal subset.)
-        for insn in insns {
-            if matches!(insn.kind, InsnKind::PushReg { reg: 5 })
-                && has_frame_prologue(p, insn.addr)
-                && starts_after_break(p, insn.addr)
-            {
-                functions.insert(insn.addr);
+        // signatures; frame prologues are the universal subset.) The
+        // candidate filter runs on the packed tag array — one byte per
+        // instruction.
+        for idx in insns.push_reg_indices(5) {
+            let addr = insns.addr_at(idx);
+            if has_frame_prologue(p, addr) && starts_after_break(p, addr) {
+                functions.insert(addr);
             }
         }
 
@@ -128,11 +128,11 @@ fn starts_after_break(p: &Prepared<'_>, addr: u64) -> bool {
         return true;
     }
     let insns = &p.index.insns;
-    let idx = insns.partition_point(|i| i.addr < addr);
+    let idx = insns.partition_point_addr(addr);
     if idx == 0 {
         return true;
     }
-    let prev = &insns[idx - 1];
+    let prev = insns.get(idx - 1);
     prev.end() == addr
         && matches!(
             prev.kind,

@@ -26,7 +26,7 @@ fn bench(c: &mut Criterion) {
 
     g.throughput(Throughput::Bytes(text.len() as u64));
     g.bench_function("linear_sweep", |b| {
-        b.iter(|| std::hint::black_box(sweep_all(text, text_addr, mode).insns.len()))
+        b.iter(|| std::hint::black_box(sweep_all(text, text_addr, mode).stream.len()))
     });
 
     if let Some((eh_addr, eh)) = elf.section_bytes(".eh_frame") {

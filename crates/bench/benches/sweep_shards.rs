@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use funseeker_bench::single_binary;
-use funseeker_disasm::{par_sweep, sweep_all};
+use funseeker_disasm::{par_sweep, sweep_all, Insn, LinearSweep};
 use funseeker_elf::Elf;
 
 /// Tiles one binary's `.text` until the buffer crosses `target` bytes.
@@ -31,11 +31,21 @@ fn bench(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(code.len() as u64));
 
     g.bench_function("sequential", |b| {
-        b.iter(|| std::hint::black_box(sweep_all(&code, base, mode).insns.len()))
+        b.iter(|| std::hint::black_box(sweep_all(&code, base, mode).stream.len()))
+    });
+    // The pre-packed-stream representation: the plain decode iterator
+    // collected into 32-byte `Insn` values — the old `sweep_all` body.
+    // Keeping it benchmarked quantifies what the fast paths plus the
+    // 6-byte structure-of-arrays stream buy on identical input.
+    g.bench_function("legacy_aos", |b| {
+        b.iter(|| {
+            let insns: Vec<Insn> = LinearSweep::new(&code, base, mode).collect();
+            std::hint::black_box(insns.len())
+        })
     });
     for shards in [1usize, 2, 4, 8, 16] {
         g.bench_with_input(BenchmarkId::new("sharded", shards), &shards, |b, &n| {
-            b.iter(|| std::hint::black_box(par_sweep(&code, base, mode, n).insns.len()))
+            b.iter(|| std::hint::black_box(par_sweep(&code, base, mode, n).stream.len()))
         });
     }
     g.finish();

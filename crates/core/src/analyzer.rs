@@ -31,6 +31,12 @@ impl<'a> Prepared<'a> {
         let index = disassemble(&parsed);
         Prepared { parsed, index }
     }
+
+    /// Decode-work and timing counters of the shared sweep, merged over
+    /// all code regions — what `experiments -- perf` reports.
+    pub fn sweep_stats(&self) -> &funseeker_disasm::SweepStats {
+        &self.index.stats
+    }
 }
 
 /// Parses a raw ELF image and runs the shared disassembly pass.

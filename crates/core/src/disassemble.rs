@@ -10,7 +10,7 @@
 
 use std::collections::BTreeSet;
 
-use funseeker_disasm::{par_sweep, Insn, InsnKind};
+use funseeker_disasm::{par_sweep, InsnKind, InsnStream, Insns, SweepStats};
 
 use crate::parse::Parsed;
 
@@ -37,8 +37,9 @@ pub struct RegionSpan {
 /// stream and the sets FILTERENDBR / SELECTTAILCALL work from.
 #[derive(Debug, Clone, Default)]
 pub struct SweepIndex {
-    /// Every decoded instruction, in address order across all regions.
-    pub insns: Vec<Insn>,
+    /// Every decoded instruction, in address order across all regions,
+    /// in packed structure-of-arrays form (6 bytes per instruction).
+    pub insns: InsnStream,
     /// One span per code region, in address order.
     pub regions: Vec<RegionSpan>,
     /// `E`: addresses of end-branch instructions in the code.
@@ -56,6 +57,8 @@ pub struct SweepIndex {
     /// Number of byte positions skipped on decode errors, summed over
     /// regions.
     pub decode_errors: usize,
+    /// Decode-work and timing counters, merged over all regions.
+    pub stats: SweepStats,
 }
 
 impl SweepIndex {
@@ -67,16 +70,15 @@ impl SweepIndex {
     /// The instructions whose addresses fall in `[lo, hi)`.
     ///
     /// Instruction addresses are globally sorted (regions are swept in
-    /// address order), so this is a binary-search slice.
-    pub fn insns_in(&self, lo: u64, hi: u64) -> &[Insn] {
-        let a = self.insns.partition_point(|i| i.addr < lo);
-        let b = self.insns.partition_point(|i| i.addr < hi);
-        &self.insns[a..b]
+    /// address order), so this is a binary-search windowed iterator over
+    /// the packed stream.
+    pub fn insns_in(&self, lo: u64, hi: u64) -> Insns<'_> {
+        self.insns.range(lo, hi)
     }
 
     /// Index of the instruction starting exactly at `addr`, if any.
     pub fn insn_at(&self, addr: u64) -> Option<usize> {
-        self.insns.binary_search_by_key(&addr, |i| i.addr).ok()
+        self.insns.index_of_addr(addr)
     }
 
     /// Start addresses of all regions, in order — the interval breaks a
@@ -99,14 +101,23 @@ pub fn scan_endbr_pattern(p: &Parsed<'_>) -> Vec<u64> {
     };
     let mut out = Vec::new();
     for region in p.code.regions() {
-        out.extend(
-            region
-                .bytes
-                .windows(4)
-                .enumerate()
-                .filter(|(_, w)| *w == marker)
-                .map(|(i, _)| region.addr.wrapping_add(i as u64)),
-        );
+        // Skip-scan: hunt for the 0xF3 lead byte (memchr-style position
+        // over one byte) and only then compare the 3-byte tail, instead
+        // of a full 4-byte window compare at every offset. Compiler
+        // output contains few 0xF3 bytes, so almost every position is
+        // rejected by the byte scan alone.
+        let bytes = region.bytes;
+        let mut i = 0usize;
+        while let Some(d) = bytes[i..].iter().position(|&b| b == 0xf3) {
+            i += d;
+            if bytes.len() - i < 4 {
+                break;
+            }
+            if bytes[i + 1..i + 4] == marker[1..] {
+                out.push(region.addr.wrapping_add(i as u64));
+            }
+            i += 1;
+        }
     }
     out
 }
@@ -119,7 +130,7 @@ pub fn disassemble(p: &Parsed<'_>) -> SweepIndex {
     for region in p.code.regions() {
         let swept = par_sweep(region.bytes, region.addr, mode, shards);
         let first = out.insns.len();
-        for insn in &swept.insns {
+        for insn in &swept.stream {
             match insn.kind {
                 InsnKind::Endbr64 | InsnKind::Endbr32 => out.endbrs.push(insn.addr),
                 InsnKind::CallRel { target } => {
@@ -134,7 +145,7 @@ pub fn disassemble(p: &Parsed<'_>) -> SweepIndex {
                 _ => {}
             }
         }
-        out.insns.extend_from_slice(&swept.insns);
+        out.insns.append(&swept.stream);
         out.regions.push(RegionSpan {
             start: region.addr,
             end: region.end(),
@@ -142,6 +153,7 @@ pub fn disassemble(p: &Parsed<'_>) -> SweepIndex {
             decode_errors: swept.error_count,
         });
         out.decode_errors += swept.error_count;
+        out.stats.merge(&swept.stats);
     }
     out
 }

@@ -328,7 +328,7 @@ mod tests {
             code[f.pos..f.pos + 4].copy_from_slice(&0x10u32.to_le_bytes());
         }
         let swept = sweep_all(&code, 0x1000, asm.arch.mode());
-        let insns = swept.insns;
+        let insns = swept.to_insns();
         assert_eq!(swept.error_count, 0, "decode errors in emitted code");
         let mut expect = 0x1000u64;
         for i in &insns {
@@ -418,7 +418,7 @@ mod tests {
             if pad.is_empty() {
                 continue;
             }
-            let insns = sweep_all(pad, 0, funseeker_disasm::Mode::Bits64).insns;
+            let insns = sweep_all(pad, 0, funseeker_disasm::Mode::Bits64).to_insns();
             assert!(insns.iter().all(|i| i.kind == InsnKind::Nop), "pad for {target}: {insns:?}");
         }
     }

@@ -75,7 +75,7 @@ fn corpus_binaries_agree_with_objdump() {
         let elf = Elf::parse(&bin.bytes).unwrap();
         let (text_addr, text) = elf.section_bytes(".text").unwrap();
         let ours: BTreeMap<u64, usize> = sweep_all(text, text_addr, bin.config.arch.mode())
-            .insns
+            .stream
             .iter()
             .map(|insn| (insn.addr, insn.len as usize))
             .collect();

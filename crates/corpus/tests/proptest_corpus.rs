@@ -80,7 +80,7 @@ proptest! {
         let (text_addr, text) = elf.section_bytes(".text").expect("has .text");
 
         let swept = sweep_all(text, text_addr, cfg.arch.mode());
-        let starts: std::collections::BTreeSet<u64> = swept.insns.iter().map(|i| i.addr).collect();
+        let starts: std::collections::BTreeSet<u64> = swept.stream.iter().map(|i| i.addr).collect();
         prop_assert_eq!(swept.error_count, 0);
         for f in &built.truth.functions {
             prop_assert!(starts.contains(&f.addr), "{} not on boundary", f.name);

@@ -30,7 +30,7 @@ fn all_binaries_parse_and_sweep_cleanly() {
         // compilers never put data in .text (§IV-B).
         let mode = bin.config.arch.mode();
         let swept = sweep_all(text, text_addr, mode);
-        let insns = swept.insns;
+        let insns = swept.to_insns();
         assert_eq!(
             swept.error_count,
             0,
@@ -61,7 +61,7 @@ fn endbr_placement_matches_ground_truth() {
         let elf = Elf::parse(&bin.bytes).unwrap();
         let (text_addr, text) = elf.section_bytes(".text").unwrap();
         let endbrs: BTreeSet<u64> = sweep_all(text, text_addr, bin.config.arch.mode())
-            .insns
+            .stream
             .iter()
             .filter(|i| i.kind.is_endbr())
             .map(|i| i.addr)

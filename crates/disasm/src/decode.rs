@@ -9,6 +9,10 @@
 use crate::error::DecodeError;
 use crate::insn::{Insn, InsnKind};
 use crate::mode::Mode;
+use crate::stream::{
+    kind_from, TAG_CALL_IND, TAG_CALL_REL, TAG_ENDBR32, TAG_ENDBR64, TAG_HLT, TAG_INT3, TAG_JCC,
+    TAG_JMP_IND, TAG_JMP_REL, TAG_LEAVE, TAG_NOP, TAG_OTHER, TAG_PUSH, TAG_RET,
+};
 use crate::tables::{
     BAD, ENTER, FAR, GRP3, I16, I8, INV64, IV, IZ, M, MOFFS, ONE_BYTE, PFX, TWO_BYTE,
 };
@@ -137,6 +141,503 @@ fn modrm(cur: &mut Cursor<'_>, addr16: bool) -> Result<u8, DecodeError> {
 /// assert_eq!(insn.kind, InsnKind::Endbr64);
 /// ```
 pub fn decode(code: &[u8], addr: u64, mode: Mode) -> Result<Insn, DecodeError> {
+    if let Some(insn) = decode_fast(code, addr, mode) {
+        return Ok(insn);
+    }
+    decode_full(code, addr, mode)
+}
+
+/// [`decode_fast_packed`] reassembled into an [`Insn`] — the form
+/// [`decode`] and the differential tests consume.
+#[inline]
+pub(crate) fn decode_fast(code: &[u8], addr: u64, mode: Mode) -> Option<Insn> {
+    let (len, tag, target) = decode_fast_packed(code, addr, mode)?;
+    Some(Insn { addr, len, kind: kind_from(tag, target) })
+}
+
+/// First-byte dispatch classes for the fast path. Every class is a
+/// complete, prefix-free encoding whose length and classification are
+/// fully determined by the opcode byte (plus ModRM addressing bytes and
+/// fixed-width immediates where noted) in *both* operating modes, with
+/// at most a single REX prefix in front (64-bit mode only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FastClass {
+    /// Not fast-decodable: defer to the full decoder.
+    No,
+    Nop,
+    /// One-byte instruction classified `Other` (`pop r`, `xchg`,
+    /// string ops, flag ops, …).
+    One,
+    /// `40..4F`: `inc`/`dec r` in 32-bit mode, REX in 64-bit mode —
+    /// dispatch re-enters on the next byte with the REX recorded.
+    RexOrInc,
+    /// `66`/`F2`/`F3`: the only legacy prefixes the fast path follows,
+    /// and only into the `0F` map (ENDBR, 66-prefixed long NOPs, scalar
+    /// SSE). Any other prefixed encoding defers.
+    Pfx,
+    Ret,
+    /// `ret`/`retf imm16` (`C2`/`CA`): imm16 follows, still `Ret`.
+    RetImm16,
+    Leave,
+    Int3,
+    Hlt,
+    /// `push r` — register number is `byte - 0x50`, + 8 under REX.B.
+    Push,
+    /// Conditional branch with rel8 (`70..7F` and the `LOOP*`/`JCXZ`
+    /// family `E0..E3`, which the classifier folds into `Jcc`).
+    Jcc8,
+    JmpRel8,
+    CallRel32,
+    JmpRel32,
+    /// Opcode + imm8, classified `Other` (`al`-form ALU, `push imm8`,
+    /// `mov r8, imm8`, `int n`, `in`/`out`).
+    Imm8,
+    /// Opcode + imm32, classified `Other` (`eAX`-form ALU, `push immz`,
+    /// `test eAX`). The `z` immediate stays 4 bytes even under REX.W.
+    ImmZ,
+    /// `mov r, immv` (`B8..BF`): imm width is 4, or 8 under REX.W.
+    MovImmV,
+    /// Opcode + ModRM (+SIB/disp), no immediate, classified `Other`:
+    /// the ALU register forms, `test`/`xchg`/`mov`/`lea`/`pop r/m`,
+    /// shift groups, x87 escapes, `movsxd`/`arpl`, grp4.
+    Rm,
+    /// Opcode + ModRM + imm8, classified `Other` (grp1/grp2 imm8 forms,
+    /// `imul imm8`, `mov r/m8, imm8`).
+    RmImm8,
+    /// Opcode + ModRM + imm32, classified `Other` (grp1 immz, `imul
+    /// immz`, `mov r/m, immz`).
+    RmImmZ,
+    /// `0F` escape: common two-byte-map encodings (long NOPs, rel32
+    /// `Jcc`, plain ModRM SSE/`movzx`/… forms) decode inline; the rest
+    /// defer to the full decoder.
+    Esc0F,
+    /// `F6`: grp3 r/m8 — imm8 present iff ModRM.reg is 0 or 1.
+    Grp3b,
+    /// `F7`: grp3 r/m — imm32 present iff ModRM.reg is 0 or 1.
+    Grp3z,
+    /// `FF`: grp5 — `inc`/`dec`/`push r/m` plus the indirect branches
+    /// (`call`/`jmp r/m`, classified by ModRM.reg; `/7` is undefined).
+    Grp5,
+}
+
+/// 256-entry first-byte dispatch table.
+///
+/// An entry is non-[`FastClass::No`] only when the byte, seen as the
+/// opcode byte of a prefix-free (or single-REX) instruction, decodes
+/// identically to the full decoder: same length, same classification,
+/// same error behavior via deferral. Prefix bytes, mode-dependent
+/// opcodes (`INV64`, VEX/EVEX escapes), the irregular groups (`F6`/`F7`
+/// with their `reg`-dependent immediate, `FF` with its branch
+/// classification), and everything with a mode- or prefix-sensitive
+/// length stay [`FastClass::No`] and take the slow path.
+const FAST: [FastClass; 256] = {
+    let mut t = [FastClass::No; 256];
+    // 0x00-0x3F ALU block: four ModRM forms, then op al,imm8 / op
+    // eAX,immz. Row tails (push/pop seg, BCD, prefixes, the 0F escape)
+    // fall outside the six entries the loop fills.
+    let mut base = 0;
+    while base < 0x40 {
+        t[base] = FastClass::Rm;
+        t[base + 1] = FastClass::Rm;
+        t[base + 2] = FastClass::Rm;
+        t[base + 3] = FastClass::Rm;
+        t[base + 4] = FastClass::Imm8;
+        t[base + 5] = FastClass::ImmZ;
+        base += 8;
+    }
+    t[0x0F] = FastClass::Esc0F;
+    let mut b = 0x40;
+    while b <= 0x4F {
+        t[b] = FastClass::RexOrInc;
+        b += 1;
+    }
+    t[0x66] = FastClass::Pfx;
+    t[0xF2] = FastClass::Pfx;
+    t[0xF3] = FastClass::Pfx;
+    b = 0x50;
+    while b <= 0x57 {
+        t[b] = FastClass::Push;
+        b += 1;
+    }
+    b = 0x58;
+    while b <= 0x5F {
+        t[b] = FastClass::One; // pop r
+        b += 1;
+    }
+    t[0x63] = FastClass::Rm; // movsxd / arpl — ModRM in both modes
+    t[0x68] = FastClass::ImmZ; // push immz
+    t[0x69] = FastClass::RmImmZ; // imul r, r/m, immz
+    t[0x6A] = FastClass::Imm8; // push imm8
+    t[0x6B] = FastClass::RmImm8; // imul r, r/m, imm8
+    b = 0x6C;
+    while b <= 0x6F {
+        t[b] = FastClass::One; // ins/outs
+        b += 1;
+    }
+    b = 0x70;
+    while b <= 0x7F {
+        t[b] = FastClass::Jcc8;
+        b += 1;
+    }
+    t[0x80] = FastClass::RmImm8; // grp1 r/m8, imm8
+    t[0x81] = FastClass::RmImmZ; // grp1 r/m, immz (0x82 is INV64)
+    t[0x83] = FastClass::RmImm8; // grp1 r/m, imm8
+    b = 0x84;
+    while b <= 0x8F {
+        t[b] = FastClass::Rm; // test/xchg/mov family/lea/pop r/m
+        b += 1;
+    }
+    t[0x90] = FastClass::Nop;
+    b = 0x91;
+    while b <= 0x99 {
+        t[b] = FastClass::One; // xchg eAX,r / cwde / cdq
+        b += 1;
+    }
+    b = 0x9B;
+    while b <= 0x9F {
+        t[b] = FastClass::One; // wait/pushf/popf/sahf/lahf
+        b += 1;
+    }
+    b = 0xA4;
+    while b <= 0xA7 {
+        t[b] = FastClass::One; // movs/cmps
+        b += 1;
+    }
+    t[0xA8] = FastClass::Imm8; // test al, imm8
+    t[0xA9] = FastClass::ImmZ; // test eAX, immz
+    b = 0xAA;
+    while b <= 0xAF {
+        t[b] = FastClass::One; // stos/lods/scas
+        b += 1;
+    }
+    b = 0xB0;
+    while b <= 0xB7 {
+        t[b] = FastClass::Imm8; // mov r8, imm8
+        b += 1;
+    }
+    b = 0xB8;
+    while b <= 0xBF {
+        t[b] = FastClass::MovImmV; // mov r, immv
+        b += 1;
+    }
+    t[0xC0] = FastClass::RmImm8; // shift grp2 imm8
+    t[0xC1] = FastClass::RmImm8;
+    t[0xC2] = FastClass::RetImm16;
+    t[0xC3] = FastClass::Ret;
+    t[0xC6] = FastClass::RmImm8; // mov r/m8, imm8
+    t[0xC7] = FastClass::RmImmZ; // mov r/m, immz
+    t[0xC9] = FastClass::Leave;
+    t[0xCA] = FastClass::RetImm16;
+    t[0xCB] = FastClass::Ret;
+    t[0xCC] = FastClass::Int3;
+    t[0xCD] = FastClass::Imm8; // int imm8
+    t[0xCF] = FastClass::One; // iret
+    b = 0xD0;
+    while b <= 0xD3 {
+        t[b] = FastClass::Rm; // shift grp2
+        b += 1;
+    }
+    t[0xD7] = FastClass::One; // xlat
+    b = 0xD8;
+    while b <= 0xDF {
+        t[b] = FastClass::Rm; // x87 escapes
+        b += 1;
+    }
+    b = 0xE0;
+    while b <= 0xE3 {
+        t[b] = FastClass::Jcc8;
+        b += 1;
+    }
+    b = 0xE4;
+    while b <= 0xE7 {
+        t[b] = FastClass::Imm8; // in/out imm8
+        b += 1;
+    }
+    t[0xE8] = FastClass::CallRel32;
+    t[0xE9] = FastClass::JmpRel32;
+    t[0xEB] = FastClass::JmpRel8;
+    b = 0xEC;
+    while b <= 0xEF {
+        t[b] = FastClass::One; // in/out dx
+        b += 1;
+    }
+    t[0xF1] = FastClass::One; // int1
+    t[0xF4] = FastClass::Hlt;
+    t[0xF5] = FastClass::One; // cmc
+    t[0xF6] = FastClass::Grp3b;
+    t[0xF7] = FastClass::Grp3z;
+    b = 0xF8;
+    while b <= 0xFD {
+        t[b] = FastClass::One; // clc/stc/cli/sti/cld/std
+        b += 1;
+    }
+    t[0xFE] = FastClass::Rm; // grp4 inc/dec r/m8
+    t[0xFF] = FastClass::Grp5;
+    t
+};
+
+/// Length of ModRM + SIB + displacement under 32/64-bit addressing (the
+/// fast path never sees a `67` prefix), or `None` when `code` is too
+/// short — the full decoder then produces the canonical `Truncated`.
+#[inline]
+fn fast_modrm_len(code: &[u8]) -> Option<usize> {
+    let m = *code.first()?;
+    let mode_bits = m >> 6;
+    let rm = m & 7;
+    if mode_bits == 3 {
+        return Some(1);
+    }
+    let mut n = 1usize;
+    let mut disp32_when_mod0 = rm == 5;
+    if rm == 4 {
+        let sib = *code.get(1)?;
+        n += 1;
+        disp32_when_mod0 = sib & 7 == 5;
+    }
+    n += match mode_bits {
+        0 => {
+            if disp32_when_mod0 {
+                4
+            } else {
+                0
+            }
+        }
+        1 => 1,
+        _ => 4,
+    };
+    if code.len() < n {
+        return None;
+    }
+    Some(n)
+}
+
+/// First-byte dispatch fast path, in packed-stream form: `(length, kind
+/// tag, branch target)` — what the sweep hot loop feeds straight into
+/// [`crate::InsnStream`] without round-tripping through an [`Insn`].
+/// The target is meaningful only for the direct-branch tags (0
+/// otherwise).
+///
+/// Returns `None` for anything the table does not cover *and* for
+/// truncated input (an encoding whose tail runs off the buffer), so
+/// the full decoder is the single source of error values — the composed
+/// [`decode`] stays behaviorally identical to the table-driven decoder
+/// alone.
+#[inline]
+pub(crate) fn decode_fast_packed(code: &[u8], addr: u64, mode: Mode) -> Option<(u8, u8, u64)> {
+    let &b0 = code.first()?;
+    match FAST[b0 as usize] {
+        FastClass::RexOrInc => {
+            if !mode.is_64() {
+                // inc/dec reg — a plain one-byte instruction.
+                return Some((1, TAG_OTHER, 0));
+            }
+            // A single REX prefix. REX followed by a legacy prefix is
+            // voided by the full decoder's loop, and a second REX
+            // re-enters it, so both defer; the fast path only ever
+            // applies an *effective* REX.
+            let &b1 = code.get(1)?;
+            let c1 = FAST[b1 as usize];
+            if matches!(c1, FastClass::RexOrInc | FastClass::Pfx) {
+                return None;
+            }
+            fast_body(c1, code.get(2..)?, addr, mode, b1, b0)
+        }
+        FastClass::Pfx => {
+            // One mandatory-prefix-style legacy prefix, an optional REX,
+            // and the 0F map: covers ENDBR (`F3 0F 1E`), the 66-prefixed
+            // long NOPs, and scalar SSE (`F2`/`F3 0F xx`). Anything else
+            // with a prefix defers.
+            let mut i = 1;
+            let mut b = *code.get(i)?;
+            if mode.is_64() && matches!(FAST[b as usize], FastClass::RexOrInc) {
+                i += 1;
+                b = *code.get(i)?;
+                if matches!(FAST[b as usize], FastClass::RexOrInc) {
+                    return None;
+                }
+            }
+            if b != 0x0F {
+                return None;
+            }
+            let &op2 = code.get(i + 1)?;
+            fast_map0f(code.get(i + 2..)?, addr, mode, i + 2, op2, b0 == 0xF3, b0 == 0x66)
+        }
+        c => fast_body(c, code.get(1..)?, addr, mode, b0, 0),
+    }
+}
+
+/// Fast decode in the two-byte (`0F`) map. `rest` holds everything after
+/// the second opcode byte `op2`; `base` counts the bytes up to and
+/// including it. `rep`/`opsize` reflect an `F3`/`66` prefix.
+#[inline]
+fn fast_map0f(
+    rest: &[u8],
+    addr: u64,
+    mode: Mode,
+    base: usize,
+    op2: u8,
+    rep: bool,
+    opsize: bool,
+) -> Option<(u8, u8, u64)> {
+    if (0x80..=0x8F).contains(&op2) {
+        // Jcc relz — 4 bytes unless a 66 shrinks it (defer that: the
+        // 16-bit form also truncates the target).
+        if opsize {
+            return None;
+        }
+        let d = rest.get(..4)?;
+        let disp = i64::from(i32::from_le_bytes([d[0], d[1], d[2], d[3]]));
+        let len = base + 4;
+        let target = mode.mask_addr(addr.wrapping_add(len as u64).wrapping_add(disp as u64));
+        return Some((len as u8, TAG_JCC, target));
+    }
+    if op2 == 0x1E || op2 == 0x1F {
+        // The hint-NOP space: multi-byte alignment NOPs, and ENDBR when
+        // 0F 1E carries an F3 prefix and a register-form ModRM.
+        let m = *rest.first()?;
+        let len = base + fast_modrm_len(rest)?;
+        let tag = match (op2, rep, m) {
+            (0x1E, true, 0xFA) => TAG_ENDBR64,
+            (0x1E, true, 0xFB) => TAG_ENDBR32,
+            _ => TAG_NOP,
+        };
+        return Some((len as u8, tag, 0));
+    }
+    if (0x20..=0x26).contains(&op2) {
+        // mov cr/dr: register-only ModRM with the mod bits ignored —
+        // leave the irregular length to the full path.
+        return None;
+    }
+    let a = TWO_BYTE[op2 as usize];
+    if a == M {
+        Some(((base + fast_modrm_len(rest)?) as u8, TAG_OTHER, 0))
+    } else if a == M | I8 {
+        let m = fast_modrm_len(rest)?;
+        if rest.len() < m + 1 {
+            return None;
+        }
+        Some(((base + m + 1) as u8, TAG_OTHER, 0))
+    } else {
+        None
+    }
+}
+
+/// Decodes opcode byte `op` (pre-classified as `class`) with `rest`
+/// holding everything after it. `rex` is the REX prefix byte (0 when
+/// absent — a present REX is the only prefix byte the body ever sees).
+#[inline]
+fn fast_body(
+    class: FastClass,
+    rest: &[u8],
+    addr: u64,
+    mode: Mode,
+    op: u8,
+    rex: u8,
+) -> Option<(u8, u8, u64)> {
+    let base = 1 + usize::from(rex != 0);
+    let fin = |len: usize, tag: u8| Some((len as u8, tag, 0u64));
+    match class {
+        FastClass::No | FastClass::RexOrInc | FastClass::Pfx => None,
+        // REX.B turns 0x90 into `xchg r8, eAX` — no longer a NOP.
+        FastClass::Nop => fin(base, if rex & 1 != 0 { TAG_OTHER } else { TAG_NOP }),
+        FastClass::One => fin(base, TAG_OTHER),
+        FastClass::Ret => fin(base, TAG_RET),
+        FastClass::RetImm16 => {
+            if rest.len() < 2 {
+                return None;
+            }
+            fin(base + 2, TAG_RET)
+        }
+        FastClass::Leave => fin(base, TAG_LEAVE),
+        FastClass::Int3 => fin(base, TAG_INT3),
+        FastClass::Hlt => fin(base, TAG_HLT),
+        FastClass::Push => fin(base, TAG_PUSH + (op - 0x50) + ((rex & 1) << 3)),
+        FastClass::Jcc8 | FastClass::JmpRel8 => {
+            let disp = *rest.first()? as i8 as i64;
+            let len = base + 1;
+            let target = mode.mask_addr(addr.wrapping_add(len as u64).wrapping_add(disp as u64));
+            let tag = if op == 0xEB { TAG_JMP_REL } else { TAG_JCC };
+            Some((len as u8, tag, target))
+        }
+        FastClass::CallRel32 | FastClass::JmpRel32 => {
+            let d = rest.get(..4)?;
+            let disp = i64::from(i32::from_le_bytes([d[0], d[1], d[2], d[3]]));
+            let len = base + 4;
+            let target = mode.mask_addr(addr.wrapping_add(len as u64).wrapping_add(disp as u64));
+            let tag = if op == 0xE8 { TAG_CALL_REL } else { TAG_JMP_REL };
+            Some((len as u8, tag, target))
+        }
+        FastClass::Imm8 => {
+            if rest.is_empty() {
+                return None;
+            }
+            fin(base + 1, TAG_OTHER)
+        }
+        FastClass::ImmZ => {
+            if rest.len() < 4 {
+                return None;
+            }
+            fin(base + 4, TAG_OTHER)
+        }
+        FastClass::MovImmV => {
+            let n = if rex & 8 != 0 { 8 } else { 4 };
+            if rest.len() < n {
+                return None;
+            }
+            fin(base + n, TAG_OTHER)
+        }
+        FastClass::Rm => fin(base + fast_modrm_len(rest)?, TAG_OTHER),
+        FastClass::RmImm8 => {
+            let m = fast_modrm_len(rest)?;
+            if rest.len() < m + 1 {
+                return None;
+            }
+            fin(base + m + 1, TAG_OTHER)
+        }
+        FastClass::RmImmZ => {
+            let m = fast_modrm_len(rest)?;
+            if rest.len() < m + 4 {
+                return None;
+            }
+            fin(base + m + 4, TAG_OTHER)
+        }
+        FastClass::Esc0F => {
+            let &op2 = rest.first()?;
+            fast_map0f(&rest[1..], addr, mode, base + 1, op2, false, false)
+        }
+        FastClass::Grp3b | FastClass::Grp3z => {
+            let m = fast_modrm_len(rest)?;
+            // TEST r/m, imm — F6 takes imm8, F7 immz (4 without 66).
+            let imm = if (*rest.first()? >> 3) & 7 < 2 {
+                if op == 0xF6 {
+                    1
+                } else {
+                    4
+                }
+            } else {
+                0
+            };
+            if rest.len() < m + imm {
+                return None;
+            }
+            fin(base + m + imm, TAG_OTHER)
+        }
+        FastClass::Grp5 => {
+            let m = fast_modrm_len(rest)?;
+            let tag = match (*rest.first()? >> 3) & 7 {
+                2 | 3 => TAG_CALL_IND,
+                4 | 5 => TAG_JMP_IND,
+                // FF /7 is undefined — let the full path produce the error.
+                7 => return None,
+                _ => TAG_OTHER,
+            };
+            fin(base + m, tag)
+        }
+    }
+}
+
+/// The full table-driven decoder — every encoding the fast path declines.
+pub(crate) fn decode_full(code: &[u8], addr: u64, mode: Mode) -> Result<Insn, DecodeError> {
     let mut cur = Cursor { code, pos: 0 };
     let mut pfx = Prefixes::default();
     let is64 = mode.is_64();
@@ -634,5 +1135,124 @@ mod tests {
     #[test]
     fn ff_slash7_is_undefined() {
         assert_eq!(decode(&[0xff, 0xf8], 0, Mode::Bits64), Err(DecodeError::BadOpcode));
+    }
+
+    #[test]
+    fn fast_path_agrees_with_full_decoder() {
+        // Differential check: wherever the dispatch table fires, the fast
+        // result must equal the full decoder's, for every first byte, a
+        // spread of displacement tails, truncated buffers, and both modes.
+        let tails: [&[u8]; 6] = [
+            &[],
+            &[0x00],
+            &[0x7f, 0x80, 0x01, 0xff],
+            &[0xff, 0xff, 0xff, 0xff],
+            &[0x80, 0x00, 0x00, 0x80],
+            &[0xfe, 0xca, 0xad, 0xde, 0x90],
+        ];
+        for mode in [Mode::Bits64, Mode::Bits32] {
+            for b0 in 0u8..=255 {
+                for tail in tails {
+                    let mut code = vec![b0];
+                    code.extend_from_slice(tail);
+                    for addr in [0u64, 0x40_1000, u64::MAX - 2] {
+                        if let Some(fast) = super::decode_fast(&code, addr, mode) {
+                            assert_eq!(
+                                Ok(fast),
+                                super::decode_full(&code, addr, mode),
+                                "byte {b0:#04x} tail {tail:x?} addr {addr:#x} {mode:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_agrees_with_full_decoder_exhaustive_two_bytes() {
+        // Every (first byte, second byte) pair — covering REX+opcode,
+        // opcode+ModRM, and the 0F map exhaustively — with tails that
+        // exercise every ModRM addressing form (register, disp8, disp32,
+        // SIB, SIB+disp32) and truncation at various depths.
+        let tails: [&[u8]; 6] = [
+            &[],
+            &[0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09],
+            &[0xC0, 0xff, 0xff, 0xff, 0xff, 0x90, 0x90, 0x90, 0x90, 0x90],
+            &[0x04, 0x25, 1, 2, 3, 4, 5, 6, 7, 8],
+            &[0x85, 1, 2, 3, 4, 9, 9, 9, 9, 9],
+            &[0x05, 1, 2], // disp32 form, truncated
+        ];
+        for mode in [Mode::Bits64, Mode::Bits32] {
+            for b0 in 0u8..=255 {
+                for b1 in 0u8..=255 {
+                    for tail in tails {
+                        let mut code = vec![b0, b1];
+                        code.extend_from_slice(tail);
+                        if let Some(fast) = super::decode_fast(&code, 0x40_1000, mode) {
+                            assert_eq!(
+                                Ok(fast),
+                                super::decode_full(&code, 0x40_1000, mode),
+                                "bytes {b0:#04x} {b1:#04x} tail {tail:x?} {mode:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_agrees_on_prefixed_two_byte_map() {
+        // The prefixed 0F-map fast path: every second opcode byte under
+        // each mandatory-prefix-style byte, with and without REX, over
+        // ModRM tails covering every addressing form.
+        let tails: [&[u8]; 5] = [
+            &[0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09],
+            &[0xC0, 0xff, 0xff, 0xff, 0xff, 0x90, 0x90, 0x90, 0x90, 0x90],
+            &[0x04, 0x25, 1, 2, 3, 4, 5, 6, 7, 8],
+            &[0xFA, 0xFB, 0x90, 0x90, 0x90],
+            &[0x85, 1, 2], // disp32 form, truncated
+        ];
+        let heads: [&[u8]; 10] = [
+            &[0x0F],
+            &[0x48, 0x0F],
+            &[0x44, 0x0F],
+            &[0x66, 0x0F],
+            &[0xF2, 0x0F],
+            &[0xF3, 0x0F],
+            &[0xF3, 0x48, 0x0F],
+            &[0x66, 0x41, 0x0F],
+            &[0xF3, 0x44, 0x44, 0x0F],
+            &[0xF2, 0x66, 0x0F],
+        ];
+        for mode in [Mode::Bits64, Mode::Bits32] {
+            for head in heads {
+                for op2 in 0u8..=255 {
+                    for tail in tails {
+                        let mut code = head.to_vec();
+                        code.push(op2);
+                        code.extend_from_slice(tail);
+                        if let Some(fast) = super::decode_fast(&code, 0x40_1000, mode) {
+                            assert_eq!(
+                                Ok(fast),
+                                super::decode_full(&code, 0x40_1000, mode),
+                                "head {head:x?} op2 {op2:#04x} tail {tail:x?} {mode:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_declines_truncated_branches() {
+        // A rel32 call with only 3 displacement bytes must fall through to
+        // the full decoder (which reports Truncated), not mis-decode.
+        assert_eq!(super::decode_fast(&[0xe8, 1, 2, 3], 0, Mode::Bits64), None);
+        assert_eq!(decode(&[0xe8, 1, 2, 3], 0, Mode::Bits64), Err(DecodeError::Truncated));
+        assert_eq!(super::decode_fast(&[0x74], 0, Mode::Bits64), None);
+        assert_eq!(super::decode_fast(&[], 0, Mode::Bits64), None);
     }
 }

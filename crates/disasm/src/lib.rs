@@ -31,6 +31,8 @@ mod format;
 mod insn;
 mod mode;
 mod par;
+mod stats;
+mod stream;
 mod sweep;
 mod tables;
 
@@ -40,4 +42,6 @@ pub use format::format_insn;
 pub use insn::{Insn, InsnKind};
 pub use mode::Mode;
 pub use par::{par_sweep, sweep_all, SweepOutput};
+pub use stats::SweepStats;
+pub use stream::{InsnStream, Insns};
 pub use sweep::{LinearSweep, SupersetSweep};

@@ -1,4 +1,4 @@
-//! Sharded parallel linear sweep, bit-identical to [`LinearSweep`].
+//! Sharded parallel linear sweep, bit-identical to [`LinearSweep`](crate::LinearSweep).
 //!
 //! Linear sweep (§IV-B of the paper) is a deterministic chain: the offset
 //! after decoding at `o` depends only on the bytes at `o` (instruction
@@ -14,47 +14,151 @@
 //! Self-repairing disassembly resynchronizes quickly in practice (a
 //! handful of instructions), so the serial stitching work is tiny compared
 //! to the per-shard decoding it replaces.
+//!
+//! Both the sequential and sharded paths run the same inner loop
+//! ([`sweep_range`]), which layers two shortcuts over the full decoder:
+//!
+//! * a **padding run-skipper** that bulk-appends runs of `0x90`/`0xCC`
+//!   bytes — a byte equal to `90`/`CC` at the start of an instruction
+//!   always decodes to a one-byte `NOP`/`INT3` regardless of what
+//!   follows, so a run of `n` such bytes is `n` one-byte instructions
+//!   and can skip the decoder entirely (inter-function padding makes
+//!   these runs common and long);
+//! * the first-byte **dispatch fast path** ([`crate::decode`]'s table)
+//!   for prefix-free one-byte instructions and fixed-width relative
+//!   branches.
+//!
+//! Results land in a packed [`InsnStream`] (6 bytes per instruction)
+//! instead of a `Vec<Insn>` (32), which shrinks both the speculative
+//! shard chains and the memory traffic of the stitch splices. Shards run
+//! on the persistent [`funseeker_pool`] worker pool rather than
+//! per-call spawned threads.
 
-use crate::decode::decode;
-use crate::insn::Insn;
+use std::time::Instant;
+
+use crate::decode::{decode, decode_fast_packed, decode_full};
+use crate::insn::{Insn, InsnKind};
 use crate::mode::Mode;
+use crate::stats::SweepStats;
+use crate::stream::InsnStream;
+#[cfg(test)]
 use crate::sweep::LinearSweep;
 
 /// The result of sweeping one code region: the decoded instruction chain
 /// plus how many byte positions failed to decode.
 #[derive(Debug, Clone, Default)]
 pub struct SweepOutput {
-    /// Instructions in address order, exactly as [`LinearSweep`] yields
-    /// them.
-    pub insns: Vec<Insn>,
+    /// Instructions in address order, exactly as [`LinearSweep`](crate::LinearSweep) yields
+    /// them, in packed form.
+    pub stream: InsnStream,
     /// Byte positions skipped by the §IV-B "advance one byte" repair rule.
     pub error_count: usize,
+    /// Where the time and the decode work went.
+    pub stats: SweepStats,
+}
+
+impl SweepOutput {
+    /// The stream as legacy [`Insn`] values (tests and debugging; hot
+    /// paths iterate or index [`SweepOutput::stream`] directly).
+    pub fn to_insns(&self) -> Vec<Insn> {
+        self.stream.to_insns()
+    }
+}
+
+/// Shared inner loop of the sequential sweep and of each speculative
+/// shard: run-skipper, then fast dispatch, then the full decoder. Returns
+/// the exit offset (first chain offset at or past `hi`).
+///
+/// Equivalence to driving [`crate::decode`] one instruction at a time:
+/// the fast/full layering *is* `decode`, and the run-skipper only covers
+/// bytes (`90`/`CC`) whose decode is independent of their suffix, capped
+/// at `hi` exactly where the one-at-a-time loop would stop.
+#[allow(clippy::too_many_arguments)]
+fn sweep_range(
+    code: &[u8],
+    base: u64,
+    mode: Mode,
+    lo: usize,
+    hi: usize,
+    stream: &mut InsnStream,
+    mut on_error: impl FnMut(usize),
+    stats: &mut SweepStats,
+) -> usize {
+    let mut off = lo;
+    while off < hi {
+        let b = code[off];
+        if b == 0x90 || b == 0xCC {
+            let mut end = off + 1;
+            while end < hi && code[end] == b {
+                end += 1;
+            }
+            let n = end - off;
+            if n > 1 {
+                let kind = if b == 0x90 { InsnKind::Nop } else { InsnKind::Int3 };
+                stream.push_run(base.wrapping_add(off as u64), n, kind);
+                stats.run_insns += n as u64;
+                off = end;
+                continue;
+            }
+            // A lone pad byte: the dispatch table below handles it.
+        }
+        let addr = base.wrapping_add(off as u64);
+        if let Some((len, tag, target)) = decode_fast_packed(&code[off..], addr, mode) {
+            stats.fast_hits += 1;
+            stream.push_parts(addr, len, tag, target);
+            off += len as usize;
+            continue;
+        }
+        stats.slow_decodes += 1;
+        match decode_full(&code[off..], base.wrapping_add(off as u64), mode) {
+            Ok(insn) => {
+                off += insn.len as usize;
+                stream.push(insn);
+            }
+            Err(_) => {
+                on_error(off);
+                off += 1;
+            }
+        }
+    }
+    off
 }
 
 /// Sequential sweep of a whole region, collected.
 ///
 /// The single entry point non-parallel callers should use instead of
-/// driving [`LinearSweep`] by hand; [`par_sweep`] is the parallel
+/// driving [`LinearSweep`](crate::LinearSweep) by hand; [`par_sweep`] is the parallel
 /// equivalent and defers to this for small inputs.
 pub fn sweep_all(code: &[u8], base: u64, mode: Mode) -> SweepOutput {
-    let mut sweep = LinearSweep::new(code, base, mode);
-    let insns: Vec<Insn> = sweep.by_ref().collect();
-    SweepOutput { insns, error_count: sweep.error_count() }
+    let t0 = Instant::now();
+    let mut stream = InsnStream::with_byte_capacity(code.len());
+    stream.begin_segment(base);
+    let mut stats = SweepStats { bytes: code.len() as u64, shards: 1, ..SweepStats::default() };
+    let mut error_count = 0usize;
+    sweep_range(code, base, mode, 0, code.len(), &mut stream, |_| error_count += 1, &mut stats);
+    stats.decode_ns = t0.elapsed().as_nanos() as u64;
+    stats.insns = stream.len() as u64;
+    stats.decode_errors = error_count as u64;
+    SweepOutput { stream, error_count, stats }
 }
 
 /// Below this size sharding costs more than it saves.
 const MIN_SHARD_BYTES: usize = 4096;
 
 /// Speculative decoding of one shard's byte range.
+///
+/// The chain's stream is a single segment based at the *region* base, so
+/// its packed offsets are exactly the `code` offsets the instructions
+/// were decoded at — which is what the stitch binary-searches.
 struct ShardChain {
-    /// Offsets (into `code`) at which an instruction was decoded, sorted.
-    insn_offsets: Vec<usize>,
-    /// The instructions at those offsets, same order.
-    insns: Vec<Insn>,
+    /// Packed instructions, offsets into `code` (see above), sorted.
+    stream: InsnStream,
     /// Offsets at which decoding failed, sorted.
-    error_offsets: Vec<usize>,
+    error_offsets: Vec<u32>,
     /// First chain offset at or past the shard's end boundary.
     exit: usize,
+    /// This shard's decode-work counters.
+    stats: SweepStats,
 }
 
 /// Parallel sharded linear sweep.
@@ -66,6 +170,11 @@ struct ShardChain {
 /// `MIN_SHARD_BYTES`, and `shards <= 1` falls back to the sequential
 /// sweep.
 pub fn par_sweep(code: &[u8], base: u64, mode: Mode, shards: usize) -> SweepOutput {
+    // The stitch stores shard-relative offsets as u32; a >4 GiB region
+    // (never seen in practice) just takes the sequential path.
+    if code.len() > u32::MAX as usize {
+        return sweep_all(code, base, mode);
+    }
     let shards = shards.min(code.len() / MIN_SHARD_BYTES);
     if shards <= 1 {
         return sweep_all(code, base, mode);
@@ -75,37 +184,39 @@ pub fn par_sweep(code: &[u8], base: u64, mode: Mode, shards: usize) -> SweepOutp
     // starting at starts[k], stopping once it crosses starts[k + 1].
     let starts: Vec<usize> = (0..shards).map(|k| k * code.len() / shards).collect();
 
-    let chains: Vec<ShardChain> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..shards)
+    let t_decode = Instant::now();
+    let chains: Vec<ShardChain> = funseeker_pool::global().run(
+        (0..shards)
             .map(|k| {
                 let lo = starts[k];
                 let hi = starts.get(k + 1).copied().unwrap_or(code.len());
-                scope.spawn(move || decode_shard(code, base, mode, lo, hi))
+                move || decode_shard(code, base, mode, lo, hi)
             })
-            .collect();
-        // invariant: shards run the total decode loop, which never
-        // panics on any byte sequence; join only fails on a panic.
-        handles.into_iter().map(|h| h.join().expect("sweep shard panicked")).collect()
-    });
+            .collect(),
+    );
+    let decode_wall_ns = t_decode.elapsed().as_nanos() as u64;
 
     // Stitch: walk the true chain, splicing in each shard's speculative
     // chain as soon as the true chain reaches an offset the shard decoded
     // at (from there on the two chains are the same function of the same
     // bytes, hence equal).
-    let mut out = SweepOutput {
-        insns: Vec::with_capacity(chains.iter().map(|c| c.insns.len()).sum()),
-        error_count: 0,
-    };
+    let t_stitch = Instant::now();
+    let mut stats = SweepStats::default();
+    let mut stream = InsnStream::new();
+    stream.begin_segment(base);
+    stream.reserve(chains.iter().map(|c| c.stream.len()).sum());
+    let mut error_count = 0usize;
     let mut t = 0usize; // next true-chain offset
     for (k, chain) in chains.iter().enumerate() {
+        stats.merge(&chain.stats);
         let hi = starts.get(k + 1).copied().unwrap_or(code.len());
         // An instruction from an earlier shard may straddle this entire
         // shard; if so the speculative work here is dead, skip it.
         while t < hi {
-            if let Ok(i) = chain.insn_offsets.binary_search(&t) {
-                out.insns.extend_from_slice(&chain.insns[i..]);
-                let first_err = chain.error_offsets.partition_point(|&e| e < t);
-                out.error_count += chain.error_offsets.len() - first_err;
+            if let Ok(i) = chain.stream.search_off(t as u32) {
+                stream.splice_tail(&chain.stream, i);
+                let first_err = chain.error_offsets.partition_point(|&e| (e as usize) < t);
+                error_count += chain.error_offsets.len() - first_err;
                 t = chain.exit;
                 break;
             }
@@ -113,41 +224,44 @@ pub fn par_sweep(code: &[u8], base: u64, mode: Mode, shards: usize) -> SweepOutp
             match decode(&code[t..], base.wrapping_add(t as u64), mode) {
                 Ok(insn) => {
                     t += insn.len as usize;
-                    out.insns.push(insn);
+                    stream.push(insn);
                 }
                 Err(_) => {
                     t += 1;
-                    out.error_count += 1;
+                    error_count += 1;
                 }
             }
         }
     }
-    out
+    stats.bytes = code.len() as u64;
+    stats.shards = shards as u64;
+    stats.insns = stream.len() as u64;
+    stats.decode_errors = error_count as u64;
+    // Per-shard decode_ns sums thread time; keep the larger of that and
+    // the wall clock so single-core hosts still report real decode time.
+    stats.decode_ns = stats.decode_ns.max(decode_wall_ns);
+    stats.stitch_ns = t_stitch.elapsed().as_nanos() as u64;
+    SweepOutput { stream, error_count, stats }
 }
 
 fn decode_shard(code: &[u8], base: u64, mode: Mode, lo: usize, hi: usize) -> ShardChain {
-    let mut chain = ShardChain {
-        insn_offsets: Vec::new(),
-        insns: Vec::new(),
-        error_offsets: Vec::new(),
-        exit: lo,
-    };
-    let mut off = lo;
-    while off < hi {
-        match decode(&code[off..], base.wrapping_add(off as u64), mode) {
-            Ok(insn) => {
-                chain.insn_offsets.push(off);
-                chain.insns.push(insn);
-                off += insn.len as usize;
-            }
-            Err(_) => {
-                chain.error_offsets.push(off);
-                off += 1;
-            }
-        }
-    }
-    chain.exit = off;
-    chain
+    let t0 = Instant::now();
+    let mut stream = InsnStream::with_byte_capacity(hi - lo);
+    stream.begin_segment(base);
+    let mut error_offsets = Vec::new();
+    let mut stats = SweepStats::default();
+    let exit = sweep_range(
+        code,
+        base,
+        mode,
+        lo,
+        hi,
+        &mut stream,
+        |off| error_offsets.push(off as u32),
+        &mut stats,
+    );
+    stats.decode_ns = t0.elapsed().as_nanos() as u64;
+    ShardChain { stream, error_offsets, exit, stats }
 }
 
 #[cfg(test)]
@@ -155,10 +269,16 @@ mod tests {
     use super::*;
 
     fn assert_equivalent(code: &[u8], base: u64, mode: Mode, shards: usize) {
+        let mut reference = LinearSweep::new(code, base, mode);
+        let ref_insns: Vec<Insn> = reference.by_ref().collect();
         let seq = sweep_all(code, base, mode);
         let par = par_sweep(code, base, mode, shards);
-        assert_eq!(seq.insns, par.insns);
+        assert_eq!(seq.to_insns(), ref_insns, "sequential packed vs iterator reference");
+        assert_eq!(seq.stream, par.stream, "packed arrays must be bit-identical");
+        assert_eq!(seq.error_count, reference.error_count());
         assert_eq!(seq.error_count, par.error_count);
+        assert_eq!(seq.stats.insns, seq.stream.len() as u64);
+        assert_eq!(par.stats.insns, par.stream.len() as u64);
     }
 
     #[test]
@@ -217,5 +337,51 @@ mod tests {
         let code = vec![0x90u8; MIN_SHARD_BYTES - 1];
         // Would be 0 shards by the ratio; must fall back to sequential.
         assert_equivalent(&code, 0, Mode::Bits64, 8);
+    }
+
+    #[test]
+    fn padding_runs_crossing_shard_boundaries() {
+        // Long NOP and INT3 runs spanning every shard boundary: the bulk
+        // run-skipper inside each shard must agree with the sequential
+        // bulk skip and with one-at-a-time decoding.
+        let mut code = Vec::new();
+        while code.len() < MIN_SHARD_BYTES * 4 {
+            code.push(0xc3);
+            code.extend(std::iter::repeat_n(0x90, MIN_SHARD_BYTES / 2));
+            code.push(0xc3);
+            code.extend(std::iter::repeat_n(0xcc, MIN_SHARD_BYTES / 2));
+        }
+        for shards in [2, 3, 7, 8] {
+            assert_equivalent(&code, 0x40_0000, Mode::Bits64, shards);
+        }
+    }
+
+    #[test]
+    fn lone_pad_bytes_between_instructions() {
+        // Runs of length one must take the ordinary decode path and still
+        // match (the run-skipper only fires for n > 1).
+        let unit = [0x90, 0xc3, 0xcc, 0x55, 0x90, 0x90, 0xc3];
+        let code: Vec<u8> = unit.iter().copied().cycle().take(MIN_SHARD_BYTES * 3 + 5).collect();
+        for shards in [2, 5] {
+            assert_equivalent(&code, 0x1000, Mode::Bits64, shards);
+        }
+    }
+
+    #[test]
+    fn stats_account_for_fast_paths() {
+        let mut code = vec![0x55]; // push rbp — fast dispatch
+        code.extend(std::iter::repeat_n(0x90, 64)); // bulk run
+                                                    // mov ax, cx — a 66-prefixed primary-map op forces the full
+                                                    // decoder (the fast path only follows a 66 into the 0F map).
+        code.extend_from_slice(&[0x66, 0x89, 0xc8]);
+        code.push(0xc3);
+        let out = sweep_all(&code, 0x1000, Mode::Bits64);
+        assert_eq!(out.stats.bytes, code.len() as u64);
+        assert_eq!(out.stats.insns, out.stream.len() as u64);
+        assert_eq!(out.stats.run_insns, 64);
+        assert!(out.stats.fast_hits >= 2); // push + ret
+        assert_eq!(out.stats.slow_decodes, 1);
+        assert!(out.stats.fast_path_rate() > 0.9);
+        assert_eq!(out.stats.shards, 1);
     }
 }

@@ -1,0 +1,109 @@
+//! Performance counters for the sweep hot path.
+//!
+//! [`SweepStats`] is threaded through the sequential and sharded sweeps
+//! so the pipeline can report where decode time goes: how much of the
+//! byte stream the fast paths absorbed, how often the full decoder ran,
+//! and how the wall time splits between speculative decoding and the
+//! stitch. The counters are plain integers gathered on the sweep's own
+//! thread(s) and merged after the fact — no atomics on the hot path.
+
+/// Counters describing one sweep (or, after [`SweepStats::merge`], the
+/// sum over several).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Bytes of code swept.
+    pub bytes: u64,
+    /// Instructions decoded (after stitching, i.e. the output length).
+    pub insns: u64,
+    /// Byte positions rejected by the decoder (§IV-B one-byte repair).
+    pub decode_errors: u64,
+    /// Instructions decoded by the single-byte dispatch fast path.
+    pub fast_hits: u64,
+    /// Instructions appended in bulk by the `NOP`/`INT3` run-skipper.
+    pub run_insns: u64,
+    /// Calls into the full table-driven decoder (successes and errors).
+    pub slow_decodes: u64,
+    /// Shards the region was split into (1 for a sequential sweep).
+    pub shards: u64,
+    /// Wall time spent decoding, in nanoseconds. For a sharded sweep this
+    /// sums the per-shard times and can exceed the elapsed wall clock.
+    pub decode_ns: u64,
+    /// Wall time spent stitching shard chains, in nanoseconds.
+    pub stitch_ns: u64,
+}
+
+impl SweepStats {
+    /// Fraction of emitted instructions that bypassed the full decoder
+    /// (fast-path dispatch plus bulk run-skipping), in `[0, 1]`.
+    pub fn fast_path_rate(&self) -> f64 {
+        let total = self.insns + self.decode_errors;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.fast_hits + self.run_insns) as f64 / total as f64
+    }
+
+    /// Accumulates `other` into `self` — used to aggregate per-region
+    /// sweeps into a per-binary total and per-shard counters into a
+    /// region total.
+    pub fn merge(&mut self, other: &SweepStats) {
+        self.bytes += other.bytes;
+        self.insns += other.insns;
+        self.decode_errors += other.decode_errors;
+        self.fast_hits += other.fast_hits;
+        self.run_insns += other.run_insns;
+        self.slow_decodes += other.slow_decodes;
+        self.shards += other.shards;
+        self.decode_ns += other.decode_ns;
+        self.stitch_ns += other.stitch_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_path_rate_handles_empty_and_partial() {
+        assert_eq!(SweepStats::default().fast_path_rate(), 0.0);
+        let s = SweepStats {
+            insns: 90,
+            decode_errors: 10,
+            fast_hits: 40,
+            run_insns: 10,
+            ..SweepStats::default()
+        };
+        assert!((s.fast_path_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let a = SweepStats {
+            bytes: 1,
+            insns: 2,
+            decode_errors: 3,
+            fast_hits: 4,
+            run_insns: 5,
+            slow_decodes: 6,
+            shards: 7,
+            decode_ns: 8,
+            stitch_ns: 9,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(
+            b,
+            SweepStats {
+                bytes: 2,
+                insns: 4,
+                decode_errors: 6,
+                fast_hits: 8,
+                run_insns: 10,
+                slow_decodes: 12,
+                shards: 14,
+                decode_ns: 16,
+                stitch_ns: 18,
+            }
+        );
+    }
+}

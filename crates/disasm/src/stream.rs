@@ -1,0 +1,638 @@
+//! Packed structure-of-arrays instruction stream.
+//!
+//! A linear sweep of compiler output is overwhelmingly
+//! [`InsnKind::Other`]: the semantic payloads function identification
+//! cares about (branch targets, `NOTRACK` flags, pushed registers) ride
+//! on a few percent of instructions. Materializing every instruction as
+//! a 32-byte [`Insn`] therefore wastes ~5× the memory traffic the data
+//! needs — and the sweep is memory-bound in the stitch and in every
+//! downstream full-stream pass.
+//!
+//! [`InsnStream`] stores the stream as three parallel packed arrays —
+//! `u32` segment-relative offset, `u8` length, `u8` kind tag — 6 bytes
+//! per instruction, plus a sorted side table holding the branch targets
+//! for the minority of direct branches (`NOTRACK` and push-register
+//! payloads fit in the tag byte). Segments carry the base address, so a
+//! stream can span multiple code regions (the per-binary `SweepIndex`)
+//! or a single one (a sweep of one region).
+//!
+//! Consumers that want the old value type iterate with [`InsnStream::iter`],
+//! which reconstructs [`Insn`] on the fly in O(1) per item; hot passes
+//! scan the packed arrays directly via the indexed accessors
+//! ([`InsnStream::addr_at`], [`InsnStream::kind_at`],
+//! [`InsnStream::push_reg_indices`], …).
+
+use crate::insn::{Insn, InsnKind};
+
+// Kind tags. `NOTRACK` and the pushed-register number are folded into
+// the tag byte; only direct-branch targets need the side table.
+pub(crate) const TAG_OTHER: u8 = 0;
+pub(crate) const TAG_ENDBR64: u8 = 1;
+pub(crate) const TAG_ENDBR32: u8 = 2;
+pub(crate) const TAG_RET: u8 = 3;
+pub(crate) const TAG_LEAVE: u8 = 4;
+pub(crate) const TAG_NOP: u8 = 5;
+pub(crate) const TAG_INT3: u8 = 6;
+pub(crate) const TAG_UD2: u8 = 7;
+pub(crate) const TAG_HLT: u8 = 8;
+pub(crate) const TAG_CALL_IND: u8 = 9;
+pub(crate) const TAG_CALL_IND_NOTRACK: u8 = 10;
+pub(crate) const TAG_JMP_IND: u8 = 11;
+pub(crate) const TAG_JMP_IND_NOTRACK: u8 = 12;
+/// Tags `>= TAG_CALL_REL && < TAG_PUSH` carry a side-table target.
+pub(crate) const TAG_CALL_REL: u8 = 13;
+pub(crate) const TAG_JMP_REL: u8 = 14;
+pub(crate) const TAG_JCC: u8 = 15;
+/// `TAG_PUSH + reg` for `PushReg { reg }`, reg 0–15.
+pub(crate) const TAG_PUSH: u8 = 16;
+
+#[inline]
+pub(crate) fn has_target(tag: u8) -> bool {
+    (TAG_CALL_REL..TAG_PUSH).contains(&tag)
+}
+
+#[inline]
+fn tag_of(kind: InsnKind) -> (u8, Option<u64>) {
+    match kind {
+        InsnKind::Other => (TAG_OTHER, None),
+        InsnKind::Endbr64 => (TAG_ENDBR64, None),
+        InsnKind::Endbr32 => (TAG_ENDBR32, None),
+        InsnKind::Ret => (TAG_RET, None),
+        InsnKind::Leave => (TAG_LEAVE, None),
+        InsnKind::Nop => (TAG_NOP, None),
+        InsnKind::Int3 => (TAG_INT3, None),
+        InsnKind::Ud2 => (TAG_UD2, None),
+        InsnKind::Hlt => (TAG_HLT, None),
+        InsnKind::CallInd { notrack } => {
+            (if notrack { TAG_CALL_IND_NOTRACK } else { TAG_CALL_IND }, None)
+        }
+        InsnKind::JmpInd { notrack } => {
+            (if notrack { TAG_JMP_IND_NOTRACK } else { TAG_JMP_IND }, None)
+        }
+        InsnKind::CallRel { target } => (TAG_CALL_REL, Some(target)),
+        InsnKind::JmpRel { target } => (TAG_JMP_REL, Some(target)),
+        InsnKind::Jcc { target } => (TAG_JCC, Some(target)),
+        InsnKind::PushReg { reg } => (TAG_PUSH + (reg & 0x0f), None),
+    }
+}
+
+/// Reconstructs the kind; `target` is consulted only for direct-branch
+/// tags.
+#[inline]
+pub(crate) fn kind_from(tag: u8, target: u64) -> InsnKind {
+    match tag {
+        TAG_OTHER => InsnKind::Other,
+        TAG_ENDBR64 => InsnKind::Endbr64,
+        TAG_ENDBR32 => InsnKind::Endbr32,
+        TAG_RET => InsnKind::Ret,
+        TAG_LEAVE => InsnKind::Leave,
+        TAG_NOP => InsnKind::Nop,
+        TAG_INT3 => InsnKind::Int3,
+        TAG_UD2 => InsnKind::Ud2,
+        TAG_HLT => InsnKind::Hlt,
+        TAG_CALL_IND => InsnKind::CallInd { notrack: false },
+        TAG_CALL_IND_NOTRACK => InsnKind::CallInd { notrack: true },
+        TAG_JMP_IND => InsnKind::JmpInd { notrack: false },
+        TAG_JMP_IND_NOTRACK => InsnKind::JmpInd { notrack: true },
+        TAG_CALL_REL => InsnKind::CallRel { target },
+        TAG_JMP_REL => InsnKind::JmpRel { target },
+        TAG_JCC => InsnKind::Jcc { target },
+        t => InsnKind::PushReg { reg: t - TAG_PUSH },
+    }
+}
+
+/// A contiguous run of instructions sharing one base address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Seg {
+    /// Index of the segment's first instruction.
+    first: usize,
+    /// Address the segment's offsets are relative to.
+    base: u64,
+}
+
+/// Packed instruction stream — see the module docs for the layout.
+///
+/// ```
+/// use funseeker_disasm::{sweep_all, InsnKind, Mode};
+/// // endbr64; push rbp; call +0; ret
+/// let code = [0xf3, 0x0f, 0x1e, 0xfa, 0x55, 0xe8, 0, 0, 0, 0, 0xc3];
+/// let stream = sweep_all(&code, 0x1000, Mode::Bits64).stream;
+/// assert_eq!(stream.len(), 4);
+/// assert_eq!(stream.addr_at(1), 0x1004);
+/// assert_eq!(stream.kind_at(2), InsnKind::CallRel { target: 0x100a });
+/// let insns: Vec<_> = stream.iter().collect();
+/// assert_eq!(insns[3].kind, InsnKind::Ret);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InsnStream {
+    /// Byte offset of each instruction, relative to its segment base.
+    offs: Vec<u32>,
+    /// Instruction lengths (1–15).
+    lens: Vec<u8>,
+    /// Kind tags.
+    tags: Vec<u8>,
+    /// Indices (into the packed arrays) of direct-branch instructions,
+    /// sorted ascending. Parallel to `tgt_val`.
+    tgt_idx: Vec<usize>,
+    /// Absolute branch targets for `tgt_idx`.
+    tgt_val: Vec<u64>,
+    /// Segments in instruction order; empty iff the stream is empty.
+    segs: Vec<Seg>,
+}
+
+impl InsnStream {
+    /// An empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty stream pre-sized for sweeping `bytes` bytes of code.
+    ///
+    /// Compiler output averages ~4 bytes per instruction, so the packed
+    /// arrays reserve `bytes / 4` slots up front instead of growing
+    /// organically through repeated doubling on multi-MB regions. The
+    /// side table reserves for the observed ~5% direct-branch density.
+    pub fn with_byte_capacity(bytes: usize) -> Self {
+        let insns = bytes / 4;
+        InsnStream {
+            offs: Vec::with_capacity(insns),
+            lens: Vec::with_capacity(insns),
+            tags: Vec::with_capacity(insns),
+            tgt_idx: Vec::with_capacity(insns / 16),
+            tgt_val: Vec::with_capacity(insns / 16),
+            segs: Vec::new(),
+        }
+    }
+
+    /// Reserves room for `additional` more instructions.
+    pub fn reserve(&mut self, additional: usize) {
+        self.offs.reserve(additional);
+        self.lens.reserve(additional);
+        self.tags.reserve(additional);
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.offs.len()
+    }
+
+    /// Whether the stream holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.offs.is_empty()
+    }
+
+    /// Starts a new segment: subsequent pushes store offsets relative to
+    /// `base`. Replaces the current segment if it is still empty.
+    pub fn begin_segment(&mut self, base: u64) {
+        if let Some(last) = self.segs.last_mut() {
+            if last.first == self.offs.len() {
+                last.base = base;
+                return;
+            }
+        }
+        self.segs.push(Seg { first: self.offs.len(), base });
+    }
+
+    /// Offset of `addr` relative to the current segment, opening an
+    /// overflow segment when the distance exceeds `u32` (regions larger
+    /// than 4 GiB) or when no segment exists yet.
+    #[inline]
+    fn rel(&mut self, addr: u64) -> u32 {
+        if let Some(seg) = self.segs.last() {
+            // Wrapping: region bases may sit near u64::MAX; instruction
+            // addresses are base + offset modulo 2^64, so the wrapping
+            // difference recovers the in-region offset.
+            let delta = addr.wrapping_sub(seg.base);
+            if delta <= u64::from(u32::MAX) {
+                return delta as u32;
+            }
+        }
+        self.segs.push(Seg { first: self.offs.len(), base: addr });
+        0
+    }
+
+    /// Appends one instruction. The address must be at or after the
+    /// current segment's base (streams are built in address order).
+    #[inline]
+    pub fn push(&mut self, insn: Insn) {
+        let (tag, target) = tag_of(insn.kind);
+        self.push_parts(insn.addr, insn.len, tag, target.unwrap_or(0));
+    }
+
+    /// Appends one instruction already in packed form — the sweep hot
+    /// loop's entry point, skipping the [`InsnKind`] round-trip.
+    /// `target` is consulted only when the tag carries one.
+    #[inline]
+    pub(crate) fn push_parts(&mut self, addr: u64, len: u8, tag: u8, target: u64) {
+        let off = self.rel(addr);
+        self.offs.push(off);
+        self.lens.push(len);
+        self.tags.push(tag);
+        if has_target(tag) {
+            self.tgt_idx.push(self.offs.len() - 1);
+            self.tgt_val.push(target);
+        }
+    }
+
+    /// Bulk-appends a run of `n` one-byte instructions of kind `kind`
+    /// starting at `addr` — the padding run-skipper's fast append for
+    /// `NOP`/`INT3` pads.
+    pub fn push_run(&mut self, addr: u64, n: usize, kind: InsnKind) {
+        let (tag, target) = tag_of(kind);
+        debug_assert!(target.is_none(), "run kinds carry no payload");
+        let off0 = self.rel(addr);
+        if let Some(end) = off0.checked_add(u32::try_from(n).unwrap_or(u32::MAX)) {
+            self.offs.extend(off0..end);
+            self.lens.extend(std::iter::repeat_n(1, n));
+            self.tags.extend(std::iter::repeat_n(tag, n));
+            return;
+        }
+        // Offsets would cross the u32 segment limit: fall back to the
+        // per-instruction path, which opens overflow segments as needed.
+        for k in 0..n as u64 {
+            self.push(Insn { addr: addr.wrapping_add(k), len: 1, kind });
+        }
+    }
+
+    /// Segment index owning instruction `i`.
+    #[inline]
+    fn seg_of(&self, i: usize) -> usize {
+        debug_assert!(!self.segs.is_empty());
+        self.segs.partition_point(|s| s.first <= i) - 1
+    }
+
+    /// Address of instruction `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`, like slice indexing.
+    #[inline]
+    pub fn addr_at(&self, i: usize) -> u64 {
+        let seg = self.segs[self.seg_of(i)];
+        seg.base.wrapping_add(u64::from(self.offs[i]))
+    }
+
+    /// Length in bytes of instruction `i`.
+    #[inline]
+    pub fn len_at(&self, i: usize) -> u8 {
+        self.lens[i]
+    }
+
+    /// Address one past instruction `i` (modulo 2^64).
+    #[inline]
+    pub fn end_at(&self, i: usize) -> u64 {
+        self.addr_at(i).wrapping_add(u64::from(self.lens[i]))
+    }
+
+    /// Branch target of instruction `i`, if it is a direct branch.
+    #[inline]
+    fn target_at(&self, i: usize) -> u64 {
+        match self.tgt_idx.binary_search(&i) {
+            Ok(t) => self.tgt_val[t],
+            // invariant: push() records a side entry for every
+            // direct-branch tag, so a targetless lookup cannot happen.
+            Err(_) => 0,
+        }
+    }
+
+    /// Classification of instruction `i`.
+    #[inline]
+    pub fn kind_at(&self, i: usize) -> InsnKind {
+        let tag = self.tags[i];
+        let target = if has_target(tag) { self.target_at(i) } else { 0 };
+        kind_from(tag, target)
+    }
+
+    /// Instruction `i` as the legacy value type.
+    pub fn get(&self, i: usize) -> Insn {
+        Insn { addr: self.addr_at(i), len: self.lens[i], kind: self.kind_at(i) }
+    }
+
+    /// Number of instructions whose address is `< addr` — the packed
+    /// equivalent of `insns.partition_point(|i| i.addr < addr)`.
+    ///
+    /// Requires the stream to be address-sorted, which every sweep
+    /// product is (regions are swept in address order).
+    pub fn partition_point_addr(&self, addr: u64) -> usize {
+        let (mut lo, mut hi) = (0usize, self.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.addr_at(mid) < addr {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Index of the instruction starting exactly at `addr`, if any.
+    pub fn index_of_addr(&self, addr: u64) -> Option<usize> {
+        let i = self.partition_point_addr(addr);
+        (i < self.len() && self.addr_at(i) == addr).then_some(i)
+    }
+
+    /// Iterates the whole stream as [`Insn`] values, O(1) per item.
+    pub fn iter(&self) -> Insns<'_> {
+        self.iter_from(0)
+    }
+
+    /// Iterates from instruction index `start` to the end.
+    pub fn iter_from(&self, start: usize) -> Insns<'_> {
+        self.slice(start, self.len())
+    }
+
+    /// Iterates the instructions whose addresses fall in `[lo, hi)`.
+    pub fn range(&self, lo: u64, hi: u64) -> Insns<'_> {
+        self.slice(self.partition_point_addr(lo), self.partition_point_addr(hi))
+    }
+
+    /// Iterator over `[start, end)` instruction indices.
+    fn slice(&self, start: usize, end: usize) -> Insns<'_> {
+        let start = start.min(self.len());
+        let end = end.clamp(start, self.len());
+        Insns {
+            stream: self,
+            i: start,
+            end,
+            seg: if start < self.len() { self.seg_of(start) } else { 0 },
+            tgt: self.tgt_idx.partition_point(|&t| t < start),
+        }
+    }
+
+    /// Indices of `PUSH r` instructions pushing register `reg` — a
+    /// tag-array scan touching one byte per instruction, for the
+    /// prologue-pattern passes.
+    pub fn push_reg_indices(&self, reg: u8) -> impl Iterator<Item = usize> + '_ {
+        let tag = TAG_PUSH + (reg & 0x0f);
+        self.tags.iter().enumerate().filter(move |&(_, &t)| t == tag).map(|(i, _)| i)
+    }
+
+    /// Appends a copy of `other`, preserving its segmentation — used to
+    /// concatenate per-region sweeps into one per-binary stream.
+    pub fn append(&mut self, other: &InsnStream) {
+        let idx0 = self.offs.len();
+        for s in &other.segs {
+            self.segs.push(Seg { first: s.first + idx0, base: s.base });
+        }
+        self.offs.extend_from_slice(&other.offs);
+        self.lens.extend_from_slice(&other.lens);
+        self.tags.extend_from_slice(&other.tags);
+        self.tgt_idx.extend(other.tgt_idx.iter().map(|&i| i + idx0));
+        self.tgt_val.extend_from_slice(&other.tgt_val);
+    }
+
+    /// Collects the stream into the legacy `Vec<Insn>` form (tests,
+    /// debugging; the hot paths never do this).
+    pub fn to_insns(&self) -> Vec<Insn> {
+        self.iter().collect()
+    }
+
+    /// Approximate heap footprint in bytes — the packed arrays plus the
+    /// side table.
+    pub fn packed_bytes(&self) -> usize {
+        self.offs.len() * 6 + self.tgt_idx.len() * 16 + self.segs.len() * 16
+    }
+
+    /// Binary search of the packed offset array within the single-segment
+    /// invariant the sharded sweep maintains — used by the stitch to find
+    /// the resynchronization point.
+    pub(crate) fn search_off(&self, off: u32) -> Result<usize, usize> {
+        self.offs.binary_search(&off)
+    }
+
+    /// Splices the tail of a single-segment `chain` (from instruction
+    /// index `from`) onto `self`. Both streams must share the same single
+    /// segment base — the sharded sweep's stitch invariant.
+    pub(crate) fn splice_tail(&mut self, chain: &InsnStream, from: usize) {
+        debug_assert!(self.segs.len() == 1 && chain.segs.len() == 1);
+        debug_assert_eq!(self.segs[0].base, chain.segs[0].base);
+        let idx0 = self.offs.len();
+        self.offs.extend_from_slice(&chain.offs[from..]);
+        self.lens.extend_from_slice(&chain.lens[from..]);
+        self.tags.extend_from_slice(&chain.tags[from..]);
+        let t0 = chain.tgt_idx.partition_point(|&i| i < from);
+        self.tgt_idx.extend(chain.tgt_idx[t0..].iter().map(|&i| i - from + idx0));
+        self.tgt_val.extend_from_slice(&chain.tgt_val[t0..]);
+    }
+}
+
+impl<'a> IntoIterator for &'a InsnStream {
+    type Item = Insn;
+    type IntoIter = Insns<'a>;
+
+    fn into_iter(self) -> Insns<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator reconstructing [`Insn`] values from the packed arrays.
+///
+/// Keeps a segment cursor and a side-table cursor so each step is O(1):
+/// no binary searches in the loop.
+#[derive(Debug, Clone)]
+pub struct Insns<'a> {
+    stream: &'a InsnStream,
+    i: usize,
+    end: usize,
+    seg: usize,
+    tgt: usize,
+}
+
+impl Iterator for Insns<'_> {
+    type Item = Insn;
+
+    fn next(&mut self) -> Option<Insn> {
+        if self.i >= self.end {
+            return None;
+        }
+        let s = self.stream;
+        let i = self.i;
+        while self.seg + 1 < s.segs.len() && s.segs[self.seg + 1].first <= i {
+            self.seg += 1;
+        }
+        let tag = s.tags[i];
+        let target = if has_target(tag) {
+            while self.tgt < s.tgt_idx.len() && s.tgt_idx[self.tgt] < i {
+                self.tgt += 1;
+            }
+            // invariant: every direct-branch tag has a side entry at
+            // exactly index i, so the cursor lands on it.
+            debug_assert!(self.tgt < s.tgt_idx.len() && s.tgt_idx[self.tgt] == i);
+            let v = s.tgt_val.get(self.tgt).copied().unwrap_or(0);
+            self.tgt += 1;
+            v
+        } else {
+            0
+        };
+        self.i += 1;
+        Some(Insn {
+            addr: s.segs[self.seg].base.wrapping_add(u64::from(s.offs[i])),
+            len: s.lens[i],
+            kind: kind_from(tag, target),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.end - self.i;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Insns<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Vec<Insn>, InsnStream) {
+        let insns = vec![
+            Insn { addr: 0x1000, len: 4, kind: InsnKind::Endbr64 },
+            Insn { addr: 0x1004, len: 1, kind: InsnKind::PushReg { reg: 13 } },
+            Insn { addr: 0x1005, len: 5, kind: InsnKind::CallRel { target: 0x2000 } },
+            Insn { addr: 0x100a, len: 2, kind: InsnKind::Jcc { target: 0x1000 } },
+            Insn { addr: 0x100c, len: 3, kind: InsnKind::Other },
+            Insn { addr: 0x100f, len: 2, kind: InsnKind::JmpInd { notrack: true } },
+            Insn { addr: 0x1011, len: 1, kind: InsnKind::Ret },
+        ];
+        let mut s = InsnStream::new();
+        s.begin_segment(0x1000);
+        for &i in &insns {
+            s.push(i);
+        }
+        (insns, s)
+    }
+
+    #[test]
+    fn round_trips_every_kind() {
+        let (insns, s) = sample();
+        assert_eq!(s.len(), insns.len());
+        assert_eq!(s.to_insns(), insns);
+        for (i, &want) in insns.iter().enumerate() {
+            assert_eq!(s.get(i), want, "index {i}");
+            assert_eq!(s.addr_at(i), want.addr);
+            assert_eq!(s.len_at(i), want.len);
+            assert_eq!(s.end_at(i), want.end());
+            assert_eq!(s.kind_at(i), want.kind);
+        }
+    }
+
+    #[test]
+    fn tag_payload_round_trip_is_total() {
+        // Every InsnKind variant survives the tag encoding.
+        let kinds = [
+            InsnKind::Other,
+            InsnKind::Endbr64,
+            InsnKind::Endbr32,
+            InsnKind::Ret,
+            InsnKind::Leave,
+            InsnKind::Nop,
+            InsnKind::Int3,
+            InsnKind::Ud2,
+            InsnKind::Hlt,
+            InsnKind::CallInd { notrack: false },
+            InsnKind::CallInd { notrack: true },
+            InsnKind::JmpInd { notrack: false },
+            InsnKind::JmpInd { notrack: true },
+            InsnKind::CallRel { target: 0xdead_beef },
+            InsnKind::JmpRel { target: 1 },
+            InsnKind::Jcc { target: u64::MAX },
+        ];
+        for kind in kinds.into_iter().chain((0..16).map(|reg| InsnKind::PushReg { reg })) {
+            let (tag, t) = tag_of(kind);
+            assert_eq!(kind_from(tag, t.unwrap_or(0)), kind, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn binary_search_accessors() {
+        let (insns, s) = sample();
+        assert_eq!(s.partition_point_addr(0), 0);
+        assert_eq!(s.partition_point_addr(0x1005), 2);
+        assert_eq!(s.partition_point_addr(0x1006), 3);
+        assert_eq!(s.partition_point_addr(u64::MAX), insns.len());
+        assert_eq!(s.index_of_addr(0x100a), Some(3));
+        assert_eq!(s.index_of_addr(0x100b), None);
+        let mid: Vec<_> = s.range(0x1004, 0x100c).collect();
+        assert_eq!(mid, insns[1..4].to_vec());
+        let from: Vec<_> = s.iter_from(5).collect();
+        assert_eq!(from, insns[5..].to_vec());
+    }
+
+    #[test]
+    fn push_reg_scan_finds_only_matching_registers() {
+        let (_, s) = sample();
+        assert_eq!(s.push_reg_indices(13).collect::<Vec<_>>(), vec![1]);
+        assert!(s.push_reg_indices(5).next().is_none());
+    }
+
+    #[test]
+    fn multi_segment_append_preserves_addresses() {
+        let (_, a) = sample();
+        let mut b = InsnStream::new();
+        b.begin_segment(0x9000);
+        b.push(Insn { addr: 0x9000, len: 1, kind: InsnKind::Ret });
+        b.push(Insn { addr: 0x9001, len: 5, kind: InsnKind::JmpRel { target: 0x9000 } });
+        let mut all = InsnStream::new();
+        all.append(&a);
+        all.append(&b);
+        assert_eq!(all.len(), a.len() + 2);
+        assert_eq!(all.addr_at(a.len()), 0x9000);
+        assert_eq!(all.kind_at(a.len() + 1), InsnKind::JmpRel { target: 0x9000 });
+        assert_eq!(all.index_of_addr(0x9001), Some(a.len() + 1));
+        // Iteration crosses the segment boundary seamlessly.
+        let got: Vec<_> = all.iter().map(|i| i.addr).collect();
+        let mut want: Vec<_> = a.iter().map(|i| i.addr).collect();
+        want.extend([0x9000, 0x9001]);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn push_run_matches_individual_pushes() {
+        let mut bulk = InsnStream::new();
+        bulk.begin_segment(0x500);
+        bulk.push(Insn { addr: 0x500, len: 1, kind: InsnKind::Ret });
+        bulk.push_run(0x501, 40, InsnKind::Nop);
+        let mut single = InsnStream::new();
+        single.begin_segment(0x500);
+        single.push(Insn { addr: 0x500, len: 1, kind: InsnKind::Ret });
+        for k in 0..40 {
+            single.push(Insn { addr: 0x501 + k, len: 1, kind: InsnKind::Nop });
+        }
+        assert_eq!(bulk, single);
+    }
+
+    #[test]
+    fn wrapping_base_near_u64_max() {
+        let mut s = InsnStream::new();
+        s.begin_segment(u64::MAX - 1);
+        s.push(Insn { addr: u64::MAX - 1, len: 1, kind: InsnKind::Nop });
+        s.push(Insn { addr: u64::MAX, len: 1, kind: InsnKind::Nop });
+        s.push(Insn { addr: 0, len: 1, kind: InsnKind::Ret }); // wrapped
+        assert_eq!(s.addr_at(2), 0);
+        assert_eq!(s.get(2).kind, InsnKind::Ret);
+    }
+
+    #[test]
+    fn empty_stream_is_well_behaved() {
+        let s = InsnStream::new();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.partition_point_addr(123), 0);
+        assert_eq!(s.index_of_addr(123), None);
+        assert_eq!(s.range(0, u64::MAX).count(), 0);
+        assert_eq!(s.to_insns(), Vec::new());
+    }
+
+    #[test]
+    fn packed_layout_is_six_bytes_per_insn() {
+        // The headline claim: 6 packed bytes per instruction vs 32 for
+        // the value type.
+        assert_eq!(std::mem::size_of::<Insn>(), 32);
+        let mut s = InsnStream::new();
+        s.begin_segment(0);
+        for k in 0..1000u64 {
+            s.push(Insn { addr: k, len: 1, kind: InsnKind::Other });
+        }
+        assert_eq!(s.packed_bytes(), 1000 * 6 + 16);
+    }
+}

@@ -6,24 +6,35 @@
 use funseeker_corpus::{
     compile, Arch, BuildConfig, Compiler, FunctionSpec, Lang, OptLevel, ProgramSpec,
 };
-use funseeker_disasm::{par_sweep, sweep_all, Mode};
+use funseeker_disasm::{par_sweep, sweep_all, LinearSweep, Mode};
 use funseeker_elf::Elf;
 use proptest::prelude::*;
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 7];
 
-/// Asserts the invariant for one buffer under every shard count.
+/// Asserts the invariant for one buffer under every shard count, and that
+/// the packed [`funseeker_disasm::InsnStream`] round-trips to the exact
+/// instruction sequence the reference [`LinearSweep`] iterator yields.
 fn assert_shard_invariant(
     code: &[u8],
     base: u64,
     mode: Mode,
 ) -> Result<(), proptest::TestCaseError> {
+    let mut reference = LinearSweep::new(code, base, mode);
+    let ref_insns: Vec<_> = reference.by_ref().collect();
     let seq = sweep_all(code, base, mode);
+    prop_assert_eq!(
+        &seq.to_insns(),
+        &ref_insns,
+        "packed stream diverges from the LinearSweep reference ({} bytes)",
+        code.len()
+    );
+    prop_assert_eq!(seq.error_count, reference.error_count(), "sequential error count");
     for shards in SHARD_COUNTS {
         let par = par_sweep(code, base, mode, shards);
         prop_assert_eq!(
-            &par.insns,
-            &seq.insns,
+            &par.stream,
+            &seq.stream,
             "instruction stream diverges at {} shards ({} bytes)",
             shards,
             code.len()

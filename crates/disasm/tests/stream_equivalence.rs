@@ -1,0 +1,129 @@
+//! Equivalence tests for the packed instruction stream and the padding
+//! run-skipper.
+//!
+//! The packed [`InsnStream`] must be a lossless re-encoding of the
+//! sequence the reference [`LinearSweep`] iterator yields — same
+//! addresses, lengths, kinds, branch targets — through every accessor
+//! (iteration, indexing, ranged views, binary search). And the bulk
+//! `NOP`/`INT3` run-skipper must agree with one-at-a-time decoding even
+//! when pad runs straddle shard boundaries.
+
+use funseeker_disasm::{par_sweep, sweep_all, Insn, LinearSweep, Mode};
+use proptest::prelude::*;
+
+/// Matches `MIN_SHARD_BYTES` in `par.rs`: shard boundaries fall every
+/// `len / shards >= 4096` bytes, so pads longer than that must straddle.
+const SHARD_SPAN: usize = 4096;
+
+fn reference(code: &[u8], base: u64, mode: Mode) -> (Vec<Insn>, usize) {
+    let mut sweep = LinearSweep::new(code, base, mode);
+    let insns: Vec<Insn> = sweep.by_ref().collect();
+    (insns, sweep.error_count())
+}
+
+/// Exhaustive accessor check of one swept stream against the reference.
+fn assert_stream_matches(code: &[u8], base: u64, mode: Mode) {
+    let (want, want_errors) = reference(code, base, mode);
+    let out = sweep_all(code, base, mode);
+    let s = &out.stream;
+    assert_eq!(out.error_count, want_errors, "error count");
+    assert_eq!(s.len(), want.len(), "length");
+    assert_eq!(s.iter().collect::<Vec<_>>(), want, "iterator");
+    for (i, w) in want.iter().enumerate() {
+        assert_eq!(s.get(i), *w, "get({i})");
+        assert_eq!(s.addr_at(i), w.addr, "addr_at({i})");
+        assert_eq!(s.len_at(i), w.len, "len_at({i})");
+        assert_eq!(s.kind_at(i), w.kind, "kind_at({i})");
+        assert_eq!(s.index_of_addr(w.addr), Some(i), "index_of_addr({:#x})", w.addr);
+    }
+    // Ranged views agree with slicing the reference by address.
+    if let (Some(first), Some(last)) = (want.first(), want.last()) {
+        let lo = first.addr.wrapping_add(1);
+        let hi = last.addr;
+        let got: Vec<_> = s.range(lo, hi).collect();
+        let want_range: Vec<_> =
+            want.iter().copied().filter(|i| i.addr >= lo && i.addr < hi).collect();
+        assert_eq!(got, want_range, "range({lo:#x}, {hi:#x})");
+    }
+}
+
+#[test]
+fn pad_runs_crossing_shard_boundaries_match_one_at_a_time() {
+    // NOP and INT3 runs longer than a shard span, so every shard boundary
+    // lands inside a run: the per-shard capped bulk skip must reproduce
+    // what one-at-a-time decoding of the same bytes yields.
+    let mut code = Vec::new();
+    for block in 0..6 {
+        code.extend_from_slice(&[0xf3, 0x0f, 0x1e, 0xfa, 0x55, 0xc3]); // endbr64; push rbp; ret
+        let pad = if block % 2 == 0 { 0x90 } else { 0xcc };
+        code.extend(std::iter::repeat_n(pad, SHARD_SPAN + 123));
+    }
+    let (want, want_errors) = reference(&code, 0x40_0000, Mode::Bits64);
+    for shards in [1, 2, 3, 5, 8, 16] {
+        let par = par_sweep(&code, 0x40_0000, Mode::Bits64, shards);
+        assert_eq!(par.to_insns(), want, "{shards} shards");
+        assert_eq!(par.error_count, want_errors, "{shards} shards");
+    }
+    assert_stream_matches(&code, 0x40_0000, Mode::Bits64);
+}
+
+#[test]
+fn alternating_pad_bytes_defeat_the_run_skipper_gracefully() {
+    // 90 CC 90 CC ... : every "run" has length one, so the skipper never
+    // fires and the ordinary decode path must produce the same stream.
+    let code: Vec<u8> = (0..SHARD_SPAN * 3).map(|i| if i % 2 == 0 { 0x90 } else { 0xcc }).collect();
+    assert_stream_matches(&code, 0x1000, Mode::Bits64);
+    let (want, _) = reference(&code, 0x1000, Mode::Bits64);
+    let par = par_sweep(&code, 0x1000, Mode::Bits64, 4);
+    assert_eq!(par.to_insns(), want);
+}
+
+#[test]
+fn run_truncated_by_end_of_region() {
+    // A pad run that runs off the end of the buffer, in both modes.
+    let mut code = vec![0xc3];
+    code.extend(std::iter::repeat_n(0x90, 300));
+    assert_stream_matches(&code, 0, Mode::Bits64);
+    assert_stream_matches(&code, 0, Mode::Bits32);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random byte soups, both modes: the packed stream's accessors must
+    /// reproduce the reference sweep exactly.
+    #[test]
+    fn stream_round_trips_byte_soup(
+        code in proptest::collection::vec(any::<u8>(), 0..6_000),
+        wide in any::<bool>(),
+        base in any::<u64>(),
+    ) {
+        let mode = if wide { Mode::Bits64 } else { Mode::Bits32 };
+        assert_stream_matches(&code, base, mode);
+    }
+
+    /// Pad-heavy soups: interleave random code with random-length NOP and
+    /// INT3 runs so the run-skipper fires constantly, and compare the
+    /// sharded sweeps against the one-at-a-time reference.
+    #[test]
+    fn run_skipper_agrees_on_padded_soup(
+        chunks in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 0..40), 0usize..200, any::<bool>()),
+            1..40,
+        ),
+        shards in 1usize..8,
+    ) {
+        let mut code = Vec::new();
+        for (bytes, pad_len, nop) in &chunks {
+            code.extend_from_slice(bytes);
+            code.extend(std::iter::repeat_n(if *nop { 0x90u8 } else { 0xcc }, *pad_len));
+        }
+        let (want, want_errors) = reference(&code, 0x1000, Mode::Bits64);
+        let seq = sweep_all(&code, 0x1000, Mode::Bits64);
+        prop_assert_eq!(&seq.to_insns(), &want);
+        prop_assert_eq!(seq.error_count, want_errors);
+        let par = par_sweep(&code, 0x1000, Mode::Bits64, shards);
+        prop_assert_eq!(&par.stream, &seq.stream);
+        prop_assert_eq!(par.error_count, want_errors);
+    }
+}

@@ -2,7 +2,15 @@
 //!
 //! ```text
 //! experiments <table1|table2|table3|fig3|failures|by-opt|manual-endbr|arm|robustness|all> [--seed N] [--scale tiny|default|large] [--csv]
+//! experiments perf [--quick] [--json FILE [--label NAME]] [--check FILE]
 //! ```
+//!
+//! The `perf` subcommand measures sweep throughput and per-stage
+//! counters on a deterministic tiled corpus (no full corpus generation):
+//! `--json FILE` appends the run to a `BENCH_sweep.json` trajectory,
+//! `--check FILE` exits non-zero when sequential throughput drops below
+//! 70 % of the file's newest committed entry, and `--quick` shrinks the
+//! input for CI smoke use.
 
 use std::time::Instant;
 
@@ -10,9 +18,73 @@ use funseeker_corpus::{Dataset, DatasetParams};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <table1|table2|table3|fig3|failures|by-opt|manual-endbr|arm|robustness|all> [--seed N] [--scale tiny|default|large] [--csv]"
+        "usage: experiments <table1|table2|table3|fig3|failures|by-opt|manual-endbr|arm|robustness|all> [--seed N] [--scale tiny|default|large] [--csv]\n\
+         \x20      experiments perf [--quick] [--json FILE [--label NAME]] [--check FILE]"
     );
     std::process::exit(2);
+}
+
+/// Fraction of the committed sequential throughput a fresh `perf
+/// --check` run must reach — fail on a >30 % regression.
+const PERF_CHECK_MIN_RATIO: f64 = 0.7;
+
+fn run_perf(args: &[String]) -> ! {
+    let mut quick = false;
+    let mut json: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut label = "run".to_owned();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--json" => {
+                i += 1;
+                json = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--check" => {
+                i += 1;
+                check = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--label" => {
+                i += 1;
+                label = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    eprintln!("measuring sweep throughput ({} mode)…", if quick { "quick" } else { "full" });
+    let report = funseeker_eval::perf::run(quick);
+    println!("## Sweep performance\n");
+    println!("{}", report.render());
+
+    if let Some(path) = json {
+        let existing = std::fs::read_to_string(&path).ok();
+        let doc = report.append_to_document(existing.as_deref(), &label);
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("perf: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("perf: appended entry {label:?} to {path}");
+    }
+    if let Some(path) = check {
+        let committed = match std::fs::read_to_string(&path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("perf: cannot read baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match funseeker_eval::perf::check_against(&committed, &report, PERF_CHECK_MIN_RATIO) {
+            Ok(msg) => eprintln!("perf check OK: {msg}"),
+            Err(msg) => {
+                eprintln!("perf check FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+    std::process::exit(0)
 }
 
 fn main() {
@@ -21,6 +93,11 @@ fn main() {
         usage();
     }
     let what = args[0].clone();
+    if what == "perf" {
+        // Perf builds its own deterministic tiled input — skip the
+        // corpus generation below entirely.
+        run_perf(&args[1..]);
+    }
     let mut seed = 2022u64; // the paper's year, for a stable default
     let mut scale = "default".to_owned();
     let mut csv = false;

@@ -7,6 +7,7 @@
 //! * [`table2`] — configuration ablation ①–④ (Table II),
 //! * [`table3`] — tool comparison incl. timing (Table III),
 //! * [`failures`] — FN/FP breakdown (§V-C),
+//! * [`perf`] — sweep throughput + per-stage counters (`BENCH_sweep.json`),
 //! * [`manual_endbr`] — the §VI `-mmanual-endbr` ablation,
 //! * [`robustness`] — hostile-input mutation campaign (extension).
 //!
@@ -26,6 +27,7 @@ pub mod fig3;
 pub mod groundtruth;
 pub mod manual_endbr;
 pub mod metrics;
+pub mod perf;
 pub mod report;
 pub mod robustness;
 pub mod runner;

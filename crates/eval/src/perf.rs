@@ -1,0 +1,368 @@
+//! Sweep performance measurement — the `experiments -- perf` subcommand.
+//!
+//! Builds a deterministic benchmark input (the largest x86-64 GCC binary
+//! of a tiny corpus, its `.text` tiled to a few MiB), times the
+//! sequential and sharded sweeps plus the full `prepare()` pipeline on
+//! it, and reports per-stage counters from [`SweepStats`]. The numbers
+//! can be emitted as a machine-readable JSON *trajectory* file
+//! (`BENCH_sweep.json`): each run appends an entry, so the committed
+//! file records how sweep throughput evolved across changes, and CI can
+//! fail a run whose throughput regresses against the last committed
+//! entry (see [`check_against`]).
+//!
+//! Everything here is hand-rolled line-oriented JSON — the workspace has
+//! no serde — and the parser in [`last_mb_per_s`] only needs to find the
+//! newest `"mb_per_s"` value for a label, so it reads the file as lines,
+//! not as a JSON tree.
+
+use std::time::Instant;
+
+use funseeker::prepare;
+use funseeker_corpus::{Arch, BuildConfig, Compiler, Dataset, DatasetParams};
+use funseeker_disasm::{par_sweep, sweep_all, Mode, SweepStats};
+use funseeker_elf::Elf;
+
+/// Seed for the benchmark corpus — fixed so every run times the same
+/// bytes (shared with the criterion benches' dataset seed).
+const SEED: u64 = 0xBE7C4;
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct PerfRow {
+    /// Configuration name (`sequential`, `shard4`, `prepare`, …).
+    pub label: String,
+    /// Best-of-N wall time in milliseconds.
+    pub ms: f64,
+    /// Throughput over the tiled text, MiB per second.
+    pub mb_per_s: f64,
+    /// Stage counters from the measured run.
+    pub stats: SweepStats,
+}
+
+/// The full measurement: the input description plus one row per
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Bytes of tiled `.text` swept per measurement.
+    pub bytes: usize,
+    /// Repetitions per row (the minimum is reported).
+    pub reps: usize,
+    /// Measured configurations.
+    pub rows: Vec<PerfRow>,
+}
+
+/// Builds the benchmark input: the tiny corpus's largest x86-64 GCC
+/// `.text`, tiled up to `target` bytes.
+fn tiled_text(target: usize) -> (Vec<u8>, u64, Mode) {
+    let mut params = DatasetParams::tiny();
+    params.programs = (3, 2, 3);
+    params.configs = BuildConfig::grid();
+    let ds = Dataset::generate(&params, SEED);
+    let bin = ds
+        .binaries
+        .into_iter()
+        .filter(|b| b.config.arch == Arch::X64 && b.config.compiler == Compiler::Gcc)
+        .max_by_key(|b| b.bytes.len())
+        .expect("benchmark dataset is non-empty");
+    let elf = Elf::parse(&bin.bytes).expect("benchmark binary parses");
+    let (_, text) = elf.section_bytes(".text").expect("benchmark binary has .text");
+    let mut code = Vec::with_capacity(target + text.len());
+    while code.len() < target {
+        code.extend_from_slice(text);
+    }
+    (code, 0x40_1000, bin.config.arch.mode())
+}
+
+/// Times `f` `reps` times and returns the minimum wall time in seconds
+/// plus the stats of the final run.
+fn best_of(reps: usize, mut f: impl FnMut() -> SweepStats) -> (f64, SweepStats) {
+    let mut best = f64::MAX;
+    let mut stats = SweepStats::default();
+    for _ in 0..reps {
+        let t = Instant::now();
+        stats = f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, stats)
+}
+
+/// Runs the measurement. `quick` shrinks the input and repetition count
+/// for CI smoke use (a couple of seconds instead of tens).
+pub fn run(quick: bool) -> PerfReport {
+    let target = if quick { 2 << 20 } else { 4 << 20 };
+    let reps = if quick { 3 } else { 7 };
+    let (code, base, mode) = tiled_text(target);
+    let mb = code.len() as f64 / (1024.0 * 1024.0);
+
+    // Warm-up: fault in the buffer, initialize the worker pool.
+    let _ = par_sweep(&code, base, mode, 2).stream.len();
+
+    let mut rows = Vec::new();
+    let mut push = |label: &str, best: f64, stats: SweepStats| {
+        rows.push(PerfRow { label: label.to_owned(), ms: best * 1e3, mb_per_s: mb / best, stats });
+    };
+
+    let (best, stats) = best_of(reps, || {
+        let out = sweep_all(&code, base, mode);
+        std::hint::black_box(out.stream.len());
+        out.stats
+    });
+    push("sequential", best, stats);
+
+    for shards in [2usize, 4, 8] {
+        let (best, stats) = best_of(reps, || {
+            let out = par_sweep(&code, base, mode, shards);
+            std::hint::black_box(out.stream.len());
+            out.stats
+        });
+        push(&format!("shard{shards}"), best, stats);
+    }
+
+    // End-to-end: ELF parse + sweep + index build over a wrapped image.
+    // Reuses the corpus binary rather than the tiled buffer (prepare
+    // needs a whole ELF), so its MB/s is relative to that binary's text.
+    let mut params = DatasetParams::tiny();
+    params.programs = (3, 2, 3);
+    params.configs = BuildConfig::grid();
+    let ds = Dataset::generate(&params, SEED);
+    let bin = ds
+        .binaries
+        .into_iter()
+        .filter(|b| b.config.arch == Arch::X64 && b.config.compiler == Compiler::Gcc)
+        .max_by_key(|b| b.bytes.len())
+        .expect("benchmark dataset is non-empty");
+    let text_bytes = {
+        let elf = Elf::parse(&bin.bytes).expect("parses");
+        elf.section_bytes(".text").map(|(_, t)| t.len()).unwrap_or(0)
+    };
+    let mut best = f64::MAX;
+    let mut stats = SweepStats::default();
+    for _ in 0..reps {
+        let t = Instant::now();
+        let p = prepare(&bin.bytes).expect("benchmark binary prepares");
+        stats = *p.sweep_stats();
+        std::hint::black_box(p.index.insns.len());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    rows.push(PerfRow {
+        label: "prepare".to_owned(),
+        ms: best * 1e3,
+        mb_per_s: text_bytes as f64 / (1024.0 * 1024.0) / best,
+        stats,
+    });
+
+    PerfReport { bytes: code.len(), reps, rows }
+}
+
+impl PerfReport {
+    /// Human-readable per-stage report.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "tiled .text: {:.1} MiB, best of {} runs\n\n",
+            self.bytes as f64 / (1024.0 * 1024.0),
+            self.reps
+        ));
+        s.push_str(&format!(
+            "{:<12} {:>9} {:>9} {:>7} {:>10} {:>10} {:>9} {:>9}\n",
+            "config", "ms", "MB/s", "shards", "insns", "fast-path", "decode", "stitch"
+        ));
+        for r in &self.rows {
+            s.push_str(&format!(
+                "{:<12} {:>9.2} {:>9.1} {:>7} {:>10} {:>9.1}% {:>8.2}ms {:>7.2}ms\n",
+                r.label,
+                r.ms,
+                r.mb_per_s,
+                r.stats.shards,
+                r.stats.insns,
+                r.stats.fast_path_rate() * 100.0,
+                r.stats.decode_ns as f64 / 1e6,
+                r.stats.stitch_ns as f64 / 1e6,
+            ));
+        }
+        s
+    }
+
+    /// The trajectory entry for this run, as a JSON object literal.
+    ///
+    /// `label` names the code state being measured (e.g. `pre`, `post`,
+    /// a short description of a change).
+    pub fn json_entry(&self, label: &str) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "    {{\"label\": {:?}, \"bytes\": {}, \"reps\": {}, \"rows\": [\n",
+            label, self.bytes, self.reps
+        ));
+        for (i, r) in self.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{\"config\": {:?}, \"ms\": {:.3}, \"mb_per_s\": {:.1}, \
+                 \"fast_path_rate\": {:.4}, \"insns\": {}}}{}\n",
+                r.label,
+                r.ms,
+                r.mb_per_s,
+                r.stats.fast_path_rate(),
+                r.stats.insns,
+                if i + 1 < self.rows.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("    ]}");
+        s
+    }
+
+    /// Wraps [`PerfReport::json_entry`] values into a complete
+    /// `BENCH_sweep.json` document.
+    pub fn json_document(entries: &[String]) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": \"funseeker-bench-sweep-v1\",\n  \"entries\": [\n");
+        s.push_str(&entries.join(",\n"));
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+
+    /// Appends this run as a new entry to an existing document (or
+    /// starts a fresh one when `existing` is `None`/unparsable).
+    pub fn append_to_document(&self, existing: Option<&str>, label: &str) -> String {
+        let mut entries = existing.map(extract_entries).unwrap_or_default();
+        entries.push(self.json_entry(label));
+        Self::json_document(&entries)
+    }
+}
+
+/// Pulls the raw entry objects back out of a document written by
+/// [`PerfReport::json_document`] — line-oriented: entries start at
+/// `    {"label":` and end at `    ]}`.
+fn extract_entries(doc: &str) -> Vec<String> {
+    let mut entries = Vec::new();
+    let mut current: Option<String> = None;
+    for line in doc.lines() {
+        if line.starts_with("    {\"label\":") {
+            current = Some(line.trim_end_matches(',').to_owned());
+        } else if let Some(cur) = current.as_mut() {
+            cur.push('\n');
+            cur.push_str(line.trim_end_matches(','));
+            if line.trim_start().starts_with("]}") {
+                entries.push(current.take().expect("current entry exists"));
+            }
+        }
+    }
+    entries
+}
+
+/// The newest `mb_per_s` recorded for `config` in a committed
+/// `BENCH_sweep.json`, if any.
+pub fn last_mb_per_s(doc: &str, config: &str) -> Option<f64> {
+    let needle = format!("\"config\": {config:?}");
+    let mut last = None;
+    for line in doc.lines() {
+        if !line.contains(&needle) {
+            continue;
+        }
+        let (_, rest) = line.split_once("\"mb_per_s\": ")?;
+        let num: String =
+            rest.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+        if let Ok(v) = num.parse::<f64>() {
+            last = Some(v);
+        }
+    }
+    last
+}
+
+/// CI regression gate: compares the fresh report's sequential throughput
+/// against the newest committed entry, failing if it fell below
+/// `min_ratio` (e.g. `0.7` = fail on a >30 % regression).
+pub fn check_against(
+    committed: &str,
+    fresh: &PerfReport,
+    min_ratio: f64,
+) -> Result<String, String> {
+    let Some(baseline) = last_mb_per_s(committed, "sequential") else {
+        return Err("committed BENCH_sweep.json has no sequential entry".into());
+    };
+    let Some(now) = fresh.rows.iter().find(|r| r.label == "sequential") else {
+        return Err("fresh measurement has no sequential row".into());
+    };
+    let ratio = now.mb_per_s / baseline;
+    let msg = format!(
+        "sequential sweep: {:.1} MB/s vs committed {:.1} MB/s ({:.0}% of baseline)",
+        now.mb_per_s,
+        baseline,
+        ratio * 100.0
+    );
+    if ratio < min_ratio {
+        Err(msg)
+    } else {
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_report() -> PerfReport {
+        PerfReport {
+            bytes: 2 << 20,
+            reps: 3,
+            rows: vec![
+                PerfRow {
+                    label: "sequential".into(),
+                    ms: 10.0,
+                    mb_per_s: 200.0,
+                    stats: SweepStats::default(),
+                },
+                PerfRow {
+                    label: "shard4".into(),
+                    ms: 9.0,
+                    mb_per_s: 222.2,
+                    stats: SweepStats::default(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_and_append() {
+        let r = fake_report();
+        let doc = r.append_to_document(None, "pre");
+        assert!(doc.contains("funseeker-bench-sweep-v1"));
+        assert_eq!(last_mb_per_s(&doc, "sequential"), Some(200.0));
+        // Appending keeps the old entry and the parser sees the newest.
+        let mut r2 = fake_report();
+        r2.rows[0].mb_per_s = 321.0;
+        let doc2 = r2.append_to_document(Some(&doc), "post");
+        assert_eq!(extract_entries(&doc2).len(), 2);
+        assert!(doc2.contains("\"label\": \"pre\""));
+        assert_eq!(last_mb_per_s(&doc2, "sequential"), Some(321.0));
+        assert_eq!(last_mb_per_s(&doc2, "shard4"), Some(222.2));
+        assert_eq!(last_mb_per_s(&doc2, "shard16"), None);
+    }
+
+    #[test]
+    fn regression_gate_passes_and_fails() {
+        let r = fake_report();
+        let doc = r.append_to_document(None, "pre");
+        assert!(check_against(&doc, &r, 0.7).is_ok());
+        let mut slow = fake_report();
+        slow.rows[0].mb_per_s = 100.0; // 50% of committed
+        assert!(check_against(&doc, &slow, 0.7).is_err());
+        let mut fastr = fake_report();
+        fastr.rows[0].mb_per_s = 500.0;
+        assert!(check_against(&doc, &fastr, 0.7).is_ok());
+    }
+
+    #[test]
+    fn quick_measurement_produces_sane_rows() {
+        let report = run(true);
+        assert!(report.bytes >= 2 << 20);
+        let labels: Vec<&str> = report.rows.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, ["sequential", "shard2", "shard4", "shard8", "prepare"]);
+        for row in &report.rows {
+            assert!(row.ms > 0.0, "{}: no time measured", row.label);
+            assert!(row.mb_per_s > 0.0, "{}: no throughput", row.label);
+        }
+        let seq = &report.rows[0];
+        assert!(seq.stats.insns > 100_000, "tiled text should decode to many insns");
+        assert!(seq.stats.fast_path_rate() > 0.1, "compiler code hits the fast path");
+        assert!(!report.render().is_empty());
+    }
+}

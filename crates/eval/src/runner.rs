@@ -1,49 +1,25 @@
 //! Parallel evaluation over a dataset.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
 use funseeker_corpus::CorpusBinary;
 
 /// Maps `f` over the binaries in parallel, preserving order.
 ///
-/// Workers steal one binary at a time from a shared atomic cursor, so a
-/// single oversized binary occupies one worker while the rest drain the
-/// remainder — unlike fixed chunking, where the chunk holding the big
-/// binary would serialize everything behind it.
+/// One task per binary on the persistent [`funseeker_pool`] worker pool
+/// (shared with the sharded sweep, so the whole pipeline reuses one set
+/// of threads instead of spawning per call). Workers take one binary at
+/// a time from the shared queue, so a single oversized binary occupies
+/// one worker while the rest drain the remainder — unlike fixed
+/// chunking, where the chunk holding the big binary would serialize
+/// everything behind it. Nested parallelism (each binary's own sharded
+/// sweep) is fine: the pool's submitters help execute queued tasks while
+/// waiting.
 pub fn par_map<T, F>(bins: &[CorpusBinary], f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(&CorpusBinary) -> T + Sync,
 {
-    let workers =
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(bins.len());
-    if workers <= 1 {
-        return bins.iter().map(f).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let done: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(bins.len()));
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| {
-                // Batch locally and merge once per worker: the lock is
-                // touched `workers` times, not `bins.len()` times.
-                let mut local: Vec<(usize, T)> = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(bin) = bins.get(i) else { break };
-                    local.push((i, f(bin)));
-                }
-                done.lock().expect("evaluation worker panicked").extend(local);
-            });
-        }
-    });
-
-    let mut indexed = done.into_inner().expect("evaluation worker panicked");
-    assert_eq!(indexed.len(), bins.len());
-    indexed.sort_unstable_by_key(|&(i, _)| i);
-    indexed.into_iter().map(|(_, v)| v).collect()
+    let f = &f;
+    funseeker_pool::global().run(bins.iter().map(|bin| move || f(bin)).collect())
 }
 
 #[cfg(test)]

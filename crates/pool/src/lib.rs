@@ -1,0 +1,310 @@
+//! A persistent, lazily-initialized worker pool for scoped parallel
+//! batches.
+//!
+//! `std::thread::scope` spawns and joins OS threads on every call, which
+//! the sharded sweep pays once per code region per binary — a real cost
+//! at corpus scale (thread creation is tens of microseconds; a shard
+//! decodes in a few hundred). [`global()`] instead spawns one set of
+//! workers on first use and reuses them for every batch: the sweep's
+//! shards, the evaluation runner's per-binary fan-out, anything else.
+//!
+//! # Design
+//!
+//! One shared injector queue (mutex + condvar) feeds the workers. Tasks
+//! are batch-granular: [`Pool::run`] enqueues all closures of a batch,
+//! then the *submitting thread helps drain the queue* until its batch
+//! completes. Help-execution has two consequences:
+//!
+//! * **No deadlocks under nesting.** A task may itself call
+//!   [`Pool::run`] (the eval runner maps over binaries, and each binary's
+//!   sweep shards inside). The inner caller executes queued tasks while
+//!   waiting, so progress never depends on a free worker.
+//! * **Graceful degradation to sequential.** On a single-core host the
+//!   submitter simply runs its own shards back to back — no spawn, no
+//!   context switch, just the stitch bookkeeping.
+//!
+//! Work distribution is task-stealing at batch granularity: any worker
+//! (or helping submitter) takes the oldest queued task, so a long task
+//! occupies one thread while the rest drain the remainder.
+//!
+//! # Safety
+//!
+//! This crate contains the workspace's only `unsafe` block: the lifetime
+//! erasure that lets borrowed closures (`FnOnce() -> T + Send + 'env`)
+//! ride on `'static` worker threads. Soundness is the scoped-thread
+//! argument: [`Pool::run`] does not return before every task of its
+//! batch has finished executing, so no borrow is observable after it
+//! would dangle. See the safety comment at the single `unsafe` site.
+
+#![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// A type- and lifetime-erased unit of work.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Locks a mutex, ignoring poisoning.
+///
+/// Tasks run wrapped in `catch_unwind`, so a panic can never unwind
+/// through a held pool lock; poisoning would only indicate a panic in
+/// the pool's own bookkeeping, where continuing is still sound (all
+/// state transitions are single assignments).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+struct Injector {
+    queue: Mutex<VecDeque<Task>>,
+    available: Condvar,
+}
+
+/// A persistent worker pool executing scoped batches of closures.
+pub struct Pool {
+    injector: Arc<Injector>,
+    workers: usize,
+}
+
+/// The process-wide pool, spawned on first use with one worker per
+/// available core.
+pub fn global() -> &'static Pool {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Pool::new(workers)
+    })
+}
+
+/// Completion state of one batch.
+struct BatchState<T> {
+    results: Vec<Option<T>>,
+    pending: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct Batch<T> {
+    state: Mutex<BatchState<T>>,
+    done: Condvar,
+}
+
+impl Pool {
+    /// Spawns a pool with `workers` detached worker threads.
+    fn new(workers: usize) -> Pool {
+        let injector =
+            Arc::new(Injector { queue: Mutex::new(VecDeque::new()), available: Condvar::new() });
+        for _ in 0..workers {
+            let inj = Arc::clone(&injector);
+            std::thread::Builder::new()
+                .name("funseeker-pool".into())
+                .spawn(move || worker_loop(&inj))
+                .expect("spawn pool worker");
+        }
+        Pool { injector, workers }
+    }
+
+    /// Number of worker threads (excluding helping submitters).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs a batch of closures, returning their results in submission
+    /// order. Blocks until the whole batch has completed; the calling
+    /// thread helps execute queued tasks while it waits.
+    ///
+    /// If any task panics, the panic is resumed on the calling thread
+    /// after the rest of the batch has drained.
+    pub fn run<'env, T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'env,
+        F: FnOnce() -> T + Send + 'env,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            // A one-task batch gains nothing from the queue.
+            return tasks.into_iter().map(|f| f()).collect();
+        }
+
+        let batch: Arc<Batch<T>> = Arc::new(Batch {
+            state: Mutex::new(BatchState {
+                results: (0..n).map(|_| None).collect(),
+                pending: n,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        });
+
+        {
+            let mut q = lock(&self.injector.queue);
+            q.reserve(n);
+            for (i, f) in tasks.into_iter().enumerate() {
+                let b = Arc::clone(&batch);
+                let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                    let out = catch_unwind(AssertUnwindSafe(f));
+                    let mut st = lock(&b.state);
+                    match out {
+                        Ok(v) => st.results[i] = Some(v),
+                        Err(p) => {
+                            if st.panic.is_none() {
+                                st.panic = Some(p);
+                            }
+                        }
+                    }
+                    st.pending -= 1;
+                    if st.pending == 0 {
+                        b.done.notify_all();
+                    }
+                });
+                // SAFETY: the only unsafe in the workspace. We erase the
+                // closure's `'env` lifetime to `'static` so it can sit in
+                // the shared queue and run on a detached worker. This is
+                // sound because this function does not return until the
+                // batch's `pending` count reaches zero, and `pending`
+                // only reaches zero after every job closure above has
+                // *finished executing* (the decrement is the closure's
+                // final action). Hence no erased borrow is ever used
+                // after `'env` ends. Results (`T: Send + 'env`) are moved
+                // out only below, still inside `'env`. This is the same
+                // argument scoped threads (`std::thread::scope`,
+                // crossbeam's scope) rely on.
+                let job: Task =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Task>(job) };
+                q.push_back(job);
+            }
+        }
+        self.injector.available.notify_all();
+
+        // Help drain the queue until this batch is complete. Running
+        // another batch's task here is fine — it only advances global
+        // progress — and is what makes nested `run` calls deadlock-free.
+        loop {
+            if lock(&batch.state).pending == 0 {
+                break;
+            }
+            let task = lock(&self.injector.queue).pop_front();
+            match task {
+                Some(t) => t(),
+                None => {
+                    // Queue empty: the remaining tasks of this batch are
+                    // being executed by other threads. Wait for them.
+                    let mut st = lock(&batch.state);
+                    while st.pending != 0 {
+                        st = batch.done.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+                    }
+                    break;
+                }
+            }
+        }
+
+        let mut st = lock(&batch.state);
+        if let Some(p) = st.panic.take() {
+            drop(st);
+            resume_unwind(p);
+        }
+        let results = std::mem::take(&mut st.results);
+        drop(st);
+        results
+            .into_iter()
+            .map(|r| r.expect("pool task completed without storing a result"))
+            .collect()
+    }
+}
+
+fn worker_loop(inj: &Injector) {
+    loop {
+        let task = {
+            let mut q = lock(&inj.queue);
+            loop {
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                q = inj.available.wait(q).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        // Panics are contained per-task by the submitting side's
+        // `catch_unwind`; a worker thread never unwinds.
+        task();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_batch_in_order() {
+        let data = [3u64, 1, 4, 1, 5, 9, 2, 6];
+        let out = global().run(data.iter().map(|&x| move || x * 2).collect());
+        assert_eq!(out, vec![6, 2, 8, 2, 10, 18, 4, 12]);
+    }
+
+    #[test]
+    fn borrows_local_data() {
+        let text = String::from("scoped");
+        let s: &str = &text;
+        let out = global().run((0..4).map(|i| move || format!("{s}-{i}")).collect());
+        assert_eq!(out, vec!["scoped-0", "scoped-1", "scoped-2", "scoped-3"]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let out: Vec<u32> = global().run(Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+        let out = global().run(vec![|| 7u32]);
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn nested_batches_complete() {
+        // Outer batch larger than the worker count, each task running an
+        // inner batch: requires help-execution to terminate on any pool
+        // size (including a single worker).
+        let outer = 2 * global().workers() + 2;
+        let counter = AtomicUsize::new(0);
+        let out = global().run(
+            (0..outer)
+                .map(|i| {
+                    let counter = &counter;
+                    move || {
+                        let inner: usize =
+                            global().run((0..4).map(|j| move || i * j).collect()).iter().sum();
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        inner
+                    }
+                })
+                .collect(),
+        );
+        assert_eq!(counter.load(Ordering::Relaxed), outer);
+        assert_eq!(out.len(), outer);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 6);
+        }
+    }
+
+    #[test]
+    fn panic_propagates_after_batch_drains() {
+        let finished = AtomicUsize::new(0);
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            global().run(
+                (0..6)
+                    .map(|i| {
+                        let finished = &finished;
+                        move || {
+                            if i == 3 {
+                                panic!("task 3 exploded");
+                            }
+                            finished.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        }));
+        assert!(res.is_err(), "panic must propagate to the submitter");
+        assert_eq!(finished.load(Ordering::Relaxed), 5, "other tasks still ran");
+    }
+}
