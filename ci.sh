@@ -15,7 +15,8 @@ FUNSEEKER_MUTATION_CASES=1000 cargo test -q -p funseeker-corpus --test proptest_
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
   -p funseeker-elf -p funseeker-eh -p funseeker-disasm -p funseeker \
-  -p funseeker-corpus -p funseeker-baselines -p funseeker-eval -p funseeker-aarch64
+  -p funseeker-corpus -p funseeker-baselines -p funseeker-eval \
+  -p funseeker-aarch64 -p funseeker-batch
 
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
@@ -26,5 +27,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> sweep perf smoke (quick mode, >30% regression fails)"
 cargo run --release -q -p funseeker-eval --bin experiments -- \
   perf --quick --check BENCH_sweep.json
+
+echo "==> batch engine smoke (quick mode, >30% cold-cache regression fails)"
+cargo run --release -q -p funseeker-eval --bin experiments -- \
+  batch --quick --check BENCH_batch.json
 
 echo "==> CI gate passed"

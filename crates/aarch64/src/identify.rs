@@ -108,8 +108,11 @@ impl BtiSeeker {
 
         let mut tail_count = 0;
         if self.config.select_tail_calls {
+            // SELECTTAILCALL takes its candidates as a sorted slice; the
+            // BTreeSet iterates in exactly that order.
+            let candidates: Vec<u64> = functions.iter().copied().collect();
             let tails = select_tail_calls(
-                &functions,
+                &candidates,
                 &jmp_edges,
                 self.config.min_tail_referers,
                 &[text_addr],

@@ -1,0 +1,533 @@
+//! Content-addressed result cache — in-memory sharded map plus an
+//! optional on-disk layer.
+//!
+//! # Keying
+//!
+//! A cache key is `mix64(image_hash, config_fingerprint)`: the streaming
+//! hash of the **entire** ELF image folded with a fingerprint of every
+//! [`Config`] field. There is no mtime, path, or size heuristic —
+//! invalidation is purely content-addressed, so a rebuilt-but-identical
+//! binary hits and a one-byte patch misses. Hostile inputs cannot poison
+//! other entries: a different image hashes to a different key, and parse
+//! *failures* are never inserted at all (the scheduler caches only
+//! successful [`Analysis`] values, which are deterministic in the input
+//! bytes).
+//!
+//! # Disk layer
+//!
+//! Entries serialize to a line-oriented text file under a caller-chosen
+//! directory (`target/funseeker-cache/` by convention) with a trailing
+//! checksum over the whole body. Writers are crash- and race-safe:
+//! content goes to a unique temp file first and is atomically
+//! `rename`d into place, so concurrent processes never observe a
+//! half-written entry. Readers treat *any* irregularity — truncation,
+//! flipped bytes, unknown version, a key mismatch — as a plain miss,
+//! never an error.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use funseeker::diag::Component;
+use funseeker::{Analysis, Config, Diagnostics};
+
+use crate::hash::{hash_bytes, mix64};
+
+/// Fingerprint of every field of a [`Config`], for cache keying.
+pub fn config_fingerprint(config: &Config) -> u64 {
+    let bits = (config.filter_endbr as u64)
+        | (config.include_jump_targets as u64) << 1
+        | (config.select_tail_calls as u64) << 2
+        | (config.endbr_pattern_scan as u64) << 3
+        | (config.min_tail_referers as u64) << 8;
+    mix64(0xf5ee_ce4c_0f16, bits)
+}
+
+/// The cache key for one (image, configuration) pair.
+pub fn cache_key(image_hash: u64, config: &Config) -> u64 {
+    mix64(image_hash, config_fingerprint(config))
+}
+
+const SHARDS: usize = 16;
+
+/// Sharded in-memory map of completed analyses.
+///
+/// Lookups and inserts take one shard lock chosen by key bits, so the
+/// pool's workers rarely contend. Values are `Arc`-shared: a hit costs a
+/// refcount bump, and duplicate images across a corpus share one
+/// allocation.
+pub struct ResultCache {
+    shards: [Mutex<HashMap<u64, Arc<Analysis>>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ResultCache {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Arc<Analysis>>> {
+        // The key is splitmix output — any bit window is uniform.
+        &self.shards[(key >> 48) as usize % SHARDS]
+    }
+
+    /// Looks up a completed analysis, counting the hit or miss.
+    pub fn get(&self, key: u64) -> Option<Arc<Analysis>> {
+        let found = self.shard(key).lock().unwrap().get(&key).cloned();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts a completed analysis.
+    pub fn insert(&self, key: u64, analysis: Arc<Analysis>) {
+        self.shard(key).lock().unwrap().insert(key, analysis);
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hits as a fraction of all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits() as f64, self.misses() as f64);
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+const MAGIC: &str = "funseeker-batch-cache v1";
+
+fn component_tag(c: Component) -> Option<&'static str> {
+    Some(match c {
+        Component::Layout => "layout",
+        Component::EhFrame => "eh_frame",
+        Component::GccExceptTable => "gcc_except_table",
+        Component::NoteProperty => "note_property",
+        Component::Plt => "plt",
+        Component::Dynamic => "dynamic",
+        // `Component` is non_exhaustive: a future variant this build
+        // doesn't know how to round-trip makes the entry non-persistable
+        // (the in-memory cache still holds it).
+        _ => return None,
+    })
+}
+
+fn component_from_tag(tag: &str) -> Option<Component> {
+    Some(match tag {
+        "layout" => Component::Layout,
+        "eh_frame" => Component::EhFrame,
+        "gcc_except_table" => Component::GccExceptTable,
+        "note_property" => Component::NoteProperty,
+        "plt" => Component::Plt,
+        "dynamic" => Component::Dynamic,
+        _ => return None,
+    })
+}
+
+fn escape(message: &str) -> String {
+    message.replace('\\', "\\\\").replace('\n', "\\n").replace('\r', "\\r")
+}
+
+fn unescape(escaped: &str) -> String {
+    let mut out = String::with_capacity(escaped.len());
+    let mut chars = escaped.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Serializes one analysis under its key. Returns `None` when the entry
+/// cannot be represented (a diagnostic component with no stable tag).
+pub fn serialize(key: u64, a: &Analysis) -> Option<String> {
+    let mut s = String::with_capacity(256 + 17 * a.functions.len());
+    s.push_str(MAGIC);
+    s.push('\n');
+    let _ = writeln!(s, "key {key:016x}");
+    let _ = writeln!(s, "range {:x} {:x}", a.text_range.0, a.text_range.1);
+    let _ = writeln!(
+        s,
+        "counts {} {} {} {} {} {} {}",
+        a.endbr_count,
+        a.filtered_endbrs,
+        a.call_target_count,
+        a.jmp_target_count,
+        a.tail_target_count,
+        a.decode_errors,
+        a.cet_enabled as u8,
+    );
+    let _ = writeln!(s, "functions {}", a.functions.len());
+    for (i, f) in a.functions.iter().enumerate() {
+        let sep = if i % 8 == 7 || i + 1 == a.functions.len() { '\n' } else { ' ' };
+        let _ = write!(s, "{f:x}{sep}");
+    }
+    for d in a.diagnostics.iter() {
+        let tag = component_tag(d.component)?;
+        let _ = writeln!(s, "diag {tag} {} {}", d.count, escape(&d.message));
+    }
+    let sum = hash_bytes(s.as_bytes());
+    let _ = writeln!(s, "end {sum:016x}");
+    Some(s)
+}
+
+/// Parses a serialized entry back into an [`Analysis`]. Any defect —
+/// truncation, bit rot, version or key mismatch — returns `None`.
+pub fn deserialize(key: u64, text: &str) -> Option<Analysis> {
+    // A complete entry always ends in a newline; anything shorter is a
+    // truncated write.
+    if !text.ends_with('\n') {
+        return None;
+    }
+    // Checksum next: everything before the final `end <sum>` line must
+    // hash to <sum>.
+    let end_at = text.rfind("end ")?;
+    if end_at > 0 && text.as_bytes()[end_at - 1] != b'\n' {
+        return None;
+    }
+    let body = &text[..end_at];
+    let sum = u64::from_str_radix(text[end_at + 4..].trim(), 16).ok()?;
+    if hash_bytes(body.as_bytes()) != sum {
+        return None;
+    }
+
+    let mut lines = body.lines();
+    if lines.next()? != MAGIC {
+        return None;
+    }
+    let stored_key = u64::from_str_radix(lines.next()?.strip_prefix("key ")?, 16).ok()?;
+    if stored_key != key {
+        return None;
+    }
+    let mut range = lines.next()?.strip_prefix("range ")?.split(' ');
+    let lo = u64::from_str_radix(range.next()?, 16).ok()?;
+    let hi = u64::from_str_radix(range.next()?, 16).ok()?;
+    let mut counts = lines.next()?.strip_prefix("counts ")?.split(' ');
+    let mut next_count = || counts.next().and_then(|c| c.parse::<usize>().ok());
+    let endbr_count = next_count()?;
+    let filtered_endbrs = next_count()?;
+    let call_target_count = next_count()?;
+    let jmp_target_count = next_count()?;
+    let tail_target_count = next_count()?;
+    let decode_errors = next_count()?;
+    let cet_enabled = match next_count()? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+
+    let n_functions: usize = lines.next()?.strip_prefix("functions ")?.parse().ok()?;
+    let mut functions = std::collections::BTreeSet::new();
+    while functions.len() < n_functions {
+        for tok in lines.next()?.split(' ') {
+            functions.insert(u64::from_str_radix(tok, 16).ok()?);
+        }
+    }
+    if functions.len() != n_functions {
+        return None;
+    }
+
+    let mut diagnostics = Diagnostics::new();
+    for line in lines {
+        let rest = line.strip_prefix("diag ")?;
+        let (tag, rest) = rest.split_once(' ')?;
+        let (count, message) = rest.split_once(' ')?;
+        diagnostics.record(
+            component_from_tag(tag)?,
+            unescape(message),
+            count.parse::<usize>().ok()?,
+        );
+    }
+
+    Some(Analysis {
+        functions,
+        text_range: (lo, hi),
+        endbr_count,
+        filtered_endbrs,
+        call_target_count,
+        jmp_target_count,
+        tail_target_count,
+        decode_errors,
+        cet_enabled,
+        diagnostics,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Disk layer
+// ---------------------------------------------------------------------
+
+/// The on-disk cache layer: one text file per key under a directory.
+///
+/// All operations are best-effort. Unreadable, truncated, or corrupt
+/// entries read as misses; failed writes are dropped silently (the
+/// in-memory layer still serves the current run).
+#[derive(Debug, Clone)]
+pub struct DiskCache {
+    dir: PathBuf,
+}
+
+impl DiskCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DiskCache { dir: dir.into() }
+    }
+
+    /// The conventional location, `target/funseeker-cache/`.
+    pub fn default_dir() -> PathBuf {
+        PathBuf::from("target/funseeker-cache")
+    }
+
+    /// The directory backing this cache.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.fsc"))
+    }
+
+    /// Loads and validates one entry; any defect is a miss.
+    pub fn load(&self, key: u64) -> Option<Analysis> {
+        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        deserialize(key, &text)
+    }
+
+    /// Persists one entry. Returns whether the entry is now on disk.
+    ///
+    /// Safe under concurrent writers: the content is written to a
+    /// process-unique temp file and atomically renamed over the final
+    /// path, so readers see either the old complete entry or the new
+    /// complete entry, never a torn one.
+    pub fn store(&self, key: u64, analysis: &Analysis) -> bool {
+        let Some(text) = serialize(key, analysis) else { return false };
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return false;
+        }
+        static UNIQUE: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.dir.join(format!(
+            ".{key:016x}.{}.{}.tmp",
+            std::process::id(),
+            UNIQUE.fetch_add(1, Ordering::Relaxed),
+        ));
+        if std::fs::write(&tmp, text).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return false;
+        }
+        let ok = std::fs::rename(&tmp, self.entry_path(key)).is_ok();
+        if !ok {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funseeker::FunSeeker;
+
+    fn sample() -> Analysis {
+        let bytes = std::fs::read("/proc/self/exe").unwrap();
+        FunSeeker::new().identify(&bytes).unwrap()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("funseeker-cache-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let a = sample();
+        let key = cache_key(0xdead_beef, &Config::c4());
+        let text = serialize(key, &a).unwrap();
+        let back = deserialize(key, &text).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn round_trips_diagnostics() {
+        let mut a = sample();
+        a.diagnostics.warn(Component::EhFrame, "truncated record with spaces");
+        a.diagnostics.warn(Component::EhFrame, "truncated record with spaces");
+        a.diagnostics.warn(Component::Plt, "line\nbreak and back\\slash");
+        let key = 7;
+        let back = deserialize(key, &serialize(key, &a).unwrap()).unwrap();
+        assert_eq!(back.diagnostics, a.diagnostics);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_is_a_miss() {
+        let a = sample();
+        let key = 42;
+        let text = serialize(key, &a).unwrap();
+        // Every prefix must read as a miss — never a panic, never a
+        // wrong Analysis.
+        for cut in 0..text.len() {
+            assert!(deserialize(key, &text[..cut]).is_none(), "prefix of {cut} bytes parsed");
+        }
+    }
+
+    #[test]
+    fn corruption_is_a_miss() {
+        let a = sample();
+        let key = 42;
+        let text = serialize(key, &a).unwrap();
+        // Flip one character somewhere in the middle of the body.
+        let mut corrupt = text.clone().into_bytes();
+        let at = corrupt.len() / 2;
+        corrupt[at] = if corrupt[at] == b'0' { b'1' } else { b'0' };
+        let corrupt = String::from_utf8(corrupt).unwrap();
+        assert!(deserialize(key, &corrupt).is_none());
+        // Wrong key: content intact, address mismatch.
+        assert!(deserialize(key + 1, &text).is_none());
+    }
+
+    #[test]
+    fn disk_cache_stores_and_loads() {
+        let dir = tmp_dir("basic");
+        let cache = DiskCache::new(&dir);
+        let a = sample();
+        let key = cache_key(99, &Config::c2());
+        assert!(cache.load(key).is_none(), "cold cache must miss");
+        assert!(cache.store(key, &a));
+        assert_eq!(cache.load(key).unwrap(), a);
+        // No temp files left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_disk_entry_is_a_miss_not_an_error() {
+        let dir = tmp_dir("trunc");
+        let cache = DiskCache::new(&dir);
+        let a = sample();
+        let key = 0xabcd;
+        assert!(cache.store(key, &a));
+        // Simulate a torn write from a non-atomic writer or bit rot.
+        let path = dir.join(format!("{key:016x}.fsc"));
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 3]).unwrap();
+        assert!(cache.load(key).is_none());
+        // Garbage bytes likewise.
+        std::fs::write(&path, b"\xff\xfenot even utf8\x00").unwrap();
+        assert!(cache.load(key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_leave_a_valid_entry() {
+        let dir = tmp_dir("race");
+        let a = sample();
+        let key = 0x7777;
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let (dir, a) = (&dir, &a);
+                s.spawn(move || {
+                    let cache = DiskCache::new(dir);
+                    for _ in 0..20 {
+                        assert!(cache.store(key, a));
+                    }
+                });
+            }
+        });
+        assert_eq!(DiskCache::new(&dir).load(key).unwrap(), a);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memory_cache_counts_hits_and_shares_arcs() {
+        let cache = ResultCache::new();
+        let a = Arc::new(sample());
+        assert!(cache.get(1).is_none());
+        cache.insert(1, a.clone());
+        let hit = cache.get(1).unwrap();
+        assert!(Arc::ptr_eq(&hit, &a), "hits share the stored allocation");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn config_fingerprints_are_distinct() {
+        let fps: Vec<u64> = Config::table2().iter().map(|(_, c)| config_fingerprint(c)).collect();
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j]);
+            }
+        }
+        let mut odd = Config::c4();
+        odd.min_tail_referers = 3;
+        assert_ne!(config_fingerprint(&odd), config_fingerprint(&Config::c4()));
+        let mut scan = Config::c4();
+        scan.endbr_pattern_scan = true;
+        assert_ne!(config_fingerprint(&scan), config_fingerprint(&Config::c4()));
+    }
+}

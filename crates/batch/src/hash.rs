@@ -1,0 +1,163 @@
+//! A 64-bit streaming content hash for cache keys.
+//!
+//! The batch engine addresses results by *content*: two byte-identical
+//! ELF images share one cache entry, no matter where they came from.
+//! The workspace has no external hashing dependency, so this module
+//! implements a small splitmix64-based mixer that consumes input eight
+//! bytes at a time — on the corpus binaries this runs at memory-stream
+//! speed, which keeps the warm-cache fast path (hash, look up, done)
+//! orders of magnitude cheaper than a fresh analysis.
+//!
+//! This is **not** a cryptographic hash. The threat model for the cache
+//! is accidental collision between corpus binaries, not an adversary
+//! engineering one; a hostile *image* gets its own key like any other
+//! input, so it can poison at most its own entry (see
+//! [`crate::cache`]).
+
+/// Golden-ratio seed, as in splitmix64.
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The splitmix64 finalizer — a full-avalanche bijection on `u64`.
+#[inline]
+fn splitmix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mixes two words into one — used to fold a [`funseeker::Config`]
+/// fingerprint into an image hash when forming a cache key.
+#[inline]
+pub fn mix64(a: u64, b: u64) -> u64 {
+    splitmix(a ^ splitmix(b ^ SEED))
+}
+
+/// Streaming 64-bit hasher.
+///
+/// Split-invariant: feeding the same bytes through any sequence of
+/// [`write`] calls yields the same [`finish`] value. The total length is
+/// folded in at the end, so inputs that differ only by trailing zero
+/// padding still hash differently.
+///
+/// [`write`]: Hasher64::write
+/// [`finish`]: Hasher64::finish
+#[derive(Debug, Clone)]
+pub struct Hasher64 {
+    state: u64,
+    buf: [u8; 8],
+    buffered: usize,
+    len: u64,
+}
+
+impl Default for Hasher64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher64 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Hasher64 { state: SEED, buf: [0; 8], buffered: 0, len: 0 }
+    }
+
+    #[inline]
+    fn mix_chunk(&mut self, chunk: u64) {
+        self.state = splitmix(self.state ^ chunk);
+    }
+
+    /// Feeds `bytes` into the hash.
+    pub fn write(&mut self, mut bytes: &[u8]) {
+        self.len += bytes.len() as u64;
+        // Top up a partially-filled chunk left by a previous write.
+        if self.buffered > 0 {
+            let take = (8 - self.buffered).min(bytes.len());
+            self.buf[self.buffered..self.buffered + take].copy_from_slice(&bytes[..take]);
+            self.buffered += take;
+            bytes = &bytes[take..];
+            if self.buffered < 8 {
+                // `bytes` ran dry before completing the chunk.
+                return;
+            }
+            self.mix_chunk(u64::from_le_bytes(self.buf));
+            self.buffered = 0;
+        }
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix_chunk(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buffered = rem.len();
+    }
+
+    /// The hash of everything written so far.
+    pub fn finish(&self) -> u64 {
+        let mut state = self.state;
+        if self.buffered > 0 {
+            let mut tail = [0u8; 8];
+            tail[..self.buffered].copy_from_slice(&self.buf[..self.buffered]);
+            state = splitmix(state ^ u64::from_le_bytes(tail));
+        }
+        splitmix(state ^ self.len)
+    }
+}
+
+/// One-shot convenience over [`Hasher64`].
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = Hasher64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_invariance() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let whole = hash_bytes(&data);
+        for split_a in [0usize, 1, 3, 7, 8, 9, 500, 999, 1000] {
+            for split_b in [split_a, (split_a + 1).min(1000), (split_a + 13).min(1000)] {
+                let mut h = Hasher64::new();
+                h.write(&data[..split_a]);
+                h.write(&data[split_a..split_b]);
+                h.write(&data[split_b..]);
+                assert_eq!(h.finish(), whole, "splits at {split_a}/{split_b}");
+            }
+        }
+    }
+
+    #[test]
+    fn distinguishes_trailing_zeros_and_lengths() {
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
+        assert_ne!(hash_bytes(b"\0"), hash_bytes(b"\0\0"));
+        assert_ne!(hash_bytes(b"abcdefgh"), hash_bytes(b"abcdefgh\0"));
+    }
+
+    #[test]
+    fn sensitive_to_every_byte_position() {
+        let base = vec![0u8; 64];
+        let h0 = hash_bytes(&base);
+        for i in 0..64 {
+            let mut flipped = base.clone();
+            flipped[i] = 1;
+            assert_ne!(hash_bytes(&flipped), h0, "byte {i} did not affect the hash");
+        }
+    }
+
+    #[test]
+    fn mix64_is_order_sensitive() {
+        assert_ne!(mix64(1, 2), mix64(2, 1));
+        assert_ne!(mix64(0, 0), 0);
+    }
+
+    #[test]
+    fn stable_across_calls() {
+        // The cache persists across processes; the hash must be a pure
+        // function of the bytes.
+        let d = b"funseeker";
+        assert_eq!(hash_bytes(d), hash_bytes(d));
+    }
+}

@@ -1,0 +1,50 @@
+//! **funseeker-batch** — the batch analysis engine: a content-addressed
+//! result cache, scratch-arena reuse, and a pipelined corpus scheduler
+//! over the persistent worker pool.
+//!
+//! Analyzing one binary is cheap; evaluation workloads analyze
+//! thousands, many of them byte-identical across optimization sweeps
+//! and reruns. This crate turns the per-binary library
+//! ([`funseeker::prepare`] + [`funseeker::FunSeeker`]) into a
+//! throughput engine without changing a single output bit:
+//!
+//! - [`hash`] — a streaming 64-bit content hash; the cache key for an
+//!   image is a pure function of its bytes.
+//! - [`cache`] — [`ResultCache`], a sharded in-memory map of completed
+//!   [`funseeker::Analysis`] results, plus [`DiskCache`], an optional
+//!   checksummed on-disk layer (atomic-rename writers, corrupt entries
+//!   read as misses).
+//! - [`scheduler`] — [`run`]: parse → sweep → analyze pipelined per
+//!   binary over [`funseeker_pool::Pool::scope`], with bounded
+//!   in-flight memory, per-worker [`funseeker::Scratch`] arenas, and
+//!   within-corpus dedup of identical images.
+//!
+//! # Example
+//!
+//! ```
+//! use funseeker::Config;
+//! use funseeker_batch::{run, BatchOptions};
+//!
+//! let image = std::fs::read("/proc/self/exe").unwrap();
+//! let corpus = vec![image.clone(), image]; // duplicates analyzed once
+//! let out = run(&corpus, &[Config::c4()], &BatchOptions::default());
+//! assert_eq!(out.stats.unique_images, 1);
+//! let a = out.results[0][0].as_ref().unwrap();
+//! println!("{} functions at {:.0}% hit rate", a.functions.len(),
+//!          100.0 * out.stats.hit_rate());
+//! ```
+//!
+//! The engine's contract — cached, deduplicated, scratch-reusing, and
+//! pipelined paths return results **identical** to a fresh sequential
+//! analysis — is enforced by the property tests in `tests/`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod hash;
+pub mod scheduler;
+
+pub use cache::{cache_key, config_fingerprint, DiskCache, ResultCache};
+pub use hash::{hash_bytes, mix64, Hasher64};
+pub use scheduler::{run, run_with_cache, BatchOptions, BatchOutput, BatchStats};

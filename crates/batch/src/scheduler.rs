@@ -1,0 +1,480 @@
+//! The pipelined corpus scheduler.
+//!
+//! [`run`] decomposes each binary into the three stages of Algorithm 1's
+//! front and back ends — **parse** → **sweep** → **analyze** — and
+//! executes them as individually-scheduled tasks on the persistent
+//! worker pool via [`funseeker_pool::Pool::scope`]: a parse task spawns
+//! its binary's sweep task, which spawns its analyze task. While one
+//! binary is in its (serial, allocation-heavy) parse stage, others are
+//! sweeping or analyzing, so the pool's workers stay busy even when the
+//! corpus mixes tiny and huge images.
+//!
+//! Three further mechanisms make the batch path fast without changing
+//! its output:
+//!
+//! - **content dedup** — images are hashed up front and byte-identical
+//!   duplicates are analyzed once, sharing one `Arc`'d result;
+//! - **result caching** — completed analyses land in a
+//!   [`ResultCache`] keyed by content (see [`crate::cache`]), with an
+//!   optional disk layer for cross-run reuse;
+//! - **scratch reuse** — each worker thread owns one
+//!   [`funseeker::Scratch`] arena, so per-binary stage runs stop
+//!   allocating once the arenas reach the workload's high-water mark.
+//!
+//! In-flight memory is bounded: the submitter admits a binary into the
+//! pipeline only when the estimated footprint of everything currently
+//! in flight fits under [`BatchOptions::max_inflight_bytes`], blocking
+//! otherwise until analyses retire. One binary is always admitted, so
+//! a single image larger than the bound still processes.
+//!
+//! The contract, enforced by proptests in `tests/`: for every input and
+//! configuration, the result is **identical** to a fresh sequential
+//! [`funseeker::prepare`] + [`FunSeeker::identify_prepared`].
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+use funseeker::parse::parse;
+use funseeker::{Analysis, Config, FunSeeker, Prepared, Scratch};
+
+use crate::cache::{cache_key, DiskCache, ResultCache};
+use crate::hash::hash_bytes;
+
+/// Tuning knobs for one batch run.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Use the in-memory result cache (and dedup identical images).
+    /// Off, every binary is fully re-analyzed — the configuration the
+    /// evaluation harness uses to isolate pipeline + scratch gains.
+    pub cache: bool,
+    /// Directory for the persistent disk layer; `None` disables it.
+    /// Ignored when `cache` is off.
+    pub disk_cache: Option<PathBuf>,
+    /// Admission bound on the estimated bytes of all in-flight parses,
+    /// sweep indexes, and images. `usize::MAX` disables the bound.
+    pub max_inflight_bytes: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            cache: true,
+            disk_cache: None,
+            // Enough for ~dozens of typical corpus binaries in flight;
+            // small enough to keep a million-binary corpus from
+            // ballooning resident memory.
+            max_inflight_bytes: 256 << 20,
+        }
+    }
+}
+
+/// Per-stage and cache accounting for one batch run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Binaries submitted.
+    pub binaries: usize,
+    /// Distinct images after content dedup (== `binaries` when the
+    /// cache is disabled).
+    pub unique_images: usize,
+    /// Binaries whose parse stage failed (their results are `None`).
+    pub parse_errors: usize,
+    /// Result-cache hits during this run.
+    pub cache_hits: u64,
+    /// Result-cache misses during this run.
+    pub cache_misses: u64,
+    /// Misses that the disk layer served.
+    pub disk_hits: u64,
+    /// Wall nanoseconds summed over all parse-stage tasks.
+    pub parse_ns: u64,
+    /// Wall nanoseconds summed over all sweep-stage tasks.
+    pub sweep_ns: u64,
+    /// Wall nanoseconds summed over all analyze-stage tasks.
+    pub analyze_ns: u64,
+    /// High-water mark of the in-flight memory estimate.
+    pub peak_inflight_bytes: usize,
+}
+
+impl BatchStats {
+    /// Hits as a fraction of this run's lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Results of one batch run.
+#[derive(Debug)]
+pub struct BatchOutput {
+    /// `results[i][j]` is binary `i` analyzed under configuration `j`;
+    /// `None` when the image failed to parse. Duplicate images and
+    /// cache hits share `Arc`s.
+    pub results: Vec<Vec<Option<Arc<Analysis>>>>,
+    /// Accounting for the run.
+    pub stats: BatchStats,
+}
+
+/// Rough in-flight footprint of one binary mid-pipeline: the borrowed
+/// image plus parsed metadata plus the packed sweep index (~6 bytes per
+/// instruction, instructions averaging ~4 bytes).
+fn inflight_estimate(image_len: usize) -> usize {
+    4096 + image_len.saturating_mul(3)
+}
+
+/// Bounded admission: tracks the estimated bytes in flight and blocks
+/// submitters while the pipeline is full. Always admits when nothing is
+/// in flight, so no single over-sized binary can wedge the run.
+struct Ballast {
+    cap: usize,
+    state: Mutex<(usize, usize)>, // (inflight, peak)
+    retired: Condvar,
+}
+
+impl Ballast {
+    fn new(cap: usize) -> Self {
+        Ballast { cap, state: Mutex::new((0, 0)), retired: Condvar::new() }
+    }
+
+    fn acquire(&self, amount: usize) {
+        let mut g = self.state.lock().unwrap();
+        while g.0 > 0 && g.0.saturating_add(amount) > self.cap {
+            g = self.retired.wait(g).unwrap();
+        }
+        g.0 += amount;
+        g.1 = g.1.max(g.0);
+    }
+
+    fn release(&self, amount: usize) {
+        let mut g = self.state.lock().unwrap();
+        g.0 -= amount;
+        drop(g);
+        self.retired.notify_all();
+    }
+
+    fn peak(&self) -> usize {
+        self.state.lock().unwrap().1
+    }
+}
+
+thread_local! {
+    /// One scratch arena per pool worker (and per submitter thread):
+    /// cleared and refilled by every analyze stage, never shrunk.
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+/// Runs the batch engine over `images`, analyzing each under every
+/// configuration in `configs`, with a private result cache.
+pub fn run<I: AsRef<[u8]> + Sync>(
+    images: &[I],
+    configs: &[Config],
+    opts: &BatchOptions,
+) -> BatchOutput {
+    run_with_cache(images, configs, opts, &ResultCache::new())
+}
+
+/// [`run`] against a caller-owned [`ResultCache`], which is how warm
+/// reruns share results across calls.
+pub fn run_with_cache<I: AsRef<[u8]> + Sync>(
+    images: &[I],
+    configs: &[Config],
+    opts: &BatchOptions,
+    cache: &ResultCache,
+) -> BatchOutput {
+    let pool = funseeker_pool::global();
+    let disk = opts.disk_cache.as_ref().map(DiskCache::new);
+    let (hits0, misses0) = (cache.hits(), cache.misses());
+
+    // ---- Content dedup: hash every image, group exact duplicates. ----
+    // Hashing runs at memory speed and parallelizes trivially, so it
+    // happens as one flat pool batch before the pipeline starts.
+    let hashes: Vec<u64> = pool.run(images.iter().map(|b| || hash_bytes(b.as_ref())).collect());
+    let mut unique_of_hash: HashMap<u64, usize> = HashMap::new();
+    let mut uniques: Vec<(usize, u64)> = Vec::new(); // (first image idx, hash)
+    let mut group: Vec<usize> = Vec::with_capacity(images.len());
+    for (i, &h) in hashes.iter().enumerate() {
+        if opts.cache {
+            let next = uniques.len();
+            let u = *unique_of_hash.entry(h).or_insert(next);
+            if u == next {
+                uniques.push((i, h));
+            }
+            group.push(u);
+        } else {
+            // Cache off: no dedup either, every submission pays full
+            // price (the measurement the `nocache` eval row wants).
+            uniques.push((i, h));
+            group.push(i);
+        }
+    }
+
+    // ---- Pipeline the unique images through parse → sweep → analyze. ----
+    let slots: Vec<OnceLock<Option<Vec<Arc<Analysis>>>>> =
+        (0..uniques.len()).map(|_| OnceLock::new()).collect();
+    let ballast = Ballast::new(if pool.workers() == 0 {
+        // Zero workers means tasks only run when the submitter drains
+        // the queue at scope exit; blocking admission would deadlock.
+        usize::MAX
+    } else {
+        opts.max_inflight_bytes
+    });
+    let parse_ns = AtomicU64::new(0);
+    let sweep_ns = AtomicU64::new(0);
+    let analyze_ns = AtomicU64::new(0);
+    let parse_errors = AtomicUsize::new(0);
+    let disk_hits = AtomicU64::new(0);
+    let mem_cache = opts.cache.then_some(cache);
+
+    pool.scope(|s| {
+        for (u, &(img_idx, image_hash)) in uniques.iter().enumerate() {
+            let bytes: &[u8] = images[img_idx].as_ref();
+
+            // Probe the cache hierarchy *before* admitting the binary
+            // into the pipeline: a fully-cached image costs its hash
+            // plus one map lookup per configuration — no parse, no
+            // sweep, no admission. Partial hits carry their resolved
+            // prefix into the analyze stage so nothing is looked up
+            // twice.
+            let mut resolved: Vec<Option<Arc<Analysis>>> = Vec::with_capacity(configs.len());
+            let mut missing = 0usize;
+            for cfg in configs {
+                let hit = mem_cache.and_then(|mem| {
+                    let key = cache_key(image_hash, cfg);
+                    mem.get(key).or_else(|| {
+                        let analysis = disk.as_ref()?.load(key)?;
+                        disk_hits.fetch_add(1, Ordering::Relaxed);
+                        let shared = Arc::new(analysis);
+                        mem.insert(key, shared.clone());
+                        Some(shared)
+                    })
+                });
+                missing += hit.is_none() as usize;
+                resolved.push(hit);
+            }
+            if missing == 0 {
+                let _ = slots[u].set(Some(resolved.into_iter().flatten().collect()));
+                continue;
+            }
+
+            let est = inflight_estimate(bytes.len());
+            ballast.acquire(est);
+            let (slots, ballast) = (&slots, &ballast);
+            let (parse_ns, sweep_ns, analyze_ns) = (&parse_ns, &sweep_ns, &analyze_ns);
+            let parse_errors = &parse_errors;
+            let disk = disk.as_ref(); // Option<&DiskCache> is Copy
+            s.spawn(move || {
+                // Stage 1: PARSE.
+                let t = Instant::now();
+                let parsed = parse(bytes);
+                parse_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                let parsed = match parsed {
+                    Ok(p) => p,
+                    Err(_) => {
+                        // Failures are never cached: a future fixed
+                        // image hashes differently anyway, and hostile
+                        // inputs must not leave residue behind.
+                        parse_errors.fetch_add(1, Ordering::Relaxed);
+                        let _ = slots[u].set(None);
+                        ballast.release(est);
+                        return;
+                    }
+                };
+                s.spawn(move || {
+                    // Stage 2: SWEEP (the shared disassembly pass).
+                    let t = Instant::now();
+                    let prepared = Prepared::from_parsed(parsed);
+                    sweep_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    s.spawn(move || {
+                        // Stage 3: ANALYZE the configurations the probe
+                        // left unresolved, over the one shared sweep.
+                        let t = Instant::now();
+                        let per_config = configs
+                            .iter()
+                            .zip(resolved)
+                            .map(|(cfg, hit)| {
+                                hit.unwrap_or_else(|| {
+                                    compute_one(image_hash, cfg, &prepared, mem_cache, disk)
+                                })
+                            })
+                            .collect();
+                        analyze_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        let _ = slots[u].set(Some(per_config));
+                        ballast.release(est);
+                    });
+                });
+            });
+        }
+    });
+
+    // ---- Fan results back out to the submission order. ----
+    let results = group
+        .iter()
+        .map(|&u| match slots[u].get().expect("scope joined every pipeline stage") {
+            None => vec![None; configs.len()],
+            Some(per_config) => per_config.iter().cloned().map(Some).collect(),
+        })
+        .collect();
+
+    BatchOutput {
+        results,
+        stats: BatchStats {
+            binaries: images.len(),
+            unique_images: uniques.len(),
+            parse_errors: parse_errors.into_inner(),
+            cache_hits: cache.hits() - hits0,
+            cache_misses: cache.misses() - misses0,
+            disk_hits: disk_hits.into_inner(),
+            parse_ns: parse_ns.into_inner(),
+            sweep_ns: sweep_ns.into_inner(),
+            analyze_ns: analyze_ns.into_inner(),
+            peak_inflight_bytes: ballast.peak(),
+        },
+    }
+}
+
+/// Computes one (image, config) analysis with the worker's scratch
+/// arena and fills the cache layers on the way out. The caller has
+/// already established that the cache hierarchy misses this key.
+fn compute_one(
+    image_hash: u64,
+    config: &Config,
+    prepared: &Prepared<'_>,
+    cache: Option<&ResultCache>,
+    disk: Option<&DiskCache>,
+) -> Arc<Analysis> {
+    let analysis = SCRATCH.with(|scratch| {
+        FunSeeker::with_config(*config).run_stages_with(
+            &prepared.parsed,
+            &prepared.index,
+            &mut scratch.borrow_mut(),
+        )
+    });
+    let shared = Arc::new(analysis);
+    if let Some(mem) = cache {
+        mem.insert(cache_key(image_hash, config), shared.clone());
+        if let Some(d) = disk {
+            d.store(cache_key(image_hash, config), &shared);
+        }
+    }
+    shared
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn own_exe() -> Vec<u8> {
+        std::fs::read("/proc/self/exe").unwrap()
+    }
+
+    #[test]
+    fn matches_fresh_sequential_analysis() {
+        let image = own_exe();
+        let configs: Vec<Config> = Config::table2().iter().map(|&(_, c)| c).collect();
+        let out = run(std::slice::from_ref(&image), &configs, &BatchOptions::default());
+        let prepared = funseeker::prepare(&image).unwrap();
+        for (j, cfg) in configs.iter().enumerate() {
+            let fresh = FunSeeker::with_config(*cfg).identify_prepared(&prepared);
+            assert_eq!(*out.results[0][j].as_ref().unwrap().as_ref(), fresh, "config {j}");
+        }
+        assert_eq!(out.stats.binaries, 1);
+        assert_eq!(out.stats.unique_images, 1);
+        assert_eq!(out.stats.parse_errors, 0);
+        assert!(out.stats.parse_ns > 0 && out.stats.sweep_ns > 0 && out.stats.analyze_ns > 0);
+    }
+
+    #[test]
+    fn duplicates_are_analyzed_once_and_share_arcs() {
+        let image = own_exe();
+        let corpus = vec![image.clone(), image.clone(), image];
+        let out = run(&corpus, &[Config::c4()], &BatchOptions::default());
+        assert_eq!(out.stats.unique_images, 1);
+        let a0 = out.results[0][0].as_ref().unwrap();
+        let a2 = out.results[2][0].as_ref().unwrap();
+        assert!(Arc::ptr_eq(a0, a2));
+    }
+
+    #[test]
+    fn warm_rerun_hits_the_shared_cache() {
+        let image = own_exe();
+        let cache = ResultCache::new();
+        let opts = BatchOptions::default();
+        let configs = [Config::c4(), Config::c1()];
+        let cold = run_with_cache(&[&image[..]], &configs, &opts, &cache);
+        assert_eq!(cold.stats.cache_hits, 0);
+        let warm = run_with_cache(&[&image[..]], &configs, &opts, &cache);
+        assert_eq!(warm.stats.cache_hits, configs.len() as u64);
+        assert_eq!(warm.stats.cache_misses, 0);
+        for j in 0..configs.len() {
+            assert!(Arc::ptr_eq(
+                cold.results[0][j].as_ref().unwrap(),
+                warm.results[0][j].as_ref().unwrap(),
+            ));
+        }
+        assert!((warm.stats.hit_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_failures_yield_none_and_never_poison() {
+        let image = own_exe();
+        let garbage = b"not an elf at all".to_vec();
+        let cache = ResultCache::new();
+        let opts = BatchOptions::default();
+        let corpus = vec![garbage.clone(), image, garbage];
+        let out = run_with_cache(&corpus, &[Config::c4()], &opts, &cache);
+        assert!(out.results[0][0].is_none());
+        assert!(out.results[1][0].is_some());
+        assert!(out.results[2][0].is_none());
+        assert_eq!(out.stats.parse_errors, 1, "dedup parses the garbage once");
+        // Only the successful analysis was cached.
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn tight_memory_bound_still_completes() {
+        let image = own_exe();
+        let corpus = vec![image.clone(), image.clone(), image.clone(), image];
+        let opts = BatchOptions {
+            cache: false, // no dedup: four full pipelines contend
+            max_inflight_bytes: 1,
+            ..Default::default()
+        };
+        let out = run(&corpus, &[Config::c4()], &opts);
+        assert!(out.results.iter().all(|r| r[0].is_some()));
+        assert_eq!(out.stats.unique_images, 4);
+        // One-at-a-time admission: the peak is a single binary's estimate.
+        assert_eq!(out.stats.peak_inflight_bytes, inflight_estimate(corpus[0].len()));
+    }
+
+    #[test]
+    fn empty_corpus_and_empty_configs() {
+        let out = run::<Vec<u8>>(&[], &[Config::c4()], &BatchOptions::default());
+        assert!(out.results.is_empty());
+        let image = own_exe();
+        let out = run(&[image], &[], &BatchOptions::default());
+        assert_eq!(out.results.len(), 1);
+        assert!(out.results[0].is_empty());
+    }
+
+    #[test]
+    fn disk_layer_serves_a_fresh_memory_cache() {
+        let dir =
+            std::env::temp_dir().join(format!("funseeker-batch-sched-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let image = own_exe();
+        let opts = BatchOptions { disk_cache: Some(dir.clone()), ..Default::default() };
+        let first = run(&[&image[..]], &[Config::c4()], &opts);
+        assert_eq!(first.stats.disk_hits, 0);
+        // New in-memory cache (fresh `run`), same disk directory.
+        let second = run(&[&image[..]], &[Config::c4()], &opts);
+        assert_eq!(second.stats.disk_hits, 1);
+        assert_eq!(second.results[0][0].as_ref().unwrap(), first.results[0][0].as_ref().unwrap(),);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

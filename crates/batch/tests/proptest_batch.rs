@@ -1,0 +1,199 @@
+//! The batch engine's identity contract, property-tested.
+//!
+//! For any corpus — pristine corpus-built binaries, hostile mutants
+//! from the 9-class corruption grammar, outright garbage, and exact
+//! duplicates — every path through the engine (cache-hit, scratch
+//! reuse, pipelined scheduling, disk round-trip) must return results
+//! **bit-identical** to a fresh sequential
+//! [`FunSeeker::identify`] per image, and hostile inputs must never
+//! poison the cache for anyone else.
+//!
+//! Case count comes from `FUNSEEKER_BATCH_CASES` (default 32).
+
+use std::sync::OnceLock;
+
+use funseeker::{Config, FunSeeker};
+use funseeker_batch::{run, run_with_cache, BatchOptions, BatchOutput, ResultCache};
+use funseeker_corpus::{
+    compile, Arch, BuildConfig, Compiler, FunctionSpec, Lang, Mutator, OptLevel, ProgramSpec,
+};
+use proptest::prelude::*;
+
+/// Pristine images compiled once and shared across all cases (mirrors
+/// the corpus crate's mutation fuzz harness).
+fn pristine_images() -> &'static [Vec<u8>] {
+    static IMAGES: OnceLock<Vec<Vec<u8>>> = OnceLock::new();
+    IMAGES.get_or_init(|| {
+        let mut images = Vec::new();
+        for (lang, compiler, seed) in
+            [(Lang::Cpp, Compiler::Gcc, 21), (Lang::C, Compiler::Clang, 22)]
+        {
+            let mut main = FunctionSpec::named("main");
+            main.calls = vec![1, 2];
+            let mut worker = FunctionSpec::named("worker");
+            if lang == Lang::Cpp {
+                worker.landing_pads = 1;
+            }
+            worker.calls = vec![2];
+            let mut leaf = FunctionSpec::named("leaf");
+            leaf.address_taken = true;
+            let spec = ProgramSpec {
+                name: "batch-victim".into(),
+                lang,
+                functions: vec![main, worker, leaf],
+            };
+            let cfg = BuildConfig { compiler, arch: Arch::X64, opt: OptLevel::O2, pie: true };
+            images.push(compile(&spec, cfg, seed).bytes);
+        }
+        images
+    })
+}
+
+fn cases() -> u32 {
+    std::env::var("FUNSEEKER_BATCH_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(32)
+}
+
+/// The configurations under test: the Table II grid plus the
+/// pattern-scan and threshold variants, so every [`Config`] field
+/// participates in cache keying and scratch reuse.
+fn config_grid() -> Vec<Config> {
+    let mut configs: Vec<Config> = Config::table2().iter().map(|&(_, c)| c).collect();
+    configs.push(Config { endbr_pattern_scan: true, ..Config::c4() });
+    configs.push(Config { min_tail_referers: 3, ..Config::c4() });
+    configs
+}
+
+/// A corpus exercising every interesting shape: pristine images, two
+/// independent mutants, a duplicated mutant, and unparsable garbage.
+fn hostile_corpus(seed: u64) -> Vec<Vec<u8>> {
+    let mut m = Mutator::new(seed);
+    let mut corpus: Vec<Vec<u8>> = pristine_images().to_vec();
+    let (mutant_a, _) = m.mutate(&corpus[0]);
+    let (mutant_b, _) = m.mutate(&corpus[1]);
+    corpus.push(mutant_a.clone());
+    corpus.push(mutant_b);
+    corpus.push(mutant_a); // exact duplicate of a hostile image
+    corpus.push(b"\x7fELF but then garbage".to_vec());
+    corpus
+}
+
+/// Asserts every batch result equals a fresh sequential analysis of the
+/// same image under the same configuration.
+fn assert_matches_fresh(
+    corpus: &[Vec<u8>],
+    configs: &[Config],
+    out: &BatchOutput,
+    what: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert!(out.results.len() == corpus.len(), "{what}: result count");
+    for (i, image) in corpus.iter().enumerate() {
+        for (j, cfg) in configs.iter().enumerate() {
+            let fresh = FunSeeker::with_config(*cfg).identify(image).ok();
+            let got = out.results[i][j].as_ref().map(|a| a.as_ref().clone());
+            prop_assert!(got == fresh, "{what}: image {i} config {j} diverged from fresh analysis");
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// Cold cache, warm rerun, and cache-off pipeline all match fresh
+    /// sequential analysis over a hostile corpus; the warm rerun serves
+    /// every successful result from the cache without recomputing.
+    #[test]
+    fn batch_paths_match_fresh_analysis(seed in any::<u64>()) {
+        let corpus = hostile_corpus(seed);
+        let configs = config_grid();
+        let opts = BatchOptions::default();
+        let cache = ResultCache::new();
+
+        let cold = run_with_cache(&corpus, &configs, &opts, &cache);
+        assert_matches_fresh(&corpus, &configs, &cold, "cold")?;
+
+        // Hostile inputs must not poison the cache: the warm rerun is
+        // still identical, and every successful result is the *same
+        // allocation* the cold run produced (served, not recomputed).
+        let warm = run_with_cache(&corpus, &configs, &opts, &cache);
+        assert_matches_fresh(&corpus, &configs, &warm, "warm")?;
+        for (cold_row, warm_row) in cold.results.iter().zip(&warm.results) {
+            for (c, w) in cold_row.iter().zip(warm_row) {
+                if let (Some(c), Some(w)) = (c, w) {
+                    prop_assert!(
+                        std::sync::Arc::ptr_eq(c, w),
+                        "warm rerun recomputed a cached result"
+                    );
+                }
+            }
+        }
+
+        // Scratch + pipeline without any caching or dedup.
+        let nocache = BatchOptions { cache: false, ..BatchOptions::default() };
+        let piped = run(&corpus, &configs, &nocache);
+        assert_matches_fresh(&corpus, &configs, &piped, "nocache")?;
+        prop_assert!(piped.stats.unique_images == corpus.len());
+    }
+
+    /// Results that crossed the disk layer (serialize → checksum →
+    /// deserialize in a fresh memory cache) still match fresh analysis.
+    #[test]
+    fn disk_round_trip_matches_fresh_analysis(seed in any::<u64>()) {
+        let corpus = hostile_corpus(seed);
+        let configs = config_grid();
+        let dir = std::env::temp_dir().join(format!(
+            "funseeker-batch-proptest-{}-{seed:016x}",
+            std::process::id(),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = BatchOptions { disk_cache: Some(dir.clone()), ..BatchOptions::default() };
+
+        let first = run(&corpus, &configs, &opts);
+        // Fresh in-memory cache: everything analyzable comes off disk.
+        let second = run(&corpus, &configs, &opts);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        assert_matches_fresh(&corpus, &configs, &second, "disk-served")?;
+        prop_assert!(second.stats.disk_hits > 0, "disk layer never used");
+        for (a_row, b_row) in first.results.iter().zip(&second.results) {
+            for (a, b) in a_row.iter().zip(b_row) {
+                prop_assert!(a.as_deref() == b.as_deref(), "disk round-trip changed a result");
+            }
+        }
+    }
+
+    /// A tiny in-flight memory bound serializes admission but never
+    /// changes results.
+    #[test]
+    fn memory_bound_is_invisible_in_results(seed in any::<u64>()) {
+        let corpus = hostile_corpus(seed);
+        let configs = [Config::c4()];
+        let bounded = BatchOptions { max_inflight_bytes: 1, ..BatchOptions::default() };
+        let out = run(&corpus, &configs, &bounded);
+        assert_matches_fresh(&corpus, &configs, &out, "bounded")?;
+    }
+}
+
+/// Deterministic sanity: the pristine images analyze identically
+/// through the batch engine and directly, and duplicates share one
+/// allocation.
+#[test]
+fn pristine_corpus_batch_equals_direct() {
+    let mut corpus = pristine_images().to_vec();
+    corpus.extend(pristine_images().iter().cloned()); // all duplicated
+    let configs = config_grid();
+    let out = run(&corpus, &configs, &BatchOptions::default());
+    assert_eq!(out.stats.unique_images, pristine_images().len());
+    assert_eq!(out.stats.parse_errors, 0);
+    let n = pristine_images().len();
+    for (i, image) in corpus.iter().take(n).enumerate() {
+        for (j, &config) in configs.iter().enumerate() {
+            let direct =
+                FunSeeker::with_config(config).identify(image).expect("pristine image analyzes");
+            let batch = out.results[i][j].as_ref().expect("pristine image analyzes in batch");
+            assert_eq!(batch.as_ref(), &direct);
+            let dup = out.results[i + n][j].as_ref().unwrap();
+            assert!(std::sync::Arc::ptr_eq(batch, dup), "duplicate got its own allocation");
+        }
+    }
+}

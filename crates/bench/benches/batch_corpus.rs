@@ -1,0 +1,50 @@
+//! Batch-engine corpus throughput: cold-cache, warm-cache, and
+//! no-cache rows over a duplicated corpus (each image twice, the
+//! structure real corpora have across optimization sweeps and reruns).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use funseeker::Config;
+use funseeker_batch::{run, run_with_cache, BatchOptions, ResultCache};
+use funseeker_bench::bench_dataset;
+
+fn bench(c: &mut Criterion) {
+    let ds = bench_dataset();
+    let mut images: Vec<Vec<u8>> = Vec::with_capacity(ds.binaries.len() * 2);
+    for _ in 0..2 {
+        images.extend(ds.binaries.iter().map(|b| b.bytes.clone()));
+    }
+    let configs: Vec<Config> = Config::table2().iter().map(|&(_, c)| c).collect();
+
+    let mut g = c.benchmark_group("batch_corpus");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(images.len() as u64));
+
+    g.bench_function("cold_cache", |b| {
+        b.iter(|| {
+            let out = run(&images, &configs, &BatchOptions::default());
+            std::hint::black_box(out.stats.unique_images)
+        })
+    });
+
+    let warm_cache = ResultCache::new();
+    let _ = run_with_cache(&images, &configs, &BatchOptions::default(), &warm_cache);
+    g.bench_function("warm_cache", |b| {
+        b.iter(|| {
+            let out = run_with_cache(&images, &configs, &BatchOptions::default(), &warm_cache);
+            std::hint::black_box(out.stats.cache_hits)
+        })
+    });
+
+    let no_cache = BatchOptions { cache: false, ..BatchOptions::default() };
+    g.bench_function("no_cache", |b| {
+        b.iter(|| {
+            let out = run(&images, &configs, &no_cache);
+            std::hint::black_box(out.results.len())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -5,9 +5,10 @@ use std::collections::BTreeSet;
 use crate::config::Config;
 use crate::disassemble::{disassemble, SweepIndex};
 use crate::error::Error;
-use crate::filter::filter_endbr;
+use crate::filter::filter_endbr_into;
 use crate::parse::{parse, Parsed};
-use crate::tailcall::select_tail_calls;
+use crate::scratch::Scratch;
+use crate::tailcall::select_tail_calls_into;
 
 /// A binary with its front-end work done: parsed sections plus the one
 /// shared disassembly pass.
@@ -153,60 +154,111 @@ impl FunSeeker {
     /// Runs FILTERENDBR/SELECTTAILCALL over a pre-computed sweep index.
     /// Exposed for the evaluation harness, which reuses one sweep across
     /// all four configurations.
+    ///
+    /// Allocates a fresh working-set arena per call; batch callers that
+    /// analyze many binaries should hold a [`Scratch`] per worker and use
+    /// [`run_stages_with`] instead.
+    ///
+    /// [`run_stages_with`]: FunSeeker::run_stages_with
     pub fn run_stages(&self, parsed: &Parsed<'_>, sweep: &SweepIndex) -> Analysis {
+        self.run_stages_with(parsed, sweep, &mut Scratch::new())
+    }
+
+    /// [`run_stages`] with caller-provided working-set buffers.
+    ///
+    /// All intermediate collections live in `scratch`, which is cleared
+    /// and refilled — after the arena has grown to the workload's
+    /// high-water mark, the per-binary stages allocate nothing beyond
+    /// the returned [`Analysis`] itself. The result is identical to
+    /// [`run_stages`] regardless of what the arena held before.
+    ///
+    /// [`run_stages`]: FunSeeker::run_stages
+    pub fn run_stages_with(
+        &self,
+        parsed: &Parsed<'_>,
+        sweep: &SweepIndex,
+        scratch: &mut Scratch,
+    ) -> Analysis {
         // Optional superset pass: recover end-branches the linear sweep
         // may have lost to data-in-text desynchronization. Only the
         // end-branch list is augmented — borrow the rest of the index
         // rather than cloning it.
-        let scanned: Vec<u64>;
         let endbrs: &[u64] = if self.config.endbr_pattern_scan {
-            let mut all: BTreeSet<u64> = sweep.endbrs.iter().copied().collect();
-            all.extend(crate::disassemble::scan_endbr_pattern(parsed));
-            scanned = all.into_iter().collect();
-            &scanned
+            scratch.endbr_union.clear();
+            scratch.endbr_union.extend_from_slice(&sweep.endbrs);
+            scratch.endbr_union.extend(crate::disassemble::scan_endbr_pattern(parsed));
+            scratch.endbr_union.sort_unstable();
+            scratch.endbr_union.dedup();
+            &scratch.endbr_union
         } else {
             &sweep.endbrs
         };
 
         let endbr_count = endbrs.len();
 
-        // E or E′.
-        let e: BTreeSet<u64> = if self.config.filter_endbr {
-            filter_endbr(parsed, &sweep.call_sites, endbrs)
+        // E or E′ — sorted and deduplicated either way.
+        if self.config.filter_endbr {
+            filter_endbr_into(
+                parsed,
+                &sweep.call_sites,
+                endbrs,
+                &mut scratch.return_points,
+                &mut scratch.entries,
+            );
         } else {
-            endbrs.iter().copied().collect()
-        };
-        let filtered = endbr_count - e.len();
+            scratch.entries.clear();
+            scratch.entries.extend_from_slice(endbrs);
+            scratch.entries.sort_unstable();
+            scratch.entries.dedup();
+        }
+        let filtered = endbr_count - scratch.entries.len();
 
         // E′ ∪ C.
-        let mut functions = e;
-        functions.extend(sweep.call_targets.iter().copied());
+        scratch.functions.clear();
+        scratch.functions.extend_from_slice(&scratch.entries);
+        scratch.functions.extend(sweep.call_targets.iter().copied());
+        scratch.functions.sort_unstable();
+        scratch.functions.dedup();
+
+        // J as a set of distinct targets.
+        scratch.jmp_targets.clear();
+        scratch.jmp_targets.extend(sweep.jmp_edges.iter().map(|&(_, t)| t));
+        scratch.jmp_targets.sort_unstable();
+        scratch.jmp_targets.dedup();
+        let jmp_target_count = scratch.jmp_targets.len();
 
         // ∪ J or ∪ J′.
-        let jmp_targets = sweep.jmp_targets();
         let mut tail_count = 0;
         if self.config.include_jump_targets {
             if self.config.select_tail_calls {
-                let tails = select_tail_calls(
-                    &functions,
+                scratch.region_starts.clear();
+                scratch.region_starts.extend(sweep.regions.iter().map(|r| r.start));
+                select_tail_calls_into(
+                    &scratch.functions,
                     &sweep.jmp_edges,
                     self.config.min_tail_referers,
-                    &sweep.region_starts(),
+                    &scratch.region_starts,
+                    &mut scratch.referers,
+                    &mut scratch.tails,
                 );
-                tail_count = tails.len();
-                functions.extend(tails);
+                tail_count = scratch.tails.len();
+                scratch.functions.extend_from_slice(&scratch.tails);
             } else {
-                functions.extend(jmp_targets.iter().copied());
+                scratch.functions.extend_from_slice(&scratch.jmp_targets);
             }
+            scratch.functions.sort_unstable();
+            scratch.functions.dedup();
         }
 
         Analysis {
-            functions,
+            // Bulk-built from the sorted run — the field type stays a
+            // `BTreeSet` for every downstream consumer.
+            functions: scratch.functions.iter().copied().collect(),
             text_range: parsed.code.bounds(),
             endbr_count,
             filtered_endbrs: filtered,
             call_target_count: sweep.call_targets.len(),
-            jmp_target_count: jmp_targets.len(),
+            jmp_target_count,
             tail_target_count: tail_count,
             decode_errors: sweep.decode_errors,
             cet_enabled: parsed.cet.full(),

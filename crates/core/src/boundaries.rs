@@ -7,7 +7,7 @@
 //! to the last reachable-by-fallthrough instruction before the next
 //! entry, with trailing padding peeled off.
 
-use std::collections::BTreeSet;
+use std::borrow::Borrow;
 
 use funseeker_disasm::InsnKind;
 
@@ -37,6 +37,10 @@ impl FunctionBounds {
 
 /// Derives boundaries for a set of identified entries.
 ///
+/// `entries` is any iterable of entry addresses — the
+/// [`crate::Analysis::functions`] set, a sorted slice, an array literal;
+/// it is sorted and deduplicated internally.
+///
 /// Instructions between one entry and the next belong to the earlier
 /// function; trailing `NOP`/`INT3` alignment padding is trimmed. A
 /// function never extends past the end of its code region: the last
@@ -44,8 +48,14 @@ impl FunctionBounds {
 ///
 /// Reads the instruction stream from the shared [`Prepared::index`]; no
 /// re-disassembly happens here.
-pub fn estimate_bounds(prepared: &Prepared<'_>, entries: &BTreeSet<u64>) -> Vec<FunctionBounds> {
-    let starts: Vec<u64> = entries.iter().copied().collect();
+pub fn estimate_bounds<I>(prepared: &Prepared<'_>, entries: I) -> Vec<FunctionBounds>
+where
+    I: IntoIterator,
+    I::Item: Borrow<u64>,
+{
+    let mut starts: Vec<u64> = entries.into_iter().map(|e| *e.borrow()).collect();
+    starts.sort_unstable();
+    starts.dedup();
     let (_, code_end) = prepared.parsed.code.bounds();
 
     let mut out = Vec::with_capacity(starts.len());
@@ -84,8 +94,7 @@ mod tests {
             0xf3, 0x0f, 0x1e, 0xfa, 0x31, 0xc0, 0xc3, // 0x1008..
         ];
         let p = prepared(&code, 0x1000);
-        let entries: BTreeSet<u64> = [0x1000u64, 0x1008].into_iter().collect();
-        let bounds = estimate_bounds(&p, &entries);
+        let bounds = estimate_bounds(&p, [0x1000u64, 0x1008]);
         assert_eq!(bounds.len(), 2);
         assert_eq!(bounds[0], FunctionBounds { start: 0x1000, end: 0x1005 });
         assert_eq!(bounds[1], FunctionBounds { start: 0x1008, end: 0x100f });
@@ -97,8 +106,7 @@ mod tests {
     fn last_function_extends_to_region_end() {
         let code = [0xf3, 0x0f, 0x1e, 0xfa, 0x31, 0xc0, 0xc3];
         let p = prepared(&code, 0x2000);
-        let entries: BTreeSet<u64> = [0x2000u64].into_iter().collect();
-        let bounds = estimate_bounds(&p, &entries);
+        let bounds = estimate_bounds(&p, [0x2000u64]);
         assert_eq!(bounds[0].end, 0x2007);
     }
 
@@ -115,8 +123,7 @@ mod tests {
             CodeRegion { name: ".b".into(), addr: 0x1008, bytes: &b },
         ]);
         let p = Prepared::from_parsed(parsed);
-        let entries: BTreeSet<u64> = [0x1000u64].into_iter().collect();
-        let bounds = estimate_bounds(&p, &entries);
+        let bounds = estimate_bounds(&p, [0x1000u64]);
         assert_eq!(bounds[0], FunctionBounds { start: 0x1000, end: 0x1005 });
     }
 

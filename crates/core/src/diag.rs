@@ -86,13 +86,24 @@ impl Diagnostics {
 
     /// Records a warning, coalescing exact duplicates.
     pub fn warn(&mut self, component: Component, message: impl Into<String>) {
+        self.record(component, message, 1);
+    }
+
+    /// Records a warning that occurred `count` times, coalescing with an
+    /// existing identical entry. `count == 0` records nothing. Used by
+    /// persistence layers (the batch result cache) to reconstruct a sink
+    /// without replaying each occurrence.
+    pub fn record(&mut self, component: Component, message: impl Into<String>, count: usize) {
+        if count == 0 {
+            return;
+        }
         let message = message.into();
         if let Some(d) =
             self.items.iter_mut().find(|d| d.component == component && d.message == message)
         {
-            d.count += 1;
+            d.count += count;
         } else {
-            self.items.push(Diagnostic { component, message, count: 1 });
+            self.items.push(Diagnostic { component, message, count });
         }
     }
 

@@ -5,8 +5,11 @@
 //! to an *indirect-return* function (`setjmp` family), and C++ exception
 //! landing pads. Both are recognized from metadata that cannot be
 //! stripped: the PLT/relocation machinery and `.gcc_except_table`.
-
-use std::collections::BTreeSet;
+//!
+//! The working sets here are sorted `Vec`s rather than `BTreeSet`s: the
+//! inputs arrive nearly sorted (the sweep emits addresses in order), so
+//! sort-then-dedup plus binary search beats per-element tree inserts,
+//! and the buffers can be reused across binaries via [`crate::Scratch`].
 
 use crate::parse::Parsed;
 
@@ -29,24 +32,46 @@ pub fn is_indirect_return_name(name: &str) -> bool {
 ///
 /// `call_sites` are `(address_after_call, target)` pairs from the shared
 /// sweep index; `endbrs` is the end-branch list to filter (either the
-/// sweep's or the pattern-scan-augmented one).
-pub fn filter_endbr(p: &Parsed<'_>, call_sites: &[(u64, u64)], endbrs: &[u64]) -> BTreeSet<u64> {
+/// sweep's or the pattern-scan-augmented one). The result is sorted and
+/// deduplicated.
+pub fn filter_endbr(p: &Parsed<'_>, call_sites: &[(u64, u64)], endbrs: &[u64]) -> Vec<u64> {
+    let mut return_points = Vec::new();
+    let mut out = Vec::new();
+    filter_endbr_into(p, call_sites, endbrs, &mut return_points, &mut out);
+    out
+}
+
+/// Buffer-reusing body of [`filter_endbr`]: `return_points` and `out`
+/// are cleared and refilled, keeping their capacity across calls.
+pub(crate) fn filter_endbr_into(
+    p: &Parsed<'_>,
+    call_sites: &[(u64, u64)],
+    endbrs: &[u64],
+    return_points: &mut Vec<u64>,
+    out: &mut Vec<u64>,
+) {
     // Return points of indirect-return calls: address right after each
     // call whose target is a PLT stub for a listed function.
-    let mut return_points = BTreeSet::new();
+    return_points.clear();
     for &(after, target) in call_sites {
         if let Some(name) = p.plt.name_at(target) {
             if is_indirect_return_name(name) {
-                return_points.insert(after);
+                return_points.push(after);
             }
         }
     }
+    return_points.sort_unstable();
+    return_points.dedup();
 
-    endbrs
-        .iter()
-        .copied()
-        .filter(|a| !return_points.contains(a) && !p.landing_pads.contains(a))
-        .collect()
+    out.clear();
+    out.extend(
+        endbrs
+            .iter()
+            .copied()
+            .filter(|a| return_points.binary_search(a).is_err() && !p.landing_pads.contains(a)),
+    );
+    out.sort_unstable();
+    out.dedup();
 }
 
 #[cfg(test)]
@@ -96,12 +121,21 @@ mod tests {
     fn filters_landing_pads() {
         let p = parsed_with(PltMap::default(), &[0x1100, 0x1200]);
         let e = filter_endbr(&p, &[], &[0x1000, 0x1100, 0x1200]);
-        assert_eq!(e.into_iter().collect::<Vec<_>>(), vec![0x1000]);
+        assert_eq!(e, vec![0x1000]);
     }
 
     #[test]
     fn no_metadata_means_no_filtering() {
         let p = parsed_with(PltMap::default(), &[]);
         assert_eq!(filter_endbr(&p, &[], &[1, 2, 3]).len(), 3);
+    }
+
+    #[test]
+    fn result_is_sorted_and_deduplicated() {
+        // The pattern-scan union path can hand in out-of-order
+        // duplicates; the set semantics of the old BTreeSet result must
+        // be preserved.
+        let p = parsed_with(PltMap::default(), &[]);
+        assert_eq!(filter_endbr(&p, &[], &[3, 1, 2, 1, 3]), vec![1, 2, 3]);
     }
 }

@@ -36,6 +36,7 @@ pub mod boundaries;
 mod config;
 pub mod diag;
 mod error;
+mod scratch;
 
 pub mod disassemble;
 pub mod filter;
@@ -48,3 +49,4 @@ pub use config::Config;
 pub use diag::{Diagnostic, Diagnostics};
 pub use error::Error;
 pub use filter::{is_indirect_return_name, INDIRECT_RETURN_FUNCTIONS};
+pub use scratch::Scratch;

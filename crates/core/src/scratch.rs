@@ -1,0 +1,92 @@
+//! Reusable working-set arena for the Algorithm-1 stages.
+//!
+//! Every [`crate::FunSeeker::run_stages`] call needs a handful of
+//! intermediate collections: the filtered end-branch list, the growing
+//! candidate set, SELECTTAILCALL's referer pairs. Allocating them per
+//! call is invisible for one binary but measurable over a corpus of
+//! thousands — the batch engine analyzes one binary per task on a
+//! persistent worker pool, so the same buffers can serve every binary a
+//! worker ever sees.
+//!
+//! [`Scratch`] owns those buffers. Each stage clears and refills them,
+//! which keeps capacity: after the first few binaries of a batch the
+//! arena has grown to the workload's high-water mark and the working
+//! sets of later binaries allocate nothing. (The returned
+//! [`crate::Analysis`] still owns its `functions` set — the arena only
+//! absorbs the *intermediate* allocations.)
+//!
+//! The one-shot entry points ([`crate::FunSeeker::identify`],
+//! [`crate::FunSeeker::run_stages`]) build a fresh arena internally;
+//! batch callers hold one per worker and pass it to
+//! [`crate::FunSeeker::run_stages_with`].
+
+/// Reusable buffers for one analysis worker.
+///
+/// Obtain with [`Scratch::new`], pass to
+/// [`crate::FunSeeker::run_stages_with`], reuse for the next binary. The
+/// contents between calls are unspecified; every user clears before use.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// Sweep end-branches unioned with the pattern scan (only used when
+    /// `endbr_pattern_scan` is enabled).
+    pub(crate) endbr_union: Vec<u64>,
+    /// FILTERENDBR's indirect-return points.
+    pub(crate) return_points: Vec<u64>,
+    /// `E` or `E′`, sorted.
+    pub(crate) entries: Vec<u64>,
+    /// The growing candidate set `E′ ∪ C (∪ J′)`, sorted.
+    pub(crate) functions: Vec<u64>,
+    /// Distinct direct-jump targets (`J` as a set).
+    pub(crate) jmp_targets: Vec<u64>,
+    /// Region start addresses (interval breaks for SELECTTAILCALL).
+    pub(crate) region_starts: Vec<u64>,
+    /// SELECTTAILCALL's `(target, referring interval)` accumulator.
+    pub(crate) referers: Vec<(u64, Option<u64>)>,
+    /// SELECTTAILCALL's output `J′`.
+    pub(crate) tails: Vec<u64>,
+}
+
+impl Scratch {
+    /// An empty arena; buffers grow on first use and are kept thereafter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total heap capacity currently retained, in bytes — what a batch
+    /// scheduler accounts against its in-flight memory budget.
+    pub fn capacity_bytes(&self) -> usize {
+        let u64s = self.endbr_union.capacity()
+            + self.return_points.capacity()
+            + self.entries.capacity()
+            + self.functions.capacity()
+            + self.jmp_targets.capacity()
+            + self.region_starts.capacity()
+            + self.tails.capacity();
+        u64s * std::mem::size_of::<u64>()
+            + self.referers.capacity() * std::mem::size_of::<(u64, Option<u64>)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_is_retained_across_reuse() {
+        let bytes = std::fs::read("/proc/self/exe").unwrap();
+        let prepared = crate::prepare(&bytes).unwrap();
+        let seeker = crate::FunSeeker::new();
+
+        let mut scratch = Scratch::new();
+        assert_eq!(scratch.capacity_bytes(), 0);
+        let first = seeker.run_stages_with(&prepared.parsed, &prepared.index, &mut scratch);
+        let warm = scratch.capacity_bytes();
+        assert!(warm > 0, "analysis of a real binary fills the arena");
+
+        // Re-analyzing the same binary must not grow the arena further —
+        // the buffers are at their high-water mark already.
+        let second = seeker.run_stages_with(&prepared.parsed, &prepared.index, &mut scratch);
+        assert_eq!(first, second, "scratch reuse must not change results");
+        assert_eq!(scratch.capacity_bytes(), warm, "warm arena stops growing");
+    }
+}

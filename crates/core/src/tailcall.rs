@@ -15,38 +15,72 @@
 //! function never spans two executable sections, so a jump target in a
 //! candidate-free region (e.g. `.fini`) is not attributed to the last
 //! `.text` candidate's interval.
-
-use std::collections::{BTreeMap, BTreeSet};
+//!
+//! The accumulator is a flat `Vec<(target, interval)>` that is sorted
+//! and deduplicated once, then scanned in runs per target — replacing
+//! the former `BTreeMap<u64, BTreeSet<…>>`, whose per-edge tree inserts
+//! dominated this stage's cost at corpus scale. The buffers can be
+//! reused across binaries via [`crate::Scratch`].
 
 /// Identifies tail-call targets among the jump edges.
 ///
-/// * `candidates` — the current function-start estimate (`E′ ∪ C`).
+/// * `candidates` — the current function-start estimate (`E′ ∪ C`) as a
+///   **sorted, deduplicated** slice.
 /// * `jmp_edges` — `(site, target)` pairs of direct unconditional jumps.
 /// * `min_referers` — condition (2)'s threshold ("multiple" = 2 in the
 ///   default configuration).
 /// * `region_starts` — sorted start addresses of the code regions; may
 ///   be empty for single-interval analyses (tests, synthetic inputs).
+///
+/// Returns the selected targets sorted in ascending order.
 pub fn select_tail_calls(
-    candidates: &BTreeSet<u64>,
+    candidates: &[u64],
     jmp_edges: &[(u64, u64)],
     min_referers: usize,
     region_starts: &[u64],
-) -> BTreeSet<u64> {
+) -> Vec<u64> {
+    let mut referers = Vec::new();
+    let mut out = Vec::new();
+    select_tail_calls_into(
+        candidates,
+        jmp_edges,
+        min_referers,
+        region_starts,
+        &mut referers,
+        &mut out,
+    );
+    out
+}
+
+/// Buffer-reusing body of [`select_tail_calls`]: `referers` and `out`
+/// are cleared and refilled, keeping their capacity across calls.
+pub(crate) fn select_tail_calls_into(
+    candidates: &[u64],
+    jmp_edges: &[(u64, u64)],
+    min_referers: usize,
+    region_starts: &[u64],
+    referers: &mut Vec<(u64, Option<u64>)>,
+    out: &mut Vec<u64>,
+) {
+    debug_assert!(candidates.windows(2).all(|w| w[0] < w[1]), "candidates must be sorted+deduped");
+
     // Interval id of an address = the greatest candidate-or-region-start
     // ≤ address (None for addresses before all of them). For a single
     // region this matches the plain candidate interval: addresses below
     // the first candidate share the region-start interval, which the
     // site/target comparison treats just like sharing `None`.
     let interval = |addr: u64| -> Option<u64> {
-        let cand = candidates.range(..=addr).next_back().copied();
+        let cand = candidates[..candidates.partition_point(|&c| c <= addr)].last().copied();
         let region = region_starts[..region_starts.partition_point(|&s| s <= addr)].last().copied();
         cand.max(region)
     };
 
-    // target → set of referring intervals (excluding the target's own).
-    let mut referers: BTreeMap<u64, BTreeSet<Option<u64>>> = BTreeMap::new();
+    // `(target, referring interval)` pairs, excluding the target's own
+    // interval; dedup after sorting collapses repeated jumps from the
+    // same function into one referer.
+    referers.clear();
     for &(site, target) in jmp_edges {
-        if candidates.contains(&target) {
+        if candidates.binary_search(&target).is_ok() {
             continue; // already identified; nothing to decide
         }
         let site_iv = interval(site);
@@ -55,18 +89,36 @@ pub fn select_tail_calls(
         if site_iv == target_iv {
             continue;
         }
-        referers.entry(target).or_default().insert(site_iv);
+        referers.push((target, site_iv));
     }
+    referers.sort_unstable();
+    referers.dedup();
 
-    referers.into_iter().filter(|(_, ivs)| ivs.len() >= min_referers).map(|(t, _)| t).collect()
+    // Each run of equal targets holds its distinct referring intervals.
+    out.clear();
+    let mut i = 0;
+    while i < referers.len() {
+        let target = referers[i].0;
+        let mut j = i + 1;
+        while j < referers.len() && referers[j].0 == target {
+            j += 1;
+        }
+        if j - i >= min_referers {
+            out.push(target);
+        }
+        i = j;
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn cands(v: &[u64]) -> BTreeSet<u64> {
-        v.iter().copied().collect()
+    fn cands(v: &[u64]) -> Vec<u64> {
+        let mut c = v.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        c
     }
 
     #[test]
@@ -86,8 +138,7 @@ mod tests {
         // functions, so it is selected).
         let c = cands(&[0x100, 0x200, 0x300]);
         let edges = [(0x110u64, 0x350u64), (0x210, 0x350)];
-        let sel = select_tail_calls(&c, &edges, 2, &[]);
-        assert_eq!(sel.into_iter().collect::<Vec<_>>(), vec![0x350]);
+        assert_eq!(select_tail_calls(&c, &edges, 2, &[]), vec![0x350]);
     }
 
     #[test]
@@ -146,7 +197,7 @@ mod tests {
         let edges = [(0x190u64, 0x2000u64), (0x110, 0x2000)];
         assert!(select_tail_calls(&c, &edges, 2, &[]).is_empty());
         let sel = select_tail_calls(&c, &edges, 2, &[0x100, 0x2000]);
-        assert_eq!(sel.into_iter().collect::<Vec<_>>(), vec![0x2000]);
+        assert_eq!(sel, vec![0x2000]);
     }
 
     #[test]
@@ -165,5 +216,14 @@ mod tests {
             select_tail_calls(&c, &edges, 2, &[]),
             select_tail_calls(&c, &edges, 2, &[0x10]),
         );
+    }
+
+    #[test]
+    fn selected_targets_are_sorted() {
+        // Two qualifying targets must come back in ascending order
+        // regardless of edge order.
+        let c = cands(&[0x100, 0x200, 0x300]);
+        let edges = [(0x110u64, 0x3f0u64), (0x210, 0x3f0), (0x210, 0x3e0), (0x110, 0x3e0)];
+        assert_eq!(select_tail_calls(&c, &edges, 2, &[]), vec![0x3e0, 0x3f0]);
     }
 }

@@ -1,0 +1,435 @@
+//! Batch-engine throughput measurement — the `experiments -- batch`
+//! subcommand.
+//!
+//! Builds a deterministic corpus with the duplicate structure real
+//! corpora have (the same binary recurring across optimization sweeps
+//! and reruns — each generated image appears several times), then
+//! measures binaries/second through five drivers:
+//!
+//! | row | what it measures |
+//! |---|---|
+//! | `flat` | the pre-batch driver: one `par_map` task per binary, fresh `prepare` + identify, no cache |
+//! | `nocache` | the pipelined scheduler with caching *and dedup off* — isolates pipeline + scratch-arena gains |
+//! | `cold` | the full engine, empty cache — dedup + pipeline + scratch |
+//! | `warm` | a rerun against the populated in-memory cache — hash, look up, done |
+//! | `disk` | a fresh process's view: empty memory cache served by the on-disk layer |
+//!
+//! Results append to the `BENCH_batch.json` trajectory (same
+//! line-oriented format as `BENCH_sweep.json`, via
+//! [`crate::trajectory`]) and `--check` gates CI on the newest
+//! committed `cold` row. Peak RSS comes from `VmHWM` in
+//! `/proc/self/status`, covering the whole process including the
+//! corpus itself.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use funseeker::{prepare, Analysis, Config, FunSeeker};
+use funseeker_batch::{BatchOptions, ResultCache};
+use funseeker_corpus::{BuildConfig, Dataset, DatasetParams};
+
+use crate::runner::par_map_timed;
+use crate::trajectory;
+
+/// Seed for the benchmark corpus (shared with [`crate::perf`]).
+const SEED: u64 = 0xBE7C4;
+
+/// Trajectory schema tag for `BENCH_batch.json`.
+const SCHEMA: &str = "funseeker-bench-batch-v1";
+
+/// How many times each generated image recurs in the corpus.
+const DUPLICATES: usize = 3;
+
+/// One measured driver.
+#[derive(Debug, Clone)]
+pub struct BatchRow {
+    /// Driver name (`flat`, `nocache`, `cold`, `warm`, `disk`).
+    pub label: String,
+    /// Best-of-N wall time in milliseconds for the whole corpus.
+    pub ms: f64,
+    /// Corpus binaries analyzed per second (each under all four Table II
+    /// configurations).
+    pub bins_per_s: f64,
+    /// Result-cache hit rate observed on the measured run.
+    pub hit_rate: f64,
+    /// Distinct images the run actually analyzed.
+    pub unique_images: usize,
+}
+
+/// The full measurement: corpus description plus one row per driver.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Binaries in the corpus (after duplication).
+    pub binaries: usize,
+    /// Distinct images before duplication.
+    pub distinct: usize,
+    /// Configurations analyzed per binary.
+    pub configs: usize,
+    /// Repetitions per row (the minimum is reported).
+    pub reps: usize,
+    /// `VmHWM` of the process at the end of the measurement, in KiB.
+    pub peak_rss_kb: u64,
+    /// Measured drivers.
+    pub rows: Vec<BatchRow>,
+}
+
+/// Peak resident set size of this process (`VmHWM`), in KiB; 0 when
+/// `/proc` is unavailable.
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|kb| kb.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The benchmark corpus: a deterministic dataset with each image
+/// repeated [`DUPLICATES`] times, interleaved so duplicates are not
+/// adjacent (the scheduler must find them by content, not position).
+fn corpus(quick: bool) -> (Vec<Vec<u8>>, usize) {
+    let mut params = DatasetParams::tiny();
+    if !quick {
+        params.programs = (3, 2, 3);
+        params.configs = BuildConfig::grid();
+    }
+    let ds = Dataset::generate(&params, SEED);
+    let distinct = ds.binaries.len();
+    let mut images = Vec::with_capacity(distinct * DUPLICATES);
+    for round in 0..DUPLICATES {
+        for bin in &ds.binaries {
+            let _ = round;
+            images.push(bin.bytes.clone());
+        }
+    }
+    (images, distinct)
+}
+
+fn total_functions(results: &[Vec<Option<Arc<Analysis>>>]) -> usize {
+    results
+        .iter()
+        .flat_map(|per_config| per_config.iter())
+        .map(|a| a.as_ref().map_or(0, |a| a.functions.len()))
+        .sum()
+}
+
+/// Runs the measurement. `quick` shrinks the corpus and repetition
+/// count for CI smoke use.
+pub fn run(quick: bool) -> BatchReport {
+    let (images, distinct) = corpus(quick);
+    let configs: Vec<Config> = Config::table2().iter().map(|&(_, c)| c).collect();
+    let reps = if quick { 2 } else { 3 };
+    let n = images.len();
+    let mut rows = Vec::new();
+    let mut push = |label: &str, best_s: f64, hit_rate: f64, unique: usize| {
+        rows.push(BatchRow {
+            label: label.to_owned(),
+            ms: best_s * 1e3,
+            bins_per_s: n as f64 / best_s,
+            hit_rate,
+            unique_images: unique,
+        });
+    };
+
+    // Warm-up: initialize the pool, fault the corpus in.
+    let _ = funseeker_batch::hash_bytes(&images[0]);
+    let _ = funseeker_pool::global().workers();
+
+    // ---- flat: the pre-batch driver. One task per binary, fresh
+    // front end, fresh per-call scratch, no cache, no dedup.
+    let mut flat_functions = 0usize;
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let outs = par_map_timed(&images, |image| {
+            let prepared = match prepare(image) {
+                Ok(p) => p,
+                Err(_) => return 0usize,
+            };
+            configs
+                .iter()
+                .map(|&c| FunSeeker::with_config(c).identify_prepared(&prepared).functions.len())
+                .sum()
+        });
+        best = best.min(t.elapsed().as_secs_f64());
+        flat_functions = outs.iter().map(|(f, _)| f).sum();
+    }
+    push("flat", best, 0.0, n);
+
+    // ---- nocache: pipeline + scratch arenas only.
+    let mut best = f64::MAX;
+    let mut last_stats = None;
+    let nocache_opts = BatchOptions { cache: false, ..Default::default() };
+    for _ in 0..reps {
+        let t = Instant::now();
+        let out = funseeker_batch::run(&images, &configs, &nocache_opts);
+        best = best.min(t.elapsed().as_secs_f64());
+        assert_eq!(total_functions(&out.results), flat_functions, "nocache diverged from flat");
+        last_stats = Some(out.stats);
+    }
+    push("nocache", best, 0.0, last_stats.expect("ran").unique_images);
+
+    // ---- cold: the full engine from an empty cache, fresh every rep.
+    let mut best = f64::MAX;
+    let mut cold_cache = ResultCache::new();
+    let mut cold_stats = None;
+    for _ in 0..reps {
+        let cache = ResultCache::new();
+        let t = Instant::now();
+        let out =
+            funseeker_batch::run_with_cache(&images, &configs, &BatchOptions::default(), &cache);
+        best = best.min(t.elapsed().as_secs_f64());
+        assert_eq!(total_functions(&out.results), flat_functions, "cold diverged from flat");
+        cold_stats = Some(out.stats);
+        cold_cache = cache;
+    }
+    let cold_stats = cold_stats.expect("ran");
+    push("cold", best, cold_stats.hit_rate(), cold_stats.unique_images);
+
+    // ---- warm: rerun against the last cold run's populated cache.
+    let mut best = f64::MAX;
+    let mut warm_stats = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let out = funseeker_batch::run_with_cache(
+            &images,
+            &configs,
+            &BatchOptions::default(),
+            &cold_cache,
+        );
+        best = best.min(t.elapsed().as_secs_f64());
+        assert_eq!(total_functions(&out.results), flat_functions, "warm diverged from flat");
+        warm_stats = Some(out.stats);
+    }
+    let warm_stats = warm_stats.expect("ran");
+    push("warm", best, warm_stats.hit_rate(), warm_stats.unique_images);
+
+    // ---- disk: an empty memory cache backed by a populated disk layer
+    // (a fresh process rerunning yesterday's corpus).
+    let dir = std::env::temp_dir().join(format!("funseeker-batch-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let disk_opts = BatchOptions { disk_cache: Some(dir.clone()), ..Default::default() };
+    // Populate the disk layer (untimed).
+    let _ = funseeker_batch::run(&images, &configs, &disk_opts);
+    let mut best = f64::MAX;
+    let mut disk_stats = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let out = funseeker_batch::run(&images, &configs, &disk_opts);
+        best = best.min(t.elapsed().as_secs_f64());
+        assert_eq!(total_functions(&out.results), flat_functions, "disk diverged from flat");
+        disk_stats = Some(out.stats);
+    }
+    let disk_stats = disk_stats.expect("ran");
+    // On a fresh memory cache every lookup is a "miss"; the disk row's
+    // hit rate is the fraction of those misses the disk layer served.
+    let disk_rate = if disk_stats.cache_misses == 0 {
+        0.0
+    } else {
+        disk_stats.disk_hits as f64 / disk_stats.cache_misses as f64
+    };
+    push("disk", best, disk_rate, disk_stats.unique_images);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    BatchReport {
+        binaries: n,
+        distinct,
+        configs: configs.len(),
+        reps,
+        peak_rss_kb: peak_rss_kb(),
+        rows,
+    }
+}
+
+impl BatchReport {
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "corpus: {} binaries ({} distinct ×{}), {} configs each, best of {} runs, \
+             peak RSS {:.1} MiB\n\n",
+            self.binaries,
+            self.distinct,
+            DUPLICATES,
+            self.configs,
+            self.reps,
+            self.peak_rss_kb as f64 / 1024.0,
+        ));
+        s.push_str(&format!(
+            "{:<9} {:>10} {:>12} {:>10} {:>8}\n",
+            "driver", "ms", "binaries/s", "hit-rate", "unique"
+        ));
+        for r in &self.rows {
+            s.push_str(&format!(
+                "{:<9} {:>10.1} {:>12.1} {:>9.0}% {:>8}\n",
+                r.label,
+                r.ms,
+                r.bins_per_s,
+                r.hit_rate * 100.0,
+                r.unique_images,
+            ));
+        }
+        s
+    }
+
+    /// The trajectory entry for this run, as a JSON object literal.
+    pub fn json_entry(&self, label: &str) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "    {{\"label\": {:?}, \"binaries\": {}, \"configs\": {}, \"reps\": {}, \
+             \"peak_rss_kb\": {}, \"rows\": [\n",
+            label, self.binaries, self.configs, self.reps, self.peak_rss_kb
+        ));
+        for (i, r) in self.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{\"config\": {:?}, \"ms\": {:.3}, \"bins_per_s\": {:.1}, \
+                 \"hit_rate\": {:.4}, \"unique\": {}}}{}\n",
+                r.label,
+                r.ms,
+                r.bins_per_s,
+                r.hit_rate,
+                r.unique_images,
+                if i + 1 < self.rows.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("    ]}");
+        s
+    }
+
+    /// Appends this run as a new entry to an existing `BENCH_batch.json`
+    /// document (or starts a fresh one).
+    pub fn append_to_document(&self, existing: Option<&str>, label: &str) -> String {
+        trajectory::append_entry(existing, SCHEMA, self.json_entry(label))
+    }
+}
+
+/// The newest `bins_per_s` recorded for `config` in a committed
+/// `BENCH_batch.json`, if any.
+pub fn last_bins_per_s(doc: &str, config: &str) -> Option<f64> {
+    trajectory::last_value(doc, config, "bins_per_s")
+}
+
+/// CI regression gate: compares the fresh report's cold-cache
+/// throughput against the newest committed entry, failing when it fell
+/// below `min_ratio` (e.g. `0.7` = fail on a >30 % regression).
+pub fn check_against(
+    committed: &str,
+    fresh: &BatchReport,
+    min_ratio: f64,
+) -> Result<String, String> {
+    let Some(baseline) = last_bins_per_s(committed, "cold") else {
+        return Err("committed BENCH_batch.json has no cold entry".into());
+    };
+    let Some(now) = fresh.rows.iter().find(|r| r.label == "cold") else {
+        return Err("fresh measurement has no cold row".into());
+    };
+    let ratio = now.bins_per_s / baseline;
+    let msg = format!(
+        "cold-cache batch: {:.1} binaries/s vs committed {:.1} binaries/s ({:.0}% of baseline)",
+        now.bins_per_s,
+        baseline,
+        ratio * 100.0
+    );
+    if ratio < min_ratio {
+        Err(msg)
+    } else {
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_report() -> BatchReport {
+        BatchReport {
+            binaries: 20,
+            distinct: 10,
+            configs: 4,
+            reps: 2,
+            peak_rss_kb: 100_000,
+            rows: vec![
+                BatchRow {
+                    label: "flat".into(),
+                    ms: 100.0,
+                    bins_per_s: 200.0,
+                    hit_rate: 0.0,
+                    unique_images: 20,
+                },
+                BatchRow {
+                    label: "cold".into(),
+                    ms: 40.0,
+                    bins_per_s: 500.0,
+                    hit_rate: 0.66,
+                    unique_images: 10,
+                },
+                BatchRow {
+                    label: "warm".into(),
+                    ms: 2.0,
+                    bins_per_s: 10_000.0,
+                    hit_rate: 1.0,
+                    unique_images: 10,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_and_gate() {
+        let r = fake_report();
+        let doc = r.append_to_document(None, "pre");
+        assert!(doc.contains("funseeker-bench-batch-v1"));
+        assert_eq!(last_bins_per_s(&doc, "cold"), Some(500.0));
+        assert_eq!(last_bins_per_s(&doc, "flat"), Some(200.0));
+        assert!(check_against(&doc, &r, 0.7).is_ok());
+        let mut slow = fake_report();
+        slow.rows[1].bins_per_s = 100.0;
+        assert!(check_against(&doc, &slow, 0.7).is_err());
+        // Appending keeps history and the gate reads the newest entry.
+        let doc2 = slow.append_to_document(Some(&doc), "post");
+        assert_eq!(trajectory::extract_entries(&doc2).len(), 2);
+        assert_eq!(last_bins_per_s(&doc2, "cold"), Some(100.0));
+    }
+
+    #[test]
+    fn peak_rss_is_reported_on_linux() {
+        let kb = peak_rss_kb();
+        assert!(kb > 1_000, "a Rust test process uses more than 1 MiB (got {kb} KiB)");
+    }
+
+    #[test]
+    fn quick_measurement_hits_the_acceptance_bars() {
+        let report = run(true);
+        let get = |label: &str| {
+            report.rows.iter().find(|r| r.label == label).unwrap_or_else(|| {
+                panic!("row {label} missing");
+            })
+        };
+        let (flat, nocache) = (get("flat"), get("nocache"));
+        let (cold, warm, disk) = (get("cold"), get("warm"), get("disk"));
+        assert!(report.binaries > report.distinct, "corpus must contain duplicates");
+        assert_eq!(cold.unique_images, report.distinct);
+        assert_eq!(nocache.unique_images, report.binaries, "nocache must not dedup");
+        assert!(warm.hit_rate > 0.99, "warm rerun hits everything");
+        assert!(disk.hit_rate > 0.99, "disk layer serves every fresh-cache miss");
+        // The headline acceptance bars (quick mode, so with margin
+        // removed: cold strictly faster than flat, warm ≥ 5× flat; the
+        // committed full-mode numbers in BENCH_batch.json carry the
+        // real ≥1.5×/≥10× evidence).
+        assert!(
+            cold.bins_per_s > flat.bins_per_s,
+            "cold {:.1} <= flat {:.1}",
+            cold.bins_per_s,
+            flat.bins_per_s
+        );
+        assert!(
+            warm.bins_per_s > 5.0 * flat.bins_per_s,
+            "warm {:.1} <= 5x flat {:.1}",
+            warm.bins_per_s,
+            flat.bins_per_s
+        );
+        assert!(report.peak_rss_kb > 0);
+        assert!(!report.render().is_empty());
+    }
+}

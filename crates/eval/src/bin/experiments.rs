@@ -3,6 +3,7 @@
 //! ```text
 //! experiments <table1|table2|table3|fig3|failures|by-opt|manual-endbr|arm|robustness|all> [--seed N] [--scale tiny|default|large] [--csv]
 //! experiments perf [--quick] [--json FILE [--label NAME]] [--check FILE]
+//! experiments batch [--quick] [--json FILE [--label NAME]] [--check FILE]
 //! ```
 //!
 //! The `perf` subcommand measures sweep throughput and per-stage
@@ -11,6 +12,12 @@
 //! `--check FILE` exits non-zero when sequential throughput drops below
 //! 70 % of the file's newest committed entry, and `--quick` shrinks the
 //! input for CI smoke use.
+//!
+//! The `batch` subcommand measures the batch engine — binaries/second
+//! through the flat, nocache, cold-cache, warm-cache, and disk-cache
+//! drivers over a corpus with duplicated images, plus cache hit rates
+//! and peak RSS. Flags mirror `perf` against `BENCH_batch.json`;
+//! `--check` gates on the newest committed cold-cache entry.
 
 use std::time::Instant;
 
@@ -19,72 +26,116 @@ use funseeker_corpus::{Dataset, DatasetParams};
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <table1|table2|table3|fig3|failures|by-opt|manual-endbr|arm|robustness|all> [--seed N] [--scale tiny|default|large] [--csv]\n\
-         \x20      experiments perf [--quick] [--json FILE [--label NAME]] [--check FILE]"
+         \x20      experiments perf [--quick] [--json FILE [--label NAME]] [--check FILE]\n\
+         \x20      experiments batch [--quick] [--json FILE [--label NAME]] [--check FILE]"
     );
     std::process::exit(2);
 }
 
-/// Fraction of the committed sequential throughput a fresh `perf
-/// --check` run must reach — fail on a >30 % regression.
-const PERF_CHECK_MIN_RATIO: f64 = 0.7;
+/// Fraction of the committed baseline throughput a fresh `--check` run
+/// must reach — fail on a >30 % regression. Shared by `perf`
+/// (sequential sweep MB/s) and `batch` (cold-cache binaries/s).
+const BENCH_CHECK_MIN_RATIO: f64 = 0.7;
+
+/// Flags shared by the `perf` and `batch` benchmark subcommands.
+struct BenchFlags {
+    quick: bool,
+    json: Option<String>,
+    check: Option<String>,
+    label: String,
+}
+
+impl BenchFlags {
+    fn parse(args: &[String]) -> Self {
+        let mut flags =
+            BenchFlags { quick: false, json: None, check: None, label: "run".to_owned() };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => flags.quick = true,
+                "--json" => {
+                    i += 1;
+                    flags.json = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+                }
+                "--check" => {
+                    i += 1;
+                    flags.check = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+                }
+                "--label" => {
+                    i += 1;
+                    flags.label = args.get(i).cloned().unwrap_or_else(|| usage());
+                }
+                _ => usage(),
+            }
+            i += 1;
+        }
+        flags
+    }
+
+    /// Appends to the trajectory file and/or runs the regression gate,
+    /// then exits with the gate's verdict.
+    fn finish(
+        &self,
+        name: &str,
+        append: impl Fn(Option<&str>, &str) -> String,
+        gate: impl Fn(&str) -> Result<String, String>,
+    ) -> ! {
+        if let Some(path) = &self.json {
+            let existing = std::fs::read_to_string(path).ok();
+            let doc = append(existing.as_deref(), &self.label);
+            if let Err(e) = std::fs::write(path, doc) {
+                eprintln!("{name}: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("{name}: appended entry {:?} to {path}", self.label);
+        }
+        if let Some(path) = &self.check {
+            let committed = match std::fs::read_to_string(path) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{name}: cannot read baseline {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match gate(&committed) {
+                Ok(msg) => eprintln!("{name} check OK: {msg}"),
+                Err(msg) => {
+                    eprintln!("{name} check FAILED: {msg}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        std::process::exit(0)
+    }
+}
 
 fn run_perf(args: &[String]) -> ! {
-    let mut quick = false;
-    let mut json: Option<String> = None;
-    let mut check: Option<String> = None;
-    let mut label = "run".to_owned();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--quick" => quick = true,
-            "--json" => {
-                i += 1;
-                json = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
-            }
-            "--check" => {
-                i += 1;
-                check = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
-            }
-            "--label" => {
-                i += 1;
-                label = args.get(i).cloned().unwrap_or_else(|| usage());
-            }
-            _ => usage(),
-        }
-        i += 1;
-    }
-
-    eprintln!("measuring sweep throughput ({} mode)…", if quick { "quick" } else { "full" });
-    let report = funseeker_eval::perf::run(quick);
+    let flags = BenchFlags::parse(args);
+    eprintln!("measuring sweep throughput ({} mode)…", if flags.quick { "quick" } else { "full" });
+    let report = funseeker_eval::perf::run(flags.quick);
     println!("## Sweep performance\n");
     println!("{}", report.render());
+    flags.finish(
+        "perf",
+        |existing, label| report.append_to_document(existing, label),
+        |committed| funseeker_eval::perf::check_against(committed, &report, BENCH_CHECK_MIN_RATIO),
+    )
+}
 
-    if let Some(path) = json {
-        let existing = std::fs::read_to_string(&path).ok();
-        let doc = report.append_to_document(existing.as_deref(), &label);
-        if let Err(e) = std::fs::write(&path, doc) {
-            eprintln!("perf: cannot write {path}: {e}");
-            std::process::exit(1);
-        }
-        eprintln!("perf: appended entry {label:?} to {path}");
-    }
-    if let Some(path) = check {
-        let committed = match std::fs::read_to_string(&path) {
-            Ok(c) => c,
-            Err(e) => {
-                eprintln!("perf: cannot read baseline {path}: {e}");
-                std::process::exit(1);
-            }
-        };
-        match funseeker_eval::perf::check_against(&committed, &report, PERF_CHECK_MIN_RATIO) {
-            Ok(msg) => eprintln!("perf check OK: {msg}"),
-            Err(msg) => {
-                eprintln!("perf check FAILED: {msg}");
-                std::process::exit(1);
-            }
-        }
-    }
-    std::process::exit(0)
+fn run_batch(args: &[String]) -> ! {
+    let flags = BenchFlags::parse(args);
+    eprintln!(
+        "measuring batch-engine throughput ({} mode)…",
+        if flags.quick { "quick" } else { "full" }
+    );
+    let report = funseeker_eval::batch::run(flags.quick);
+    println!("## Batch engine performance\n");
+    println!("{}", report.render());
+    flags.finish(
+        "batch",
+        |existing, label| report.append_to_document(existing, label),
+        |committed| funseeker_eval::batch::check_against(committed, &report, BENCH_CHECK_MIN_RATIO),
+    )
 }
 
 fn main() {
@@ -97,6 +148,10 @@ fn main() {
         // Perf builds its own deterministic tiled input — skip the
         // corpus generation below entirely.
         run_perf(&args[1..]);
+    }
+    if what == "batch" {
+        // Likewise: batch builds its own duplicated corpus.
+        run_batch(&args[1..]);
     }
     let mut seed = 2022u64; // the paper's year, for a stable default
     let mut scale = "default".to_owned();

@@ -8,6 +8,8 @@
 //! * [`table3`] — tool comparison incl. timing (Table III),
 //! * [`failures`] — FN/FP breakdown (§V-C),
 //! * [`perf`] — sweep throughput + per-stage counters (`BENCH_sweep.json`),
+//! * [`batch`] — batch-engine throughput: flat/nocache/cold/warm/disk
+//!   drivers over a duplicated corpus (`BENCH_batch.json`),
 //! * [`manual_endbr`] — the §VI `-mmanual-endbr` ablation,
 //! * [`robustness`] — hostile-input mutation campaign (extension).
 //!
@@ -21,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod arm;
+pub mod batch;
 pub mod by_opt;
 pub mod failures;
 pub mod fig3;
@@ -34,6 +37,7 @@ pub mod runner;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod trajectory;
 
 pub use metrics::Score;
 pub use report::Table;

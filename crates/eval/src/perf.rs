@@ -26,6 +26,9 @@ use funseeker_elf::Elf;
 /// bytes (shared with the criterion benches' dataset seed).
 const SEED: u64 = 0xBE7C4;
 
+/// Trajectory schema tag for `BENCH_sweep.json`.
+const SCHEMA: &str = "funseeker-bench-sweep-v1";
+
 /// One measured configuration.
 #[derive(Debug, Clone)]
 pub struct PerfRow {
@@ -151,6 +154,27 @@ pub fn run(quick: bool) -> PerfReport {
         stats,
     });
 
+    // Parallel end-to-end: the same `prepare` fanned over the pool via
+    // the timed runner — the per-binary front-end cost batch callers
+    // actually pay when many binaries are in flight at once.
+    let copies: Vec<&[u8]> = std::iter::repeat_n(&bin.bytes[..], 8).collect();
+    let mut best_par = f64::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let timed = crate::runner::par_map_timed(&copies, |image| {
+            let p = prepare(image).expect("benchmark binary prepares");
+            std::hint::black_box(p.index.insns.len());
+        });
+        std::hint::black_box(timed.len());
+        best_par = best_par.min(t.elapsed().as_secs_f64());
+    }
+    rows.push(PerfRow {
+        label: "prepare_par8".to_owned(),
+        ms: best_par * 1e3,
+        mb_per_s: (text_bytes * copies.len()) as f64 / (1024.0 * 1024.0) / best_par,
+        stats,
+    });
+
     PerfReport { bytes: code.len(), reps, rows }
 }
 
@@ -212,59 +236,20 @@ impl PerfReport {
     /// Wraps [`PerfReport::json_entry`] values into a complete
     /// `BENCH_sweep.json` document.
     pub fn json_document(entries: &[String]) -> String {
-        let mut s = String::new();
-        s.push_str("{\n  \"schema\": \"funseeker-bench-sweep-v1\",\n  \"entries\": [\n");
-        s.push_str(&entries.join(",\n"));
-        s.push_str("\n  ]\n}\n");
-        s
+        crate::trajectory::json_document(SCHEMA, entries)
     }
 
     /// Appends this run as a new entry to an existing document (or
     /// starts a fresh one when `existing` is `None`/unparsable).
     pub fn append_to_document(&self, existing: Option<&str>, label: &str) -> String {
-        let mut entries = existing.map(extract_entries).unwrap_or_default();
-        entries.push(self.json_entry(label));
-        Self::json_document(&entries)
+        crate::trajectory::append_entry(existing, SCHEMA, self.json_entry(label))
     }
-}
-
-/// Pulls the raw entry objects back out of a document written by
-/// [`PerfReport::json_document`] — line-oriented: entries start at
-/// `    {"label":` and end at `    ]}`.
-fn extract_entries(doc: &str) -> Vec<String> {
-    let mut entries = Vec::new();
-    let mut current: Option<String> = None;
-    for line in doc.lines() {
-        if line.starts_with("    {\"label\":") {
-            current = Some(line.trim_end_matches(',').to_owned());
-        } else if let Some(cur) = current.as_mut() {
-            cur.push('\n');
-            cur.push_str(line.trim_end_matches(','));
-            if line.trim_start().starts_with("]}") {
-                entries.push(current.take().expect("current entry exists"));
-            }
-        }
-    }
-    entries
 }
 
 /// The newest `mb_per_s` recorded for `config` in a committed
 /// `BENCH_sweep.json`, if any.
 pub fn last_mb_per_s(doc: &str, config: &str) -> Option<f64> {
-    let needle = format!("\"config\": {config:?}");
-    let mut last = None;
-    for line in doc.lines() {
-        if !line.contains(&needle) {
-            continue;
-        }
-        let (_, rest) = line.split_once("\"mb_per_s\": ")?;
-        let num: String =
-            rest.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
-        if let Ok(v) = num.parse::<f64>() {
-            last = Some(v);
-        }
-    }
-    last
+    crate::trajectory::last_value(doc, config, "mb_per_s")
 }
 
 /// CI regression gate: compares the fresh report's sequential throughput
@@ -330,7 +315,7 @@ mod tests {
         let mut r2 = fake_report();
         r2.rows[0].mb_per_s = 321.0;
         let doc2 = r2.append_to_document(Some(&doc), "post");
-        assert_eq!(extract_entries(&doc2).len(), 2);
+        assert_eq!(crate::trajectory::extract_entries(&doc2).len(), 2);
         assert!(doc2.contains("\"label\": \"pre\""));
         assert_eq!(last_mb_per_s(&doc2, "sequential"), Some(321.0));
         assert_eq!(last_mb_per_s(&doc2, "shard4"), Some(222.2));
@@ -355,7 +340,7 @@ mod tests {
         let report = run(true);
         assert!(report.bytes >= 2 << 20);
         let labels: Vec<&str> = report.rows.iter().map(|r| r.label.as_str()).collect();
-        assert_eq!(labels, ["sequential", "shard2", "shard4", "shard8", "prepare"]);
+        assert_eq!(labels, ["sequential", "shard2", "shard4", "shard8", "prepare", "prepare_par8"]);
         for row in &report.rows {
             assert!(row.ms > 0.0, "{}: no time measured", row.label);
             assert!(row.mb_per_s > 0.0, "{}: no throughput", row.label);

@@ -22,6 +22,36 @@ where
     funseeker_pool::global().run(bins.iter().map(|bin| move || f(bin)).collect())
 }
 
+/// [`par_map`] over arbitrary items, additionally reporting each item's
+/// wall time.
+///
+/// The per-item timings let a report tell scheduling problems apart
+/// from slow work: a flat driver whose largest item dominates the batch
+/// shows one long timing and many idle-tail ones, which is exactly the
+/// signature the pipelined batch engine removes. Shared by
+/// `experiments -- perf` (parallel `prepare` row) and the batch report
+/// (`flat` baseline row).
+pub fn par_map_timed<I, T, F>(items: &[I], f: F) -> Vec<(T, std::time::Duration)>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let f = &f;
+    funseeker_pool::global().run(
+        items
+            .iter()
+            .map(|item| {
+                move || {
+                    let t = std::time::Instant::now();
+                    let out = f(item);
+                    (out, t.elapsed())
+                }
+            })
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -42,5 +72,16 @@ mod tests {
     fn empty_input_yields_empty_output() {
         let out = par_map(&[], |_| unreachable!("no binaries to visit"));
         let _: Vec<()> = out;
+    }
+
+    #[test]
+    fn timed_variant_reports_order_and_durations() {
+        let items: Vec<u64> = (0..32).collect();
+        let out = par_map_timed(&items, |&x| x * 2);
+        assert_eq!(out.len(), items.len());
+        for (i, (v, d)) in out.iter().enumerate() {
+            assert_eq!(*v, items[i] * 2);
+            assert!(d.as_secs() < 60, "per-item timing is wall time of the item alone");
+        }
     }
 }

@@ -1,0 +1,110 @@
+//! Shared plumbing for benchmark *trajectory* files
+//! (`BENCH_sweep.json`, `BENCH_batch.json`).
+//!
+//! A trajectory is a committed JSON document that accumulates one entry
+//! per measured run, so the repository records how throughput evolved
+//! across changes and CI can gate on the newest committed entry. The
+//! workspace has no serde; the format is line-oriented by construction
+//! — entries start at `    {"label":` and close at `    ]}` — so this
+//! module reads documents as lines, not as a JSON tree. Both the sweep
+//! ([`crate::perf`]) and batch ([`crate::batch`]) reports emit and
+//! parse through here.
+
+/// Wraps pre-rendered entry objects into a complete document under
+/// `schema`.
+pub fn json_document(schema: &str, entries: &[String]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("{{\n  \"schema\": {schema:?},\n  \"entries\": [\n"));
+    s.push_str(&entries.join(",\n"));
+    s.push_str("\n  ]\n}\n");
+    s
+}
+
+/// Appends one rendered entry to an existing document (or starts a
+/// fresh one when `existing` is `None` or unparsable).
+pub fn append_entry(existing: Option<&str>, schema: &str, entry: String) -> String {
+    let mut entries = existing.map(extract_entries).unwrap_or_default();
+    entries.push(entry);
+    json_document(schema, &entries)
+}
+
+/// Pulls the raw entry objects back out of a document written by
+/// [`json_document`].
+pub fn extract_entries(doc: &str) -> Vec<String> {
+    let mut entries = Vec::new();
+    let mut current: Option<String> = None;
+    for line in doc.lines() {
+        if line.starts_with("    {\"label\":") {
+            current = Some(line.to_owned());
+        } else if let Some(cur) = current.as_mut() {
+            cur.push('\n');
+            if line.trim_start().starts_with("]}") {
+                // Strip only the comma that separates entry objects;
+                // commas *inside* an entry (between its row objects)
+                // are part of the entry and must survive a round trip.
+                cur.push_str(line.trim_end_matches(','));
+                entries.push(current.take().expect("current entry exists"));
+            } else {
+                cur.push_str(line);
+            }
+        }
+    }
+    entries
+}
+
+/// The newest value of numeric `field` on the row named `config`,
+/// scanning the whole document so later entries win.
+pub fn last_value(doc: &str, config: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"config\": {config:?}");
+    let field_key = format!("\"{field}\": ");
+    let mut last = None;
+    for line in doc.lines() {
+        if !line.contains(&needle) {
+            continue;
+        }
+        let (_, rest) = line.split_once(&field_key)?;
+        let num: String =
+            rest.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+        if let Ok(v) = num.parse::<f64>() {
+            last = Some(v);
+        }
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(label: &str, value: f64) -> String {
+        format!(
+            "    {{\"label\": {label:?}, \"rows\": [\n      \
+             {{\"config\": \"cold\", \"bins_per_s\": {value:.1}}},\n      \
+             {{\"config\": \"warm\", \"bins_per_s\": {:.1}}}\n    ]}}",
+            value * 10.0
+        )
+    }
+
+    #[test]
+    fn document_append_and_extract_round_trip() {
+        let doc = append_entry(None, "test-v1", entry("pre", 10.0));
+        assert!(doc.contains("\"schema\": \"test-v1\""));
+        assert_eq!(extract_entries(&doc), vec![entry("pre", 10.0)]);
+        let doc2 = append_entry(Some(&doc), "test-v1", entry("post", 20.0));
+        // Entries survive a round trip byte for byte — in particular the
+        // commas between an entry's row objects.
+        assert_eq!(extract_entries(&doc2), vec![entry("pre", 10.0), entry("post", 20.0)]);
+        assert!(doc2.contains("\"label\": \"pre\""));
+        assert!(doc2.contains("\"label\": \"post\""));
+    }
+
+    #[test]
+    fn last_value_prefers_newest_entry() {
+        let doc = append_entry(None, "test-v1", entry("pre", 10.0));
+        let doc = append_entry(Some(&doc), "test-v1", entry("post", 20.0));
+        assert_eq!(last_value(&doc, "cold", "bins_per_s"), Some(20.0));
+        assert_eq!(last_value(&doc, "warm", "bins_per_s"), Some(200.0));
+        assert_eq!(last_value(&doc, "absent_config", "bins_per_s"), None);
+        assert_eq!(last_value(&doc, "cold", "absent_field"), None);
+    }
+}

@@ -27,19 +27,32 @@
 //! (or helping submitter) takes the oldest queued task, so a long task
 //! occupies one thread while the rest drain the remainder.
 //!
+//! # Dynamic batches: [`Pool::scope`]
+//!
+//! [`Pool::run`] takes the whole batch up front. Pipelined workloads —
+//! the batch analysis engine decomposes each binary into parse → sweep
+//! → analyze stages, where each stage task enqueues the next on
+//! completion — need to *add* tasks while the batch is in flight.
+//! [`Pool::scope`] provides that: the closure receives a [`Scope`]
+//! whose [`Scope::spawn`] may be called from the closure *and from
+//! inside spawned tasks*, and `scope` only returns once every
+//! transitively spawned task has finished.
+//!
 //! # Safety
 //!
-//! This crate contains the workspace's only `unsafe` block: the lifetime
+//! This crate contains the workspace's only `unsafe` code: the lifetime
 //! erasure that lets borrowed closures (`FnOnce() -> T + Send + 'env`)
 //! ride on `'static` worker threads. Soundness is the scoped-thread
-//! argument: [`Pool::run`] does not return before every task of its
-//! batch has finished executing, so no borrow is observable after it
-//! would dangle. See the safety comment at the single `unsafe` site.
+//! argument: [`Pool::run`] / [`Pool::scope`] do not return before every
+//! task of their batch has finished executing, so no borrow is
+//! observable after it would dangle. See the safety comments at the two
+//! `unsafe` sites.
 
 #![deny(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 use std::collections::VecDeque;
+use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
@@ -212,6 +225,135 @@ impl Pool {
             .map(|r| r.expect("pool task completed without storing a result"))
             .collect()
     }
+
+    /// Runs a *dynamic* batch: `f` receives a [`Scope`] on which tasks
+    /// can be spawned — from `f` itself and from inside already-running
+    /// tasks, which is what lets a pipeline stage enqueue its successor.
+    /// Blocks until every transitively spawned task has completed; the
+    /// calling thread helps execute queued tasks while it waits.
+    ///
+    /// Spawned closures may borrow anything that outlives the `scope`
+    /// call (`'env`), including the `Scope` itself. If a task (or `f`)
+    /// panics, the panic is resumed on the calling thread after the rest
+    /// of the scope has drained.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+    {
+        let state = Arc::new(ScopeState {
+            sync: Mutex::new(ScopeSync { pending: 0, panic: None }),
+            done: Condvar::new(),
+        });
+        let scope =
+            Scope { pool: self, state: Arc::clone(&state), scope: PhantomData, env: PhantomData };
+
+        // Run the body. Even if it panics, every already-spawned task
+        // must finish before the panic unwinds past this frame — the
+        // tasks borrow state owned by our caller.
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+
+        // Help drain the queue until the scope is empty. Tasks may keep
+        // spawning successors; each successor is registered (`pending`
+        // incremented) before its parent finishes, so `pending == 0`
+        // really means the whole dependency tree has completed.
+        loop {
+            if lock(&state.sync).pending == 0 {
+                break;
+            }
+            let task = lock(&self.injector.queue).pop_front();
+            match task {
+                Some(t) => t(),
+                None => {
+                    // Queue empty: remaining scope tasks are running on
+                    // other threads (and any tasks they spawn will be
+                    // picked up by the workers). Wait for completion.
+                    let mut st = lock(&state.sync);
+                    while st.pending != 0 {
+                        st = state.done.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
+                    }
+                    break;
+                }
+            }
+        }
+
+        let panic = lock(&state.sync).panic.take();
+        match result {
+            Err(p) => resume_unwind(p), // the body's own panic wins
+            Ok(_) if panic.is_some() => resume_unwind(panic.expect("checked")),
+            Ok(r) => r,
+        }
+    }
+}
+
+/// Completion state of one dynamic batch (see [`Pool::scope`]).
+struct ScopeSync {
+    /// Tasks spawned but not yet finished.
+    pending: usize,
+    /// First panic payload observed in any task.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct ScopeState {
+    sync: Mutex<ScopeSync>,
+    done: Condvar,
+}
+
+/// A handle for spawning tasks into a dynamic batch. Created by
+/// [`Pool::scope`]; usable from the scope closure and from inside
+/// spawned tasks (it is `Sync`, and tasks may capture `&Scope`).
+pub struct Scope<'scope, 'env: 'scope> {
+    pool: &'scope Pool,
+    state: Arc<ScopeState>,
+    /// Invariance over `'scope` (the `std::thread::scope` trick): tasks
+    /// may borrow the `Scope` itself, so the lifetime must not be
+    /// allowed to shrink or grow through variance.
+    scope: PhantomData<&'scope mut &'scope ()>,
+    env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task into the scope's batch. Returns immediately; the
+    /// task runs on the pool (or on a helping submitter). May be called
+    /// from inside another task of the same scope — that is the
+    /// pipelining primitive: a completing stage spawns the next one.
+    pub fn spawn<F>(&'scope self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        // Register before enqueueing: the count must never under-report
+        // while a task of this scope is queued or running.
+        lock(&self.state.sync).pending += 1;
+
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let out = catch_unwind(AssertUnwindSafe(f));
+            let mut st = lock(&state.sync);
+            if let Err(p) = out {
+                if st.panic.is_none() {
+                    st.panic = Some(p);
+                }
+            }
+            st.pending -= 1;
+            if st.pending == 0 {
+                state.done.notify_all();
+            }
+        });
+        // SAFETY: the same scoped-lifetime erasure as in `Pool::run`,
+        // with the spawn-from-task wrinkle: `Pool::scope` does not
+        // return before `pending` reaches zero, a task spawned from
+        // another task increments `pending` before its parent's
+        // decrement (the spawn happens while the parent is still
+        // executing), and the decrement is each job's final action — so
+        // `pending == 0` implies every job closure has finished
+        // executing and no erased borrow (of `'env` data or of the
+        // `'scope` `Scope` itself) is used after `scope` returns.
+        let job: Task =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(job) };
+        let mut q = lock(&self.pool.injector.queue);
+        q.push_back(job);
+        drop(q);
+        self.pool.injector.available.notify_one();
+    }
 }
 
 fn worker_loop(inj: &Injector) {
@@ -284,6 +426,90 @@ mod tests {
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, i * 6);
         }
+    }
+
+    #[test]
+    fn scope_joins_all_spawned_tasks() {
+        let counter = AtomicUsize::new(0);
+        global().scope(|s| {
+            for _ in 0..64 {
+                let counter = &counter;
+                s.spawn(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn scope_tasks_spawn_pipeline_stages() {
+        // Three-stage pipeline over 20 items: each stage task spawns its
+        // successor, the way the batch engine chains parse → sweep →
+        // analyze. All 60 stage executions must complete before `scope`
+        // returns.
+        let stages = AtomicUsize::new(0);
+        let finished = AtomicUsize::new(0);
+        global().scope(|s| {
+            for i in 0..20usize {
+                let (stages, finished) = (&stages, &finished);
+                s.spawn(move || {
+                    stages.fetch_add(1, Ordering::Relaxed);
+                    s.spawn(move || {
+                        stages.fetch_add(1, Ordering::Relaxed);
+                        s.spawn(move || {
+                            stages.fetch_add(1, Ordering::Relaxed);
+                            finished.fetch_add(i, Ordering::Relaxed);
+                        });
+                    });
+                });
+            }
+        });
+        assert_eq!(stages.load(Ordering::Relaxed), 60);
+        assert_eq!(finished.load(Ordering::Relaxed), (0..20).sum::<usize>());
+    }
+
+    #[test]
+    fn scope_borrows_local_data_and_returns_value() {
+        let data = vec![1u64, 2, 3, 4];
+        let sum = AtomicUsize::new(0);
+        let label = global().scope(|s| {
+            for &d in &data {
+                let sum = &sum;
+                s.spawn(move || {
+                    sum.fetch_add(d as usize, Ordering::Relaxed);
+                });
+            }
+            "done"
+        });
+        assert_eq!(label, "done");
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn scope_task_panic_propagates_after_drain() {
+        let finished = AtomicUsize::new(0);
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            global().scope(|s| {
+                for i in 0..6 {
+                    let finished = &finished;
+                    s.spawn(move || {
+                        if i == 2 {
+                            panic!("stage exploded");
+                        }
+                        finished.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            })
+        }));
+        assert!(res.is_err(), "task panic must propagate to the scope caller");
+        assert_eq!(finished.load(Ordering::Relaxed), 5, "other tasks still ran");
+    }
+
+    #[test]
+    fn empty_scope_returns_immediately() {
+        let out: u32 = global().scope(|_| 42);
+        assert_eq!(out, 42);
     }
 
     #[test]

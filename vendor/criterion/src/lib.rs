@@ -150,16 +150,20 @@ impl BenchmarkGroup<'_> {
         }
 
         // Calibrate: find an iteration count that makes one sample take
-        // roughly 10ms, so short benchmarks aren't pure timer noise.
+        // roughly 10ms, so short benchmarks aren't pure timer noise. The
+        // comparison must be against the *whole sample's* elapsed time —
+        // comparing per-iteration time would never terminate early for
+        // any closure faster than the target and send every ms-scale
+        // benchmark to the iteration cap.
         let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
         f(&mut bencher);
-        let mut per_iter = bencher.elapsed;
+        let mut sample_time = bencher.elapsed;
         let mut iters: u64 = 1;
-        while per_iter < Duration::from_millis(10) && iters < 1 << 20 {
+        while sample_time < Duration::from_millis(10) && iters < 1 << 20 {
             iters *= 2;
             bencher = Bencher { iters, elapsed: Duration::ZERO };
             f(&mut bencher);
-            per_iter = bencher.elapsed / (iters as u32).max(1);
+            sample_time = bencher.elapsed;
         }
 
         let mut samples: Vec<Duration> = (0..self.sample_size)
