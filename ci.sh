@@ -9,6 +9,9 @@ cargo build --workspace --release
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> disasm tests with kernels forced to the portable SWAR tier"
+FUNSEEKER_KERNEL_TIER=swar cargo test -q -p funseeker-disasm
+
 echo "==> mutation fuzz harness (1000 cases)"
 FUNSEEKER_MUTATION_CASES=1000 cargo test -q -p funseeker-corpus --test proptest_mutate
 

@@ -10,7 +10,7 @@
 
 use std::collections::BTreeSet;
 
-use funseeker_disasm::{par_sweep, InsnKind, InsnStream, Insns, SweepStats};
+use funseeker_disasm::{kernels, par_sweep, InsnKind, InsnStream, Insns, KernelTier, SweepStats};
 
 use crate::parse::Parsed;
 
@@ -100,24 +100,20 @@ pub fn scan_endbr_pattern(p: &Parsed<'_>) -> Vec<u64> {
         [0xf3, 0x0f, 0x1e, 0xfb] // endbr32
     };
     let mut out = Vec::new();
+    let tier = KernelTier::active();
     for region in p.code.regions() {
-        // Skip-scan: hunt for the 0xF3 lead byte (memchr-style position
-        // over one byte) and only then compare the 3-byte tail, instead
-        // of a full 4-byte window compare at every offset. Compiler
-        // output contains few 0xF3 bytes, so almost every position is
-        // rejected by the byte scan alone.
+        // Vectorized needle scan: the kernel hunts 0xF3 lead bytes a
+        // vector register at a time and verifies the 3-byte tail only at
+        // candidates (compiler output contains few 0xF3 bytes, so almost
+        // every position is rejected by the wide compare alone). It
+        // reports both widths; keep the one matching the image's mode.
         let bytes = region.bytes;
-        let mut i = 0usize;
-        while let Some(d) = bytes[i..].iter().position(|&b| b == 0xf3) {
-            i += d;
-            if bytes.len() - i < 4 {
-                break;
-            }
-            if bytes[i + 1..i + 4] == marker[1..] {
-                out.push(region.addr.wrapping_add(i as u64));
-            }
-            i += 1;
-        }
+        out.extend(
+            kernels::find_endbr(bytes, tier)
+                .into_iter()
+                .filter(|&off| bytes[off as usize + 3] == marker[3])
+                .map(|off| region.addr.wrapping_add(u64::from(off))),
+        );
     }
     out
 }
@@ -155,6 +151,10 @@ pub fn disassemble(p: &Parsed<'_>) -> SweepIndex {
         out.decode_errors += swept.error_count;
         out.stats.merge(&swept.stats);
     }
+    // Seal the finished stream: FILTERENDBR / SELECTTAILCALL probe it
+    // with `insn_at` / `insns_in` millions of times, and sealing turns
+    // each probe's binary search into an O(1) bitmap rank query.
+    out.insns.seal();
     out
 }
 

@@ -376,6 +376,59 @@ const FAST: [FastClass; 256] = {
     t
 };
 
+/// Bytes that, seen at a dispatch position (never behind a prefix —
+/// prefixes are dispatch positions of their own), decode as complete
+/// one-byte instructions: the block classifier's "one" lane. Derived
+/// from [`FAST`] so the sets can never drift from the dispatch table.
+/// The pad bytes `90`/`CC` are excluded — the run-skipper owns them.
+const fn one_byte_mask(is64: bool) -> [u64; 4] {
+    let mut m = [0u64; 4];
+    let mut b = 0usize;
+    while b < 256 {
+        let one = match FAST[b] {
+            FastClass::One
+            | FastClass::Ret
+            | FastClass::Leave
+            | FastClass::Hlt
+            | FastClass::Push => true,
+            // 40-4F are one-byte inc/dec in 32-bit mode, REX in 64-bit.
+            FastClass::RexOrInc => !is64,
+            _ => false,
+        };
+        if one {
+            m[b >> 6] |= 1u64 << (b & 63);
+        }
+        b += 1;
+    }
+    m
+}
+
+/// One-byte-complete set in 64-bit mode (see [`one_byte_mask`]).
+pub(crate) const ONE_MASK_64: [u64; 4] = one_byte_mask(true);
+/// One-byte-complete set in 32-bit mode.
+pub(crate) const ONE_MASK_32: [u64; 4] = one_byte_mask(false);
+
+/// Kind tag for each byte in the one-byte-complete sets (meaningful
+/// only where the mask bit is set; `TAG_OTHER` elsewhere). The
+/// classifier consumers read tags through [`decode_fast_win`]'s tables;
+/// this byte-indexed view backs the one-byte-set consistency test.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) const ONE_TAG: [u8; 256] = {
+    let mut t = [TAG_OTHER; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        t[b] = match FAST[b] {
+            FastClass::Ret => TAG_RET,
+            FastClass::Leave => TAG_LEAVE,
+            FastClass::Hlt => TAG_HLT,
+            FastClass::Push => TAG_PUSH + (b as u8 - 0x50),
+            _ => TAG_OTHER,
+        };
+        b += 1;
+    }
+    t
+};
+
 /// Length of ModRM + SIB + displacement under 32/64-bit addressing (the
 /// fast path never sees a `67` prefix), or `None` when `code` is too
 /// short — the full decoder then produces the canonical `Truncated`.
@@ -463,6 +516,398 @@ pub(crate) fn decode_fast_packed(code: &[u8], addr: u64, mode: Mode) -> Option<(
             fast_map0f(code.get(i + 2..)?, addr, mode, i + 2, op2, b0 == 0xF3, b0 == 0x66)
         }
         c => fast_body(c, code.get(1..)?, addr, mode, b0, 0),
+    }
+}
+
+/// ModRM + SIB + displacement length, table form: total addressing
+/// bytes for a ModRM value, or `NEEDS_SIB` when an SIB byte must be
+/// consulted. Collapses [`fast_modrm_len`]'s branch tree into one load
+/// for the ~90 % of ModRM bytes without an SIB.
+const NEEDS_SIB: u8 = 0xFF;
+
+/// See [`NEEDS_SIB`].
+const MODRM_LEN: [u8; 256] = {
+    let mut t = [0u8; 256];
+    let mut m = 0usize;
+    while m < 256 {
+        let mode_bits = (m >> 6) as u8;
+        let rm = (m & 7) as u8;
+        t[m] = if mode_bits == 3 {
+            1
+        } else if rm == 4 {
+            NEEDS_SIB
+        } else {
+            1 + match mode_bits {
+                0 => {
+                    if rm == 5 {
+                        4
+                    } else {
+                        0
+                    }
+                }
+                1 => 1,
+                _ => 4,
+            }
+        };
+        m += 1;
+    }
+    t
+};
+
+/// [`fast_modrm_len`] on a byte window: `rest`'s low byte is the ModRM
+/// byte, the next byte the (potential) SIB. Never fails — the windowed
+/// fast path only runs where 16 buffer bytes are available, so no
+/// encoding it accepts can be cut short.
+#[inline]
+fn win_modrm_len(rest: u64) -> usize {
+    let v = MODRM_LEN[(rest & 0xFF) as usize];
+    if v != NEEDS_SIB {
+        return v as usize;
+    }
+    let m = rest as u8;
+    let sib = (rest >> 8) as u8;
+    2 + match m >> 6 {
+        0 => {
+            if sib & 7 == 5 {
+                4
+            } else {
+                0
+            }
+        }
+        1 => 1,
+        _ => 4,
+    }
+}
+
+// Flag bits of the [`win_info`] dispatch byte.
+/// The encoding carries a ModRM byte (plus SIB/displacement).
+const WI_MODRM: u8 = 1 << 0;
+/// Bits 1–3: fixed immediate width in bytes (0, 1, 2, or 4).
+const WI_IMM_SHIFT: u8 = 1;
+/// `mov r, immv`: the 4-byte immediate widens to 8 under REX.W.
+const WI_IMMV: u8 = 1 << 4;
+/// grp3 (`F6`/`F7`): the immediate is present only for ModRM.reg 0/1.
+const WI_GRP: u8 = 1 << 5;
+/// Direct branch: the immediate is a relative displacement (its width
+/// is the immediate width) and the decoded tuple carries the target.
+const WI_TGT: u8 = 1 << 6;
+/// Not arithmetically decodable: take the match-based dispatch.
+const WI_SPECIAL: u8 = 1 << 7;
+
+/// Per-first-byte decode recipe for the branchless windowed fast path:
+/// the classes whose length is a pure function of (opcode, ModRM, REX)
+/// collapse to `base + modrm + imm` driven by the flag bits above, so
+/// the hot loop runs with **no data-dependent branch** on the opcode —
+/// the 25-way [`FastClass`] jump table mispredicts on nearly every
+/// instruction of a real byte mix. The direct rel8/rel32 branches ride
+/// along ([`WI_TGT`]): their length is `base + imm` and their target is
+/// a masked add. Everything length-irregular and the prefix/escape
+/// re-dispatches keep the match path ([`win_special`]). Derived from
+/// [`FAST`] so the two dispatchers can never disagree about coverage.
+const fn win_info(is64: bool) -> [u8; 256] {
+    let mut t = [WI_SPECIAL; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        t[b] = match FAST[b] {
+            FastClass::One
+            | FastClass::Nop
+            | FastClass::Ret
+            | FastClass::Leave
+            | FastClass::Int3
+            | FastClass::Hlt
+            | FastClass::Push => 0,
+            // inc/dec r in 32-bit mode; a REX prefix (special) in 64-bit.
+            FastClass::RexOrInc => {
+                if is64 {
+                    WI_SPECIAL
+                } else {
+                    0
+                }
+            }
+            FastClass::RetImm16 => 2 << WI_IMM_SHIFT,
+            FastClass::Imm8 => 1 << WI_IMM_SHIFT,
+            FastClass::ImmZ => 4 << WI_IMM_SHIFT,
+            FastClass::Jcc8 | FastClass::JmpRel8 => (1 << WI_IMM_SHIFT) | WI_TGT,
+            FastClass::CallRel32 | FastClass::JmpRel32 => (4 << WI_IMM_SHIFT) | WI_TGT,
+            FastClass::MovImmV => (4 << WI_IMM_SHIFT) | WI_IMMV,
+            FastClass::Rm => WI_MODRM,
+            FastClass::RmImm8 => WI_MODRM | (1 << WI_IMM_SHIFT),
+            FastClass::RmImmZ => WI_MODRM | (4 << WI_IMM_SHIFT),
+            FastClass::Grp3b => WI_MODRM | (1 << WI_IMM_SHIFT) | WI_GRP,
+            FastClass::Grp3z => WI_MODRM | (4 << WI_IMM_SHIFT) | WI_GRP,
+            // No, Pfx, Esc0F, Grp5.
+            _ => WI_SPECIAL,
+        };
+        b += 1;
+    }
+    t
+}
+
+/// Kind tags for the branchless path, indexed by `opcode | (REX.B <<
+/// 8)`: the upper index half carries the two REX.B quirks (`push r`
+/// gains 8, `REX.B + 90` is `xchg`, not `nop`).
+const fn win_tag(b: usize, rexb: bool) -> u8 {
+    let tag = match FAST[b] {
+        FastClass::Ret | FastClass::RetImm16 => TAG_RET,
+        FastClass::Leave => TAG_LEAVE,
+        FastClass::Int3 => TAG_INT3,
+        FastClass::Hlt => TAG_HLT,
+        FastClass::Nop => TAG_NOP,
+        FastClass::Push => TAG_PUSH + (b as u8 - 0x50),
+        FastClass::Jcc8 => TAG_JCC,
+        FastClass::JmpRel8 | FastClass::JmpRel32 => TAG_JMP_REL,
+        FastClass::CallRel32 => TAG_CALL_REL,
+        _ => TAG_OTHER,
+    };
+    if rexb {
+        match FAST[b] {
+            FastClass::Push => TAG_PUSH + (b as u8 - 0x50) + 8,
+            FastClass::Nop => TAG_OTHER,
+            _ => tag,
+        }
+    } else {
+        tag
+    }
+}
+
+/// See [`win_info`].
+const WIN_INFO_64: [u8; 256] = win_info(true);
+/// See [`win_info`].
+const WIN_INFO_32: [u8; 256] = win_info(false);
+
+/// [`win_tag`] materialized: indexed by `opcode | (REX.B << 8)`.
+const WIN_TAG: [u8; 512] = {
+    let mut t = [0u8; 512];
+    let mut b = 0usize;
+    while b < 256 {
+        t[b] = win_tag(b, false);
+        t[b + 256] = win_tag(b, true);
+        b += 1;
+    }
+    t
+};
+
+/// [`win_modrm_len`] computed without the SIB branch or the table load:
+/// pure ALU on the (ModRM, SIB) byte pair, identical for every pair
+/// (`decode::tests` checks all 65 536). The table variant's dependent
+/// load sits on the sweep's serial `off += len` chain; this doesn't.
+#[inline]
+fn win_modrm_len_bl(rest: u64) -> usize {
+    let m = rest as u8 as usize;
+    let md = m >> 6;
+    let rm = m & 7;
+    let sib = usize::from((rm == 4) & (md != 3));
+    let sb = ((rest >> 8) as u8 & 7) as usize;
+    // disp32 under mod=0: rm == 5 directly, or SIB.base == 5 behind SIB.
+    let five = if sib != 0 { sb == 5 } else { rm == 5 };
+    let disp = usize::from(md == 1)
+        + 4 * usize::from(md == 2)
+        + 4 * (usize::from(md == 0) & five as usize);
+    // mod == 3 degenerates to 1 on its own: sib and disp are both 0.
+    1 + sib + disp
+}
+
+/// The first-byte dispatch fast path, flattened onto an 8-byte window.
+///
+/// `win` holds the first 8 instruction bytes little-endian (byte `k` of
+/// the instruction is `win >> (8 * k)`). Agrees exactly with
+/// [`decode_fast_packed`] whenever **16 bytes** remain in the buffer:
+/// every length the table accepts is computed arithmetically (≤ 12),
+/// every *content* read (branch displacements) sits within the first 8
+/// bytes, and 16 available bytes rule out the truncation deferrals —
+/// leaving both functions to decline exactly the same encodings. The
+/// sweep hot loop runs this form (one unaligned load replaces all
+/// per-byte bounds checks) and falls back to the slice form near the
+/// buffer tail; `kernel_differential.rs` pins the equivalence.
+///
+/// Dispatch is two-level: the [`win_info`] recipe byte resolves the
+/// regular classes with branchless arithmetic (one REX fold, one table
+/// load, ALU), and only the irregular minority — prefixes, the `0F`
+/// escape, target-bearing branches, grp5, deferrals — falls through to
+/// the match-based [`win_special`].
+#[inline]
+pub(crate) fn decode_fast_win(win: u64, addr: u64, mode: Mode) -> Option<(u8, u8, u64)> {
+    let is64 = mode.is_64();
+    let b0 = win as u8;
+    let is_rex = is64 && (b0 & 0xF0) == 0x40;
+    let w = win >> (8 * u32::from(is_rex));
+    let rex = if is_rex { b0 } else { 0 };
+    let b = w as u8;
+    let info = if is64 { WIN_INFO_64[b as usize] } else { WIN_INFO_32[b as usize] };
+    if info & WI_SPECIAL != 0 {
+        return win_special(win, addr, mode);
+    }
+    let rest = w >> 8;
+    let reg = (rest as u8 as usize >> 3) & 7;
+    let mlen = win_modrm_len_bl(rest) & 0usize.wrapping_sub(usize::from(info & WI_MODRM));
+    let mut imm = usize::from(info >> WI_IMM_SHIFT) & 7;
+    // grp3 (`F6`/`F7`): no immediate unless ModRM.reg selects `test`.
+    imm &= 0usize.wrapping_sub(usize::from((info & WI_GRP == 0) | (reg < 2)));
+    // mov r, immv: 4 more immediate bytes under REX.W.
+    imm += ((rex as usize & 8) >> 1) & 0usize.wrapping_sub(usize::from(info & WI_IMMV != 0));
+    let len = 1 + usize::from(is_rex) + mlen + imm;
+    let tag = WIN_TAG[b as usize | ((rex as usize & 1) << 8)];
+    // Direct rel8/rel32 branches: the displacement width *is* the
+    // immediate width, so one conditional move picks it, and a mask
+    // zeroes the speculative target for every non-branch byte.
+    let d8 = rest as u8 as i8 as i64 as u64;
+    let d32 = rest as u32 as i32 as i64 as u64;
+    let disp = if imm == 1 { d8 } else { d32 };
+    let target = mode.mask_addr(addr.wrapping_add(len as u64).wrapping_add(disp))
+        & 0u64.wrapping_sub(u64::from(info & WI_TGT != 0));
+    Some((len as u8, tag, target))
+}
+
+/// Match-based windowed dispatch: the irregular-class complement of the
+/// branchless path in [`decode_fast_win`] (and a complete dispatcher in
+/// its own right — the split is a pure optimization).
+fn win_special(win: u64, addr: u64, mode: Mode) -> Option<(u8, u8, u64)> {
+    let b0 = win as u8;
+    match FAST[b0 as usize] {
+        FastClass::RexOrInc => {
+            if !mode.is_64() {
+                return Some((1, TAG_OTHER, 0));
+            }
+            let b1 = (win >> 8) as u8;
+            let c1 = FAST[b1 as usize];
+            if matches!(c1, FastClass::RexOrInc | FastClass::Pfx) {
+                return None;
+            }
+            win_body(c1, win >> 16, addr, mode, b1, b0)
+        }
+        FastClass::Pfx => {
+            let mut i = 1usize;
+            let mut b = (win >> 8) as u8;
+            if mode.is_64() && matches!(FAST[b as usize], FastClass::RexOrInc) {
+                i = 2;
+                b = (win >> 16) as u8;
+                if matches!(FAST[b as usize], FastClass::RexOrInc) {
+                    return None;
+                }
+            }
+            if b != 0x0F {
+                return None;
+            }
+            let op2 = (win >> (8 * (i + 1))) as u8;
+            win_map0f(win >> (8 * (i + 2)), addr, mode, i + 2, op2, b0 == 0xF3, b0 == 0x66)
+        }
+        c => win_body(c, win >> 8, addr, mode, b0, 0),
+    }
+}
+
+/// [`fast_body`] on a window: `rest` holds the bytes after the opcode.
+#[inline]
+fn win_body(
+    class: FastClass,
+    rest: u64,
+    addr: u64,
+    mode: Mode,
+    op: u8,
+    rex: u8,
+) -> Option<(u8, u8, u64)> {
+    let base = 1 + usize::from(rex != 0);
+    let fin = |len: usize, tag: u8| Some((len as u8, tag, 0u64));
+    match class {
+        FastClass::No | FastClass::RexOrInc | FastClass::Pfx => None,
+        FastClass::Nop => fin(base, if rex & 1 != 0 { TAG_OTHER } else { TAG_NOP }),
+        FastClass::One => fin(base, TAG_OTHER),
+        FastClass::Ret => fin(base, TAG_RET),
+        FastClass::RetImm16 => fin(base + 2, TAG_RET),
+        FastClass::Leave => fin(base, TAG_LEAVE),
+        FastClass::Int3 => fin(base, TAG_INT3),
+        FastClass::Hlt => fin(base, TAG_HLT),
+        FastClass::Push => fin(base, TAG_PUSH + (op - 0x50) + ((rex & 1) << 3)),
+        FastClass::Jcc8 | FastClass::JmpRel8 => {
+            let disp = rest as u8 as i8 as i64;
+            let len = base + 1;
+            let target = mode.mask_addr(addr.wrapping_add(len as u64).wrapping_add(disp as u64));
+            let tag = if op == 0xEB { TAG_JMP_REL } else { TAG_JCC };
+            Some((len as u8, tag, target))
+        }
+        FastClass::CallRel32 | FastClass::JmpRel32 => {
+            let disp = rest as u32 as i32 as i64;
+            let len = base + 4;
+            let target = mode.mask_addr(addr.wrapping_add(len as u64).wrapping_add(disp as u64));
+            let tag = if op == 0xE8 { TAG_CALL_REL } else { TAG_JMP_REL };
+            Some((len as u8, tag, target))
+        }
+        FastClass::Imm8 => fin(base + 1, TAG_OTHER),
+        FastClass::ImmZ => fin(base + 4, TAG_OTHER),
+        FastClass::MovImmV => fin(base + if rex & 8 != 0 { 8 } else { 4 }, TAG_OTHER),
+        FastClass::Rm => fin(base + win_modrm_len(rest), TAG_OTHER),
+        FastClass::RmImm8 => fin(base + win_modrm_len(rest) + 1, TAG_OTHER),
+        FastClass::RmImmZ => fin(base + win_modrm_len(rest) + 4, TAG_OTHER),
+        FastClass::Esc0F => {
+            let op2 = rest as u8;
+            win_map0f(rest >> 8, addr, mode, base + 1, op2, false, false)
+        }
+        FastClass::Grp3b | FastClass::Grp3z => {
+            let m = win_modrm_len(rest);
+            let imm = if (rest as u8 >> 3) & 7 < 2 {
+                if op == 0xF6 {
+                    1
+                } else {
+                    4
+                }
+            } else {
+                0
+            };
+            fin(base + m + imm, TAG_OTHER)
+        }
+        FastClass::Grp5 => {
+            let m = win_modrm_len(rest);
+            let tag = match (rest as u8 >> 3) & 7 {
+                2 | 3 => TAG_CALL_IND,
+                4 | 5 => TAG_JMP_IND,
+                7 => return None,
+                _ => TAG_OTHER,
+            };
+            fin(base + m, tag)
+        }
+    }
+}
+
+/// [`fast_map0f`] on a window: `rest` holds the bytes after the second
+/// opcode byte `op2`, `base` counts bytes up to and including it.
+#[inline]
+fn win_map0f(
+    rest: u64,
+    addr: u64,
+    mode: Mode,
+    base: usize,
+    op2: u8,
+    rep: bool,
+    opsize: bool,
+) -> Option<(u8, u8, u64)> {
+    if (0x80..=0x8F).contains(&op2) {
+        if opsize {
+            return None;
+        }
+        let disp = rest as u32 as i32 as i64;
+        let len = base + 4;
+        let target = mode.mask_addr(addr.wrapping_add(len as u64).wrapping_add(disp as u64));
+        return Some((len as u8, TAG_JCC, target));
+    }
+    if op2 == 0x1E || op2 == 0x1F {
+        let m = rest as u8;
+        let len = base + win_modrm_len(rest);
+        let tag = match (op2, rep, m) {
+            (0x1E, true, 0xFA) => TAG_ENDBR64,
+            (0x1E, true, 0xFB) => TAG_ENDBR32,
+            _ => TAG_NOP,
+        };
+        return Some((len as u8, tag, 0));
+    }
+    if (0x20..=0x26).contains(&op2) {
+        return None;
+    }
+    let a = TWO_BYTE[op2 as usize];
+    if a == M {
+        Some(((base + win_modrm_len(rest)) as u8, TAG_OTHER, 0))
+    } else if a == M | I8 {
+        Some(((base + win_modrm_len(rest) + 1) as u8, TAG_OTHER, 0))
+    } else {
+        None
     }
 }
 
@@ -1254,5 +1699,140 @@ mod tests {
         assert_eq!(decode(&[0xe8, 1, 2, 3], 0, Mode::Bits64), Err(DecodeError::Truncated));
         assert_eq!(super::decode_fast(&[0x74], 0, Mode::Bits64), None);
         assert_eq!(super::decode_fast(&[], 0, Mode::Bits64), None);
+    }
+
+    /// Drives `decode_fast_win` on the first 8 bytes of `code`
+    /// (which must hold at least 16).
+    fn fast_win(code: &[u8], addr: u64, mode: Mode) -> Option<(u8, u8, u64)> {
+        assert!(code.len() >= 16);
+        let win = u64::from_le_bytes(code[..8].try_into().unwrap());
+        super::decode_fast_win(win, addr, mode)
+    }
+
+    #[test]
+    fn windowed_fast_path_matches_packed_exhaustively() {
+        // The windowed decoder's contract: with >= 16 buffer bytes it is
+        // decode_fast_packed exactly. Exhaust all 2-byte heads (every
+        // opcode, every prefix/REX + opcode, every 0F + op2 combination
+        // falls inside this space) over tails that vary the ModRM/SIB/
+        // displacement bytes the length computation can consume.
+        let tails: [&[u8]; 4] = [
+            &[0x00; 14],
+            &[0xFF; 14],
+            &[0x05, 0x44, 0x24, 0x08, 0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE, 0xF0, 0x11, 0x22],
+            &[0x84, 0xC0, 0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08],
+        ];
+        for mode in [Mode::Bits64, Mode::Bits32] {
+            for b0 in 0u8..=255 {
+                for b1 in 0u8..=255 {
+                    for tail in tails {
+                        let mut code = vec![b0, b1];
+                        code.extend_from_slice(tail);
+                        assert_eq!(
+                            fast_win(&code, 0x40_1000, mode),
+                            super::decode_fast_packed(&code, 0x40_1000, mode),
+                            "bytes {b0:#04x} {b1:#04x} tail {tail:x?} {mode:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_fast_path_matches_packed_on_deep_prefix_chains() {
+        // Three- and four-byte heads (prefix + REX + 0F + op2) reach the
+        // deepest shifts of the window walker.
+        let heads: [&[u8]; 6] = [
+            &[0xF3, 0x48, 0x0F],
+            &[0x66, 0x41, 0x0F],
+            &[0xF2, 0x0F],
+            &[0x48, 0x0F],
+            &[0x3E, 0xFF],
+            &[0x48, 0xFF],
+        ];
+        let tail =
+            [0x1E, 0xFA, 0x44, 0x24, 0x08, 0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE, 0xF0, 0x55];
+        for mode in [Mode::Bits64, Mode::Bits32] {
+            for head in heads {
+                for op in 0u8..=255 {
+                    let mut code = head.to_vec();
+                    code.push(op);
+                    code.extend_from_slice(&tail);
+                    assert_eq!(
+                        fast_win(&code, 0x40_1000, mode),
+                        super::decode_fast_packed(&code, 0x40_1000, mode),
+                        "head {head:x?} op {op:#04x} {mode:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn branchless_modrm_length_matches_table_for_every_pair() {
+        // The ALU form must agree with the table/branch form on all
+        // 65 536 (ModRM, SIB) byte pairs — including the mod=0 rm=4
+        // SIB.base=5 disp32 corner the four exhaustive-head tails miss.
+        for m in 0u64..256 {
+            for s in 0u64..256 {
+                let rest = m | (s << 8);
+                assert_eq!(
+                    super::win_modrm_len_bl(rest),
+                    super::win_modrm_len(rest),
+                    "modrm {m:#04x} sib {s:#04x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_fast_path_matches_packed_under_rex_with_every_modrm() {
+        // The 2-byte-head exhaustive test varies the post-REX ModRM byte
+        // over only four tails; the branchless REX fold deserves the
+        // full 256. REX values cover W/B set and clear.
+        let tail = [0x44u8, 0x24, 0x08, 0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE, 0xF0, 0x11, 0x22];
+        for rex in [0x40u8, 0x41, 0x44, 0x48, 0x4F] {
+            for op in 0u8..=255 {
+                for modrm in 0u8..=255 {
+                    let mut code = vec![rex, op, modrm];
+                    code.extend_from_slice(&tail);
+                    assert_eq!(
+                        fast_win(&code, 0x40_1000, Mode::Bits64),
+                        super::decode_fast_packed(&code, 0x40_1000, Mode::Bits64),
+                        "rex {rex:#04x} op {op:#04x} modrm {modrm:#04x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_byte_mask_and_tags_agree_with_fast_dispatch() {
+        // The kernel classifier's "one" lane must mark exactly the bytes
+        // the dispatch fast path completes in one byte with a fixed tag
+        // and no target — independent of the following bytes. Pad bytes
+        // (90/CC) are deliberately excluded (the run-skipper owns them).
+        for mode in [Mode::Bits64, Mode::Bits32] {
+            let mask = if mode.is_64() { &super::ONE_MASK_64 } else { &super::ONE_MASK_32 };
+            for b in 0u8..=255 {
+                let in_mask = mask[(b >> 6) as usize] >> (b & 63) & 1 != 0;
+                for filler in [0x00u8, 0x90, 0xC3, 0xFF] {
+                    let mut code = [filler; 16];
+                    code[0] = b;
+                    let fast = super::decode_fast_packed(&code, 0x1000, mode);
+                    if in_mask {
+                        assert_eq!(
+                            fast,
+                            Some((1, super::ONE_TAG[b as usize], 0)),
+                            "byte {b:#04x} filler {filler:#04x} {mode:?}"
+                        );
+                    }
+                }
+                if b == 0x90 || b == 0xCC {
+                    assert!(!in_mask, "pad byte {b:#04x} must stay out of the one-byte mask");
+                }
+            }
+        }
     }
 }

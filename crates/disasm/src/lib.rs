@@ -22,13 +22,17 @@
 //! assert_eq!(n_endbr, 1);
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe code is confined to the `kernels` module (SIMD intrinsics
+// behind runtime feature detection); everything else stays checked.
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
+mod bitrank;
 mod decode;
 mod error;
 mod format;
 mod insn;
+pub mod kernels;
 mod mode;
 mod par;
 mod stats;
@@ -40,8 +44,9 @@ pub use decode::decode;
 pub use error::DecodeError;
 pub use format::format_insn;
 pub use insn::{Insn, InsnKind};
+pub use kernels::KernelTier;
 pub use mode::Mode;
-pub use par::{par_sweep, sweep_all, SweepOutput};
+pub use par::{par_sweep, par_sweep_forced, sweep_all, sweep_all_tiered, SweepOutput};
 pub use stats::SweepStats;
 pub use stream::{InsnStream, Insns};
 pub use sweep::{LinearSweep, SupersetSweep};

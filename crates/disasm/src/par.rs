@@ -13,20 +13,41 @@
 //!
 //! Self-repairing disassembly resynchronizes quickly in practice (a
 //! handful of instructions), so the serial stitching work is tiny compared
-//! to the per-shard decoding it replaces.
+//! to the per-shard decoding it replaces. Sharding is **adaptive**: with a
+//! one-worker pool or a small region the speculative + stitch overhead
+//! loses to the plain sequential loop, so [`par_sweep`] falls back to
+//! [`sweep_all`] there ([`par_sweep_forced`] keeps the sharded path for
+//! tests and benches that need it).
 //!
 //! Both the sequential and sharded paths run the same inner loop
-//! ([`sweep_range`]), which layers two shortcuts over the full decoder:
+//! ([`sweep_range`]), which layers the [`crate::kernels`] shortcuts over
+//! the full decoder:
 //!
-//! * a **padding run-skipper** that bulk-appends runs of `0x90`/`0xCC`
-//!   bytes — a byte equal to `90`/`CC` at the start of an instruction
-//!   always decodes to a one-byte `NOP`/`INT3` regardless of what
-//!   follows, so a run of `n` such bytes is `n` one-byte instructions
-//!   and can skip the decoder entirely (inter-function padding makes
-//!   these runs common and long);
-//! * the first-byte **dispatch fast path** ([`crate::decode`]'s table)
-//!   for prefix-free one-byte instructions and fixed-width relative
-//!   branches.
+//! * a **padding run-skipper** ([`kernels::pad_run_end`]) that
+//!   bulk-appends runs of `0x90`/`0xCC` bytes — a byte equal to
+//!   `90`/`CC` at the start of an instruction always decodes to a
+//!   one-byte `NOP`/`INT3` regardless of what follows, so a run of `n`
+//!   such bytes is `n` one-byte instructions and can skip the decoder
+//!   entirely (inter-function padding makes these runs common and long);
+//! * an **8-byte-window fast decoder**
+//!   ([`crate::decode`]'s `decode_fast_win`) that decodes the
+//!   table-dispatch fast path as a pure function of one unaligned `u64`
+//!   load — the same load serves the pad check, so the serial
+//!   `off -> bytes -> len -> off` chain carries exactly one load per
+//!   instruction — valid whenever 16 lookahead bytes exist; a careful
+//!   byte-at-a-time tail loop (the previous hot loop) finishes the last
+//!   bytes bit-identically;
+//! * **batched emission**: decoded instructions accumulate in a
+//!   64-slot column scratch (offsets, lengths, tags — mirroring the
+//!   stream's own layout) and flush via `InsnStream::push_packed` as
+//!   three memcpy-backed extends plus one bitmap word append, instead
+//!   of one grow-checked push per instruction.
+//!
+//! (The per-block first-byte classifier [`kernels::classify_block`]
+//! stays a standalone kernel: feeding its lanes through this loop was
+//! measured ~25% *slower* than the windowed decode path it would
+//! bypass — the per-instruction lane bookkeeping cost more than the
+//! dispatch it saved.)
 //!
 //! Results land in a packed [`InsnStream`] (6 bytes per instruction)
 //! instead of a `Vec<Insn>` (32), which shrinks both the speculative
@@ -36,11 +57,12 @@
 
 use std::time::Instant;
 
-use crate::decode::{decode, decode_fast_packed, decode_full};
+use crate::decode::{decode, decode_fast_packed, decode_fast_win, decode_full};
 use crate::insn::{Insn, InsnKind};
+use crate::kernels::{self, KernelTier};
 use crate::mode::Mode;
 use crate::stats::SweepStats;
-use crate::stream::InsnStream;
+use crate::stream::{has_target, InsnStream};
 #[cfg(test)]
 use crate::sweep::LinearSweep;
 
@@ -66,13 +88,18 @@ impl SweepOutput {
 }
 
 /// Shared inner loop of the sequential sweep and of each speculative
-/// shard: run-skipper, then fast dispatch, then the full decoder. Returns
-/// the exit offset (first chain offset at or past `hi`).
+/// shard: kernel-classified hot loop while 16 lookahead bytes exist,
+/// then the careful byte-at-a-time loop for the tail. Returns the exit
+/// offset (first chain offset at or past `hi`).
 ///
 /// Equivalence to driving [`crate::decode`] one instruction at a time:
-/// the fast/full layering *is* `decode`, and the run-skipper only covers
-/// bytes (`90`/`CC`) whose decode is independent of their suffix, capped
-/// at `hi` exactly where the one-at-a-time loop would stop.
+/// the classifier's "pad" lane only covers bytes (`90`/`CC`) whose
+/// decode is independent of their suffix; its "one" lane only covers
+/// bytes the dispatch table completes in one byte with a fixed tag
+/// (checked against `decode_fast_packed` for all 256 bytes in
+/// `decode::tests`); and `decode_fast_win` agrees with
+/// `decode_fast_packed` whenever 16 buffer bytes remain (also checked
+/// exhaustively). The tail loop *is* the one-at-a-time layering.
 #[allow(clippy::too_many_arguments)]
 fn sweep_range(
     code: &[u8],
@@ -80,11 +107,99 @@ fn sweep_range(
     mode: Mode,
     lo: usize,
     hi: usize,
+    tier: KernelTier,
     stream: &mut InsnStream,
     mut on_error: impl FnMut(usize),
     stats: &mut SweepStats,
 ) -> usize {
     let mut off = lo;
+
+    // Hot windowed loop. Requires 16 lookahead bytes for the window
+    // decoder and u32-representable offsets for the packed push (larger
+    // regions run the tail loop for everything, matching the old path).
+    let hot_end = if code.len() >= 16 && code.len() <= u32::MAX as usize {
+        hi.min(code.len() - 15)
+    } else {
+        lo
+    };
+    let len0 = stream.len();
+    let runs0 = stats.run_insns;
+    let mut slow_ok = 0u64;
+    // Decoded-instruction scratch: three column arrays mirroring the
+    // stream's SoA layout, so a flush is three memcpy-backed
+    // `extend_from_slice`s (see `InsnStream::push_packed`). `tbits`
+    // marks the scratch slots carrying a branch target; the targets
+    // themselves sit dense in `tv[..tn]`.
+    let mut so = [0u32; 64];
+    let mut sl = [0u8; 64];
+    let mut st = [0u8; 64];
+    let mut tv = [0u64; 64];
+    let mut tbits = 0u64;
+    let (mut pn, mut tn) = (0usize, 0usize);
+    macro_rules! flush {
+        () => {
+            stream.push_packed(&so[..pn], &sl[..pn], &st[..pn], tbits, &tv[..tn]);
+            (pn, tn, tbits) = (0, 0, 0);
+        };
+    }
+    while off < hot_end {
+        // One unaligned load serves both the pad check (low byte) and
+        // the window decoder — the per-instruction serial chain
+        // `off -> load -> len -> off` has exactly one load on it.
+        // `off < hot_end <= code.len() - 15` keeps the read in bounds.
+        let win = u64::from_le_bytes(code[off..off + 8].try_into().expect("8-byte window"));
+        let b = win as u8;
+        if b == 0x90 || b == 0xCC {
+            flush!();
+            let end = kernels::pad_run_end(code, off, hi, b, tier);
+            let n = end - off;
+            let kind = if b == 0x90 { InsnKind::Nop } else { InsnKind::Int3 };
+            stream.push_run(base.wrapping_add(off as u64), n, kind);
+            stats.run_insns += n as u64;
+            off = end;
+            continue;
+        }
+        let addr = base.wrapping_add(off as u64);
+        if let Some((len, tag, target)) = decode_fast_win(win, addr, mode) {
+            so[pn] = off as u32;
+            sl[pn] = len;
+            st[pn] = tag;
+            // Branchless target accept: store unconditionally, advance
+            // the cursor only when the tag actually carries one (the
+            // branch pattern of real code mispredicts too often).
+            let h = usize::from(has_target(tag));
+            tv[tn & 63] = target;
+            tn += h;
+            tbits |= (h as u64) << pn;
+            pn += 1;
+            if pn == so.len() {
+                flush!();
+            }
+            off += len as usize;
+            continue;
+        }
+        flush!();
+        stats.slow_decodes += 1;
+        match decode_full(&code[off..], addr, mode) {
+            Ok(insn) => {
+                off += insn.len as usize;
+                stream.push(insn);
+                slow_ok += 1;
+            }
+            Err(_) => {
+                on_error(off);
+                off += 1;
+            }
+        }
+    }
+    stream.push_packed(&so[..pn], &sl[..pn], &st[..pn], tbits, &tv[..tn]);
+    // Fast hits of the hot loop, reconciled in one subtraction instead
+    // of a per-instruction counter bump: everything pushed that was
+    // neither a run instruction nor a full-decoder success.
+    stats.fast_hits += (stream.len() - len0) as u64 - (stats.run_insns - runs0) - slow_ok;
+
+    // Careful tail: the original byte-at-a-time loop, bit-identical to
+    // the hot loop where their domains overlap.
     while off < hi {
         let b = code[off];
         if b == 0x90 || b == 0xCC {
@@ -124,18 +239,36 @@ fn sweep_range(
     off
 }
 
-/// Sequential sweep of a whole region, collected.
+/// Sequential sweep of a whole region, collected, using the process-wide
+/// [`KernelTier::active`] kernels.
 ///
 /// The single entry point non-parallel callers should use instead of
 /// driving [`LinearSweep`](crate::LinearSweep) by hand; [`par_sweep`] is the parallel
-/// equivalent and defers to this for small inputs.
+/// equivalent and defers to this for small inputs or one-worker pools.
 pub fn sweep_all(code: &[u8], base: u64, mode: Mode) -> SweepOutput {
+    sweep_all_tiered(code, base, mode, KernelTier::active())
+}
+
+/// [`sweep_all`] with an explicitly pinned kernel tier — the hook the
+/// differential suite and the per-kernel benches use to prove every tier
+/// produces the same stream.
+pub fn sweep_all_tiered(code: &[u8], base: u64, mode: Mode, tier: KernelTier) -> SweepOutput {
     let t0 = Instant::now();
     let mut stream = InsnStream::with_byte_capacity(code.len());
     stream.begin_segment(base);
     let mut stats = SweepStats { bytes: code.len() as u64, shards: 1, ..SweepStats::default() };
     let mut error_count = 0usize;
-    sweep_range(code, base, mode, 0, code.len(), &mut stream, |_| error_count += 1, &mut stats);
+    sweep_range(
+        code,
+        base,
+        mode,
+        0,
+        code.len(),
+        tier,
+        &mut stream,
+        |_| error_count += 1,
+        &mut stats,
+    );
     stats.decode_ns = t0.elapsed().as_nanos() as u64;
     stats.insns = stream.len() as u64;
     stats.decode_errors = error_count as u64;
@@ -144,6 +277,11 @@ pub fn sweep_all(code: &[u8], base: u64, mode: Mode) -> SweepOutput {
 
 /// Below this size sharding costs more than it saves.
 const MIN_SHARD_BYTES: usize = 4096;
+
+/// Below this size the adaptive path doesn't bother sharding even with
+/// idle workers: the stitch plus pool handoff overhead beats the
+/// parallel win on regions this small.
+const ADAPTIVE_MIN_BYTES: usize = 64 * 1024;
 
 /// Speculative decoding of one shard's byte range.
 ///
@@ -161,15 +299,32 @@ struct ShardChain {
     stats: SweepStats,
 }
 
-/// Parallel sharded linear sweep.
+/// Adaptive parallel linear sweep.
 ///
 /// Produces output **bit-identical** to `sweep_all(code, base, mode)` for
 /// every input (see the module docs for why; `proptest_par_sweep.rs`
 /// checks it on random byte soups and corpus-generated code). `shards` is
-/// an upper bound: it is clamped so every shard spans at least
-/// `MIN_SHARD_BYTES`, and `shards <= 1` falls back to the sequential
-/// sweep.
+/// an upper bound. The speculative decode + stitch only pays off when
+/// shards actually run concurrently on a region big enough to amortize
+/// the handoff, so this falls back to the sequential sweep when the
+/// worker pool has a single worker, the region is below
+/// `ADAPTIVE_MIN_BYTES`, or the shard clamp leaves one shard —
+/// guaranteeing the sharded configurations are never slower than
+/// sequential. [`par_sweep_forced`] skips the adaptive checks.
 pub fn par_sweep(code: &[u8], base: u64, mode: Mode, shards: usize) -> SweepOutput {
+    if funseeker_pool::global().workers() <= 1 || code.len() < ADAPTIVE_MIN_BYTES {
+        return sweep_all(code, base, mode);
+    }
+    par_sweep_forced(code, base, mode, shards)
+}
+
+/// Parallel sharded linear sweep, without [`par_sweep`]'s adaptive
+/// fallbacks: shards are decoded speculatively and stitched even on a
+/// one-worker pool or a small region. Still clamps so every shard spans
+/// at least `MIN_SHARD_BYTES` (`shards <= 1` degenerates to the
+/// sequential sweep). This is the stitch-coverage entry point for tests
+/// and benches; production callers want [`par_sweep`].
+pub fn par_sweep_forced(code: &[u8], base: u64, mode: Mode, shards: usize) -> SweepOutput {
     // The stitch stores shard-relative offsets as u32; a >4 GiB region
     // (never seen in practice) just takes the sequential path.
     if code.len() > u32::MAX as usize {
@@ -179,6 +334,7 @@ pub fn par_sweep(code: &[u8], base: u64, mode: Mode, shards: usize) -> SweepOutp
     if shards <= 1 {
         return sweep_all(code, base, mode);
     }
+    let tier = KernelTier::active();
 
     // Nominal shard boundaries: shard k speculatively decodes the chain
     // starting at starts[k], stopping once it crosses starts[k + 1].
@@ -190,7 +346,7 @@ pub fn par_sweep(code: &[u8], base: u64, mode: Mode, shards: usize) -> SweepOutp
             .map(|k| {
                 let lo = starts[k];
                 let hi = starts.get(k + 1).copied().unwrap_or(code.len());
-                move || decode_shard(code, base, mode, lo, hi)
+                move || decode_shard(code, base, mode, lo, hi, tier)
             })
             .collect(),
     );
@@ -244,7 +400,14 @@ pub fn par_sweep(code: &[u8], base: u64, mode: Mode, shards: usize) -> SweepOutp
     SweepOutput { stream, error_count, stats }
 }
 
-fn decode_shard(code: &[u8], base: u64, mode: Mode, lo: usize, hi: usize) -> ShardChain {
+fn decode_shard(
+    code: &[u8],
+    base: u64,
+    mode: Mode,
+    lo: usize,
+    hi: usize,
+    tier: KernelTier,
+) -> ShardChain {
     let t0 = Instant::now();
     let mut stream = InsnStream::with_byte_capacity(hi - lo);
     stream.begin_segment(base);
@@ -256,6 +419,7 @@ fn decode_shard(code: &[u8], base: u64, mode: Mode, lo: usize, hi: usize) -> Sha
         mode,
         lo,
         hi,
+        tier,
         &mut stream,
         |off| error_offsets.push(off as u32),
         &mut stats,
@@ -272,7 +436,9 @@ mod tests {
         let mut reference = LinearSweep::new(code, base, mode);
         let ref_insns: Vec<Insn> = reference.by_ref().collect();
         let seq = sweep_all(code, base, mode);
-        let par = par_sweep(code, base, mode, shards);
+        // Forced, so stitch coverage survives one-worker hosts where the
+        // adaptive path would short-circuit to sequential.
+        let par = par_sweep_forced(code, base, mode, shards);
         assert_eq!(seq.to_insns(), ref_insns, "sequential packed vs iterator reference");
         assert_eq!(seq.stream, par.stream, "packed arrays must be bit-identical");
         assert_eq!(seq.error_count, reference.error_count());
@@ -340,6 +506,21 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_par_sweep_matches_sequential() {
+        // Whatever the adaptive heuristic picks (sequential on this host's
+        // pool size / region size, sharded elsewhere), the output contract
+        // is unchanged.
+        let unit = [0x55, 0x48, 0x89, 0xe5, 0xe8, 0, 0, 0, 0, 0xc9, 0xc3, 0xcc];
+        for len in [100usize, MIN_SHARD_BYTES * 3, ADAPTIVE_MIN_BYTES + 17] {
+            let code: Vec<u8> = unit.iter().copied().cycle().take(len).collect();
+            let seq = sweep_all(&code, 0x1000, Mode::Bits64);
+            let par = par_sweep(&code, 0x1000, Mode::Bits64, 8);
+            assert_eq!(seq.stream, par.stream);
+            assert_eq!(seq.error_count, par.error_count);
+        }
+    }
+
+    #[test]
     fn padding_runs_crossing_shard_boundaries() {
         // Long NOP and INT3 runs spanning every shard boundary: the bulk
         // run-skipper inside each shard must agree with the sequential
@@ -358,12 +539,37 @@ mod tests {
 
     #[test]
     fn lone_pad_bytes_between_instructions() {
-        // Runs of length one must take the ordinary decode path and still
-        // match (the run-skipper only fires for n > 1).
+        // Runs of length one take the run path in the hot loop and the
+        // dispatch path in the tail loop; both must yield the same stream.
         let unit = [0x90, 0xc3, 0xcc, 0x55, 0x90, 0x90, 0xc3];
         let code: Vec<u8> = unit.iter().copied().cycle().take(MIN_SHARD_BYTES * 3 + 5).collect();
         for shards in [2, 5] {
             assert_equivalent(&code, 0x1000, Mode::Bits64, shards);
+        }
+    }
+
+    #[test]
+    fn tiered_sweeps_are_bit_identical() {
+        let mut x: u64 = 0x2545f4914f6cdd1d;
+        let mut code: Vec<u8> = (0..9000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        code.extend_from_slice(&[0xf3, 0x0f, 0x1e, 0xfa, 0x55, 0x90, 0x90, 0xc3]);
+        for mode in [Mode::Bits64, Mode::Bits32] {
+            let reference = sweep_all_tiered(&code, 0x1000, mode, KernelTier::Scalar);
+            for tier in KernelTier::ALL {
+                if !tier.is_supported() {
+                    continue;
+                }
+                let out = sweep_all_tiered(&code, 0x1000, mode, tier);
+                assert_eq!(out.stream, reference.stream, "{tier:?} {mode:?}");
+                assert_eq!(out.error_count, reference.error_count, "{tier:?} {mode:?}");
+            }
         }
     }
 

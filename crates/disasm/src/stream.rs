@@ -22,6 +22,7 @@
 //! ([`InsnStream::addr_at`], [`InsnStream::kind_at`],
 //! [`InsnStream::push_reg_indices`], …).
 
+use crate::bitrank::BitRank;
 use crate::insn::{Insn, InsnKind};
 
 // Kind tags. `NOTRACK` and the pushed-register number are folded into
@@ -110,6 +111,69 @@ struct Seg {
     base: u64,
 }
 
+/// Retired packed-array buffers of one dropped [`InsnStream`], kept for
+/// reuse by the next [`InsnStream::with_byte_capacity`] on the thread.
+struct SpareBufs {
+    offs: Vec<u32>,
+    lens: Vec<u8>,
+    tags: Vec<u8>,
+    tgts: BitRank,
+    tgt_val: Vec<u64>,
+}
+
+thread_local! {
+    /// One spare buffer set per thread, biggest-capacity-wins.
+    ///
+    /// A multi-MB sweep allocates ~2 bytes of packed arrays per code
+    /// byte; at that size the allocator serves them with fresh `mmap`s
+    /// and unmaps them on drop, so every one-shot sweep pays the page
+    /// faults of touching the arrays all over again — measurably slower
+    /// than the decode loop it feeds. Recycling retired buffers keeps
+    /// the pages mapped and warm across sweeps (the batch engine does
+    /// this at the scheduler level; this covers every consumer,
+    /// including the per-shard streams of the parallel sweep).
+    static SPARE: std::cell::Cell<Option<Box<SpareBufs>>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Streams below this capacity (in instruction slots) are dropped
+/// normally: small allocations are cheap to refault and not worth
+/// holding onto.
+const RECYCLE_MIN_SLOTS: usize = 64 * 1024;
+
+/// Stashes a retired stream's buffers for reuse if they beat the
+/// current spare, clearing them first so reuse starts from empty.
+fn recycle(stream: &mut InsnStream) {
+    if stream.offs.capacity() < RECYCLE_MIN_SLOTS {
+        return;
+    }
+    let mut bufs = Box::new(SpareBufs {
+        offs: std::mem::take(&mut stream.offs),
+        lens: std::mem::take(&mut stream.lens),
+        tags: std::mem::take(&mut stream.tags),
+        tgts: std::mem::take(&mut stream.tgts),
+        tgt_val: std::mem::take(&mut stream.tgt_val),
+    });
+    bufs.offs.clear();
+    bufs.lens.clear();
+    bufs.tags.clear();
+    bufs.tgts.clear();
+    bufs.tgt_val.clear();
+    SPARE.with(|s| {
+        let keep = match s.take() {
+            Some(cur) if cur.offs.capacity() >= bufs.offs.capacity() => cur,
+            _ => bufs,
+        };
+        s.set(Some(keep));
+    });
+}
+
+impl Drop for InsnStream {
+    fn drop(&mut self) {
+        recycle(self);
+    }
+}
+
 /// Packed instruction stream — see the module docs for the layout.
 ///
 /// ```
@@ -123,7 +187,7 @@ struct Seg {
 /// let insns: Vec<_> = stream.iter().collect();
 /// assert_eq!(insns[3].kind, InsnKind::Ret);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct InsnStream {
     /// Byte offset of each instruction, relative to its segment base.
     offs: Vec<u32>,
@@ -131,14 +195,39 @@ pub struct InsnStream {
     lens: Vec<u8>,
     /// Kind tags.
     tags: Vec<u8>,
-    /// Indices (into the packed arrays) of direct-branch instructions,
-    /// sorted ascending. Parallel to `tgt_val`.
-    tgt_idx: Vec<usize>,
-    /// Absolute branch targets for `tgt_idx`.
+    /// Direct-branch membership: bit `i` set iff instruction `i` carries
+    /// a side-table target ([`has_target`] of its tag). The rank of bit
+    /// `i` is the instruction's position in `tgt_val` — O(1) where the
+    /// old sorted index `Vec` needed a binary search per lookup.
+    tgts: BitRank,
+    /// Absolute branch targets, dense, in instruction order.
     tgt_val: Vec<u64>,
     /// Segments in instruction order; empty iff the stream is empty.
     segs: Vec<Seg>,
+    /// Sealed instruction-boundary bitmaps, one per segment (bit = a
+    /// segment-relative byte offset where an instruction starts; rank =
+    /// instructions before that offset). Empty until [`InsnStream::seal`]
+    /// runs; any mutation clears it. Derived data — excluded from
+    /// equality.
+    boundary: Vec<BitRank>,
 }
+
+/// Equality over the logical stream content (packed arrays, targets,
+/// segmentation). The rank accelerators (`tgts`, `boundary`) are derived
+/// from those fields — `tgts` deterministically so, `boundary` only
+/// after [`InsnStream::seal`] — and are deliberately excluded so a
+/// sealed stream still equals its unsealed twin.
+impl PartialEq for InsnStream {
+    fn eq(&self, other: &Self) -> bool {
+        self.offs == other.offs
+            && self.lens == other.lens
+            && self.tags == other.tags
+            && self.tgt_val == other.tgt_val
+            && self.segs == other.segs
+    }
+}
+
+impl Eq for InsnStream {}
 
 impl InsnStream {
     /// An empty stream.
@@ -148,19 +237,42 @@ impl InsnStream {
 
     /// An empty stream pre-sized for sweeping `bytes` bytes of code.
     ///
-    /// Compiler output averages ~4 bytes per instruction, so the packed
-    /// arrays reserve `bytes / 4` slots up front instead of growing
-    /// organically through repeated doubling on multi-MB regions. The
-    /// side table reserves for the observed ~5% direct-branch density.
+    /// Dense compiler output runs ~3 bytes per instruction (a linear
+    /// sweep decodes *everything*, including data misread as short
+    /// instructions), so the packed arrays reserve `bytes / 3` slots up
+    /// front: a mid-sweep doubling of a multi-MB array costs more than
+    /// the slack. The side table reserves for ~12% direct-branch
+    /// density.
     pub fn with_byte_capacity(bytes: usize) -> Self {
-        let insns = bytes / 4;
+        let insns = bytes / 3;
+        // A retired stream's buffers (see `SPARE`) skip both the
+        // allocation and the page faults of first touch.
+        if let Some(sp) = SPARE.with(std::cell::Cell::take) {
+            if sp.offs.capacity() >= insns {
+                let sp = *sp;
+                return InsnStream {
+                    offs: sp.offs,
+                    lens: sp.lens,
+                    tags: sp.tags,
+                    tgts: sp.tgts,
+                    tgt_val: sp.tgt_val,
+                    segs: Vec::new(),
+                    boundary: Vec::new(),
+                };
+            }
+            // Too small for this sweep: leave it for a smaller one.
+            SPARE.with(|s| s.set(Some(sp)));
+        }
+        let mut tgts = BitRank::new();
+        tgts.reserve(insns);
         InsnStream {
             offs: Vec::with_capacity(insns),
             lens: Vec::with_capacity(insns),
             tags: Vec::with_capacity(insns),
-            tgt_idx: Vec::with_capacity(insns / 16),
-            tgt_val: Vec::with_capacity(insns / 16),
+            tgts,
+            tgt_val: Vec::with_capacity(insns / 8),
             segs: Vec::new(),
+            boundary: Vec::new(),
         }
     }
 
@@ -184,6 +296,9 @@ impl InsnStream {
     /// Starts a new segment: subsequent pushes store offsets relative to
     /// `base`. Replaces the current segment if it is still empty.
     pub fn begin_segment(&mut self, base: u64) {
+        if !self.boundary.is_empty() {
+            self.boundary.clear();
+        }
         if let Some(last) = self.segs.last_mut() {
             if last.first == self.offs.len() {
                 last.base = base;
@@ -224,14 +339,63 @@ impl InsnStream {
     /// `target` is consulted only when the tag carries one.
     #[inline]
     pub(crate) fn push_parts(&mut self, addr: u64, len: u8, tag: u8, target: u64) {
+        if !self.boundary.is_empty() {
+            self.boundary.clear();
+        }
         let off = self.rel(addr);
+        self.push_at(off, len, tag, target);
+    }
+
+    /// [`InsnStream::push_parts`] with the segment-relative offset
+    /// already computed — the sweep hot loop's entry point (a sweep of
+    /// one region pushes `off` directly, skipping the per-instruction
+    /// segment lookup, the wrapping subtraction in [`InsnStream::rel`],
+    /// and the sealed-state check: callers must only use this on a
+    /// stream that was never sealed (the sweep always builds fresh
+    /// ones).
+    ///
+    /// The offset must be at or after the last pushed offset of the
+    /// current segment (streams are built in address order).
+    #[inline]
+    pub(crate) fn push_at(&mut self, off: u32, len: u8, tag: u8, target: u64) {
+        debug_assert!(self.boundary.is_empty(), "push_at on a sealed stream");
         self.offs.push(off);
         self.lens.push(len);
         self.tags.push(tag);
-        if has_target(tag) {
-            self.tgt_idx.push(self.offs.len() - 1);
+        let has = has_target(tag);
+        self.tgts.push(has);
+        if has {
             self.tgt_val.push(target);
         }
+    }
+
+    /// Bulk-appends up to 64 instructions in the [`InsnStream::push_at`]
+    /// packed form: element `k` of `batch` is
+    /// The columns arrive pre-separated (the sweep scratch mirrors the
+    /// stream's own SoA layout), so each lands with one
+    /// `extend_from_slice` — a bounds check plus a memcpy per batch
+    /// instead of one grow-checked push per instruction. Bit `k` of
+    /// `tbits` flags a direct branch whose target is the next value of
+    /// `targets` (dense, in batch order). Same sealed-state caveat as
+    /// `push_at`.
+    pub(crate) fn push_packed(
+        &mut self,
+        offs: &[u32],
+        lens: &[u8],
+        tags: &[u8],
+        tbits: u64,
+        targets: &[u64],
+    ) {
+        debug_assert!(self.boundary.is_empty(), "push_packed on a sealed stream");
+        debug_assert!(offs.len() <= 64);
+        debug_assert!(offs.len() == lens.len() && offs.len() == tags.len());
+        debug_assert_eq!(tbits.count_ones() as usize, targets.len());
+        debug_assert!(offs.len() == 64 || tbits >> offs.len() == 0);
+        self.offs.extend_from_slice(offs);
+        self.lens.extend_from_slice(lens);
+        self.tags.extend_from_slice(tags);
+        self.tgts.append_word(tbits, offs.len());
+        self.tgt_val.extend_from_slice(targets);
     }
 
     /// Bulk-appends a run of `n` one-byte instructions of kind `kind`
@@ -242,9 +406,13 @@ impl InsnStream {
         debug_assert!(target.is_none(), "run kinds carry no payload");
         let off0 = self.rel(addr);
         if let Some(end) = off0.checked_add(u32::try_from(n).unwrap_or(u32::MAX)) {
+            if !self.boundary.is_empty() {
+                self.boundary.clear();
+            }
             self.offs.extend(off0..end);
             self.lens.extend(std::iter::repeat_n(1, n));
             self.tags.extend(std::iter::repeat_n(tag, n));
+            self.tgts.push_zeros(n);
             return;
         }
         // Offsets would cross the u32 segment limit: fall back to the
@@ -283,15 +451,13 @@ impl InsnStream {
         self.addr_at(i).wrapping_add(u64::from(self.lens[i]))
     }
 
-    /// Branch target of instruction `i`, if it is a direct branch.
+    /// Branch target of instruction `i`, if it is a direct branch — the
+    /// rank of the membership bit is the target's dense position.
     #[inline]
     fn target_at(&self, i: usize) -> u64 {
-        match self.tgt_idx.binary_search(&i) {
-            Ok(t) => self.tgt_val[t],
-            // invariant: push() records a side entry for every
-            // direct-branch tag, so a targetless lookup cannot happen.
-            Err(_) => 0,
-        }
+        // invariant: push() records a dense target for every
+        // direct-branch tag, so a targetless lookup cannot happen.
+        self.tgt_val.get(self.tgts.rank(i)).copied().unwrap_or(0)
     }
 
     /// Classification of instruction `i`.
@@ -311,8 +477,16 @@ impl InsnStream {
     /// equivalent of `insns.partition_point(|i| i.addr < addr)`.
     ///
     /// Requires the stream to be address-sorted, which every sweep
-    /// product is (regions are swept in address order).
+    /// product is (regions are swept in address order). On a
+    /// [`InsnStream::seal`]ed stream this is a rank query on the
+    /// boundary bitmap; otherwise a binary search.
     pub fn partition_point_addr(&self, addr: u64) -> usize {
+        if !self.boundary.is_empty() {
+            return match self.sealed_locate(addr) {
+                SealedHit::Before => 0,
+                SealedHit::In { partition, .. } => partition,
+            };
+        }
         let (mut lo, mut hi) = (0usize, self.len());
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
@@ -326,9 +500,88 @@ impl InsnStream {
     }
 
     /// Index of the instruction starting exactly at `addr`, if any.
+    /// On a [`InsnStream::seal`]ed stream this is one bit test plus one
+    /// rank query instead of a binary search.
     pub fn index_of_addr(&self, addr: u64) -> Option<usize> {
+        if !self.boundary.is_empty() {
+            return match self.sealed_locate(addr) {
+                SealedHit::Before => None,
+                SealedHit::In { partition, starts_insn } => starts_insn.then_some(partition),
+            };
+        }
         let i = self.partition_point_addr(addr);
         (i < self.len() && self.addr_at(i) == addr).then_some(i)
+    }
+
+    /// Builds the per-segment instruction-boundary bitmaps that turn
+    /// [`InsnStream::index_of_addr`] and [`InsnStream::partition_point_addr`]
+    /// (hence [`InsnStream::range`]) into O(1) rank queries.
+    ///
+    /// Call once the stream is fully built — any later mutation drops
+    /// the bitmaps and the lookups fall back to binary search. Sealing
+    /// is skipped (harmlessly) when the stream violates the dense-sorted
+    /// layout the rank queries assume: wrapping or overlapping segment
+    /// address spans, non-increasing offsets, or a segment so sparse the
+    /// bitmap would dwarf the instructions it indexes.
+    pub fn seal(&mut self) {
+        self.boundary.clear();
+        let mut maps = Vec::with_capacity(self.segs.len());
+        let mut prev_end: Option<u64> = None;
+        for (j, seg) in self.segs.iter().enumerate() {
+            let first = seg.first;
+            let next = self.segs.get(j + 1).map_or(self.offs.len(), |s| s.first);
+            let offs = &self.offs[first..next];
+            if offs.is_empty() {
+                // An empty segment never owns a lookup result, but its
+                // base ordering is unchecked — refuse to seal around it.
+                return;
+            }
+            if !offs.windows(2).all(|w| w[0] < w[1]) {
+                return; // duplicate or descending offsets
+            }
+            let max_off = u64::from(offs[offs.len() - 1]);
+            let Some(last_addr) = seg.base.checked_add(max_off) else {
+                return; // address span wraps 2^64
+            };
+            if prev_end.is_some_and(|e| e >= seg.base) {
+                return; // segment spans overlap or are out of order
+            }
+            prev_end = Some(last_addr);
+            let universe = max_off as usize + 1;
+            if universe > 64 * offs.len() + 4096 {
+                return; // too sparse: bitmap memory would exceed ~8x the insns
+            }
+            maps.push(BitRank::from_sorted(universe, offs));
+        }
+        self.boundary = maps;
+    }
+
+    /// Whether the boundary bitmaps are built (see [`InsnStream::seal`]).
+    pub fn is_sealed(&self) -> bool {
+        !self.boundary.is_empty() || self.segs.is_empty()
+    }
+
+    /// Sealed-path address lookup: segment probe + rank query. Only
+    /// valid when `boundary` is built (which implies the segment spans
+    /// are sorted, disjoint, and non-wrapping).
+    #[inline]
+    fn sealed_locate(&self, addr: u64) -> SealedHit {
+        debug_assert_eq!(self.boundary.len(), self.segs.len());
+        let j = self.segs.partition_point(|s| s.base <= addr);
+        if j == 0 {
+            return SealedHit::Before;
+        }
+        let seg = self.segs[j - 1];
+        let map = &self.boundary[j - 1];
+        let next_first = self.segs.get(j).map_or(self.offs.len(), |s| s.first);
+        let delta = addr - seg.base; // no wrap: seg.base <= addr
+        if delta >= map.len() as u64 {
+            // Past the segment's last instruction start (and before the
+            // next segment's base): everything here counts as before.
+            return SealedHit::In { partition: next_first, starts_insn: false };
+        }
+        let delta = delta as usize;
+        SealedHit::In { partition: seg.first + map.rank(delta), starts_insn: map.get(delta) }
     }
 
     /// Iterates the whole stream as [`Insn`] values, O(1) per item.
@@ -355,7 +608,7 @@ impl InsnStream {
             i: start,
             end,
             seg: if start < self.len() { self.seg_of(start) } else { 0 },
-            tgt: self.tgt_idx.partition_point(|&t| t < start),
+            tgt: self.tgts.rank(start),
         }
     }
 
@@ -370,6 +623,9 @@ impl InsnStream {
     /// Appends a copy of `other`, preserving its segmentation — used to
     /// concatenate per-region sweeps into one per-binary stream.
     pub fn append(&mut self, other: &InsnStream) {
+        if !self.boundary.is_empty() {
+            self.boundary.clear();
+        }
         let idx0 = self.offs.len();
         for s in &other.segs {
             self.segs.push(Seg { first: s.first + idx0, base: s.base });
@@ -377,7 +633,7 @@ impl InsnStream {
         self.offs.extend_from_slice(&other.offs);
         self.lens.extend_from_slice(&other.lens);
         self.tags.extend_from_slice(&other.tags);
-        self.tgt_idx.extend(other.tgt_idx.iter().map(|&i| i + idx0));
+        self.tgts.extend_range(&other.tgts, 0, other.tgts.len());
         self.tgt_val.extend_from_slice(&other.tgt_val);
     }
 
@@ -387,10 +643,15 @@ impl InsnStream {
         self.iter().collect()
     }
 
-    /// Approximate heap footprint in bytes — the packed arrays plus the
-    /// side table.
+    /// Approximate heap footprint in bytes — the packed arrays, the
+    /// dense target array with its membership bitmap, the segment list,
+    /// and the sealed boundary bitmaps when present.
     pub fn packed_bytes(&self) -> usize {
-        self.offs.len() * 6 + self.tgt_idx.len() * 16 + self.segs.len() * 16
+        self.offs.len() * 6
+            + self.tgt_val.len() * 8
+            + self.tgts.heap_bytes()
+            + self.segs.len() * 16
+            + self.boundary.iter().map(BitRank::heap_bytes).sum::<usize>()
     }
 
     /// Binary search of the packed offset array within the single-segment
@@ -406,14 +667,30 @@ impl InsnStream {
     pub(crate) fn splice_tail(&mut self, chain: &InsnStream, from: usize) {
         debug_assert!(self.segs.len() == 1 && chain.segs.len() == 1);
         debug_assert_eq!(self.segs[0].base, chain.segs[0].base);
-        let idx0 = self.offs.len();
+        if !self.boundary.is_empty() {
+            self.boundary.clear();
+        }
         self.offs.extend_from_slice(&chain.offs[from..]);
         self.lens.extend_from_slice(&chain.lens[from..]);
         self.tags.extend_from_slice(&chain.tags[from..]);
-        let t0 = chain.tgt_idx.partition_point(|&i| i < from);
-        self.tgt_idx.extend(chain.tgt_idx[t0..].iter().map(|&i| i - from + idx0));
+        let t0 = chain.tgts.rank(from);
+        self.tgts.extend_range(&chain.tgts, from, chain.tgts.len());
         self.tgt_val.extend_from_slice(&chain.tgt_val[t0..]);
     }
+}
+
+/// Result of a sealed-path address probe.
+enum SealedHit {
+    /// The address precedes every segment.
+    Before,
+    /// The address lands in (or after the instructions of) a segment.
+    In {
+        /// Count of instructions whose address is strictly below the
+        /// probe — the partition point.
+        partition: usize,
+        /// Whether an instruction starts exactly at the probe address.
+        starts_insn: bool,
+    },
 }
 
 impl<'a> IntoIterator for &'a InsnStream {
@@ -452,12 +729,9 @@ impl Iterator for Insns<'_> {
         }
         let tag = s.tags[i];
         let target = if has_target(tag) {
-            while self.tgt < s.tgt_idx.len() && s.tgt_idx[self.tgt] < i {
-                self.tgt += 1;
-            }
-            // invariant: every direct-branch tag has a side entry at
-            // exactly index i, so the cursor lands on it.
-            debug_assert!(self.tgt < s.tgt_idx.len() && s.tgt_idx[self.tgt] == i);
+            // invariant: every direct-branch tag has a dense target at
+            // exactly the membership bit's rank, which the cursor tracks.
+            debug_assert!(s.tgts.get(i));
             let v = s.tgt_val.get(self.tgt).copied().unwrap_or(0);
             self.tgt += 1;
             v
@@ -625,14 +899,98 @@ mod tests {
 
     #[test]
     fn packed_layout_is_six_bytes_per_insn() {
-        // The headline claim: 6 packed bytes per instruction vs 32 for
-        // the value type.
+        // The headline claim: 6 packed bytes per instruction (plus one
+        // membership bit and its rank entries) vs 32 for the value type.
         assert_eq!(std::mem::size_of::<Insn>(), 32);
         let mut s = InsnStream::new();
         s.begin_segment(0);
         for k in 0..1000u64 {
             s.push(Insn { addr: k, len: 1, kind: InsnKind::Other });
         }
-        assert_eq!(s.packed_bytes(), 1000 * 6 + 16);
+        // 6 B/insn arrays + 1000-bit membership bitmap (15 complete
+        // words + 2 rank entries = 128 B; the partial tail word is
+        // buffered inline) + one 16 B segment.
+        assert_eq!(s.packed_bytes(), 1000 * 6 + 128 + 16);
+    }
+
+    #[test]
+    fn sealed_lookups_match_binary_search() {
+        let (_, a) = sample();
+        let mut b = InsnStream::new();
+        b.begin_segment(0x9000);
+        b.push(Insn { addr: 0x9000, len: 1, kind: InsnKind::Ret });
+        b.push(Insn { addr: 0x9001, len: 5, kind: InsnKind::JmpRel { target: 0x9000 } });
+        let mut all = InsnStream::new();
+        all.append(&a);
+        all.append(&b);
+        let unsealed = all.clone();
+        all.seal();
+        assert!(all.is_sealed());
+        assert_eq!(all, unsealed, "sealing must not change logical content");
+        // Probe every interesting address: each instruction start, one
+        // byte either side, segment edges, and far outside.
+        let mut probes: Vec<u64> = (0..unsealed.len())
+            .flat_map(|i| {
+                let a = unsealed.addr_at(i);
+                [a.wrapping_sub(1), a, a + 1]
+            })
+            .collect();
+        probes.extend([0, 0xfff, 0x1013, 0x8fff, 0x9007, u64::MAX]);
+        for addr in probes {
+            assert_eq!(
+                all.partition_point_addr(addr),
+                unsealed.partition_point_addr(addr),
+                "partition_point_addr({addr:#x})"
+            );
+            assert_eq!(
+                all.index_of_addr(addr),
+                unsealed.index_of_addr(addr),
+                "index_of_addr({addr:#x})"
+            );
+        }
+        let sealed_range: Vec<_> = all.range(0x1004, 0x9001).collect();
+        let plain_range: Vec<_> = unsealed.range(0x1004, 0x9001).collect();
+        assert_eq!(sealed_range, plain_range);
+    }
+
+    #[test]
+    fn mutation_after_seal_falls_back_to_binary_search() {
+        let (_, mut s) = sample();
+        s.seal();
+        assert!(s.is_sealed());
+        s.push(Insn { addr: 0x1012, len: 1, kind: InsnKind::Nop });
+        assert!(!s.is_sealed());
+        assert_eq!(s.index_of_addr(0x1012), Some(7));
+        s.seal();
+        assert!(s.is_sealed());
+        assert_eq!(s.index_of_addr(0x1012), Some(7));
+    }
+
+    #[test]
+    fn seal_refuses_wrapping_and_sparse_streams() {
+        // A segment ending exactly at u64::MAX is fine...
+        let mut w = InsnStream::new();
+        w.begin_segment(u64::MAX - 1);
+        w.push(Insn { addr: u64::MAX - 1, len: 1, kind: InsnKind::Nop });
+        w.push(Insn { addr: u64::MAX, len: 1, kind: InsnKind::Nop });
+        w.seal();
+        assert!(w.is_sealed());
+        assert_eq!(w.index_of_addr(u64::MAX), Some(1));
+        // ...but one whose max offset carries past u64::MAX must refuse.
+        let mut w = InsnStream::new();
+        w.begin_segment(u64::MAX - 1);
+        w.push_at(0, 1, TAG_NOP, 0);
+        w.push_at(2, 1, TAG_NOP, 0);
+        w.seal();
+        assert!(!w.is_sealed());
+        assert_eq!(w.addr_at(0), u64::MAX - 1); // lookups still work unsealed
+                                                // Sparse segment: two instructions a megabyte apart.
+        let mut sp = InsnStream::new();
+        sp.begin_segment(0x1000);
+        sp.push(Insn { addr: 0x1000, len: 1, kind: InsnKind::Ret });
+        sp.push(Insn { addr: 0x10_0000, len: 1, kind: InsnKind::Ret });
+        sp.seal();
+        assert!(!sp.is_sealed());
+        assert_eq!(sp.index_of_addr(0x10_0000), Some(1));
     }
 }

@@ -1,0 +1,224 @@
+//! Differential tests for the vectorized sweep kernels: every supported
+//! tier (AVX2 / SSE2 / SWAR) must agree bit-for-bit with the scalar
+//! reference on every input — at every alignment phase, across every
+//! vector-width boundary straddle, on adversarial needle layouts, and on
+//! arbitrary random buffers (proptest). The sealed-stream rank lookups
+//! ride along: sealing is a pure accelerator, so a sealed stream must
+//! answer every address query exactly like its unsealed twin.
+
+use funseeker_disasm::kernels::{classify_block, find_endbr, pad_run_end, BlockClass};
+use funseeker_disasm::{sweep_all, InsnStream, KernelTier, Mode};
+use proptest::prelude::*;
+
+/// The tiers this host can actually run (always includes Swar + Scalar).
+fn tiers() -> Vec<KernelTier> {
+    KernelTier::ALL.into_iter().filter(|t| t.is_supported()).collect()
+}
+
+/// Scalar-reference ENDBR scan.
+fn ref_endbr(code: &[u8]) -> Vec<u32> {
+    (0..code.len().saturating_sub(3))
+        .filter(|&i| {
+            code[i] == 0xF3 && code[i + 1] == 0x0F && code[i + 2] == 0x1E && code[i + 3] | 1 == 0xFB
+        })
+        .map(|i| i as u32)
+        .collect()
+}
+
+/// Scalar-reference pad-run scan.
+fn ref_pad_run(code: &[u8], start: usize, hi: usize, byte: u8) -> usize {
+    let mut i = start;
+    while i < hi && code[i] == byte {
+        i += 1;
+    }
+    i
+}
+
+/// Scalar-reference block classification via the tier API itself.
+fn ref_classify(block: &[u8], mode: Mode) -> BlockClass {
+    classify_block(block, mode, KernelTier::Scalar)
+}
+
+#[test]
+fn endbr_scan_every_alignment_and_straddle() {
+    // One needle slid across every offset of a buffer long enough that it
+    // straddles each 8/16/32-byte chunk boundary of every tier, embedded
+    // in F3 noise so candidate filtering is exercised, plus both FA/FB
+    // tails and a decoy (F3 0F 1E FC is not an ENDBR).
+    for tail in [0xFAu8, 0xFB, 0xFC] {
+        for pos in 0..100usize {
+            let mut code = vec![0xF3u8; 104];
+            code[pos] = 0xF3;
+            code[pos + 1] = 0x0F;
+            code[pos + 2] = 0x1E;
+            code[pos + 3] = tail;
+            let want = ref_endbr(&code);
+            if tail == 0xFC {
+                assert!(!want.contains(&(pos as u32)));
+            } else {
+                assert!(want.contains(&(pos as u32)));
+            }
+            for tier in tiers() {
+                assert_eq!(find_endbr(&code, tier), want, "{tier:?} pos={pos} tail={tail:#x}");
+            }
+        }
+    }
+}
+
+#[test]
+fn endbr_scan_truncated_needles_at_buffer_end() {
+    // Prefixes of the needle at the very end of the region must never be
+    // reported, at every buffer length (vector remainders included).
+    let needle = [0xF3u8, 0x0F, 0x1E, 0xFA];
+    for pad in 0..70usize {
+        for keep in 0..4usize {
+            let mut code = vec![0x90u8; pad];
+            code.extend_from_slice(&needle[..keep]);
+            let want = ref_endbr(&code);
+            assert!(want.is_empty());
+            for tier in tiers() {
+                assert_eq!(find_endbr(&code, tier), want, "{tier:?} pad={pad} keep={keep}");
+            }
+        }
+    }
+}
+
+#[test]
+fn pad_run_every_start_phase_and_cap() {
+    // A long run with a mismatch planted at every distance from every
+    // start phase, under caps that land inside, at, and past the run end.
+    let n = 140usize;
+    for mism in [None, Some(35usize), Some(64), Some(96)] {
+        let mut code = vec![0xCCu8; n];
+        if let Some(m) = mism {
+            code[m] = 0x00;
+        }
+        for start in 0..48usize {
+            for hi in [start, start + 1, start + 17, n - 3, n] {
+                let want = ref_pad_run(&code, start, hi, 0xCC);
+                for tier in tiers() {
+                    assert_eq!(
+                        pad_run_end(&code, start, hi, 0xCC, tier),
+                        want,
+                        "{tier:?} start={start} hi={hi} mism={mism:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn classify_every_block_length() {
+    // A block containing every interesting byte class, truncated to every
+    // possible partial-block length.
+    let mut block = Vec::new();
+    for i in 0..64u8 {
+        block.push(match i % 8 {
+            0 => 0x90, // pad
+            1 => 0xCC, // pad
+            2 => 0xC3, // one (ret)
+            3 => 0x55, // one (push)
+            4 => 0x48, // REX: one in 32-bit only
+            5 => 0xC9, // one (leave)
+            6 => 0xE8, // neither (call rel32)
+            _ => i,    // assorted
+        });
+    }
+    for mode in [Mode::Bits64, Mode::Bits32] {
+        for len in 0..=64usize {
+            let b = &block[..len];
+            let want = ref_classify(b, mode);
+            for tier in tiers() {
+                assert_eq!(classify_block(b, mode, tier), want, "{tier:?} {mode:?} len={len}");
+            }
+        }
+    }
+}
+
+#[test]
+fn classify_rex_bytes_flip_with_mode() {
+    // 40..4F are one-byte inc/dec in 32-bit mode but REX prefixes in
+    // 64-bit; the mask the classifier uses must flip accordingly.
+    let block: Vec<u8> = (0x40u8..0x50).collect();
+    let c64 = ref_classify(&block, Mode::Bits64);
+    let c32 = ref_classify(&block, Mode::Bits32);
+    assert_eq!(c64.one, 0, "REX prefixes are not one-byte instructions");
+    assert_eq!(c32.one, 0xFFFF, "inc/dec reg are one-byte instructions");
+    assert_eq!(c64.pad | c32.pad, 0);
+}
+
+#[test]
+fn sealed_stream_answers_like_unsealed() {
+    // Sweep real-ish bytes, seal a copy, and probe every address in and
+    // around the region: sealing must be observationally invisible.
+    let unit = [0xf3, 0x0f, 0x1e, 0xfa, 0x55, 0x48, 0x89, 0xe5, 0xe8, 0, 0, 0, 0, 0x90, 0xc3];
+    let code: Vec<u8> = unit.iter().copied().cycle().take(700).collect();
+    let base = 0x40_1000u64;
+    let plain: InsnStream = sweep_all(&code, base, Mode::Bits64).stream;
+    let mut sealed = plain.clone();
+    sealed.seal();
+    assert!(sealed.is_sealed());
+    assert_eq!(plain, sealed, "sealing must not change stream equality");
+    for addr in (base - 4)..(base + code.len() as u64 + 4) {
+        assert_eq!(plain.index_of_addr(addr), sealed.index_of_addr(addr), "index_of {addr:#x}");
+    }
+    for (lo, hi) in [(base, base + 7), (base - 9, base + 700), (base + 33, base + 34)] {
+        let a: Vec<_> = plain.range(lo, hi).collect();
+        let b: Vec<_> = sealed.range(lo, hi).collect();
+        assert_eq!(a, b, "range {lo:#x}..{hi:#x}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random buffers: all three kernels agree with scalar at arbitrary
+    /// content, lengths, and subslice phases.
+    #[test]
+    fn kernels_match_scalar_on_random_buffers(
+        code in proptest::collection::vec(any::<u8>(), 0..2500),
+        seeds in proptest::collection::vec((any::<u16>(), any::<bool>()), 0..12),
+        phase in 0usize..64,
+        wide in any::<bool>(),
+    ) {
+        let mut code = code;
+        // Plant needles and pad runs so hits are dense enough to matter.
+        for (at, fb) in seeds {
+            let at = at as usize;
+            if at + 8 <= code.len() {
+                code[at..at + 4].copy_from_slice(&[0xF3, 0x0F, 0x1E, if fb { 0xFB } else { 0xFA }]);
+                code[at + 4..at + 8].fill(if fb { 0x90 } else { 0xCC });
+            }
+        }
+        let code = &code[phase.min(code.len())..];
+        let mode = if wide { Mode::Bits64 } else { Mode::Bits32 };
+
+        let want_endbr = ref_endbr(code);
+        for tier in tiers() {
+            prop_assert_eq!(&find_endbr(code, tier), &want_endbr, "find_endbr {:?}", tier);
+        }
+        for start in [0usize, 1, 31].into_iter().filter(|&s| s <= code.len()) {
+            for byte in [0x90u8, 0xCC] {
+                let want = ref_pad_run(code, start, code.len(), byte);
+                for tier in tiers() {
+                    prop_assert_eq!(
+                        pad_run_end(code, start, code.len(), byte, tier),
+                        want,
+                        "pad_run_end {:?} start={} byte={:#x}", tier, start, byte
+                    );
+                }
+            }
+        }
+        for block in code.chunks(64) {
+            let want = ref_classify(block, mode);
+            for tier in tiers() {
+                prop_assert_eq!(
+                    classify_block(block, mode, tier),
+                    want,
+                    "classify {:?} {:?}", tier, mode
+                );
+            }
+        }
+    }
+}

@@ -47,6 +47,9 @@ pub struct BatchRow {
     pub label: String,
     /// Best-of-N wall time in milliseconds for the whole corpus.
     pub ms: f64,
+    /// Sample standard deviation of the wall time over the reps, in
+    /// milliseconds — the run-to-run noise behind `ms`.
+    pub sd_ms: f64,
     /// Corpus binaries analyzed per second (each under all four Table II
     /// configurations).
     pub bins_per_s: f64,
@@ -122,10 +125,12 @@ pub fn run(quick: bool) -> BatchReport {
     let reps = if quick { 2 } else { 3 };
     let n = images.len();
     let mut rows = Vec::new();
-    let mut push = |label: &str, best_s: f64, hit_rate: f64, unique: usize| {
+    let mut push = |label: &str, samples: &[f64], hit_rate: f64, unique: usize| {
+        let (best_s, sd_s) = crate::variance::best_and_sd(samples);
         rows.push(BatchRow {
             label: label.to_owned(),
             ms: best_s * 1e3,
+            sd_ms: sd_s * 1e3,
             bins_per_s: n as f64 / best_s,
             hit_rate,
             unique_images: unique,
@@ -139,7 +144,7 @@ pub fn run(quick: bool) -> BatchReport {
     // ---- flat: the pre-batch driver. One task per binary, fresh
     // front end, fresh per-call scratch, no cache, no dedup.
     let mut flat_functions = 0usize;
-    let mut best = f64::MAX;
+    let mut samples = Vec::with_capacity(reps);
     for _ in 0..reps {
         let t = Instant::now();
         let outs = par_map_timed(&images, |image| {
@@ -152,26 +157,26 @@ pub fn run(quick: bool) -> BatchReport {
                 .map(|&c| FunSeeker::with_config(c).identify_prepared(&prepared).functions.len())
                 .sum()
         });
-        best = best.min(t.elapsed().as_secs_f64());
+        samples.push(t.elapsed().as_secs_f64());
         flat_functions = outs.iter().map(|(f, _)| f).sum();
     }
-    push("flat", best, 0.0, n);
+    push("flat", &samples, 0.0, n);
 
     // ---- nocache: pipeline + scratch arenas only.
-    let mut best = f64::MAX;
+    let mut samples = Vec::with_capacity(reps);
     let mut last_stats = None;
     let nocache_opts = BatchOptions { cache: false, ..Default::default() };
     for _ in 0..reps {
         let t = Instant::now();
         let out = funseeker_batch::run(&images, &configs, &nocache_opts);
-        best = best.min(t.elapsed().as_secs_f64());
+        samples.push(t.elapsed().as_secs_f64());
         assert_eq!(total_functions(&out.results), flat_functions, "nocache diverged from flat");
         last_stats = Some(out.stats);
     }
-    push("nocache", best, 0.0, last_stats.expect("ran").unique_images);
+    push("nocache", &samples, 0.0, last_stats.expect("ran").unique_images);
 
     // ---- cold: the full engine from an empty cache, fresh every rep.
-    let mut best = f64::MAX;
+    let mut samples = Vec::with_capacity(reps);
     let mut cold_cache = ResultCache::new();
     let mut cold_stats = None;
     for _ in 0..reps {
@@ -179,16 +184,16 @@ pub fn run(quick: bool) -> BatchReport {
         let t = Instant::now();
         let out =
             funseeker_batch::run_with_cache(&images, &configs, &BatchOptions::default(), &cache);
-        best = best.min(t.elapsed().as_secs_f64());
+        samples.push(t.elapsed().as_secs_f64());
         assert_eq!(total_functions(&out.results), flat_functions, "cold diverged from flat");
         cold_stats = Some(out.stats);
         cold_cache = cache;
     }
     let cold_stats = cold_stats.expect("ran");
-    push("cold", best, cold_stats.hit_rate(), cold_stats.unique_images);
+    push("cold", &samples, cold_stats.hit_rate(), cold_stats.unique_images);
 
     // ---- warm: rerun against the last cold run's populated cache.
-    let mut best = f64::MAX;
+    let mut samples = Vec::with_capacity(reps);
     let mut warm_stats = None;
     for _ in 0..reps {
         let t = Instant::now();
@@ -198,12 +203,12 @@ pub fn run(quick: bool) -> BatchReport {
             &BatchOptions::default(),
             &cold_cache,
         );
-        best = best.min(t.elapsed().as_secs_f64());
+        samples.push(t.elapsed().as_secs_f64());
         assert_eq!(total_functions(&out.results), flat_functions, "warm diverged from flat");
         warm_stats = Some(out.stats);
     }
     let warm_stats = warm_stats.expect("ran");
-    push("warm", best, warm_stats.hit_rate(), warm_stats.unique_images);
+    push("warm", &samples, warm_stats.hit_rate(), warm_stats.unique_images);
 
     // ---- disk: an empty memory cache backed by a populated disk layer
     // (a fresh process rerunning yesterday's corpus).
@@ -212,12 +217,12 @@ pub fn run(quick: bool) -> BatchReport {
     let disk_opts = BatchOptions { disk_cache: Some(dir.clone()), ..Default::default() };
     // Populate the disk layer (untimed).
     let _ = funseeker_batch::run(&images, &configs, &disk_opts);
-    let mut best = f64::MAX;
+    let mut samples = Vec::with_capacity(reps);
     let mut disk_stats = None;
     for _ in 0..reps {
         let t = Instant::now();
         let out = funseeker_batch::run(&images, &configs, &disk_opts);
-        best = best.min(t.elapsed().as_secs_f64());
+        samples.push(t.elapsed().as_secs_f64());
         assert_eq!(total_functions(&out.results), flat_functions, "disk diverged from flat");
         disk_stats = Some(out.stats);
     }
@@ -229,7 +234,7 @@ pub fn run(quick: bool) -> BatchReport {
     } else {
         disk_stats.disk_hits as f64 / disk_stats.cache_misses as f64
     };
-    push("disk", best, disk_rate, disk_stats.unique_images);
+    push("disk", &samples, disk_rate, disk_stats.unique_images);
     let _ = std::fs::remove_dir_all(&dir);
 
     BatchReport {
@@ -257,14 +262,15 @@ impl BatchReport {
             self.peak_rss_kb as f64 / 1024.0,
         ));
         s.push_str(&format!(
-            "{:<9} {:>10} {:>12} {:>10} {:>8}\n",
-            "driver", "ms", "binaries/s", "hit-rate", "unique"
+            "{:<9} {:>10} {:>8} {:>12} {:>10} {:>8}\n",
+            "driver", "ms", "±sd", "binaries/s", "hit-rate", "unique"
         ));
         for r in &self.rows {
             s.push_str(&format!(
-                "{:<9} {:>10.1} {:>12.1} {:>9.0}% {:>8}\n",
+                "{:<9} {:>10.1} {:>8.1} {:>12.1} {:>9.0}% {:>8}\n",
                 r.label,
                 r.ms,
+                r.sd_ms,
                 r.bins_per_s,
                 r.hit_rate * 100.0,
                 r.unique_images,
@@ -283,10 +289,11 @@ impl BatchReport {
         ));
         for (i, r) in self.rows.iter().enumerate() {
             s.push_str(&format!(
-                "      {{\"config\": {:?}, \"ms\": {:.3}, \"bins_per_s\": {:.1}, \
-                 \"hit_rate\": {:.4}, \"unique\": {}}}{}\n",
+                "      {{\"config\": {:?}, \"ms\": {:.3}, \"sd_ms\": {:.3}, \
+                 \"bins_per_s\": {:.1}, \"hit_rate\": {:.4}, \"unique\": {}}}{}\n",
                 r.label,
                 r.ms,
+                r.sd_ms,
                 r.bins_per_s,
                 r.hit_rate,
                 r.unique_images,
@@ -312,7 +319,9 @@ pub fn last_bins_per_s(doc: &str, config: &str) -> Option<f64> {
 
 /// CI regression gate: compares the fresh report's cold-cache
 /// throughput against the newest committed entry, failing when it fell
-/// below `min_ratio` (e.g. `0.7` = fail on a >30 % regression).
+/// below `min_ratio` (e.g. `0.7` = fail on a >30 % regression). Like the
+/// sweep gate, the threshold is widened by the run-to-run noise both
+/// sides recorded (see [`crate::variance::noise_tolerance`]).
 pub fn check_against(
     committed: &str,
     fresh: &BatchReport,
@@ -324,14 +333,23 @@ pub fn check_against(
     let Some(now) = fresh.rows.iter().find(|r| r.label == "cold") else {
         return Err("fresh measurement has no cold row".into());
     };
+    let rel_committed = trajectory::last_value(committed, "cold", "sd_ms")
+        .zip(trajectory::last_value(committed, "cold", "ms"))
+        .map_or(0.0, |(sd, ms)| if ms > 0.0 { sd / ms } else { 0.0 });
+    let rel_fresh = if now.ms > 0.0 { now.sd_ms / now.ms } else { 0.0 };
+    let tol = crate::variance::noise_tolerance(rel_committed, rel_fresh);
+    let threshold = min_ratio * (1.0 - tol);
     let ratio = now.bins_per_s / baseline;
     let msg = format!(
-        "cold-cache batch: {:.1} binaries/s vs committed {:.1} binaries/s ({:.0}% of baseline)",
+        "cold-cache batch: {:.1} binaries/s vs committed {:.1} binaries/s ({:.0}% of baseline, \
+         threshold {:.0}% incl. {:.0}% noise tolerance)",
         now.bins_per_s,
         baseline,
-        ratio * 100.0
+        ratio * 100.0,
+        threshold * 100.0,
+        tol * 100.0,
     );
-    if ratio < min_ratio {
+    if ratio < threshold {
         Err(msg)
     } else {
         Ok(msg)
@@ -353,6 +371,7 @@ mod tests {
                 BatchRow {
                     label: "flat".into(),
                     ms: 100.0,
+                    sd_ms: 2.0,
                     bins_per_s: 200.0,
                     hit_rate: 0.0,
                     unique_images: 20,
@@ -360,6 +379,7 @@ mod tests {
                 BatchRow {
                     label: "cold".into(),
                     ms: 40.0,
+                    sd_ms: 1.0,
                     bins_per_s: 500.0,
                     hit_rate: 0.66,
                     unique_images: 10,
@@ -367,6 +387,7 @@ mod tests {
                 BatchRow {
                     label: "warm".into(),
                     ms: 2.0,
+                    sd_ms: 0.1,
                     bins_per_s: 10_000.0,
                     hit_rate: 1.0,
                     unique_images: 10,

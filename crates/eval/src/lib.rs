@@ -38,6 +38,7 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod trajectory;
+pub mod variance;
 
 pub use metrics::Score;
 pub use report::Table;

@@ -1,0 +1,60 @@
+//! Run-to-run variance helpers shared by the `perf` and `batch`
+//! measurements.
+//!
+//! Each benchmark row reports the **best-of-N** wall time (the least
+//! noisy point estimate on a busy machine) *plus* the sample standard
+//! deviation over the N repetitions, and the `--check` regression gates
+//! widen their threshold by the observed noise so a run on a loaded CI
+//! box doesn't fail on jitter while a real regression still does.
+
+/// Minimum and sample standard deviation of a set of wall-time samples
+/// (seconds in, seconds out). One sample has zero spread by definition.
+pub fn best_and_sd(samples: &[f64]) -> (f64, f64) {
+    assert!(!samples.is_empty(), "no samples");
+    let best = samples.iter().copied().fold(f64::MAX, f64::min);
+    if samples.len() < 2 {
+        return (best, 0.0);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var =
+        samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (samples.len() - 1) as f64;
+    (best, var.sqrt())
+}
+
+/// Extra regression-gate allowance from measurement noise: three combined
+/// standard deviations of the two runs being compared, as a fraction of
+/// their point estimates, capped so a wildly noisy run can't excuse an
+/// arbitrary slowdown.
+///
+/// `rel_committed` / `rel_fresh` are relative standard deviations
+/// (`sd / value`); pass `0.0` when a side recorded none (e.g. a
+/// trajectory entry written before variance tracking existed).
+pub fn noise_tolerance(rel_committed: f64, rel_fresh: f64) -> f64 {
+    let combined = (rel_committed * rel_committed + rel_fresh * rel_fresh).sqrt();
+    (3.0 * combined).clamp(0.0, 0.25)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_and_sd_basics() {
+        let (best, sd) = best_and_sd(&[3.0, 1.0, 2.0]);
+        assert_eq!(best, 1.0);
+        assert!((sd - 1.0).abs() < 1e-12);
+        let (best, sd) = best_and_sd(&[5.0]);
+        assert_eq!((best, sd), (5.0, 0.0));
+        let (_, sd) = best_and_sd(&[2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(sd, 0.0);
+    }
+
+    #[test]
+    fn tolerance_scales_with_noise_and_caps() {
+        assert_eq!(noise_tolerance(0.0, 0.0), 0.0);
+        let t = noise_tolerance(0.03, 0.04);
+        assert!((t - 0.15).abs() < 1e-12, "3 * sqrt(9+16)% = 15%, got {t}");
+        assert_eq!(noise_tolerance(0.5, 0.5), 0.25, "cap engages");
+        assert!(noise_tolerance(0.0, 0.01) > 0.0);
+    }
+}
