@@ -35,4 +35,12 @@ echo "==> batch engine smoke (quick mode, >30% cold-cache regression fails)"
 cargo run --release -q -p funseeker-eval --bin experiments -- \
   batch --quick --check BENCH_batch.json
 
+echo "==> call-graph smoke (direct-edge precision floor + >30% build-throughput regression fails)"
+cargo run --release -q -p funseeker-eval --bin experiments -- \
+  callgraph --quick --check BENCH_sweep.json
+
+echo "==> funseeker --callgraph smoke on a real ELF"
+cargo run --release -q -p funseeker --bin funseeker -- \
+  --callgraph target/release/funseeker | grep "direct edges" > /dev/null
+
 echo "==> CI gate passed"

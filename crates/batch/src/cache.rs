@@ -31,7 +31,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use funseeker::diag::Component;
-use funseeker::{Analysis, Config, Diagnostics};
+use funseeker::{Analysis, Config, Diagnostics, InterprocSummary};
 
 use crate::hash::{hash_bytes, mix64};
 
@@ -41,6 +41,8 @@ pub fn config_fingerprint(config: &Config) -> u64 {
         | (config.include_jump_targets as u64) << 1
         | (config.select_tail_calls as u64) << 2
         | (config.endbr_pattern_scan as u64) << 3
+        | (config.reach_prune as u64) << 4
+        | (config.interproc as u64) << 5
         | (config.min_tail_referers as u64) << 8;
     mix64(0xf5ee_ce4c_0f16, bits)
 }
@@ -145,7 +147,7 @@ impl ResultCache {
 // Serialization
 // ---------------------------------------------------------------------
 
-const MAGIC: &str = "funseeker-batch-cache v1";
+const MAGIC: &str = "funseeker-batch-cache v2";
 
 fn component_tag(c: Component) -> Option<&'static str> {
     Some(match c {
@@ -207,7 +209,7 @@ pub fn serialize(key: u64, a: &Analysis) -> Option<String> {
     let _ = writeln!(s, "range {:x} {:x}", a.text_range.0, a.text_range.1);
     let _ = writeln!(
         s,
-        "counts {} {} {} {} {} {} {}",
+        "counts {} {} {} {} {} {} {} {}",
         a.endbr_count,
         a.filtered_endbrs,
         a.call_target_count,
@@ -215,11 +217,25 @@ pub fn serialize(key: u64, a: &Analysis) -> Option<String> {
         a.tail_target_count,
         a.decode_errors,
         a.cet_enabled as u8,
+        a.pruned_count,
     );
     let _ = writeln!(s, "functions {}", a.functions.len());
     for (i, f) in a.functions.iter().enumerate() {
         let sep = if i % 8 == 7 || i + 1 == a.functions.len() { '\n' } else { ' ' };
         let _ = write!(s, "{f:x}{sep}");
+    }
+    if let Some(ip) = a.interproc {
+        let _ = writeln!(
+            s,
+            "interproc {} {} {} {} {} {} {}",
+            ip.cfg_count,
+            ip.block_count,
+            ip.cfg_edge_count,
+            ip.direct_call_edges,
+            ip.tail_call_edges,
+            ip.indirect_sites,
+            ip.indirect_targets,
+        );
     }
     for d in a.diagnostics.iter() {
         let tag = component_tag(d.component)?;
@@ -250,7 +266,7 @@ pub fn deserialize(key: u64, text: &str) -> Option<Analysis> {
         return None;
     }
 
-    let mut lines = body.lines();
+    let mut lines = body.lines().peekable();
     if lines.next()? != MAGIC {
         return None;
     }
@@ -274,6 +290,7 @@ pub fn deserialize(key: u64, text: &str) -> Option<Analysis> {
         1 => true,
         _ => return None,
     };
+    let pruned_count = next_count()?;
 
     let n_functions: usize = lines.next()?.strip_prefix("functions ")?.parse().ok()?;
     let mut functions = std::collections::BTreeSet::new();
@@ -284,6 +301,22 @@ pub fn deserialize(key: u64, text: &str) -> Option<Analysis> {
     }
     if functions.len() != n_functions {
         return None;
+    }
+
+    let mut interproc = None;
+    if let Some(rest) = lines.peek().and_then(|l| l.strip_prefix("interproc ")) {
+        let mut fields = rest.split(' ');
+        let mut next_field = || fields.next().and_then(|c| c.parse::<usize>().ok());
+        interproc = Some(InterprocSummary {
+            cfg_count: next_field()?,
+            block_count: next_field()?,
+            cfg_edge_count: next_field()?,
+            direct_call_edges: next_field()?,
+            tail_call_edges: next_field()?,
+            indirect_sites: next_field()?,
+            indirect_targets: next_field()?,
+        });
+        lines.next();
     }
 
     let mut diagnostics = Diagnostics::new();
@@ -307,6 +340,8 @@ pub fn deserialize(key: u64, text: &str) -> Option<Analysis> {
         jmp_target_count,
         tail_target_count,
         decode_errors,
+        pruned_count,
+        interproc,
         cet_enabled,
         diagnostics,
     })
@@ -529,5 +564,32 @@ mod tests {
         let mut scan = Config::c4();
         scan.endbr_pattern_scan = true;
         assert_ne!(config_fingerprint(&scan), config_fingerprint(&Config::c4()));
+        let mut prune = Config::c3();
+        prune.reach_prune = true;
+        assert_ne!(config_fingerprint(&prune), config_fingerprint(&Config::c3()));
+        let mut ip = Config::c4();
+        ip.interproc = true;
+        assert_ne!(config_fingerprint(&ip), config_fingerprint(&Config::c4()));
+    }
+
+    #[test]
+    fn round_trips_pruned_count_and_interproc() {
+        let mut a = sample();
+        a.pruned_count = 17;
+        a.interproc = Some(funseeker::InterprocSummary {
+            cfg_count: 12,
+            block_count: 340,
+            cfg_edge_count: 512,
+            direct_call_edges: 31,
+            tail_call_edges: 4,
+            indirect_sites: 9,
+            indirect_targets: 11,
+        });
+        let key = cache_key(0x1234, &Config::c4());
+        let text = serialize(key, &a).unwrap();
+        let back = deserialize(key, &text).unwrap();
+        assert_eq!(back.pruned_count, 17);
+        assert_eq!(back.interproc, a.interproc);
+        assert_eq!(back, a);
     }
 }

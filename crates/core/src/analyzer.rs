@@ -45,6 +45,30 @@ pub fn prepare(bytes: &[u8]) -> Result<Prepared<'_>, Error> {
     Ok(Prepared::from_parsed(parse(bytes)?))
 }
 
+/// Sizes of the interprocedural artifacts built over the final entry
+/// set — per-function CFGs and the CET-constrained call graph. Recorded
+/// in [`Analysis::interproc`] when [`Config::interproc`] is enabled;
+/// callers that need the graphs themselves use [`crate::build_cfgs`] and
+/// [`crate::build_call_graph`] directly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InterprocSummary {
+    /// Per-function CFGs built (= identified functions).
+    pub cfg_count: usize,
+    /// Basic blocks across all CFGs.
+    pub block_count: usize,
+    /// Intra-procedural edges across all CFGs.
+    pub cfg_edge_count: usize,
+    /// Direct call edges (`CALL rel32` sites).
+    pub direct_call_edges: usize,
+    /// Tail-call edges (direct jumps to another function's entry).
+    pub tail_call_edges: usize,
+    /// Indirect call/jump sites (tracked and `NOTRACK`).
+    pub indirect_sites: usize,
+    /// CET-constrained indirect-target candidates (ENDBR-marked
+    /// entries).
+    pub indirect_targets: usize,
+}
+
 /// Function identification result with per-stage accounting.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Analysis {
@@ -65,6 +89,13 @@ pub struct Analysis {
     pub tail_target_count: usize,
     /// Byte positions skipped over decode errors during the sweep.
     pub decode_errors: usize,
+    /// Candidates demoted by reachability pruning (0 unless
+    /// [`Config::reach_prune`] is enabled and plain jump-target
+    /// candidates were in play).
+    pub pruned_count: usize,
+    /// Interprocedural artifact sizes, when [`Config::interproc`] is
+    /// enabled.
+    pub interproc: Option<InterprocSummary>,
     /// Whether the binary declares full CET support
     /// (`.note.gnu.property` with IBT and SHSTK — §II's definition of a
     /// CET-enabled binary). End-branch evidence is still used either
@@ -250,6 +281,54 @@ impl FunSeeker {
             scratch.functions.dedup();
         }
 
+        // Optional reachability pruning (interprocedural extension).
+        // Plain jump-target candidates exist only when J is included
+        // unfiltered; every other configuration's candidates carry
+        // end-branch, call-target, or SELECTTAILCALL evidence and are
+        // never demoted, so the stage short-circuits to a no-op there.
+        let mut pruned_count = 0;
+        if self.config.reach_prune
+            && self.config.include_jump_targets
+            && !self.config.select_tail_calls
+        {
+            let Scratch { endbr_union, entries, functions, reach, work, .. } = scratch;
+            let endbrs: &[u64] =
+                if self.config.endbr_pattern_scan { endbr_union } else { &sweep.endbrs };
+            // Roots: the program entry, every end-branch (landing pads
+            // and filtered end-branches are still executed code), and
+            // every protected candidate (E′ ∪ C).
+            let roots = std::iter::once(parsed.entry)
+                .chain(endbrs.iter().copied())
+                .chain(entries.iter().copied())
+                .chain(sweep.call_targets.iter().copied());
+            crate::callgraph::reachable_insns_into(sweep, roots, reach, work);
+            let before = functions.len();
+            functions.retain(|&f| {
+                entries.binary_search(&f).is_ok()
+                    || sweep.call_targets.contains(&f)
+                    || f == parsed.entry
+                    || sweep.insn_at(f).is_some_and(|i| reach[i / 64] >> (i % 64) & 1 == 1)
+            });
+            pruned_count = before - functions.len();
+        }
+
+        // Optional interprocedural summaries over the final entry set.
+        let interproc = self.config.interproc.then(|| {
+            let cfgs = crate::cfg::build_cfgs(sweep, &scratch.functions);
+            let graph = crate::callgraph::build_call_graph(sweep, &scratch.functions);
+            InterprocSummary {
+                cfg_count: cfgs.len(),
+                block_count: cfgs.iter().map(|c| c.blocks.len()).sum(),
+                cfg_edge_count: cfgs.iter().map(crate::cfg::Cfg::edge_count).sum(),
+                direct_call_edges: graph.direct_count(),
+                tail_call_edges: graph.tail_count(),
+                indirect_sites: graph.indirect_call_sites.len()
+                    + graph.indirect_jump_sites.len()
+                    + graph.notrack_sites,
+                indirect_targets: graph.indirect_targets.len(),
+            }
+        });
+
         Analysis {
             // Bulk-built from the sorted run — the field type stays a
             // `BTreeSet` for every downstream consumer.
@@ -261,6 +340,8 @@ impl FunSeeker {
             jmp_target_count,
             tail_target_count: tail_count,
             decode_errors: sweep.decode_errors,
+            pruned_count,
+            interproc,
             cet_enabled: parsed.cet.full(),
             diagnostics: parsed.diagnostics.clone(),
         }
@@ -309,5 +390,60 @@ mod tests {
     #[test]
     fn garbage_input_errors() {
         assert!(FunSeeker::new().identify(b"junk").is_err());
+    }
+
+    #[test]
+    fn reach_prune_only_demotes_plain_jump_candidates() {
+        let bytes = std::fs::read("/proc/self/exe").unwrap();
+        let prepared = prepare(&bytes).unwrap();
+        // On ②/④ every candidate is protected: pruning must change
+        // nothing but still report zero demotions.
+        for base in [Config::c2(), Config::c4()] {
+            let plain = FunSeeker::with_config(base).identify_prepared(&prepared);
+            let pruned = FunSeeker::with_config(Config { reach_prune: true, ..base })
+                .identify_prepared(&prepared);
+            assert_eq!(pruned.pruned_count, 0);
+            assert_eq!(plain.functions, pruned.functions);
+        }
+        // On ③ the pruned set is a subset of the unpruned one, and every
+        // demoted candidate is a plain jump target (not in ②'s set).
+        let c3 = FunSeeker::with_config(Config::c3()).identify_prepared(&prepared);
+        let c3p = FunSeeker::with_config(Config { reach_prune: true, ..Config::c3() })
+            .identify_prepared(&prepared);
+        assert!(c3p.functions.is_subset(&c3.functions));
+        assert_eq!(c3.functions.len() - c3p.functions.len(), c3p.pruned_count);
+        let c2 = FunSeeker::with_config(Config::c2()).identify_prepared(&prepared);
+        for demoted in c3.functions.difference(&c3p.functions) {
+            assert!(!c2.functions.contains(demoted), "{demoted:#x} was protected");
+        }
+    }
+
+    #[test]
+    fn disabled_prune_stage_is_bit_identical() {
+        let bytes = std::fs::read("/proc/self/exe").unwrap();
+        let prepared = prepare(&bytes).unwrap();
+        let plain = FunSeeker::with_config(Config::c3()).identify_prepared(&prepared);
+        let off = FunSeeker::with_config(Config { reach_prune: false, ..Config::c3() })
+            .identify_prepared(&prepared);
+        assert_eq!(plain, off);
+        assert_eq!(plain.pruned_count, 0);
+    }
+
+    #[test]
+    fn interproc_summary_is_populated_on_request() {
+        let bytes = std::fs::read("/proc/self/exe").unwrap();
+        let prepared = prepare(&bytes).unwrap();
+        let base = FunSeeker::new().identify_prepared(&prepared);
+        assert!(base.interproc.is_none(), "off by default");
+        let with = FunSeeker::with_config(Config { interproc: true, ..Config::c4() })
+            .identify_prepared(&prepared);
+        let s = with.interproc.expect("summary requested");
+        assert_eq!(s.cfg_count, with.functions.len());
+        assert!(s.block_count >= s.cfg_count, "every function has at least one block");
+        assert!(s.cfg_edge_count > 0);
+        assert!(s.direct_call_edges > 100, "a real binary has many calls");
+        assert!(s.indirect_targets <= with.functions.len());
+        // The summary is the only difference from the base analysis.
+        assert_eq!(with.functions, base.functions);
     }
 }

@@ -1,18 +1,21 @@
 //! `funseeker` — command-line function identification for CET binaries.
 //!
 //! ```text
-//! funseeker [--config 1|2|3|4] [--summary] [--disasm] [--strict] <binary>…
+//! funseeker [--config 1|2|3|4] [--summary] [--disasm] [--callgraph] [--strict] <binary>…
 //! ```
 //!
-//! Prints one function entry address per line (hex), or a per-binary
-//! summary with `--summary`. Malformed optional metadata normally
-//! degrades to warnings on stderr; `--strict` turns those warnings into
-//! errors. Exit code 1 if any input failed to parse.
+//! Prints one function entry address per line (hex), a per-binary
+//! summary with `--summary`, or the CET-constrained call graph over the
+//! identified entries with `--callgraph`. Malformed optional metadata
+//! normally degrades to warnings on stderr; `--strict` turns those
+//! warnings into errors. Exit code 1 if any input failed to parse.
 
 use funseeker::{Config, FunSeeker};
 
 fn usage() -> ! {
-    eprintln!("usage: funseeker [--config 1|2|3|4] [--summary] [--disasm] [--strict] <binary>...");
+    eprintln!(
+        "usage: funseeker [--config 1|2|3|4] [--summary] [--disasm] [--callgraph] [--strict] <binary>..."
+    );
     std::process::exit(2);
 }
 
@@ -20,6 +23,7 @@ fn main() {
     let mut config = Config::c4();
     let mut summary = false;
     let mut disasm = false;
+    let mut callgraph = false;
     let mut strict = false;
     let mut paths: Vec<String> = Vec::new();
 
@@ -38,6 +42,7 @@ fn main() {
             }
             "--summary" => summary = true,
             "--disasm" => disasm = true,
+            "--callgraph" => callgraph = true,
             "--strict" => strict = true,
             "-h" | "--help" => usage(),
             _ => paths.push(arg),
@@ -74,6 +79,11 @@ fn main() {
                         analysis.decode_errors,
                         if analysis.cet_enabled { "" } else { " [no CET property note]" }
                     );
+                } else if callgraph {
+                    if paths.len() > 1 {
+                        println!("# {path}");
+                    }
+                    print_call_graph(&bytes, &analysis);
                 } else if disasm {
                     if paths.len() > 1 {
                         println!("# {path}");
@@ -97,6 +107,37 @@ fn main() {
     if failed {
         std::process::exit(1);
     }
+}
+
+/// Prints the call graph over the identified entries: every resolved
+/// direct/tail edge, then the CET-constrained indirect summary.
+fn print_call_graph(bytes: &[u8], analysis: &funseeker::Analysis) {
+    let Ok(prepared) = funseeker::prepare(bytes) else { return };
+    let entries: Vec<u64> = analysis.functions.iter().copied().collect();
+    let graph = funseeker::build_call_graph(&prepared.index, &entries);
+    println!(
+        "{} nodes, {} direct edges, {} tail edges",
+        graph.nodes.len(),
+        graph.direct_count(),
+        graph.tail_count(),
+    );
+    for e in &graph.edges {
+        let kind = match e.kind {
+            funseeker::CallKind::Direct => "call",
+            funseeker::CallKind::Tail => "tail",
+        };
+        match e.caller {
+            Some(caller) => println!("{:#x}: {kind} {:#x} -> {:#x}", caller, e.site, e.callee),
+            None => println!("?: {kind} {:#x} -> {:#x}", e.site, e.callee),
+        }
+    }
+    println!(
+        "indirect: {} call sites, {} jump sites, {} notrack; {} endbr targets",
+        graph.indirect_call_sites.len(),
+        graph.indirect_jump_sites.len(),
+        graph.notrack_sites,
+        graph.indirect_targets.len(),
+    );
 }
 
 /// Prints the disassembly of every code region with identified function

@@ -22,6 +22,23 @@ pub struct Config {
     /// scan recovers those entries. Off by default — the paper's
     /// FunSeeker is purely linear.
     pub endbr_pattern_scan: bool,
+    /// Reachability pruning (interprocedural extension): walk the packed
+    /// stream from the entry point and every end-branch, following
+    /// fallthrough, direct branches, and direct calls, and demote
+    /// candidates **that only jump-target evidence supports** when no
+    /// walk reaches them. Conservative by construction: end-branch
+    /// entries, call targets, and SELECTTAILCALL selections are never
+    /// demoted (a closed static call cycle could make them look
+    /// unreachable), so only the plain-`J` candidates of configurations
+    /// that skip SELECTTAILCALL can be pruned. Off by default; when off,
+    /// results are bit-identical to the paper pipeline.
+    pub reach_prune: bool,
+    /// Interprocedural summaries (extension): after the entry set is
+    /// final, build per-function CFGs and the CET-constrained call graph
+    /// and record their sizes in [`crate::Analysis::interproc`]. Off by
+    /// default — consumers that need the graphs themselves call
+    /// [`crate::build_cfgs`] / [`crate::build_call_graph`] directly.
+    pub interproc: bool,
 }
 
 impl Config {
@@ -34,6 +51,8 @@ impl Config {
             select_tail_calls: false,
             min_tail_referers: 2,
             endbr_pattern_scan: false,
+            reach_prune: false,
+            interproc: false,
         }
     }
 
@@ -81,5 +100,17 @@ mod tests {
         assert!(c4.filter_endbr && c4.include_jump_targets && c4.select_tail_calls);
         assert_eq!(Config::default(), c4);
         assert_eq!(Config::table2().len(), 4);
+    }
+
+    #[test]
+    fn extension_stages_default_off_in_every_configuration() {
+        // The paper's four configurations never enable the
+        // interprocedural extensions — bit-identical to the original
+        // pipeline unless a caller opts in explicitly.
+        for (_, c) in Config::table2() {
+            assert!(!c.reach_prune);
+            assert!(!c.interproc);
+            assert!(!c.endbr_pattern_scan);
+        }
     }
 }

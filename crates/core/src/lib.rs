@@ -38,13 +38,17 @@ pub mod diag;
 mod error;
 mod scratch;
 
+pub mod callgraph;
+pub mod cfg;
 pub mod disassemble;
 pub mod filter;
 pub mod parse;
 pub mod tailcall;
 
-pub use analyzer::{prepare, Analysis, FunSeeker, Prepared};
+pub use analyzer::{prepare, Analysis, FunSeeker, InterprocSummary, Prepared};
 pub use boundaries::{estimate_bounds, FunctionBounds};
+pub use callgraph::{build_call_graph, reachable_insns, CallEdge, CallGraph, CallKind};
+pub use cfg::{build_cfg, build_cfgs, BasicBlock, Cfg};
 pub use config::Config;
 pub use diag::{Diagnostic, Diagnostics};
 pub use error::Error;

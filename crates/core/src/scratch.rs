@@ -44,6 +44,11 @@ pub struct Scratch {
     pub(crate) referers: Vec<(u64, Option<u64>)>,
     /// SELECTTAILCALL's output `J′`.
     pub(crate) tails: Vec<u64>,
+    /// Reachability pruning's bit-per-instruction visited set (packed
+    /// `u64` words; only used when `reach_prune` is enabled).
+    pub(crate) reach: Vec<u64>,
+    /// Reachability pruning's BFS worklist of instruction indices.
+    pub(crate) work: Vec<u32>,
 }
 
 impl Scratch {
@@ -61,9 +66,11 @@ impl Scratch {
             + self.functions.capacity()
             + self.jmp_targets.capacity()
             + self.region_starts.capacity()
-            + self.tails.capacity();
+            + self.tails.capacity()
+            + self.reach.capacity();
         u64s * std::mem::size_of::<u64>()
             + self.referers.capacity() * std::mem::size_of::<(u64, Option<u64>)>()
+            + self.work.capacity() * std::mem::size_of::<u32>()
     }
 }
 

@@ -21,6 +21,19 @@
 //! the former `BTreeMap<u64, BTreeSet<…>>`, whose per-edge tree inserts
 //! dominated this stage's cost at corpus scale. The buffers can be
 //! reused across binaries via [`crate::Scratch`].
+//!
+//! # Relation to the call graph
+//!
+//! This stage only *selects entries*: a `J′` member is the jump
+//! **target** — the callee's entry — never the address after the jump.
+//! The interprocedural layer ([`crate::callgraph`]) turns the same
+//! sites into proper `Tail` call-graph edges with identical semantics
+//! (site → callee entry, caller looked up by the same
+//! interval-with-region-breaks rule used here), and the CFG layer
+//! deliberately drops the out-of-range jump as an intra-procedural
+//! edge so the transfer appears exactly once, interprocedurally. The
+//! regression test `tail_jump_targets_callee_entry_not_fallthrough`
+//! in `callgraph.rs` pins this down.
 
 /// Identifies tail-call targets among the jump edges.
 ///

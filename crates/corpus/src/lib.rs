@@ -51,7 +51,7 @@ pub use dataset::{CorpusBinary, Dataset, DatasetParams};
 pub use link::LinkedBinary;
 pub use mutate::{Corruption, Mutator};
 pub use spec::{FunctionSpec, Lang, Linkage, ProgramSpec};
-pub use truth::{FunctionTruth, GroundTruth};
+pub use truth::{CallEdgeKind, CallEdgeTruth, FunctionTruth, GroundTruth};
 pub use workload::{generate_program, Profile, Suite};
 
 use rand::rngs::StdRng;

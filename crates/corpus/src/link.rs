@@ -12,7 +12,7 @@ use crate::asm::{FixupKind, SwitchStyle, Target};
 use crate::codegen::Lowered;
 use crate::config::{BuildConfig, Compiler};
 use crate::spec::Lang;
-use crate::truth::{FunctionTruth, GroundTruth};
+use crate::truth::{CallEdgeKind, CallEdgeTruth, FunctionTruth, GroundTruth};
 
 /// PLT stub size used by both modeled compilers.
 const PLT_ENTSIZE: u64 = 16;
@@ -177,6 +177,12 @@ pub(crate) fn link_with(
         .unwrap_or_default();
 
     // ---- fixups ----
+    // Patching resolves every direct transfer, so this is also where the
+    // emitted call edges become ground truth: a `Rel32` fixup preceded
+    // by an `e8`/`e9` opcode byte is exactly a `call rel32`/`jmp rel32`
+    // site (every other Rel32 user — RIP-relative `lea`, `jne` — has a
+    // different byte at `pos - 1`).
+    let mut call_edges: Vec<CallEdgeTruth> = Vec::new();
     let rodata_at = |off: usize| rodata_addr + off as u64;
     for ui in 0..low.units.len() {
         let fixups = low.units[ui].fixups.clone();
@@ -188,6 +194,27 @@ pub(crate) fn link_with(
                 Target::Plt(i) => call_stub_addr(i),
                 Target::Rodata(off) => rodata_at(off),
             };
+            if f.kind == FixupKind::Rel32 && f.pos >= 1 {
+                let kind = match (low.units[ui].code[f.pos - 1], f.target) {
+                    (0xe8, _) => Some(CallEdgeKind::Direct),
+                    (0xe9, Target::Unit(i)) => Some(if low.units[i].is_part {
+                        CallEdgeKind::Fragment
+                    } else {
+                        CallEdgeKind::Tail
+                    }),
+                    // `jmp` back into the parent mid-function (fragment
+                    // resume) and non-transfer Rel32 users are not edges.
+                    _ => None,
+                };
+                if let Some(kind) = kind {
+                    call_edges.push(CallEdgeTruth {
+                        site: unit_addr + f.pos as u64 - 1,
+                        caller: unit_addr,
+                        callee: target,
+                        kind,
+                    });
+                }
+            }
             let field = &mut low.units[ui].code[f.pos..f.pos + 4];
             let value = match f.kind {
                 FixupKind::Rel32 => {
@@ -365,6 +392,8 @@ pub(crate) fn link_with(
         .flat_map(|(u, &addr)| u.pad_sites.iter().map(move |s| addr + s.pad_off as u64))
         .collect();
 
+    call_edges.sort_by_key(|e| e.site);
+
     LinkedBinary {
         bytes,
         truth: GroundTruth {
@@ -372,6 +401,7 @@ pub(crate) fn link_with(
             text_range: (text_addr, text_end),
             setjmp_return_endbrs,
             landing_pad_endbrs,
+            call_edges,
         },
     }
 }

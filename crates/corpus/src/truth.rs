@@ -32,6 +32,34 @@ pub struct FunctionTruth {
     pub is_static: bool,
 }
 
+/// How a recorded call-graph edge transfers control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CallEdgeKind {
+    /// `call rel32` — a plain direct call (the callee may be a PLT stub).
+    Direct,
+    /// `jmp rel32` whose target is another *function's* entry — a tail
+    /// call emitted by an epilogue-less exit.
+    Tail,
+    /// `jmp rel32` into a `.cold`/`.part` fragment: interprocedural in
+    /// the byte stream but intra-function in truth, so it is excluded
+    /// from the call-edge evaluation sets.
+    Fragment,
+}
+
+/// One call-graph edge the generator emitted, recorded at link time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallEdgeTruth {
+    /// Address of the `call`/`jmp` opcode byte.
+    pub site: u64,
+    /// Entry address of the unit containing the site.
+    pub caller: u64,
+    /// Resolved destination address (function entry, fragment entry, or
+    /// PLT stub).
+    pub callee: u64,
+    /// Transfer flavor.
+    pub kind: CallEdgeKind,
+}
+
 /// Complete ground truth for one binary.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GroundTruth {
@@ -45,6 +73,9 @@ pub struct GroundTruth {
     /// Addresses of end-branch instructions at exception landing pads
     /// (§III-B3).
     pub landing_pad_endbrs: Vec<u64>,
+    /// Every direct call / tail-call / fragment edge the generator
+    /// emitted, sorted by site — the call-graph evaluation ground truth.
+    pub call_edges: Vec<CallEdgeTruth>,
 }
 
 impl GroundTruth {
@@ -63,6 +94,21 @@ impl GroundTruth {
     /// Looks up an entity by address.
     pub fn by_addr(&self, addr: u64) -> Option<&FunctionTruth> {
         self.functions.binary_search_by_key(&addr, |f| f.addr).ok().map(|i| &self.functions[i])
+    }
+
+    /// `(site, callee)` pairs of the emitted direct call edges — what an
+    /// identifier's recovered direct edges are scored against.
+    pub fn direct_call_edges(&self) -> BTreeSet<(u64, u64)> {
+        self.edge_pairs(CallEdgeKind::Direct)
+    }
+
+    /// `(site, callee)` pairs of the emitted tail-call edges.
+    pub fn tail_call_edges(&self) -> BTreeSet<(u64, u64)> {
+        self.edge_pairs(CallEdgeKind::Tail)
+    }
+
+    fn edge_pairs(&self, kind: CallEdgeKind) -> BTreeSet<(u64, u64)> {
+        self.call_edges.iter().filter(|e| e.kind == kind).map(|e| (e.site, e.callee)).collect()
     }
 }
 
@@ -110,6 +156,20 @@ mod tests {
             text_range: (0x1000, 0x2000),
             setjmp_return_endbrs: vec![],
             landing_pad_endbrs: vec![],
+            call_edges: vec![
+                CallEdgeTruth {
+                    site: 0x1004,
+                    caller: 0x1000,
+                    callee: 0x1060,
+                    kind: CallEdgeKind::Direct,
+                },
+                CallEdgeTruth {
+                    site: 0x1010,
+                    caller: 0x1000,
+                    callee: 0x1040,
+                    kind: CallEdgeKind::Fragment,
+                },
+            ],
         }
     }
 
@@ -121,6 +181,13 @@ mod tests {
         assert!(!entries.contains(&0x1040), "fragments are not functions");
         assert!(entries.contains(&0x1060), "thunks are functions even without symbols");
         assert_eq!(t.part_entries().len(), 1);
+    }
+
+    #[test]
+    fn edge_pair_sets_split_by_kind_and_exclude_fragments() {
+        let t = truth();
+        assert_eq!(t.direct_call_edges().into_iter().collect::<Vec<_>>(), [(0x1004, 0x1060)]);
+        assert!(t.tail_call_edges().is_empty(), "fragment edges are not tail calls");
     }
 
     #[test]

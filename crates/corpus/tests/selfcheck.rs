@@ -259,6 +259,67 @@ fn eh_frame_hdr_indexes_every_fde() {
 }
 
 #[test]
+fn call_edge_truth_matches_emitted_bytes() {
+    use funseeker_corpus::CallEdgeKind;
+    let ds = dataset();
+    let (mut direct, mut tails, mut fragments, mut plt_callees) = (0usize, 0usize, 0usize, 0usize);
+    for bin in &ds.binaries {
+        let elf = Elf::parse(&bin.bytes).unwrap();
+        let (text_addr, text) = elf.section_bytes(".text").unwrap();
+        let entries = bin.truth.eval_entries();
+        let parts = bin.truth.part_entries();
+        let in_text = |a: u64| a >= text_addr && a < text_addr + text.len() as u64;
+
+        assert!(
+            bin.truth.call_edges.windows(2).all(|w| w[0].site <= w[1].site),
+            "{}: call edges must be sorted by site",
+            bin.program
+        );
+        for e in &bin.truth.call_edges {
+            let ctx = || format!("{} {}: edge at {:#x}", bin.program, bin.config.label(), e.site);
+            assert!(in_text(e.site), "{}: site outside .text", ctx());
+            assert!(
+                bin.truth.by_addr(e.caller).is_some(),
+                "{}: caller {:#x} is not a unit",
+                ctx(),
+                e.caller
+            );
+            // The opcode byte and its resolved displacement must agree
+            // with the recorded edge exactly.
+            let off = (e.site - text_addr) as usize;
+            let expect_op = match e.kind {
+                CallEdgeKind::Direct => 0xe8,
+                CallEdgeKind::Tail | CallEdgeKind::Fragment => 0xe9,
+            };
+            assert_eq!(text[off], expect_op, "{}: opcode", ctx());
+            let rel = i32::from_le_bytes(text[off + 1..off + 5].try_into().unwrap());
+            let resolved = (e.site + 5).wrapping_add(rel as i64 as u64);
+            assert_eq!(resolved, e.callee, "{}: displacement disagrees with callee", ctx());
+            match e.kind {
+                CallEdgeKind::Direct => {
+                    direct += 1;
+                    if !in_text(e.callee) {
+                        plt_callees += 1; // import via PLT stub
+                    }
+                }
+                CallEdgeKind::Tail => {
+                    tails += 1;
+                    assert!(entries.contains(&e.callee), "{}: tail callee not a function", ctx());
+                    assert_ne!(e.callee, e.caller, "{}: self tail call", ctx());
+                }
+                CallEdgeKind::Fragment => {
+                    fragments += 1;
+                    assert!(parts.contains(&e.callee), "{}: fragment callee not a part", ctx());
+                }
+            }
+        }
+    }
+    // The workload must exercise every flavor, or the call-graph
+    // evaluation would be vacuous.
+    assert!(direct > 0 && tails > 0 && fragments > 0 && plt_callees > 0);
+}
+
+#[test]
 fn cet_note_marks_every_corpus_binary() {
     let ds = dataset();
     for bin in &ds.binaries {

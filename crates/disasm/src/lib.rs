@@ -48,5 +48,5 @@ pub use kernels::KernelTier;
 pub use mode::Mode;
 pub use par::{par_sweep, par_sweep_forced, sweep_all, sweep_all_tiered, SweepOutput};
 pub use stats::SweepStats;
-pub use stream::{InsnStream, Insns};
+pub use stream::{Flow, InsnStream, Insns, Successors};
 pub use sweep::{LinearSweep, SupersetSweep};

@@ -102,6 +102,113 @@ pub(crate) fn kind_from(tag: u8, target: u64) -> InsnKind {
     }
 }
 
+/// Control-flow behavior of one instruction, read straight from the
+/// packed tag/target arrays — the intra-procedural successor view the
+/// CFG and call-graph layers consume without re-decoding any bytes.
+///
+/// The variants answer two questions per instruction: does control fall
+/// through to the next address, and where else can it go? Direct-branch
+/// destinations come from the stream's dense side table (`tgt_val`);
+/// indirect transfers expose their `NOTRACK` flag so CET-aware
+/// consumers can constrain the candidate target set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Flow {
+    /// Control reaches only the next instruction (the default for
+    /// arithmetic, moves, `ENDBR`, `NOP`, …).
+    Fall,
+    /// Direct near call: control falls through after the callee
+    /// returns; `target` enters the callee (an interprocedural edge).
+    Call {
+        /// Absolute callee entry address.
+        target: u64,
+    },
+    /// Indirect call (`FF /2`, `FF /3`): falls through; the callee set
+    /// is unknown statically but CET constrains it to `ENDBR` entries
+    /// unless `notrack` is set.
+    CallInd {
+        /// Whether a `NOTRACK` prefix exempts the transfer from CET.
+        notrack: bool,
+    },
+    /// Direct unconditional jump: control moves to `target` only.
+    Jump {
+        /// Absolute destination address.
+        target: u64,
+    },
+    /// Indirect unconditional jump: no static successor; CET constrains
+    /// the destination to `ENDBR` entries unless `notrack` is set.
+    JumpInd {
+        /// Whether a `NOTRACK` prefix exempts the transfer from CET.
+        notrack: bool,
+    },
+    /// Conditional branch: control reaches `target` or falls through.
+    Branch {
+        /// Absolute taken-branch destination address.
+        target: u64,
+    },
+    /// Near or far return: no static successor.
+    Ret,
+    /// Trap (`UD2`, `HLT`, `INT3`): control does not continue.
+    Trap,
+}
+
+impl Flow {
+    /// Whether control can continue at the next address.
+    pub fn falls_through(self) -> bool {
+        !matches!(self, Flow::Jump { .. } | Flow::JumpInd { .. } | Flow::Ret | Flow::Trap)
+    }
+
+    /// The intra-procedural transfer destination — the taken target of
+    /// a direct jump or conditional branch. Call destinations are
+    /// deliberately excluded: they enter another function.
+    pub fn branch_target(self) -> Option<u64> {
+        match self {
+            Flow::Jump { target } | Flow::Branch { target } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// The direct-call destination, if this is a direct call.
+    pub fn call_target(self) -> Option<u64> {
+        match self {
+            Flow::Call { target } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Whether a basic block must end after this instruction (any
+    /// transfer of control other than a call: jumps, conditional
+    /// branches, returns, traps).
+    pub fn ends_block(self) -> bool {
+        matches!(
+            self,
+            Flow::Jump { .. } | Flow::JumpInd { .. } | Flow::Branch { .. } | Flow::Ret | Flow::Trap
+        )
+    }
+}
+
+/// Iterator over the (at most two) intra-procedural successor addresses
+/// of one instruction — see [`InsnStream::successors`].
+#[derive(Debug, Clone)]
+pub struct Successors {
+    fall: Option<u64>,
+    taken: Option<u64>,
+}
+
+impl Iterator for Successors {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        self.fall.take().or_else(|| self.taken.take())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = usize::from(self.fall.is_some()) + usize::from(self.taken.is_some());
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Successors {}
+
 /// A contiguous run of instructions sharing one base address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Seg {
@@ -458,6 +565,38 @@ impl InsnStream {
         // invariant: push() records a dense target for every
         // direct-branch tag, so a targetless lookup cannot happen.
         self.tgt_val.get(self.tgts.rank(i)).copied().unwrap_or(0)
+    }
+
+    /// Control-flow behavior of instruction `i`, straight from the
+    /// packed tag byte and the dense target table — no re-decoding.
+    #[inline]
+    pub fn flow_at(&self, i: usize) -> Flow {
+        match self.tags[i] {
+            TAG_RET => Flow::Ret,
+            TAG_INT3 | TAG_UD2 | TAG_HLT => Flow::Trap,
+            TAG_CALL_IND => Flow::CallInd { notrack: false },
+            TAG_CALL_IND_NOTRACK => Flow::CallInd { notrack: true },
+            TAG_JMP_IND => Flow::JumpInd { notrack: false },
+            TAG_JMP_IND_NOTRACK => Flow::JumpInd { notrack: true },
+            TAG_CALL_REL => Flow::Call { target: self.target_at(i) },
+            TAG_JMP_REL => Flow::Jump { target: self.target_at(i) },
+            TAG_JCC => Flow::Branch { target: self.target_at(i) },
+            _ => Flow::Fall,
+        }
+    }
+
+    /// The intra-procedural successor addresses of instruction `i`: the
+    /// fallthrough address (when control can continue) followed by the
+    /// taken-branch target (for direct jumps and conditional branches).
+    /// Direct-call destinations are *not* successors — they enter
+    /// another function; read them from [`InsnStream::flow_at`].
+    #[inline]
+    pub fn successors(&self, i: usize) -> Successors {
+        let flow = self.flow_at(i);
+        Successors {
+            fall: flow.falls_through().then(|| self.end_at(i)),
+            taken: flow.branch_target(),
+        }
     }
 
     /// Classification of instruction `i`.
@@ -830,6 +969,80 @@ mod tests {
         assert_eq!(mid, insns[1..4].to_vec());
         let from: Vec<_> = s.iter_from(5).collect();
         assert_eq!(from, insns[5..].to_vec());
+    }
+
+    #[test]
+    fn flow_classification_covers_every_tag() {
+        let insns = [
+            (InsnKind::Other, Flow::Fall),
+            (InsnKind::Endbr64, Flow::Fall),
+            (InsnKind::Endbr32, Flow::Fall),
+            (InsnKind::Nop, Flow::Fall),
+            (InsnKind::Leave, Flow::Fall),
+            (InsnKind::PushReg { reg: 5 }, Flow::Fall),
+            (InsnKind::Ret, Flow::Ret),
+            (InsnKind::Int3, Flow::Trap),
+            (InsnKind::Ud2, Flow::Trap),
+            (InsnKind::Hlt, Flow::Trap),
+            (InsnKind::CallInd { notrack: false }, Flow::CallInd { notrack: false }),
+            (InsnKind::CallInd { notrack: true }, Flow::CallInd { notrack: true }),
+            (InsnKind::JmpInd { notrack: false }, Flow::JumpInd { notrack: false }),
+            (InsnKind::JmpInd { notrack: true }, Flow::JumpInd { notrack: true }),
+            (InsnKind::CallRel { target: 0x42 }, Flow::Call { target: 0x42 }),
+            (InsnKind::JmpRel { target: 0x43 }, Flow::Jump { target: 0x43 }),
+            (InsnKind::Jcc { target: 0x44 }, Flow::Branch { target: 0x44 }),
+        ];
+        let mut s = InsnStream::new();
+        s.begin_segment(0x1000);
+        for (k, (kind, _)) in insns.iter().enumerate() {
+            s.push(Insn { addr: 0x1000 + 2 * k as u64, len: 2, kind: *kind });
+        }
+        for (k, (kind, want)) in insns.iter().enumerate() {
+            assert_eq!(s.flow_at(k), *want, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn successors_yield_fallthrough_then_target() {
+        let (insns, s) = sample();
+        // Endbr64 at 0x1000: plain fallthrough.
+        assert_eq!(s.successors(0).collect::<Vec<_>>(), vec![0x1004]);
+        // CallRel at 0x1005: falls through only — the callee entry is
+        // not an intra-procedural successor.
+        assert_eq!(s.successors(2).collect::<Vec<_>>(), vec![0x100a]);
+        assert_eq!(s.flow_at(2).call_target(), Some(0x2000));
+        // Jcc at 0x100a: fallthrough then taken target.
+        assert_eq!(s.successors(3).collect::<Vec<_>>(), vec![0x100c, 0x1000]);
+        // JmpInd at 0x100f and Ret at 0x1011: no static successors.
+        assert_eq!(s.successors(5).len(), 0);
+        assert_eq!(s.successors(6).len(), 0);
+        assert_eq!(insns.len(), 7);
+    }
+
+    #[test]
+    fn flow_predicates() {
+        assert!(Flow::Fall.falls_through());
+        assert!(Flow::Call { target: 1 }.falls_through());
+        assert!(Flow::CallInd { notrack: false }.falls_through());
+        assert!(Flow::Branch { target: 1 }.falls_through());
+        assert!(!Flow::Jump { target: 1 }.falls_through());
+        assert!(!Flow::JumpInd { notrack: true }.falls_through());
+        assert!(!Flow::Ret.falls_through());
+        assert!(!Flow::Trap.falls_through());
+
+        assert_eq!(Flow::Jump { target: 9 }.branch_target(), Some(9));
+        assert_eq!(Flow::Branch { target: 9 }.branch_target(), Some(9));
+        assert_eq!(Flow::Call { target: 9 }.branch_target(), None);
+        assert_eq!(Flow::Call { target: 9 }.call_target(), Some(9));
+
+        assert!(Flow::Jump { target: 1 }.ends_block());
+        assert!(Flow::Branch { target: 1 }.ends_block());
+        assert!(Flow::JumpInd { notrack: false }.ends_block());
+        assert!(Flow::Ret.ends_block());
+        assert!(Flow::Trap.ends_block());
+        assert!(!Flow::Call { target: 1 }.ends_block());
+        assert!(!Flow::CallInd { notrack: true }.ends_block());
+        assert!(!Flow::Fall.ends_block());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! experiments <table1|table2|table3|fig3|failures|by-opt|manual-endbr|arm|robustness|all> [--seed N] [--scale tiny|default|large] [--csv]
 //! experiments perf [--quick] [--json FILE [--label NAME]] [--check FILE]
 //! experiments batch [--quick] [--json FILE [--label NAME]] [--check FILE]
+//! experiments callgraph [--quick] [--json FILE [--label NAME]] [--check FILE]
 //! ```
 //!
 //! The `perf` subcommand measures sweep throughput and per-stage
@@ -18,6 +19,12 @@
 //! drivers over a corpus with duplicated images, plus cache hit rates
 //! and peak RSS. Flags mirror `perf` against `BENCH_batch.json`;
 //! `--check` gates on the newest committed cold-cache entry.
+//!
+//! The `callgraph` subcommand scores recovered direct/tail call edges
+//! against the corpus's emitted call-edge ground truth and times the
+//! CFG + call-graph build. Flags mirror `perf` against
+//! `BENCH_sweep.json` (a `callgraph` row); `--check` additionally
+//! enforces the ≥95 % direct-edge precision floor.
 
 use std::time::Instant;
 
@@ -27,7 +34,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: experiments <table1|table2|table3|fig3|failures|by-opt|manual-endbr|arm|robustness|all> [--seed N] [--scale tiny|default|large] [--csv]\n\
          \x20      experiments perf [--quick] [--json FILE [--label NAME]] [--check FILE]\n\
-         \x20      experiments batch [--quick] [--json FILE [--label NAME]] [--check FILE]"
+         \x20      experiments batch [--quick] [--json FILE [--label NAME]] [--check FILE]\n\
+         \x20      experiments callgraph [--quick] [--json FILE [--label NAME]] [--check FILE]"
     );
     std::process::exit(2);
 }
@@ -138,6 +146,21 @@ fn run_batch(args: &[String]) -> ! {
     )
 }
 
+fn run_callgraph(args: &[String]) -> ! {
+    let flags = BenchFlags::parse(args);
+    eprintln!("scoring call-graph recovery ({} mode)…", if flags.quick { "quick" } else { "full" });
+    let report = funseeker_eval::callgraph::run(flags.quick);
+    println!("## Call-edge precision/recall and graph-build throughput\n");
+    println!("{}", report.render());
+    flags.finish(
+        "callgraph",
+        |existing, label| report.append_to_document(existing, label),
+        |committed| {
+            funseeker_eval::callgraph::check_against(committed, &report, BENCH_CHECK_MIN_RATIO)
+        },
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -152,6 +175,10 @@ fn main() {
     if what == "batch" {
         // Likewise: batch builds its own duplicated corpus.
         run_batch(&args[1..]);
+    }
+    if what == "callgraph" {
+        // Likewise: the call-graph evaluation owns its corpus.
+        run_callgraph(&args[1..]);
     }
     let mut seed = 2022u64; // the paper's year, for a stable default
     let mut scale = "default".to_owned();

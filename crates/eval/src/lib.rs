@@ -10,6 +10,8 @@
 //! * [`perf`] — sweep throughput + per-stage counters (`BENCH_sweep.json`),
 //! * [`batch`] — batch-engine throughput: flat/nocache/cold/warm/disk
 //!   drivers over a duplicated corpus (`BENCH_batch.json`),
+//! * [`callgraph`] — call-edge precision/recall vs corpus ground truth
+//!   plus graph-build throughput (extension),
 //! * [`manual_endbr`] — the §VI `-mmanual-endbr` ablation,
 //! * [`robustness`] — hostile-input mutation campaign (extension).
 //!
@@ -25,6 +27,7 @@
 pub mod arm;
 pub mod batch;
 pub mod by_opt;
+pub mod callgraph;
 pub mod failures;
 pub mod fig3;
 pub mod groundtruth;

@@ -78,6 +78,80 @@ fn eh_based_tools_collapse_without_fdes() {
 }
 
 #[test]
+fn reachability_pruning_is_conservative_on_clean_corpora() {
+    use funseeker::{Config, FunSeeker};
+    // The acceptance bar for the optional pruning stage: on uncorrupted
+    // binaries it must never demote a ground-truth function start, and
+    // with the stage disabled results are bit-identical to the paper
+    // pipeline.
+    for seed in [11u64, 777] {
+        let ds = dataset(seed);
+        let c3 = Config::c3();
+        let pruned_cfg = Config { reach_prune: true, ..c3 };
+        for bin in &ds.binaries {
+            let plain = FunSeeker::with_config(c3).identify(&bin.bytes).unwrap();
+            let pruned = FunSeeker::with_config(pruned_cfg).identify(&bin.bytes).unwrap();
+            let ctx = format!("seed {seed} {} {}", bin.program, bin.config.label());
+
+            // Pruning only ever removes candidates.
+            assert!(pruned.functions.is_subset(&plain.functions), "{ctx}: pruning added entries");
+            assert_eq!(
+                plain.functions.len() - pruned.functions.len(),
+                pruned.pruned_count,
+                "{ctx}: pruned_count must account for every demotion"
+            );
+            // …and never a real function start.
+            for addr in bin.truth.eval_entries().intersection(&plain.functions) {
+                assert!(
+                    pruned.functions.contains(addr),
+                    "{ctx}: pruning demoted ground-truth start {addr:#x}"
+                );
+            }
+            // With the stage off (every paper configuration), the
+            // analysis is bit-identical — including under config ④,
+            // where the stage short-circuits by design.
+            let c4_plain = FunSeeker::with_config(Config::c4()).identify(&bin.bytes).unwrap();
+            let c4_prune = FunSeeker::with_config(Config { reach_prune: true, ..Config::c4() })
+                .identify(&bin.bytes)
+                .unwrap();
+            assert_eq!(c4_plain, c4_prune, "{ctx}: SELECTTAILCALL configs must be untouched");
+        }
+    }
+}
+
+#[test]
+fn pruning_demotes_unreachable_jump_targets() {
+    use funseeker::{Config, FunSeeker};
+    use funseeker_elf::{Class, ElfBuilder, Machine, ObjectType};
+    // The compiler-made corpus contains no unreachable jump targets (the
+    // conservative test above verifies pruning leaves it alone), so the
+    // demotion path needs a hand-built image: a live endbr'd function,
+    // then a dead-code island whose `jmp` manufactures a config-③ J
+    // candidate no walk from the roots can reach.
+    let text_addr = 0x1000u64;
+    let mut text = vec![0xf3, 0x0f, 0x1e, 0xfa, 0xc3]; // live fn: endbr64; ret
+    let site = text_addr + text.len() as u64;
+    let junk_target = 0x1010u64;
+    text.push(0xe9); // dead jmp — nothing transfers to this site
+    text.extend_from_slice(&((junk_target - (site + 5)) as u32).to_le_bytes());
+    while text_addr + (text.len() as u64) < junk_target {
+        text.push(0x90);
+    }
+    text.extend_from_slice(&[0x90, 0xc3]); // the junk J candidate
+    let mut b = ElfBuilder::new(Class::Elf64, Machine::X86_64, ObjectType::Executable);
+    b.text(".text", text_addr, text);
+    let bytes = b.build().unwrap();
+
+    let plain = FunSeeker::with_config(Config::c3()).identify(&bytes).unwrap();
+    assert!(plain.functions.contains(&junk_target), "test premise: config 3 takes the bait");
+    let pruned_cfg = Config { reach_prune: true, ..Config::c3() };
+    let pruned = FunSeeker::with_config(pruned_cfg).identify(&bytes).unwrap();
+    assert!(!pruned.functions.contains(&junk_target), "unreachable candidate must be demoted");
+    assert!(pruned.functions.contains(&text_addr), "the live function survives");
+    assert_eq!(pruned.pruned_count, 1);
+}
+
+#[test]
 fn results_are_deterministic() {
     let ds = dataset(5);
     let tool = FunSeekerTool::new();

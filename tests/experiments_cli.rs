@@ -48,6 +48,16 @@ fn table3_csv_output_is_machine_readable() {
 }
 
 #[test]
+fn callgraph_reports_edge_scores() {
+    let (stdout, stderr, ok) = run_experiments(&["callgraph", "--quick"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("Call-edge precision/recall"), "{stdout}");
+    assert!(stdout.contains("direct"), "{stdout}");
+    assert!(stdout.contains("tail"), "{stdout}");
+    assert!(stdout.contains("graph build:"), "{stdout}");
+}
+
+#[test]
 fn bad_arguments_exit_nonzero() {
     let (_, _, ok) = run_experiments(&["no-such-table"]);
     assert!(!ok);
