@@ -19,7 +19,8 @@ echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
   -p funseeker-elf -p funseeker-eh -p funseeker-disasm -p funseeker \
   -p funseeker-corpus -p funseeker-baselines -p funseeker-eval \
-  -p funseeker-aarch64 -p funseeker-batch
+  -p funseeker-aarch64 -p funseeker-batch -p funseeker-pool \
+  -p funseeker-server -p funseeker-client
 
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
@@ -40,7 +41,30 @@ cargo run --release -q -p funseeker-eval --bin experiments -- \
   callgraph --quick --check BENCH_sweep.json
 
 echo "==> funseeker --callgraph smoke on a real ELF"
-cargo run --release -q -p funseeker --bin funseeker -- \
+cargo run --release -q -p funseeker-server --bin funseeker -- \
   --callgraph target/release/funseeker | grep "direct edges" > /dev/null
+
+echo "==> serve smoke: daemon results must match direct analysis"
+FUNSEEKER=target/release/funseeker
+SOCK="$(mktemp -d)/funseeker-ci.sock"
+"$FUNSEEKER" serve --listen "unix:$SOCK" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+for bin in target/release/funseeker target/release/experiments /bin/bash; do
+  diff <("$FUNSEEKER" submit --addr "unix:$SOCK" "$bin") \
+       <("$FUNSEEKER" "$bin") \
+    || { echo "daemon output diverged from direct analysis for $bin"; exit 1; }
+done
+"$FUNSEEKER" stats --addr "unix:$SOCK" | grep -q "^results_total 3$" \
+  || { echo "daemon did not count 3 results"; exit 1; }
+"$FUNSEEKER" shutdown --addr "unix:$SOCK"
+wait "$SERVE_PID"
+trap - EXIT
+[ ! -S "$SOCK" ] || { echo "daemon left its socket behind"; exit 1; }
+
+echo "==> serve load smoke (quick mode, >30% duplicate-heavy throughput regression fails)"
+cargo run --release -q -p funseeker-eval --bin experiments -- \
+  serve --quick --check BENCH_batch.json
 
 echo "==> CI gate passed"

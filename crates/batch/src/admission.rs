@@ -1,0 +1,274 @@
+//! Admission control — the bounded gates that keep a batch run or a
+//! long-running server from buffering unbounded work.
+//!
+//! Two primitives, both blocking-by-choice and `Busy`-by-choice:
+//!
+//! - [`Ballast`] bounds the estimated **bytes** in flight. The pipelined
+//!   scheduler acquires an estimate per binary before admitting it and
+//!   releases it when the analysis retires; the serving layer acquires
+//!   before even *reading* a request body off the socket, so a flood of
+//!   large submissions cannot balloon resident memory.
+//! - [`Gate`] bounds **concurrency**: a fixed number of running slots
+//!   plus a bounded wait queue. When both are full, [`Gate::enter`]
+//!   returns `None` immediately — the caller's cue to reply `Busy`
+//!   instead of queueing without bound.
+//!
+//! Both always admit a lone caller: a single over-sized request still
+//! processes rather than wedging forever.
+//!
+//! ```
+//! use funseeker_batch::admission::Gate;
+//!
+//! let gate = Gate::new(1, 0); // one slot, no wait queue
+//! let first = gate.enter().expect("slot free");
+//! assert!(gate.enter().is_none(), "second caller must be told Busy");
+//! drop(first);
+//! assert!(gate.enter().is_some(), "slot freed on drop");
+//! ```
+
+use std::sync::{Condvar, Mutex};
+
+/// Bounded admission on estimated in-flight bytes.
+///
+/// Tracks the estimated bytes currently admitted and blocks (or, via
+/// [`Ballast::try_acquire`] / [`Ballast::acquire_bounded`], refuses)
+/// acquisitions that would exceed the cap. Always admits when nothing is
+/// in flight, so no single over-sized acquisition can wedge the caller.
+#[derive(Debug)]
+pub struct Ballast {
+    cap: usize,
+    /// (inflight, peak, waiters)
+    state: Mutex<(usize, usize, usize)>,
+    retired: Condvar,
+}
+
+impl Ballast {
+    /// A ballast admitting up to `cap` estimated bytes in flight.
+    pub fn new(cap: usize) -> Self {
+        Ballast { cap, state: Mutex::new((0, 0, 0)), retired: Condvar::new() }
+    }
+
+    /// Admits `amount` bytes, blocking until the total in flight fits
+    /// under the cap (or nothing else is in flight).
+    pub fn acquire(&self, amount: usize) {
+        let mut g = self.state.lock().unwrap();
+        while g.0 > 0 && g.0.saturating_add(amount) > self.cap {
+            g.2 += 1;
+            g = self.retired.wait(g).unwrap();
+            g.2 -= 1;
+        }
+        g.0 += amount;
+        g.1 = g.1.max(g.0);
+    }
+
+    /// Admits `amount` bytes only if it fits right now (or nothing is in
+    /// flight). Returns whether the acquisition happened.
+    pub fn try_acquire(&self, amount: usize) -> bool {
+        let mut g = self.state.lock().unwrap();
+        if g.0 > 0 && g.0.saturating_add(amount) > self.cap {
+            return false;
+        }
+        g.0 += amount;
+        g.1 = g.1.max(g.0);
+        true
+    }
+
+    /// Admits `amount` bytes, blocking only while fewer than
+    /// `max_waiters` other callers are already blocked; otherwise
+    /// returns `false` immediately — the backpressure signal a server
+    /// turns into an explicit `Busy` reply instead of an unbounded
+    /// queue of buffered requests.
+    pub fn acquire_bounded(&self, amount: usize, max_waiters: usize) -> bool {
+        let mut g = self.state.lock().unwrap();
+        if g.0 > 0 && g.0.saturating_add(amount) > self.cap && g.2 >= max_waiters {
+            return false;
+        }
+        while g.0 > 0 && g.0.saturating_add(amount) > self.cap {
+            g.2 += 1;
+            g = self.retired.wait(g).unwrap();
+            g.2 -= 1;
+        }
+        g.0 += amount;
+        g.1 = g.1.max(g.0);
+        true
+    }
+
+    /// Returns `amount` bytes to the ballast, waking blocked acquirers.
+    pub fn release(&self, amount: usize) {
+        let mut g = self.state.lock().unwrap();
+        g.0 -= amount;
+        drop(g);
+        self.retired.notify_all();
+    }
+
+    /// Estimated bytes currently in flight.
+    pub fn inflight(&self) -> usize {
+        self.state.lock().unwrap().0
+    }
+
+    /// High-water mark of the in-flight estimate.
+    pub fn peak(&self) -> usize {
+        self.state.lock().unwrap().1
+    }
+
+    /// Callers currently blocked in [`Ballast::acquire`] /
+    /// [`Ballast::acquire_bounded`].
+    pub fn waiters(&self) -> usize {
+        self.state.lock().unwrap().2
+    }
+}
+
+/// Bounded concurrency: `slots` concurrent holders plus at most
+/// `max_queued` blocked waiters. [`Gate::enter`] returns `None` when
+/// both are full — reply `Busy`, don't buffer.
+#[derive(Debug)]
+pub struct Gate {
+    slots: usize,
+    max_queued: usize,
+    /// (running, queued)
+    state: Mutex<(usize, usize)>,
+    freed: Condvar,
+}
+
+/// RAII slot held by a successful [`Gate::enter`]; releases on drop.
+#[derive(Debug)]
+pub struct GatePass<'a> {
+    gate: &'a Gate,
+}
+
+impl Gate {
+    /// A gate with `slots` concurrent slots (at least one is always
+    /// granted) and a wait queue bounded at `max_queued`.
+    pub fn new(slots: usize, max_queued: usize) -> Self {
+        Gate { slots: slots.max(1), max_queued, state: Mutex::new((0, 0)), freed: Condvar::new() }
+    }
+
+    /// Acquires a slot, blocking in the bounded queue if necessary.
+    /// Returns `None` — *without blocking* — when every slot is taken
+    /// and the queue is full.
+    pub fn enter(&self) -> Option<GatePass<'_>> {
+        let mut g = self.state.lock().unwrap();
+        if g.0 >= self.slots {
+            if g.1 >= self.max_queued {
+                return None;
+            }
+            g.1 += 1;
+            while g.0 >= self.slots {
+                g = self.freed.wait(g).unwrap();
+            }
+            g.1 -= 1;
+        }
+        g.0 += 1;
+        Some(GatePass { gate: self })
+    }
+
+    /// Holders currently running (not queued).
+    pub fn running(&self) -> usize {
+        self.state.lock().unwrap().0
+    }
+
+    /// Callers currently blocked waiting for a slot.
+    pub fn queued(&self) -> usize {
+        self.state.lock().unwrap().1
+    }
+
+    /// Total configured slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+}
+
+impl Drop for GatePass<'_> {
+    fn drop(&mut self) {
+        let mut g = self.gate.state.lock().unwrap();
+        g.0 -= 1;
+        drop(g);
+        self.gate.freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn ballast_admits_lone_oversized_caller() {
+        let b = Ballast::new(10);
+        b.acquire(1_000_000);
+        assert_eq!(b.inflight(), 1_000_000);
+        assert!(!b.try_acquire(1), "full ballast refuses");
+        b.release(1_000_000);
+        assert!(b.try_acquire(1));
+        assert_eq!(b.peak(), 1_000_000);
+    }
+
+    #[test]
+    fn ballast_bounded_refuses_when_queue_full() {
+        let b = Ballast::new(10);
+        b.acquire(10);
+        // No waiters allowed: immediate refusal instead of blocking.
+        assert!(!b.acquire_bounded(5, 0));
+        b.release(10);
+        assert!(b.acquire_bounded(5, 0));
+        b.release(5);
+    }
+
+    #[test]
+    fn ballast_blocked_acquirers_wake_on_release() {
+        let b = Ballast::new(100);
+        b.acquire(100);
+        let done = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    b.acquire(25);
+                    done.fetch_add(1, Ordering::SeqCst);
+                    b.release(25);
+                });
+            }
+            // Give the threads a moment to block, then free the space.
+            while b.waiters() != 4 {
+                std::thread::yield_now();
+            }
+            b.release(100);
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 4);
+        assert_eq!(b.inflight(), 0);
+    }
+
+    #[test]
+    fn gate_grants_slots_then_queue_then_busy() {
+        let gate = Gate::new(2, 1);
+        let a = gate.enter().unwrap();
+        let b = gate.enter().unwrap();
+        assert_eq!(gate.running(), 2);
+        // Slots full; the single queue seat is free, so a blocked enter
+        // would succeed — prove it with a thread.
+        let entered = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _pass = gate.enter().expect("queued caller gets the freed slot");
+                entered.fetch_add(1, Ordering::SeqCst);
+            });
+            while gate.queued() != 1 {
+                std::thread::yield_now();
+            }
+            // Queue now full too: immediate Busy.
+            assert!(gate.enter().is_none());
+            drop(a);
+        });
+        assert_eq!(entered.load(Ordering::SeqCst), 1);
+        drop(b);
+        assert_eq!(gate.running(), 0);
+    }
+
+    #[test]
+    fn gate_always_has_at_least_one_slot() {
+        let gate = Gate::new(0, 0);
+        assert_eq!(gate.slots(), 1);
+        let pass = gate.enter().unwrap();
+        assert!(gate.enter().is_none());
+        drop(pass);
+    }
+}

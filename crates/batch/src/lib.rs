@@ -8,6 +8,10 @@
 //! ([`funseeker::prepare`] + [`funseeker::FunSeeker`]) into a
 //! throughput engine without changing a single output bit:
 //!
+//! - [`admission`] — the bounded admission gates: [`Ballast`] bounds
+//!   the estimated bytes in flight, [`Gate`] bounds concurrency with a
+//!   bounded wait queue; both refuse (`Busy`) instead of buffering
+//!   without bound. Shared by the scheduler and the serving layer.
 //! - [`hash`] — a streaming 64-bit content hash; the cache key for an
 //!   image is a pure function of its bytes.
 //! - [`cache`] — [`ResultCache`], a sharded in-memory map of completed
@@ -41,10 +45,15 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod cache;
 pub mod hash;
 pub mod scheduler;
 
+pub use admission::{Ballast, Gate, GatePass};
 pub use cache::{cache_key, config_fingerprint, DiskCache, ResultCache};
 pub use hash::{hash_bytes, mix64, Hasher64};
-pub use scheduler::{run, run_with_cache, BatchOptions, BatchOutput, BatchStats};
+pub use scheduler::{
+    analyze_hashed, inflight_estimate, probe, run, run_with_cache, BatchOptions, BatchOutput,
+    BatchStats, CacheSource, ImageAnalysis,
+};

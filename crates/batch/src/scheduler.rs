@@ -35,12 +35,13 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use funseeker::parse::parse;
 use funseeker::{Analysis, Config, FunSeeker, Prepared, Scratch};
 
+use crate::admission::Ballast;
 use crate::cache::{cache_key, DiskCache, ResultCache};
 use crate::hash::hash_bytes;
 
@@ -124,43 +125,12 @@ pub struct BatchOutput {
 /// Rough in-flight footprint of one binary mid-pipeline: the borrowed
 /// image plus parsed metadata plus the packed sweep index (~6 bytes per
 /// instruction, instructions averaging ~4 bytes).
-fn inflight_estimate(image_len: usize) -> usize {
+///
+/// Public so admission decisions elsewhere (the serving layer gates a
+/// request *before* reading its body off the socket) use the same
+/// estimate the scheduler charges against its [`Ballast`].
+pub fn inflight_estimate(image_len: usize) -> usize {
     4096 + image_len.saturating_mul(3)
-}
-
-/// Bounded admission: tracks the estimated bytes in flight and blocks
-/// submitters while the pipeline is full. Always admits when nothing is
-/// in flight, so no single over-sized binary can wedge the run.
-struct Ballast {
-    cap: usize,
-    state: Mutex<(usize, usize)>, // (inflight, peak)
-    retired: Condvar,
-}
-
-impl Ballast {
-    fn new(cap: usize) -> Self {
-        Ballast { cap, state: Mutex::new((0, 0)), retired: Condvar::new() }
-    }
-
-    fn acquire(&self, amount: usize) {
-        let mut g = self.state.lock().unwrap();
-        while g.0 > 0 && g.0.saturating_add(amount) > self.cap {
-            g = self.retired.wait(g).unwrap();
-        }
-        g.0 += amount;
-        g.1 = g.1.max(g.0);
-    }
-
-    fn release(&self, amount: usize) {
-        let mut g = self.state.lock().unwrap();
-        g.0 -= amount;
-        drop(g);
-        self.retired.notify_all();
-    }
-
-    fn peak(&self) -> usize {
-        self.state.lock().unwrap().1
-    }
 }
 
 thread_local! {
@@ -245,14 +215,11 @@ pub fn run_with_cache<I: AsRef<[u8]> + Sync>(
             let mut missing = 0usize;
             for cfg in configs {
                 let hit = mem_cache.and_then(|mem| {
-                    let key = cache_key(image_hash, cfg);
-                    mem.get(key).or_else(|| {
-                        let analysis = disk.as_ref()?.load(key)?;
+                    let (analysis, source) = probe(mem, disk.as_ref(), image_hash, cfg)?;
+                    if source == CacheSource::Disk {
                         disk_hits.fetch_add(1, Ordering::Relaxed);
-                        let shared = Arc::new(analysis);
-                        mem.insert(key, shared.clone());
-                        Some(shared)
-                    })
+                    }
+                    Some(analysis)
                 });
                 missing += hit.is_none() as usize;
                 resolved.push(hit);
@@ -336,6 +303,126 @@ pub fn run_with_cache<I: AsRef<[u8]> + Sync>(
             peak_inflight_bytes: ballast.peak(),
         },
     }
+}
+
+/// Which cache layer served a [`probe`] hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheSource {
+    /// The in-memory [`ResultCache`].
+    Memory,
+    /// The on-disk layer (the entry was promoted into memory on the way
+    /// out, so a repeat probe hits [`CacheSource::Memory`]).
+    Disk,
+}
+
+/// Probes the cache hierarchy for one (image, configuration) result —
+/// the *probe-before-admission* step the scheduler runs before letting
+/// a binary into the pipeline, public so a long-running server can
+/// serve fully-cached submissions without paying parse, sweep, or
+/// admission.
+///
+/// A memory hit costs one sharded map lookup. On a memory miss the disk
+/// layer (when given) is consulted, and a disk hit is promoted into the
+/// memory cache. Hit/miss counters on `mem` are updated as usual.
+pub fn probe(
+    mem: &ResultCache,
+    disk: Option<&DiskCache>,
+    image_hash: u64,
+    config: &Config,
+) -> Option<(Arc<Analysis>, CacheSource)> {
+    let key = cache_key(image_hash, config);
+    if let Some(hit) = mem.get(key) {
+        return Some((hit, CacheSource::Memory));
+    }
+    let analysis = disk?.load(key)?;
+    let shared = Arc::new(analysis);
+    mem.insert(key, shared.clone());
+    Some((shared, CacheSource::Disk))
+}
+
+/// One image analyzed under a set of configurations by
+/// [`analyze_hashed`], with the same per-stage accounting the batch
+/// scheduler keeps.
+#[derive(Debug)]
+pub struct ImageAnalysis {
+    /// `per_config[j]` is the analysis under `configs[j]`; cache hits
+    /// and duplicate submissions share `Arc`s.
+    pub per_config: Vec<Arc<Analysis>>,
+    /// Configurations served from a cache layer without recomputation.
+    pub cache_hits: usize,
+    /// Cache hits the disk layer (rather than memory) served.
+    pub disk_hits: usize,
+    /// Wall nanoseconds in the parse stage (0 when fully cached).
+    pub parse_ns: u64,
+    /// Wall nanoseconds in the sweep stage (0 when fully cached).
+    pub sweep_ns: u64,
+    /// Wall nanoseconds in the analyze stage (0 when fully cached).
+    pub analyze_ns: u64,
+}
+
+/// Analyzes one already-hashed image under every configuration in
+/// `configs` — the synchronous single-submission path of the serving
+/// layer, equivalent to a one-image [`run_with_cache`] on the calling
+/// thread.
+///
+/// Probes the cache hierarchy first; parse and sweep run only when at
+/// least one configuration misses. Results land in the caches on the
+/// way out, and the calling thread's scratch arena is reused across
+/// calls (one arena per long-lived handler thread). `image_hash` must
+/// be [`hash_bytes`]`(bytes)` — it is the content half of the cache
+/// key, so a wrong hash would poison the cache.
+///
+/// The output is **identical** to a fresh sequential
+/// [`funseeker::prepare`] + [`FunSeeker::identify_prepared`]; parse
+/// failures return the underlying error and leave no cache residue.
+pub fn analyze_hashed(
+    bytes: &[u8],
+    image_hash: u64,
+    configs: &[Config],
+    mem: Option<&ResultCache>,
+    disk: Option<&DiskCache>,
+) -> Result<ImageAnalysis, funseeker::Error> {
+    let mut out = ImageAnalysis {
+        per_config: Vec::with_capacity(configs.len()),
+        cache_hits: 0,
+        disk_hits: 0,
+        parse_ns: 0,
+        sweep_ns: 0,
+        analyze_ns: 0,
+    };
+    let mut resolved: Vec<Option<Arc<Analysis>>> = Vec::with_capacity(configs.len());
+    let mut missing = 0usize;
+    for cfg in configs {
+        let hit = mem.and_then(|m| probe(m, disk, image_hash, cfg));
+        match &hit {
+            Some((_, CacheSource::Disk)) => {
+                out.cache_hits += 1;
+                out.disk_hits += 1;
+            }
+            Some((_, CacheSource::Memory)) => out.cache_hits += 1,
+            None => missing += 1,
+        }
+        resolved.push(hit.map(|(a, _)| a));
+    }
+    if missing == 0 {
+        out.per_config = resolved.into_iter().flatten().collect();
+        return Ok(out);
+    }
+
+    let t = Instant::now();
+    let parsed = parse(bytes)?;
+    out.parse_ns = t.elapsed().as_nanos() as u64;
+    let t = Instant::now();
+    let prepared = Prepared::from_parsed(parsed);
+    out.sweep_ns = t.elapsed().as_nanos() as u64;
+    let t = Instant::now();
+    out.per_config = configs
+        .iter()
+        .zip(resolved)
+        .map(|(cfg, hit)| hit.unwrap_or_else(|| compute_one(image_hash, cfg, &prepared, mem, disk)))
+        .collect();
+    out.analyze_ns = t.elapsed().as_nanos() as u64;
+    Ok(out)
 }
 
 /// Computes one (image, config) analysis with the worker's scratch
@@ -450,6 +537,33 @@ mod tests {
         assert_eq!(out.stats.unique_images, 4);
         // One-at-a-time admission: the peak is a single binary's estimate.
         assert_eq!(out.stats.peak_inflight_bytes, inflight_estimate(corpus[0].len()));
+    }
+
+    #[test]
+    fn analyze_hashed_matches_run_and_fills_cache() {
+        let image = own_exe();
+        let configs: Vec<Config> = Config::table2().iter().map(|&(_, c)| c).collect();
+        let cache = ResultCache::new();
+        let hash = hash_bytes(&image);
+        let one = analyze_hashed(&image, hash, &configs, Some(&cache), None).unwrap();
+        assert_eq!(one.cache_hits, 0);
+        let out = run(std::slice::from_ref(&image), &configs, &BatchOptions::default());
+        for j in 0..configs.len() {
+            assert_eq!(one.per_config[j].as_ref(), out.results[0][j].as_ref().unwrap().as_ref());
+        }
+        // A repeat call is fully served by the cache, skipping the
+        // front end entirely.
+        let again = analyze_hashed(&image, hash, &configs, Some(&cache), None).unwrap();
+        assert_eq!(again.cache_hits, configs.len());
+        assert_eq!(again.parse_ns, 0);
+        for j in 0..configs.len() {
+            assert!(Arc::ptr_eq(&one.per_config[j], &again.per_config[j]));
+        }
+        // Parse failures propagate and leave no cache residue.
+        let before = cache.len();
+        let bad = analyze_hashed(b"junk", hash_bytes(b"junk"), &configs, Some(&cache), None);
+        assert!(bad.is_err());
+        assert_eq!(cache.len(), before);
     }
 
     #[test]

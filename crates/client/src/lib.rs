@@ -1,0 +1,428 @@
+//! **funseeker-client** — the SDK for the funseeker analysis daemon.
+//!
+//! The daemon (`crates/server`, started with `funseeker serve`) turns
+//! the batch engine into a long-running service: submit an ELF image
+//! over a unix or TCP socket, get back the identified function entries
+//! (and optionally a call-graph summary), with content-addressed
+//! caching, single-flight dedup, and explicit `Busy` backpressure on
+//! the server side. This crate is the client half: [`Client`] drives
+//! the connection, and [`proto`] is the shared wire-protocol codec
+//! (specified normatively in `DESIGN.md` §5).
+//!
+//! # Example
+//!
+//! Start an in-process daemon on a unix socket and analyze this test
+//! binary through it — results are bit-identical to a local
+//! [`funseeker::FunSeeker`] run:
+//!
+//! ```
+//! use funseeker_client::Client;
+//! use funseeker_server::{Server, ServerConfig};
+//!
+//! let sock = std::env::temp_dir().join(format!("fs-sdk-doc-{}.sock", std::process::id()));
+//! let server = Server::start(ServerConfig::unix(&sock)).unwrap();
+//!
+//! let mut client = Client::connect(&format!("unix:{}", sock.display())).unwrap();
+//! client.ping().unwrap();
+//!
+//! let image = std::fs::read("/proc/self/exe").unwrap();
+//! let reply = client.analyze(&image).unwrap();
+//! let local = funseeker::FunSeeker::new().identify(&image).unwrap();
+//! assert_eq!(reply.analysis, local);
+//!
+//! // A resubmission of the same image is served from the cache.
+//! let again = client.analyze(&image).unwrap();
+//! assert_eq!(again.source, funseeker_client::proto::Source::Memory);
+//!
+//! let stats = client.stats().unwrap();
+//! assert!(stats.get("cache_hits").unwrap() >= 1);
+//! client.shutdown().unwrap();
+//! server.join();
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod proto;
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+pub use proto::{AnalyzeReply, ErrorCode, ProtoError, Response, Source};
+
+/// A daemon address: `unix:<path>` or `tcp:<host>:<port>`. A bare
+/// string containing `/` parses as a unix path, one containing `:` as
+/// a TCP endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Addr {
+    /// A unix-domain socket path.
+    Unix(PathBuf),
+    /// A TCP `host:port` endpoint.
+    Tcp(String),
+}
+
+impl Addr {
+    /// Parses an address string.
+    pub fn parse(s: &str) -> Result<Addr, ClientError> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            return Ok(Addr::Unix(PathBuf::from(path)));
+        }
+        if let Some(hostport) = s.strip_prefix("tcp:") {
+            return Ok(Addr::Tcp(hostport.to_owned()));
+        }
+        if s.contains('/') {
+            return Ok(Addr::Unix(PathBuf::from(s)));
+        }
+        if s.contains(':') {
+            return Ok(Addr::Tcp(s.to_owned()));
+        }
+        Err(ClientError::BadAddr(format!(
+            "cannot parse {s:?}: expected unix:<path> or tcp:<host>:<port>"
+        )))
+    }
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Addr::Unix(p) => write!(f, "unix:{}", p.display()),
+            Addr::Tcp(hp) => write!(f, "tcp:{hp}"),
+        }
+    }
+}
+
+/// Everything a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connection or transport failure.
+    Io(io::Error),
+    /// Wire-protocol defect (truncated frame, bad version, failed
+    /// checksum, …).
+    Proto(ProtoError),
+    /// The server refused admission — backpressure, retry later.
+    Busy {
+        /// Analyses queued behind the admission gate when refused.
+        queue_depth: u32,
+        /// Estimated bytes in flight when refused.
+        inflight_bytes: u64,
+    },
+    /// The server replied with a typed error.
+    Remote {
+        /// The failure class.
+        code: ErrorCode,
+        /// Server-provided detail.
+        message: String,
+    },
+    /// The server replied with a well-formed message of the wrong type
+    /// for the request.
+    Unexpected(&'static str),
+    /// An unparsable address string.
+    BadAddr(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Busy { queue_depth, inflight_bytes } => write!(
+                f,
+                "server busy (queue depth {queue_depth}, {inflight_bytes} bytes in flight)"
+            ),
+            ClientError::Remote { code, message } if message.is_empty() => {
+                write!(f, "server error: {code}")
+            }
+            ClientError::Remote { code, message } => write!(f, "server error: {code}: {message}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+            ClientError::BadAddr(what) => f.write_str(what),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Proto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+impl ClientError {
+    /// Whether this is the server's transient backpressure signal (the
+    /// caller may retry after a short backoff).
+    pub fn is_busy(&self) -> bool {
+        matches!(self, ClientError::Busy { .. })
+    }
+}
+
+/// A parsed `stats` reply: the daemon's live counters as documented in
+/// `DESIGN.md` §5. Unknown keys are preserved, so old SDKs read new
+/// servers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    counters: BTreeMap<String, u64>,
+}
+
+impl ServerStats {
+    /// Parses the `name value` line format of a `STATS_OK` body.
+    /// Lines that do not parse are skipped (forward compatibility).
+    pub fn parse(text: &str) -> ServerStats {
+        let mut counters = BTreeMap::new();
+        for line in text.lines() {
+            if let Some((name, value)) = line.split_once(' ') {
+                if let Ok(v) = value.trim().parse::<u64>() {
+                    counters.insert(name.to_owned(), v);
+                }
+            }
+        }
+        ServerStats { counters }
+    }
+
+    /// The value of one counter, if the server reported it.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// All reported counters, sorted by name.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Result-cache hit rate across the daemon's lifetime (0 when
+    /// nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.get("cache_hits").unwrap_or(0) as f64;
+        let misses = self.get("cache_misses").unwrap_or(0) as f64;
+        if hits + misses == 0.0 {
+            0.0
+        } else {
+            hits / (hits + misses)
+        }
+    }
+}
+
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A connection to the analysis daemon. One request is in flight at a
+/// time per connection; open several clients for concurrency (each is
+/// cheap — the load harness opens a thousand).
+pub struct Client {
+    stream: Stream,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects to `addr` (`unix:<path>` or `tcp:<host>:<port>`).
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        Client::connect_to(&Addr::parse(addr)?)
+    }
+
+    /// Connects to a parsed [`Addr`].
+    pub fn connect_to(addr: &Addr) -> Result<Client, ClientError> {
+        let stream = match addr {
+            Addr::Unix(path) => Stream::Unix(UnixStream::connect(path)?),
+            Addr::Tcp(hostport) => Stream::Tcp(TcpStream::connect(hostport.as_str())?),
+        };
+        Ok(Client { stream, max_frame: proto::DEFAULT_MAX_FRAME })
+    }
+
+    /// Caps the size of response frames this client will accept.
+    pub fn set_max_frame(&mut self, max: usize) {
+        self.max_frame = max;
+    }
+
+    /// Bounds how long a single read waits for the server; `None`
+    /// blocks indefinitely (the default).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        match &self.stream {
+            Stream::Unix(s) => s.set_read_timeout(timeout)?,
+            Stream::Tcp(s) => s.set_read_timeout(timeout)?,
+        }
+        Ok(())
+    }
+
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        let payload = proto::read_frame(&mut self.stream, self.max_frame)?
+            .ok_or(ClientError::Proto(ProtoError::Truncated))?;
+        Ok(proto::decode_response(&payload)?)
+    }
+
+    /// Submits `image` under the full FunSeeker configuration (Table II
+    /// ④). Equivalent to [`Client::analyze_with`]`(image, 4, false)`.
+    pub fn analyze(&mut self, image: &[u8]) -> Result<AnalyzeReply, ClientError> {
+        self.analyze_with(image, 4, false)
+    }
+
+    /// Submits `image` under Table II configuration `config` (1–4),
+    /// optionally requesting the interprocedural (CFG + call graph)
+    /// summary. Backpressure surfaces as [`ClientError::Busy`]; parse
+    /// failures and other server-side errors as [`ClientError::Remote`].
+    pub fn analyze_with(
+        &mut self,
+        image: &[u8],
+        config: u8,
+        callgraph: bool,
+    ) -> Result<AnalyzeReply, ClientError> {
+        let flags = if callgraph { proto::FLAG_CALLGRAPH } else { 0 };
+        proto::write_analyze(&mut self.stream, config, flags, image)?;
+        match self.read_response()? {
+            Response::Result(reply) => Ok(reply),
+            Response::Busy { queue_depth, inflight_bytes } => {
+                Err(ClientError::Busy { queue_depth, inflight_bytes })
+            }
+            Response::Error { code, message } => Err(ClientError::Remote { code, message }),
+            _ => Err(ClientError::Unexpected("non-result reply to analyze")),
+        }
+    }
+
+    /// [`Client::analyze_with`] with bounded exponential backoff on
+    /// `Busy`: retries up to `max_retries` times, sleeping 1 ms and
+    /// doubling (capped at 64 ms) between attempts. Returns the last
+    /// `Busy` error when the server stays saturated.
+    pub fn analyze_retry(
+        &mut self,
+        image: &[u8],
+        config: u8,
+        callgraph: bool,
+        max_retries: usize,
+    ) -> Result<AnalyzeReply, ClientError> {
+        let mut backoff = Duration::from_millis(1);
+        let mut attempt = 0;
+        loop {
+            match self.analyze_with(image, config, callgraph) {
+                Err(e) if e.is_busy() && attempt < max_retries => {
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(64));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Queries the daemon's live counters.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        proto::write_simple_request(&mut self.stream, proto::T_STATS)?;
+        match self.read_response()? {
+            Response::Stats(text) => Ok(ServerStats::parse(&text)),
+            Response::Busy { queue_depth, inflight_bytes } => {
+                Err(ClientError::Busy { queue_depth, inflight_bytes })
+            }
+            Response::Error { code, message } => Err(ClientError::Remote { code, message }),
+            _ => Err(ClientError::Unexpected("non-stats reply to stats")),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        proto::write_simple_request(&mut self.stream, proto::T_PING)?;
+        match self.read_response()? {
+            Response::Pong => Ok(()),
+            Response::Busy { queue_depth, inflight_bytes } => {
+                Err(ClientError::Busy { queue_depth, inflight_bytes })
+            }
+            Response::Error { code, message } => Err(ClientError::Remote { code, message }),
+            _ => Err(ClientError::Unexpected("non-pong reply to ping")),
+        }
+    }
+
+    /// Asks the daemon to drain in-flight work and exit. Returns once
+    /// the server acknowledges (`BYE`); the process exits after the
+    /// drain completes.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        proto::write_simple_request(&mut self.stream, proto::T_SHUTDOWN)?;
+        match self.read_response()? {
+            Response::Bye => Ok(()),
+            Response::Busy { queue_depth, inflight_bytes } => {
+                Err(ClientError::Busy { queue_depth, inflight_bytes })
+            }
+            Response::Error { code, message } => Err(ClientError::Remote { code, message }),
+            _ => Err(ClientError::Unexpected("non-bye reply to shutdown")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_parsing_covers_both_transports() {
+        assert_eq!(Addr::parse("unix:/tmp/x.sock").unwrap(), Addr::Unix("/tmp/x.sock".into()));
+        assert_eq!(Addr::parse("tcp:127.0.0.1:7433").unwrap(), Addr::Tcp("127.0.0.1:7433".into()));
+        assert_eq!(Addr::parse("/tmp/y.sock").unwrap(), Addr::Unix("/tmp/y.sock".into()));
+        assert_eq!(Addr::parse("localhost:9").unwrap(), Addr::Tcp("localhost:9".into()));
+        assert!(Addr::parse("nonsense").is_err());
+        assert_eq!(Addr::parse("unix:/a/b.sock").unwrap().to_string(), "unix:/a/b.sock");
+        assert_eq!(Addr::parse("tcp:h:1").unwrap().to_string(), "tcp:h:1");
+    }
+
+    #[test]
+    fn stats_parse_skips_malformed_lines() {
+        let s = ServerStats::parse("cache_hits 3\ncache_misses 1\njunk\nbad notanumber\n");
+        assert_eq!(s.get("cache_hits"), Some(3));
+        assert_eq!(s.get("cache_misses"), Some(1));
+        assert_eq!(s.get("junk"), None);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(s.iter().count(), 2);
+    }
+
+    #[test]
+    fn errors_render_and_chain() {
+        let busy = ClientError::Busy { queue_depth: 3, inflight_bytes: 99 };
+        assert!(busy.is_busy());
+        assert!(busy.to_string().contains("queue depth 3"));
+        let remote =
+            ClientError::Remote { code: ErrorCode::ParseFailed, message: "bad magic".into() };
+        assert!(!remote.is_busy());
+        assert!(remote.to_string().contains("bad magic"));
+        let proto = ClientError::from(ProtoError::Truncated);
+        assert!(std::error::Error::source(&proto).is_some());
+    }
+}

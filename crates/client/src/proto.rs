@@ -1,0 +1,646 @@
+//! The funseeker wire protocol, version 1 — shared codec for the
+//! daemon and the SDK.
+//!
+//! The normative specification lives in `DESIGN.md` §5 ("Serving
+//! layer"); this module is its reference implementation. In brief:
+//!
+//! ```text
+//! frame   := len:u32le payload[len]          // 2 ≤ len ≤ max_frame
+//! payload := version:u8 type:u8 body[..]     // version = 0x01
+//! ```
+//!
+//! Request types (client → server): [`T_ANALYZE`] (`config:u8 flags:u8
+//! image[..]`), [`T_STATS`], [`T_PING`], [`T_SHUTDOWN`] (empty
+//! bodies). Response types (server → client): [`T_RESULT`],
+//! [`T_BUSY`], [`T_ERROR`], [`T_STATS_OK`], [`T_PONG`], [`T_BYE`].
+//!
+//! Every decoding defect maps to a typed [`ProtoError`] — truncated
+//! frames, oversized length prefixes, unknown version bytes, and
+//! malformed bodies are errors, never panics. The analysis payload of a
+//! [`T_RESULT`] frame reuses the checksummed `funseeker-batch-cache v2`
+//! text format ([`funseeker_batch::cache::serialize`]), so result
+//! integrity is verified end to end by the same code path the disk
+//! cache trusts.
+
+use std::io::{self, Read, Write};
+
+use funseeker::{Analysis, Config};
+
+/// Protocol version carried as the first payload byte.
+pub const VERSION: u8 = 1;
+
+/// Default cap on one frame's payload length (prefix values above the
+/// cap are a [`ProtoError::TooLarge`] and close the connection).
+pub const DEFAULT_MAX_FRAME: usize = 256 << 20;
+
+/// Request: analyze one submitted image (`config:u8 flags:u8 image`).
+pub const T_ANALYZE: u8 = 0x01;
+/// Request: return the daemon's live counters (empty body).
+pub const T_STATS: u8 = 0x02;
+/// Request: liveness probe (empty body).
+pub const T_PING: u8 = 0x03;
+/// Request: drain in-flight work and exit (empty body).
+pub const T_SHUTDOWN: u8 = 0x04;
+
+/// Response: a completed analysis.
+pub const T_RESULT: u8 = 0x81;
+/// Response: admission refused — retry later (backpressure).
+pub const T_BUSY: u8 = 0x82;
+/// Response: a typed failure (see [`ErrorCode`]).
+pub const T_ERROR: u8 = 0x83;
+/// Response: counter lines (`name value\n` UTF-8 text).
+pub const T_STATS_OK: u8 = 0x84;
+/// Response: ping acknowledgement.
+pub const T_PONG: u8 = 0x85;
+/// Response: shutdown acknowledged; the daemon is draining.
+pub const T_BYE: u8 = 0x86;
+
+/// `ANALYZE` flag bit 0: also build the interprocedural (CFG + call
+/// graph) summary. All other flag bits must be zero in version 1.
+pub const FLAG_CALLGRAPH: u8 = 0x01;
+
+/// Typed failure codes carried by [`T_ERROR`] responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Malformed frame (zero-length payload, body shorter than its
+    /// header). The server closes the connection.
+    BadFrame = 1,
+    /// Unsupported version byte. The server closes the connection.
+    BadVersion = 2,
+    /// Unknown request type, out-of-range config byte, or reserved
+    /// flag bits. The connection stays usable.
+    BadRequest = 3,
+    /// The submitted image failed to parse as a supported ELF.
+    ParseFailed = 4,
+    /// Length prefix above the frame cap. The server closes the
+    /// connection (it cannot resynchronize past an unread body).
+    TooLarge = 5,
+    /// The daemon is draining for shutdown; no new work is admitted.
+    ShuttingDown = 6,
+    /// Unexpected server-side failure.
+    Internal = 7,
+}
+
+impl ErrorCode {
+    /// Parses a wire byte; unknown codes are a decoding defect.
+    pub fn from_u8(b: u8) -> Option<ErrorCode> {
+        Some(match b {
+            1 => ErrorCode::BadFrame,
+            2 => ErrorCode::BadVersion,
+            3 => ErrorCode::BadRequest,
+            4 => ErrorCode::ParseFailed,
+            5 => ErrorCode::TooLarge,
+            6 => ErrorCode::ShuttingDown,
+            7 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::BadFrame => "bad frame",
+            ErrorCode::BadVersion => "unsupported protocol version",
+            ErrorCode::BadRequest => "bad request",
+            ErrorCode::ParseFailed => "image failed to parse",
+            ErrorCode::TooLarge => "frame exceeds size cap",
+            ErrorCode::ShuttingDown => "server shutting down",
+            ErrorCode::Internal => "internal server error",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Where the daemon got a [`T_RESULT`]'s analysis from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Source {
+    /// Computed fresh for this request.
+    Computed = 0,
+    /// Served from the in-memory result cache.
+    Memory = 1,
+    /// Served from the on-disk cache layer.
+    Disk = 2,
+    /// Shared from a concurrent in-flight analysis of the same image
+    /// (single-flight dedup).
+    Shared = 3,
+}
+
+impl Source {
+    /// Parses a wire byte; unknown sources are a decoding defect.
+    pub fn from_u8(b: u8) -> Option<Source> {
+        Some(match b {
+            0 => Source::Computed,
+            1 => Source::Memory,
+            2 => Source::Disk,
+            3 => Source::Shared,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded request payload. `Analyze` borrows the image from the
+/// frame buffer — the server never copies submitted bytes.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Request<'a> {
+    /// Analyze `image` under Table II configuration `config` (1–4).
+    Analyze {
+        /// Table II configuration id, 1–4.
+        config: u8,
+        /// [`FLAG_CALLGRAPH`] and reserved (must-be-zero) bits.
+        flags: u8,
+        /// The submitted ELF image.
+        image: &'a [u8],
+    },
+    /// Counter query.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Drain and exit.
+    Shutdown,
+}
+
+/// A completed analysis as carried by a [`T_RESULT`] frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzeReply {
+    /// Content hash of the submitted image ([`funseeker_batch::hash_bytes`]).
+    pub image_hash: u64,
+    /// Cache key (`mix64(image_hash, config_fingerprint)`), which also
+    /// keys the checksummed analysis text.
+    pub key: u64,
+    /// Server-side wall time from request receipt to reply, µs.
+    pub elapsed_us: u32,
+    /// Which layer served the result.
+    pub source: Source,
+    /// The analysis, bit-identical to a local
+    /// `FunSeeker::with_config(config).identify(image)`.
+    pub analysis: Analysis,
+}
+
+/// A decoded response payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// A completed analysis.
+    Result(AnalyzeReply),
+    /// Admission refused; retry later.
+    Busy {
+        /// Analyses queued behind the admission gate when refused.
+        queue_depth: u32,
+        /// Estimated bytes in flight when refused.
+        inflight_bytes: u64,
+    },
+    /// A typed failure.
+    Error {
+        /// The failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Counter lines (`name value\n`).
+    Stats(String),
+    /// Ping acknowledgement.
+    Pong,
+    /// Shutdown acknowledged.
+    Bye,
+}
+
+/// A decoding or transport defect. Every hostile input maps here —
+/// the codec never panics and never silently mis-decodes (the result
+/// body carries its own checksum).
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Underlying transport failure.
+    Io(io::Error),
+    /// The peer closed the connection mid-frame.
+    Truncated,
+    /// A length prefix above the configured frame cap.
+    TooLarge {
+        /// The length the prefix claimed.
+        len: u64,
+        /// The cap it exceeded.
+        max: usize,
+    },
+    /// An unsupported version byte.
+    BadVersion(u8),
+    /// An unknown message type byte.
+    UnknownType(u8),
+    /// A structurally invalid body.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "i/o error: {e}"),
+            ProtoError::Truncated => f.write_str("connection closed mid-frame"),
+            ProtoError::TooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds cap {max}")
+            }
+            ProtoError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtoError::UnknownType(t) => write!(f, "unknown message type {t:#04x}"),
+            ProtoError::Malformed(what) => write!(f, "malformed message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// Maps a wire config id (1–4) plus flags to the analysis [`Config`]:
+/// the Table II configuration with `interproc` set when
+/// [`FLAG_CALLGRAPH`] is present. `None` for out-of-range ids or
+/// reserved flag bits.
+pub fn wire_config(id: u8, flags: u8) -> Option<Config> {
+    if flags & !FLAG_CALLGRAPH != 0 {
+        return None;
+    }
+    let mut config = match id {
+        1 => Config::c1(),
+        2 => Config::c2(),
+        3 => Config::c3(),
+        4 => Config::c4(),
+        _ => return None,
+    };
+    if flags & FLAG_CALLGRAPH != 0 {
+        config.interproc = true;
+    }
+    Some(config)
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Reads one frame's payload. `Ok(None)` on clean end-of-stream (the
+/// peer closed between frames); [`ProtoError::Truncated`] when the
+/// stream ends inside a frame.
+pub fn read_frame(r: &mut impl Read, max_frame: usize) -> Result<Option<Vec<u8>>, ProtoError> {
+    let mut prefix = [0u8; 4];
+    match r.read(&mut prefix[..1])? {
+        0 => return Ok(None),
+        _ => r.read_exact(&mut prefix[1..]).map_err(eof_as_truncated)?,
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > max_frame {
+        return Err(ProtoError::TooLarge { len: len as u64, max: max_frame });
+    }
+    if len < 2 {
+        return Err(ProtoError::Malformed("payload shorter than version + type"));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(eof_as_truncated)?;
+    Ok(Some(payload))
+}
+
+fn eof_as_truncated(e: io::Error) -> ProtoError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        ProtoError::Truncated
+    } else {
+        ProtoError::Io(e)
+    }
+}
+
+/// Writes one frame whose payload is the concatenation of `parts`
+/// (so an image body never needs copying into a contiguous buffer).
+/// Returns the total bytes written including the prefix.
+pub fn write_frame_parts(w: &mut impl Write, parts: &[&[u8]]) -> io::Result<usize> {
+    let len: usize = parts.iter().map(|p| p.len()).sum();
+    let prefix = u32::try_from(len)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large for u32"))?;
+    w.write_all(&prefix.to_le_bytes())?;
+    for part in parts {
+        w.write_all(part)?;
+    }
+    w.flush()?;
+    Ok(4 + len)
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+/// Writes an `ANALYZE` request frame.
+pub fn write_analyze(w: &mut impl Write, config: u8, flags: u8, image: &[u8]) -> io::Result<usize> {
+    write_frame_parts(w, &[&[VERSION, T_ANALYZE, config, flags], image])
+}
+
+/// Writes a bodyless request frame (`STATS`, `PING`, `SHUTDOWN`).
+pub fn write_simple_request(w: &mut impl Write, typ: u8) -> io::Result<usize> {
+    write_frame_parts(w, &[&[VERSION, typ]])
+}
+
+/// Decodes a request payload (as read by [`read_frame`]).
+pub fn decode_request(payload: &[u8]) -> Result<Request<'_>, ProtoError> {
+    if payload.len() < 2 {
+        return Err(ProtoError::Malformed("payload shorter than version + type"));
+    }
+    if payload[0] != VERSION {
+        return Err(ProtoError::BadVersion(payload[0]));
+    }
+    match payload[1] {
+        T_ANALYZE => {
+            if payload.len() < 4 {
+                return Err(ProtoError::Malformed("analyze body shorter than config + flags"));
+            }
+            let (config, flags) = (payload[2], payload[3]);
+            if wire_config(config, flags).is_none() {
+                return Err(ProtoError::Malformed("config id out of range or reserved flags set"));
+            }
+            Ok(Request::Analyze { config, flags, image: &payload[4..] })
+        }
+        T_STATS | T_PING | T_SHUTDOWN => {
+            if payload.len() != 2 {
+                return Err(ProtoError::Malformed("bodyless request carries a body"));
+            }
+            Ok(match payload[1] {
+                T_STATS => Request::Stats,
+                T_PING => Request::Ping,
+                _ => Request::Shutdown,
+            })
+        }
+        other => Err(ProtoError::UnknownType(other)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------
+
+/// Writes a `RESULT` frame from the already-serialized analysis text
+/// (the `funseeker-batch-cache v2` format keyed by `key`).
+pub fn write_result(
+    w: &mut impl Write,
+    image_hash: u64,
+    key: u64,
+    elapsed_us: u32,
+    source: Source,
+    analysis_text: &str,
+) -> io::Result<usize> {
+    let mut head = [0u8; 23];
+    head[0] = VERSION;
+    head[1] = T_RESULT;
+    head[2..10].copy_from_slice(&image_hash.to_le_bytes());
+    head[10..18].copy_from_slice(&key.to_le_bytes());
+    head[18..22].copy_from_slice(&elapsed_us.to_le_bytes());
+    head[22] = source as u8;
+    write_frame_parts(w, &[&head, analysis_text.as_bytes()])
+}
+
+/// Writes a `BUSY` frame.
+pub fn write_busy(w: &mut impl Write, queue_depth: u32, inflight_bytes: u64) -> io::Result<usize> {
+    let mut head = [0u8; 14];
+    head[0] = VERSION;
+    head[1] = T_BUSY;
+    head[2..6].copy_from_slice(&queue_depth.to_le_bytes());
+    head[6..14].copy_from_slice(&inflight_bytes.to_le_bytes());
+    write_frame_parts(w, &[&head])
+}
+
+/// Writes an `ERROR` frame.
+pub fn write_error(w: &mut impl Write, code: ErrorCode, message: &str) -> io::Result<usize> {
+    write_frame_parts(w, &[&[VERSION, T_ERROR, code as u8], message.as_bytes()])
+}
+
+/// Writes a `STATS_OK` frame carrying counter text.
+pub fn write_stats(w: &mut impl Write, text: &str) -> io::Result<usize> {
+    write_frame_parts(w, &[&[VERSION, T_STATS_OK], text.as_bytes()])
+}
+
+/// Writes a bodyless response frame (`PONG`, `BYE`).
+pub fn write_simple_response(w: &mut impl Write, typ: u8) -> io::Result<usize> {
+    write_frame_parts(w, &[&[VERSION, typ]])
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b.try_into().expect("caller sliced 4 bytes"))
+}
+
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b.try_into().expect("caller sliced 8 bytes"))
+}
+
+/// Decodes a response payload, including checksum verification and
+/// deserialization of a `RESULT`'s analysis body.
+pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
+    if payload.len() < 2 {
+        return Err(ProtoError::Malformed("payload shorter than version + type"));
+    }
+    if payload[0] != VERSION {
+        return Err(ProtoError::BadVersion(payload[0]));
+    }
+    match payload[1] {
+        T_RESULT => {
+            if payload.len() < 23 {
+                return Err(ProtoError::Malformed("result body shorter than its header"));
+            }
+            let image_hash = le_u64(&payload[2..10]);
+            let key = le_u64(&payload[10..18]);
+            let elapsed_us = le_u32(&payload[18..22]);
+            let source = Source::from_u8(payload[22])
+                .ok_or(ProtoError::Malformed("unknown result source byte"))?;
+            let text = std::str::from_utf8(&payload[23..])
+                .map_err(|_| ProtoError::Malformed("analysis body is not UTF-8"))?;
+            let analysis = funseeker_batch::cache::deserialize(key, text)
+                .ok_or(ProtoError::Malformed("analysis body failed checksum or structure"))?;
+            Ok(Response::Result(AnalyzeReply { image_hash, key, elapsed_us, source, analysis }))
+        }
+        T_BUSY => {
+            if payload.len() != 14 {
+                return Err(ProtoError::Malformed("busy body is not 12 bytes"));
+            }
+            Ok(Response::Busy {
+                queue_depth: le_u32(&payload[2..6]),
+                inflight_bytes: le_u64(&payload[6..14]),
+            })
+        }
+        T_ERROR => {
+            if payload.len() < 3 {
+                return Err(ProtoError::Malformed("error body shorter than its code"));
+            }
+            let code = ErrorCode::from_u8(payload[2])
+                .ok_or(ProtoError::Malformed("unknown error code"))?;
+            let message = String::from_utf8_lossy(&payload[3..]).into_owned();
+            Ok(Response::Error { code, message })
+        }
+        T_STATS_OK => {
+            let text = std::str::from_utf8(&payload[2..])
+                .map_err(|_| ProtoError::Malformed("stats body is not UTF-8"))?;
+            Ok(Response::Stats(text.to_owned()))
+        }
+        T_PONG | T_BYE => {
+            if payload.len() != 2 {
+                return Err(ProtoError::Malformed("bodyless response carries a body"));
+            }
+            Ok(if payload[1] == T_PONG { Response::Pong } else { Response::Bye })
+        }
+        other => Err(ProtoError::UnknownType(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_request_round_trips() {
+        let image = b"\x7fELF-not-really";
+        let mut wire = Vec::new();
+        let n = write_analyze(&mut wire, 4, FLAG_CALLGRAPH, image).unwrap();
+        assert_eq!(n, wire.len());
+        let payload = read_frame(&mut wire.as_slice(), DEFAULT_MAX_FRAME).unwrap().unwrap();
+        match decode_request(&payload).unwrap() {
+            Request::Analyze { config, flags, image: img } => {
+                assert_eq!((config, flags), (4, FLAG_CALLGRAPH));
+                assert_eq!(img, image);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_requests_round_trip() {
+        for (typ, want) in
+            [(T_STATS, Request::Stats), (T_PING, Request::Ping), (T_SHUTDOWN, Request::Shutdown)]
+        {
+            let mut wire = Vec::new();
+            write_simple_request(&mut wire, typ).unwrap();
+            let payload = read_frame(&mut wire.as_slice(), 64).unwrap().unwrap();
+            assert_eq!(decode_request(&payload).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_mid_frame_eof_is_truncated() {
+        let empty: &[u8] = &[];
+        assert!(read_frame(&mut &empty[..], 64).unwrap().is_none());
+        let mut wire = Vec::new();
+        write_simple_request(&mut wire, T_PING).unwrap();
+        for cut in 1..wire.len() {
+            let err = read_frame(&mut &wire[..cut], 64).unwrap_err();
+            assert!(matches!(err, ProtoError::Truncated), "cut at {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn oversized_prefix_is_too_large_without_allocation() {
+        let wire = u32::MAX.to_le_bytes();
+        match read_frame(&mut &wire[..], 1 << 20).unwrap_err() {
+            ProtoError::TooLarge { len, max } => {
+                assert_eq!(len, u32::MAX as u64);
+                assert_eq!(max, 1 << 20);
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_version_and_type_are_typed() {
+        assert!(matches!(decode_request(&[9, T_PING]), Err(ProtoError::BadVersion(9))));
+        assert!(matches!(decode_request(&[VERSION, 0x7f]), Err(ProtoError::UnknownType(0x7f))));
+        assert!(matches!(decode_response(&[9, T_PONG]), Err(ProtoError::BadVersion(9))));
+        assert!(matches!(decode_response(&[VERSION, 0x05]), Err(ProtoError::UnknownType(0x05))));
+    }
+
+    #[test]
+    fn malformed_bodies_are_typed() {
+        // Undersized frames and bodies.
+        assert!(matches!(decode_request(&[VERSION]), Err(ProtoError::Malformed(_))));
+        assert!(matches!(decode_request(&[VERSION, T_ANALYZE, 4]), Err(ProtoError::Malformed(_))));
+        // Config out of range, reserved flags.
+        assert!(matches!(
+            decode_request(&[VERSION, T_ANALYZE, 0, 0]),
+            Err(ProtoError::Malformed(_))
+        ));
+        assert!(matches!(
+            decode_request(&[VERSION, T_ANALYZE, 5, 0]),
+            Err(ProtoError::Malformed(_))
+        ));
+        assert!(matches!(
+            decode_request(&[VERSION, T_ANALYZE, 4, 0x80]),
+            Err(ProtoError::Malformed(_))
+        ));
+        // Bodyless messages with bodies.
+        assert!(matches!(decode_request(&[VERSION, T_PING, 0]), Err(ProtoError::Malformed(_))));
+        assert!(matches!(decode_response(&[VERSION, T_PONG, 0]), Err(ProtoError::Malformed(_))));
+        // Busy body of the wrong size, unknown error code.
+        assert!(matches!(decode_response(&[VERSION, T_BUSY, 1]), Err(ProtoError::Malformed(_))));
+        assert!(matches!(decode_response(&[VERSION, T_ERROR, 99]), Err(ProtoError::Malformed(_))));
+    }
+
+    #[test]
+    fn result_round_trips_through_the_checksummed_body() {
+        let image = std::fs::read("/proc/self/exe").unwrap();
+        let analysis = funseeker::FunSeeker::new().identify(&image).unwrap();
+        let hash = funseeker_batch::hash_bytes(&image);
+        let key = funseeker_batch::cache_key(hash, &Config::c4());
+        let text = funseeker_batch::cache::serialize(key, &analysis).unwrap();
+        let mut wire = Vec::new();
+        write_result(&mut wire, hash, key, 1234, Source::Computed, &text).unwrap();
+        let payload = read_frame(&mut wire.as_slice(), DEFAULT_MAX_FRAME).unwrap().unwrap();
+        match decode_response(&payload).unwrap() {
+            Response::Result(reply) => {
+                assert_eq!(reply.image_hash, hash);
+                assert_eq!(reply.key, key);
+                assert_eq!(reply.elapsed_us, 1234);
+                assert_eq!(reply.source, Source::Computed);
+                assert_eq!(reply.analysis, analysis);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+        // A flipped byte in the analysis body fails the checksum.
+        let mut corrupt = wire.clone();
+        let at = wire.len() - 40;
+        corrupt[at] ^= 1;
+        let payload = read_frame(&mut corrupt.as_slice(), DEFAULT_MAX_FRAME).unwrap().unwrap();
+        assert!(matches!(decode_response(&payload), Err(ProtoError::Malformed(_))));
+    }
+
+    #[test]
+    fn busy_error_stats_round_trip() {
+        let mut wire = Vec::new();
+        write_busy(&mut wire, 17, 1 << 30).unwrap();
+        write_error(&mut wire, ErrorCode::ParseFailed, "not an ELF").unwrap();
+        write_stats(&mut wire, "requests_total 5\ncache_hits 3\n").unwrap();
+        write_simple_response(&mut wire, T_PONG).unwrap();
+        write_simple_response(&mut wire, T_BYE).unwrap();
+        let mut r = wire.as_slice();
+        let next = |r: &mut &[u8]| {
+            decode_response(&read_frame(r, DEFAULT_MAX_FRAME).unwrap().unwrap()).unwrap()
+        };
+        assert_eq!(next(&mut r), Response::Busy { queue_depth: 17, inflight_bytes: 1 << 30 });
+        assert_eq!(
+            next(&mut r),
+            Response::Error { code: ErrorCode::ParseFailed, message: "not an ELF".into() }
+        );
+        assert_eq!(next(&mut r), Response::Stats("requests_total 5\ncache_hits 3\n".into()));
+        assert_eq!(next(&mut r), Response::Pong);
+        assert_eq!(next(&mut r), Response::Bye);
+        assert!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().is_none());
+    }
+
+    #[test]
+    fn wire_config_maps_ids_and_flags() {
+        assert_eq!(wire_config(1, 0), Some(Config::c1()));
+        assert_eq!(wire_config(4, 0), Some(Config::c4()));
+        let with_graph = wire_config(2, FLAG_CALLGRAPH).unwrap();
+        assert!(with_graph.interproc);
+        assert_eq!(Config { interproc: false, ..with_graph }, Config::c2());
+        assert_eq!(wire_config(0, 0), None);
+        assert_eq!(wire_config(5, 0), None);
+        assert_eq!(wire_config(4, 0x02), None, "reserved flag bits rejected");
+    }
+}

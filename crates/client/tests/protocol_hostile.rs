@@ -1,0 +1,143 @@
+//! Protocol-level regression suite: hostile and malformed wire input
+//! against a live daemon. Every defect must surface as a typed error
+//! frame or a clean close — never a panic, never a hang — and the
+//! daemon must keep serving well-formed clients afterwards.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use funseeker_client::proto::{self, ErrorCode, ProtoError, Response};
+use funseeker_client::{Client, ClientError};
+use funseeker_server::{Server, ServerConfig};
+
+/// A raw TCP connection to the daemon with a bounded read timeout, so
+/// a server that wrongly hangs fails the test instead of wedging it.
+fn raw(server: &Server) -> TcpStream {
+    let addr = server.addr().to_string();
+    let hostport = addr.strip_prefix("tcp:").expect("test server is TCP");
+    let stream = TcpStream::connect(hostport).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream
+}
+
+fn read_response(stream: &mut TcpStream) -> Result<Option<Response>, ProtoError> {
+    match proto::read_frame(stream, proto::DEFAULT_MAX_FRAME)? {
+        Some(payload) => proto::decode_response(&payload).map(Some),
+        None => Ok(None),
+    }
+}
+
+fn expect_error(stream: &mut TcpStream, want: ErrorCode) {
+    match read_response(stream).unwrap().expect("an error frame, not a close") {
+        Response::Error { code, .. } => assert_eq!(code, want),
+        other => panic!("expected {want:?}, got {other:?}"),
+    }
+}
+
+fn expect_closed(stream: &mut TcpStream) {
+    assert!(read_response(stream).unwrap().is_none(), "server should have closed the connection");
+}
+
+#[test]
+fn hostile_input_gets_typed_errors_and_the_daemon_survives() {
+    let server = Server::start(ServerConfig::tcp("127.0.0.1:0")).unwrap();
+    let addr = server.addr().to_string();
+
+    // Oversized length prefix: typed TooLarge, then close (the server
+    // cannot resynchronize past an unread multi-gigabyte body).
+    let mut s = raw(&server);
+    s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    expect_error(&mut s, ErrorCode::TooLarge);
+    expect_closed(&mut s);
+
+    // Zero-length frame: typed BadFrame, then close.
+    let mut s = raw(&server);
+    s.write_all(&0u32.to_le_bytes()).unwrap();
+    expect_error(&mut s, ErrorCode::BadFrame);
+    expect_closed(&mut s);
+
+    // Truncated frame followed by a disconnect: the server must notice
+    // end-of-stream mid-frame and tear down without hanging.
+    let mut s = raw(&server);
+    s.write_all(&100u32.to_le_bytes()).unwrap();
+    s.write_all(&[proto::VERSION, proto::T_ANALYZE, 4, 0, 1, 2, 3]).unwrap();
+    s.shutdown(std::net::Shutdown::Write).unwrap();
+    expect_closed(&mut s);
+
+    // Unknown version byte: typed BadVersion, then close.
+    let mut s = raw(&server);
+    proto::write_frame_parts(&mut s, &[&[9u8, proto::T_PING]]).unwrap();
+    expect_error(&mut s, ErrorCode::BadVersion);
+    expect_closed(&mut s);
+
+    // Unknown request type: typed BadRequest — and the connection stays
+    // usable for a well-formed request afterwards.
+    let mut s = raw(&server);
+    proto::write_frame_parts(&mut s, &[&[proto::VERSION, 0x55]]).unwrap();
+    expect_error(&mut s, ErrorCode::BadRequest);
+    proto::write_simple_request(&mut s, proto::T_PING).unwrap();
+    assert_eq!(read_response(&mut s).unwrap(), Some(Response::Pong));
+
+    // Out-of-range config id and reserved flag bits: BadRequest, still
+    // usable.
+    let mut s = raw(&server);
+    proto::write_analyze(&mut s, 9, 0, b"x").unwrap();
+    expect_error(&mut s, ErrorCode::BadRequest);
+    proto::write_analyze(&mut s, 4, 0x80, b"x").unwrap();
+    expect_error(&mut s, ErrorCode::BadRequest);
+    proto::write_simple_request(&mut s, proto::T_PING).unwrap();
+    assert_eq!(read_response(&mut s).unwrap(), Some(Response::Pong));
+
+    // A well-formed frame whose image is not an ELF: typed ParseFailed
+    // through the SDK, connection stays usable.
+    let mut client = Client::connect(&addr).unwrap();
+    match client.analyze(b"definitely not an ELF").unwrap_err() {
+        ClientError::Remote { code, .. } => assert_eq!(code, ErrorCode::ParseFailed),
+        other => panic!("expected a remote ParseFailed, got {other}"),
+    }
+    client.ping().unwrap();
+
+    // After all that abuse the daemon still serves real work and has
+    // counted the defects.
+    let image = std::fs::read("/proc/self/exe").unwrap();
+    let reply = client.analyze(&image).unwrap();
+    assert!(!reply.analysis.functions.is_empty());
+    let stats = client.stats().unwrap();
+    assert!(stats.get("proto_errors_total").unwrap() >= 6, "defects were counted");
+    assert_eq!(stats.get("results_total"), Some(1));
+    server.join();
+}
+
+#[test]
+fn a_mid_stream_disconnect_during_a_large_body_never_wedges_the_daemon() {
+    let server = Server::start(ServerConfig::tcp("127.0.0.1:0")).unwrap();
+    let addr = server.addr().to_string();
+
+    // Claim a large ANALYZE body (beyond the small-frame admission
+    // bypass), deliver a fraction of it, and vanish.
+    let mut s = raw(&server);
+    let claimed: u32 = 1 << 20;
+    s.write_all(&claimed.to_le_bytes()).unwrap();
+    s.write_all(&[proto::VERSION, proto::T_ANALYZE, 4, 0]).unwrap();
+    s.write_all(&[0u8; 4096]).unwrap();
+    drop(s); // RST/FIN mid-body
+
+    // The daemon must reclaim the admission it granted: a fresh client
+    // gets full service immediately.
+    let mut client = Client::connect(&addr).unwrap();
+    let image = std::fs::read("/proc/self/exe").unwrap();
+    assert!(client.analyze(&image).is_ok());
+    // The dead connection's handler releases its ballast as soon as it
+    // observes the disconnect; poll briefly rather than race it.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = client.stats().unwrap();
+        if stats.get("inflight_bytes") == Some(0) {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "ballast never released");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    server.join();
+}

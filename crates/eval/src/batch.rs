@@ -34,8 +34,9 @@ use crate::trajectory;
 /// Seed for the benchmark corpus (shared with [`crate::perf`]).
 const SEED: u64 = 0xBE7C4;
 
-/// Trajectory schema tag for `BENCH_batch.json`.
-const SCHEMA: &str = "funseeker-bench-batch-v1";
+/// Trajectory schema tag for `BENCH_batch.json` (shared with
+/// [`crate::serve`], whose rows land in the same document).
+pub(crate) const SCHEMA: &str = "funseeker-bench-batch-v1";
 
 /// How many times each generated image recurs in the corpus.
 const DUPLICATES: usize = 3;
@@ -91,7 +92,9 @@ pub fn peak_rss_kb() -> u64 {
 /// The benchmark corpus: a deterministic dataset with each image
 /// repeated [`DUPLICATES`] times, interleaved so duplicates are not
 /// adjacent (the scheduler must find them by content, not position).
-fn corpus(quick: bool) -> (Vec<Vec<u8>>, usize) {
+/// Shared with the [`crate::serve`] load harness so the daemon is
+/// measured over exactly the corpus the batch engine is.
+pub(crate) fn corpus(quick: bool) -> (Vec<Vec<u8>>, usize) {
     let mut params = DatasetParams::tiny();
     if !quick {
         params.programs = (3, 2, 3);

@@ -5,6 +5,7 @@
 //! experiments perf [--quick] [--json FILE [--label NAME]] [--check FILE]
 //! experiments batch [--quick] [--json FILE [--label NAME]] [--check FILE]
 //! experiments callgraph [--quick] [--json FILE [--label NAME]] [--check FILE]
+//! experiments serve [--quick] [--json FILE [--label NAME]] [--check FILE]
 //! ```
 //!
 //! The `perf` subcommand measures sweep throughput and per-stage
@@ -25,6 +26,14 @@
 //! CFG + call-graph build. Flags mirror `perf` against
 //! `BENCH_sweep.json` (a `callgraph` row); `--check` additionally
 //! enforces the ≥95 % direct-edge precision floor.
+//!
+//! The `serve` subcommand load-tests the daemon: it starts an
+//! in-process server on a unix socket and drives it with a concurrent
+//! client fleet (1,024 connections in full mode) under duplicate-heavy
+//! and distinct-heavy traffic, verifying every reply bit-identical to
+//! direct analysis. Flags mirror `perf` against `BENCH_batch.json`
+//! (rows `serve_dup`/`serve_distinct`); `--check` gates on the newest
+//! committed duplicate-heavy throughput.
 
 use std::time::Instant;
 
@@ -35,7 +44,8 @@ fn usage() -> ! {
         "usage: experiments <table1|table2|table3|fig3|failures|by-opt|manual-endbr|arm|robustness|all> [--seed N] [--scale tiny|default|large] [--csv]\n\
          \x20      experiments perf [--quick] [--json FILE [--label NAME]] [--check FILE]\n\
          \x20      experiments batch [--quick] [--json FILE [--label NAME]] [--check FILE]\n\
-         \x20      experiments callgraph [--quick] [--json FILE [--label NAME]] [--check FILE]"
+         \x20      experiments callgraph [--quick] [--json FILE [--label NAME]] [--check FILE]\n\
+         \x20      experiments serve [--quick] [--json FILE [--label NAME]] [--check FILE]"
     );
     std::process::exit(2);
 }
@@ -161,6 +171,19 @@ fn run_callgraph(args: &[String]) -> ! {
     )
 }
 
+fn run_serve(args: &[String]) -> ! {
+    let flags = BenchFlags::parse(args);
+    eprintln!("load-testing the daemon ({} mode)…", if flags.quick { "quick" } else { "full" });
+    let report = funseeker_eval::serve::run(flags.quick);
+    println!("## Serving-layer load test\n");
+    println!("{}", report.render());
+    flags.finish(
+        "serve",
+        |existing, label| report.append_to_document(existing, label),
+        |committed| funseeker_eval::serve::check_against(committed, &report, BENCH_CHECK_MIN_RATIO),
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -179,6 +202,10 @@ fn main() {
     if what == "callgraph" {
         // Likewise: the call-graph evaluation owns its corpus.
         run_callgraph(&args[1..]);
+    }
+    if what == "serve" {
+        // Likewise: the load test reuses the batch benchmark corpus.
+        run_serve(&args[1..]);
     }
     let mut seed = 2022u64; // the paper's year, for a stable default
     let mut scale = "default".to_owned();

@@ -12,6 +12,9 @@
 //!   drivers over a duplicated corpus (`BENCH_batch.json`),
 //! * [`callgraph`] — call-edge precision/recall vs corpus ground truth
 //!   plus graph-build throughput (extension),
+//! * [`serve`] — daemon load test: a concurrent client fleet against
+//!   the serving layer, duplicate-heavy vs distinct-heavy traffic
+//!   (`BENCH_batch.json` rows `serve_dup`/`serve_distinct`),
 //! * [`manual_endbr`] — the §VI `-mmanual-endbr` ablation,
 //! * [`robustness`] — hostile-input mutation campaign (extension).
 //!
@@ -37,6 +40,7 @@ pub mod perf;
 pub mod report;
 pub mod robustness;
 pub mod runner;
+pub mod serve;
 pub mod table1;
 pub mod table2;
 pub mod table3;

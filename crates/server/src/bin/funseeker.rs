@@ -1,0 +1,370 @@
+//! `funseeker` — command-line function identification for CET binaries,
+//! locally or against the analysis daemon.
+//!
+//! ```text
+//! funseeker [--config 1|2|3|4] [--summary] [--disasm] [--callgraph] [--strict] <binary>…
+//! funseeker serve  [--listen ADDR] [--slots N] [--queue N] [--max-bytes N]
+//!                  [--max-conns N] [--disk-cache DIR]
+//! funseeker submit [--addr ADDR] [--config 1|2|3|4] [--summary] [--callgraph] <binary>…
+//! funseeker stats  [--addr ADDR]
+//! funseeker shutdown [--addr ADDR]
+//! ```
+//!
+//! The first form analyzes in-process and prints one function entry
+//! address per line (hex), a per-binary summary with `--summary`, or
+//! the CET-constrained call graph with `--callgraph`. `serve` runs the
+//! daemon; `submit` sends binaries to a running daemon and prints the
+//! same default output, so the two paths diff clean. Addresses are
+//! `unix:<path>` or `tcp:<host>:<port>`; the default is
+//! `unix:$TMPDIR/funseeker.sock`.
+
+use funseeker::{Config, FunSeeker};
+use funseeker_client::{Addr, Client};
+use funseeker_server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: funseeker [--config 1|2|3|4] [--summary] [--disasm] [--callgraph] [--strict] <binary>...\n\
+         \x20      funseeker serve [--listen ADDR] [--slots N] [--queue N] [--max-bytes N] [--max-conns N] [--disk-cache DIR]\n\
+         \x20      funseeker submit [--addr ADDR] [--config 1|2|3|4] [--summary] [--callgraph] <binary>...\n\
+         \x20      funseeker stats [--addr ADDR]\n\
+         \x20      funseeker shutdown [--addr ADDR]"
+    );
+    std::process::exit(2);
+}
+
+fn default_addr() -> String {
+    format!("unix:{}", std::env::temp_dir().join("funseeker.sock").display())
+}
+
+fn parse_config_id(v: &str) -> u8 {
+    match v {
+        "1" | "2" | "3" | "4" => v.as_bytes()[0] - b'0',
+        _ => usage(),
+    }
+}
+
+fn config_for(id: u8) -> Config {
+    match id {
+        1 => Config::c1(),
+        2 => Config::c2(),
+        3 => Config::c3(),
+        _ => Config::c4(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("shutdown") => cmd_shutdown(&args[1..]),
+        _ => cmd_local(&args),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Local analysis (the original CLI)
+// ---------------------------------------------------------------------
+
+fn cmd_local(args: &[String]) {
+    let mut config = Config::c4();
+    let mut summary = false;
+    let mut disasm = false;
+    let mut callgraph = false;
+    let mut strict = false;
+    let mut paths: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--config" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                config = config_for(parse_config_id(v));
+            }
+            "--summary" => summary = true,
+            "--disasm" => disasm = true,
+            "--callgraph" => callgraph = true,
+            "--strict" => strict = true,
+            "-h" | "--help" => usage(),
+            _ => paths.push(arg.clone()),
+        }
+    }
+    if paths.is_empty() {
+        usage();
+    }
+
+    let seeker = FunSeeker::with_config(config).strict(strict);
+    let mut failed = false;
+    for path in &paths {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match seeker.identify(&bytes) {
+            Ok(analysis) => {
+                for warning in analysis.diagnostics.iter() {
+                    eprintln!("{path}: warning: {warning}");
+                }
+                if summary {
+                    print_summary(path, &analysis);
+                } else if callgraph {
+                    if paths.len() > 1 {
+                        println!("# {path}");
+                    }
+                    print_call_graph(&bytes, &analysis);
+                } else if disasm {
+                    if paths.len() > 1 {
+                        println!("# {path}");
+                    }
+                    print_disassembly(&bytes, &analysis);
+                } else {
+                    if paths.len() > 1 {
+                        println!("# {path}");
+                    }
+                    for addr in &analysis.functions {
+                        println!("{addr:#x}");
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn print_summary(path: &str, analysis: &funseeker::Analysis) {
+    println!(
+        "{path}: {} functions ({} endbr, {} filtered, {} call targets, {} tail targets, {} decode errors){}",
+        analysis.functions.len(),
+        analysis.endbr_count,
+        analysis.filtered_endbrs,
+        analysis.call_target_count,
+        analysis.tail_target_count,
+        analysis.decode_errors,
+        if analysis.cet_enabled { "" } else { " [no CET property note]" }
+    );
+}
+
+/// Prints the call graph over the identified entries: every resolved
+/// direct/tail edge, then the CET-constrained indirect summary.
+fn print_call_graph(bytes: &[u8], analysis: &funseeker::Analysis) {
+    let Ok(prepared) = funseeker::prepare(bytes) else { return };
+    let entries: Vec<u64> = analysis.functions.iter().copied().collect();
+    let graph = funseeker::build_call_graph(&prepared.index, &entries);
+    println!(
+        "{} nodes, {} direct edges, {} tail edges",
+        graph.nodes.len(),
+        graph.direct_count(),
+        graph.tail_count(),
+    );
+    for e in &graph.edges {
+        let kind = match e.kind {
+            funseeker::CallKind::Direct => "call",
+            funseeker::CallKind::Tail => "tail",
+        };
+        match e.caller {
+            Some(caller) => println!("{:#x}: {kind} {:#x} -> {:#x}", caller, e.site, e.callee),
+            None => println!("?: {kind} {:#x} -> {:#x}", e.site, e.callee),
+        }
+    }
+    println!(
+        "indirect: {} call sites, {} jump sites, {} notrack; {} endbr targets",
+        graph.indirect_call_sites.len(),
+        graph.indirect_jump_sites.len(),
+        graph.notrack_sites,
+        graph.indirect_targets.len(),
+    );
+}
+
+/// Prints the disassembly of every code region with identified function
+/// entries marked.
+fn print_disassembly(bytes: &[u8], analysis: &funseeker::Analysis) {
+    let Ok(parsed) = funseeker::parse::parse(bytes) else { return };
+    let mode = parsed.mode();
+    for region in parsed.code.regions() {
+        println!("\nDisassembly of section {}:", region.name);
+        let mut off = 0usize;
+        while off < region.bytes.len() {
+            let addr = region.addr.wrapping_add(off as u64);
+            if analysis.functions.contains(&addr) {
+                println!("\n{addr:#x} <fn>:");
+            }
+            match funseeker_disasm::format_insn(&region.bytes[off..], addr, mode) {
+                Ok((text, len)) => {
+                    println!("  {addr:#x}: {text}");
+                    off += len;
+                }
+                Err(_) => {
+                    println!("  {addr:#x}: (bad) {:02x}", region.bytes[off]);
+                    off += 1;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Daemon subcommands
+// ---------------------------------------------------------------------
+
+fn parse_addr(s: &str) -> Addr {
+    Addr::parse(s).unwrap_or_else(|e| {
+        eprintln!("funseeker: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn parse_num(v: &str) -> usize {
+    v.parse().unwrap_or_else(|_| usage())
+}
+
+fn cmd_serve(args: &[String]) {
+    let mut config = ServerConfig::unix(std::env::temp_dir().join("funseeker.sock"));
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || it.next().map(String::as_str).unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--listen" => config.listen = parse_addr(value()),
+            "--slots" => config.analyze_slots = parse_num(value()),
+            "--queue" => config.queue_cap = parse_num(value()),
+            "--max-bytes" => config.max_inflight_bytes = parse_num(value()),
+            "--max-conns" => config.max_connections = parse_num(value()),
+            "--disk-cache" => config.disk_cache = Some(value().into()),
+            _ => usage(),
+        }
+    }
+    let server = Server::start(config).unwrap_or_else(|e| {
+        eprintln!("funseeker serve: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("funseeker serve: listening on {}", server.addr());
+    // Blocks until a client's `shutdown` request, then drains.
+    server.wait();
+    eprintln!("funseeker serve: drained, exiting");
+}
+
+fn connect(addr: &str) -> Client {
+    Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("funseeker: cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn cmd_submit(args: &[String]) {
+    let mut addr = default_addr();
+    let mut config_id = 4u8;
+    let mut summary = false;
+    let mut callgraph = false;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().cloned().unwrap_or_else(|| usage()),
+            "--config" => config_id = parse_config_id(it.next().unwrap_or_else(|| usage())),
+            "--summary" => summary = true,
+            "--callgraph" => callgraph = true,
+            "-h" | "--help" => usage(),
+            _ => paths.push(arg.clone()),
+        }
+    }
+    if paths.is_empty() {
+        usage();
+    }
+
+    let mut client = connect(&addr);
+    let mut failed = false;
+    for path in &paths {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match client.analyze_retry(&bytes, config_id, callgraph, 8) {
+            Ok(reply) => {
+                if summary {
+                    print_summary(path, &reply.analysis);
+                } else if callgraph {
+                    if paths.len() > 1 {
+                        println!("# {path}");
+                    }
+                    match reply.analysis.interproc {
+                        Some(ip) => println!(
+                            "{} cfgs, {} blocks, {} cfg edges; {} direct, {} tail; {} indirect sites -> {} targets",
+                            ip.cfg_count,
+                            ip.block_count,
+                            ip.cfg_edge_count,
+                            ip.direct_call_edges,
+                            ip.tail_call_edges,
+                            ip.indirect_sites,
+                            ip.indirect_targets,
+                        ),
+                        None => println!("(no interprocedural summary)"),
+                    }
+                } else {
+                    if paths.len() > 1 {
+                        println!("# {path}");
+                    }
+                    for addr in &reply.analysis.functions {
+                        println!("{addr:#x}");
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn addr_only(args: &[String]) -> String {
+    let mut addr = default_addr();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().cloned().unwrap_or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    addr
+}
+
+fn cmd_stats(args: &[String]) {
+    let mut client = connect(&addr_only(args));
+    match client.stats() {
+        Ok(stats) => {
+            for (name, value) in stats.iter() {
+                println!("{name} {value}");
+            }
+        }
+        Err(e) => {
+            eprintln!("funseeker stats: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_shutdown(args: &[String]) {
+    let mut client = connect(&addr_only(args));
+    if let Err(e) = client.shutdown() {
+        eprintln!("funseeker shutdown: {e}");
+        std::process::exit(1);
+    }
+}

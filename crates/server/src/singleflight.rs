@@ -1,0 +1,175 @@
+//! Single-flight deduplication of concurrent identical submissions.
+//!
+//! When a thousand clients submit the same image under the same
+//! configuration at once, exactly one handler (the *leader*) runs the
+//! analysis; the rest (*followers*) drop their copies of the image,
+//! release their admission ballast, and block cheaply on a condvar
+//! until the leader publishes an [`Outcome`]. The table is keyed by
+//! the cache key (`mix64(image_hash, config_fingerprint)`), so the
+//! same image under different configurations — or with and without the
+//! call-graph flag — flies separately.
+//!
+//! The leader publishes exactly one outcome per flight: success,
+//! typed failure, or `Busy` (the leader itself was refused an analyze
+//! slot, and its followers must be refused too rather than waiting on
+//! nothing). Publication removes the flight from the table, so the next
+//! request for the key starts fresh — which is correct, because a
+//! successful outcome is in the result cache by then.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use funseeker::Analysis;
+use funseeker_client::proto::ErrorCode;
+
+/// What a flight's leader produced, broadcast to every follower.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// The analysis completed (possibly served from a cache layer the
+    /// leader raced into).
+    Done(Arc<Analysis>),
+    /// The analysis failed with a typed error.
+    Failed(ErrorCode, String),
+    /// The leader was refused admission; followers are refused too.
+    Busy {
+        /// Queue depth the leader observed at refusal.
+        queue_depth: u32,
+        /// In-flight byte estimate the leader observed at refusal.
+        inflight_bytes: u64,
+    },
+}
+
+/// One in-flight analysis that followers can wait on.
+#[derive(Debug, Default)]
+pub struct Flight {
+    outcome: Mutex<Option<Outcome>>,
+    published: Condvar,
+}
+
+impl Flight {
+    /// Blocks until the leader publishes, up to `timeout`. `None` means
+    /// the wait timed out (the leader wedged or the table was poisoned);
+    /// the caller should reply with an internal error rather than hang.
+    pub fn wait(&self, timeout: Duration) -> Option<Outcome> {
+        let guard = self.outcome.lock().unwrap();
+        let (guard, result) =
+            self.published.wait_timeout_while(guard, timeout, |o| o.is_none()).unwrap();
+        if result.timed_out() {
+            None
+        } else {
+            guard.clone()
+        }
+    }
+}
+
+/// The caller's role in a flight, decided atomically by
+/// [`FlightTable::join`].
+#[derive(Debug)]
+pub enum Role {
+    /// First in: run the analysis and [`FlightTable::publish`].
+    Leader,
+    /// Joined an existing flight: wait on it.
+    Follower(Arc<Flight>),
+}
+
+/// The map of in-flight analyses, keyed by cache key.
+#[derive(Debug, Default)]
+pub struct FlightTable {
+    flights: Mutex<HashMap<u64, Arc<Flight>>>,
+}
+
+impl FlightTable {
+    /// An empty table.
+    pub fn new() -> FlightTable {
+        FlightTable::default()
+    }
+
+    /// Joins the flight for `key`, creating it if absent. Exactly one
+    /// concurrent caller per key becomes [`Role::Leader`]; a leader
+    /// **must** eventually [`FlightTable::publish`] or its followers
+    /// wait out their timeout.
+    pub fn join(&self, key: u64) -> Role {
+        let mut flights = self.flights.lock().unwrap();
+        match flights.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => Role::Follower(e.get().clone()),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(Arc::new(Flight::default()));
+                Role::Leader
+            }
+        }
+    }
+
+    /// Publishes the leader's outcome, waking every follower, and
+    /// retires the flight.
+    pub fn publish(&self, key: u64, outcome: Outcome) {
+        let flight = self.flights.lock().unwrap().remove(&key);
+        if let Some(flight) = flight {
+            *flight.outcome.lock().unwrap() = Some(outcome);
+            flight.published.notify_all();
+        }
+    }
+
+    /// Number of flights currently in the air.
+    pub fn inflight(&self) -> usize {
+        self.flights.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn one_leader_many_followers() {
+        let table = Arc::new(FlightTable::new());
+        let leaders = AtomicUsize::new(0);
+        let shared = AtomicUsize::new(0);
+        // Everyone joins before anyone publishes, so exactly one caller
+        // can be the leader and all seven others must follow it.
+        let joined = std::sync::Barrier::new(8);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let role = table.join(42);
+                    joined.wait();
+                    match role {
+                        Role::Leader => {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                            table.publish(42, Outcome::Failed(ErrorCode::Internal, "x".into()));
+                        }
+                        Role::Follower(flight) => {
+                            match flight.wait(Duration::from_secs(5)).expect("published") {
+                                Outcome::Failed(code, _) => assert_eq!(code, ErrorCode::Internal),
+                                other => panic!("unexpected outcome {other:?}"),
+                            }
+                            shared.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::SeqCst), 1);
+        assert_eq!(shared.load(Ordering::SeqCst), 7);
+        assert_eq!(table.inflight(), 0, "publication retires the flight");
+    }
+
+    #[test]
+    fn distinct_keys_fly_separately_and_waits_time_out() {
+        let table = FlightTable::new();
+        assert!(matches!(table.join(1), Role::Leader));
+        assert!(matches!(table.join(2), Role::Leader), "different key, new leader");
+        let Role::Follower(flight) = table.join(1) else { panic!("second join follows") };
+        assert!(flight.wait(Duration::from_millis(10)).is_none(), "no publish → timeout");
+        table.publish(1, Outcome::Busy { queue_depth: 9, inflight_bytes: 77 });
+        match flight.wait(Duration::from_millis(10)).expect("published") {
+            Outcome::Busy { queue_depth, inflight_bytes } => {
+                assert_eq!((queue_depth, inflight_bytes), (9, 77));
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        table.publish(2, Outcome::Failed(ErrorCode::Internal, String::new()));
+        assert_eq!(table.inflight(), 0);
+    }
+}
