@@ -9,6 +9,9 @@ cargo build --workspace --release
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> workspace tests with a 2-worker pool (FUNSEEKER_CORES=2)"
+FUNSEEKER_CORES=2 cargo test --workspace -q
+
 echo "==> disasm tests with kernels forced to the portable SWAR tier"
 FUNSEEKER_KERNEL_TIER=swar cargo test -q -p funseeker-disasm
 
@@ -66,5 +69,21 @@ trap - EXIT
 echo "==> serve load smoke (quick mode, >30% duplicate-heavy throughput regression fails)"
 cargo run --release -q -p funseeker-eval --bin experiments -- \
   serve --quick --check BENCH_batch.json
+
+# Multi-core scaling smoke: only meaningful on a host that actually has
+# ≥2 cores. taskset pins the whole run to cores 0,1 so the measurement
+# is the same whether CI lands on 2 or 64 cores; the check fails if the
+# 2-core morsel sweep is slower than the sequential sweep. On a 1-core
+# host the bench still runs (verifying the sequential fallback) without
+# the taskset pin.
+if [ "$(nproc)" -ge 2 ] && command -v taskset > /dev/null; then
+  echo "==> multicore scaling smoke (2 cores pinned; shard slower than sequential fails)"
+  taskset -c 0,1 cargo run --release -q -p funseeker-eval --bin experiments -- \
+    multicore --quick --cores 2 --check BENCH_sweep.json
+else
+  echo "==> multicore fallback smoke (single-core host: sequential fallback must engage)"
+  cargo run --release -q -p funseeker-eval --bin experiments -- \
+    multicore --quick --cores 1 --check BENCH_sweep.json
+fi
 
 echo "==> CI gate passed"

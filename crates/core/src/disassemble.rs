@@ -14,10 +14,13 @@ use funseeker_disasm::{kernels, par_sweep, InsnKind, InsnStream, Insns, KernelTi
 
 use crate::parse::Parsed;
 
-/// Shard count for the parallel sweep: one shard per available core,
-/// bounded to keep stitching overhead negligible.
+/// Width bound for the parallel sweep: the *actual* pool width — which
+/// honors `FUNSEEKER_CORES`/`--cores` — rather than a fresh
+/// `available_parallelism` guess that could disagree with the pool the
+/// shards actually run on. The morsel count itself is derived inside
+/// `par_sweep` from region size × this width.
 fn sweep_shards() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+    funseeker_pool::global().workers()
 }
 
 /// Per-region slice of the global instruction stream.

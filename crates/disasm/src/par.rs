@@ -13,11 +13,15 @@
 //!
 //! Self-repairing disassembly resynchronizes quickly in practice (a
 //! handful of instructions), so the serial stitching work is tiny compared
-//! to the per-shard decoding it replaces. Sharding is **adaptive**: with a
-//! one-worker pool or a small region the speculative + stitch overhead
-//! loses to the plain sequential loop, so [`par_sweep`] falls back to
-//! [`sweep_all`] there ([`par_sweep_forced`] keeps the sharded path for
-//! tests and benches that need it).
+//! to the per-shard decoding it replaces. Sharding is **morsel-driven
+//! and adaptive**: above the [`PAR_MIN_BYTES`] work threshold the
+//! region splits into ~`MORSEL_BYTES` (256 KiB) cache-friendly morsels — at
+//! least one per pool worker — that the work-stealing pool drains
+//! oldest-first, so a decode-heavy morsel occupies one worker while the
+//! rest rebalance; below the threshold, or on a one-worker pool, the
+//! speculative + stitch overhead loses to the plain sequential loop and
+//! [`par_sweep`] falls back to [`sweep_all`] ([`par_sweep_forced`]
+//! keeps the sharded path for tests and benches that need it).
 //!
 //! Both the sequential and sharded paths run the same inner loop
 //! ([`sweep_range`]), which layers the [`crate::kernels`] shortcuts over
@@ -278,10 +282,24 @@ pub fn sweep_all_tiered(code: &[u8], base: u64, mode: Mode, tier: KernelTier) ->
 /// Below this size sharding costs more than it saves.
 const MIN_SHARD_BYTES: usize = 4096;
 
-/// Below this size the adaptive path doesn't bother sharding even with
-/// idle workers: the stitch plus pool handoff overhead beats the
-/// parallel win on regions this small.
-const ADAPTIVE_MIN_BYTES: usize = 64 * 1024;
+/// Nominal morsel size for the adaptive parallel sweep.
+///
+/// Morsels are the unit of distribution: small enough that a region
+/// splits into several times more pieces than workers (so the
+/// oldest-task-first stealing in [`funseeker_pool`] load-balances even
+/// when one morsel hits a decode-error-dense stretch and runs long),
+/// large enough that each morsel's speculative resync overhead — a
+/// handful of instructions — is noise, and sized to sit comfortably
+/// inside a per-core L2 so the decode loop streams from cache.
+const MORSEL_BYTES: usize = 256 * 1024;
+
+/// Below this many bytes no parallel path dispatches — neither the
+/// morsel sweep nor parallel `prepare` fan-out. Measured on the 4 MiB
+/// tiled-text bench host: forcing two shards on a 64 KiB region costs
+/// ~6% in speculation waste + stitch + pool handoff, which two cores
+/// win back, but below this the fixed handoff dominates and parallel
+/// dispatch loses on any width.
+pub const PAR_MIN_BYTES: usize = 64 * 1024;
 
 /// Speculative decoding of one shard's byte range.
 ///
@@ -299,23 +317,51 @@ struct ShardChain {
     stats: SweepStats,
 }
 
-/// Adaptive parallel linear sweep.
+/// Adaptive, morsel-driven parallel linear sweep on the [`global`
+/// pool](funseeker_pool::global).
 ///
 /// Produces output **bit-identical** to `sweep_all(code, base, mode)` for
 /// every input (see the module docs for why; `proptest_par_sweep.rs`
-/// checks it on random byte soups and corpus-generated code). `shards` is
-/// an upper bound. The speculative decode + stitch only pays off when
-/// shards actually run concurrently on a region big enough to amortize
-/// the handoff, so this falls back to the sequential sweep when the
-/// worker pool has a single worker, the region is below
-/// `ADAPTIVE_MIN_BYTES`, or the shard clamp leaves one shard —
-/// guaranteeing the sharded configurations are never slower than
-/// sequential. [`par_sweep_forced`] skips the adaptive checks.
+/// checks it on random byte soups and corpus-generated code). `shards`
+/// is an upper bound on the parallel width (benches use it to emulate
+/// narrower pools); the actual morsel count comes from
+/// `morsel_count`. Falls back to the sequential sweep when the
+/// effective width is one worker or the region is below
+/// [`PAR_MIN_BYTES`] — guaranteeing the sharded configurations are
+/// never slower than sequential. [`par_sweep_forced`] skips the
+/// adaptive checks.
 pub fn par_sweep(code: &[u8], base: u64, mode: Mode, shards: usize) -> SweepOutput {
-    if funseeker_pool::global().workers() <= 1 || code.len() < ADAPTIVE_MIN_BYTES {
+    par_sweep_pooled(funseeker_pool::global(), code, base, mode, shards)
+}
+
+/// [`par_sweep`] on an explicit pool — the hook that lets the multicore
+/// bench and the worker-count proptests run the adaptive path at widths
+/// {1, 2, 4, 8} regardless of the host's global pool.
+pub fn par_sweep_pooled(
+    pool: &funseeker_pool::Pool,
+    code: &[u8],
+    base: u64,
+    mode: Mode,
+    shards: usize,
+) -> SweepOutput {
+    let width = pool.workers().min(shards.max(1));
+    if width <= 1 || code.len() < PAR_MIN_BYTES {
         return sweep_all(code, base, mode);
     }
-    par_sweep_forced(code, base, mode, shards)
+    let morsels = morsel_count(code.len(), width);
+    if morsels <= 1 {
+        return sweep_all(code, base, mode);
+    }
+    par_sweep_forced_pooled(pool, code, base, mode, morsels)
+}
+
+/// How many morsels an adaptive sweep of `len` bytes splits into on a
+/// `width`-worker pool: one per [`MORSEL_BYTES`] (so stealing can
+/// balance), at least one per worker (so no worker idles on mid-size
+/// regions), and never so many that a morsel drops below
+/// [`MIN_SHARD_BYTES`] (where resync overhead stops amortizing).
+fn morsel_count(len: usize, width: usize) -> usize {
+    len.div_ceil(MORSEL_BYTES).max(width).min(len / MIN_SHARD_BYTES)
 }
 
 /// Parallel sharded linear sweep, without [`par_sweep`]'s adaptive
@@ -325,6 +371,17 @@ pub fn par_sweep(code: &[u8], base: u64, mode: Mode, shards: usize) -> SweepOutp
 /// sequential sweep). This is the stitch-coverage entry point for tests
 /// and benches; production callers want [`par_sweep`].
 pub fn par_sweep_forced(code: &[u8], base: u64, mode: Mode, shards: usize) -> SweepOutput {
+    par_sweep_forced_pooled(funseeker_pool::global(), code, base, mode, shards)
+}
+
+/// [`par_sweep_forced`] on an explicit pool.
+pub fn par_sweep_forced_pooled(
+    pool: &funseeker_pool::Pool,
+    code: &[u8],
+    base: u64,
+    mode: Mode,
+    shards: usize,
+) -> SweepOutput {
     // The stitch stores shard-relative offsets as u32; a >4 GiB region
     // (never seen in practice) just takes the sequential path.
     if code.len() > u32::MAX as usize {
@@ -341,7 +398,7 @@ pub fn par_sweep_forced(code: &[u8], base: u64, mode: Mode, shards: usize) -> Sw
     let starts: Vec<usize> = (0..shards).map(|k| k * code.len() / shards).collect();
 
     let t_decode = Instant::now();
-    let chains: Vec<ShardChain> = funseeker_pool::global().run(
+    let chains: Vec<ShardChain> = pool.run(
         (0..shards)
             .map(|k| {
                 let lo = starts[k];
@@ -511,12 +568,62 @@ mod tests {
         // pool size / region size, sharded elsewhere), the output contract
         // is unchanged.
         let unit = [0x55, 0x48, 0x89, 0xe5, 0xe8, 0, 0, 0, 0, 0xc9, 0xc3, 0xcc];
-        for len in [100usize, MIN_SHARD_BYTES * 3, ADAPTIVE_MIN_BYTES + 17] {
+        for len in [100usize, MIN_SHARD_BYTES * 3, PAR_MIN_BYTES + 17] {
             let code: Vec<u8> = unit.iter().copied().cycle().take(len).collect();
             let seq = sweep_all(&code, 0x1000, Mode::Bits64);
             let par = par_sweep(&code, 0x1000, Mode::Bits64, 8);
             assert_eq!(seq.stream, par.stream);
             assert_eq!(seq.error_count, par.error_count);
+        }
+    }
+
+    #[test]
+    fn small_inputs_never_dispatch_parallel() {
+        // The work threshold is the regression guard for the old
+        // "parallel prepare 8× slower on 8 KiB inputs" failure mode: any
+        // input below PAR_MIN_BYTES must take the sequential path (one
+        // shard, no stitch) on every pool width.
+        static WIDE: std::sync::OnceLock<funseeker_pool::Pool> = std::sync::OnceLock::new();
+        let wide = WIDE.get_or_init(|| funseeker_pool::Pool::with_workers(8));
+        let code = vec![0x90u8; PAR_MIN_BYTES - 1];
+        for out in [
+            par_sweep(&code, 0x1000, Mode::Bits64, 8),
+            par_sweep_pooled(wide, &code, 0x1000, Mode::Bits64, 8),
+        ] {
+            assert_eq!(out.stats.shards, 1, "below-threshold input must not shard");
+            assert_eq!(out.stats.stitch_ns, 0, "sequential path has no stitch");
+        }
+    }
+
+    #[test]
+    fn morsel_count_tracks_size_and_width() {
+        // One morsel per MORSEL_BYTES once the region is big enough...
+        assert_eq!(morsel_count(4 * MORSEL_BYTES, 2), 4);
+        // ...but at least one morsel per worker on mid-size regions...
+        assert_eq!(morsel_count(PAR_MIN_BYTES, 8), 8);
+        // ...and never a morsel smaller than MIN_SHARD_BYTES.
+        assert_eq!(morsel_count(MIN_SHARD_BYTES * 3, 8), 3);
+    }
+
+    #[test]
+    fn pooled_adaptive_sweep_bit_identical_across_widths() {
+        // The adaptive path itself (thresholds + morsel sizing + stitch)
+        // at real pool widths, not just forced shard counts. Pools are
+        // created once — workers are detached threads.
+        static POOLS: std::sync::OnceLock<Vec<funseeker_pool::Pool>> = std::sync::OnceLock::new();
+        let pools = POOLS.get_or_init(|| {
+            [1, 2, 4].iter().map(|&n| funseeker_pool::Pool::with_workers(n)).collect()
+        });
+        let unit = [0xf3, 0x0f, 0x1e, 0xfa, 0x55, 0xe8, 0, 0, 0, 0, 0x90, 0xc3, 0xcc];
+        let code: Vec<u8> = unit.iter().copied().cycle().take(PAR_MIN_BYTES * 3 + 11).collect();
+        let seq = sweep_all(&code, 0x40_0000, Mode::Bits64);
+        for pool in pools {
+            let out = par_sweep_pooled(pool, &code, 0x40_0000, Mode::Bits64, usize::MAX);
+            assert_eq!(out.stream, seq.stream, "width {}", pool.workers());
+            assert_eq!(out.error_count, seq.error_count);
+            if pool.workers() > 1 {
+                assert!(out.stats.shards >= pool.workers() as u64, "every worker gets a morsel");
+            }
         }
     }
 

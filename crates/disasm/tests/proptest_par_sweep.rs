@@ -3,16 +3,30 @@
 //! length, kind), same error count — on arbitrary byte soups and on real
 //! corpus-generated code, for every shard count and both modes.
 
+use std::sync::OnceLock;
+
 use funseeker_corpus::{
     compile, Arch, BuildConfig, Compiler, FunctionSpec, Lang, OptLevel, ProgramSpec,
 };
 use funseeker_disasm::{
-    par_sweep, par_sweep_forced, sweep_all, sweep_all_tiered, KernelTier, LinearSweep, Mode,
+    par_sweep, par_sweep_forced, par_sweep_forced_pooled, par_sweep_pooled, sweep_all,
+    sweep_all_tiered, KernelTier, LinearSweep, Mode,
 };
 use funseeker_elf::Elf;
+use funseeker_pool::Pool;
 use proptest::prelude::*;
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 7];
+
+/// Pool widths the worker-invariance checks sweep. Pools are built once
+/// and live for the whole test process: workers are detached threads,
+/// so per-case pools would leak a thread per case.
+const POOL_WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+fn pools() -> &'static [Pool] {
+    static POOLS: OnceLock<Vec<Pool>> = OnceLock::new();
+    POOLS.get_or_init(|| POOL_WIDTHS.iter().map(|&w| Pool::with_workers(w)).collect())
+}
 
 /// Asserts the invariant for one buffer under every shard count, and that
 /// the packed [`funseeker_disasm::InsnStream`] round-trips to the exact
@@ -63,6 +77,27 @@ fn assert_shard_invariant(
             "error count diverges at {} shards",
             shards
         );
+    }
+    // Worker-count invariance: the same bytes through pools of width
+    // 1, 2, 4, and 8 — both the adaptive morsel path (which sizes its
+    // morsel count to the pool) and a forced shard count — must all
+    // produce the sequential stream.
+    for pool in pools() {
+        let adaptive = par_sweep_pooled(pool, code, base, mode, pool.workers());
+        prop_assert_eq!(
+            &adaptive.stream,
+            &seq.stream,
+            "adaptive stream diverges on a {}-worker pool",
+            pool.workers()
+        );
+        let forced = par_sweep_forced_pooled(pool, code, base, mode, 5);
+        prop_assert_eq!(
+            &forced.stream,
+            &seq.stream,
+            "forced stream diverges on a {}-worker pool",
+            pool.workers()
+        );
+        prop_assert_eq!(forced.error_count, seq.error_count, "pooled error count");
     }
     Ok(())
 }
@@ -118,5 +153,86 @@ proptest! {
         let elf = Elf::parse(&built.bytes).expect("corpus binary parses");
         let (text_addr, text) = elf.section_bytes(".text").expect("has .text");
         assert_shard_invariant(text, text_addr, arch.mode())?;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic adversarial morsel boundaries. `par_sweep_forced` puts
+// shard k's entry point at `k * len / shards`, so these buffers are
+// sized to drop that entry point exactly where resynchronization is
+// hardest: inside a multi-byte instruction, inside an ENDBR64, and deep
+// inside NOP/INT3 padding runs the bulk skipper handles specially.
+// ---------------------------------------------------------------------
+
+/// Asserts the sequential stream is reproduced for `shards` forced
+/// shards on the default pool and on every [`POOL_WIDTHS`] pool.
+fn assert_boundary_equivalent(code: &[u8], base: u64, mode: Mode, shards: usize) {
+    let seq = sweep_all(code, base, mode);
+    let par = par_sweep_forced(code, base, mode, shards);
+    assert_eq!(par.stream, seq.stream, "forced {shards}-shard stream diverges");
+    assert_eq!(par.error_count, seq.error_count, "forced {shards}-shard error count");
+    for pool in pools() {
+        let pooled = par_sweep_forced_pooled(pool, code, base, mode, shards);
+        assert_eq!(
+            pooled.stream,
+            seq.stream,
+            "{} shards on a {}-worker pool diverge",
+            shards,
+            pool.workers()
+        );
+    }
+}
+
+/// Large enough for several shards at the 4 KiB shard-size floor.
+const BOUNDARY_LEN: usize = 32 * 1024;
+
+#[test]
+fn boundary_splits_endbr_at_every_offset() {
+    // A NOP field with one ENDBR64 placed so the 2-shard boundary at
+    // len/2 lands 0–3 bytes into it. The second shard's speculative
+    // decode starts inside (or exactly at) the marker and must agree
+    // with the sequential stream after the stitch. A trailing ret keeps
+    // the buffer from being one giant run.
+    for offset in 0..4usize {
+        let mut code = vec![0x90u8; BOUNDARY_LEN];
+        let pos = BOUNDARY_LEN / 2 - offset;
+        code[pos..pos + 4].copy_from_slice(&[0xf3, 0x0f, 0x1e, 0xfa]);
+        *code.last_mut().unwrap() = 0xc3;
+        assert_boundary_equivalent(&code, 0x40_1000, Mode::Bits64, 2);
+    }
+}
+
+#[test]
+fn boundary_splits_long_instruction() {
+    // mov rax, imm64 (10 bytes) straddling the 2-shard boundary at every
+    // interior offset: the boundary shard begins mid-immediate, where
+    // the bytes happen to look like other instructions, and must
+    // resynchronize before its splice point.
+    let mov = [0x48u8, 0xb8, 0xf3, 0x0f, 0x1e, 0xfa, 0x90, 0xc3, 0xcc, 0xe8];
+    for offset in 1..mov.len() {
+        let mut code = vec![0x90u8; BOUNDARY_LEN];
+        let pos = BOUNDARY_LEN / 2 - offset;
+        code[pos..pos + mov.len()].copy_from_slice(&mov);
+        *code.last_mut().unwrap() = 0xc3;
+        assert_boundary_equivalent(&code, 0x40_1000, Mode::Bits64, 2);
+    }
+}
+
+#[test]
+fn boundary_inside_padding_runs() {
+    // Alternating NOP and INT3 runs sized so every 4-shard boundary
+    // lands deep inside a run (never on a run edge): the speculative
+    // shard starts mid-run and its bulk skipper must slice the run
+    // exactly as the sequential bulk skipper does.
+    let run = BOUNDARY_LEN / 4; // boundary period == run period, offset by the rets
+    let mut code = Vec::with_capacity(BOUNDARY_LEN + 8);
+    let mut pad = 0x90u8;
+    while code.len() < BOUNDARY_LEN {
+        code.push(0xc3);
+        code.extend(std::iter::repeat_n(pad, run - 1));
+        pad = if pad == 0x90 { 0xcc } else { 0x90 };
+    }
+    for shards in [2, 4, 8] {
+        assert_boundary_equivalent(&code, 0x40_1000, Mode::Bits64, shards);
     }
 }

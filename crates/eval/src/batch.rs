@@ -73,6 +73,9 @@ pub struct BatchReport {
     pub reps: usize,
     /// `VmHWM` of the process at the end of the measurement, in KiB.
     pub peak_rss_kb: u64,
+    /// Execution environment of the run (pool width, host cores,
+    /// kernel tier).
+    pub host: crate::host::Host,
     /// Measured drivers.
     pub rows: Vec<BatchRow>,
 }
@@ -246,6 +249,7 @@ pub fn run(quick: bool) -> BatchReport {
         configs: configs.len(),
         reps,
         peak_rss_kb: peak_rss_kb(),
+        host: crate::host::host(),
         rows,
     }
 }
@@ -287,8 +291,13 @@ impl BatchReport {
         let mut s = String::new();
         s.push_str(&format!(
             "    {{\"label\": {:?}, \"binaries\": {}, \"configs\": {}, \"reps\": {}, \
-             \"peak_rss_kb\": {}, \"rows\": [\n",
-            label, self.binaries, self.configs, self.reps, self.peak_rss_kb
+             \"peak_rss_kb\": {}, {}, \"rows\": [\n",
+            label,
+            self.binaries,
+            self.configs,
+            self.reps,
+            self.peak_rss_kb,
+            self.host.json_fields()
         ));
         for (i, r) in self.rows.iter().enumerate() {
             s.push_str(&format!(
@@ -336,6 +345,15 @@ pub fn check_against(
     let Some(now) = fresh.rows.iter().find(|r| r.label == "cold") else {
         return Err("fresh measurement has no cold row".into());
     };
+    let committed_cores = trajectory::last_row_meta(committed, "cold", "cores_used");
+    if !fresh.host.comparable_with(committed_cores) {
+        return Ok(format!(
+            "skipped: committed cold entry was measured with {} cores, this run uses {} — \
+             not comparable",
+            committed_cores.unwrap_or(0.0),
+            fresh.host.cores_used
+        ));
+    }
     let rel_committed = trajectory::last_value(committed, "cold", "sd_ms")
         .zip(trajectory::last_value(committed, "cold", "ms"))
         .map_or(0.0, |(sd, ms)| if ms > 0.0 { sd / ms } else { 0.0 });
@@ -370,6 +388,7 @@ mod tests {
             configs: 4,
             reps: 2,
             peak_rss_kb: 100_000,
+            host: crate::host::host(),
             rows: vec![
                 BatchRow {
                     label: "flat".into(),

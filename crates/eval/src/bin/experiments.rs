@@ -6,6 +6,7 @@
 //! experiments batch [--quick] [--json FILE [--label NAME]] [--check FILE]
 //! experiments callgraph [--quick] [--json FILE [--label NAME]] [--check FILE]
 //! experiments serve [--quick] [--json FILE [--label NAME]] [--check FILE]
+//! experiments multicore [--quick] [--cores N] [--json-sweep FILE] [--json-batch FILE] [--label NAME] [--check FILE]
 //! ```
 //!
 //! The `perf` subcommand measures sweep throughput and per-stage
@@ -34,6 +35,18 @@
 //! direct analysis. Flags mirror `perf` against `BENCH_batch.json`
 //! (rows `serve_dup`/`serve_distinct`); `--check` gates on the newest
 //! committed duplicate-heavy throughput.
+//!
+//! The `multicore` subcommand measures multi-core scaling: a
+//! power-of-two ladder of worker-pool widths up to `--cores N` (default
+//! `available_parallelism`), each rung timing the sequential vs
+//! morsel-sharded sweep on the tiled text plus the batch engine's
+//! corpus aggregate, and one distinct-heavy serving row at the top
+//! width. Rungs other than this process's own pool width re-execute the
+//! binary as `multicore-probe --cores K` subprocesses (pool width is
+//! fixed at first use). `--json-sweep`/`--json-batch` append the run to
+//! the two trajectory files; `--check FILE` gates against
+//! `BENCH_sweep.json` — sharding slower than sequential on any ≥2-core
+//! rung fails, a 1-core host verifies the sequential fallback instead.
 
 use std::time::Instant;
 
@@ -45,7 +58,8 @@ fn usage() -> ! {
          \x20      experiments perf [--quick] [--json FILE [--label NAME]] [--check FILE]\n\
          \x20      experiments batch [--quick] [--json FILE [--label NAME]] [--check FILE]\n\
          \x20      experiments callgraph [--quick] [--json FILE [--label NAME]] [--check FILE]\n\
-         \x20      experiments serve [--quick] [--json FILE [--label NAME]] [--check FILE]"
+         \x20      experiments serve [--quick] [--json FILE [--label NAME]] [--check FILE]\n\
+         \x20      experiments multicore [--quick] [--cores N] [--json-sweep FILE] [--json-batch FILE] [--label NAME] [--check FILE]"
     );
     std::process::exit(2);
 }
@@ -184,6 +198,109 @@ fn run_serve(args: &[String]) -> ! {
     )
 }
 
+fn run_multicore(args: &[String]) -> ! {
+    let mut quick = false;
+    let mut cores: Option<usize> = None;
+    let mut json_sweep: Option<String> = None;
+    let mut json_batch: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut label = "run".to_owned();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--cores" => {
+                i += 1;
+                cores = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--json-sweep" => {
+                i += 1;
+                json_sweep = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--json-batch" => {
+                i += 1;
+                json_batch = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--check" => {
+                i += 1;
+                check = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--label" => {
+                i += 1;
+                label = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    eprintln!("measuring multi-core scaling ({} mode)…", if quick { "quick" } else { "full" });
+    let report = funseeker_eval::multicore::run(quick, cores);
+    println!("## Multi-core scaling\n");
+    println!("{}", report.render());
+
+    let append = |path: &str, doc: String| {
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("multicore: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("multicore: appended entry {label:?} to {path}");
+    };
+    if let Some(path) = &json_sweep {
+        let existing = std::fs::read_to_string(path).ok();
+        append(path, report.append_to_sweep_document(existing.as_deref(), &label));
+    }
+    if let Some(path) = &json_batch {
+        let existing = std::fs::read_to_string(path).ok();
+        append(path, report.append_to_batch_document(existing.as_deref(), &label));
+    }
+    if let Some(path) = &check {
+        let committed = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("multicore: cannot read baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match funseeker_eval::multicore::check_against(&committed, &report, BENCH_CHECK_MIN_RATIO) {
+            Ok(msg) => eprintln!("multicore check OK: {msg}"),
+            Err(msg) => {
+                eprintln!("multicore check FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+    std::process::exit(0)
+}
+
+/// Hidden helper subcommand: one rung of the scaling ladder, run in a
+/// fresh process so the pool can be pinned to `--cores K` before first
+/// use. Prints a single `MCPROBE` line for the parent to parse.
+fn run_multicore_probe(args: &[String]) -> ! {
+    let mut quick = false;
+    let mut cores: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--cores" => {
+                i += 1;
+                cores = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let k = cores.unwrap_or_else(|| usage());
+    if !funseeker_pool::configure_global(k) && funseeker_pool::global().workers() != k {
+        eprintln!("multicore-probe: pool already running at a different width");
+        std::process::exit(1);
+    }
+    let point = funseeker_eval::multicore::probe(quick);
+    println!("{}", funseeker_eval::multicore::probe_line(&point));
+    std::process::exit(0)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -206,6 +323,14 @@ fn main() {
     if what == "serve" {
         // Likewise: the load test reuses the batch benchmark corpus.
         run_serve(&args[1..]);
+    }
+    if what == "multicore" {
+        // Likewise: the scaling bench reuses the perf tiled text and
+        // the batch benchmark corpus.
+        run_multicore(&args[1..]);
+    }
+    if what == "multicore-probe" {
+        run_multicore_probe(&args[1..]);
     }
     let mut seed = 2022u64; // the paper's year, for a stable default
     let mut scale = "default".to_owned();

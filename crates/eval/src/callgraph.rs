@@ -59,6 +59,9 @@ pub struct CallGraphReport {
     pub sd_ms: f64,
     /// Graph-build throughput over the corpus text, MiB per second.
     pub mb_per_s: f64,
+    /// Execution environment of the run (pool width, host cores,
+    /// kernel tier).
+    pub host: crate::host::Host,
 }
 
 /// Scores a recovered pair-set against the ground-truth pair-set.
@@ -91,6 +94,7 @@ pub fn run(quick: bool) -> CallGraphReport {
         ms: 0.0,
         sd_ms: 0.0,
         mb_per_s: 0.0,
+        host: crate::host::host(),
     };
 
     // Prepare every binary once; both scoring and timing reuse the
@@ -181,13 +185,14 @@ impl CallGraphReport {
     /// `BENCH_sweep.json` shape.
     pub fn json_entry(&self, label: &str) -> String {
         format!(
-            "    {{\"label\": {:?}, \"bytes\": {}, \"reps\": {}, \"rows\": [\n      \
+            "    {{\"label\": {:?}, \"bytes\": {}, \"reps\": {}, {}, \"rows\": [\n      \
              {{\"config\": \"callgraph\", \"ms\": {:.3}, \"sd_ms\": {:.3}, \"mb_per_s\": {:.1}, \
              \"direct_precision\": {:.4}, \"direct_recall\": {:.4}, \"tail_precision\": {:.4}, \
              \"tail_recall\": {:.4}, \"blocks\": {}, \"cfg_edges\": {}}}\n    ]}}",
             label,
             self.bytes,
             self.reps,
+            self.host.json_fields(),
             self.ms,
             self.sd_ms,
             self.mb_per_s,
@@ -226,6 +231,16 @@ pub fn check_against(
     let Some(baseline) = crate::trajectory::last_value(committed, "callgraph", "mb_per_s") else {
         return Err("committed trajectory has no callgraph entry".into());
     };
+    let committed_cores = crate::trajectory::last_row_meta(committed, "callgraph", "cores_used");
+    if !fresh.host.comparable_with(committed_cores) {
+        return Ok(format!(
+            "direct precision {:.1}% passes; throughput skipped: committed callgraph entry was \
+             measured with {} cores, this run uses {} — not comparable",
+            fresh.direct.precision() * 100.0,
+            committed_cores.unwrap_or(0.0),
+            fresh.host.cores_used
+        ));
+    }
     let rel_committed = crate::trajectory::last_value(committed, "callgraph", "sd_ms")
         .zip(crate::trajectory::last_value(committed, "callgraph", "ms"))
         .map_or(0.0, |(sd, ms)| if ms > 0.0 { sd / ms } else { 0.0 });
@@ -269,6 +284,7 @@ mod tests {
             ms: 4.0,
             sd_ms: 0.1,
             mb_per_s: 250.0,
+            host: crate::host::host(),
         }
     }
 

@@ -15,6 +15,9 @@
 //! * [`serve`] — daemon load test: a concurrent client fleet against
 //!   the serving layer, duplicate-heavy vs distinct-heavy traffic
 //!   (`BENCH_batch.json` rows `serve_dup`/`serve_distinct`),
+//! * [`multicore`] — multi-core scaling ladder: morsel-sharded sweep,
+//!   corpus aggregate, and distinct-heavy serving vs worker-pool width
+//!   (entries in both `BENCH_sweep.json` and `BENCH_batch.json`),
 //! * [`manual_endbr`] — the §VI `-mmanual-endbr` ablation,
 //! * [`robustness`] — hostile-input mutation campaign (extension).
 //!
@@ -34,8 +37,10 @@ pub mod callgraph;
 pub mod failures;
 pub mod fig3;
 pub mod groundtruth;
+pub mod host;
 pub mod manual_endbr;
 pub mod metrics;
+pub mod multicore;
 pub mod perf;
 pub mod report;
 pub mod robustness;

@@ -27,7 +27,7 @@ use funseeker_elf::Elf;
 const SEED: u64 = 0xBE7C4;
 
 /// Trajectory schema tag for `BENCH_sweep.json`.
-const SCHEMA: &str = "funseeker-bench-sweep-v1";
+pub(crate) const SCHEMA: &str = "funseeker-bench-sweep-v1";
 
 /// One measured configuration.
 #[derive(Debug, Clone)]
@@ -53,13 +53,19 @@ pub struct PerfReport {
     pub bytes: usize,
     /// Repetitions per row (the minimum is reported).
     pub reps: usize,
+    /// Execution environment of the run (pool width, host cores,
+    /// kernel tier) — recorded so trajectories from different hosts are
+    /// never gated against each other.
+    pub host: crate::host::Host,
     /// Measured configurations.
     pub rows: Vec<PerfRow>,
 }
 
 /// Builds the benchmark input: the tiny corpus's largest x86-64 GCC
-/// `.text`, tiled up to `target` bytes.
-fn tiled_text(target: usize) -> (Vec<u8>, u64, Mode) {
+/// `.text`, tiled up to `target` bytes. Shared with the
+/// [`crate::multicore`] scaling bench so every core count sweeps the
+/// same bytes.
+pub(crate) fn tiled_text(target: usize) -> (Vec<u8>, u64, Mode) {
     let mut params = DatasetParams::tiny();
     params.programs = (3, 2, 3);
     params.configs = BuildConfig::grid();
@@ -168,7 +174,11 @@ pub fn run(quick: bool) -> PerfReport {
 
     // Parallel end-to-end: the same `prepare` fanned over the pool via
     // the timed runner — the per-binary front-end cost batch callers
-    // actually pay when many binaries are in flight at once.
+    // actually pay when many binaries are in flight at once. Reported
+    // **per binary** (wall / 8) so the row is directly comparable with
+    // the single `prepare` row above; earlier trajectories recorded the
+    // whole batch's wall time here, which read as an 8× "regression"
+    // against `prepare` when the two rows were really within noise.
     let copies: Vec<&[u8]> = std::iter::repeat_n(&bin.bytes[..], 8).collect();
     let mut samples = Vec::with_capacity(reps);
     for _ in 0..reps {
@@ -178,18 +188,18 @@ pub fn run(quick: bool) -> PerfReport {
             std::hint::black_box(p.index.insns.len());
         });
         std::hint::black_box(timed.len());
-        samples.push(t.elapsed().as_secs_f64());
+        samples.push(t.elapsed().as_secs_f64() / copies.len() as f64);
     }
     let (best_par, sd_par) = crate::variance::best_and_sd(&samples);
     rows.push(PerfRow {
         label: "prepare_par8".to_owned(),
         ms: best_par * 1e3,
         sd_ms: sd_par * 1e3,
-        mb_per_s: (text_bytes * copies.len()) as f64 / (1024.0 * 1024.0) / best_par,
+        mb_per_s: text_bytes as f64 / (1024.0 * 1024.0) / best_par,
         stats,
     });
 
-    PerfReport { bytes: code.len(), reps, rows }
+    PerfReport { bytes: code.len(), reps, host: crate::host::host(), rows }
 }
 
 impl PerfReport {
@@ -229,8 +239,11 @@ impl PerfReport {
     pub fn json_entry(&self, label: &str) -> String {
         let mut s = String::new();
         s.push_str(&format!(
-            "    {{\"label\": {:?}, \"bytes\": {}, \"reps\": {}, \"rows\": [\n",
-            label, self.bytes, self.reps
+            "    {{\"label\": {:?}, \"bytes\": {}, \"reps\": {}, {}, \"rows\": [\n",
+            label,
+            self.bytes,
+            self.reps,
+            self.host.json_fields()
         ));
         for (i, r) in self.rows.iter().enumerate() {
             s.push_str(&format!(
@@ -285,6 +298,15 @@ pub fn check_against(
     let Some(now) = fresh.rows.iter().find(|r| r.label == "sequential") else {
         return Err("fresh measurement has no sequential row".into());
     };
+    let committed_cores = crate::trajectory::last_row_meta(committed, "sequential", "cores_used");
+    if !fresh.host.comparable_with(committed_cores) {
+        return Ok(format!(
+            "skipped: committed sequential entry was measured with {} cores, this run uses {} — \
+             not comparable",
+            committed_cores.unwrap_or(0.0),
+            fresh.host.cores_used
+        ));
+    }
     let rel_committed = crate::trajectory::last_value(committed, "sequential", "sd_ms")
         .zip(crate::trajectory::last_value(committed, "sequential", "ms"))
         .map_or(0.0, |(sd, ms)| if ms > 0.0 { sd / ms } else { 0.0 });
@@ -316,6 +338,7 @@ mod tests {
         PerfReport {
             bytes: 2 << 20,
             reps: 3,
+            host: crate::host::host(),
             rows: vec![
                 PerfRow {
                     label: "sequential".into(),
@@ -383,6 +406,21 @@ mod tests {
     }
 
     #[test]
+    fn regression_gate_skips_on_core_count_mismatch() {
+        let mut wide = fake_report();
+        wide.host.cores_used = 8;
+        let doc = wide.append_to_document(None, "wide");
+        let mut narrow = fake_report();
+        narrow.host.cores_used = 1;
+        narrow.rows[0].mb_per_s = 50.0; // would fail hard if compared
+        let msg = check_against(&doc, &narrow, 0.7).expect("mismatched cores must skip");
+        assert!(msg.contains("not comparable"), "{msg}");
+        // Same width: the gate compares for real again.
+        narrow.host.cores_used = 8;
+        assert!(check_against(&doc, &narrow, 0.7).is_err());
+    }
+
+    #[test]
     fn quick_measurement_produces_sane_rows() {
         let report = run(true);
         assert!(report.bytes >= 2 << 20);
@@ -408,6 +446,20 @@ mod tests {
         }
         assert!(seq.stats.insns > 100_000, "tiled text should decode to many insns");
         assert!(seq.stats.fast_path_rate() > 0.1, "compiler code hits the fast path");
+        // Small-input regression guard: the benchmark binary's .text is a
+        // few KiB — far below the parallel work threshold — so prepare
+        // must have swept it sequentially (one shard, no stitch), and the
+        // fanned-out prepare must stay within noise of the single one
+        // per binary instead of the old 8×-slower reading.
+        let prep = report.rows.iter().find(|r| r.label == "prepare").expect("prepare row");
+        let par8 = report.rows.iter().find(|r| r.label == "prepare_par8").expect("par8 row");
+        assert_eq!(prep.stats.shards, 1, "small binary must take the sequential sweep path");
+        assert!(
+            par8.ms <= 3.0 * prep.ms,
+            "per-binary parallel prepare ({:.3} ms) should track sequential ({:.3} ms)",
+            par8.ms,
+            prep.ms
+        );
         assert!(!report.render().is_empty());
     }
 }

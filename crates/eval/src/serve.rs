@@ -73,6 +73,9 @@ pub struct ServeReport {
     pub reps: usize,
     /// `VmHWM` of the whole process (daemon + clients + corpus), KiB.
     pub peak_rss_kb: u64,
+    /// Execution environment of the run (pool width, host cores,
+    /// kernel tier).
+    pub host: crate::host::Host,
     /// Measured workloads.
     pub rows: Vec<ServeRow>,
 }
@@ -311,7 +314,77 @@ pub fn run(quick: bool) -> ServeReport {
     server.shutdown();
     server.join();
 
-    ServeReport { threads, per_thread, distinct, reps, peak_rss_kb: peak_rss_kb(), rows }
+    ServeReport {
+        threads,
+        per_thread,
+        distinct,
+        reps,
+        peak_rss_kb: peak_rss_kb(),
+        host: crate::host::host(),
+        rows,
+    }
+}
+
+/// Distinct-heavy-only probe for the [`crate::multicore`] bench: a
+/// moderate fleet against a fresh daemon, every submission
+/// content-unique, so each request costs a real analysis and the row's
+/// latency tail reflects analysis queueing rather than cache hits. The
+/// daemon inherits the current global pool width, so this measures the
+/// serving layer at whatever `--cores` the bench configured. Returns
+/// the measured row (throughput, p50/p99, `Busy` count).
+pub(crate) fn distinct_probe(quick: bool) -> ServeRow {
+    let (images, _) = crate::batch::corpus(quick);
+    let config = Config::c4();
+    let expected: Vec<Arc<Analysis>> =
+        funseeker_batch::run(&images, std::slice::from_ref(&config), &BatchOptions::default())
+            .results
+            .into_iter()
+            .map(|mut per_config| per_config.remove(0).expect("benchmark corpus parses"))
+            .collect();
+
+    let threads = if quick { 16 } else { 256 };
+    let per_thread = if quick { 4 } else { 8 };
+    let reps = 2;
+
+    let sock = std::env::temp_dir().join(format!("fs-mc-bench-{}.sock", std::process::id()));
+    let mut server_config = ServerConfig::unix(&sock);
+    server_config.max_connections = threads + 8;
+    let server = Server::start(server_config).expect("bind multicore bench socket");
+    let addr = server.addr().to_string();
+
+    let mut best: Option<Barrage> = None;
+    let mut samples = Vec::with_capacity(reps);
+    let mut peak_open = 0u64;
+    for rep in 0..reps as u64 {
+        let salt = Some(0x3c0_7e5 ^ (rep << 56));
+        let sample = barrage(&addr, &images, &expected, threads, per_thread, salt);
+        samples.push(sample.elapsed_s);
+        peak_open = peak_open.max(sample.peak_open);
+        if best.as_ref().is_none_or(|b| sample.elapsed_s < b.elapsed_s) {
+            best = Some(sample);
+        }
+    }
+    let best = best.expect("at least one rep");
+    let (best_s, sd_s) = crate::variance::best_and_sd(&samples);
+    let requests = threads * per_thread;
+    let hit_rate = {
+        let mut probe = connect_retry(&addr);
+        probe.stats().map(|s| s.hit_rate()).unwrap_or(0.0)
+    };
+    server.shutdown();
+    server.join();
+    ServeRow {
+        label: "mc_serve_distinct".to_owned(),
+        ms: best_s * 1e3,
+        sd_ms: sd_s * 1e3,
+        req_per_s: requests as f64 / best_s,
+        p50_us: percentile(&best.latencies_us, 0.50),
+        p99_us: percentile(&best.latencies_us, 0.99),
+        busy: best.busy,
+        hit_rate,
+        peak_open,
+        requests,
+    }
 }
 
 impl ServeReport {
@@ -354,8 +427,14 @@ impl ServeReport {
         let mut s = String::new();
         s.push_str(&format!(
             "    {{\"label\": {:?}, \"threads\": {}, \"per_thread\": {}, \"distinct\": {}, \
-             \"reps\": {}, \"peak_rss_kb\": {}, \"rows\": [\n",
-            label, self.threads, self.per_thread, self.distinct, self.reps, self.peak_rss_kb
+             \"reps\": {}, \"peak_rss_kb\": {}, {}, \"rows\": [\n",
+            label,
+            self.threads,
+            self.per_thread,
+            self.distinct,
+            self.reps,
+            self.peak_rss_kb,
+            self.host.json_fields()
         ));
         for (i, r) in self.rows.iter().enumerate() {
             s.push_str(&format!(
@@ -400,6 +479,15 @@ pub fn check_against(
     let Some(now) = fresh.rows.iter().find(|r| r.label == "serve_dup") else {
         return Err("fresh measurement has no serve_dup row".into());
     };
+    let committed_cores = trajectory::last_row_meta(committed, "serve_dup", "cores_used");
+    if !fresh.host.comparable_with(committed_cores) {
+        return Ok(format!(
+            "skipped: committed serve_dup entry was measured with {} cores, this run uses {} — \
+             not comparable",
+            committed_cores.unwrap_or(0.0),
+            fresh.host.cores_used
+        ));
+    }
     let rel_committed = trajectory::last_value(committed, "serve_dup", "sd_ms")
         .zip(trajectory::last_value(committed, "serve_dup", "ms"))
         .map_or(0.0, |(sd, ms)| if ms > 0.0 { sd / ms } else { 0.0 });
@@ -434,6 +522,7 @@ mod tests {
             distinct: 12,
             reps: 2,
             peak_rss_kb: 50_000,
+            host: crate::host::host(),
             rows: vec![
                 ServeRow {
                     label: "serve_dup".into(),

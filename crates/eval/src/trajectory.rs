@@ -72,6 +72,36 @@ pub fn last_value(doc: &str, config: &str, field: &str) -> Option<f64> {
     last
 }
 
+/// The newest value of numeric `field` on the *entry header* line (the
+/// `    {"label": …}` line) of the newest entry whose rows include
+/// `config`. This is how `--check` gates read host metadata
+/// (`cores_used`, `avail_par`) recorded next to a row: older entries
+/// predating the metadata simply return `None`, which gates treat as
+/// "comparable" for continuity.
+pub fn last_row_meta(doc: &str, config: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"config\": {config:?}");
+    let field_key = format!("\"{field}\": ");
+    let mut header: Option<&str> = None;
+    let mut last = None;
+    for line in doc.lines() {
+        if line.starts_with("    {\"label\":") {
+            header = Some(line);
+            continue;
+        }
+        if !line.contains(&needle) {
+            continue;
+        }
+        let Some(h) = header else { continue };
+        let Some((_, rest)) = h.split_once(&field_key) else { continue };
+        let num: String =
+            rest.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+        if let Ok(v) = num.parse::<f64>() {
+            last = Some(v);
+        }
+    }
+    last
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +136,21 @@ mod tests {
         assert_eq!(last_value(&doc, "warm", "bins_per_s"), Some(200.0));
         assert_eq!(last_value(&doc, "absent_config", "bins_per_s"), None);
         assert_eq!(last_value(&doc, "cold", "absent_field"), None);
+    }
+
+    #[test]
+    fn row_meta_comes_from_owning_entry_header() {
+        let old = entry("pre", 10.0); // no host metadata on this header
+        let new =
+            "    {\"label\": \"post\", \"cores_used\": 4, \"avail_par\": 8, \"rows\": [\n      \
+             {\"config\": \"cold\", \"bins_per_s\": 20.0}\n    ]}"
+                .to_owned();
+        let doc = append_entry(None, "test-v1", old);
+        assert_eq!(last_row_meta(&doc, "cold", "cores_used"), None, "pre-metadata entry");
+        let doc = append_entry(Some(&doc), "test-v1", new);
+        assert_eq!(last_row_meta(&doc, "cold", "cores_used"), Some(4.0));
+        assert_eq!(last_row_meta(&doc, "cold", "avail_par"), Some(8.0));
+        assert_eq!(last_row_meta(&doc, "warm", "cores_used"), None, "row only in old entry");
+        assert_eq!(last_row_meta(&doc, "cold", "absent"), None);
     }
 }

@@ -1,0 +1,141 @@
+//! Best-effort CPU affinity via raw Linux syscalls.
+//!
+//! Pinning each worker to its own core keeps a morsel's cache-warm
+//! state (decode tables, scratch buffers, the morsel bytes themselves)
+//! on the core that touched it, and stops the scheduler from stacking
+//! two sweep workers on one hyperthread while others idle. The calls go
+//! straight to the kernel via `syscall` — the workspace has no libc
+//! dependency and is not getting one for two syscalls.
+//!
+//! Everything here is *best effort*: on non-Linux / non-x86_64 targets
+//! the functions are no-ops, and a failed syscall (container cpuset
+//! changes, seccomp) simply leaves the thread unpinned. Correctness
+//! never depends on placement — only locality does.
+
+/// Masks cover 1024 CPUs (16 × 64-bit words), matching glibc's
+/// `cpu_set_t` default.
+const MASK_WORDS: usize = 16;
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod imp {
+    use super::MASK_WORDS;
+
+    /// x86_64 syscall numbers (arch/x86/entry/syscalls/syscall_64.tbl).
+    const SYS_SCHED_SETAFFINITY: u64 = 203;
+    const SYS_SCHED_GETAFFINITY: u64 = 204;
+
+    /// Raw three-argument syscall for the two affinity calls. Both take
+    /// `(pid, cpusetsize, mask_ptr)`; pid 0 means the calling thread.
+    ///
+    /// Returns the kernel's raw result: negative errno on failure, and
+    /// for `sched_getaffinity` the number of mask bytes written on
+    /// success.
+    fn affinity_syscall(nr: u64, mask: *mut u64) -> i64 {
+        let ret: i64;
+        // SAFETY: `syscall` with a valid, writable `MASK_WORDS`-word
+        // buffer and pid 0 (the calling thread). Both syscalls only
+        // read/write within `cpusetsize` bytes of the pointer and touch
+        // no other memory. rcx/r11 are clobbered by the `syscall`
+        // instruction itself.
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") nr as i64 => ret,
+                in("rdi") 0u64,                    // pid 0 = current thread
+                in("rsi") MASK_WORDS * 8,          // cpusetsize in bytes
+                in("rdx") mask,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    /// CPUs the current thread may run on, in ascending order. Empty on
+    /// syscall failure.
+    pub fn allowed_cpus() -> Vec<usize> {
+        let mut mask = [0u64; MASK_WORDS];
+        let ret = affinity_syscall(SYS_SCHED_GETAFFINITY, mask.as_mut_ptr());
+        if ret <= 0 {
+            return Vec::new();
+        }
+        let words = (ret as usize / 8).min(MASK_WORDS);
+        let mut cpus = Vec::new();
+        for (w, &bits) in mask[..words].iter().enumerate() {
+            let mut bits = bits;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                cpus.push(w * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+        cpus
+    }
+
+    /// Pins the calling thread to `cpu`. Returns whether the kernel
+    /// accepted the mask.
+    pub fn pin_to_cpu(cpu: usize) -> bool {
+        if cpu >= MASK_WORDS * 64 {
+            return false;
+        }
+        let mut mask = [0u64; MASK_WORDS];
+        mask[cpu / 64] = 1u64 << (cpu % 64);
+        affinity_syscall(SYS_SCHED_SETAFFINITY, mask.as_mut_ptr()) == 0
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod imp {
+    /// Unsupported target: report no known CPUs so callers skip pinning.
+    pub fn allowed_cpus() -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// Unsupported target: pinning is a no-op that reports failure.
+    pub fn pin_to_cpu(_cpu: usize) -> bool {
+        false
+    }
+}
+
+pub use imp::{allowed_cpus, pin_to_cpu};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowed_cpus_is_sane() {
+        // On the supported target the calling thread must be allowed on
+        // at least one CPU; elsewhere the stub returns empty.
+        let cpus = allowed_cpus();
+        if cfg!(all(target_os = "linux", target_arch = "x86_64")) {
+            assert!(!cpus.is_empty(), "current thread runs on some CPU");
+            assert!(cpus.windows(2).all(|w| w[0] < w[1]), "ascending, no duplicates");
+        } else {
+            assert!(cpus.is_empty());
+        }
+    }
+
+    #[test]
+    fn pin_to_allowed_cpu_succeeds_and_round_trips() {
+        let cpus = allowed_cpus();
+        let Some(&cpu) = cpus.first() else { return };
+        // Pin from a scratch thread so the test runner's thread keeps
+        // its original mask.
+        let ok = std::thread::spawn(move || {
+            if !pin_to_cpu(cpu) {
+                return false;
+            }
+            allowed_cpus() == vec![cpu]
+        })
+        .join()
+        .expect("pin thread");
+        assert!(ok, "pinning to an allowed CPU must stick");
+    }
+
+    #[test]
+    fn pin_out_of_range_fails() {
+        assert!(!pin_to_cpu(super::MASK_WORDS * 64));
+    }
+}

@@ -38,22 +38,40 @@
 //! inside spawned tasks*, and `scope` only returns once every
 //! transitively spawned task has finished.
 //!
+//! # Sizing and placement
+//!
+//! The global pool's width defaults to `available_parallelism()` and
+//! can be forced with the `FUNSEEKER_CORES` environment variable (or
+//! programmatically with [`configure_global`], which the `--cores N`
+//! CLI flags use). Explicit pools come from [`Pool::with_workers`].
+//! On Linux/x86_64 each worker of a multi-worker pool is pinned
+//! round-robin over the thread's allowed CPUs via a raw
+//! `sched_setaffinity` syscall (see [`affinity`]); `FUNSEEKER_PIN=0`
+//! disables pinning, `FUNSEEKER_PIN=1` forces it even for explicit
+//! pools. Per-worker executed-task counters and the submitter
+//! help-execution counter are exposed through [`Pool::counters`] so
+//! bench reports can show how work actually spread.
+//!
 //! # Safety
 //!
-//! This crate contains the workspace's only `unsafe` code: the lifetime
-//! erasure that lets borrowed closures (`FnOnce() -> T + Send + 'env`)
-//! ride on `'static` worker threads. Soundness is the scoped-thread
-//! argument: [`Pool::run`] / [`Pool::scope`] do not return before every
-//! task of their batch has finished executing, so no borrow is
-//! observable after it would dangle. See the safety comments at the two
-//! `unsafe` sites.
+//! This crate contains all of the workspace's `unsafe` code: the
+//! lifetime erasure that lets borrowed closures
+//! (`FnOnce() -> T + Send + 'env`) ride on `'static` worker threads,
+//! and the two raw affinity syscalls in [`affinity`]. Soundness of the
+//! erasure is the scoped-thread argument: [`Pool::run`] /
+//! [`Pool::scope`] do not return before every task of their batch has
+//! finished executing, so no borrow is observable after it would
+//! dangle. See the safety comments at the `unsafe` sites.
 
 #![deny(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod affinity;
+
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
 /// A type- and lifetime-erased unit of work.
@@ -78,16 +96,75 @@ struct Injector {
 pub struct Pool {
     injector: Arc<Injector>,
     workers: usize,
+    /// Tasks executed by each worker thread (index = worker id).
+    executed: Arc<Vec<AtomicU64>>,
+    /// Tasks executed by helping submitters (any thread inside
+    /// `run`/`scope`), i.e. work that never reached a worker.
+    helped: AtomicU64,
+    /// Workers that successfully pinned themselves to a CPU.
+    pinned: Arc<AtomicUsize>,
 }
 
-/// The process-wide pool, spawned on first use with one worker per
-/// available core.
+/// A point-in-time snapshot of how a pool's work was distributed; see
+/// [`Pool::counters`].
+#[derive(Debug, Clone)]
+pub struct PoolCounters {
+    /// Tasks executed by each worker thread, in worker order. Uneven
+    /// numbers under a steady load mean stealing is doing real
+    /// balancing; a zero row means that worker never won a task.
+    pub per_worker: Vec<u64>,
+    /// Tasks executed by submitting threads helping drain the queue.
+    pub helped: u64,
+    /// Workers that successfully pinned themselves to a CPU.
+    pub pinned: usize,
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+/// The process-wide pool, spawned on first use. Width is
+/// `FUNSEEKER_CORES` if set (parseable, ≥ 1), else
+/// `available_parallelism()`; pinning follows the `FUNSEEKER_PIN`
+/// policy described at the crate root.
 pub fn global() -> &'static Pool {
-    static GLOBAL: OnceLock<Pool> = OnceLock::new();
-    GLOBAL.get_or_init(|| {
-        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Pool::new(workers)
-    })
+    GLOBAL.get_or_init(|| Pool::new(default_workers(), None))
+}
+
+/// Fixes the global pool's width *before first use*. Returns `false`
+/// if the pool was already spawned (by an earlier [`global`] call or
+/// another `configure_global`), in which case the existing width wins —
+/// worker threads are detached and cannot be resized. `--cores N`
+/// flags call this first thing.
+pub fn configure_global(workers: usize) -> bool {
+    let mut initialized = false;
+    let pool = GLOBAL.get_or_init(|| {
+        initialized = true;
+        Pool::new(workers.max(1), None)
+    });
+    initialized && pool.workers() == workers.max(1)
+}
+
+/// The global pool's default width: `FUNSEEKER_CORES` if valid, else
+/// `available_parallelism()`.
+fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("FUNSEEKER_CORES") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Whether a pool of `workers` threads should pin them, per
+/// `FUNSEEKER_PIN`: `0` never, `1` always, unset = only multi-worker
+/// pools (pinning a 1-worker pool just fights the scheduler).
+fn should_pin(workers: usize) -> bool {
+    match std::env::var("FUNSEEKER_PIN").ok().as_deref().map(str::trim) {
+        Some("0") => false,
+        Some("1") => true,
+        _ => workers > 1,
+    }
 }
 
 /// Completion state of one batch.
@@ -103,23 +180,70 @@ struct Batch<T> {
 }
 
 impl Pool {
-    /// Spawns a pool with `workers` detached worker threads.
-    fn new(workers: usize) -> Pool {
+    /// Spawns an explicit pool with `workers` detached worker threads,
+    /// independent of the [`global`] pool (separate queue, separate
+    /// threads). Pinning follows the `FUNSEEKER_PIN` policy unless
+    /// `pin` overrides it.
+    ///
+    /// Worker threads are detached and live for the rest of the
+    /// process; create long-lived pools (benches, per-width probes,
+    /// test fixtures reused across cases), not one per call site.
+    pub fn with_workers(workers: usize) -> Pool {
+        Pool::new(workers.max(1), None)
+    }
+
+    /// Spawns a pool with `workers` threads, pinning each one to a CPU
+    /// (round-robin over the spawning thread's allowed set) when `pin`
+    /// is true.
+    pub fn with_workers_pinned(workers: usize, pin: bool) -> Pool {
+        Pool::new(workers.max(1), Some(pin))
+    }
+
+    /// Spawns a pool with `workers` detached worker threads. `pin`
+    /// overrides the `FUNSEEKER_PIN` policy when `Some`.
+    fn new(workers: usize, pin: Option<bool>) -> Pool {
         let injector =
             Arc::new(Injector { queue: Mutex::new(VecDeque::new()), available: Condvar::new() });
-        for _ in 0..workers {
+        let executed: Arc<Vec<AtomicU64>> =
+            Arc::new((0..workers).map(|_| AtomicU64::new(0)).collect());
+        let pinned = Arc::new(AtomicUsize::new(0));
+        let pin = pin.unwrap_or_else(|| should_pin(workers));
+        let cpus = if pin { affinity::allowed_cpus() } else { Vec::new() };
+        for i in 0..workers {
             let inj = Arc::clone(&injector);
+            let counts = Arc::clone(&executed);
+            let pinned = Arc::clone(&pinned);
+            // Round-robin placement: worker i gets allowed CPU i mod n,
+            // so a pool wider than the cpuset wraps instead of failing.
+            let cpu = (!cpus.is_empty()).then(|| cpus[i % cpus.len()]);
             std::thread::Builder::new()
                 .name("funseeker-pool".into())
-                .spawn(move || worker_loop(&inj))
+                .spawn(move || {
+                    if let Some(cpu) = cpu {
+                        if affinity::pin_to_cpu(cpu) {
+                            pinned.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    worker_loop(&inj, &counts[i]);
+                })
                 .expect("spawn pool worker");
         }
-        Pool { injector, workers }
+        Pool { injector, workers, executed, helped: AtomicU64::new(0), pinned }
     }
 
     /// Number of worker threads (excluding helping submitters).
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Snapshot of the work-distribution counters (relaxed reads; exact
+    /// only once the pool is quiescent).
+    pub fn counters(&self) -> PoolCounters {
+        PoolCounters {
+            per_worker: self.executed.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            helped: self.helped.load(Ordering::Relaxed),
+            pinned: self.pinned.load(Ordering::Relaxed),
+        }
     }
 
     /// Runs a batch of closures, returning their results in submission
@@ -200,7 +324,10 @@ impl Pool {
             }
             let task = lock(&self.injector.queue).pop_front();
             match task {
-                Some(t) => t(),
+                Some(t) => {
+                    self.helped.fetch_add(1, Ordering::Relaxed);
+                    t()
+                }
                 None => {
                     // Queue empty: the remaining tasks of this batch are
                     // being executed by other threads. Wait for them.
@@ -262,7 +389,10 @@ impl Pool {
             }
             let task = lock(&self.injector.queue).pop_front();
             match task {
-                Some(t) => t(),
+                Some(t) => {
+                    self.helped.fetch_add(1, Ordering::Relaxed);
+                    t()
+                }
                 None => {
                     // Queue empty: remaining scope tasks are running on
                     // other threads (and any tasks they spawn will be
@@ -356,7 +486,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
     }
 }
 
-fn worker_loop(inj: &Injector) {
+fn worker_loop(inj: &Injector, executed: &AtomicU64) {
     loop {
         let task = {
             let mut q = lock(&inj.queue);
@@ -367,6 +497,7 @@ fn worker_loop(inj: &Injector) {
                 q = inj.available.wait(q).unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
+        executed.fetch_add(1, Ordering::Relaxed);
         // Panics are contained per-task by the submitting side's
         // `catch_unwind`; a worker thread never unwinds.
         task();
@@ -510,6 +641,59 @@ mod tests {
     fn empty_scope_returns_immediately() {
         let out: u32 = global().scope(|_| 42);
         assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn explicit_pool_width_and_counters() {
+        // One long-lived explicit pool per width under test; workers are
+        // detached, so pools must not be created per-case.
+        static POOL4: OnceLock<Pool> = OnceLock::new();
+        let pool = POOL4.get_or_init(|| Pool::with_workers(4));
+        assert_eq!(pool.workers(), 4);
+        let out = pool.run((0..32).map(|i| move || i * i).collect::<Vec<_>>());
+        assert_eq!(out.len(), 32);
+        let c = pool.counters();
+        assert_eq!(c.per_worker.len(), 4);
+        let total: u64 = c.per_worker.iter().sum::<u64>() + c.helped;
+        assert!(total >= 32, "all 32 tasks were counted somewhere, got {total}");
+    }
+
+    #[test]
+    fn with_workers_clamps_to_one() {
+        static POOL0: OnceLock<Pool> = OnceLock::new();
+        let pool = POOL0.get_or_init(|| Pool::with_workers(0));
+        assert_eq!(pool.workers(), 1);
+        assert_eq!(pool.run(vec![|| 5u8, || 6u8]), vec![5, 6]);
+    }
+
+    #[test]
+    fn pinned_pool_reports_placement() {
+        static PINNED: OnceLock<Pool> = OnceLock::new();
+        let pool = PINNED.get_or_init(|| Pool::with_workers_pinned(2, true));
+        let out = pool.run((0..8).map(|i| move || i + 1).collect::<Vec<_>>());
+        assert_eq!(out.iter().sum::<i32>(), 36);
+        if cfg!(all(target_os = "linux", target_arch = "x86_64")) {
+            // Pinning happens as each worker thread starts, which races
+            // this assertion (the helping submitter may have drained the
+            // whole batch before the workers were even scheduled) — so
+            // poll rather than read once.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+            while pool.counters().pinned < 2 && std::time::Instant::now() < deadline {
+                std::thread::yield_now();
+            }
+            assert_eq!(pool.counters().pinned, 2, "both workers pin on the supported target");
+        } else {
+            assert_eq!(pool.counters().pinned, 0);
+        }
+    }
+
+    #[test]
+    fn configure_global_after_first_use_is_refused() {
+        let width = global().workers();
+        // The pool above is already spawned, so reconfiguration to a
+        // different width must report failure and change nothing.
+        assert!(!configure_global(width + 1));
+        assert_eq!(global().workers(), width);
     }
 
     #[test]

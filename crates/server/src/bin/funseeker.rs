@@ -3,8 +3,9 @@
 //!
 //! ```text
 //! funseeker [--config 1|2|3|4] [--summary] [--disasm] [--callgraph] [--strict] <binary>…
-//! funseeker serve  [--listen ADDR] [--slots N] [--queue N] [--max-bytes N]
-//!                  [--max-conns N] [--disk-cache DIR]
+//! funseeker serve  [--listen ADDR] [--cores N] [--slots N] [--queue N]
+//!                  [--max-bytes N] [--max-conns N] [--max-followers N]
+//!                  [--disk-cache DIR]
 //! funseeker submit [--addr ADDR] [--config 1|2|3|4] [--summary] [--callgraph] <binary>…
 //! funseeker stats  [--addr ADDR]
 //! funseeker shutdown [--addr ADDR]
@@ -25,7 +26,7 @@ use funseeker_server::{Server, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: funseeker [--config 1|2|3|4] [--summary] [--disasm] [--callgraph] [--strict] <binary>...\n\
-         \x20      funseeker serve [--listen ADDR] [--slots N] [--queue N] [--max-bytes N] [--max-conns N] [--disk-cache DIR]\n\
+         \x20      funseeker serve [--listen ADDR] [--cores N] [--slots N] [--queue N] [--max-bytes N] [--max-conns N] [--max-followers N] [--disk-cache DIR]\n\
          \x20      funseeker submit [--addr ADDR] [--config 1|2|3|4] [--summary] [--callgraph] <binary>...\n\
          \x20      funseeker stats [--addr ADDR]\n\
          \x20      funseeker shutdown [--addr ADDR]"
@@ -230,6 +231,18 @@ fn parse_num(v: &str) -> usize {
 }
 
 fn cmd_serve(args: &[String]) {
+    // `--cores` must fix the pool width before anything touches the
+    // global pool — including the config defaults below, which derive
+    // `analyze_slots` from it — so scan for it first.
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--cores" {
+            let n = parse_num(it.next().map(String::as_str).unwrap_or_else(|| usage()));
+            if !funseeker_pool::configure_global(n) {
+                eprintln!("funseeker serve: worker pool already running, --cores ignored");
+            }
+        }
+    }
     let mut config = ServerConfig::unix(std::env::temp_dir().join("funseeker.sock"));
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -240,7 +253,11 @@ fn cmd_serve(args: &[String]) {
             "--queue" => config.queue_cap = parse_num(value()),
             "--max-bytes" => config.max_inflight_bytes = parse_num(value()),
             "--max-conns" => config.max_connections = parse_num(value()),
+            "--max-followers" => config.max_followers = parse_num(value()),
             "--disk-cache" => config.disk_cache = Some(value().into()),
+            "--cores" => {
+                value(); // consumed by the pre-scan above
+            }
             _ => usage(),
         }
     }

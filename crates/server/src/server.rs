@@ -50,8 +50,14 @@ pub struct ServerConfig {
     /// Directory for the persistent result cache; `None` disables the
     /// disk layer (the in-memory cache still serves the process).
     pub disk_cache: Option<PathBuf>,
-    /// Concurrent analyses (the [`Gate`]'s slots). At least 1.
+    /// Concurrent analyses (the [`Gate`]'s slots). At least 1. Defaults
+    /// to the worker-pool width (so `FUNSEEKER_CORES`/`--cores` scale
+    /// the serving layer with the sweep layer), floored at 2.
     pub analyze_slots: usize,
+    /// Followers allowed to park on one single-flight key before
+    /// further identical submissions are refused `Busy`. Bounds the
+    /// handler threads a thundering herd on one image can occupy.
+    pub max_followers: usize,
     /// Analyses allowed to wait for a slot before further leaders are
     /// refused `Busy`.
     pub queue_cap: usize,
@@ -75,7 +81,8 @@ impl ServerConfig {
         ServerConfig {
             listen,
             disk_cache: None,
-            analyze_slots: 2,
+            analyze_slots: funseeker_pool::global().workers().max(2),
+            max_followers: 256,
             queue_cap: 256,
             max_inflight_bytes: 1 << 30,
             ballast_waiters: 512,
@@ -646,7 +653,15 @@ fn handle_analyze(
         return send_result(inner, conn, image_hash, key, t0, source, &analysis);
     }
 
-    match inner.flights.join(key) {
+    match inner.flights.join(key, inner.config.max_followers) {
+        Role::Saturated { .. } => {
+            // The flight's condvar already carries a full complement of
+            // parked handler threads; refusing here keeps the herd's
+            // tail bounded, and the client's retry will normally land in
+            // the result cache after the leader publishes.
+            drop(hold);
+            send_busy(inner, conn)
+        }
         Role::Follower(flight) => {
             // The leader holds the only copy that matters: release this
             // request's bytes and admission before the (possibly long)

@@ -15,8 +15,15 @@
 //! nothing). Publication removes the flight from the table, so the next
 //! request for the key starts fresh — which is correct, because a
 //! successful outcome is in the result cache by then.
+//!
+//! Followers per flight are **bounded** ([`FlightTable::join`]'s
+//! `max_waiters`): each parked follower is a whole handler thread, so
+//! past the cap new arrivals are refused `Busy` — cheap for the client
+//! to retry, and the retry usually lands after publication and hits the
+//! result cache instead.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -45,6 +52,9 @@ pub enum Outcome {
 pub struct Flight {
     outcome: Mutex<Option<Outcome>>,
     published: Condvar,
+    /// Followers admitted to this flight (bumped under the table lock
+    /// in [`FlightTable::join`], so the cap is race-free).
+    waiters: AtomicUsize,
 }
 
 impl Flight {
@@ -71,6 +81,15 @@ pub enum Role {
     Leader,
     /// Joined an existing flight: wait on it.
     Follower(Arc<Flight>),
+    /// The flight already has `max_waiters` followers parked on it; the
+    /// caller must be refused `Busy` instead of piling onto the condvar.
+    /// Each parked follower is a whole handler thread, so an unbounded
+    /// pile-up under a thundering herd turns one slow analysis into
+    /// thousands of blocked threads and a seconds-long tail.
+    Saturated {
+        /// Followers already waiting when this caller was refused.
+        waiters: usize,
+    },
 }
 
 /// The map of in-flight analyses, keyed by cache key.
@@ -88,11 +107,20 @@ impl FlightTable {
     /// Joins the flight for `key`, creating it if absent. Exactly one
     /// concurrent caller per key becomes [`Role::Leader`]; a leader
     /// **must** eventually [`FlightTable::publish`] or its followers
-    /// wait out their timeout.
-    pub fn join(&self, key: u64) -> Role {
+    /// wait out their timeout. At most `max_waiters` callers may follow
+    /// one flight; the rest get [`Role::Saturated`].
+    pub fn join(&self, key: u64, max_waiters: usize) -> Role {
         let mut flights = self.flights.lock().unwrap();
         match flights.entry(key) {
-            std::collections::hash_map::Entry::Occupied(e) => Role::Follower(e.get().clone()),
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let flight = e.get();
+                let waiters = flight.waiters.load(Ordering::Relaxed);
+                if waiters >= max_waiters {
+                    return Role::Saturated { waiters };
+                }
+                flight.waiters.store(waiters + 1, Ordering::Relaxed);
+                Role::Follower(flight.clone())
+            }
             std::collections::hash_map::Entry::Vacant(v) => {
                 v.insert(Arc::new(Flight::default()));
                 Role::Leader
@@ -132,7 +160,7 @@ mod tests {
         std::thread::scope(|s| {
             for _ in 0..8 {
                 s.spawn(|| {
-                    let role = table.join(42);
+                    let role = table.join(42, usize::MAX);
                     joined.wait();
                     match role {
                         Role::Leader => {
@@ -146,6 +174,7 @@ mod tests {
                             }
                             shared.fetch_add(1, Ordering::SeqCst);
                         }
+                        Role::Saturated { .. } => panic!("uncapped join must not saturate"),
                     }
                 });
             }
@@ -158,9 +187,11 @@ mod tests {
     #[test]
     fn distinct_keys_fly_separately_and_waits_time_out() {
         let table = FlightTable::new();
-        assert!(matches!(table.join(1), Role::Leader));
-        assert!(matches!(table.join(2), Role::Leader), "different key, new leader");
-        let Role::Follower(flight) = table.join(1) else { panic!("second join follows") };
+        assert!(matches!(table.join(1, usize::MAX), Role::Leader));
+        assert!(matches!(table.join(2, usize::MAX), Role::Leader), "different key, new leader");
+        let Role::Follower(flight) = table.join(1, usize::MAX) else {
+            panic!("second join follows")
+        };
         assert!(flight.wait(Duration::from_millis(10)).is_none(), "no publish → timeout");
         table.publish(1, Outcome::Busy { queue_depth: 9, inflight_bytes: 77 });
         match flight.wait(Duration::from_millis(10)).expect("published") {
@@ -170,6 +201,31 @@ mod tests {
             other => panic!("unexpected outcome {other:?}"),
         }
         table.publish(2, Outcome::Failed(ErrorCode::Internal, String::new()));
+        assert_eq!(table.inflight(), 0);
+    }
+
+    #[test]
+    fn follower_cap_saturates_then_resets_on_republish() {
+        let table = FlightTable::new();
+        assert!(matches!(table.join(7, 2), Role::Leader));
+        assert!(matches!(table.join(7, 2), Role::Follower(_)));
+        assert!(matches!(table.join(7, 2), Role::Follower(_)));
+        // Third follower is over the cap and must be turned away with
+        // the observed pile-up size.
+        match table.join(7, 2) {
+            Role::Saturated { waiters } => assert_eq!(waiters, 2),
+            other => panic!("expected saturation, got {other:?}"),
+        }
+        // A zero cap means leaders only: every non-leader is refused.
+        assert!(matches!(table.join(9, 0), Role::Leader));
+        assert!(matches!(table.join(9, 0), Role::Saturated { waiters: 0 }));
+        // Publication retires the flight; the next join leads a fresh
+        // flight with a fresh waiter count.
+        table.publish(7, Outcome::Failed(ErrorCode::Internal, String::new()));
+        assert!(matches!(table.join(7, 2), Role::Leader));
+        assert!(matches!(table.join(7, 2), Role::Follower(_)));
+        table.publish(7, Outcome::Failed(ErrorCode::Internal, String::new()));
+        table.publish(9, Outcome::Failed(ErrorCode::Internal, String::new()));
         assert_eq!(table.inflight(), 0);
     }
 }
