@@ -12,6 +12,9 @@ cargo test --workspace -q
 echo "==> workspace tests with a 2-worker pool (FUNSEEKER_CORES=2)"
 FUNSEEKER_CORES=2 cargo test --workspace -q
 
+echo "==> workspace tests with mmap ingestion disabled (FUNSEEKER_MMAP=0)"
+FUNSEEKER_MMAP=0 cargo test --workspace -q
+
 echo "==> disasm tests with kernels forced to the portable SWAR tier"
 FUNSEEKER_KERNEL_TIER=swar cargo test -q -p funseeker-disasm
 
@@ -69,6 +72,51 @@ trap - EXIT
 echo "==> serve load smoke (quick mode, >30% duplicate-heavy throughput regression fails)"
 cargo run --release -q -p funseeker-eval --bin experiments -- \
   serve --quick --check BENCH_batch.json
+
+echo "==> io path smoke (quick mode, v3-decode regression or v3-slower-than-v2 fails)"
+cargo run --release -q -p funseeker-eval --bin experiments -- \
+  io --quick --check BENCH_io.json
+
+echo "==> cache v3 corruption smoke: damaged entries must miss, never error"
+CACHE_DIR="$(mktemp -d)/funseeker-ci-cache"
+SOCK="$(mktemp -d)/funseeker-ci-v3.sock"
+"$FUNSEEKER" serve --listen "unix:$SOCK" --disk-cache "$CACHE_DIR" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+"$FUNSEEKER" submit --addr "unix:$SOCK" /bin/bash > /dev/null
+"$FUNSEEKER" shutdown --addr "unix:$SOCK"
+wait "$SERVE_PID"
+trap - EXIT
+ls "$CACHE_DIR"/*.fsc > /dev/null \
+  || { echo "daemon wrote no v3 cache entries"; exit 1; }
+for f in "$CACHE_DIR"/*.fsc; do  # truncate below the fixed header: guaranteed damage
+  head -c 25 "$f" > "$f.cut" && mv "$f.cut" "$f"
+done
+"$FUNSEEKER" serve --listen "unix:$SOCK" --disk-cache "$CACHE_DIR" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+diff <("$FUNSEEKER" submit --addr "unix:$SOCK" /bin/bash) \
+     <("$FUNSEEKER" /bin/bash) \
+  || { echo "corrupted cache changed the analysis result"; exit 1; }
+"$FUNSEEKER" stats --addr "unix:$SOCK" | grep -q "^disk_hits 0$" \
+  || { echo "daemon served a corrupted disk entry as a hit"; exit 1; }
+"$FUNSEEKER" shutdown --addr "unix:$SOCK"
+wait "$SERVE_PID"
+trap - EXIT
+# The miss re-analyzed and rewrote the entry; a third daemon must now hit it.
+"$FUNSEEKER" serve --listen "unix:$SOCK" --disk-cache "$CACHE_DIR" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+"$FUNSEEKER" submit --addr "unix:$SOCK" /bin/bash > /dev/null
+"$FUNSEEKER" stats --addr "unix:$SOCK" | grep -q "^disk_hits 1$" \
+  || { echo "rewritten v3 entry did not serve a disk hit"; exit 1; }
+"$FUNSEEKER" shutdown --addr "unix:$SOCK"
+wait "$SERVE_PID"
+trap - EXIT
+rm -rf "$CACHE_DIR"
 
 # Multi-core scaling smoke: only meaningful on a host that actually has
 # ≥2 cores. taskset pins the whole run to cores 0,1 so the measurement

@@ -446,7 +446,7 @@ fn compute_one(
     if let Some(mem) = cache {
         mem.insert(cache_key(image_hash, config), shared.clone());
         if let Some(d) = disk {
-            d.store(cache_key(image_hash, config), &shared);
+            d.store(image_hash, config, &shared);
         }
     }
     shared

@@ -1,0 +1,95 @@
+//! Zero-copy I/O path: `FSC3` record encode, mmap-backed decode, and
+//! the pre-encoded reply-bytes memcpy the daemon serves duplicate
+//! requests from.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use funseeker::{Analysis, Config, FunSeeker};
+use funseeker_batch::{cache, hash_bytes, mix64, ResultCache};
+use funseeker_bench::bench_dataset;
+use funseeker_elf::Image;
+
+fn bench(c: &mut Criterion) {
+    let ds = bench_dataset();
+    let config = Config::c4();
+    let fp = cache::config_fingerprint(&config);
+    let seeker = FunSeeker::with_config(config);
+    let analyses: Vec<(u64, Analysis)> = ds
+        .binaries
+        .iter()
+        .map(|b| (hash_bytes(&b.bytes), seeker.identify(&b.bytes).expect("corpus parses")))
+        .collect();
+    let records: Vec<(u64, Vec<u8>)> = analyses
+        .iter()
+        .map(|(h, a)| (mix64(*h, fp), cache::encode(*h, fp, a).expect("encodes")))
+        .collect();
+    let record_bytes: u64 = records.iter().map(|(_, r)| r.len() as u64).sum();
+
+    let mut g = c.benchmark_group("io");
+    g.sample_size(20);
+
+    // v3 encode: analysis -> on-disk/wire record.
+    g.throughput(Throughput::Bytes(record_bytes));
+    g.bench_function("encode_v3", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for (h, a) in &analyses {
+                total += cache::encode(*h, fp, a).expect("encodes").len();
+            }
+            std::hint::black_box(total)
+        })
+    });
+
+    // v3 decode from a memory-mapped file — the disk cache's read path.
+    let dir = std::env::temp_dir().join(format!("funseeker-io-crit-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let paths: Vec<(u64, std::path::PathBuf)> = records
+        .iter()
+        .enumerate()
+        .map(|(i, (key, record))| {
+            let path = dir.join(format!("{i:04}.v3"));
+            std::fs::write(&path, record).expect("write record");
+            (*key, path)
+        })
+        .collect();
+    g.bench_function("decode_v3_mmap", |b| {
+        b.iter(|| {
+            let mut functions = 0usize;
+            for (key, path) in &paths {
+                let image = Image::load(path).expect("record readable");
+                let analysis = cache::decode(*key, &image).expect("round trip");
+                functions += analysis.functions.len();
+            }
+            std::hint::black_box(functions)
+        })
+    });
+
+    // Duplicate-reply memcpy: probing the cached wire bytes and cloning
+    // the Arc, versus re-encoding the analysis per request.
+    let mem = ResultCache::new();
+    let (key0, record0) = &records[0];
+    let (h0, a0) = &analyses[0];
+    mem.insert(*key0, Arc::new(a0.clone()));
+    let _ = mem.set_wire(*key0, Arc::new(record0.clone()));
+    g.throughput(Throughput::Bytes(record0.len() as u64));
+    g.bench_function("reply_bytes_hit", |b| {
+        b.iter(|| {
+            let bytes = mem.wire(*key0).expect("wire attached");
+            std::hint::black_box(bytes.len())
+        })
+    });
+    g.bench_function("reply_reencode", |b| {
+        b.iter(|| {
+            let record = cache::encode(*h0, fp, a0).expect("encodes");
+            std::hint::black_box(record.len())
+        })
+    });
+
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

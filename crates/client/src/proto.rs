@@ -17,10 +17,11 @@
 //! Every decoding defect maps to a typed [`ProtoError`] — truncated
 //! frames, oversized length prefixes, unknown version bytes, and
 //! malformed bodies are errors, never panics. The analysis payload of a
-//! [`T_RESULT`] frame reuses the checksummed `funseeker-batch-cache v2`
-//! text format ([`funseeker_batch::cache::serialize`]), so result
-//! integrity is verified end to end by the same code path the disk
-//! cache trusts.
+//! [`T_RESULT`] frame reuses the checksummed `FSC3` binary cache
+//! record ([`funseeker_batch::cache::encode`], DESIGN.md §7), so
+//! result integrity is verified end to end by the same code path the
+//! disk cache trusts — and the daemon can memcpy a pre-encoded record
+//! straight onto the socket for duplicate requests.
 
 use std::io::{self, Read, Write};
 
@@ -380,15 +381,15 @@ pub fn decode_request(payload: &[u8]) -> Result<Request<'_>, ProtoError> {
 // Responses
 // ---------------------------------------------------------------------
 
-/// Writes a `RESULT` frame from the already-serialized analysis text
-/// (the `funseeker-batch-cache v2` format keyed by `key`).
+/// Writes a `RESULT` frame from the already-encoded analysis record
+/// (the `FSC3` binary cache format keyed by `key`, DESIGN.md §7).
 pub fn write_result(
     w: &mut impl Write,
     image_hash: u64,
     key: u64,
     elapsed_us: u32,
     source: Source,
-    analysis_text: &str,
+    record: &[u8],
 ) -> io::Result<usize> {
     let mut head = [0u8; 23];
     head[0] = VERSION;
@@ -397,7 +398,7 @@ pub fn write_result(
     head[10..18].copy_from_slice(&key.to_le_bytes());
     head[18..22].copy_from_slice(&elapsed_us.to_le_bytes());
     head[22] = source as u8;
-    write_frame_parts(w, &[&head, analysis_text.as_bytes()])
+    write_frame_parts(w, &[&head, record])
 }
 
 /// Writes a `BUSY` frame.
@@ -452,9 +453,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
             let elapsed_us = le_u32(&payload[18..22]);
             let source = Source::from_u8(payload[22])
                 .ok_or(ProtoError::Malformed("unknown result source byte"))?;
-            let text = std::str::from_utf8(&payload[23..])
-                .map_err(|_| ProtoError::Malformed("analysis body is not UTF-8"))?;
-            let analysis = funseeker_batch::cache::deserialize(key, text)
+            let analysis = funseeker_batch::cache::decode(key, &payload[23..])
                 .ok_or(ProtoError::Malformed("analysis body failed checksum or structure"))?;
             Ok(Response::Result(AnalyzeReply { image_hash, key, elapsed_us, source, analysis }))
         }
@@ -586,10 +585,11 @@ mod tests {
         let image = std::fs::read("/proc/self/exe").unwrap();
         let analysis = funseeker::FunSeeker::new().identify(&image).unwrap();
         let hash = funseeker_batch::hash_bytes(&image);
+        let fp = funseeker_batch::cache::config_fingerprint(&Config::c4());
         let key = funseeker_batch::cache_key(hash, &Config::c4());
-        let text = funseeker_batch::cache::serialize(key, &analysis).unwrap();
+        let record = funseeker_batch::cache::encode(hash, fp, &analysis).unwrap();
         let mut wire = Vec::new();
-        write_result(&mut wire, hash, key, 1234, Source::Computed, &text).unwrap();
+        write_result(&mut wire, hash, key, 1234, Source::Computed, &record).unwrap();
         let payload = read_frame(&mut wire.as_slice(), DEFAULT_MAX_FRAME).unwrap().unwrap();
         match decode_response(&payload).unwrap() {
             Response::Result(reply) => {

@@ -74,6 +74,19 @@ impl KernelTier {
         self >= KernelTier::detect()
     }
 
+    /// The tier encoded by `v` (the `repr(u8)` discriminant); values
+    /// past the narrowest tier clamp to [`KernelTier::Scalar`]. This is
+    /// the decode side of the one-byte caches (`ACTIVE`, the per-pool
+    /// probe slot).
+    pub fn from_u8(v: u8) -> KernelTier {
+        match v {
+            0 => KernelTier::Avx2,
+            1 => KernelTier::Sse2,
+            2 => KernelTier::Swar,
+            _ => KernelTier::Scalar,
+        }
+    }
+
     /// The tier the sweep uses: [`KernelTier::detect`], clamped down by
     /// the `FUNSEEKER_KERNEL_TIER` environment variable when set
     /// (unknown values are ignored; a request *above* the CPU's
@@ -92,12 +105,7 @@ impl KernelTier {
                 ACTIVE.store(tier as u8, Ordering::Relaxed);
                 tier
             }
-            v => match v {
-                0 => KernelTier::Avx2,
-                1 => KernelTier::Sse2,
-                2 => KernelTier::Swar,
-                _ => KernelTier::Scalar,
-            },
+            v => KernelTier::from_u8(v),
         }
     }
 }

@@ -374,6 +374,29 @@ pub fn par_sweep_forced(code: &[u8], base: u64, mode: Mode, shards: usize) -> Sw
     par_sweep_forced_pooled(funseeker_pool::global(), code, base, mode, shards)
 }
 
+/// The kernel tier every morsel dispatched through `pool` decodes
+/// with, resolved once per pool: the first sweep publishes
+/// [`KernelTier::active`] (the CPUID probe clamped by
+/// `FUNSEEKER_KERNEL_TIER`) into the pool's one-byte probe cache, and
+/// every later sweep on that pool reads the cached byte. First writer
+/// wins, so all shards of all sweeps sharing a pool decode with one
+/// tier — a mid-run environment change can never split a stitch across
+/// kernel implementations.
+fn pool_tier(pool: &funseeker_pool::Pool) -> KernelTier {
+    use std::sync::atomic::Ordering;
+    let cache = pool.probe_cache();
+    match cache.load(Ordering::Relaxed) {
+        u8::MAX => {
+            let probed = KernelTier::active() as u8;
+            match cache.compare_exchange(u8::MAX, probed, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => KernelTier::from_u8(probed),
+                Err(raced) => KernelTier::from_u8(raced),
+            }
+        }
+        v => KernelTier::from_u8(v),
+    }
+}
+
 /// [`par_sweep_forced`] on an explicit pool.
 pub fn par_sweep_forced_pooled(
     pool: &funseeker_pool::Pool,
@@ -391,7 +414,7 @@ pub fn par_sweep_forced_pooled(
     if shards <= 1 {
         return sweep_all(code, base, mode);
     }
-    let tier = KernelTier::active();
+    let tier = pool_tier(pool);
 
     // Nominal shard boundaries: shard k speculatively decodes the chain
     // starting at starts[k], stopping once it crosses starts[k + 1].
@@ -592,6 +615,42 @@ mod tests {
         ] {
             assert_eq!(out.stats.shards, 1, "below-threshold input must not shard");
             assert_eq!(out.stats.stitch_ns, 0, "sequential path has no stitch");
+        }
+    }
+
+    #[test]
+    fn per_pool_tier_cache_forces_the_morsel_tier() {
+        use std::sync::atomic::Ordering;
+        // Byte soup spanning several morsel boundaries, so every shard
+        // exercises resynchronization under every tier.
+        let mut x: u64 = 0x243f_6a88_85a3_08d3;
+        let code: Vec<u8> = (0..MIN_SHARD_BYTES * 4 + 11)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        let mut reference = LinearSweep::new(&code, 0x1000, Mode::Bits64);
+        let ref_insns: Vec<Insn> = reference.by_ref().collect();
+        for tier in KernelTier::ALL {
+            if !tier.is_supported() {
+                continue;
+            }
+            let pool = funseeker_pool::Pool::with_workers(3);
+            // Seed the per-pool probe cache: every morsel of every sweep
+            // dispatched through this pool must decode with `tier`,
+            // regardless of the process-global resolution.
+            pool.probe_cache().store(tier as u8, Ordering::Relaxed);
+            assert_eq!(pool_tier(&pool), tier);
+            let par = par_sweep_forced_pooled(&pool, &code, 0x1000, Mode::Bits64, 7);
+            let seq = sweep_all_tiered(&code, 0x1000, Mode::Bits64, tier);
+            assert_eq!(par.to_insns(), ref_insns, "{tier:?} diverged from the reference");
+            assert_eq!(seq.stream, par.stream, "{tier:?}: packed arrays must be bit-identical");
+            assert_eq!(seq.error_count, par.error_count);
+            // First writer wins: the sweep read the seed, never overwrote it.
+            assert_eq!(pool.probe_cache().load(Ordering::Relaxed), tier as u8);
         }
     }
 

@@ -1,0 +1,334 @@
+//! Zero-copy binary ingestion: memory-mapped [`Image`] input buffers.
+//!
+//! Every layer of the pipeline analyzes a `&[u8]`; this module decides
+//! where those bytes live. [`Image::load`] memory-maps regular files
+//! read-only with raw `mmap`/`munmap` syscalls (no libc dependency, in
+//! the same spirit as the scheduler-affinity syscalls in
+//! `funseeker-pool`), so the kernel's page cache *is* the buffer — no
+//! copy into an owned `Vec<u8>`, no double-resident pages when the same
+//! binary is analyzed twice, and unread tails of large images are never
+//! faulted in at all. Inputs that cannot be mapped — pipes, sockets,
+//! ordinary files on hosts without the fast path — fall back to a plain
+//! read into an owned vector with identical observable behavior.
+//!
+//! The fallback is also an escape hatch: setting `FUNSEEKER_MMAP=0`
+//! forces every load through the read path (CI runs the tier-1 suite
+//! both ways).
+//!
+//! Mapping is strictly an ingestion optimization: an [`Image`] derefs
+//! to `&[u8]` and the analysis pipeline stays byte-identical across
+//! backings. Mapped bytes still count toward batch admission — the
+//! scheduler's `Ballast` charges an image's length regardless of
+//! backing, bounding how many mapped images are in flight at once.
+//!
+//! # Caveat: truncation by another process
+//!
+//! A mapped file that another process truncates underneath us turns
+//! reads past the new end into `SIGBUS`. The analysis pipeline only
+//! maps files it was explicitly handed, matching what every
+//! mmap-based tool (linkers, `ripgrep`, …) accepts; callers that
+//! cannot tolerate this use [`Image::read_from`] or the env override.
+
+#![allow(unsafe_code)]
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::ops::Deref;
+use std::path::Path;
+use std::sync::OnceLock;
+
+/// An input binary, either memory-mapped or owned.
+///
+/// ```no_run
+/// use funseeker_elf::Image;
+/// let image = Image::load("/bin/true").unwrap();
+/// let elf = funseeker_elf::Elf::parse(&image).unwrap();
+/// # let _ = elf;
+/// ```
+#[derive(Debug)]
+pub struct Image {
+    backing: Backing,
+}
+
+#[derive(Debug)]
+enum Backing {
+    Owned(Vec<u8>),
+    Mapped(Mapped),
+}
+
+impl Image {
+    /// Loads `path`, memory-mapping it when it is a regular, non-empty
+    /// file (and `FUNSEEKER_MMAP` is not `0`), otherwise reading it
+    /// into an owned buffer. Errors only on I/O failure — never on
+    /// "could not map".
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Image> {
+        Image::load_mapped_above(path, 1)
+    }
+
+    /// [`Image::load`] with a mapping threshold: files shorter than
+    /// `min_map_len` bytes are read into an owned buffer instead of
+    /// mapped. For small files the two `mmap`/`munmap` syscalls plus
+    /// the page faults to touch the mapping cost more than simply
+    /// reading the bytes — the disk cache uses this to keep few-KiB
+    /// record loads on the cheap path while large entries still map.
+    pub fn load_mapped_above(path: impl AsRef<Path>, min_map_len: u64) -> io::Result<Image> {
+        let path = path.as_ref();
+        let mut file = File::open(path)?;
+        let meta = file.metadata()?;
+        if mmap_enabled() && meta.is_file() && meta.len() >= min_map_len.max(1) {
+            if let Some(mapped) = Mapped::from_file(&file, meta.len()) {
+                return Ok(Image { backing: Backing::Mapped(mapped) });
+            }
+        }
+        // Pre-size the buffer for regular files so `read_to_end` does
+        // one full read instead of probing with a growing vector.
+        let hint = if meta.is_file() { meta.len() as usize } else { 0 };
+        let mut bytes = Vec::with_capacity(hint);
+        file.read_to_end(&mut bytes)?;
+        Ok(Image { backing: Backing::Owned(bytes) })
+    }
+
+    /// Reads a whole stream into an owned image — the ingestion path
+    /// for pipes, sockets, and anything else without a mappable file
+    /// behind it.
+    pub fn read_from(reader: &mut impl Read) -> io::Result<Image> {
+        let mut bytes = Vec::new();
+        reader.read_to_end(&mut bytes)?;
+        Ok(Image::from(bytes))
+    }
+
+    /// Whether the bytes are served straight from a file mapping.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.backing, Backing::Mapped(_))
+    }
+
+    /// The image bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.backing {
+            Backing::Owned(v) => v,
+            Backing::Mapped(m) => m.as_slice(),
+        }
+    }
+}
+
+impl From<Vec<u8>> for Image {
+    fn from(bytes: Vec<u8>) -> Image {
+        Image { backing: Backing::Owned(bytes) }
+    }
+}
+
+impl Deref for Image {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Image {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// `FUNSEEKER_MMAP=0` disables the mapping fast path for the whole
+/// process (resolved once; CI uses it to run the suite on the read
+/// fallback).
+fn mmap_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var("FUNSEEKER_MMAP").as_deref() != Ok("0"))
+}
+
+/// A read-only private file mapping, unmapped on drop.
+#[derive(Debug)]
+struct Mapped {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is immutable (PROT_READ, MAP_PRIVATE) for its
+// whole lifetime and owned uniquely by this struct, so shared access
+// from any thread is plain shared-read access.
+unsafe impl Send for Mapped {}
+unsafe impl Sync for Mapped {}
+
+impl Mapped {
+    /// Maps `len` bytes of `file` read-only. `None` when the platform
+    /// has no raw-syscall mapping path or the kernel refuses.
+    fn from_file(file: &File, len: u64) -> Option<Mapped> {
+        let len = usize::try_from(len).ok()?;
+        let ptr = imp::mmap_readonly(file, len)?;
+        Some(Mapped { ptr, len })
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+        // bytes (established by `from_file`, released only in `drop`).
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl Drop for Mapped {
+    fn drop(&mut self) {
+        imp::munmap(self.ptr, self.len);
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod imp {
+    //! Raw `mmap`/`munmap` on x86-64 Linux — the workspace carries no
+    //! libc, so the two syscalls are issued directly, exactly like the
+    //! `sched_{set,get}affinity` calls in `funseeker-pool`.
+
+    use std::arch::asm;
+    use std::fs::File;
+    use std::os::fd::AsRawFd;
+
+    const SYS_MMAP: usize = 9;
+    const SYS_MUNMAP: usize = 11;
+    const PROT_READ: usize = 0x1;
+    const MAP_PRIVATE: usize = 0x2;
+
+    /// Six-argument syscall (the x86-64 Linux convention: args in
+    /// rdi/rsi/rdx/r10/r8/r9, number in rax, result in rax).
+    unsafe fn syscall6(
+        nr: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> isize {
+        let ret: isize;
+        unsafe {
+            asm!(
+                "syscall",
+                inlateout("rax") nr => ret,
+                in("rdi") a,
+                in("rsi") b,
+                in("rdx") c,
+                in("r10") d,
+                in("r8") e,
+                in("r9") f,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    /// Maps `len` bytes of `file` at a kernel-chosen address,
+    /// `PROT_READ | MAP_PRIVATE`. `None` on any kernel refusal (the
+    /// caller falls back to reading).
+    pub(super) fn mmap_readonly(file: &File, len: usize) -> Option<*const u8> {
+        let fd = file.as_raw_fd();
+        // SAFETY: all arguments are plain integers; a successful mmap
+        // returns a pointer we own until munmap.
+        let ret = unsafe { syscall6(SYS_MMAP, 0, len, PROT_READ, MAP_PRIVATE, fd as usize, 0) };
+        // Errors come back as -errno in (-4095..0).
+        if (-4095..0).contains(&ret) {
+            return None;
+        }
+        Some(ret as *const u8)
+    }
+
+    /// Releases a mapping made by [`mmap_readonly`]. Failure is
+    /// ignored — there is no recovery, and the address range was ours.
+    pub(super) fn munmap(ptr: *const u8, len: usize) {
+        // SAFETY: `(ptr, len)` is exactly the range mmap returned.
+        unsafe {
+            syscall6(SYS_MUNMAP, ptr as usize, len, 0, 0, 0, 0);
+        }
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod imp {
+    //! No raw mapping path off x86-64 Linux: `Image::load` always takes
+    //! the owned-read fallback.
+
+    use std::fs::File;
+
+    pub(super) fn mmap_readonly(_file: &File, _len: usize) -> Option<*const u8> {
+        None
+    }
+
+    pub(super) fn munmap(_ptr: *const u8, _len: usize) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("fs-image-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn mapped_bytes_match_read_bytes() {
+        let path = temp_path("roundtrip");
+        let payload: Vec<u8> = (0..9000u32).map(|i| (i * 31 + 7) as u8).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let image = Image::load(&path).unwrap();
+        assert_eq!(&*image, &payload[..], "bytes identical across backings");
+        assert_eq!(image.as_ref(), &payload[..]);
+        if cfg!(all(target_os = "linux", target_arch = "x86_64"))
+            && std::env::var("FUNSEEKER_MMAP").as_deref() != Ok("0")
+        {
+            assert!(image.is_mapped(), "regular file on linux/x86-64 maps");
+        }
+        drop(image); // munmap must allow the file to be removed
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_loads_as_owned() {
+        let path = temp_path("empty");
+        std::fs::write(&path, b"").unwrap();
+        let image = Image::load(&path).unwrap();
+        assert!(!image.is_mapped(), "zero-length files cannot be mapped");
+        assert!(image.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(Image::load(temp_path("no-such-file")).is_err());
+    }
+
+    #[test]
+    fn read_from_ingests_streams() {
+        let payload = b"\x7fELF not really".to_vec();
+        let mut cursor = std::io::Cursor::new(payload.clone());
+        let image = Image::read_from(&mut cursor).unwrap();
+        assert!(!image.is_mapped());
+        assert_eq!(&*image, &payload[..]);
+    }
+
+    #[test]
+    fn owned_conversion_is_zero_surprise() {
+        let image = Image::from(vec![1u8, 2, 3]);
+        assert!(!image.is_mapped());
+        assert_eq!(image.len(), 3);
+    }
+
+    #[test]
+    fn mapped_image_survives_cross_thread_use() {
+        let path = temp_path("threads");
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(&vec![0xAB; 4096 * 3 + 17]).unwrap();
+        drop(f);
+        let image = std::sync::Arc::new(Image::load(&path).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let image = std::sync::Arc::clone(&image);
+                std::thread::spawn(move || image.iter().map(|&b| b as u64).sum::<u64>())
+            })
+            .collect();
+        let sums: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(sums.windows(2).all(|w| w[0] == w[1]));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

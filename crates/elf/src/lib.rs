@@ -28,7 +28,11 @@
 //! }
 //! ```
 
-#![forbid(unsafe_code)]
+// Denied, not forbidden: the one exception is `image`, whose raw
+// `mmap`/`munmap` syscalls and mapped-slice construction are the
+// crate's only unsafe code (module-level allow, like the SIMD kernels
+// in `funseeker-disasm`).
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
 mod elf;
@@ -37,6 +41,8 @@ mod header;
 mod ident;
 mod plt;
 mod read;
+
+pub mod image;
 
 pub mod build;
 pub mod dynamic;
@@ -52,6 +58,7 @@ pub use elf::Elf;
 pub use error::{Error, Result};
 pub use header::{FileHeader, Machine, ObjectType};
 pub use ident::Class;
+pub use image::Image;
 pub use note::{build_cet_note, cet_properties, CetProperties};
 pub use plt::PltMap;
 pub use read::{cstr_at, Reader};

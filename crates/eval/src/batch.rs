@@ -25,8 +25,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use funseeker::{prepare, Analysis, Config, FunSeeker};
-use funseeker_batch::{BatchOptions, ResultCache};
+use funseeker_batch::{inflight_estimate, Ballast, BatchOptions, ResultCache};
 use funseeker_corpus::{BuildConfig, Dataset, DatasetParams};
+use funseeker_elf::Image;
 
 use crate::runner::par_map_timed;
 use crate::trajectory;
@@ -377,6 +378,178 @@ pub fn check_against(
     }
 }
 
+// ---------------------------------------------------------------------
+// Paper-scale ingestion: the `--corpus-scale N` knob
+// ---------------------------------------------------------------------
+
+/// Hard cap on `--corpus-scale` (the paper's evaluation corpus is
+/// ~8,000 binaries).
+pub const SCALE_CAP: usize = 8000;
+
+/// In-flight byte budget for the scaled run's [`Ballast`]. Deliberately
+/// far below the corpus total so the RSS bound below is a real claim
+/// about streaming ingestion, not slack.
+const SCALE_INFLIGHT_BYTES: usize = 32 << 20;
+
+/// Result of the paper-scale on-disk ingestion measurement: `N`
+/// content-unique binaries written to disk, then streamed through the
+/// analyzer via memory-mapped [`Image`]s under a [`Ballast`] admission
+/// budget far smaller than the corpus.
+#[derive(Debug, Clone)]
+pub struct ScaledReport {
+    /// Binaries written and analyzed.
+    pub binaries: usize,
+    /// Distinct generated base images the corpus was derived from.
+    pub distinct_bases: usize,
+    /// Total on-disk corpus size in bytes.
+    pub total_bytes: u64,
+    /// Wall time for the ingestion sweep, in milliseconds.
+    pub ms: f64,
+    /// Binaries analyzed per second.
+    pub bins_per_s: f64,
+    /// Total functions identified (sanity anchor: must be nonzero).
+    pub functions: usize,
+    /// Fraction of binaries ingested via `mmap` (vs the read fallback).
+    pub mapped_fraction: f64,
+    /// `VmHWM` immediately before the timed sweep, in KiB.
+    pub rss_before_kb: u64,
+    /// `VmHWM` after the sweep, in KiB.
+    pub peak_rss_kb: u64,
+    /// The `Ballast` cap the sweep was admitted under, in bytes.
+    pub max_inflight_bytes: usize,
+    /// Execution environment.
+    pub host: crate::host::Host,
+}
+
+/// Runs the paper-scale ingestion measurement: writes `scale`
+/// content-unique binaries (base corpus images made distinct by a
+/// trailing tag outside any ELF-described region, so analysis output is
+/// unchanged while every content hash differs) to a temp directory,
+/// then analyzes all of them from disk. Each worker admits the
+/// binary's in-flight estimate against a shared [`Ballast`], maps it
+/// with [`Image::load`], analyzes, and unmaps before releasing — so
+/// peak RSS tracks the admission budget, not the corpus size.
+pub fn run_scaled(scale: usize, quick: bool) -> ScaledReport {
+    let scale = scale.clamp(1, SCALE_CAP);
+    let mut params = DatasetParams::tiny();
+    if !quick {
+        params.programs = (3, 2, 3);
+        params.configs = BuildConfig::grid();
+    }
+    let ds = Dataset::generate(&params, SEED);
+    let bases: Vec<&[u8]> = ds.binaries.iter().map(|b| b.bytes.as_slice()).collect();
+
+    let dir = std::env::temp_dir().join(format!("funseeker-corpus-scale-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scaled-corpus dir");
+    let mut paths = Vec::with_capacity(scale);
+    let mut total_bytes = 0u64;
+    // One reused buffer: the build phase must not set a high-water mark
+    // the streaming claim below would then hide under.
+    let mut buf = Vec::new();
+    for i in 0..scale {
+        let base = bases[i % bases.len()];
+        buf.clear();
+        buf.extend_from_slice(base);
+        buf.extend_from_slice(&(i as u64).to_le_bytes());
+        let path = dir.join(format!("{i:05}.bin"));
+        std::fs::write(&path, &buf).expect("write scaled-corpus binary");
+        total_bytes += buf.len() as u64;
+        paths.push(path);
+    }
+    drop(buf);
+
+    let _ = funseeker_pool::global().workers();
+    let rss_before_kb = peak_rss_kb();
+    let ballast = Ballast::new(SCALE_INFLIGHT_BYTES);
+    let seeker = FunSeeker::with_config(Config::c4());
+    let t = Instant::now();
+    let outs = par_map_timed(&paths, |path| {
+        let len = std::fs::metadata(path).map(|m| m.len() as usize).unwrap_or(0);
+        let est = inflight_estimate(len);
+        ballast.acquire(est);
+        let out = match Image::load(path) {
+            Ok(image) => {
+                let mapped = image.is_mapped();
+                let functions = seeker.identify(&image).map(|a| a.functions.len()).unwrap_or(0);
+                (functions, mapped)
+            }
+            Err(_) => (0, false),
+        };
+        // `out` dropped the Image already (analysis holds no borrow);
+        // release only after the unmap so the budget really bounds
+        // resident mapped bytes.
+        ballast.release(est);
+        out
+    });
+    let wall = t.elapsed().as_secs_f64();
+    let peak_after_kb = peak_rss_kb();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let functions: usize = outs.iter().map(|((f, _), _)| f).sum();
+    let mapped = outs.iter().filter(|((_, m), _)| *m).count();
+    ScaledReport {
+        binaries: scale,
+        distinct_bases: bases.len(),
+        total_bytes,
+        ms: wall * 1e3,
+        bins_per_s: scale as f64 / wall,
+        functions,
+        mapped_fraction: mapped as f64 / scale as f64,
+        rss_before_kb,
+        peak_rss_kb: peak_after_kb,
+        max_inflight_bytes: SCALE_INFLIGHT_BYTES,
+        host: crate::host::host(),
+    }
+}
+
+impl ScaledReport {
+    /// The streaming-ingestion claim: the sweep's RSS growth is bounded
+    /// by a small multiple of the admission budget plus fixed process
+    /// slack — never by the corpus size. `Err` carries the same message
+    /// with the numbers that broke the bound.
+    pub fn rss_bounded(&self) -> Result<String, String> {
+        // 3× the budget (the in-flight estimate is deliberately rough)
+        // plus 128 MiB of fixed slack for the pool, allocator, and
+        // page-cache accounting noise.
+        let bound_kb = 3 * (self.max_inflight_bytes as u64 / 1024) + (128 << 10);
+        let grew_kb = self.peak_rss_kb.saturating_sub(self.rss_before_kb);
+        let msg = format!(
+            "scaled ingestion: {} binaries ({:.1} MiB on disk), RSS grew {:.1} MiB \
+             (bound {:.1} MiB, ballast {:.1} MiB)",
+            self.binaries,
+            self.total_bytes as f64 / (1 << 20) as f64,
+            grew_kb as f64 / 1024.0,
+            bound_kb as f64 / 1024.0,
+            self.max_inflight_bytes as f64 / (1 << 20) as f64,
+        );
+        if grew_kb > bound_kb {
+            Err(msg)
+        } else {
+            Ok(msg)
+        }
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        format!(
+            "corpus-scale: {} binaries ({} bases, {:.1} MiB on disk), {:.0}% mmap-ingested\n\
+             {:>10.1} ms, {:.1} binaries/s, {} functions\n\
+             RSS: {:.1} MiB before sweep, {:.1} MiB peak, ballast {:.1} MiB\n",
+            self.binaries,
+            self.distinct_bases,
+            self.total_bytes as f64 / (1 << 20) as f64,
+            self.mapped_fraction * 100.0,
+            self.ms,
+            self.bins_per_s,
+            self.functions,
+            self.rss_before_kb as f64 / 1024.0,
+            self.peak_rss_kb as f64 / 1024.0,
+            self.max_inflight_bytes as f64 / (1 << 20) as f64,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,6 +606,24 @@ mod tests {
         let doc2 = slow.append_to_document(Some(&doc), "post");
         assert_eq!(trajectory::extract_entries(&doc2).len(), 2);
         assert_eq!(last_bins_per_s(&doc2, "cold"), Some(100.0));
+    }
+
+    #[test]
+    fn scaled_ingestion_is_mapped_and_rss_bounded() {
+        let report = run_scaled(64, true);
+        assert_eq!(report.binaries, 64);
+        assert!(report.functions > 0, "scaled corpus must identify functions");
+        // The padding tag keeps every binary content-unique.
+        assert!(report.total_bytes > 0);
+        if std::env::var("FUNSEEKER_MMAP").as_deref() != Ok("0") {
+            assert!(
+                report.mapped_fraction > 0.99,
+                "regular files must ingest via mmap (got {:.0}%)",
+                report.mapped_fraction * 100.0
+            );
+        }
+        report.rss_bounded().expect("RSS growth bounded by the admission budget");
+        assert!(!report.render().is_empty());
     }
 
     #[test]

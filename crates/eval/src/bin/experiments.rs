@@ -3,9 +3,10 @@
 //! ```text
 //! experiments <table1|table2|table3|fig3|failures|by-opt|manual-endbr|arm|robustness|all> [--seed N] [--scale tiny|default|large] [--csv]
 //! experiments perf [--quick] [--json FILE [--label NAME]] [--check FILE]
-//! experiments batch [--quick] [--json FILE [--label NAME]] [--check FILE]
+//! experiments batch [--quick] [--corpus-scale N] [--json FILE [--label NAME]] [--check FILE]
 //! experiments callgraph [--quick] [--json FILE [--label NAME]] [--check FILE]
 //! experiments serve [--quick] [--json FILE [--label NAME]] [--check FILE]
+//! experiments io [--quick] [--json FILE [--label NAME]] [--check FILE]
 //! experiments multicore [--quick] [--cores N] [--json-sweep FILE] [--json-batch FILE] [--label NAME] [--check FILE]
 //! ```
 //!
@@ -21,6 +22,11 @@
 //! drivers over a corpus with duplicated images, plus cache hit rates
 //! and peak RSS. Flags mirror `perf` against `BENCH_batch.json`;
 //! `--check` gates on the newest committed cold-cache entry.
+//! `--corpus-scale N` instead runs the paper-scale ingestion
+//! measurement: N content-unique binaries (up to ~8,000; without the
+//! flag the corpus keeps its regular 576) written to disk and streamed
+//! through mmap ingestion under a small admission budget, with peak
+//! RSS asserted bounded by that budget rather than the corpus size.
 //!
 //! The `callgraph` subcommand scores recovered direct/tail call edges
 //! against the corpus's emitted call-edge ground truth and times the
@@ -35,6 +41,14 @@
 //! direct analysis. Flags mirror `perf` against `BENCH_batch.json`
 //! (rows `serve_dup`/`serve_distinct`); `--check` gates on the newest
 //! committed duplicate-heavy throughput.
+//!
+//! The `io` subcommand measures the zero-copy I/O path: cold mmap vs
+//! buffered-read ingestion, the `FSC3` binary cache codec vs the
+//! retired v2 text codec, and a duplicate-heavy daemon barrage served
+//! from pre-encoded reply bytes. Flags mirror `perf` against
+//! `BENCH_io.json`; `--check` gates on the newest committed
+//! `decode_v3` throughput and fails outright if the v3 decoder is
+//! slower than the v2 one.
 //!
 //! The `multicore` subcommand measures multi-core scaling: a
 //! power-of-two ladder of worker-pool widths up to `--cores N` (default
@@ -56,9 +70,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: experiments <table1|table2|table3|fig3|failures|by-opt|manual-endbr|arm|robustness|all> [--seed N] [--scale tiny|default|large] [--csv]\n\
          \x20      experiments perf [--quick] [--json FILE [--label NAME]] [--check FILE]\n\
-         \x20      experiments batch [--quick] [--json FILE [--label NAME]] [--check FILE]\n\
+         \x20      experiments batch [--quick] [--corpus-scale N] [--json FILE [--label NAME]] [--check FILE]\n\
          \x20      experiments callgraph [--quick] [--json FILE [--label NAME]] [--check FILE]\n\
          \x20      experiments serve [--quick] [--json FILE [--label NAME]] [--check FILE]\n\
+         \x20      experiments io [--quick] [--json FILE [--label NAME]] [--check FILE]\n\
          \x20      experiments multicore [--quick] [--cores N] [--json-sweep FILE] [--json-batch FILE] [--label NAME] [--check FILE]"
     );
     std::process::exit(2);
@@ -155,7 +170,40 @@ fn run_perf(args: &[String]) -> ! {
 }
 
 fn run_batch(args: &[String]) -> ! {
-    let flags = BenchFlags::parse(args);
+    // `--corpus-scale N` replaces the driver comparison with the
+    // paper-scale streaming-ingestion measurement; pull it (and its
+    // value) out before the shared flag parser sees the rest.
+    let mut scale: Option<usize> = None;
+    let mut rest: Vec<String> = Vec::with_capacity(args.len());
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--corpus-scale" {
+            i += 1;
+            scale = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+        } else {
+            rest.push(args[i].clone());
+        }
+        i += 1;
+    }
+    let flags = BenchFlags::parse(&rest);
+    if let Some(scale) = scale {
+        eprintln!(
+            "measuring paper-scale ingestion ({} binaries, {} mode)…",
+            scale.min(funseeker_eval::batch::SCALE_CAP),
+            if flags.quick { "quick" } else { "full" }
+        );
+        let report = funseeker_eval::batch::run_scaled(scale, flags.quick);
+        println!("## Paper-scale corpus ingestion\n");
+        println!("{}", report.render());
+        match report.rss_bounded() {
+            Ok(msg) => eprintln!("batch corpus-scale OK: {msg}"),
+            Err(msg) => {
+                eprintln!("batch corpus-scale FAILED: {msg}");
+                std::process::exit(1);
+            }
+        }
+        std::process::exit(0);
+    }
     eprintln!(
         "measuring batch-engine throughput ({} mode)…",
         if flags.quick { "quick" } else { "full" }
@@ -195,6 +243,22 @@ fn run_serve(args: &[String]) -> ! {
         "serve",
         |existing, label| report.append_to_document(existing, label),
         |committed| funseeker_eval::serve::check_against(committed, &report, BENCH_CHECK_MIN_RATIO),
+    )
+}
+
+fn run_io(args: &[String]) -> ! {
+    let flags = BenchFlags::parse(args);
+    eprintln!(
+        "measuring the zero-copy I/O path ({} mode)…",
+        if flags.quick { "quick" } else { "full" }
+    );
+    let report = funseeker_eval::io::run(flags.quick);
+    println!("## Zero-copy I/O path\n");
+    println!("{}", report.render());
+    flags.finish(
+        "io",
+        |existing, label| report.append_to_document(existing, label),
+        |committed| funseeker_eval::io::check_against(committed, &report, BENCH_CHECK_MIN_RATIO),
     )
 }
 
@@ -323,6 +387,10 @@ fn main() {
     if what == "serve" {
         // Likewise: the load test reuses the batch benchmark corpus.
         run_serve(&args[1..]);
+    }
+    if what == "io" {
+        // Likewise: the I/O path bench reuses the batch benchmark corpus.
+        run_io(&args[1..]);
     }
     if what == "multicore" {
         // Likewise: the scaling bench reuses the perf tiled text and

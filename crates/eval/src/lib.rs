@@ -38,6 +38,7 @@ pub mod failures;
 pub mod fig3;
 pub mod groundtruth;
 pub mod host;
+pub mod io;
 pub mod manual_endbr;
 pub mod metrics;
 pub mod multicore;

@@ -90,18 +90,18 @@ fn padded(image: &[u8], tag: u64) -> Vec<u8> {
     v
 }
 
-struct Barrage {
-    elapsed_s: f64,
-    latencies_us: Vec<u64>,
-    busy: u64,
-    peak_open: u64,
+pub(crate) struct Barrage {
+    pub(crate) elapsed_s: f64,
+    pub(crate) latencies_us: Vec<u64>,
+    pub(crate) busy: u64,
+    pub(crate) peak_open: u64,
 }
 
 /// One timed barrage: `threads` clients, each submitting its
 /// round-robin share of `images`, verifying every reply against
 /// `expected`. `distinct_salt` salts each submission into a fresh cache
 /// key (the distinct-heavy shape).
-fn barrage(
+pub(crate) fn barrage(
     addr: &str,
     images: &[Vec<u8>],
     expected: &[Arc<Analysis>],
@@ -208,7 +208,7 @@ fn barrage(
 /// Connects, retrying briefly: a thousand simultaneous connects can
 /// overflow the listener's backlog, which is itself backpressure, not
 /// failure.
-fn connect_retry(addr: &str) -> Client {
+pub(crate) fn connect_retry(addr: &str) -> Client {
     let deadline = Instant::now() + Duration::from_secs(60);
     loop {
         match Client::connect(addr) {

@@ -21,6 +21,7 @@
 
 use funseeker::{Config, FunSeeker};
 use funseeker_client::{Addr, Client};
+use funseeker_elf::Image;
 use funseeker_server::{Server, ServerConfig};
 
 fn usage() -> ! {
@@ -99,7 +100,9 @@ fn cmd_local(args: &[String]) {
     let seeker = FunSeeker::with_config(config).strict(strict);
     let mut failed = false;
     for path in &paths {
-        let bytes = match std::fs::read(path) {
+        // Memory-maps regular files (zero-copy); pipes and special
+        // files fall back to a buffered read inside `Image::load`.
+        let bytes = match Image::load(path) {
             Ok(b) => b,
             Err(e) => {
                 eprintln!("{path}: {e}");
@@ -302,7 +305,7 @@ fn cmd_submit(args: &[String]) {
     let mut client = connect(&addr);
     let mut failed = false;
     for path in &paths {
-        let bytes = match std::fs::read(path) {
+        let bytes = match Image::load(path) {
             Ok(b) => b,
             Err(e) => {
                 eprintln!("{path}: {e}");

@@ -593,15 +593,32 @@ fn dispatch(inner: &Inner, conn: &mut Conn, payload: &[u8], hold: Option<Ballast
     }
 }
 
-/// Serializes an analysis for the wire, stripping diagnostics if an
-/// exotic component makes the full entry non-persistable (the function
-/// set and every count survive).
-fn analysis_text(key: u64, analysis: &Analysis) -> String {
-    cache::serialize(key, analysis).unwrap_or_else(|| {
+/// The encoded v3 reply record for `key`. Duplicate requests — the
+/// single-flight-dedup hot case — find the bytes already attached to
+/// the result-cache entry and memcpy them to the socket; the first
+/// reply pays for one encode and caches it. Diagnostics are stripped
+/// if an exotic component makes the full record non-encodable (the
+/// function set and every count survive).
+fn reply_record(
+    inner: &Inner,
+    image_hash: u64,
+    config_fp: u64,
+    key: u64,
+    analysis: &Analysis,
+) -> Arc<Vec<u8>> {
+    if let Some(bytes) = inner.mem.wire(key) {
+        Counters::bump(&inner.counters.reply_bytes_hits);
+        return bytes;
+    }
+    let record = cache::encode(image_hash, config_fp, analysis).unwrap_or_else(|| {
         let mut stripped = analysis.clone();
         stripped.diagnostics = Diagnostics::new();
-        cache::serialize(key, &stripped).expect("analysis without diagnostics serializes")
-    })
+        cache::encode(image_hash, config_fp, &stripped)
+            .expect("analysis without diagnostics encodes")
+    });
+    // Racing first replies converge on one allocation; a key evicted
+    // from the cache between probe and here just serves unattached.
+    inner.mem.set_wire(key, Arc::new(record))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -609,15 +626,16 @@ fn send_result(
     inner: &Inner,
     conn: &mut Conn,
     image_hash: u64,
+    config_fp: u64,
     key: u64,
     t0: Instant,
     source: Source,
     analysis: &Analysis,
 ) -> bool {
-    let text = analysis_text(key, analysis);
+    let record = reply_record(inner, image_hash, config_fp, key, analysis);
     let elapsed_us = t0.elapsed().as_micros().min(u128::from(u32::MAX)) as u32;
     Counters::bump(&inner.counters.results_total);
-    send(inner, proto::write_result(conn, image_hash, key, elapsed_us, source, &text))
+    send(inner, proto::write_result(conn, image_hash, key, elapsed_us, source, &record))
 }
 
 fn handle_analyze(
@@ -636,6 +654,7 @@ fn handle_analyze(
     let config: Config =
         proto::wire_config(config_id, flags).expect("decode_request validated config and flags");
     let image_hash = hash_bytes(image);
+    let config_fp = cache::config_fingerprint(&config);
     let key = cache_key(image_hash, &config);
 
     // Fully cached submissions skip single-flight and the gate.
@@ -650,7 +669,7 @@ fn handle_analyze(
             }
         };
         drop(hold);
-        return send_result(inner, conn, image_hash, key, t0, source, &analysis);
+        return send_result(inner, conn, image_hash, config_fp, key, t0, source, &analysis);
     }
 
     match inner.flights.join(key, inner.config.max_followers) {
@@ -670,7 +689,16 @@ fn handle_analyze(
             match flight.wait(FOLLOWER_TIMEOUT) {
                 Some(Outcome::Done(analysis)) => {
                     Counters::bump(&inner.counters.singleflight_shared);
-                    send_result(inner, conn, image_hash, key, t0, Source::Shared, &analysis)
+                    send_result(
+                        inner,
+                        conn,
+                        image_hash,
+                        config_fp,
+                        key,
+                        t0,
+                        Source::Shared,
+                        &analysis,
+                    )
                 }
                 Some(Outcome::Failed(code, message)) => send_error(inner, conn, code, &message),
                 Some(Outcome::Busy { .. }) => send_busy(inner, conn),
@@ -719,9 +747,16 @@ fn handle_analyze(
             inner.flights.publish(key, outcome.clone());
             drop(hold);
             match outcome {
-                Outcome::Done(analysis) => {
-                    send_result(inner, conn, image_hash, key, t0, Source::Computed, &analysis)
-                }
+                Outcome::Done(analysis) => send_result(
+                    inner,
+                    conn,
+                    image_hash,
+                    config_fp,
+                    key,
+                    t0,
+                    Source::Computed,
+                    &analysis,
+                ),
                 Outcome::Failed(code, message) => send_error(inner, conn, code, &message),
                 Outcome::Busy { .. } => send_busy(inner, conn),
             }
@@ -755,6 +790,9 @@ mod tests {
         assert_eq!(again.analysis, local);
         let stats = client.stats().unwrap();
         assert_eq!(stats.get("images_analyzed"), Some(1));
+        // The duplicate was served from the pre-encoded reply bytes
+        // attached by the first reply, not re-serialized.
+        assert_eq!(stats.get("reply_bytes_hits"), Some(1));
         server.join();
         assert!(!path.exists(), "socket unlinked on shutdown");
     }

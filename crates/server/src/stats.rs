@@ -31,6 +31,9 @@ pub struct Counters {
     pub singleflight_shared: AtomicU64,
     /// (image, config) pairs actually computed by this daemon.
     pub images_analyzed: AtomicU64,
+    /// `RESULT` frames whose payload was served from the cached
+    /// pre-encoded reply bytes (no per-request re-serialization).
+    pub reply_bytes_hits: AtomicU64,
     /// Cache hits the disk layer (rather than memory) served.
     pub disk_hits: AtomicU64,
     /// Wall nanoseconds spent in the parse stage.
@@ -114,6 +117,7 @@ impl Counters {
         line("disk_hits", c(&self.disk_hits));
         line("singleflight_shared", c(&self.singleflight_shared));
         line("images_analyzed", c(&self.images_analyzed));
+        line("reply_bytes_hits", c(&self.reply_bytes_hits));
         line("queue_depth", g.queue_depth);
         line("running", g.running);
         line("analyze_slots", g.analyze_slots);
