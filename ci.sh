@@ -42,6 +42,10 @@ echo "==> batch engine smoke (quick mode, >30% cold-cache regression fails)"
 cargo run --release -q -p funseeker-eval --bin experiments -- \
   batch --quick --check BENCH_batch.json
 
+echo "==> shared-plan analyze smoke (quick mode; plan slower than naive or >30% regression fails)"
+cargo run --release -q -p funseeker-eval --bin experiments -- \
+  analyze --quick --check BENCH_batch.json
+
 echo "==> call-graph smoke (direct-edge precision floor + >30% build-throughput regression fails)"
 cargo run --release -q -p funseeker-eval --bin experiments -- \
   callgraph --quick --check BENCH_sweep.json

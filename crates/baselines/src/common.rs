@@ -4,9 +4,7 @@
 //! linear sweep per binary, shared with FunSeeker itself — instead of
 //! re-decoding the image per tool.
 
-use std::collections::BTreeSet;
-
-use funseeker::{prepare, Prepared};
+use funseeker::{prepare, FuncSet, Prepared};
 use funseeker_disasm::Mode;
 
 /// A uniform interface over all function identifiers in the comparison
@@ -17,11 +15,10 @@ pub trait FunctionIdentifier {
 
     /// Identifies function entry addresses from a prepared binary,
     /// reusing its shared sweep index.
-    fn identify_prepared(&self, prepared: &Prepared<'_>)
-        -> Result<BTreeSet<u64>, funseeker::Error>;
+    fn identify_prepared(&self, prepared: &Prepared<'_>) -> Result<FuncSet, funseeker::Error>;
 
     /// Identifies function entry addresses in a raw ELF image.
-    fn identify(&self, bytes: &[u8]) -> Result<BTreeSet<u64>, funseeker::Error> {
+    fn identify(&self, bytes: &[u8]) -> Result<FuncSet, funseeker::Error> {
         self.identify_prepared(&prepare(bytes)?)
     }
 }

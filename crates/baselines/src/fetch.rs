@@ -39,7 +39,7 @@ impl FunctionIdentifier for FetchLike {
         "FETCH"
     }
 
-    fn identify_prepared(&self, p: &Prepared<'_>) -> Result<BTreeSet<u64>, funseeker::Error> {
+    fn identify_prepared(&self, p: &Prepared<'_>) -> Result<funseeker::FuncSet, funseeker::Error> {
         let mut functions: BTreeSet<u64> = fde_begins_in_code(p).collect();
 
         // Pass 1: full-binary disassembly (FETCH disassembles everything,
@@ -100,7 +100,7 @@ impl FunctionIdentifier for FetchLike {
             }
         }
 
-        Ok(functions)
+        Ok(functions.into_iter().collect())
     }
 }
 

@@ -25,7 +25,7 @@ impl FunctionIdentifier for GhidraLike {
         "Ghidra"
     }
 
-    fn identify_prepared(&self, p: &Prepared<'_>) -> Result<BTreeSet<u64>, funseeker::Error> {
+    fn identify_prepared(&self, p: &Prepared<'_>) -> Result<funseeker::FuncSet, funseeker::Error> {
         // Seed set: the entry point and every FDE begin.
         let mut functions: BTreeSet<u64> = fde_begins_in_code(p).collect();
         if p.parsed.in_code(p.parsed.entry) {
@@ -59,7 +59,7 @@ impl FunctionIdentifier for GhidraLike {
             }
         }
 
-        Ok(functions)
+        Ok(functions.into_iter().collect())
     }
 }
 

@@ -26,7 +26,7 @@ impl FunctionIdentifier for IdaLike {
         "IDA Pro"
     }
 
-    fn identify_prepared(&self, p: &Prepared<'_>) -> Result<BTreeSet<u64>, funseeker::Error> {
+    fn identify_prepared(&self, p: &Prepared<'_>) -> Result<funseeker::FuncSet, funseeker::Error> {
         let insns = &p.index.insns;
 
         // Seed: entry point, the start-routine's main argument, and
@@ -72,7 +72,7 @@ impl FunctionIdentifier for IdaLike {
             }
         }
 
-        Ok(functions)
+        Ok(functions.into_iter().collect())
     }
 }
 

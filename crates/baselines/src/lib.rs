@@ -32,7 +32,7 @@ pub use ghidra::GhidraLike;
 pub use ida::IdaLike;
 pub use naive::NaiveEndbr;
 
-use std::collections::BTreeSet;
+use funseeker::FuncSet;
 
 /// FunSeeker wrapped in the common [`FunctionIdentifier`] interface.
 #[derive(Debug, Clone, Default)]
@@ -53,7 +53,7 @@ impl FunctionIdentifier for FunSeekerTool {
     fn identify_prepared(
         &self,
         prepared: &funseeker::Prepared<'_>,
-    ) -> Result<BTreeSet<u64>, funseeker::Error> {
+    ) -> Result<FuncSet, funseeker::Error> {
         Ok(self.0.identify_prepared(prepared).functions)
     }
 }

@@ -6,8 +6,6 @@
 //! identifier exists for the ablation benches and as the motivating
 //! lower bound.
 
-use std::collections::BTreeSet;
-
 use funseeker::Prepared;
 
 use crate::common::FunctionIdentifier;
@@ -24,7 +22,7 @@ impl FunctionIdentifier for NaiveEndbr {
     fn identify_prepared(
         &self,
         prepared: &Prepared<'_>,
-    ) -> Result<BTreeSet<u64>, funseeker::Error> {
+    ) -> Result<funseeker::FuncSet, funseeker::Error> {
         Ok(prepared.index.endbrs.iter().copied().collect())
     }
 }

@@ -289,8 +289,9 @@ pub fn encode(image_hash: u64, config_fp: u64, a: &Analysis) -> Option<Vec<u8>> 
     push_section(&mut out, TAG_META, &meta);
     sections += 1;
 
+    // Bulk encode straight off the packed sorted slice — no tree walk.
     let mut funcs = Vec::with_capacity(8 * a.functions.len());
-    for f in &a.functions {
+    for f in a.functions.as_slice() {
         funcs.extend_from_slice(&f.to_le_bytes());
     }
     if funcs.len() > u32::MAX as usize {
@@ -427,20 +428,17 @@ pub fn decode(key: u64, bytes: &[u8]) -> Option<Analysis> {
     // The function array decodes straight off the record bytes (no
     // intermediate text or token vector): strictly ascending `u64`s,
     // rejected otherwise so damaged arrays cannot alias a valid set.
-    // Validation first, then one bulk collect — building a `BTreeSet`
-    // from a pre-sorted iterator is O(n), per-insert rebalancing isn't.
-    let mut prev: Option<u64> = None;
+    // One pass validates and fills an exact-capacity vector, which the
+    // packed `FuncSet` wraps without further work.
+    let mut members: Vec<u64> = Vec::with_capacity(funcs.len() / 8);
     for chunk in funcs.chunks_exact(8) {
         let f = u64::from_le_bytes(chunk.try_into().ok()?);
-        if prev.is_some_and(|p| p >= f) {
+        if members.last().is_some_and(|&p| p >= f) {
             return None;
         }
-        prev = Some(f);
+        members.push(f);
     }
-    let functions: std::collections::BTreeSet<u64> = funcs
-        .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().expect("validated 8-byte chunk")))
-        .collect();
+    let functions = funseeker::FuncSet::from_sorted(members);
 
     let m = |i: usize| rd_u64(meta, i * 8);
     let cet_enabled = match m(9)? {
@@ -622,6 +620,9 @@ pub fn deserialize_v2(key: u64, text: &str) -> Option<Analysis> {
     if functions.len() != n_functions {
         return None;
     }
+    // Legacy path only: the tree build stays (it dedups while counting);
+    // the packed set is built once from the already-sorted members.
+    let functions: funseeker::FuncSet = functions.into_iter().collect();
 
     let mut interproc = None;
     if let Some(rest) = lines.peek().and_then(|l| l.strip_prefix("interproc ")) {

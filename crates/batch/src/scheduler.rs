@@ -29,17 +29,17 @@
 //!
 //! The contract, enforced by proptests in `tests/`: for every input and
 //! configuration, the result is **identical** to a fresh sequential
-//! [`funseeker::prepare`] + [`FunSeeker::identify_prepared`].
+//! [`funseeker::prepare`] + [`funseeker::FunSeeker::identify_prepared`].
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use funseeker::parse::parse;
-use funseeker::{Analysis, Config, FunSeeker, Prepared, Scratch};
+use funseeker::{Analysis, AnalysisPlan, Config, Prepared, Scratch, StageStats};
 
 use crate::admission::Ballast;
 use crate::cache::{cache_key, DiskCache, ResultCache};
@@ -95,6 +95,10 @@ pub struct BatchStats {
     pub sweep_ns: u64,
     /// Wall nanoseconds summed over all analyze-stage tasks.
     pub analyze_ns: u64,
+    /// Core-analyzer per-stage counters (FILTERENDBR, SELECTTAILCALL,
+    /// candidate-set algebra, interprocedural), summed over every
+    /// non-cached (image, configuration) computation.
+    pub stage: StageStats,
     /// High-water mark of the in-flight memory estimate.
     pub peak_inflight_bytes: usize,
 }
@@ -134,9 +138,13 @@ pub fn inflight_estimate(image_len: usize) -> usize {
 }
 
 thread_local! {
-    /// One scratch arena per pool worker (and per submitter thread):
-    /// cleared and refilled by every analyze stage, never shrunk.
-    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+    /// One scratch arena plus one [`AnalysisPlan`] per pool worker (and
+    /// per submitter thread): the plan is rebuilt once per distinct
+    /// image and every required configuration is derived from it by set
+    /// algebra; both grow to the workload's high-water mark and never
+    /// shrink, so the warm path allocates nothing.
+    static WORKSPACE: RefCell<(Scratch, AnalysisPlan)> =
+        RefCell::new((Scratch::new(), AnalysisPlan::new()));
 }
 
 /// Runs the batch engine over `images`, analyzing each under every
@@ -197,6 +205,7 @@ pub fn run_with_cache<I: AsRef<[u8]> + Sync>(
     let parse_ns = AtomicU64::new(0);
     let sweep_ns = AtomicU64::new(0);
     let analyze_ns = AtomicU64::new(0);
+    let stage_stats = Mutex::new(StageStats::default());
     let parse_errors = AtomicUsize::new(0);
     let disk_hits = AtomicU64::new(0);
     let mem_cache = opts.cache.then_some(cache);
@@ -233,7 +242,7 @@ pub fn run_with_cache<I: AsRef<[u8]> + Sync>(
             ballast.acquire(est);
             let (slots, ballast) = (&slots, &ballast);
             let (parse_ns, sweep_ns, analyze_ns) = (&parse_ns, &sweep_ns, &analyze_ns);
-            let parse_errors = &parse_errors;
+            let (parse_errors, stage_stats) = (&parse_errors, &stage_stats);
             let disk = disk.as_ref(); // Option<&DiskCache> is Copy
             s.spawn(move || {
                 // Stage 1: PARSE.
@@ -259,18 +268,14 @@ pub fn run_with_cache<I: AsRef<[u8]> + Sync>(
                     sweep_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     s.spawn(move || {
                         // Stage 3: ANALYZE the configurations the probe
-                        // left unresolved, over the one shared sweep.
+                        // left unresolved — one plan rebuild over the
+                        // shared sweep, then per-config set algebra.
                         let t = Instant::now();
-                        let per_config = configs
-                            .iter()
-                            .zip(resolved)
-                            .map(|(cfg, hit)| {
-                                hit.unwrap_or_else(|| {
-                                    compute_one(image_hash, cfg, &prepared, mem_cache, disk)
-                                })
-                            })
-                            .collect();
+                        let (per_config, stage) = compute_missing(
+                            image_hash, configs, resolved, &prepared, mem_cache, disk,
+                        );
                         analyze_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        stage_stats.lock().unwrap().merge(&stage);
                         let _ = slots[u].set(Some(per_config));
                         ballast.release(est);
                     });
@@ -300,6 +305,7 @@ pub fn run_with_cache<I: AsRef<[u8]> + Sync>(
             parse_ns: parse_ns.into_inner(),
             sweep_ns: sweep_ns.into_inner(),
             analyze_ns: analyze_ns.into_inner(),
+            stage: stage_stats.into_inner().unwrap(),
             peak_inflight_bytes: ballast.peak(),
         },
     }
@@ -358,6 +364,9 @@ pub struct ImageAnalysis {
     pub sweep_ns: u64,
     /// Wall nanoseconds in the analyze stage (0 when fully cached).
     pub analyze_ns: u64,
+    /// Core-analyzer per-stage counters for the non-cached
+    /// configurations (all-zero when fully cached).
+    pub stage: StageStats,
 }
 
 /// Analyzes one already-hashed image under every configuration in
@@ -373,7 +382,7 @@ pub struct ImageAnalysis {
 /// key, so a wrong hash would poison the cache.
 ///
 /// The output is **identical** to a fresh sequential
-/// [`funseeker::prepare`] + [`FunSeeker::identify_prepared`]; parse
+/// [`funseeker::prepare`] + [`funseeker::FunSeeker::identify_prepared`]; parse
 /// failures return the underlying error and leave no cache residue.
 pub fn analyze_hashed(
     bytes: &[u8],
@@ -389,6 +398,7 @@ pub fn analyze_hashed(
         parse_ns: 0,
         sweep_ns: 0,
         analyze_ns: 0,
+        stage: StageStats::default(),
     };
     let mut resolved: Vec<Option<Arc<Analysis>>> = Vec::with_capacity(configs.len());
     let mut missing = 0usize;
@@ -416,45 +426,66 @@ pub fn analyze_hashed(
     let prepared = Prepared::from_parsed(parsed);
     out.sweep_ns = t.elapsed().as_nanos() as u64;
     let t = Instant::now();
-    out.per_config = configs
-        .iter()
-        .zip(resolved)
-        .map(|(cfg, hit)| hit.unwrap_or_else(|| compute_one(image_hash, cfg, &prepared, mem, disk)))
-        .collect();
+    let (per_config, stage) = compute_missing(image_hash, configs, resolved, &prepared, mem, disk);
+    out.per_config = per_config;
+    out.stage = stage;
     out.analyze_ns = t.elapsed().as_nanos() as u64;
     Ok(out)
 }
 
-/// Computes one (image, config) analysis with the worker's scratch
-/// arena and fills the cache layers on the way out. The caller has
-/// already established that the cache hierarchy misses this key.
-fn compute_one(
+/// Analyzes every configuration the cache probe left unresolved, with
+/// the worker's scratch arena, and fills the cache layers on the way
+/// out. The caller has already established that the cache hierarchy
+/// misses each unresolved key.
+///
+/// This is where the shared [`AnalysisPlan`] pays off: the plan is
+/// rebuilt **at most once** per call — one pass over the parse and the
+/// sweep that materializes every config-invariant primitive — and each
+/// missing configuration is then derived from it by set algebra.
+/// (`derive` itself falls back to the staged pipeline for the rare
+/// configurations the plan cannot express, so the output is always
+/// bit-identical to `run_stages_with`.) Also returns the per-stage
+/// counters this call charged.
+fn compute_missing(
     image_hash: u64,
-    config: &Config,
+    configs: &[Config],
+    resolved: Vec<Option<Arc<Analysis>>>,
     prepared: &Prepared<'_>,
     cache: Option<&ResultCache>,
     disk: Option<&DiskCache>,
-) -> Arc<Analysis> {
-    let analysis = SCRATCH.with(|scratch| {
-        FunSeeker::with_config(*config).run_stages_with(
-            &prepared.parsed,
-            &prepared.index,
-            &mut scratch.borrow_mut(),
-        )
-    });
-    let shared = Arc::new(analysis);
-    if let Some(mem) = cache {
-        mem.insert(cache_key(image_hash, config), shared.clone());
-        if let Some(d) = disk {
-            d.store(image_hash, config, &shared);
-        }
-    }
-    shared
+) -> (Vec<Arc<Analysis>>, StageStats) {
+    WORKSPACE.with(|w| {
+        let (scratch, plan) = &mut *w.borrow_mut();
+        let mut rebuilt = false;
+        let per_config = configs
+            .iter()
+            .zip(resolved)
+            .map(|(config, hit)| {
+                hit.unwrap_or_else(|| {
+                    if !rebuilt && AnalysisPlan::supports(config) {
+                        plan.rebuild(&prepared.parsed, &prepared.index, scratch);
+                        rebuilt = true;
+                    }
+                    let analysis = plan.derive(config, &prepared.parsed, &prepared.index, scratch);
+                    let shared = Arc::new(analysis);
+                    if let Some(mem) = cache {
+                        mem.insert(cache_key(image_hash, config), shared.clone());
+                        if let Some(d) = disk {
+                            d.store(image_hash, config, &shared);
+                        }
+                    }
+                    shared
+                })
+            })
+            .collect();
+        (per_config, scratch.take_stats())
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use funseeker::FunSeeker;
 
     fn own_exe() -> Vec<u8> {
         std::fs::read("/proc/self/exe").unwrap()
@@ -474,6 +505,31 @@ mod tests {
         assert_eq!(out.stats.unique_images, 1);
         assert_eq!(out.stats.parse_errors, 0);
         assert!(out.stats.parse_ns > 0 && out.stats.sweep_ns > 0 && out.stats.analyze_ns > 0);
+        // The plan-derived analyze stage charges the same per-stage
+        // counters the unfused pipeline would.
+        assert!(out.stats.stage.total_ns() > 0);
+        assert!(out.stats.stage.entry_candidates > 0);
+        assert!(out.stats.stage.final_candidates > 0);
+    }
+
+    #[test]
+    fn extension_configs_match_fresh_sequential_analysis() {
+        // Mixes plan-derivable configurations with ones `derive` must
+        // fall back on (pattern scan), through the full batch path.
+        let image = own_exe();
+        let configs = [
+            Config::c4(),
+            Config { reach_prune: true, ..Config::c4() },
+            Config { interproc: true, ..Config::c4() },
+            Config { endbr_pattern_scan: true, ..Config::c4() },
+            Config { filter_endbr: false, ..Config::c4() },
+        ];
+        let out = run(std::slice::from_ref(&image), &configs, &BatchOptions::default());
+        let prepared = funseeker::prepare(&image).unwrap();
+        for (j, cfg) in configs.iter().enumerate() {
+            let fresh = FunSeeker::with_config(*cfg).identify_prepared(&prepared);
+            assert_eq!(*out.results[0][j].as_ref().unwrap().as_ref(), fresh, "config {j}");
+        }
     }
 
     #[test]

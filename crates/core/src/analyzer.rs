@@ -1,11 +1,12 @@
 //! The FunSeeker analyzer — Algorithm 1 end to end.
 
-use std::collections::BTreeSet;
+use std::time::Instant;
 
 use crate::config::Config;
 use crate::disassemble::{disassemble, SweepIndex};
 use crate::error::Error;
 use crate::filter::filter_endbr_into;
+use crate::funcset::FuncSet;
 use crate::parse::{parse, Parsed};
 use crate::scratch::Scratch;
 use crate::tailcall::select_tail_calls_into;
@@ -72,8 +73,9 @@ pub struct InterprocSummary {
 /// Function identification result with per-stage accounting.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Analysis {
-    /// Identified function entry addresses.
-    pub functions: BTreeSet<u64>,
+    /// Identified function entry addresses — a packed sorted set (one
+    /// contiguous allocation, binary-search membership).
+    pub functions: FuncSet,
     /// `[start, end)` span of the analyzed code (first region start to
     /// last region end).
     pub text_range: (u64, u64),
@@ -214,6 +216,7 @@ impl FunSeeker {
         // may have lost to data-in-text desynchronization. Only the
         // end-branch list is augmented — borrow the rest of the index
         // rather than cloning it.
+        let t = Instant::now();
         let endbrs: &[u64] = if self.config.endbr_pattern_scan {
             scratch.endbr_union.clear();
             scratch.endbr_union.extend_from_slice(&sweep.endbrs);
@@ -243,8 +246,10 @@ impl FunSeeker {
             scratch.entries.dedup();
         }
         let filtered = endbr_count - scratch.entries.len();
+        scratch.stats.filter_ns += t.elapsed().as_nanos() as u64;
 
         // E′ ∪ C.
+        let t = Instant::now();
         scratch.functions.clear();
         scratch.functions.extend_from_slice(&scratch.entries);
         scratch.functions.extend(sweep.call_targets.iter().copied());
@@ -257,8 +262,10 @@ impl FunSeeker {
         scratch.jmp_targets.sort_unstable();
         scratch.jmp_targets.dedup();
         let jmp_target_count = scratch.jmp_targets.len();
+        scratch.stats.boundaries_ns += t.elapsed().as_nanos() as u64;
 
         // ∪ J or ∪ J′.
+        let t = Instant::now();
         let mut tail_count = 0;
         if self.config.include_jump_targets {
             if self.config.select_tail_calls {
@@ -280,6 +287,11 @@ impl FunSeeker {
             scratch.functions.sort_unstable();
             scratch.functions.dedup();
         }
+        if self.config.select_tail_calls && self.config.include_jump_targets {
+            scratch.stats.tailcall_ns += t.elapsed().as_nanos() as u64;
+        } else {
+            scratch.stats.boundaries_ns += t.elapsed().as_nanos() as u64;
+        }
 
         // Optional reachability pruning (interprocedural extension).
         // Plain jump-target candidates exist only when J is included
@@ -291,32 +303,37 @@ impl FunSeeker {
             && self.config.include_jump_targets
             && !self.config.select_tail_calls
         {
-            let Scratch { endbr_union, entries, functions, reach, work, .. } = scratch;
-            let endbrs: &[u64] =
-                if self.config.endbr_pattern_scan { endbr_union } else { &sweep.endbrs };
-            // Roots: the program entry, every end-branch (landing pads
-            // and filtered end-branches are still executed code), and
-            // every protected candidate (E′ ∪ C).
-            let roots = std::iter::once(parsed.entry)
-                .chain(endbrs.iter().copied())
-                .chain(entries.iter().copied())
-                .chain(sweep.call_targets.iter().copied());
-            crate::callgraph::reachable_insns_into(sweep, roots, reach, work);
-            let before = functions.len();
-            functions.retain(|&f| {
-                entries.binary_search(&f).is_ok()
-                    || sweep.call_targets.contains(&f)
-                    || f == parsed.entry
-                    || sweep.insn_at(f).is_some_and(|i| reach[i / 64] >> (i % 64) & 1 == 1)
-            });
-            pruned_count = before - functions.len();
+            let t = Instant::now();
+            {
+                let Scratch { endbr_union, entries, functions, reach, work, .. } = scratch;
+                let endbrs: &[u64] =
+                    if self.config.endbr_pattern_scan { endbr_union } else { &sweep.endbrs };
+                // Roots: the program entry, every end-branch (landing pads
+                // and filtered end-branches are still executed code), and
+                // every protected candidate (E′ ∪ C).
+                let roots = std::iter::once(parsed.entry)
+                    .chain(endbrs.iter().copied())
+                    .chain(entries.iter().copied())
+                    .chain(sweep.call_targets.iter().copied());
+                crate::callgraph::reachable_insns_into(sweep, roots, reach, work);
+                let before = functions.len();
+                functions.retain(|&f| {
+                    entries.binary_search(&f).is_ok()
+                        || sweep.call_targets.contains(&f)
+                        || f == parsed.entry
+                        || sweep.insn_at(f).is_some_and(|i| reach[i / 64] >> (i % 64) & 1 == 1)
+                });
+                pruned_count = before - functions.len();
+            }
+            scratch.stats.boundaries_ns += t.elapsed().as_nanos() as u64;
         }
 
         // Optional interprocedural summaries over the final entry set.
         let interproc = self.config.interproc.then(|| {
+            let t = Instant::now();
             let cfgs = crate::cfg::build_cfgs(sweep, &scratch.functions);
             let graph = crate::callgraph::build_call_graph(sweep, &scratch.functions);
-            InterprocSummary {
+            let summary = InterprocSummary {
                 cfg_count: cfgs.len(),
                 block_count: cfgs.iter().map(|c| c.blocks.len()).sum(),
                 cfg_edge_count: cfgs.iter().map(crate::cfg::Cfg::edge_count).sum(),
@@ -326,13 +343,18 @@ impl FunSeeker {
                     + graph.indirect_jump_sites.len()
                     + graph.notrack_sites,
                 indirect_targets: graph.indirect_targets.len(),
-            }
+            };
+            scratch.stats.interproc_ns += t.elapsed().as_nanos() as u64;
+            summary
         });
 
+        scratch.stats.entry_candidates += scratch.entries.len() as u64;
+        scratch.stats.tail_candidates += tail_count as u64;
+        scratch.stats.final_candidates += scratch.functions.len() as u64;
+
         Analysis {
-            // Bulk-built from the sorted run — the field type stays a
-            // `BTreeSet` for every downstream consumer.
-            functions: scratch.functions.iter().copied().collect(),
+            // One exact-size allocation + memcpy from the sorted run.
+            functions: FuncSet::from_sorted_slice(&scratch.functions),
             text_range: parsed.code.bounds(),
             endbr_count,
             filtered_endbrs: filtered,

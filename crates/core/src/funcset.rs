@@ -1,0 +1,178 @@
+//! Packed sorted set of identified function entry addresses.
+//!
+//! [`crate::Analysis::functions`] used to be a `BTreeSet<u64>`, which
+//! costs a node allocation and a pointer chase per member on every
+//! build, clone, serialize, and merge. The final stage of Algorithm 1
+//! already produces a sorted, deduplicated run in the scratch arena, so
+//! the set is stored as exactly that: one contiguous `Vec<u64>`.
+//! Construction is a single `memcpy`, membership is a binary search,
+//! and the batch cache encodes/decodes the whole set as one bulk copy
+//! of little-endian words.
+//!
+//! The invariant — strictly ascending, no duplicates — is established
+//! by every constructor and relied on by every method.
+
+use std::ops::Deref;
+
+/// A sorted, deduplicated set of function entry addresses backed by a
+/// single contiguous allocation.
+///
+/// Dereferences to `&[u64]`, so slice iteration, `len`, and indexing
+/// work directly; set operations (`contains`, `is_subset`,
+/// `difference`, `intersection`) use the sorted invariant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FuncSet(Vec<u64>);
+
+impl FuncSet {
+    /// The empty set.
+    pub fn new() -> FuncSet {
+        FuncSet(Vec::new())
+    }
+
+    /// Wraps a vector that is already strictly ascending (sorted with
+    /// no duplicates) — the form every Algorithm-1 stage emits.
+    pub fn from_sorted(addrs: Vec<u64>) -> FuncSet {
+        debug_assert!(
+            addrs.windows(2).all(|w| w[0] < w[1]),
+            "FuncSet input must be strictly ascending"
+        );
+        FuncSet(addrs)
+    }
+
+    /// Copies a strictly-ascending slice — one exact-size allocation
+    /// plus a `memcpy`, the constructor the analyzer uses to publish
+    /// the scratch arena's final run.
+    pub fn from_sorted_slice(addrs: &[u64]) -> FuncSet {
+        debug_assert!(
+            addrs.windows(2).all(|w| w[0] < w[1]),
+            "FuncSet input must be strictly ascending"
+        );
+        FuncSet(addrs.to_vec())
+    }
+
+    /// The members as a sorted slice.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// Consumes the set, returning the sorted member vector.
+    pub fn into_vec(self) -> Vec<u64> {
+        self.0
+    }
+
+    /// Membership test — a binary search over the packed run.
+    pub fn contains(&self, addr: &u64) -> bool {
+        self.0.binary_search(addr).is_ok()
+    }
+
+    /// Whether every member of `self` is also in `other` (one merge
+    /// walk, O(|self| + |other|)).
+    pub fn is_subset(&self, other: &FuncSet) -> bool {
+        let mut it = other.0.iter();
+        'outer: for a in &self.0 {
+            for b in it.by_ref() {
+                match b.cmp(a) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Members of `self` that are not in `other`, ascending.
+    pub fn difference<'a>(&'a self, other: &'a FuncSet) -> impl Iterator<Item = &'a u64> {
+        self.0.iter().filter(move |a| !other.contains(a))
+    }
+
+    /// Members common to `self` and `other`, ascending.
+    pub fn intersection<'a>(&'a self, other: &'a FuncSet) -> impl Iterator<Item = &'a u64> {
+        self.0.iter().filter(move |a| other.contains(a))
+    }
+
+    /// Iterates the members in ascending order.
+    pub fn iter(&self) -> std::slice::Iter<'_, u64> {
+        self.0.iter()
+    }
+}
+
+impl Deref for FuncSet {
+    type Target = [u64];
+
+    fn deref(&self) -> &[u64] {
+        &self.0
+    }
+}
+
+impl FromIterator<u64> for FuncSet {
+    /// Collects arbitrary (unsorted, possibly duplicated) addresses
+    /// into a set.
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> FuncSet {
+        let mut v: Vec<u64> = iter.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        FuncSet(v)
+    }
+}
+
+impl IntoIterator for FuncSet {
+    type Item = u64;
+    type IntoIter = std::vec::IntoIter<u64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a FuncSet {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree_on_set_semantics() {
+        let from_iter: FuncSet = [3u64, 1, 2, 1, 3].into_iter().collect();
+        assert_eq!(from_iter, FuncSet::from_sorted(vec![1, 2, 3]));
+        assert_eq!(from_iter, FuncSet::from_sorted_slice(&[1, 2, 3]));
+        assert_eq!(FuncSet::new(), FuncSet::default());
+        assert!(FuncSet::new().is_empty());
+    }
+
+    #[test]
+    fn membership_and_slice_access() {
+        let s = FuncSet::from_sorted(vec![0x100, 0x200, 0x300]);
+        assert!(s.contains(&0x200));
+        assert!(!s.contains(&0x201));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.as_slice(), &[0x100, 0x200, 0x300]);
+        assert_eq!(s.iter().copied().sum::<u64>(), 0x600);
+        assert_eq!((&s).into_iter().count(), 3);
+        assert_eq!(s.clone().into_vec(), vec![0x100, 0x200, 0x300]);
+        assert_eq!(s.into_iter().collect::<Vec<u64>>(), vec![0x100, 0x200, 0x300]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = FuncSet::from_sorted(vec![1, 2, 3, 5]);
+        let b = FuncSet::from_sorted(vec![2, 3, 4, 5, 6]);
+        let sub = FuncSet::from_sorted(vec![2, 5]);
+        assert!(sub.is_subset(&a));
+        assert!(sub.is_subset(&b));
+        assert!(!a.is_subset(&b));
+        assert!(FuncSet::new().is_subset(&a));
+        assert!(a.is_subset(&a));
+        assert_eq!(a.difference(&b).copied().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(b.difference(&a).copied().collect::<Vec<_>>(), vec![4, 6]);
+        assert_eq!(a.intersection(&b).copied().collect::<Vec<_>>(), vec![2, 3, 5]);
+    }
+}

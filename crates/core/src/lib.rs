@@ -36,6 +36,8 @@ pub mod boundaries;
 mod config;
 pub mod diag;
 mod error;
+mod funcset;
+mod plan;
 mod scratch;
 
 pub mod callgraph;
@@ -53,4 +55,6 @@ pub use config::Config;
 pub use diag::{Diagnostic, Diagnostics};
 pub use error::Error;
 pub use filter::{is_indirect_return_name, INDIRECT_RETURN_FUNCTIONS};
-pub use scratch::Scratch;
+pub use funcset::FuncSet;
+pub use plan::{AnalysisPlan, EndbrClass, ENDBR_CLASSES};
+pub use scratch::{Scratch, StageStats};

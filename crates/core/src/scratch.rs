@@ -20,6 +20,53 @@
 //! batch callers hold one per worker and pass it to
 //! [`crate::FunSeeker::run_stages_with`].
 
+/// Cumulative per-stage wall time and candidate counts for the
+/// Algorithm-1 back end.
+///
+/// [`crate::FunSeeker::run_stages_with`] and the fused
+/// [`crate::AnalysisPlan`] both charge their work here (the counters
+/// live in [`Scratch`], accumulating across every analysis a worker
+/// runs). `experiments -- perf` and the batch report read them to show
+/// where the stage pipeline spends its time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// FILTERENDBR (or the plain `E` sort/dedup when filtering is off),
+    /// including the optional pattern-scan union.
+    pub filter_ns: u64,
+    /// SELECTTAILCALL: interval construction, referer accumulation, and
+    /// the selected-target union.
+    pub tailcall_ns: u64,
+    /// Candidate-set construction: the `E′ ∪ C` and `∪ J` merges, the
+    /// `J` dedup, and reachability pruning.
+    pub boundaries_ns: u64,
+    /// Interprocedural summaries (CFGs + call graph), when requested.
+    pub interproc_ns: u64,
+    /// Σ |E′| over all runs — entry candidates surviving FILTERENDBR.
+    pub entry_candidates: u64,
+    /// Σ |J′| over all runs — tail-call targets selected.
+    pub tail_candidates: u64,
+    /// Σ |functions| over all runs — final identified entries.
+    pub final_candidates: u64,
+}
+
+impl StageStats {
+    /// Adds another accumulator's counters into this one.
+    pub fn merge(&mut self, other: &StageStats) {
+        self.filter_ns += other.filter_ns;
+        self.tailcall_ns += other.tailcall_ns;
+        self.boundaries_ns += other.boundaries_ns;
+        self.interproc_ns += other.interproc_ns;
+        self.entry_candidates += other.entry_candidates;
+        self.tail_candidates += other.tail_candidates;
+        self.final_candidates += other.final_candidates;
+    }
+
+    /// Total stage wall time, summed over the four buckets.
+    pub fn total_ns(&self) -> u64 {
+        self.filter_ns + self.tailcall_ns + self.boundaries_ns + self.interproc_ns
+    }
+}
+
 /// Reusable buffers for one analysis worker.
 ///
 /// Obtain with [`Scratch::new`], pass to
@@ -49,6 +96,14 @@ pub struct Scratch {
     pub(crate) reach: Vec<u64>,
     /// Reachability pruning's BFS worklist of instruction indices.
     pub(crate) work: Vec<u32>,
+    /// [`crate::AnalysisPlan`]'s PLT-return points (addresses after any
+    /// call into the PLT) — build-time temporary for the evidence-class
+    /// partition.
+    pub(crate) plt_returns: Vec<u64>,
+    /// Cumulative per-stage timing and candidate counters; never
+    /// cleared by the stages — callers snapshot or reset via
+    /// [`Scratch::take_stats`].
+    pub stats: StageStats,
 }
 
 impl Scratch {
@@ -67,10 +122,18 @@ impl Scratch {
             + self.jmp_targets.capacity()
             + self.region_starts.capacity()
             + self.tails.capacity()
-            + self.reach.capacity();
+            + self.reach.capacity()
+            + self.plt_returns.capacity();
         u64s * std::mem::size_of::<u64>()
             + self.referers.capacity() * std::mem::size_of::<(u64, Option<u64>)>()
             + self.work.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Takes the accumulated [`StageStats`], resetting the counters —
+    /// how a scheduler charges one task's stage time to its own
+    /// aggregate without double counting.
+    pub fn take_stats(&mut self) -> StageStats {
+        std::mem::take(&mut self.stats)
     }
 }
 

@@ -75,6 +75,60 @@ pub(crate) fn select_tail_calls_into(
     referers: &mut Vec<(u64, Option<u64>)>,
     out: &mut Vec<u64>,
 ) {
+    collect_referers(candidates, jmp_edges, region_starts, referers);
+
+    // Each run of equal targets holds its distinct referring intervals.
+    out.clear();
+    let mut i = 0;
+    while i < referers.len() {
+        let target = referers[i].0;
+        let mut j = i + 1;
+        while j < referers.len() && referers[j].0 == target {
+            j += 1;
+        }
+        if j - i >= min_referers {
+            out.push(target);
+        }
+        i = j;
+    }
+}
+
+/// The SELECTTAILCALL interval structure itself, config-invariant form:
+/// for every jump target that passes condition (1), the number of
+/// *distinct* referring intervals. `runs` comes back sorted by target,
+/// so `J′` for **any** `min_referers` threshold is the targets whose
+/// count clears it — what [`crate::AnalysisPlan`] materializes once per
+/// binary.
+pub(crate) fn tail_referer_runs_into(
+    candidates: &[u64],
+    jmp_edges: &[(u64, u64)],
+    region_starts: &[u64],
+    referers: &mut Vec<(u64, Option<u64>)>,
+    runs: &mut Vec<(u64, u32)>,
+) {
+    collect_referers(candidates, jmp_edges, region_starts, referers);
+    runs.clear();
+    let mut i = 0;
+    while i < referers.len() {
+        let target = referers[i].0;
+        let mut j = i + 1;
+        while j < referers.len() && referers[j].0 == target {
+            j += 1;
+        }
+        runs.push((target, (j - i) as u32));
+        i = j;
+    }
+}
+
+/// Shared accumulation pass: fills `referers` with sorted, deduplicated
+/// `(target, referring interval)` pairs for every jump that leaves its
+/// own interval toward a not-yet-identified target.
+fn collect_referers(
+    candidates: &[u64],
+    jmp_edges: &[(u64, u64)],
+    region_starts: &[u64],
+    referers: &mut Vec<(u64, Option<u64>)>,
+) {
     debug_assert!(candidates.windows(2).all(|w| w[0] < w[1]), "candidates must be sorted+deduped");
 
     // Interval id of an address = the greatest candidate-or-region-start
@@ -106,21 +160,6 @@ pub(crate) fn select_tail_calls_into(
     }
     referers.sort_unstable();
     referers.dedup();
-
-    // Each run of equal targets holds its distinct referring intervals.
-    out.clear();
-    let mut i = 0;
-    while i < referers.len() {
-        let target = referers[i].0;
-        let mut j = i + 1;
-        while j < referers.len() && referers[j].0 == target {
-            j += 1;
-        }
-        if j - i >= min_referers {
-            out.push(target);
-        }
-        i = j;
-    }
 }
 
 #[cfg(test)]
@@ -229,6 +268,25 @@ mod tests {
             select_tail_calls(&c, &edges, 2, &[]),
             select_tail_calls(&c, &edges, 2, &[0x10]),
         );
+    }
+
+    #[test]
+    fn referer_runs_reproduce_selection_at_every_threshold() {
+        // The plan's `(target, distinct referers)` runs must derive the
+        // same `J′` as a direct SELECTTAILCALL at any threshold.
+        let c = cands(&[0x100, 0x200, 0x300]);
+        let edges =
+            [(0x110u64, 0x3f0u64), (0x210, 0x3f0), (0x210, 0x3e0), (0x110, 0x3e0), (0x110, 0x500)];
+        let mut referers = Vec::new();
+        let mut runs = Vec::new();
+        tail_referer_runs_into(&c, &edges, &[], &mut referers, &mut runs);
+        assert!(runs.windows(2).all(|w| w[0].0 < w[1].0), "runs sorted by target");
+        for min in 0..4 {
+            let expect = select_tail_calls(&c, &edges, min, &[]);
+            let derived: Vec<u64> =
+                runs.iter().filter(|&&(_, n)| n as usize >= min).map(|&(t, _)| t).collect();
+            assert_eq!(derived, expect, "min_referers={min}");
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! These are the coarse sanity gates; the fine-grained per-suite numbers
 //! are produced by `funseeker-eval` (Tables II/III).
 
-use funseeker::{Config, FunSeeker};
+use funseeker::{Config, FunSeeker, FuncSet};
 use funseeker_corpus::{BuildConfig, Dataset, DatasetParams};
 
 fn dataset() -> Dataset {
@@ -13,10 +13,7 @@ fn dataset() -> Dataset {
     Dataset::generate(&params, 0xFACADE)
 }
 
-fn prf(
-    found: &std::collections::BTreeSet<u64>,
-    truth: &std::collections::BTreeSet<u64>,
-) -> (f64, f64) {
+fn prf(found: &FuncSet, truth: &FuncSet) -> (f64, f64) {
     let tp = found.intersection(truth).count() as f64;
     let p = if found.is_empty() { 1.0 } else { tp / found.len() as f64 };
     let r = if truth.is_empty() { 1.0 } else { tp / truth.len() as f64 };
@@ -31,7 +28,7 @@ fn config4_exceeds_99_percent_on_the_corpus() {
     let mut fp = 0usize;
     let mut fn_ = 0usize;
     for bin in &ds.binaries {
-        let truth = bin.truth.eval_entries();
+        let truth: FuncSet = bin.truth.eval_entries().into_iter().collect();
         let a = seeker.identify(&bin.bytes).unwrap();
         tp += a.functions.intersection(&truth).count();
         fp += a.functions.difference(&truth).count();
@@ -49,7 +46,7 @@ fn per_binary_recall_never_collapses() {
     let ds = dataset();
     let seeker = FunSeeker::new();
     for bin in &ds.binaries {
-        let truth = bin.truth.eval_entries();
+        let truth: FuncSet = bin.truth.eval_entries().into_iter().collect();
         let a = seeker.identify(&bin.bytes).unwrap();
         let (p, r) = prf(&a.functions, &truth);
         assert!(r > 0.9, "{} {}: recall {r:.3} precision {p:.3}", bin.program, bin.config.label());
@@ -68,7 +65,7 @@ fn ablation_shape_matches_table2() {
     let mut agg = [(0usize, 0usize, 0usize); 4]; // (tp, fp, fn) per config
     let configs = Config::table2();
     for bin in &ds.binaries {
-        let truth = bin.truth.eval_entries();
+        let truth: FuncSet = bin.truth.eval_entries().into_iter().collect();
         for (i, (_, cfg)) in configs.iter().enumerate() {
             let a = FunSeeker::with_config(*cfg).identify(&bin.bytes).unwrap();
             agg[i].0 += a.functions.intersection(&truth).count();

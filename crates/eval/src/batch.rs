@@ -77,6 +77,9 @@ pub struct BatchReport {
     /// Execution environment of the run (pool width, host cores,
     /// kernel tier).
     pub host: crate::host::Host,
+    /// Core-analyzer per-stage counters from the cold driver's measured
+    /// run (see [`funseeker::StageStats`]).
+    pub stage: funseeker::StageStats,
     /// Measured drivers.
     pub rows: Vec<BatchRow>,
 }
@@ -129,7 +132,10 @@ fn total_functions(results: &[Vec<Option<Arc<Analysis>>>]) -> usize {
 pub fn run(quick: bool) -> BatchReport {
     let (images, distinct) = corpus(quick);
     let configs: Vec<Config> = Config::table2().iter().map(|&(_, c)| c).collect();
-    let reps = if quick { 2 } else { 3 };
+    // 5 reps in full mode: the first cold repetition pays every
+    // worker's scratch/plan arena growth, so best-of needs a couple of
+    // steady-state samples behind it.
+    let reps = if quick { 2 } else { 5 };
     let n = images.len();
     let mut rows = Vec::new();
     let mut push = |label: &str, samples: &[f64], hit_rate: f64, unique: usize| {
@@ -198,6 +204,7 @@ pub fn run(quick: bool) -> BatchReport {
     }
     let cold_stats = cold_stats.expect("ran");
     push("cold", &samples, cold_stats.hit_rate(), cold_stats.unique_images);
+    let cold_stage = cold_stats.stage;
 
     // ---- warm: rerun against the last cold run's populated cache.
     let mut samples = Vec::with_capacity(reps);
@@ -251,6 +258,7 @@ pub fn run(quick: bool) -> BatchReport {
         reps,
         peak_rss_kb: peak_rss_kb(),
         host: crate::host::host(),
+        stage: cold_stage,
         rows,
     }
 }
@@ -284,6 +292,17 @@ impl BatchReport {
                 r.unique_images,
             ));
         }
+        s.push_str(&format!(
+            "\ncold analyze stages: filter {:.2}ms, tailcall {:.2}ms, bounds {:.2}ms, \
+             interproc {:.2}ms ({} entry / {} tail / {} final candidates)\n",
+            self.stage.filter_ns as f64 / 1e6,
+            self.stage.tailcall_ns as f64 / 1e6,
+            self.stage.boundaries_ns as f64 / 1e6,
+            self.stage.interproc_ns as f64 / 1e6,
+            self.stage.entry_candidates,
+            self.stage.tail_candidates,
+            self.stage.final_candidates,
+        ));
         s
     }
 
@@ -562,6 +581,7 @@ mod tests {
             reps: 2,
             peak_rss_kb: 100_000,
             host: crate::host::host(),
+            stage: funseeker::StageStats::default(),
             rows: vec![
                 BatchRow {
                     label: "flat".into(),
@@ -664,6 +684,8 @@ mod tests {
             flat.bins_per_s
         );
         assert!(report.peak_rss_kb > 0);
+        assert!(report.stage.total_ns() > 0, "cold run must charge stage counters");
+        assert!(report.stage.final_candidates > 0);
         assert!(!report.render().is_empty());
     }
 }

@@ -4,6 +4,7 @@
 //! experiments <table1|table2|table3|fig3|failures|by-opt|manual-endbr|arm|robustness|all> [--seed N] [--scale tiny|default|large] [--csv]
 //! experiments perf [--quick] [--json FILE [--label NAME]] [--check FILE]
 //! experiments batch [--quick] [--corpus-scale N] [--json FILE [--label NAME]] [--check FILE]
+//! experiments analyze [--quick] [--json FILE [--label NAME]] [--check FILE]
 //! experiments callgraph [--quick] [--json FILE [--label NAME]] [--check FILE]
 //! experiments serve [--quick] [--json FILE [--label NAME]] [--check FILE]
 //! experiments io [--quick] [--json FILE [--label NAME]] [--check FILE]
@@ -27,6 +28,19 @@
 //! flag the corpus keeps its regular 576) written to disk and streamed
 //! through mmap ingestion under a small admission budget, with peak
 //! RSS asserted bounded by that budget rather than the corpus size.
+//!
+//! The `analyze` subcommand isolates the back end: every binary of a
+//! distinct-heavy corpus is parsed and swept once, then the four
+//! Table II configurations are analyzed per binary through the unfused
+//! stage pipeline (`analyze_naive4`), the shared-`AnalysisPlan`
+//! derivation (`analyze_plan4`), and the full cold batch engine
+//! (`analyze_cold`), with per-stage FILTERENDBR / SELECTTAILCALL /
+//! candidate-algebra / interprocedural timings on every row. Every
+//! plan-derived analysis is asserted bit-identical to an independent
+//! `run_stages_with` before timing starts. Flags mirror `perf` against
+//! `BENCH_batch.json`; `--check` gates on the newest committed
+//! `analyze_plan4` row and fails outright when the plan path is slower
+//! than the unfused pipeline.
 //!
 //! The `callgraph` subcommand scores recovered direct/tail call edges
 //! against the corpus's emitted call-edge ground truth and times the
@@ -71,6 +85,7 @@ fn usage() -> ! {
         "usage: experiments <table1|table2|table3|fig3|failures|by-opt|manual-endbr|arm|robustness|all> [--seed N] [--scale tiny|default|large] [--csv]\n\
          \x20      experiments perf [--quick] [--json FILE [--label NAME]] [--check FILE]\n\
          \x20      experiments batch [--quick] [--corpus-scale N] [--json FILE [--label NAME]] [--check FILE]\n\
+         \x20      experiments analyze [--quick] [--json FILE [--label NAME]] [--check FILE]\n\
          \x20      experiments callgraph [--quick] [--json FILE [--label NAME]] [--check FILE]\n\
          \x20      experiments serve [--quick] [--json FILE [--label NAME]] [--check FILE]\n\
          \x20      experiments io [--quick] [--json FILE [--label NAME]] [--check FILE]\n\
@@ -215,6 +230,24 @@ fn run_batch(args: &[String]) -> ! {
         "batch",
         |existing, label| report.append_to_document(existing, label),
         |committed| funseeker_eval::batch::check_against(committed, &report, BENCH_CHECK_MIN_RATIO),
+    )
+}
+
+fn run_analyze(args: &[String]) -> ! {
+    let flags = BenchFlags::parse(args);
+    eprintln!(
+        "measuring shared-plan analysis ({} mode)…",
+        if flags.quick { "quick" } else { "full" }
+    );
+    let report = funseeker_eval::analyze::run(flags.quick);
+    println!("## Shared-plan analysis\n");
+    println!("{}", report.render());
+    flags.finish(
+        "analyze",
+        |existing, label| report.append_to_document(existing, label),
+        |committed| {
+            funseeker_eval::analyze::check_against(committed, &report, BENCH_CHECK_MIN_RATIO)
+        },
     )
 }
 
@@ -379,6 +412,11 @@ fn main() {
     if what == "batch" {
         // Likewise: batch builds its own duplicated corpus.
         run_batch(&args[1..]);
+    }
+    if what == "analyze" {
+        // Likewise: the shared-plan bench reuses the batch benchmark
+        // corpus (distinct images only).
+        run_analyze(&args[1..]);
     }
     if what == "callgraph" {
         // Likewise: the call-graph evaluation owns its corpus.

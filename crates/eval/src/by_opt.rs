@@ -26,7 +26,7 @@ pub fn run(ds: &Dataset) -> ByOpt {
     let per_bin = par_map(&ds.binaries, |bin| {
         let truth = bin.truth.eval_entries();
         let a = FunSeeker::new().identify(&bin.bytes).expect("corpus binary analyzable");
-        (bin.config.opt, Score::from_sets(&a.functions, &truth))
+        (bin.config.opt, Score::from_funcset(&a.functions, &truth))
     });
     let mut out = ByOpt::default();
     for (opt, s) in per_bin {

@@ -72,7 +72,7 @@ pub fn run(ds: &Dataset) -> FailureBreakdown {
         let parts = bin.truth.part_entries();
         let analysis = FunSeeker::new().identify(&bin.bytes).expect("corpus binary analyzable");
         let mut b = FailureBreakdown::default();
-        for missed in truth.difference(&analysis.functions) {
+        for missed in truth.iter().filter(|a| !analysis.functions.contains(a)) {
             let f = bin.truth.by_addr(*missed).expect("truth entry");
             if f.dead {
                 b.fn_dead += 1;
@@ -80,7 +80,7 @@ pub fn run(ds: &Dataset) -> FailureBreakdown {
                 b.fn_tail_or_other += 1;
             }
         }
-        for extra in analysis.functions.difference(&truth) {
+        for extra in analysis.functions.iter().filter(|a| !truth.contains(a)) {
             if parts.contains(extra) {
                 b.fp_fragment += 1;
             } else {

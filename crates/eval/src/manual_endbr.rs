@@ -46,7 +46,7 @@ pub fn run(params: &DatasetParams, seed: u64) -> ManualEndbr {
                 );
                 let truth = built.truth.eval_entries();
                 let analysis = seeker.identify(&built.bytes).expect("corpus binary analyzable");
-                let score = Score::from_sets(&analysis.functions, &truth);
+                let score = Score::from_funcset(&analysis.functions, &truth);
                 if slot == 0 {
                     out.default_mode += score;
                 } else {

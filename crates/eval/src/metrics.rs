@@ -21,6 +21,13 @@ impl Score {
         Score { tp, fp: found.len() - tp, fn_: truth.len() - tp }
     }
 
+    /// Scores a packed [`funseeker::FuncSet`] (what every analyzer and
+    /// baseline now reports) against ground truth.
+    pub fn from_funcset(found: &funseeker::FuncSet, truth: &BTreeSet<u64>) -> Score {
+        let tp = found.iter().filter(|a| truth.contains(a)).count();
+        Score { tp, fp: found.len() - tp, fn_: truth.len() - tp }
+    }
+
     /// Precision in `[0, 1]` (1 when nothing was reported).
     pub fn precision(&self) -> f64 {
         if self.tp + self.fp == 0 {

@@ -57,6 +57,9 @@ pub struct PerfReport {
     /// kernel tier) — recorded so trajectories from different hosts are
     /// never gated against each other.
     pub host: crate::host::Host,
+    /// Core-analyzer per-stage counters: the four Table II
+    /// configurations analyzed once each over the benchmark binary.
+    pub stage: funseeker::StageStats,
     /// Measured configurations.
     pub rows: Vec<PerfRow>,
 }
@@ -199,7 +202,21 @@ pub fn run(quick: bool) -> PerfReport {
         stats,
     });
 
-    PerfReport { bytes: code.len(), reps, host: crate::host::host(), rows }
+    // Analyzer stage counters (untimed rows above cover the sweep; this
+    // records where the back end spends its time on the same binary).
+    let p = prepare(&bin.bytes).expect("benchmark binary prepares");
+    let mut scratch = funseeker::Scratch::new();
+    for (_, cfg) in funseeker::Config::table2() {
+        let a = funseeker::FunSeeker::with_config(cfg).run_stages_with(
+            &p.parsed,
+            &p.index,
+            &mut scratch,
+        );
+        std::hint::black_box(a.functions.len());
+    }
+    let stage = scratch.take_stats();
+
+    PerfReport { bytes: code.len(), reps, host: crate::host::host(), stage, rows }
 }
 
 impl PerfReport {
@@ -229,6 +246,18 @@ impl PerfReport {
                 r.stats.stitch_ns as f64 / 1e6,
             ));
         }
+        s.push_str(&format!(
+            "\nanalyzer stages (4 configs, benchmark binary): filter {:.3}ms, tailcall \
+             {:.3}ms, bounds {:.3}ms, interproc {:.3}ms ({} entry / {} tail / {} final \
+             candidates)\n",
+            self.stage.filter_ns as f64 / 1e6,
+            self.stage.tailcall_ns as f64 / 1e6,
+            self.stage.boundaries_ns as f64 / 1e6,
+            self.stage.interproc_ns as f64 / 1e6,
+            self.stage.entry_candidates,
+            self.stage.tail_candidates,
+            self.stage.final_candidates,
+        ));
         s
     }
 
@@ -339,6 +368,7 @@ mod tests {
             bytes: 2 << 20,
             reps: 3,
             host: crate::host::host(),
+            stage: funseeker::StageStats::default(),
             rows: vec![
                 PerfRow {
                     label: "sequential".into(),
@@ -460,6 +490,8 @@ mod tests {
             par8.ms,
             prep.ms
         );
+        assert!(report.stage.total_ns() > 0, "analyzer stage counters must be charged");
+        assert!(report.stage.final_candidates > 0);
         assert!(!report.render().is_empty());
     }
 }

@@ -3,7 +3,9 @@
 
 use std::collections::BTreeMap;
 
-use funseeker::{prepare, Config, FunSeeker};
+use std::cell::RefCell;
+
+use funseeker::{prepare, AnalysisPlan, Config, Scratch};
 use funseeker_corpus::{Compiler, Dataset, Suite};
 
 use crate::metrics::Score;
@@ -19,17 +21,30 @@ pub struct Table2 {
     pub total: [Score; 4],
 }
 
-/// Runs all four configurations over the dataset, reusing one disassembly
-/// pass per binary (the stages differ only in set algebra).
+thread_local! {
+    /// One scratch arena + analysis plan per evaluation worker, so the
+    /// four-configuration column sweep pays one plan rebuild per binary
+    /// and derives each column by set algebra.
+    static WORKSPACE: RefCell<(Scratch, AnalysisPlan)> =
+        RefCell::new((Scratch::new(), AnalysisPlan::new()));
+}
+
+/// Runs all four configurations over the dataset, reusing one
+/// disassembly pass *and* one [`AnalysisPlan`] rebuild per binary (the
+/// four columns differ only in set algebra over the plan's primitives).
 pub fn run(ds: &Dataset) -> Table2 {
     let per_bin = par_map(&ds.binaries, |bin| {
         let truth = bin.truth.eval_entries();
         let prepared = prepare(&bin.bytes).expect("corpus binary parses");
         let mut scores = [Score::default(); 4];
-        for (i, (_, cfg)) in Config::table2().iter().enumerate() {
-            let analysis = FunSeeker::with_config(*cfg).identify_prepared(&prepared);
-            scores[i] = Score::from_sets(&analysis.functions, &truth);
-        }
+        WORKSPACE.with(|w| {
+            let (scratch, plan) = &mut *w.borrow_mut();
+            plan.rebuild(&prepared.parsed, &prepared.index, scratch);
+            for (i, (_, cfg)) in Config::table2().iter().enumerate() {
+                let analysis = plan.derive(cfg, &prepared.parsed, &prepared.index, scratch);
+                scores[i] = Score::from_funcset(&analysis.functions, &truth);
+            }
+        });
         (bin.config.compiler, bin.suite, scores)
     });
 

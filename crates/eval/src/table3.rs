@@ -65,7 +65,7 @@ pub fn run(ds: &Dataset) -> Table3 {
             let found = tool.identify_prepared(&prepared).expect("corpus binary analyzable");
             let dt = prep_seconds + t0.elapsed().as_secs_f64();
             cells[i] =
-                ToolCell { score: Score::from_sets(&found, &truth), seconds: dt, binaries: 1 };
+                ToolCell { score: Score::from_funcset(&found, &truth), seconds: dt, binaries: 1 };
         }
         (bin.config.arch, bin.suite, cells)
     });

@@ -39,7 +39,7 @@ fn main() {
         for bin in &ds.binaries {
             let truth: BTreeSet<u64> = bin.truth.eval_entries();
             let found = tool.identify(&bin.bytes).expect("corpus binary analyzable");
-            tp += found.intersection(&truth).count();
+            tp += found.iter().filter(|a| truth.contains(a)).count();
             found_total += found.len();
             truth_total += truth.len();
         }

@@ -69,8 +69,7 @@ fn main() {
 
     // Addresses shift between builds, so diff by *name* via ground truth
     // (a real workflow would use signatures; the corpus gives us truth).
-    let names = |built: &funseeker_corpus::LinkedBinary,
-                 found: &std::collections::BTreeSet<u64>| {
+    let names = |built: &funseeker_corpus::LinkedBinary, found: &funseeker::FuncSet| {
         built
             .truth
             .functions
@@ -84,8 +83,7 @@ fn main() {
 
     let only_debug: Vec<_> = debug_names.difference(&release_names).collect();
     let only_release: Vec<_> = release_names.difference(&debug_names).collect();
-    let fragment_fps = |built: &funseeker_corpus::LinkedBinary,
-                        found: &std::collections::BTreeSet<u64>| {
+    let fragment_fps = |built: &funseeker_corpus::LinkedBinary, found: &funseeker::FuncSet| {
         built.truth.part_entries().iter().filter(|a| found.contains(a)).count()
     };
     println!(

@@ -103,7 +103,7 @@ fn main() {
     let analysis = funseeker::FunSeeker::new().identify_prepared(&prepared);
     println!("\nFunSeeker identifies      : {} functions", analysis.functions.len());
     if !funcs.is_empty() {
-        let tp = analysis.functions.intersection(&funcs).count();
+        let tp = analysis.functions.iter().filter(|a| funcs.contains(a)).count();
         println!(
             "vs symbol functions       : precision {:.2}%, recall {:.2}%",
             tp as f64 / analysis.functions.len().max(1) as f64 * 100.0,

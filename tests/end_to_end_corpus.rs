@@ -16,7 +16,7 @@ fn total_score(ds: &Dataset, tool: &dyn FunctionIdentifier) -> Score {
     let mut total = Score::default();
     for bin in &ds.binaries {
         let found = tool.identify(&bin.bytes).expect("corpus binary analyzable");
-        total += Score::from_sets(&found, &bin.truth.eval_entries());
+        total += Score::from_funcset(&found, &bin.truth.eval_entries());
     }
     total
 }
@@ -62,8 +62,9 @@ fn eh_based_tools_collapse_without_fdes() {
             && b.truth.landing_pad_endbrs.is_empty()
     }) {
         let truth = bin.truth.eval_entries();
-        fetch += Score::from_sets(&FetchLike.identify(&bin.bytes).unwrap(), &truth);
-        funseeker += Score::from_sets(&FunSeekerTool::new().identify(&bin.bytes).unwrap(), &truth);
+        fetch += Score::from_funcset(&FetchLike.identify(&bin.bytes).unwrap(), &truth);
+        funseeker +=
+            Score::from_funcset(&FunSeekerTool::new().identify(&bin.bytes).unwrap(), &truth);
     }
     assert!(
         fetch.recall() < 0.05,
@@ -101,7 +102,7 @@ fn reachability_pruning_is_conservative_on_clean_corpora() {
                 "{ctx}: pruned_count must account for every demotion"
             );
             // …and never a real function start.
-            for addr in bin.truth.eval_entries().intersection(&plain.functions) {
+            for addr in bin.truth.eval_entries().iter().filter(|a| plain.functions.contains(a)) {
                 assert!(
                     pruned.functions.contains(addr),
                     "{ctx}: pruning demoted ground-truth start {addr:#x}"

@@ -2,8 +2,6 @@
 //! (Figures 1 and 2) as hand-assembled binaries, end to end through the
 //! ELF builder, the EH writer, the disassembler, and FunSeeker.
 
-use std::collections::BTreeSet;
-
 use funseeker::{Config, FunSeeker};
 use funseeker_eh::{CallSite, EhFrameBuilder, ExceptTableBuilder, LsdaBuilder};
 use funseeker_elf::section::{SHF_ALLOC, SHF_EXECINSTR};
@@ -53,7 +51,7 @@ fn figure1_ibt_example() {
     let bytes = b.build().unwrap();
 
     let a = FunSeeker::new().identify(&bytes).unwrap();
-    let expect: BTreeSet<u64> = [foo, main].into_iter().collect();
+    let expect: funseeker::FuncSet = [foo, main].into_iter().collect();
     assert_eq!(a.functions, expect);
     assert_eq!(a.endbr_count, 2);
     assert_eq!(a.filtered_endbrs, 0);

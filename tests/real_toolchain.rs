@@ -122,7 +122,7 @@ fn funseeker_on_real_gcc_binaries() {
         // `register_tm_clones` carry no endbr and are never
         // direct-called — exactly the non-compiler-code caveat of §VI).
         let truth = symbol_truth(&bytes);
-        let tp = analysis.functions.intersection(&truth).count();
+        let tp = analysis.functions.iter().filter(|a| truth.contains(a)).count();
         let recall = tp as f64 / truth.len() as f64;
         assert!(recall > 0.75, "{opt}: whole-binary recall {recall:.3}");
 
